@@ -1,0 +1,319 @@
+//! Constructive traditional-model binders producing [`Binding`]s.
+
+use std::collections::HashSet;
+
+use salsa_alloc::{AllocContext, Binding};
+use salsa_cdfg::{OpId, ValueId};
+use salsa_datapath::{FuId, Port, RegId, Sink, Source};
+
+use crate::{hungarian, left_edge};
+
+/// First-available functional units plus left-edge registers: the fastest
+/// and weakest traditional comparator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBinder;
+
+impl GreedyBinder {
+    /// Creates the binder.
+    pub fn new() -> Self {
+        GreedyBinder
+    }
+
+    /// Binds the context's graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's pool is smaller than the schedule demand
+    /// (prevented by [`AllocContext::new`]).
+    pub fn bind<'a>(&self, ctx: &'a AllocContext<'a>) -> Binding<'a> {
+        let op_fu = first_available_units(ctx);
+        let le = left_edge(ctx.graph, ctx.schedule, ctx.library);
+        let mut primal_regs = vec![Vec::new(); ctx.graph.num_values()];
+        for v in ctx.graph.value_ids() {
+            let Some(lt) = ctx.lifetimes.get(v) else { continue };
+            if lt.is_empty() {
+                continue;
+            }
+            let reg = le.reg(v).expect("stored value got a left-edge register");
+            primal_regs[v.index()] = vec![reg; lt.len()];
+        }
+        Binding::from_assignments(ctx, op_fu, primal_regs)
+    }
+}
+
+/// Step-by-step binding after Huang et al. [13]: at each control step the
+/// newly issued operations (then the newly born values) are assigned by a
+/// minimum-added-interconnect bipartite matching solved with the Hungarian
+/// algorithm.
+///
+/// Phase A binds operations: the cost of putting an operation on a unit is
+/// the number of its operand *values* the unit does not already read
+/// (value-affinity, since registers are not yet known). Phase B binds
+/// values in birth order: the cost of a register is the number of new
+/// point-to-point connections its producer write and consumer reads would
+/// create.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchingBinder;
+
+impl MatchingBinder {
+    /// Creates the binder.
+    pub fn new() -> Self {
+        MatchingBinder
+    }
+
+    /// Binds the context's graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's pool is smaller than the schedule demand
+    /// (prevented by [`AllocContext::new`]).
+    pub fn bind<'a>(&self, ctx: &'a AllocContext<'a>) -> Binding<'a> {
+        let op_fu = self.bind_units(ctx);
+        let primal_regs = self.bind_registers(ctx, &op_fu);
+        Binding::from_assignments(ctx, op_fu, primal_regs)
+    }
+
+    fn bind_units(&self, ctx: &AllocContext<'_>) -> Vec<FuId> {
+        let n = ctx.n_steps();
+        let mut op_fu = vec![FuId::from_index(0); ctx.graph.num_ops()];
+        let mut busy = vec![vec![false; n]; ctx.datapath.num_fus()];
+        // Values each unit already reads (value affinity).
+        let mut reads: Vec<HashSet<ValueId>> = vec![HashSet::new(); ctx.datapath.num_fus()];
+
+        for t in 0..n {
+            let issued: Vec<OpId> = ctx
+                .graph
+                .op_ids()
+                .filter(|&o| ctx.schedule.issue(o) == t)
+                .collect();
+            for class in salsa_sched::FuClass::all() {
+                let rows: Vec<OpId> = issued
+                    .iter()
+                    .copied()
+                    .filter(|&o| ctx.class_of(o) == class)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let cols: Vec<FuId> = ctx
+                    .datapath
+                    .fus_of_class(class)
+                    .map(|f| f.id())
+                    .filter(|f| ctx.occupied_steps(rows[0]).all(|s| !busy[f.index()][s]))
+                    .collect();
+                let cost: Vec<Vec<u64>> = rows
+                    .iter()
+                    .map(|&op| {
+                        cols.iter()
+                            .map(|&fu| {
+                                ctx.graph
+                                    .op(op)
+                                    .inputs()
+                                    .iter()
+                                    .filter(|&&v| {
+                                        ctx.is_stored(v) && !reads[fu.index()].contains(&v)
+                                    })
+                                    .count() as u64
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let assignment = hungarian(&cost);
+                for (row, &col) in assignment.iter().enumerate() {
+                    let (op, fu) = (rows[row], cols[col]);
+                    op_fu[op.index()] = fu;
+                    for s in ctx.occupied_steps(op) {
+                        busy[fu.index()][s] = true;
+                    }
+                    for v in ctx.graph.op(op).inputs() {
+                        if ctx.is_stored(v) {
+                            reads[fu.index()].insert(v);
+                        }
+                    }
+                }
+            }
+        }
+        op_fu
+    }
+
+    fn bind_registers(&self, ctx: &AllocContext<'_>, op_fu: &[FuId]) -> Vec<Vec<RegId>> {
+        let n = ctx.n_steps();
+        let mut busy = vec![vec![false; n]; ctx.datapath.num_regs()];
+        let mut proto: HashSet<(Source, Sink)> = HashSet::new();
+        let mut primal_regs = vec![Vec::new(); ctx.graph.num_values()];
+
+        for t in 0..n {
+            let born: Vec<ValueId> = ctx
+                .graph
+                .value_ids()
+                .filter(|&v| {
+                    ctx.lifetimes.get(v).is_some_and(|lt| !lt.is_empty())
+                        && ctx.lifetimes.get(v).unwrap().steps()[0] == t
+                })
+                .collect();
+            if born.is_empty() {
+                continue;
+            }
+            let rows = born;
+            let cols: Vec<Vec<RegId>> = rows
+                .iter()
+                .map(|&v| {
+                    let steps = ctx.lifetimes.get(v).unwrap().steps();
+                    ctx.datapath
+                        .reg_ids()
+                        .filter(|r| steps.iter().all(|&s| !busy[r.index()][s]))
+                        .collect()
+                })
+                .collect();
+            // Candidate columns differ per row (different lifetimes); use
+            // the union and price infeasible cells prohibitively.
+            let union: Vec<RegId> = {
+                let mut all: Vec<RegId> = cols.iter().flatten().copied().collect();
+                all.sort_unstable();
+                all.dedup();
+                all
+            };
+            const FORBIDDEN: u64 = 1_000_000;
+            let cost: Vec<Vec<u64>> = rows
+                .iter()
+                .zip(&cols)
+                .map(|(&v, feasible)| {
+                    union
+                        .iter()
+                        .map(|r| {
+                            if !feasible.contains(r) {
+                                FORBIDDEN
+                            } else {
+                                added_connections(ctx, &proto, op_fu, v, *r)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let assignment = hungarian(&cost);
+            for (row, &col) in assignment.iter().enumerate() {
+                let (v, reg) = (rows[row], union[col]);
+                assert!(
+                    cost[row][col] < FORBIDDEN,
+                    "stepwise matching found no feasible register for {v}"
+                );
+                let steps: Vec<usize> = ctx.lifetimes.get(v).unwrap().steps().to_vec();
+                for &s in &steps {
+                    busy[reg.index()][s] = true;
+                }
+                for edge in contiguous_edges(ctx, op_fu, v, reg) {
+                    proto.insert(edge);
+                }
+                primal_regs[v.index()] = vec![reg; steps.len()];
+            }
+        }
+        primal_regs
+    }
+}
+
+fn first_available_units(ctx: &AllocContext<'_>) -> Vec<FuId> {
+    let n = ctx.n_steps();
+    let mut busy = vec![vec![false; n]; ctx.datapath.num_fus()];
+    let mut op_fu = vec![FuId::from_index(0); ctx.graph.num_ops()];
+    let mut ops: Vec<OpId> = ctx.graph.op_ids().collect();
+    ops.sort_by_key(|&o| (ctx.schedule.issue(o), o));
+    for op in ops {
+        let window: Vec<usize> = ctx.occupied_steps(op).collect();
+        let fu = ctx
+            .datapath
+            .fus_of_class(ctx.class_of(op))
+            .map(|f| f.id())
+            .find(|f| window.iter().all(|&s| !busy[f.index()][s]))
+            .expect("pool demand check guarantees a free unit");
+        for &s in &window {
+            busy[fu.index()][s] = true;
+        }
+        op_fu[op.index()] = fu;
+    }
+    op_fu
+}
+
+fn added_connections(
+    ctx: &AllocContext<'_>,
+    proto: &HashSet<(Source, Sink)>,
+    op_fu: &[FuId],
+    v: ValueId,
+    reg: RegId,
+) -> u64 {
+    contiguous_edges(ctx, op_fu, v, reg)
+        .into_iter()
+        .filter(|e| !proto.contains(e))
+        .count() as u64
+}
+
+fn contiguous_edges(
+    ctx: &AllocContext<'_>,
+    op_fu: &[FuId],
+    v: ValueId,
+    reg: RegId,
+) -> Vec<(Source, Sink)> {
+    let mut edges = Vec::new();
+    if let Some(p) = ctx.producer(v) {
+        edges.push((Source::FuOut(op_fu[p.index()]), Sink::RegIn(reg)));
+    }
+    for u in ctx.graph.value(v).uses() {
+        edges.push((
+            Source::RegOut(reg),
+            Sink::FuIn(op_fu[u.op.index()], Port::from_index(u.port)),
+        ));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_alloc::lower;
+    use salsa_cdfg::benchmarks;
+    use salsa_datapath::{verify, Datapath};
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    #[test]
+    fn binders_verify_on_all_benchmarks() {
+        for graph in benchmarks::all() {
+            let library = FuLibrary::standard();
+            let cp = salsa_sched::asap(&graph, &library).length;
+            let schedule = fds_schedule(&graph, &library, cp + 1).unwrap();
+            let datapath = Datapath::new(
+                &schedule.fu_demand(&graph, &library),
+                schedule.register_demand(&graph, &library),
+            );
+            let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+
+            for (name, binding) in [
+                ("greedy", GreedyBinder::new().bind(&ctx)),
+                ("matching", MatchingBinder::new().bind(&ctx)),
+            ] {
+                binding.check_consistency();
+                let (rtl, claims) = lower(&binding);
+                verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
+                    .unwrap_or_else(|e| panic!("{} {name}: {e}", graph.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn matching_binder_beats_or_matches_greedy_interconnect() {
+        let graph = benchmarks::ewf();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 19).unwrap();
+        let datapath = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library),
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let greedy = GreedyBinder::new().bind(&ctx).breakdown();
+        let matched = MatchingBinder::new().bind(&ctx).breakdown();
+        assert!(
+            matched.connections <= greedy.connections,
+            "matching ({}) should not lose to first-fit ({})",
+            matched.connections,
+            greedy.connections
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Hungarian algorithm (Kuhn-Munkres) for minimum-cost bipartite
+//! assignment — the engine of matching-based binding [Huang et al. 13].
+
+/// Solves the rectangular assignment problem: `cost[i][j]` is the cost of
+/// giving row `i` column `j`; every row receives a distinct column and the
+/// total cost is minimized. O(rows² · cols).
+///
+/// Returns the assigned column per row.
+///
+/// ```
+/// let cost = vec![
+///     vec![4, 1, 3],
+///     vec![2, 0, 5],
+///     vec![3, 2, 2],
+/// ];
+/// let assignment = salsa_baseline::hungarian(&cost);
+/// let total: u64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+/// assert_eq!(total, 5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if there are more rows than columns, if the matrix is ragged, or
+/// if it is empty.
+pub fn hungarian(cost: &[Vec<u64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "empty assignment problem");
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|row| row.len() == m),
+        "cost matrix must be rectangular"
+    );
+    assert!(n <= m, "more rows ({n}) than columns ({m})");
+
+    const INF: i64 = i64::MAX / 4;
+    // 1-based potentials/matching per the classic formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; m + 1];
+    let mut matched_row = vec![0usize; m + 1]; // column -> row (0 = free)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        matched_row[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] as i64 - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[matched_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if matched_row[j] != 0 {
+            assignment[matched_row[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&c| c != usize::MAX));
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(cost: &[Vec<u64>], assignment: &[usize]) -> u64 {
+        assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum()
+    }
+
+    fn brute_force_min(cost: &[Vec<u64>]) -> u64 {
+        fn rec(cost: &[Vec<u64>], row: usize, used: &mut Vec<bool>) -> u64 {
+            if row == cost.len() {
+                return 0;
+            }
+            let mut best = u64::MAX;
+            for j in 0..cost[0].len() {
+                if !used[j] {
+                    used[j] = true;
+                    best = best.min(cost[row][j] + rec(cost, row + 1, used));
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        rec(cost, 0, &mut vec![false; cost[0].len()])
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let cost = vec![
+            vec![0, 9, 9],
+            vec![9, 0, 9],
+            vec![9, 9, 0],
+        ];
+        assert_eq!(hungarian(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classic_example() {
+        let cost = vec![
+            vec![4, 1, 3],
+            vec![2, 0, 5],
+            vec![3, 2, 2],
+        ];
+        let a = hungarian(&cost);
+        assert_eq!(total(&cost, &a), 5, "optimal assignment costs 5");
+    }
+
+    #[test]
+    fn rectangular_uses_cheapest_columns() {
+        let cost = vec![
+            vec![10, 1, 10, 10],
+            vec![10, 10, 1, 10],
+        ];
+        let a = hungarian(&cost);
+        assert_eq!(a, vec![1, 2]);
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let cost = vec![
+            vec![3, 8, 2, 9],
+            vec![7, 1, 6, 4],
+            vec![5, 5, 5, 5],
+            vec![2, 9, 1, 3],
+        ];
+        let a = hungarian(&cost);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "columns must be distinct");
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(n..=6);
+            let cost: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0..50)).collect())
+                .collect();
+            let a = hungarian(&cost);
+            assert_eq!(
+                total(&cost, &a),
+                brute_force_min(&cost),
+                "suboptimal on {cost:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more rows")]
+    fn too_many_rows_panics() {
+        let _ = hungarian(&[vec![1], vec![2]]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Left-edge register allocation: the classic channel-routing-derived
+//! algorithm that binds contiguous value lifetimes to the minimum register
+//! count.
+
+use salsa_cdfg::{Cdfg, ValueId};
+use salsa_datapath::RegId;
+use salsa_sched::{lifetimes, FuLibrary, Schedule};
+
+/// Result of [`left_edge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeftEdgeResult {
+    /// Register per value (`None` for constants and unstored values).
+    pub assignment: Vec<Option<RegId>>,
+    /// Registers used — equal to the schedule's register demand, since
+    /// left-edge is optimal for interval conflicts.
+    pub num_regs: usize,
+}
+
+impl LeftEdgeResult {
+    /// The register of a value, if it is stored.
+    pub fn reg(&self, value: ValueId) -> Option<RegId> {
+        self.assignment[value.index()]
+    }
+}
+
+/// Runs left-edge allocation over the scheduled graph's value lifetimes:
+/// values sorted by first stored step, each placed in the lowest-numbered
+/// register free over its whole lifetime.
+///
+/// ```
+/// use salsa_baseline::left_edge;
+/// use salsa_cdfg::benchmarks::ewf;
+/// use salsa_sched::{fds_schedule, FuLibrary};
+///
+/// let graph = ewf();
+/// let library = FuLibrary::standard();
+/// let schedule = fds_schedule(&graph, &library, 19)?;
+/// let result = left_edge(&graph, &schedule, &library);
+/// assert_eq!(result.num_regs, schedule.register_demand(&graph, &library));
+/// # Ok::<(), salsa_sched::SchedError>(())
+/// ```
+pub fn left_edge(graph: &Cdfg, schedule: &Schedule, library: &FuLibrary) -> LeftEdgeResult {
+    let lts = lifetimes(graph, schedule, library);
+    let n = schedule.n_steps();
+    let mut order: Vec<ValueId> = lts
+        .iter()
+        .filter(|lt| !lt.is_empty())
+        .map(|lt| lt.value())
+        .collect();
+    order.sort_by_key(|&v| {
+        let lt = lts.get(v).expect("stored");
+        (lt.first_step().expect("nonempty"), v)
+    });
+
+    let mut busy: Vec<Vec<bool>> = Vec::new();
+    let mut assignment = vec![None; graph.num_values()];
+    for v in order {
+        let steps = lts.get(v).expect("stored").steps();
+        let slot = (0..busy.len())
+            .find(|&r| steps.iter().all(|&s| !busy[r][s]))
+            .unwrap_or_else(|| {
+                busy.push(vec![false; n]);
+                busy.len() - 1
+            });
+        for &s in steps {
+            busy[slot][s] = true;
+        }
+        assignment[v.index()] = Some(RegId::from_index(slot));
+    }
+    LeftEdgeResult { num_regs: busy.len(), assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::{dct, ewf};
+    use salsa_sched::fds_schedule;
+
+    #[test]
+    fn left_edge_achieves_register_demand() {
+        for graph in [ewf(), dct()] {
+            let library = FuLibrary::standard();
+            let cp = salsa_sched::asap(&graph, &library).length;
+            for slack in [0, 2] {
+                let schedule = fds_schedule(&graph, &library, cp + slack).unwrap();
+                let result = left_edge(&graph, &schedule, &library);
+                assert_eq!(
+                    result.num_regs,
+                    schedule.register_demand(&graph, &library),
+                    "{}: left-edge is optimal for interval lifetimes",
+                    graph.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_two_overlapping_values_share_a_register() {
+        let graph = ewf();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 19).unwrap();
+        let lts = lifetimes(&graph, &schedule, &library);
+        let result = left_edge(&graph, &schedule, &library);
+        for a in graph.value_ids() {
+            for b in graph.value_ids() {
+                if a >= b {
+                    continue;
+                }
+                let (Some(ra), Some(rb)) = (result.reg(a), result.reg(b)) else { continue };
+                if ra != rb {
+                    continue;
+                }
+                let la = lts.get(a).unwrap();
+                let lb = lts.get(b).unwrap();
+                assert!(
+                    la.steps().iter().all(|s| !lb.steps().contains(s)),
+                    "{a} and {b} overlap in {ra}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constants_are_unassigned() {
+        let graph = ewf();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 17).unwrap();
+        let result = left_edge(&graph, &schedule, &library);
+        for v in graph.values().filter(|v| v.is_const()) {
+            assert_eq!(result.reg(v.id()), None);
+        }
+    }
+}

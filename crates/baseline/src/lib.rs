@@ -1,0 +1,102 @@
+//! Traditional-binding-model baselines for the SALSA reproduction.
+//!
+//! The paper compares its extended binding model against allocators built
+//! on the *traditional* model, in which every value occupies one register
+//! for its entire lifetime and no pass-throughs exist. This crate rebuilds
+//! that comparator family:
+//!
+//! * [`left_edge`] — classic left-edge register allocation (minimum
+//!   register count for contiguous lifetimes);
+//! * [`hungarian`] — an O(n³) Hungarian-algorithm solver for weighted
+//!   bipartite assignment, the engine behind matching-based binding
+//!   (Huang et al., DAC-90 [13]);
+//! * [`MatchingBinder`] — step-by-step functional-unit and register
+//!   binding that solves a minimum-added-interconnect assignment problem
+//!   per control step with the Hungarian solver;
+//! * [`GreedyBinder`] — first-available units + left-edge registers, the
+//!   weakest (and fastest) comparator;
+//! * [`traditional_allocate`] — the strongest traditional comparator: the
+//!   same iterative-improvement engine as the SALSA allocator, restricted
+//!   to the traditional move subset (F1-F3, R3-R4). This is the baseline
+//!   the Tables 2-3 harness reports against.
+//!
+//! Every binder produces a [`salsa_alloc::Binding`], so all comparators are
+//! costed by the same interconnect model and checked by the same
+//! end-to-end verifier as the SALSA allocator itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binder;
+mod hungarian;
+mod leftedge;
+
+pub use binder::{GreedyBinder, MatchingBinder};
+pub use hungarian::hungarian;
+pub use leftedge::{left_edge, LeftEdgeResult};
+
+use salsa_alloc::{AllocError, AllocResult, Allocator, ImproveConfig, MoveSet};
+use salsa_cdfg::Cdfg;
+use salsa_sched::{FuLibrary, Schedule};
+
+/// Runs the iterative-improvement allocator restricted to the traditional
+/// binding model (no segments, no copies, no pass-throughs), with the same
+/// pool, weights and effort configuration as a SALSA run — the paper-style
+/// apples-to-apples comparator.
+///
+/// # Errors
+///
+/// Same failure modes as [`Allocator::run`].
+pub fn traditional_allocate(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    extra_registers: usize,
+    seed: u64,
+    mut config: ImproveConfig,
+    restarts: usize,
+) -> Result<AllocResult, AllocError> {
+    config.move_set = MoveSet::traditional();
+    Allocator::new(graph, schedule, library)
+        .extra_registers(extra_registers)
+        .seed(seed)
+        .config(config)
+        .restarts(restarts.max(1))
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::diffeq;
+    use salsa_sched::fds_schedule;
+
+    #[test]
+    fn traditional_allocate_produces_contiguous_bindings() {
+        let graph = diffeq();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 8).unwrap();
+        let config = ImproveConfig {
+            max_trials: 3,
+            moves_per_trial: Some(300),
+            ..ImproveConfig::default()
+        };
+        let result =
+            traditional_allocate(&graph, &schedule, &library, 0, 7, config, 1).unwrap();
+        assert!(result.verified());
+        // No pass-throughs and no register-to-register moves mid-lifetime:
+        // the only loads from registers are the loop-boundary transfers in
+        // the final step.
+        for (t, step) in result.rtl.steps.iter().enumerate() {
+            assert!(step.passes.is_empty(), "traditional model has no pass-throughs");
+            if t + 1 < result.rtl.steps.len() {
+                assert!(
+                    step.loads
+                        .iter()
+                        .all(|l| !matches!(l.src, salsa_datapath::LoadSrc::Reg(_))),
+                    "step {t}: traditional bindings keep values in place mid-iteration"
+                );
+            }
+        }
+    }
+}

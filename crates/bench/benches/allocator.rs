@@ -1,0 +1,75 @@
+//! End-to-end allocation benchmarks (the paper reports 8-10 CPU minutes
+//! per EWF allocation on a Sun Sparcstation 1; these measure the same
+//! full pipeline on modern hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use salsa_alloc::{initial_allocation, AllocContext, Allocator, ImproveConfig, MoveSet};
+use salsa_cdfg::benchmarks::{diffeq, ewf, paper_example};
+use salsa_datapath::Datapath;
+use salsa_sched::{fds_schedule, FuLibrary};
+
+fn quick(move_set: MoveSet) -> ImproveConfig {
+    ImproveConfig {
+        max_trials: 3,
+        moves_per_trial: Some(400),
+        move_set,
+        ..ImproveConfig::default()
+    }
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let library = FuLibrary::standard();
+
+    // Constructive initial allocation alone.
+    let ewf_graph = ewf();
+    let ewf_schedule = fds_schedule(&ewf_graph, &library, 17).unwrap();
+    let pool = Datapath::new(
+        &ewf_schedule.fu_demand(&ewf_graph, &library),
+        ewf_schedule.register_demand(&ewf_graph, &library),
+    );
+    let ctx = AllocContext::new(&ewf_graph, &ewf_schedule, &library, pool).unwrap();
+    c.bench_function("initial_allocation/ewf17", |b| {
+        b.iter(|| initial_allocation(black_box(&ctx)))
+    });
+
+    // Full pipeline on the small designs.
+    let mut group = c.benchmark_group("allocate");
+    group.sample_size(10);
+    let example = paper_example();
+    let example_schedule = fds_schedule(&example, &library, 4).unwrap();
+    group.bench_function("paper_example/salsa", |b| {
+        b.iter(|| {
+            Allocator::new(&example, &example_schedule, &library)
+                .seed(1)
+                .config(quick(MoveSet::full()))
+                .run()
+                .unwrap()
+        })
+    });
+    let deq = diffeq();
+    let deq_schedule = fds_schedule(&deq, &library, 8).unwrap();
+    group.bench_function("diffeq/salsa", |b| {
+        b.iter(|| {
+            Allocator::new(&deq, &deq_schedule, &library)
+                .seed(1)
+                .config(quick(MoveSet::full()))
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("diffeq/traditional", |b| {
+        b.iter(|| {
+            Allocator::new(&deq, &deq_schedule, &library)
+                .seed(1)
+                .config(quick(MoveSet::traditional()))
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

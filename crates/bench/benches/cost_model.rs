@@ -1,0 +1,55 @@
+//! Interconnect cost-model benchmarks: connection matrix updates, RTL
+//! lowering, verification and the multiplexer-merging post-pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use salsa_alloc::{initial_allocation, lower, AllocContext};
+use salsa_cdfg::benchmarks::ewf;
+use salsa_datapath::{
+    merge_muxes, traffic_from_rtl, verify, ConnectionMatrix, Datapath, FuId, Port, RegId, Sink,
+    Source,
+};
+use salsa_sched::{fds_schedule, FuLibrary};
+
+fn bench_cost_model(c: &mut Criterion) {
+    c.bench_function("conn_matrix/add_remove_64", |b| {
+        b.iter(|| {
+            let mut m = ConnectionMatrix::new();
+            for i in 0..64usize {
+                m.add(
+                    Source::RegOut(RegId::from_index(i % 8)),
+                    Sink::FuIn(FuId::from_index(i % 4), Port::Left),
+                );
+            }
+            for i in 0..64usize {
+                m.remove(
+                    Source::RegOut(RegId::from_index(i % 8)),
+                    Sink::FuIn(FuId::from_index(i % 4), Port::Left),
+                );
+            }
+            m
+        })
+    });
+
+    let library = FuLibrary::standard();
+    let graph = ewf();
+    let schedule = fds_schedule(&graph, &library, 17).unwrap();
+    let pool = Datapath::new(
+        &schedule.fu_demand(&graph, &library),
+        schedule.register_demand(&graph, &library),
+    );
+    let ctx = AllocContext::new(&graph, &schedule, &library, pool).unwrap();
+    let binding = initial_allocation(&ctx);
+    let (rtl, claims) = lower(&binding);
+
+    c.bench_function("lower/ewf17", |b| b.iter(|| lower(black_box(&binding))));
+    c.bench_function("verify/ewf17", |b| {
+        b.iter(|| verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims).unwrap())
+    });
+    let traffic = traffic_from_rtl(&rtl);
+    c.bench_function("mux_merge/ewf17", |b| b.iter(|| merge_muxes(black_box(&traffic))));
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Move-application throughput: the paper's iterative improvement hinges
+//! on cheap move evaluation ("costs are recalculated after every move",
+//! §4) — here measured against the incremental connection matrix.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use salsa_alloc::{initial_allocation, moves, AllocContext, MoveSet};
+use salsa_cdfg::benchmarks::ewf;
+use salsa_datapath::Datapath;
+use salsa_sched::{fds_schedule, FuLibrary};
+
+fn bench_moves(c: &mut Criterion) {
+    let library = FuLibrary::standard();
+    let graph = ewf();
+    let schedule = fds_schedule(&graph, &library, 19).unwrap();
+    let pool = Datapath::new(
+        &schedule.fu_demand(&graph, &library),
+        schedule.register_demand(&graph, &library) + 1,
+    );
+    let ctx = AllocContext::new(&graph, &schedule, &library, pool).unwrap();
+    let base = initial_allocation(&ctx);
+    let set = MoveSet::full();
+
+    c.bench_function("moves/100_random_on_ewf19", |b| {
+        b.iter_batched(
+            || (base.clone(), StdRng::seed_from_u64(7)),
+            |(mut binding, mut rng)| {
+                for _ in 0..100 {
+                    let kind = set.pick(&mut rng);
+                    moves::try_move(&mut binding, kind, &mut rng);
+                }
+                binding
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("moves/snapshot_clone_ewf19", |b| b.iter(|| base.clone()));
+
+    c.bench_function("moves/cost_breakdown_ewf19", |b| b.iter(|| base.breakdown()));
+}
+
+criterion_group!(benches, bench_moves);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation of the extended binding model's three degrees of freedom —
+//! the design-choice experiments called out in DESIGN.md §4.
+//!
+//! For each benchmark/schedule, the iterative-improvement allocator runs
+//! with: the full move set; the full set minus pass-throughs (F4/F5);
+//! the full set minus value split/merge (R5/R6); the full set minus
+//! segment-level moves (R1/R2); and the traditional subset. Reported in
+//! equivalent 2-1 multiplexers after merging.
+//!
+//! Usage: `cargo run -p salsa-bench --bin ablation --release [-- --quick]`
+
+use salsa_alloc::{Allocator, MoveKind, MoveSet};
+use salsa_bench::Effort;
+use salsa_sched::{asap, fds_schedule, FuLibrary};
+
+fn main() {
+    let effort = Effort::from_args();
+    let variants: Vec<(&str, MoveSet)> = vec![
+        ("full", MoveSet::full()),
+        (
+            "-pass",
+            MoveSet::full().without(MoveKind::PassBind).without(MoveKind::PassUnbind),
+        ),
+        (
+            "-split",
+            MoveSet::full().without(MoveKind::ValueSplit).without(MoveKind::ValueMerge),
+        ),
+        (
+            "-segs",
+            MoveSet::full()
+                .without(MoveKind::SegmentExchange)
+                .without(MoveKind::SegmentMove),
+        ),
+        ("trad", MoveSet::traditional()),
+    ];
+
+    println!("Move-set ablation (merged equivalent 2-1 multiplexers)");
+    print!("{:<12} {:>5}", "design", "steps");
+    for (name, _) in &variants {
+        print!(" {name:>7}");
+    }
+    println!();
+    println!("{}", "-".repeat(18 + 8 * variants.len()));
+
+    for graph in [
+        salsa_cdfg::benchmarks::ewf(),
+        salsa_cdfg::benchmarks::dct(),
+        salsa_cdfg::benchmarks::diffeq(),
+        salsa_cdfg::benchmarks::ar_lattice(),
+    ] {
+        let library = FuLibrary::standard();
+        let cp = asap(&graph, &library).length;
+        for steps in [cp, cp + 2] {
+            let schedule = fds_schedule(&graph, &library, steps).unwrap();
+            print!("{:<12} {:>5}", graph.name(), steps);
+            for (_, set) in &variants {
+                let result = Allocator::new(&graph, &schedule, &library)
+                    .seed(42)
+                    .config(effort.config(set.clone()))
+                    .restarts(effort.restarts())
+                    .run()
+                    .expect("feasible configuration");
+                print!(" {:>7}", result.merged_mux_count());
+            }
+            println!();
+        }
+    }
+}

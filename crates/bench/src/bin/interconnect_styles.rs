@@ -1,0 +1,59 @@
+//! Interconnection-style comparison — the paper's §7 future-work
+//! experiment: how does the point-to-point model it costs allocations with
+//! compare to merged multiplexers (§4) and to a bus-oriented style
+//! (Haroun & Elmasry [6]) on the *same* allocations?
+//!
+//! Usage: `cargo run -p salsa-bench --bin interconnect_styles --release [-- --quick]`
+
+use salsa_alloc::{Allocator, MoveSet};
+use salsa_bench::Effort;
+use salsa_datapath::{bus_allocate, traffic_from_rtl};
+use salsa_sched::{asap, fds_schedule, FuLibrary};
+
+fn main() {
+    let effort = Effort::from_args();
+    println!("Interconnect styles on identical SALSA allocations (equivalent 2-1 muxes)");
+    println!(
+        "{:<12} {:>5} | {:>5} {:>7} {:>7} | {:>5} {:>8} {:>8} {:>8}",
+        "design", "steps", "wires", "p2p", "merged", "buses", "drivers", "taps", "bus-total"
+    );
+    println!("{}", "-".repeat(84));
+
+    let library = FuLibrary::standard();
+    for graph in [
+        salsa_cdfg::benchmarks::ewf(),
+        salsa_cdfg::benchmarks::dct(),
+        salsa_cdfg::benchmarks::diffeq(),
+        salsa_cdfg::benchmarks::fir16(),
+        salsa_cdfg::benchmarks::ar_lattice(),
+    ] {
+        let cp = asap(&graph, &library).length;
+        for steps in [cp, cp + 2] {
+            let schedule = fds_schedule(&graph, &library, steps).unwrap();
+            let result = Allocator::new(&graph, &schedule, &library)
+                .seed(42)
+                .config(effort.config(MoveSet::full()))
+                .run()
+                .expect("feasible configuration");
+            let traffic = traffic_from_rtl(&result.rtl);
+            let bus = bus_allocate(&traffic);
+            println!(
+                "{:<12} {:>5} | {:>5} {:>7} {:>7} | {:>5} {:>8} {:>8} {:>8}",
+                graph.name(),
+                steps,
+                result.breakdown.connections,
+                result.breakdown.mux_equiv,
+                result.merged.post_merge,
+                bus.num_buses(),
+                bus.driver_mux_equiv,
+                bus.sink_mux_equiv,
+                bus.total_mux_equiv(),
+            );
+        }
+    }
+    println!(
+        "\n(wires = distinct point-to-point connections; p2p = point-to-point sink\n\
+         multiplexers; merged = after the §4 merging pass; bus = conflict-free source\n\
+         packing. Buses trade more 2-1 selection for far fewer global wires.)"
+    );
+}

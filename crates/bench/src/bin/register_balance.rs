@@ -1,0 +1,55 @@
+//! Register-pressure-aware scheduling experiment: the schedule fixes the
+//! register minimum (paper §1), so a scheduler that balances storage
+//! pressure hands the allocator a smaller register file. This compares the
+//! plain unit-minimizing FDS objective with the register-weighted one, and
+//! the downstream allocation quality on each.
+//!
+//! Usage: `cargo run -p salsa-bench --bin register_balance --release [-- --quick]`
+
+use salsa_alloc::{Allocator, MoveSet};
+use salsa_bench::Effort;
+use salsa_sched::{asap, fds_schedule, fds_schedule_with, FdsOptions, FuClass, FuLibrary};
+
+fn main() {
+    let effort = Effort::from_args();
+    println!("Plain vs register-balanced force-directed schedules");
+    println!(
+        "{:<12} {:>5} | {:>4} {:>4} {:>4} {:>6} | {:>4} {:>4} {:>4} {:>6}",
+        "design", "steps", "mul", "alu", "reg", "muxes", "mul", "alu", "reg", "muxes"
+    );
+    println!("{:<18} | {:^21} | {:^21}", "", "plain objective", "register-weighted");
+    println!("{}", "-".repeat(66));
+
+    let library = FuLibrary::standard();
+    for graph in [
+        salsa_cdfg::benchmarks::ewf(),
+        salsa_cdfg::benchmarks::dct(),
+        salsa_cdfg::benchmarks::ar_lattice(),
+        salsa_cdfg::benchmarks::fir16(),
+    ] {
+        let cp = asap(&graph, &library).length;
+        for steps in [cp + 1, cp + 3] {
+            let plain = fds_schedule(&graph, &library, steps).unwrap();
+            let balanced =
+                fds_schedule_with(&graph, &library, steps, &FdsOptions { register_weight: 2 })
+                    .unwrap();
+            let mut row = format!("{:<12} {:>5}", graph.name(), steps);
+            for schedule in [&plain, &balanced] {
+                let demand = schedule.fu_demand(&graph, &library);
+                let result = Allocator::new(&graph, schedule, &library)
+                    .seed(42)
+                    .config(effort.config(MoveSet::full()))
+                    .run()
+                    .expect("feasible configuration");
+                row += &format!(
+                    " | {:>4} {:>4} {:>4} {:>6}",
+                    demand[&FuClass::Mul],
+                    demand[&FuClass::Alu],
+                    schedule.register_demand(&graph, &library),
+                    result.merged_mux_count(),
+                );
+            }
+            println!("{row}");
+        }
+    }
+}

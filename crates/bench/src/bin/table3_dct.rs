@@ -1,0 +1,31 @@
+//! Regenerates **Table 3** — Discrete Cosine Transform allocations for
+//! four different schedules (paper §5).
+//!
+//! "A larger example ... demonstrates the effectiveness of the approach
+//! with more complex designs." Hardware assumptions are identical to the
+//! EWF experiment; multiplication constants are free.
+//!
+//! Usage: `cargo run -p salsa-bench --bin table3_dct --release [-- --quick]`
+
+use salsa_bench::{print_header, print_row, print_summary, run_case, Case, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let graph = salsa_cdfg::benchmarks::dct();
+
+    let cases = [
+        Case { label: "8".into(), steps: 8, pipelined: false, extra_regs: 0 },
+        Case { label: "8P".into(), steps: 8, pipelined: true, extra_regs: 0 },
+        Case { label: "10".into(), steps: 10, pipelined: false, extra_regs: 0 },
+        Case { label: "10P".into(), steps: 10, pipelined: true, extra_regs: 0 },
+    ];
+
+    print_header("Table 3 - DCT allocations (equivalent 2-1 multiplexers)");
+    let mut outcomes = Vec::new();
+    for case in &cases {
+        let outcome = run_case(&graph, case, 42, effort);
+        print_row(&outcome);
+        outcomes.push(outcome);
+    }
+    print_summary(&outcomes);
+}

@@ -1,0 +1,55 @@
+//! Autoregressive (AR) lattice filter benchmark.
+
+use crate::{Cdfg, CdfgBuilder, OpKind};
+
+/// Builds a 4-section normalized AR lattice filter: each section applies a
+/// 2x2 constant rotation to the forward signal and a delayed state
+/// (4 multiplications + 2 additions per section), followed by a 4-addition
+/// output combination — 16 multiplications and 12 additions in total, the
+/// profile of the classic "AR filter" HLS benchmark.
+pub fn ar_lattice() -> Cdfg {
+    let mut b = CdfgBuilder::new("ar_lattice");
+    let x = b.input("x");
+    let states: Vec<_> = (1..=4).map(|i| b.state(format!("g{i}"))).collect();
+
+    let mut f = x;
+    let mut updated = Vec::new();
+    for (k, &g) in states.iter().enumerate() {
+        let ca = b.constant(100 + k as i64);
+        let cb = b.constant(200 + k as i64);
+        let cc = b.constant(300 + k as i64);
+        let cd = b.constant(400 + k as i64);
+        let m1 = b.op_labeled(OpKind::Mul, f, ca, format!("a{k}f"));
+        let m2 = b.op_labeled(OpKind::Mul, g, cb, format!("b{k}g"));
+        let m3 = b.op_labeled(OpKind::Mul, f, cc, format!("c{k}f"));
+        let m4 = b.op_labeled(OpKind::Mul, g, cd, format!("d{k}g"));
+        let fk = b.op_labeled(OpKind::Add, m1, m2, format!("f{k}"));
+        let gk = b.op_labeled(OpKind::Add, m3, m4, format!("gnew{k}"));
+        b.feedback(g, gk);
+        updated.push(gk);
+        f = fk;
+    }
+
+    // Output combination (4 additions).
+    let mut acc = f;
+    for (k, &g) in updated.iter().enumerate() {
+        acc = b.op_labeled(OpKind::Add, acc, g, format!("o{k}"));
+    }
+    b.mark_output(acc, "y");
+    b.finish().expect("AR lattice benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn ar_profile() {
+        let g = super::ar_lattice();
+        let st = g.stats();
+        assert_eq!(st.ops, 28);
+        assert_eq!(st.count(OpKind::Mul), 16);
+        assert_eq!(st.count(OpKind::Add), 12);
+        assert_eq!(st.states, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! 8-point Discrete Cosine Transform (Chen's fast factorization).
+
+use crate::{Cdfg, CdfgBuilder, OpKind};
+
+/// Builds the 8-point DCT CDFG after Chen, Smith and Fralick (1977):
+/// 16 constant multiplications and 26 additions/subtractions (13 + 13),
+/// 42 operations total, critical path 8 control steps with 1-step
+/// adders and 2-step multipliers.
+///
+/// The paper's own DCT (Figure 5, from a Philips patent) has 25 add / 7 sub
+/// / 16 mul; that netlist is not available, so Chen's factorization — the
+/// same transform with the same multiplier count — stands in (DESIGN.md §3).
+/// Cosine coefficients are represented by distinct placeholder constants;
+/// the allocator never interprets constant values.
+pub fn dct() -> Cdfg {
+    let mut b = CdfgBuilder::new("dct");
+    let x: Vec<_> = (0..8).map(|i| b.input(format!("x{i}"))).collect();
+
+    // Placeholder fixed-point cosine coefficients C(k) ~ cos(k*pi/16).
+    let c1 = b.constant(251);
+    let s1 = b.constant(50);
+    let c3 = b.constant(213);
+    let s3 = b.constant(142);
+    let c4 = b.constant(181);
+    let c6 = b.constant(98);
+    let s6 = b.constant(236);
+
+    // Stage 1 butterflies.
+    let a0 = b.op_labeled(OpKind::Add, x[0], x[7], "a0");
+    let a1 = b.op_labeled(OpKind::Add, x[1], x[6], "a1");
+    let a2 = b.op_labeled(OpKind::Add, x[2], x[5], "a2");
+    let a3 = b.op_labeled(OpKind::Add, x[3], x[4], "a3");
+    let o0 = b.op_labeled(OpKind::Sub, x[0], x[7], "o0");
+    let o1 = b.op_labeled(OpKind::Sub, x[1], x[6], "o1");
+    let o2 = b.op_labeled(OpKind::Sub, x[2], x[5], "o2");
+    let o3 = b.op_labeled(OpKind::Sub, x[3], x[4], "o3");
+
+    // Even half: 4-point DCT of (a0..a3).
+    let e0 = b.op_labeled(OpKind::Add, a0, a3, "e0");
+    let e1 = b.op_labeled(OpKind::Add, a1, a2, "e1");
+    let e2 = b.op_labeled(OpKind::Sub, a1, a2, "e2");
+    let e3 = b.op_labeled(OpKind::Sub, a0, a3, "e3");
+    let sum = b.op_labeled(OpKind::Add, e0, e1, "esum");
+    let dif = b.op_labeled(OpKind::Sub, e0, e1, "edif");
+    let x0 = b.op_labeled(OpKind::Mul, sum, c4, "X0m");
+    let x4 = b.op_labeled(OpKind::Mul, dif, c4, "X4m");
+    let m2a = b.op_labeled(OpKind::Mul, e2, c6, "m2a");
+    let m2b = b.op_labeled(OpKind::Mul, e3, s6, "m2b");
+    let x2 = b.op_labeled(OpKind::Add, m2a, m2b, "X2a");
+    let m6a = b.op_labeled(OpKind::Mul, e3, c6, "m6a");
+    let m6b = b.op_labeled(OpKind::Mul, e2, s6, "m6b");
+    let x6 = b.op_labeled(OpKind::Sub, m6a, m6b, "X6s");
+
+    // Odd half: internal C4 rotation of the middle pair...
+    let ta = b.op_labeled(OpKind::Sub, o2, o1, "ta");
+    let tb = b.op_labeled(OpKind::Add, o2, o1, "tb");
+    let ra = b.op_labeled(OpKind::Mul, ta, c4, "ra");
+    let rb = b.op_labeled(OpKind::Mul, tb, c4, "rb");
+    // ...then butterflies...
+    let h0 = b.op_labeled(OpKind::Add, o0, rb, "h0");
+    let h1 = b.op_labeled(OpKind::Sub, o0, rb, "h1");
+    let h2 = b.op_labeled(OpKind::Sub, o3, ra, "h2");
+    let h3 = b.op_labeled(OpKind::Add, o3, ra, "h3");
+    // ...then two final rotations.
+    let m1a = b.op_labeled(OpKind::Mul, h0, c1, "m1a");
+    let m1b = b.op_labeled(OpKind::Mul, h3, s1, "m1b");
+    let x1 = b.op_labeled(OpKind::Add, m1a, m1b, "X1a");
+    let m7a = b.op_labeled(OpKind::Mul, h3, c1, "m7a");
+    let m7b = b.op_labeled(OpKind::Mul, h0, s1, "m7b");
+    let x7 = b.op_labeled(OpKind::Sub, m7a, m7b, "X7s");
+    let m5a = b.op_labeled(OpKind::Mul, h1, c3, "m5a");
+    let m5b = b.op_labeled(OpKind::Mul, h2, s3, "m5b");
+    let x5 = b.op_labeled(OpKind::Add, m5a, m5b, "X5a");
+    let m3a = b.op_labeled(OpKind::Mul, h2, c3, "m3a");
+    let m3b = b.op_labeled(OpKind::Mul, h1, s3, "m3b");
+    let x3 = b.op_labeled(OpKind::Sub, m3a, m3b, "X3s");
+
+    for (v, name) in [
+        (x0, "X0"),
+        (x1, "X1"),
+        (x2, "X2"),
+        (x3, "X3"),
+        (x4, "X4"),
+        (x5, "X5"),
+        (x6, "X6"),
+        (x7, "X7"),
+    ] {
+        b.mark_output(v, name);
+    }
+    b.finish().expect("DCT benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn dct_has_chen_profile() {
+        let g = super::dct();
+        let st = g.stats();
+        assert_eq!(st.ops, 42, "Chen 8-point DCT has 42 operations");
+        assert_eq!(st.count(OpKind::Mul), 16, "16 multiplications");
+        assert_eq!(
+            st.count(OpKind::Add) + st.count(OpKind::Sub),
+            26,
+            "26 additions/subtractions"
+        );
+        assert_eq!(st.inputs, 8);
+        assert_eq!(st.outputs, 8);
+        assert_eq!(st.states, 0, "block transform, no loop-carried state");
+    }
+
+    #[test]
+    fn every_multiply_has_one_constant_operand() {
+        let g = super::dct();
+        for op in g.ops().filter(|o| o.kind() == OpKind::Mul) {
+            let const_ports = op
+                .inputs()
+                .iter()
+                .filter(|&&v| g.value(v).is_const())
+                .count();
+            assert_eq!(const_ports, 1, "{op}");
+        }
+    }
+
+    #[test]
+    fn outputs_are_the_eight_coefficients() {
+        let g = super::dct();
+        let mut labels: Vec<_> = g
+            .output_values()
+            .map(|v| g.value(v).label().to_string())
+            .collect();
+        labels.sort();
+        assert_eq!(labels, ["X0", "X1", "X2", "X3", "X4", "X5", "X6", "X7"]);
+    }
+}

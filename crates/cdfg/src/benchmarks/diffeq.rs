@@ -1,0 +1,74 @@
+//! The HAL differential-equation benchmark (Paulin).
+
+use crate::{Cdfg, CdfgBuilder, OpKind};
+
+/// Builds the classic HAL benchmark: one iteration of the Euler method for
+/// `y'' + 3xy' + 3y = 0`:
+///
+/// ```text
+/// x1 = x + dx
+/// u1 = u - (3 * x * u * dx) - (3 * y * dx)
+/// y1 = y + u * dx
+/// c  = x1 < a
+/// ```
+///
+/// As drawn in the HAL paper (no common-subexpression sharing of `u*dx`):
+/// 6 multiplications, 2 additions, 2 subtractions, 1 comparison — 11
+/// operations, with loop-carried states `x`, `y`, `u`.
+pub fn diffeq() -> Cdfg {
+    let mut b = CdfgBuilder::new("diffeq");
+    let a = b.input("a");
+    let x = b.state("x");
+    let y = b.state("y");
+    let u = b.state("u");
+    let three = b.constant(3);
+    let dx = b.constant(1);
+
+    let m1 = b.op_labeled(OpKind::Mul, x, three, "3x");
+    let m2 = b.op_labeled(OpKind::Mul, m1, u, "3xu");
+    let m3 = b.op_labeled(OpKind::Mul, m2, dx, "3xudx");
+    let m4 = b.op_labeled(OpKind::Mul, y, three, "3y");
+    let m5 = b.op_labeled(OpKind::Mul, m4, dx, "3ydx");
+    let m6 = b.op_labeled(OpKind::Mul, u, dx, "udx");
+    let s1 = b.op_labeled(OpKind::Sub, u, m3, "u-3xudx");
+    let u1 = b.op_labeled(OpKind::Sub, s1, m5, "u1");
+    let x1 = b.op_labeled(OpKind::Add, x, dx, "x1");
+    let y1 = b.op_labeled(OpKind::Add, y, m6, "y1");
+    let c = b.op_labeled(OpKind::Lt, x1, a, "c");
+
+    b.feedback(x, x1);
+    b.feedback(y, y1);
+    b.feedback(u, u1);
+    b.mark_output(c, "c");
+    b.finish().expect("diffeq benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn diffeq_has_hal_profile() {
+        let g = super::diffeq();
+        let st = g.stats();
+        assert_eq!(st.ops, 11);
+        assert_eq!(st.count(OpKind::Mul), 6);
+        assert_eq!(st.count(OpKind::Add), 2);
+        assert_eq!(st.count(OpKind::Sub), 2);
+        assert_eq!(st.count(OpKind::Lt), 1);
+        assert_eq!(st.states, 3);
+    }
+
+    #[test]
+    fn multiply_by_variable_exists() {
+        // Unlike EWF/DCT, diffeq has variable*variable products (3x * u),
+        // which exercises two-register multiplier operand delivery.
+        let g = super::diffeq();
+        let var_var = g
+            .ops()
+            .filter(|o| o.kind() == OpKind::Mul)
+            .filter(|o| o.inputs().iter().all(|&v| !g.value(v).is_const()))
+            .count();
+        assert_eq!(var_var, 1);
+    }
+}

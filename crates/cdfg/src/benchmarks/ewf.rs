@@ -1,0 +1,116 @@
+//! Fifth-order Elliptic Wave Filter (EWF) benchmark.
+
+use crate::{Cdfg, CdfgBuilder, ValueId};
+
+/// One two-port wave-digital-filter adaptor:
+///
+/// ```text
+/// u = a + b          (difference node; realized on an adder)
+/// m = gamma * u      (coefficient multiplication)
+/// p = m + b          (through output)
+/// q = m + a          (reflected output, usually into a delay)
+/// ```
+///
+/// Three additions and one constant multiplication, as in the classic EWF
+/// structure (8 adaptors x (3 add + 1 mul) + 2 extra adds = 26 add + 8 mul).
+fn adaptor(
+    b: &mut CdfgBuilder,
+    idx: usize,
+    a_in: ValueId,
+    b_in: ValueId,
+    gamma: i64,
+) -> (ValueId, ValueId) {
+    let g = b.constant(gamma);
+    let u = b.op_labeled(crate::OpKind::Add, a_in, b_in, format!("u{idx}"));
+    let m = b.op_labeled(crate::OpKind::Mul, u, g, format!("m{idx}"));
+    let p = b.op_labeled(crate::OpKind::Add, m, b_in, format!("p{idx}"));
+    let q = b.op_labeled(crate::OpKind::Add, m, a_in, format!("q{idx}"));
+    (p, q)
+}
+
+/// Builds the EWF benchmark CDFG.
+///
+/// Characteristics (checked by tests here and in `salsa-sched`):
+/// 34 operations — 26 additions and 8 multiplications, every multiplication
+/// by a constant coefficient; 8 loop-carried state values (the filter's
+/// `z^-1` delays); critical path of 17 control steps under the paper's
+/// delay assumptions (adders 1 step, multipliers 2 steps).
+///
+/// The structure is a ladder of eight two-port adaptors: adaptors 1-4 are
+/// chained combinationally from the sample input, adaptors 5-8 are chained
+/// from state values (high-mobility section), and two extra additions close
+/// the output and the fifth state — mirroring the serial-spine/parallel-wing
+/// shape of the classic benchmark graph.
+pub fn ewf() -> Cdfg {
+    let mut b = CdfgBuilder::new("ewf");
+    let x = b.input("x");
+    let s: Vec<ValueId> = (1..=8).map(|i| b.state(format!("sv{i}"))).collect();
+
+    // Serial spine: adaptors 1-4 driven by the input sample.
+    let (p1, q1) = adaptor(&mut b, 1, x, s[0], 11);
+    let (p2, q2) = adaptor(&mut b, 2, p1, s[1], 13);
+    let (p3, q3) = adaptor(&mut b, 3, p2, s[2], 17);
+    let (p4, q4) = adaptor(&mut b, 4, p3, s[3], 19);
+    // Extra addition #1: output of the spine into the fifth delay.
+    let g5 = b.op_labeled(crate::OpKind::Add, p4, s[4], "g5");
+
+    // Parallel wing: adaptors 5-8 driven by state values only.
+    let (p5, q5) = adaptor(&mut b, 5, s[4], s[5], 23);
+    let (p6, q6) = adaptor(&mut b, 6, p5, s[6], 29);
+    let (p7, q7) = adaptor(&mut b, 7, p6, s[7], 31);
+    let (p8, q8) = adaptor(&mut b, 8, p7, s[0], 37);
+    // Extra addition #2: the filter output.
+    let y = b.op_labeled(crate::OpKind::Add, p8, q8, "y");
+
+    b.feedback(s[0], q1);
+    b.feedback(s[1], q2);
+    b.feedback(s[2], q3);
+    b.feedback(s[3], q4);
+    b.feedback(s[4], g5);
+    b.feedback(s[5], q5);
+    b.feedback(s[6], q6);
+    b.feedback(s[7], q7);
+    b.mark_output(y, "y");
+    b.finish().expect("EWF benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn ewf_has_published_profile() {
+        let g = super::ewf();
+        let st = g.stats();
+        assert_eq!(st.ops, 34, "EWF has 34 operations");
+        assert_eq!(st.count(OpKind::Add), 26, "26 additions");
+        assert_eq!(st.count(OpKind::Mul), 8, "8 multiplications");
+        assert_eq!(st.states, 8, "8 delay elements");
+        assert_eq!(st.inputs, 1);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.consts, 8, "one coefficient per multiplier");
+    }
+
+    #[test]
+    fn every_multiply_is_by_a_constant() {
+        let g = super::ewf();
+        for op in g.ops().filter(|o| o.kind() == OpKind::Mul) {
+            let const_ports = op
+                .inputs()
+                .iter()
+                .filter(|&&v| g.value(v).is_const())
+                .count();
+            assert_eq!(const_ports, 1, "{op} must have exactly one constant operand");
+        }
+    }
+
+    #[test]
+    fn all_states_fed_from_adds() {
+        let g = super::ewf();
+        for (src, _state) in g.feedback_sources() {
+            let v = g.value(src);
+            let op = v.source().op().expect("feedback from an operation");
+            assert_eq!(g.op(op).kind(), OpKind::Add);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Radix-2 FFT butterfly stage benchmark.
+
+use crate::{Cdfg, CdfgBuilder, OpKind, ValueId};
+
+/// Builds one stage of four radix-2 decimation-in-time butterflies over
+/// complex data with constant twiddle factors:
+///
+/// ```text
+/// t  = w * b        (4 real multiplies + 2 add/sub per complex multiply)
+/// a' = a + t
+/// b' = a - t
+/// ```
+///
+/// Eight complex inputs (16 real values), four twiddle factors, 16 real
+/// multiplications and 20 additions/subtractions — a wide, shallow graph
+/// that stresses functional-unit sharing rather than storage.
+pub fn fft_stage() -> Cdfg {
+    let mut b = CdfgBuilder::new("fft_stage");
+    let mut outs: Vec<ValueId> = Vec::new();
+    for k in 0..4 {
+        let ar = b.input(format!("a{k}_re"));
+        let ai = b.input(format!("a{k}_im"));
+        let br = b.input(format!("b{k}_re"));
+        let bi = b.input(format!("b{k}_im"));
+        let wr = b.constant(100 + k);
+        let wi = b.constant(200 + k);
+        // Complex multiply t = w * b.
+        let m1 = b.op_labeled(OpKind::Mul, br, wr, format!("m{k}_rr"));
+        let m2 = b.op_labeled(OpKind::Mul, bi, wi, format!("m{k}_ii"));
+        let m3 = b.op_labeled(OpKind::Mul, br, wi, format!("m{k}_ri"));
+        let m4 = b.op_labeled(OpKind::Mul, bi, wr, format!("m{k}_ir"));
+        let tr = b.op_labeled(OpKind::Sub, m1, m2, format!("t{k}_re"));
+        let ti = b.op_labeled(OpKind::Add, m3, m4, format!("t{k}_im"));
+        // Butterfly outputs.
+        let xr = b.op_labeled(OpKind::Add, ar, tr, format!("x{k}_re"));
+        let xi = b.op_labeled(OpKind::Add, ai, ti, format!("x{k}_im"));
+        let yr = b.op_labeled(OpKind::Sub, ar, tr, format!("y{k}_re"));
+        let yi = b.op_labeled(OpKind::Sub, ai, ti, format!("y{k}_im"));
+        outs.extend([xr, xi, yr, yi]);
+    }
+    for (i, v) in outs.into_iter().enumerate() {
+        b.mark_output(v, format!("out{i}"));
+    }
+    b.finish().expect("FFT stage benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn fft_profile() {
+        let g = super::fft_stage();
+        let st = g.stats();
+        assert_eq!(st.count(OpKind::Mul), 16);
+        assert_eq!(st.count(OpKind::Add) + st.count(OpKind::Sub), 24);
+        assert_eq!(st.inputs, 16);
+        assert_eq!(st.outputs, 16);
+        assert_eq!(st.states, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! 16-tap FIR filter with an explicit delay line.
+
+use crate::{Cdfg, CdfgBuilder, OpKind, ValueId};
+
+/// Builds a 16-tap FIR filter:
+///
+/// ```text
+/// y = sum(i = 0..16) c_i * x[n-i]
+/// ```
+///
+/// The delay line is expressed as 15 loop-carried states shifted one
+/// position per iteration (`d1 <= x`, `d2 <= d1`, ...). Shift feedbacks are
+/// *pure register transfers* with no operation attached — precisely the kind
+/// of data movement the SALSA model can route through pass-through
+/// functional units, making this a good stress test for the extended
+/// binding model.
+///
+/// 16 multiplications and 15 additions (balanced accumulation tree).
+pub fn fir16() -> Cdfg {
+    let mut b = CdfgBuilder::new("fir16");
+    let x = b.input("x");
+    let delays: Vec<ValueId> = (1..16).map(|i| b.state(format!("d{i}"))).collect();
+
+    let mut taps = vec![x];
+    taps.extend(&delays);
+    let mut products = Vec::new();
+    for (i, &tap) in taps.iter().enumerate() {
+        let coeff = b.constant(3 + 2 * i as i64);
+        products.push(b.op_labeled(OpKind::Mul, tap, coeff, format!("p{i}")));
+    }
+
+    // Balanced adder tree.
+    let mut level = products;
+    let mut tree_idx = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.op_labeled(OpKind::Add, pair[0], pair[1], format!("t{tree_idx}")));
+                tree_idx += 1;
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let y = level[0];
+
+    // Shift the delay line: d1 <= x, d2 <= d1, ...
+    let mut prev = x;
+    for &d in &delays {
+        b.feedback(d, prev);
+        prev = d;
+    }
+    b.mark_output(y, "y");
+    b.finish().expect("FIR benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn fir_profile() {
+        let g = super::fir16();
+        let st = g.stats();
+        assert_eq!(st.count(OpKind::Mul), 16);
+        assert_eq!(st.count(OpKind::Add), 15);
+        assert_eq!(st.states, 15);
+        assert_eq!(st.inputs, 1);
+    }
+
+    #[test]
+    fn delay_line_shifts_state_to_state() {
+        let g = super::fir16();
+        // At least one state is fed from another state (d2 <= d1), i.e. a
+        // pure register transfer with no producing op.
+        let state_fed_from_state = g
+            .feedback_sources()
+            .filter(|&(src, _)| g.value(src).is_state())
+            .count();
+        assert_eq!(state_fed_from_state, 14);
+    }
+}

@@ -1,0 +1,57 @@
+//! PID controller loop benchmark.
+
+use crate::{Cdfg, CdfgBuilder, OpKind};
+
+/// Builds a discrete PID controller iteration:
+///
+/// ```text
+/// e     = setpoint - measurement
+/// integ = integ + e
+/// deriv = e - e_prev
+/// u     = Kp*e + Ki*integ + Kd*deriv
+/// e_prev <= e, integ <= integ
+/// ```
+///
+/// Three multiplications, five additions/subtractions, two loop-carried
+/// states — a small, deeply sequential control loop whose states exercise
+/// the iteration-boundary machinery.
+pub fn pid() -> Cdfg {
+    let mut b = CdfgBuilder::new("pid");
+    let setpoint = b.input("setpoint");
+    let measurement = b.input("measurement");
+    let e_prev = b.state("e_prev");
+    let integ = b.state("integ");
+    let kp = b.constant(12);
+    let ki = b.constant(3);
+    let kd = b.constant(7);
+
+    let e = b.op_labeled(OpKind::Sub, setpoint, measurement, "e");
+    let integ_next = b.op_labeled(OpKind::Add, integ, e, "integ_next");
+    let deriv = b.op_labeled(OpKind::Sub, e, e_prev, "deriv");
+    let p_term = b.op_labeled(OpKind::Mul, e, kp, "p_term");
+    let i_term = b.op_labeled(OpKind::Mul, integ_next, ki, "i_term");
+    let d_term = b.op_labeled(OpKind::Mul, deriv, kd, "d_term");
+    let pi = b.op_labeled(OpKind::Add, p_term, i_term, "pi");
+    let u = b.op_labeled(OpKind::Add, pi, d_term, "u");
+
+    b.feedback(e_prev, e);
+    b.feedback(integ, integ_next);
+    b.mark_output(u, "u");
+    b.finish().expect("PID benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::OpKind;
+
+    #[test]
+    fn pid_profile() {
+        let g = super::pid();
+        let st = g.stats();
+        assert_eq!(st.ops, 8);
+        assert_eq!(st.count(OpKind::Mul), 3);
+        assert_eq!(st.count(OpKind::Add) + st.count(OpKind::Sub), 5);
+        assert_eq!(st.states, 2);
+        assert_eq!(st.outputs, 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Fluent construction of CDFGs.
+
+use crate::{Cdfg, CdfgError, OpId, OpKind, Operation, Value, ValueId, ValueSource};
+
+/// Incremental builder for a [`Cdfg`].
+///
+/// Values must be created before they are used, which guarantees that the
+/// finished operation list is in topological order. Loop-carried state is
+/// expressed with [`state`](Self::state) + [`feedback`](Self::feedback)
+/// rather than with back edges.
+///
+/// # Example
+///
+/// ```
+/// use salsa_cdfg::CdfgBuilder;
+///
+/// # fn main() -> Result<(), salsa_cdfg::CdfgError> {
+/// let mut b = CdfgBuilder::new("ma2");
+/// let x0 = b.input("x0");
+/// let x1 = b.state("x1");            // delayed sample
+/// let half = b.constant(1);
+/// let s = b.add(x0, x1);
+/// let y = b.mul(s, half);
+/// b.feedback(x1, x0);                // shift register: x1 <= x0
+/// b.mark_output(y, "y");
+/// let g = b.finish()?;
+/// assert_eq!(g.num_ops(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdfgBuilder {
+    name: String,
+    ops: Vec<Operation>,
+    values: Vec<Value>,
+}
+
+impl CdfgBuilder {
+    /// Starts an empty graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CdfgBuilder { name: name.into(), ops: Vec::new(), values: Vec::new() }
+    }
+
+    fn push_value(
+        &mut self,
+        source: ValueSource,
+        label: String,
+        feedback_from: Option<ValueId>,
+    ) -> ValueId {
+        let id = ValueId::from_index(self.values.len());
+        self.values.push(Value {
+            id,
+            source,
+            label,
+            uses: Vec::new(),
+            feedback_from,
+            is_output: false,
+        });
+        id
+    }
+
+    /// Adds a primary input value.
+    pub fn input(&mut self, label: impl Into<String>) -> ValueId {
+        self.push_value(ValueSource::Input, label.into(), None)
+    }
+
+    /// Adds a loop-carried state value (a `z^-1` delay). Close the loop later
+    /// with [`feedback`](Self::feedback); [`finish`](Self::finish) rejects
+    /// dangling states.
+    pub fn state(&mut self, label: impl Into<String>) -> ValueId {
+        // Marked by a placeholder feedback to itself until `feedback` is
+        // called; `finish` reports states still in this condition.
+        let id = self.push_value(ValueSource::Input, label.into(), None);
+        self.values[id.index()].feedback_from = Some(id);
+        id
+    }
+
+    /// Adds a constant coefficient value.
+    pub fn constant(&mut self, c: i64) -> ValueId {
+        self.push_value(ValueSource::Const(c), format!("c{c}"), None)
+    }
+
+    /// Declares that state `state` receives the current-iteration value
+    /// `from` at the iteration boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not created with [`state`](Self::state) or if it
+    /// already has a feedback source.
+    pub fn feedback(&mut self, state: ValueId, from: ValueId) {
+        let v = &mut self.values[state.index()];
+        assert_eq!(
+            v.feedback_from,
+            Some(state),
+            "feedback target {state} must be an unbound state value"
+        );
+        v.feedback_from = Some(from);
+    }
+
+    /// Appends a binary operation of the given kind and returns its output
+    /// value.
+    pub fn op(&mut self, kind: OpKind, left: ValueId, right: ValueId) -> ValueId {
+        self.op_labeled(kind, left, right, String::new())
+    }
+
+    /// Appends a labeled binary operation.
+    pub fn op_labeled(
+        &mut self,
+        kind: OpKind,
+        left: ValueId,
+        right: ValueId,
+        label: impl Into<String>,
+    ) -> ValueId {
+        let id = OpId::from_index(self.ops.len());
+        let mut label = label.into();
+        if label.is_empty() {
+            label = format!("t{}", id.index());
+        }
+        let output = self.push_value(ValueSource::Op(id), label.clone(), None);
+        self.ops.push(Operation { id, kind, inputs: [left, right], output, label });
+        output
+    }
+
+    /// Appends an addition.
+    pub fn add(&mut self, left: ValueId, right: ValueId) -> ValueId {
+        self.op(OpKind::Add, left, right)
+    }
+
+    /// Appends a subtraction (`left - right`).
+    pub fn sub(&mut self, left: ValueId, right: ValueId) -> ValueId {
+        self.op(OpKind::Sub, left, right)
+    }
+
+    /// Appends a multiplication.
+    pub fn mul(&mut self, left: ValueId, right: ValueId) -> ValueId {
+        self.op(OpKind::Mul, left, right)
+    }
+
+    /// Appends a less-than comparison.
+    pub fn lt(&mut self, left: ValueId, right: ValueId) -> ValueId {
+        self.op(OpKind::Lt, left, right)
+    }
+
+    /// Marks `value` as a primary output and relabels it.
+    pub fn mark_output(&mut self, value: ValueId, label: impl Into<String>) {
+        let v = &mut self.values[value.index()];
+        v.is_output = true;
+        v.label = label.into();
+    }
+
+    /// Overrides the label of any value.
+    pub fn relabel(&mut self, value: ValueId, label: impl Into<String>) {
+        self.values[value.index()].label = label.into();
+    }
+
+    /// Validates and returns the finished graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CdfgError`] if any structural invariant is violated — in
+    /// particular [`CdfgError::DanglingState`] when a state value never
+    /// received a [`feedback`](Self::feedback) edge.
+    pub fn finish(self) -> Result<Cdfg, CdfgError> {
+        let CdfgBuilder { name, ops, values } = self;
+        for value in &values {
+            if value.feedback_from == Some(value.id) {
+                return Err(CdfgError::DanglingState { state: value.id });
+            }
+        }
+        let mut graph = Cdfg { name, ops, values };
+        graph.rebuild_uses();
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dangling_state_rejected() {
+        let mut b = CdfgBuilder::new("bad");
+        let x = b.input("x");
+        let s = b.state("s");
+        let y = b.add(x, s);
+        b.mark_output(y, "y");
+        assert!(matches!(b.finish(), Err(CdfgError::DanglingState { .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(CdfgBuilder::new("e").finish(), Err(CdfgError::Empty));
+    }
+
+    #[test]
+    fn labels_default_and_override() {
+        let mut b = CdfgBuilder::new("l");
+        let x = b.input("x");
+        let y = b.op_labeled(OpKind::Add, x, x, "sum");
+        b.mark_output(y, "out");
+        let g = b.finish().unwrap();
+        assert_eq!(g.op(OpId::from_index(0)).label(), "sum");
+        assert_eq!(g.value(y).label(), "out");
+    }
+
+    #[test]
+    fn shift_register_feedback_from_input_is_legal() {
+        let mut b = CdfgBuilder::new("shift");
+        let x = b.input("x");
+        let d1 = b.state("d1");
+        let y = b.add(x, d1);
+        b.feedback(d1, x);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+        let d1v = g.value(d1);
+        assert!(d1v.is_state());
+        assert_eq!(d1v.feedback_from(), Some(x));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be an unbound state value")]
+    fn double_feedback_panics() {
+        let mut b = CdfgBuilder::new("db");
+        let x = b.input("x");
+        let s = b.state("s");
+        b.feedback(s, x);
+        b.feedback(s, x);
+    }
+}

@@ -1,0 +1,119 @@
+//! Graphviz (DOT) export for CDFGs — used to regenerate Figure 5 (the DCT
+//! CDFG) and to inspect the benchmark graphs.
+
+use std::fmt::Write as _;
+
+use crate::{Cdfg, OpKind, ValueSource};
+
+impl Cdfg {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Operations are drawn as circles labeled with their mnemonic, primary
+    /// inputs and state values as boxes, constants as plain text, and loop
+    /// feedback as dashed edges.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+        for value in self.values() {
+            match value.source() {
+                ValueSource::Input => {
+                    let shape = if value.is_state() { "box" } else { "invhouse" };
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" [shape={} label=\"{}\"];",
+                        value.id(),
+                        shape,
+                        value.label()
+                    );
+                }
+                ValueSource::Const(c) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" [shape=plaintext label=\"{}\"];",
+                        value.id(),
+                        c
+                    );
+                }
+                ValueSource::Op(_) => {}
+            }
+        }
+        for op in self.ops() {
+            let color = match op.kind() {
+                OpKind::Mul => "lightblue",
+                OpKind::Add => "white",
+                OpKind::Sub => "lightyellow",
+                OpKind::Lt => "lightgrey",
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape=circle style=filled fillcolor={} label=\"{}\"];",
+                op.id(),
+                color,
+                op.kind().mnemonic()
+            );
+            for input in op.inputs() {
+                let src = self.value(input);
+                match src.source() {
+                    ValueSource::Op(producer) => {
+                        let _ = writeln!(out, "  \"{}\" -> \"{}\";", producer, op.id());
+                    }
+                    _ => {
+                        let _ = writeln!(out, "  \"{}\" -> \"{}\";", src.id(), op.id());
+                    }
+                }
+            }
+        }
+        for value in self.values() {
+            if value.is_output() {
+                let _ = writeln!(
+                    out,
+                    "  \"out_{}\" [shape=house label=\"{}\"];",
+                    value.id(),
+                    value.label()
+                );
+                let from = match value.source() {
+                    ValueSource::Op(op) => format!("{op}"),
+                    _ => format!("{}", value.id()),
+                };
+                let _ = writeln!(out, "  \"{}\" -> \"out_{}\";", from, value.id());
+            }
+        }
+        for (src, state) in self.feedback_sources() {
+            let from = match self.value(src).source() {
+                ValueSource::Op(op) => format!("{op}"),
+                _ => format!("{src}"),
+            };
+            let _ = writeln!(out, "  \"{from}\" -> \"{state}\" [style=dashed constraint=false];");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CdfgBuilder;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut b = CdfgBuilder::new("dot");
+        let x = b.input("x");
+        let s = b.state("s");
+        let k = b.constant(7);
+        let m = b.mul(s, k);
+        let y = b.add(x, m);
+        b.feedback(s, y);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph \"dot\""));
+        assert!(dot.contains("shape=box"), "state drawn as box");
+        assert!(dot.contains("shape=invhouse"), "input drawn as invhouse");
+        assert!(dot.contains("label=\"7\""), "constant label");
+        assert!(dot.contains("style=dashed"), "feedback edge dashed");
+        assert!(dot.contains("shape=house"), "output house");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

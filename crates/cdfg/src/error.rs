@@ -1,0 +1,103 @@
+//! Error type for CDFG construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{OpId, ValueId};
+
+/// Errors detected while building or validating a [`Cdfg`](crate::Cdfg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CdfgError {
+    /// An operation refers to a value id that does not exist.
+    UnknownValue {
+        /// The out-of-range value id.
+        value: ValueId,
+    },
+    /// A feedback edge targets a value that is not a state input.
+    FeedbackIntoNonState {
+        /// The value that was (incorrectly) given a feedback source.
+        value: ValueId,
+    },
+    /// A feedback source is a constant, which cannot be stored.
+    FeedbackFromConst {
+        /// The state value whose feedback is constant.
+        state: ValueId,
+    },
+    /// A state value was declared but never given a feedback source.
+    DanglingState {
+        /// The state value without feedback.
+        state: ValueId,
+    },
+    /// A constant value was marked as a primary output.
+    ConstOutput {
+        /// The offending value.
+        value: ValueId,
+    },
+    /// An operation consumes its own output (combinational cycle).
+    SelfLoop {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// A non-constant, non-output value is never read and never fed back:
+    /// dead code that would silently distort resource counts.
+    DeadValue {
+        /// The unused value.
+        value: ValueId,
+    },
+    /// The producer recorded for a value disagrees with the operation table.
+    ProducerMismatch {
+        /// The inconsistent value.
+        value: ValueId,
+    },
+    /// The graph has no operations.
+    Empty,
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::UnknownValue { value } => {
+                write!(f, "operation refers to unknown value {value}")
+            }
+            CdfgError::FeedbackIntoNonState { value } => {
+                write!(f, "feedback edge targets non-state value {value}")
+            }
+            CdfgError::FeedbackFromConst { state } => {
+                write!(f, "state {state} is fed back from a constant")
+            }
+            CdfgError::DanglingState { state } => {
+                write!(f, "state {state} has no feedback source")
+            }
+            CdfgError::ConstOutput { value } => {
+                write!(f, "constant {value} cannot be a primary output")
+            }
+            CdfgError::SelfLoop { op } => {
+                write!(f, "operation {op} consumes its own output")
+            }
+            CdfgError::DeadValue { value } => {
+                write!(f, "value {value} is never read, fed back, or output")
+            }
+            CdfgError::ProducerMismatch { value } => {
+                write!(f, "producer of {value} disagrees with the operation table")
+            }
+            CdfgError::Empty => write!(f, "graph has no operations"),
+        }
+    }
+}
+
+impl Error for CdfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CdfgError::UnknownValue { value: ValueId::from_index(4) };
+        assert!(e.to_string().contains("v4"));
+        let e = CdfgError::SelfLoop { op: OpId::from_index(1) };
+        assert!(e.to_string().contains("o1"));
+        assert!(!CdfgError::Empty.to_string().is_empty());
+    }
+}

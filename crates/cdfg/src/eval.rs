@@ -1,0 +1,187 @@
+//! Reference interpretation of a CDFG over concrete integer values.
+//!
+//! This is the *golden model* for datapath validation: the cycle-accurate
+//! RTL simulator in `salsa-datapath` must produce exactly these outputs
+//! and state updates for any allocation of the graph.
+
+use std::collections::BTreeMap;
+
+use crate::{Cdfg, OpKind, ValueId, ValueSource};
+
+impl OpKind {
+    /// Applies the operation to two's-complement 64-bit operands
+    /// (wrapping arithmetic; `Lt` yields 0 or 1).
+    pub fn apply(self, left: i64, right: i64) -> i64 {
+        match self {
+            OpKind::Add => left.wrapping_add(right),
+            OpKind::Sub => left.wrapping_sub(right),
+            OpKind::Mul => left.wrapping_mul(right),
+            OpKind::Lt => i64::from(left < right),
+        }
+    }
+}
+
+/// Result of [`evaluate`]: per-iteration primary outputs and the
+/// loop-carried state after the final iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalResult {
+    /// `outputs[k][v]` — value of primary output `v` in iteration `k`.
+    pub outputs: Vec<BTreeMap<ValueId, i64>>,
+    /// State values after the last iteration (what the next iteration
+    /// would read).
+    pub states: BTreeMap<ValueId, i64>,
+}
+
+/// Executes the graph for `inputs.len()` iterations.
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use salsa_cdfg::{evaluate, CdfgBuilder};
+///
+/// let mut b = CdfgBuilder::new("acc");
+/// let x = b.input("x");
+/// let acc = b.state("acc");
+/// let sum = b.add(acc, x);
+/// b.feedback(acc, sum);
+/// b.mark_output(sum, "sum");
+/// let graph = b.finish().unwrap();
+///
+/// let inputs: Vec<BTreeMap<_, _>> =
+///     [1, 2, 3].iter().map(|&v| BTreeMap::from([(x, v)])).collect();
+/// let result = evaluate(&graph, &inputs, &BTreeMap::from([(acc, 0)]));
+/// assert_eq!(result.outputs[2][&sum], 6, "running sum");
+/// ```
+///
+/// `inputs[k]` supplies every non-state primary input for iteration `k`;
+/// `initial_state` supplies every state value for iteration 0 (later
+/// iterations use the feedback values).
+///
+/// # Panics
+///
+/// Panics if an iteration is missing an input or a state value is missing
+/// from `initial_state`.
+pub fn evaluate(
+    graph: &Cdfg,
+    inputs: &[BTreeMap<ValueId, i64>],
+    initial_state: &BTreeMap<ValueId, i64>,
+) -> EvalResult {
+    let mut states: BTreeMap<ValueId, i64> = graph
+        .state_values()
+        .map(|s| {
+            (
+                s,
+                *initial_state
+                    .get(&s)
+                    .unwrap_or_else(|| panic!("missing initial state for {s}")),
+            )
+        })
+        .collect();
+    let mut outputs = Vec::with_capacity(inputs.len());
+
+    for iteration in inputs {
+        let mut env: Vec<Option<i64>> = vec![None; graph.num_values()];
+        for value in graph.values() {
+            match value.source() {
+                ValueSource::Const(c) => env[value.id().index()] = Some(c),
+                ValueSource::Input => {
+                    let concrete = if value.is_state() {
+                        states[&value.id()]
+                    } else {
+                        *iteration
+                            .get(&value.id())
+                            .unwrap_or_else(|| panic!("missing input {}", value.id()))
+                    };
+                    env[value.id().index()] = Some(concrete);
+                }
+                ValueSource::Op(_) => {}
+            }
+        }
+        for op in graph.ops() {
+            let left = env[op.input(0).index()].expect("topological order");
+            let right = env[op.input(1).index()].expect("topological order");
+            env[op.output().index()] = Some(op.kind().apply(left, right));
+        }
+        outputs.push(
+            graph
+                .output_values()
+                .map(|v| (v, env[v.index()].expect("outputs are computed")))
+                .collect(),
+        );
+        states = graph
+            .state_values()
+            .map(|s| {
+                let src = graph.value(s).feedback_from().expect("state has feedback");
+                (s, env[src.index()].expect("feedback sources are computed"))
+            })
+            .collect();
+    }
+    EvalResult { outputs, states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CdfgBuilder;
+
+    #[test]
+    fn opkind_apply() {
+        assert_eq!(OpKind::Add.apply(3, 4), 7);
+        assert_eq!(OpKind::Sub.apply(3, 4), -1);
+        assert_eq!(OpKind::Mul.apply(3, 4), 12);
+        assert_eq!(OpKind::Lt.apply(3, 4), 1);
+        assert_eq!(OpKind::Lt.apply(4, 3), 0);
+        assert_eq!(OpKind::Add.apply(i64::MAX, 1), i64::MIN, "wrapping");
+    }
+
+    #[test]
+    fn accumulator_loop() {
+        // acc <= acc + x; y = acc + x observed each iteration.
+        let mut b = CdfgBuilder::new("acc");
+        let x = b.input("x");
+        let acc = b.state("acc");
+        let y = b.add(acc, x);
+        b.feedback(acc, y);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+
+        let inputs: Vec<BTreeMap<_, _>> =
+            [10, 20, 30].iter().map(|&v| BTreeMap::from([(x, v)])).collect();
+        let result = evaluate(&g, &inputs, &BTreeMap::from([(acc, 0)]));
+        assert_eq!(result.outputs[0][&y], 10);
+        assert_eq!(result.outputs[1][&y], 30);
+        assert_eq!(result.outputs[2][&y], 60);
+        assert_eq!(result.states[&acc], 60);
+    }
+
+    #[test]
+    fn shift_register_semantics() {
+        // d1 <= x, d2 <= d1: outputs observe a two-cycle delay.
+        let mut b = CdfgBuilder::new("delay2");
+        let x = b.input("x");
+        let d1 = b.state("d1");
+        let d2 = b.state("d2");
+        let k = b.constant(1);
+        let y = b.mul(d2, k);
+        b.feedback(d1, x);
+        b.feedback(d2, d1);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+
+        let inputs: Vec<BTreeMap<_, _>> =
+            [7, 8, 9, 10].iter().map(|&v| BTreeMap::from([(x, v)])).collect();
+        let result = evaluate(&g, &inputs, &BTreeMap::from([(d1, 0), (d2, 0)]));
+        let ys: Vec<i64> = result.outputs.iter().map(|o| o[&y]).collect();
+        assert_eq!(ys, [0, 0, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing input")]
+    fn missing_input_panics() {
+        let mut b = CdfgBuilder::new("m");
+        let x = b.input("x");
+        let y = b.add(x, x);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+        let _ = evaluate(&g, &[BTreeMap::new()], &BTreeMap::new());
+    }
+}

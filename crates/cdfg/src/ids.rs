@@ -1,0 +1,78 @@
+//! Index newtypes for CDFG elements.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+
+            /// Returns the raw index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an [`Operation`](crate::Operation) within a [`Cdfg`](crate::Cdfg).
+    OpId,
+    "o"
+);
+
+id_type!(
+    /// Identifier of a [`Value`](crate::Value) within a [`Cdfg`](crate::Cdfg).
+    ValueId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let op = OpId::from_index(7);
+        assert_eq!(op.index(), 7);
+        assert_eq!(op.to_string(), "o7");
+        let v = ValueId::from_index(0);
+        assert_eq!(v.to_string(), "v0");
+        assert_eq!(usize::from(v), 0);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(OpId::from_index(1) < OpId::from_index(2));
+        assert_eq!(ValueId::from_index(3), ValueId::from_index(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn overflow_panics() {
+        let _ = OpId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,61 @@
+//! Control/data flow graph (CDFG) substrate for the SALSA
+//! extended-binding-model reproduction.
+//!
+//! This crate provides the behavioural input representation used by the
+//! scheduling ([`salsa-sched`]) and allocation ([`salsa-alloc`]) crates of
+//! this workspace: a dataflow graph of *operations* that consume and produce
+//! *values*, with support for primary inputs/outputs, constant operands
+//! (which are free in the paper's cost model) and **loop-carried state
+//! values** — the `z^-1` delays of the filter benchmarks, expressed as an
+//! input value fed back from a value of the previous iteration.
+//!
+//! The benchmark CDFGs evaluated by the paper — the fifth-order **Elliptic
+//! Wave Filter** and an 8-point **Discrete Cosine Transform** — are provided
+//! in [`benchmarks`], along with several auxiliary designs and a seeded
+//! random-DFG generator for property testing.
+//!
+//! # Example
+//!
+//! ```
+//! use salsa_cdfg::CdfgBuilder;
+//!
+//! # fn main() -> Result<(), salsa_cdfg::CdfgError> {
+//! let mut b = CdfgBuilder::new("iir1");
+//! let x = b.input("x");
+//! let s = b.state("s");          // loop-carried value (z^-1 delay)
+//! let k = b.constant(3);
+//! let m = b.mul(s, k);           // s * 3
+//! let y = b.add(x, m);           // x + s*3
+//! b.feedback(s, y);              // next iteration: s <= y
+//! b.mark_output(y, "y");
+//! let graph = b.finish()?;
+//! assert_eq!(graph.num_ops(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dot;
+mod error;
+mod eval;
+mod graph;
+mod ids;
+mod op;
+mod random;
+mod text;
+mod value;
+
+pub mod benchmarks;
+
+pub use builder::CdfgBuilder;
+pub use error::CdfgError;
+pub use eval::{evaluate, EvalResult};
+pub use graph::{Cdfg, CdfgStats};
+pub use ids::{OpId, ValueId};
+pub use op::{OpKind, Operation};
+pub use random::{random_cdfg, RandomCdfgConfig};
+pub use text::{cdfg_to_text, parse_cdfg, ParseError};
+pub use value::{Use, Value, ValueSource};

@@ -1,0 +1,139 @@
+//! Operation kinds and the operation record.
+
+use std::fmt;
+
+use crate::{OpId, ValueId};
+
+/// The kind of a dataflow operation.
+///
+/// The paper's benchmarks only require two-input arithmetic; the comparison
+/// kind is included for the HAL differential-equation benchmark. Mapping of
+/// kinds onto functional-unit classes (ALU vs. multiplier) is done by the
+/// scheduling crate's FU library, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction (left minus right).
+    Sub,
+    /// Multiplication. In the benchmark CDFGs one operand is a constant
+    /// coefficient, which is free in the paper's cost model.
+    Mul,
+    /// Less-than comparison (left < right), used by the `diffeq` benchmark.
+    Lt,
+}
+
+impl OpKind {
+    /// Returns `true` if swapping the two operands leaves the result
+    /// unchanged, enabling the paper's *operand reverse* move (F3).
+    pub fn is_commutative(self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Mul)
+    }
+
+    /// All operation kinds, in declaration order.
+    pub fn all() -> [OpKind; 4] {
+        [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Lt]
+    }
+
+    /// Short mnemonic used in reports and DOT labels.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+            OpKind::Mul => "*",
+            OpKind::Lt => "<",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A scheduled-CDFG operation: a binary operator that reads two values and
+/// produces one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    pub(crate) id: OpId,
+    pub(crate) kind: OpKind,
+    pub(crate) inputs: [ValueId; 2],
+    pub(crate) output: ValueId,
+    pub(crate) label: String,
+}
+
+impl Operation {
+    /// This operation's id.
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// The operator kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The two operand values, left then right.
+    pub fn inputs(&self) -> [ValueId; 2] {
+        self.inputs
+    }
+
+    /// The operand value read on the given port (0 = left, 1 = right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port > 1`.
+    pub fn input(&self, port: usize) -> ValueId {
+        self.inputs[port]
+    }
+
+    /// The value this operation produces.
+    pub fn output(&self) -> ValueId {
+        self.output
+    }
+
+    /// Human-readable label (e.g. `"u3"` for an adaptor's difference node).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} = {} {} {}",
+            self.id, self.output, self.inputs[0], self.kind, self.inputs[1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutativity() {
+        assert!(OpKind::Add.is_commutative());
+        assert!(OpKind::Mul.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+        assert!(!OpKind::Lt.is_commutative());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OpKind::Add.to_string(), "+");
+        assert_eq!(OpKind::Lt.to_string(), "<");
+        let op = Operation {
+            id: OpId::from_index(2),
+            kind: OpKind::Sub,
+            inputs: [ValueId::from_index(0), ValueId::from_index(1)],
+            output: ValueId::from_index(5),
+            label: "d".into(),
+        };
+        assert_eq!(op.to_string(), "o2: v5 = v0 - v1");
+        assert_eq!(op.input(0), ValueId::from_index(0));
+        assert_eq!(op.label(), "d");
+    }
+}

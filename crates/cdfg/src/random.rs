@@ -1,0 +1,166 @@
+//! Seeded random CDFG generation for property-based testing.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cdfg, CdfgBuilder, OpKind, ValueId};
+
+/// Parameters for [`random_cdfg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomCdfgConfig {
+    /// Number of operations to generate (at least 1).
+    pub ops: usize,
+    /// Number of primary inputs (at least 1).
+    pub inputs: usize,
+    /// Number of loop-carried state values.
+    pub states: usize,
+    /// Probability that an operation is a multiplication (the remainder is
+    /// split between add and sub).
+    pub mul_ratio: f64,
+    /// Probability that a multiplication's right operand is a fresh constant
+    /// (as in the paper's benchmarks, where all multiplies are by
+    /// coefficients).
+    pub const_coeff_ratio: f64,
+}
+
+impl Default for RandomCdfgConfig {
+    fn default() -> Self {
+        RandomCdfgConfig {
+            ops: 20,
+            inputs: 2,
+            states: 2,
+            mul_ratio: 0.3,
+            const_coeff_ratio: 0.8,
+        }
+    }
+}
+
+/// Generates a valid random CDFG.
+///
+/// The generator biases operand selection toward recently produced values so
+/// that the graph has realistic depth, guarantees every non-constant value is
+/// consumed (unconsumed values become primary outputs), and closes every
+/// state's feedback loop from a produced value.
+///
+/// # Panics
+///
+/// Panics if `config.ops == 0` or `config.inputs == 0`.
+pub fn random_cdfg(config: &RandomCdfgConfig, seed: u64) -> Cdfg {
+    assert!(config.ops > 0, "need at least one operation");
+    assert!(config.inputs > 0, "need at least one input");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CdfgBuilder::new(format!("random_{seed}"));
+
+    let mut pool: Vec<ValueId> = Vec::new();
+    for i in 0..config.inputs {
+        pool.push(b.input(format!("x{i}")));
+    }
+    let mut states = Vec::new();
+    for i in 0..config.states {
+        let s = b.state(format!("s{i}"));
+        states.push(s);
+        pool.push(s);
+    }
+
+    // Pick operands with a bias toward the tail of the pool (recent values)
+    // to obtain chains rather than a flat fan-out graph.
+    fn pick(rng: &mut StdRng, pool: &[ValueId]) -> ValueId {
+        let n = pool.len();
+        let r: f64 = rng.gen();
+        let idx = ((1.0 - r * r) * n as f64) as usize;
+        pool[idx.min(n - 1)]
+    }
+
+    let mut consumed: HashSet<ValueId> = HashSet::new();
+    let mut produced = Vec::new();
+    for i in 0..config.ops {
+        let roll: f64 = rng.gen();
+        let kind = if roll < config.mul_ratio {
+            OpKind::Mul
+        } else if roll < config.mul_ratio + (1.0 - config.mul_ratio) * 0.7 {
+            OpKind::Add
+        } else {
+            OpKind::Sub
+        };
+        let left = pick(&mut rng, &pool);
+        let right = if kind == OpKind::Mul && rng.gen_bool(config.const_coeff_ratio) {
+            b.constant(rng.gen_range(2..64))
+        } else {
+            pick(&mut rng, &pool)
+        };
+        consumed.insert(left);
+        consumed.insert(right);
+        let out = b.op_labeled(kind, left, right, format!("n{i}"));
+        pool.push(out);
+        produced.push(out);
+    }
+
+    // Close the feedback loops from distinct late-produced values.
+    for (i, &s) in states.iter().enumerate() {
+        let src = produced[produced.len() - 1 - (i % produced.len())];
+        b.feedback(s, src);
+        consumed.insert(src);
+    }
+
+    // The builder rejects dead values, so every unconsumed value becomes a
+    // primary output.
+    let mut out_idx = 0;
+    for &v in &pool {
+        if !consumed.contains(&v) {
+            b.mark_output(v, format!("y{out_idx}"));
+            out_idx += 1;
+        }
+    }
+    b.finish().expect("random graph construction is valid by design")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graphs_are_valid() {
+        for seed in 0..25 {
+            let g = random_cdfg(&RandomCdfgConfig::default(), seed);
+            g.validate().expect("random graph validates");
+            assert_eq!(g.num_ops(), 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_cdfg(&RandomCdfgConfig::default(), 42);
+        let b = random_cdfg(&RandomCdfgConfig::default(), 42);
+        assert_eq!(a, b);
+        let c = random_cdfg(&RandomCdfgConfig::default(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let cfg = RandomCdfgConfig { ops: 50, inputs: 3, states: 4, ..Default::default() };
+        let g = random_cdfg(&cfg, 7);
+        let st = g.stats();
+        assert_eq!(st.ops, 50);
+        assert_eq!(st.inputs, 3);
+        assert_eq!(st.states, 4);
+    }
+
+    #[test]
+    fn no_states_supported() {
+        let cfg = RandomCdfgConfig { states: 0, ..Default::default() };
+        let g = random_cdfg(&cfg, 1);
+        assert_eq!(g.state_values().count(), 0);
+    }
+
+    #[test]
+    fn larger_graphs_stay_valid() {
+        let cfg = RandomCdfgConfig { ops: 200, inputs: 4, states: 6, ..Default::default() };
+        for seed in [0, 99, 1234] {
+            let g = random_cdfg(&cfg, seed);
+            g.validate().expect("large random graph validates");
+        }
+    }
+}

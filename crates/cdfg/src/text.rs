@@ -1,0 +1,342 @@
+//! A plain-text CDFG interchange format with parser and serializer.
+//!
+//! The format is line-oriented; `#` starts a comment. Example:
+//!
+//! ```text
+//! cdfg iir1
+//! input x
+//! state yprev
+//! const k = 13
+//! op scaled = mul yprev k
+//! op y = add x scaled
+//! feedback yprev <- y
+//! output y
+//! ```
+//!
+//! Names are the labels shown in reports; operations may reference any
+//! name declared earlier (the format is topologically ordered, like the
+//! builder API it maps onto).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Cdfg, CdfgBuilder, OpKind, ValueId, ValueSource};
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending text (0 for end-of-input problems).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses the text format into a validated graph.
+///
+/// ```
+/// let graph = salsa_cdfg::parse_cdfg("\
+/// cdfg scale
+/// input x
+/// const k = 3
+/// op y = mul x k
+/// output y
+/// ")?;
+/// assert_eq!(graph.num_ops(), 1);
+/// # Ok::<(), salsa_cdfg::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on any syntax or
+/// semantic problem (unknown names, duplicate definitions, invalid graphs).
+pub fn parse_cdfg(source: &str) -> Result<Cdfg, ParseError> {
+    let mut builder: Option<CdfgBuilder> = None;
+    let mut names: HashMap<String, ValueId> = HashMap::new();
+    let mut states: HashMap<String, ValueId> = HashMap::new();
+    let mut outputs: Vec<(usize, String, String)> = Vec::new();
+    let mut feedbacks: Vec<(usize, String, String)> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let b = match tokens[0] {
+            "cdfg" => {
+                if builder.is_some() {
+                    return Err(err(line_no, "duplicate 'cdfg' header"));
+                }
+                let name = *tokens.get(1).ok_or_else(|| err(line_no, "cdfg needs a name"))?;
+                builder = Some(CdfgBuilder::new(name));
+                continue;
+            }
+            _ => builder
+                .as_mut()
+                .ok_or_else(|| err(line_no, "file must start with 'cdfg <name>'"))?,
+        };
+        let define = |name: &str,
+                          id: ValueId,
+                          names: &mut HashMap<String, ValueId>|
+         -> Result<(), ParseError> {
+            if names.insert(name.to_string(), id).is_some() {
+                return Err(err(line_no, format!("'{name}' defined twice")));
+            }
+            Ok(())
+        };
+        match tokens[0] {
+            "input" => {
+                let name = *tokens.get(1).ok_or_else(|| err(line_no, "input needs a name"))?;
+                let id = b.input(name);
+                define(name, id, &mut names)?;
+            }
+            "state" => {
+                let name = *tokens.get(1).ok_or_else(|| err(line_no, "state needs a name"))?;
+                let id = b.state(name);
+                define(name, id, &mut names)?;
+                states.insert(name.to_string(), id);
+            }
+            "const" => {
+                // const <name> = <value>
+                if tokens.len() != 4 || tokens[2] != "=" {
+                    return Err(err(line_no, "expected 'const <name> = <integer>'"));
+                }
+                let value: i64 = tokens[3]
+                    .parse()
+                    .map_err(|_| err(line_no, format!("'{}' is not an integer", tokens[3])))?;
+                let id = b.constant(value);
+                b.relabel(id, tokens[1]);
+                define(tokens[1], id, &mut names)?;
+            }
+            "op" => {
+                // op <name> = <kind> <left> <right>
+                if tokens.len() != 6 || tokens[2] != "=" {
+                    return Err(err(line_no, "expected 'op <name> = <kind> <left> <right>'"));
+                }
+                let kind = match tokens[3] {
+                    "add" => OpKind::Add,
+                    "sub" => OpKind::Sub,
+                    "mul" => OpKind::Mul,
+                    "lt" => OpKind::Lt,
+                    other => {
+                        return Err(err(line_no, format!("unknown operation kind '{other}'")))
+                    }
+                };
+                let resolve = |t: &str| {
+                    names
+                        .get(t)
+                        .copied()
+                        .ok_or_else(|| err(line_no, format!("unknown value '{t}'")))
+                };
+                let (left, right) = (resolve(tokens[4])?, resolve(tokens[5])?);
+                let id = b.op_labeled(kind, left, right, tokens[1]);
+                define(tokens[1], id, &mut names)?;
+            }
+            "feedback" => {
+                // feedback <state> <- <value>
+                if tokens.len() != 4 || tokens[2] != "<-" {
+                    return Err(err(line_no, "expected 'feedback <state> <- <value>'"));
+                }
+                feedbacks.push((line_no, tokens[1].to_string(), tokens[3].to_string()));
+            }
+            "output" => {
+                // output <value> [as <name>]
+                let value = *tokens.get(1).ok_or_else(|| err(line_no, "output needs a value"))?;
+                let label = match (tokens.get(2), tokens.get(3)) {
+                    (Some(&"as"), Some(&alias)) => alias.to_string(),
+                    (None, None) => value.to_string(),
+                    _ => return Err(err(line_no, "expected 'output <value> [as <name>]'")),
+                };
+                outputs.push((line_no, value.to_string(), label));
+            }
+            other => return Err(err(line_no, format!("unknown directive '{other}'"))),
+        }
+    }
+
+    let mut b = builder.ok_or_else(|| err(0, "empty input: missing 'cdfg <name>'"))?;
+    for (line_no, state, from) in feedbacks {
+        let &sid = states
+            .get(&state)
+            .ok_or_else(|| err(line_no, format!("'{state}' is not a state")))?;
+        let &vid = names
+            .get(&from)
+            .ok_or_else(|| err(line_no, format!("unknown value '{from}'")))?;
+        b.feedback(sid, vid);
+    }
+    for (line_no, value, label) in outputs {
+        let &vid = names
+            .get(&value)
+            .ok_or_else(|| err(line_no, format!("unknown value '{value}'")))?;
+        b.mark_output(vid, label);
+    }
+    b.finish().map_err(|e| err(0, e.to_string()))
+}
+
+/// Serializes a graph back to the text format (labels become names; a
+/// parse of the output reproduces an isomorphic graph).
+pub fn cdfg_to_text(graph: &Cdfg) -> String {
+    use std::collections::{HashMap, HashSet};
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    // Canonical names: sanitized labels, disambiguated with the value id
+    // only on collision — so serialize(parse(serialize(g))) is a fixpoint.
+    let mut taken: HashSet<String> = HashSet::new();
+    let mut names: HashMap<ValueId, String> = HashMap::new();
+    for value in graph.values() {
+        let mut n: String = value
+            .label()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        if n.is_empty() || n.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            n = format!("v{}", value.id().index());
+        }
+        if !taken.insert(n.clone()) {
+            n = format!("{n}_{}", value.id().index());
+            taken.insert(n.clone());
+        }
+        names.insert(value.id(), n);
+    }
+    let name_of = |v: ValueId| -> String { names[&v].clone() };
+    let _ = writeln!(out, "cdfg {}", graph.name());
+    for value in graph.values() {
+        match value.source() {
+            ValueSource::Input if value.is_state() => {
+                let _ = writeln!(out, "state {}", name_of(value.id()));
+            }
+            ValueSource::Input => {
+                let _ = writeln!(out, "input {}", name_of(value.id()));
+            }
+            ValueSource::Const(c) => {
+                let _ = writeln!(out, "const {} = {}", name_of(value.id()), c);
+            }
+            ValueSource::Op(_) => {}
+        }
+    }
+    for op in graph.ops() {
+        let kind = match op.kind() {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Lt => "lt",
+        };
+        let _ = writeln!(
+            out,
+            "op {} = {kind} {} {}",
+            name_of(op.output()),
+            name_of(op.input(0)),
+            name_of(op.input(1))
+        );
+    }
+    for (src, state) in graph.feedback_sources() {
+        let _ = writeln!(out, "feedback {} <- {}", name_of(state), name_of(src));
+    }
+    for value in graph.values().filter(|v| v.is_output()) {
+        let _ = writeln!(out, "output {}", name_of(value.id()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IIR: &str = "\
+# first-order IIR
+cdfg iir1
+input x
+state yprev
+const k = 13
+op scaled = mul yprev k
+op y = add x scaled
+feedback yprev <- y
+output y
+";
+
+    #[test]
+    fn parses_the_example() {
+        let g = parse_cdfg(IIR).unwrap();
+        assert_eq!(g.name(), "iir1");
+        assert_eq!(g.num_ops(), 2);
+        assert_eq!(g.state_values().count(), 1);
+        assert_eq!(g.output_values().count(), 1);
+    }
+
+    #[test]
+    fn roundtrips_every_benchmark() {
+        for g in crate::benchmarks::all() {
+            let text = cdfg_to_text(&g);
+            let parsed = parse_cdfg(&text)
+                .unwrap_or_else(|e| panic!("{} roundtrip: {e}\n{text}", g.name()));
+            assert_eq!(parsed.num_ops(), g.num_ops(), "{}", g.name());
+            assert_eq!(parsed.num_values(), g.num_values(), "{}", g.name());
+            assert_eq!(parsed.stats().ops_by_kind, g.stats().ops_by_kind, "{}", g.name());
+            assert_eq!(
+                parsed.feedback_sources().count(),
+                g.feedback_sources().count(),
+                "{}",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reports_unknown_value_with_line() {
+        let bad = "cdfg t\ninput x\nop y = add x z\noutput y\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("'z'"));
+    }
+
+    #[test]
+    fn reports_duplicate_definition() {
+        let bad = "cdfg t\ninput x\ninput x\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn reports_missing_header() {
+        let e = parse_cdfg("input x\n").unwrap_err();
+        assert!(e.message.contains("cdfg <name>"));
+        let e = parse_cdfg("# nothing\n").unwrap_err();
+        assert_eq!(e.line, 0);
+    }
+
+    #[test]
+    fn reports_bad_operation_kind() {
+        let bad = "cdfg t\ninput x\nop y = xor x x\noutput y\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert!(e.message.contains("xor"));
+    }
+
+    #[test]
+    fn output_aliases_work() {
+        let src = "cdfg t\ninput a\nop s = add a a\noutput s as total\n";
+        let g = parse_cdfg(src).unwrap();
+        let out = g.output_values().next().unwrap();
+        assert_eq!(g.value(out).label(), "total");
+    }
+
+    #[test]
+    fn dangling_feedback_is_reported() {
+        let bad = "cdfg t\ninput x\nstate s\nop y = add x s\noutput y\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert!(e.message.contains("feedback"), "{e}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Values: the storage-requiring data items of the CDFG.
+
+use std::fmt;
+
+use crate::{OpId, ValueId};
+
+/// Where a value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueSource {
+    /// Produced by an operation of the graph.
+    Op(OpId),
+    /// A primary input: available in a register from control step 0.
+    Input,
+    /// A compile-time constant coefficient. Constants require no storage and
+    /// no interconnect in the paper's cost model ("constants for
+    /// multiplication were not considered to contribute to the cost", §5).
+    Const(i64),
+}
+
+impl ValueSource {
+    /// Returns the producing operation, if any.
+    pub fn op(self) -> Option<OpId> {
+        match self {
+            ValueSource::Op(op) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for constant values.
+    pub fn is_const(self) -> bool {
+        matches!(self, ValueSource::Const(_))
+    }
+}
+
+/// A single read of a value: which operation consumes it and on which port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Use {
+    /// The consuming operation.
+    pub op: OpId,
+    /// The operand port (0 = left, 1 = right).
+    pub port: usize,
+}
+
+/// A data value of the CDFG.
+///
+/// Non-constant values must be stored in registers for (at least) the span
+/// between their production and their last read; the SALSA binding model
+/// additionally allows that span to be broken into per-step *segments* bound
+/// to different registers (see the `salsa-alloc` crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    pub(crate) id: ValueId,
+    pub(crate) source: ValueSource,
+    pub(crate) label: String,
+    pub(crate) uses: Vec<Use>,
+    /// For loop-carried *state* values: the value of the previous iteration
+    /// that becomes this value at the iteration boundary.
+    pub(crate) feedback_from: Option<ValueId>,
+    /// Primary-output flag. Output values stay live through the end of the
+    /// schedule so that their result can be observed.
+    pub(crate) is_output: bool,
+}
+
+impl Value {
+    /// This value's id.
+    pub fn id(&self) -> ValueId {
+        self.id
+    }
+
+    /// Where the value comes from.
+    pub fn source(&self) -> ValueSource {
+        self.source
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// All reads of this value, in operation order.
+    pub fn uses(&self) -> &[Use] {
+        &self.uses
+    }
+
+    /// For a loop-carried state value, the previous-iteration value that is
+    /// transferred into it at the iteration boundary.
+    pub fn feedback_from(&self) -> Option<ValueId> {
+        self.feedback_from
+    }
+
+    /// Returns `true` if the value is a loop-carried state input.
+    pub fn is_state(&self) -> bool {
+        self.feedback_from.is_some()
+    }
+
+    /// Returns `true` if the value is a primary output.
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// Returns `true` for constant values (no storage, no interconnect cost).
+    pub fn is_const(&self) -> bool {
+        self.source.is_const()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_helpers() {
+        assert_eq!(ValueSource::Op(OpId::from_index(1)).op(), Some(OpId::from_index(1)));
+        assert_eq!(ValueSource::Input.op(), None);
+        assert!(ValueSource::Const(5).is_const());
+        assert!(!ValueSource::Input.is_const());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value {
+            id: ValueId::from_index(3),
+            source: ValueSource::Input,
+            label: "sv2".into(),
+            uses: vec![Use { op: OpId::from_index(0), port: 1 }],
+            feedback_from: Some(ValueId::from_index(9)),
+            is_output: false,
+        };
+        assert!(v.is_state());
+        assert!(!v.is_output());
+        assert!(!v.is_const());
+        assert_eq!(v.uses().len(), 1);
+        assert_eq!(v.to_string(), "v3 (sv2)");
+    }
+}

@@ -1,0 +1,40 @@
+//! Property test: the text format roundtrips arbitrary generated graphs.
+
+use proptest::prelude::*;
+use salsa_cdfg::{cdfg_to_text, parse_cdfg, random_cdfg, RandomCdfgConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_graphs_roundtrip(
+        seed in 0u64..2000,
+        ops in 3usize..40,
+        inputs in 1usize..5,
+        states in 0usize..5,
+        mul_ratio in 0.0f64..0.9,
+    ) {
+        let cfg = RandomCdfgConfig {
+            ops,
+            inputs,
+            states,
+            mul_ratio,
+            ..RandomCdfgConfig::default()
+        };
+        let graph = random_cdfg(&cfg, seed);
+        let text = cdfg_to_text(&graph);
+        let parsed = parse_cdfg(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(parsed.num_ops(), graph.num_ops());
+        prop_assert_eq!(parsed.num_values(), graph.num_values());
+        prop_assert_eq!(parsed.stats().ops_by_kind, graph.stats().ops_by_kind);
+        prop_assert_eq!(
+            parsed.feedback_sources().count(),
+            graph.feedback_sources().count()
+        );
+        prop_assert_eq!(parsed.output_values().count(), graph.output_values().count());
+        // Serializing the reparse is a fixpoint (canonical form).
+        let text2 = cdfg_to_text(&parsed);
+        prop_assert_eq!(text, text2);
+    }
+}

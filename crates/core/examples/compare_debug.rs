@@ -1,0 +1,34 @@
+use salsa_alloc::{Allocator, ImproveConfig, MoveSet};
+use salsa_cdfg::benchmarks;
+use salsa_sched::{asap, fds_schedule, FuLibrary};
+
+fn main() {
+    for graph in benchmarks::all() {
+        let library = FuLibrary::standard();
+        let cp = asap(&graph, &library).length;
+        for steps in [cp, cp + 2] {
+            let schedule = fds_schedule(&graph, &library, steps).unwrap();
+            let mut row = format!("{:13} {steps:2}", graph.name());
+            for set in [MoveSet::full(), MoveSet::traditional()] {
+                let config = ImproveConfig {
+                    max_trials: 8,
+                    moves_per_trial: Some(3000),
+                    move_set: set,
+                    ..Default::default()
+                };
+                let r = Allocator::new(&graph, &schedule, &library)
+                    .seed(42)
+                    .config(config)
+                    .restarts(2)
+                    .run()
+                    .unwrap();
+                let passes = r.rtl.steps.iter().map(|s| s.passes.len()).sum::<usize>();
+                row += &format!(
+                    " | cost {:5} mux {:2} merged {:2} p{passes}",
+                    r.cost, r.breakdown.mux_equiv, r.merged.post_merge,
+                );
+            }
+            println!("{row}   (salsa | trad)");
+        }
+    }
+}

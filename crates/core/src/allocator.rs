@@ -1,0 +1,212 @@
+//! The top-level allocation driver: pool sizing, initial allocation,
+//! iterative improvement, lowering, verification, and mux merging.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use salsa_cdfg::Cdfg;
+use salsa_datapath::{
+    merge_muxes, traffic_from_rtl, verify, Claims, CostBreakdown, CostWeights, Datapath,
+    MuxMergeResult, Rtl,
+};
+use salsa_sched::{FuClass, FuLibrary, Schedule};
+
+use crate::{
+    improve, initial_allocation, lower, polish, AllocContext, AllocError, ImproveConfig,
+    ImproveStats,
+};
+
+/// Configurable allocation run. Build with [`Allocator::new`], adjust with
+/// the chainable setters, execute with [`run`](Allocator::run).
+///
+/// Defaults follow the paper's Table 2/3 setup: the functional-unit pool is
+/// the schedule's demand, the register pool is the schedule's register
+/// demand (add more with [`extra_registers`](Allocator::extra_registers) to
+/// trade storage against interconnect), and the full SALSA move set is in
+/// play.
+#[derive(Debug)]
+pub struct Allocator<'a> {
+    graph: &'a Cdfg,
+    schedule: &'a Schedule,
+    library: &'a FuLibrary,
+    extra_registers: usize,
+    registers_override: Option<usize>,
+    extra_units: BTreeMap<FuClass, usize>,
+    config: ImproveConfig,
+    seed: u64,
+    restarts: usize,
+}
+
+impl<'a> Allocator<'a> {
+    /// Starts configuring an allocation of `graph` under `schedule`.
+    /// `library` must be the library the schedule was produced with.
+    pub fn new(graph: &'a Cdfg, schedule: &'a Schedule, library: &'a FuLibrary) -> Self {
+        Allocator {
+            graph,
+            schedule,
+            library,
+            extra_registers: 0,
+            registers_override: None,
+            extra_units: BTreeMap::new(),
+            config: ImproveConfig::default(),
+            seed: 0,
+            restarts: 1,
+        }
+    }
+
+    /// Adds registers beyond the schedule's minimum (the Table 2 knob).
+    pub fn extra_registers(mut self, extra: usize) -> Self {
+        self.extra_registers = extra;
+        self
+    }
+
+    /// Sets the register count explicitly (overrides `extra_registers`).
+    pub fn registers(mut self, count: usize) -> Self {
+        self.registers_override = Some(count);
+        self
+    }
+
+    /// Adds functional units of a class beyond the schedule's minimum.
+    pub fn extra_units(mut self, class: FuClass, extra: usize) -> Self {
+        self.extra_units.insert(class, extra);
+        self
+    }
+
+    /// Replaces the improvement configuration (move set, trial counts,
+    /// uphill budget, cost weights).
+    pub fn config(mut self, config: ImproveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the cost weights, keeping the rest of the configuration.
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.config.weights = weights;
+        self
+    }
+
+    /// Seeds the random search (runs are reproducible per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the whole search `restarts` times with derived seeds and keeps
+    /// the best result — "due to the random nature of the iterative
+    /// improvement scheme, multiple trials are sometimes necessary to find
+    /// the best result" (paper §5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restarts == 0`.
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        assert!(restarts > 0, "at least one run is required");
+        self.restarts = restarts;
+        self
+    }
+
+    /// Executes the allocation: pool construction, constructive initial
+    /// allocation, iterative improvement, lowering, end-to-end
+    /// verification, and multiplexer merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the pool cannot fit the schedule, or — in
+    /// the event of an internal bug — if the produced datapath fails
+    /// verification.
+    pub fn run(&self) -> Result<AllocResult, AllocError> {
+        let mut fu_counts = self.schedule.fu_demand(self.graph, self.library);
+        for (class, extra) in &self.extra_units {
+            *fu_counts.entry(*class).or_insert(0) += extra;
+        }
+        let regs = self.registers_override.unwrap_or_else(|| {
+            self.schedule.register_demand(self.graph, self.library) + self.extra_registers
+        });
+        let datapath = Datapath::new(&fu_counts, regs.max(1));
+        let ctx = AllocContext::new(self.graph, self.schedule, self.library, datapath)?;
+
+        // Restarts are independent seeded searches; run them on scoped
+        // threads and keep the cheapest (ties to the lowest restart index,
+        // so the result is identical to a sequential run).
+        let runs: Vec<(u64, crate::Binding<'_>, ImproveStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.restarts)
+                .map(|restart| {
+                    let ctx = &ctx;
+                    let config = &self.config;
+                    let seed = self.seed.wrapping_add(restart as u64);
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let mut binding = initial_allocation(ctx);
+                        let mut stats = improve(&mut binding, config, &mut rng);
+                        // Deterministic full-neighborhood descent: squeeze
+                        // out the "one obvious move away" residue random
+                        // sampling leaves.
+                        stats.final_cost =
+                            polish(&mut binding, &config.weights, &config.move_set);
+                        (stats.final_cost, binding, stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("restart thread")).collect()
+        });
+        let (cost, binding, stats) = runs
+            .into_iter()
+            .min_by_key(|(c, _, _)| *c)
+            .expect("restarts >= 1");
+
+        let (rtl, claims) = lower(&binding);
+        verify(self.graph, self.schedule, self.library, &ctx.datapath, &rtl, &claims)
+            .map_err(|e| AllocError::VerificationFailed { detail: e.to_string() })?;
+        let merged = merge_muxes(&traffic_from_rtl(&rtl));
+        let breakdown = binding.breakdown();
+
+        Ok(AllocResult {
+            datapath: ctx.datapath.clone(),
+            rtl,
+            claims,
+            breakdown,
+            cost,
+            merged,
+            stats,
+            verified: true,
+        })
+    }
+}
+
+/// The outcome of an allocation run: the datapath, its verified RTL
+/// behaviour, measured costs and the mux-merging result.
+#[derive(Debug, Clone)]
+pub struct AllocResult {
+    /// The resource pool allocated against.
+    pub datapath: Datapath,
+    /// The lowered register-transfer program (one schedule iteration).
+    pub rtl: Rtl,
+    /// The binding's storage claims.
+    pub claims: Claims,
+    /// Measured resource usage (point-to-point, pre-merge).
+    pub breakdown: CostBreakdown,
+    /// Weighted cost of the final allocation.
+    pub cost: u64,
+    /// Result of the multiplexer-merging post-pass (§4).
+    pub merged: MuxMergeResult,
+    /// Search statistics.
+    pub stats: ImproveStats,
+    /// Always `true`: results are verified before being returned.
+    pub verified: bool,
+}
+
+impl AllocResult {
+    /// Whether the result passed end-to-end verification (always true —
+    /// failing results are returned as errors instead).
+    pub fn verified(&self) -> bool {
+        self.verified
+    }
+
+    /// Equivalent 2-1 multiplexers after the merging post-pass — the
+    /// number reported in the paper's Tables 2 and 3.
+    pub fn merged_mux_count(&self) -> usize {
+        self.merged.post_merge
+    }
+}

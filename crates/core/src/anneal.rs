@@ -1,0 +1,187 @@
+//! Simulated annealing over the same move set — the search scheme the
+//! paper *rejected*: "It was originally thought that allocation
+//! improvement would be implemented using simulated annealing. However,
+//! attempts to use annealing produced poor results and seldom converged on
+//! a good solution. An iterative improvement scheme was developed instead"
+//! (§4). This implementation exists to reproduce that comparison (see the
+//! `search_comparison` experiment binary).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use salsa_datapath::CostWeights;
+
+use crate::moves::{try_move, MoveSet};
+use crate::Binding;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone)]
+pub struct AnnealConfig {
+    /// Starting temperature (in cost units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per temperature level.
+    pub cooling: f64,
+    /// Moves attempted per temperature level. `None` scales with design
+    /// size (`200 x ops`).
+    pub moves_per_level: Option<usize>,
+    /// Stop when the temperature falls below this value.
+    pub final_temperature: f64,
+    /// The move kinds in play.
+    pub move_set: MoveSet,
+    /// Cost weights.
+    pub weights: CostWeights,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            initial_temperature: 40.0,
+            cooling: 0.85,
+            moves_per_level: None,
+            final_temperature: 0.5,
+            move_set: MoveSet::full(),
+            weights: CostWeights::default(),
+        }
+    }
+}
+
+/// Outcome of one annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// Cost of the initial allocation.
+    pub initial_cost: u64,
+    /// Cost of the best allocation seen.
+    pub final_cost: u64,
+    /// Temperature levels executed.
+    pub levels: usize,
+    /// Moves attempted.
+    pub attempted: usize,
+    /// Moves accepted (Metropolis).
+    pub accepted: usize,
+}
+
+/// Runs classic Metropolis simulated annealing in place, leaving `binding`
+/// at the best allocation seen.
+pub fn anneal(binding: &mut Binding<'_>, config: &AnnealConfig, rng: &mut StdRng) -> AnnealStats {
+    let cost = |b: &Binding<'_>| config.weights.evaluate(&b.breakdown());
+    let moves_per_level = config
+        .moves_per_level
+        .unwrap_or(200 * binding.ctx().graph.num_ops());
+
+    let mut stats = AnnealStats {
+        initial_cost: cost(binding),
+        final_cost: 0,
+        levels: 0,
+        attempted: 0,
+        accepted: 0,
+    };
+    let mut best = binding.clone();
+    let mut best_cost = stats.initial_cost;
+    let mut current_cost = stats.initial_cost;
+    let mut temperature = config.initial_temperature;
+
+    while temperature > config.final_temperature {
+        stats.levels += 1;
+        for _ in 0..moves_per_level {
+            stats.attempted += 1;
+            let kind = config.move_set.pick(rng);
+            let snapshot = binding.clone();
+            if !try_move(binding, kind, rng) {
+                continue;
+            }
+            let after = cost(binding);
+            let delta = after as f64 - current_cost as f64;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            if accept {
+                stats.accepted += 1;
+                current_cost = after;
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best = binding.clone();
+                }
+            } else {
+                *binding = snapshot;
+            }
+        }
+        temperature *= config.cooling;
+    }
+
+    *binding = best;
+    stats.final_cost = best_cost;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{improve, initial_allocation, AllocContext, ImproveConfig};
+    use rand::SeedableRng;
+    use salsa_cdfg::benchmarks::diffeq;
+    use salsa_datapath::Datapath;
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    #[test]
+    fn annealing_runs_and_never_worsens_best() {
+        let graph = diffeq();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 9).unwrap();
+        let pool = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library),
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, pool).unwrap();
+        let mut binding = initial_allocation(&ctx);
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = AnnealConfig {
+            moves_per_level: Some(150),
+            ..AnnealConfig::default()
+        };
+        let stats = anneal(&mut binding, &config, &mut rng);
+        assert!(stats.final_cost <= stats.initial_cost);
+        assert!(stats.levels > 5);
+        binding.check_consistency();
+        let (rtl, claims) = crate::lower(&binding);
+        salsa_datapath::verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
+            .expect("annealed allocation verifies");
+    }
+
+    #[test]
+    fn iterative_improvement_matches_or_beats_annealing_here() {
+        // The paper's §4 observation, as a pinned comparison at equal move
+        // budgets on the diffeq benchmark.
+        let graph = diffeq();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 8).unwrap();
+        let pool = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library),
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, pool).unwrap();
+
+        let mut annealed = initial_allocation(&ctx);
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = anneal(
+            &mut annealed,
+            &AnnealConfig { moves_per_level: Some(200), ..AnnealConfig::default() },
+            &mut rng,
+        );
+
+        let mut improved = initial_allocation(&ctx);
+        let mut rng = StdRng::seed_from_u64(42);
+        let i = improve(
+            &mut improved,
+            &ImproveConfig {
+                max_trials: 12,
+                moves_per_trial: Some(400),
+                ..ImproveConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(
+            i.final_cost <= a.final_cost,
+            "iterative improvement ({}) should not lose to annealing ({})",
+            i.final_cost,
+            a.final_cost
+        );
+    }
+}

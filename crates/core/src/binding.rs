@@ -1,0 +1,767 @@
+//! The complete allocation state under the extended binding model, with
+//! incrementally maintained interconnect cost.
+//!
+//! A [`Binding`] assigns every operation to a functional unit (with
+//! optional commutative operand reversal), every value-lifetime *segment*
+//! to a register through one or more [`Chain`]s (chain 0 is the *primal*
+//! chain covering the whole lifetime; further chains are *copies* created
+//! by value splitting), every operand read to a chain, and register-to-
+//! register transfers optionally to pass-through units.
+//!
+//! Interconnect accounting is **owner-based**: every point-to-point
+//! connection use is owned either by an operation (operand reads, producer
+//! writes) or by a [`TransferKey`] (segment movement, copy feeds, loop
+//! boundaries). Moves retract the owners they disturb, mutate the state,
+//! and re-assert them; the refcounted
+//! [`ConnectionMatrix`](salsa_datapath::ConnectionMatrix) keeps equivalent
+//! 2-1 multiplexer counts exact throughout.
+
+use std::collections::BTreeSet;
+
+use salsa_cdfg::{OpId, ValueId};
+use salsa_datapath::{ConnectionMatrix, CostBreakdown, FuId, Port, RegId, Sink, Source};
+
+use crate::{AllocContext, TransferKey};
+
+/// A run of consecutive lifetime segments of one value bound to registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// First covered lifetime index.
+    pub(crate) lo: usize,
+    /// Register per covered index (`regs[i]` covers lifetime index
+    /// `lo + i`).
+    pub(crate) regs: Vec<RegId>,
+}
+
+impl Chain {
+    /// First covered lifetime index.
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Last covered lifetime index.
+    pub fn hi(&self) -> usize {
+        self.lo + self.regs.len() - 1
+    }
+
+    /// Number of covered segments.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Always false — chains have at least one segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if the chain covers the lifetime index.
+    pub fn covers(&self, idx: usize) -> bool {
+        idx >= self.lo && idx <= self.hi()
+    }
+
+    /// The register covering lifetime index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain does not cover `idx`.
+    pub fn reg_at(&self, idx: usize) -> RegId {
+        assert!(self.covers(idx), "chain does not cover lifetime index {idx}");
+        self.regs[idx - self.lo]
+    }
+
+    /// The registers in lifetime order.
+    pub fn regs(&self) -> &[RegId] {
+        &self.regs
+    }
+
+    /// Returns `true` if all segments share one register (a *contiguous*
+    /// binding in the paper's sense).
+    pub fn is_uniform(&self) -> bool {
+        self.regs.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// What occupies a functional unit during one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FuOcc {
+    /// An executing operation (for its whole initiation interval).
+    Exec(OpId),
+    /// A pass-through forwarding a transfer.
+    Pass(TransferKey),
+}
+
+/// A connection owner: the entity whose existence implies a set of
+/// point-to-point connection uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Owner {
+    Op(OpId),
+    Transfer(TransferKey),
+}
+
+/// A complete allocation under the SALSA extended binding model.
+#[derive(Debug, Clone)]
+pub struct Binding<'a> {
+    pub(crate) ctx: &'a AllocContext<'a>,
+    // Assignments.
+    pub(crate) op_fu: Vec<FuId>,
+    pub(crate) op_swap: Vec<bool>,
+    pub(crate) chains: Vec<Vec<Option<Chain>>>,
+    pub(crate) use_chain: Vec<[usize; 2]>,
+    pub(crate) passes: std::collections::BTreeMap<TransferKey, FuId>,
+    // Derived occupancy and cost state.
+    pub(crate) fu_occ: Vec<Vec<Option<FuOcc>>>,
+    pub(crate) fu_completes: Vec<Vec<Option<OpId>>>,
+    pub(crate) reg_occ: Vec<Vec<Option<(ValueId, usize)>>>,
+    pub(crate) conn: ConnectionMatrix,
+    pub(crate) reg_seg_count: Vec<usize>,
+    pub(crate) fu_item_count: Vec<usize>,
+}
+
+impl<'a> Binding<'a> {
+    /// Builds a binding from raw assignments (no copies, no passes): one
+    /// unit per operation and, for each stored value, one register per
+    /// lifetime step (`primal_regs[value]` empty for constants and
+    /// boundary-born values). Used by the constructive initial allocation
+    /// and by external constructive binders (e.g. the traditional-model
+    /// baselines). All occupancy tables and the connection matrix are
+    /// derived here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on conflicting assignments (two operations on one unit at one
+    /// step, two values in one register at one step) or wrong-length
+    /// register vectors — constructive allocators must guarantee
+    /// conflict-freedom.
+    pub fn from_assignments(
+        ctx: &'a AllocContext<'a>,
+        op_fu: Vec<FuId>,
+        primal_regs: Vec<Vec<RegId>>,
+    ) -> Self {
+        let n = ctx.n_steps();
+        let num_ops = ctx.graph.num_ops();
+        let mut binding = Binding {
+            ctx,
+            op_fu: vec![FuId::from_index(0); num_ops],
+            op_swap: vec![false; num_ops],
+            chains: vec![Vec::new(); ctx.graph.num_values()],
+            use_chain: vec![[0, 0]; num_ops],
+            passes: std::collections::BTreeMap::new(),
+            fu_occ: vec![vec![None; n]; ctx.datapath.num_fus()],
+            fu_completes: vec![vec![None; n]; ctx.datapath.num_fus()],
+            reg_occ: vec![vec![None; n]; ctx.datapath.num_regs()],
+            conn: ConnectionMatrix::new(),
+            reg_seg_count: vec![0; ctx.datapath.num_regs()],
+            fu_item_count: vec![0; ctx.datapath.num_fus()],
+        };
+        for (op, fu) in ctx.graph.op_ids().zip(op_fu) {
+            binding.occupy_op(op, fu);
+        }
+        for value in ctx.graph.value_ids() {
+            let regs = &primal_regs[value.index()];
+            if regs.is_empty() {
+                continue;
+            }
+            let lt = ctx.lifetimes.get(value).expect("stored value has a lifetime");
+            assert_eq!(regs.len(), lt.len(), "primal chain must cover the whole lifetime");
+            binding.chains[value.index()] = vec![Some(Chain { lo: 0, regs: regs.clone() })];
+            for idx in 0..regs.len() {
+                binding.occupy_seg(value, 0, idx);
+            }
+        }
+        for owner in binding.all_owners() {
+            binding.assert_owner(owner);
+        }
+        binding
+    }
+
+    /// The context this binding runs against.
+    pub fn ctx(&self) -> &AllocContext<'a> {
+        self.ctx
+    }
+
+    // ------------------------------------------------------------------
+    // Read accessors.
+    // ------------------------------------------------------------------
+
+    /// The unit executing an operation.
+    pub fn op_fu(&self, op: OpId) -> FuId {
+        self.op_fu[op.index()]
+    }
+
+    /// Whether the operation's operands are delivered on swapped ports
+    /// (move F3).
+    pub fn op_swapped(&self, op: OpId) -> bool {
+        self.op_swap[op.index()]
+    }
+
+    /// Iterates over the live chains of a value as `(slot, chain)`.
+    pub fn chains_of(&self, value: ValueId) -> impl Iterator<Item = (usize, &Chain)> + '_ {
+        self.chains[value.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+
+    /// The primal chain of a stored value, if the value has storage.
+    pub fn primal(&self, value: ValueId) -> Option<&Chain> {
+        self.chains[value.index()].first().and_then(|c| c.as_ref())
+    }
+
+    /// The chain slot serving an operand read.
+    pub fn use_chain(&self, op: OpId, port: usize) -> usize {
+        self.use_chain[op.index()][port]
+    }
+
+    /// The pass-through assignments.
+    pub fn passes(&self) -> &std::collections::BTreeMap<TransferKey, FuId> {
+        &self.passes
+    }
+
+    /// Number of live copy chains of a value.
+    pub fn num_copies(&self, value: ValueId) -> usize {
+        self.chains_of(value).filter(|(slot, _)| *slot > 0).count()
+    }
+
+    /// The current interconnect state.
+    pub fn connections(&self) -> &ConnectionMatrix {
+        &self.conn
+    }
+
+    /// Measured resource usage.
+    pub fn breakdown(&self) -> CostBreakdown {
+        let fu_area = self
+            .ctx
+            .datapath
+            .fus()
+            .filter(|fu| self.fu_item_count[fu.id().index()] > 0)
+            .map(|fu| self.ctx.library.spec(fu.class()).area)
+            .sum();
+        CostBreakdown {
+            fu_area,
+            used_regs: self.reg_seg_count.iter().filter(|&&c| c > 0).count(),
+            mux_equiv: self.conn.mux_equiv(),
+            connections: self.conn.connections(),
+        }
+    }
+
+    /// Returns `true` if the register is unoccupied at the step.
+    pub fn reg_free(&self, reg: RegId, step: usize) -> bool {
+        self.reg_occ[reg.index()][step].is_none()
+    }
+
+    /// The occupant of a register at a step.
+    pub fn reg_occupant(&self, reg: RegId, step: usize) -> Option<(ValueId, usize)> {
+        self.reg_occ[reg.index()][step]
+    }
+
+    /// Returns `true` if `fu` could execute `op` (class matches, occupancy
+    /// window free, completion step unobstructed).
+    pub fn fu_exec_free(&self, fu: FuId, op: OpId) -> bool {
+        if self.ctx.datapath.fu(fu).class() != self.ctx.class_of(op) {
+            return false;
+        }
+        let row = &self.fu_occ[fu.index()];
+        if !self.ctx.occupied_steps(op).all(|s| row[s].is_none()) {
+            return false;
+        }
+        let done = self.ctx.completion_step(op);
+        row[done].is_none() && self.fu_completes[fu.index()][done].is_none()
+    }
+
+    /// Returns `true` if `fu` can act as pass-through at `step`.
+    pub fn fu_pass_free(&self, fu: FuId, step: usize) -> bool {
+        let class = self.ctx.datapath.fu(fu).class();
+        self.ctx.library.spec(class).can_pass_through
+            && self.fu_occ[fu.index()][step].is_none()
+            && self.fu_completes[fu.index()][step].is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // Transfers.
+    // ------------------------------------------------------------------
+
+    /// Resolves a transfer key to `(source_reg, dest_reg, step)`, or `None`
+    /// when no register-to-register movement is required (coincident
+    /// registers, producer-direct boundary, producer-fed copy).
+    pub fn transfer_endpoints(&self, key: TransferKey) -> Option<(RegId, RegId, usize)> {
+        match key {
+            TransferKey::Intra { value, chain, idx } => {
+                let c = self.chain(value, chain)?;
+                if !c.covers(idx) || !c.covers(idx + 1) {
+                    return None;
+                }
+                let (a, b) = (c.reg_at(idx), c.reg_at(idx + 1));
+                if a == b {
+                    return None;
+                }
+                let step = self.ctx.lifetimes.get(value)?.steps()[idx];
+                Some((a, b, step))
+            }
+            TransferKey::CopyFeed { value, chain } => {
+                let c = self.chain(value, chain)?;
+                if chain == 0 || c.lo == 0 {
+                    return None;
+                }
+                let donor = self.primal(value)?.reg_at(c.lo - 1);
+                let dst = c.regs[0];
+                if donor == dst {
+                    return None;
+                }
+                let step = self.ctx.lifetimes.get(value)?.steps()[c.lo - 1];
+                Some((donor, dst, step))
+            }
+            TransferKey::Boundary { state } => {
+                let src_value = self.ctx.graph.value(state).feedback_from()?;
+                let src_lt = self.ctx.lifetimes.get(src_value)?;
+                if src_lt.is_empty() {
+                    return None; // producer writes the state register directly
+                }
+                let src = self.primal(src_value)?.reg_at(src_lt.len() - 1);
+                let dst = self.primal(state)?.regs[0];
+                if src == dst {
+                    return None;
+                }
+                Some((src, dst, self.ctx.n_steps() - 1))
+            }
+        }
+    }
+
+    fn chain(&self, value: ValueId, slot: usize) -> Option<&Chain> {
+        self.chains[value.index()].get(slot).and_then(|c| c.as_ref())
+    }
+
+    /// All structural transfer keys of a value in its current state (live
+    /// chains' adjacencies, copy feeds, boundaries it participates in).
+    pub fn transfer_keys_of(&self, value: ValueId) -> Vec<TransferKey> {
+        let mut keys = Vec::new();
+        for (slot, chain) in self.chains_of(value) {
+            for idx in chain.lo..chain.hi() {
+                keys.push(TransferKey::Intra { value, chain: slot, idx });
+            }
+            if slot > 0 {
+                keys.push(TransferKey::CopyFeed { value, chain: slot });
+            }
+        }
+        if let Some(lt) = self.ctx.lifetimes.get(value) {
+            for &state in lt.feeds() {
+                keys.push(TransferKey::Boundary { state });
+            }
+        }
+        if self.ctx.graph.value(value).is_state() {
+            keys.push(TransferKey::Boundary { state: value });
+        }
+        keys
+    }
+
+    // ------------------------------------------------------------------
+    // Owner-based connection accounting.
+    // ------------------------------------------------------------------
+
+    /// The owner set whose connection items may reference a value's
+    /// registers: its producer, its consumers, its transfers, plus the
+    /// producer of its feedback source when that source is boundary-born
+    /// (it writes this state's register directly).
+    pub(crate) fn owners_of_value(&self, value: ValueId) -> BTreeSet<Owner> {
+        let mut owners = BTreeSet::new();
+        if let Some(p) = self.ctx.producer(value) {
+            owners.insert(Owner::Op(p));
+        }
+        for u in self.ctx.graph.value(value).uses() {
+            owners.insert(Owner::Op(u.op));
+        }
+        for key in self.transfer_keys_of(value) {
+            owners.insert(Owner::Transfer(key));
+        }
+        if let Some(src) = self.ctx.graph.value(value).feedback_from() {
+            let src_empty = self
+                .ctx
+                .lifetimes
+                .get(src)
+                .is_some_and(|lt| lt.is_empty());
+            if src_empty {
+                if let Some(p) = self.ctx.producer(src) {
+                    owners.insert(Owner::Op(p));
+                }
+            }
+        }
+        owners
+    }
+
+    /// Every owner in the binding (for full rebuilds and validation).
+    pub(crate) fn all_owners(&self) -> Vec<Owner> {
+        let mut owners: Vec<Owner> = self.ctx.graph.op_ids().map(Owner::Op).collect();
+        for value in self.ctx.graph.value_ids() {
+            for key in self.transfer_keys_of(value) {
+                // Boundary keys are enumerated both from the state and the
+                // source; deduplicate.
+                if !owners.contains(&Owner::Transfer(key)) {
+                    owners.push(Owner::Transfer(key));
+                }
+            }
+        }
+        owners
+    }
+
+    /// The connection uses an owner currently implies.
+    pub(crate) fn items(&self, owner: Owner) -> Vec<(Source, Sink)> {
+        match owner {
+            Owner::Op(op_id) => {
+                let op = self.ctx.graph.op(op_id);
+                let fu = self.op_fu[op_id.index()];
+                let issue = self.ctx.schedule.issue(op_id);
+                let mut items = Vec::new();
+                for (port, operand) in op.inputs().into_iter().enumerate() {
+                    if !self.ctx.is_stored(operand) {
+                        continue;
+                    }
+                    let slot = self.use_chain[op_id.index()][port];
+                    let idx = self
+                        .ctx
+                        .lifetime_index(operand, issue)
+                        .expect("operand stored at issue step");
+                    let chain = self.chain(operand, slot).expect("use references a live chain");
+                    let actual = if self.op_swap[op_id.index()] { 1 - port } else { port };
+                    items.push((
+                        Source::RegOut(chain.reg_at(idx)),
+                        Sink::FuIn(fu, Port::from_index(actual)),
+                    ));
+                }
+                let out = op.output();
+                let lt = self.ctx.lifetimes.get(out).expect("op outputs are stored values");
+                if lt.is_empty() {
+                    for &state in lt.feeds() {
+                        let dst = self.primal(state).expect("states have storage").regs[0];
+                        items.push((Source::FuOut(fu), Sink::RegIn(dst)));
+                    }
+                } else {
+                    for (_, chain) in self.chains_of(out) {
+                        if chain.lo == 0 {
+                            items.push((Source::FuOut(fu), Sink::RegIn(chain.regs[0])));
+                        }
+                    }
+                }
+                items
+            }
+            Owner::Transfer(key) => match self.transfer_endpoints(key) {
+                None => Vec::new(),
+                Some((src, dst, _)) => match self.passes.get(&key) {
+                    Some(&g) => vec![
+                        (Source::RegOut(src), Sink::FuIn(g, Port::Left)),
+                        (Source::FuOut(g), Sink::RegIn(dst)),
+                    ],
+                    None => vec![(Source::RegOut(src), Sink::RegIn(dst))],
+                },
+            },
+        }
+    }
+
+    /// Weighted cost the given owners' items would add to the current
+    /// connection matrix (new-wire and new-mux-input weights fixed at the
+    /// default 1:4 ratio). Used by moves to rank candidate targets while
+    /// the affected owners are retracted; removals are identical across
+    /// candidates, so ranking by additions is sound.
+    pub(crate) fn added_cost_of(&self, owners: &[Owner]) -> u64 {
+        let mut total = 0u64;
+        for &owner in owners {
+            for (src, sink) in self.items(owner) {
+                if !self.conn.contains(src, sink) {
+                    total += 1 + 4 * self.conn.added_mux_cost(src, sink) as u64;
+                }
+            }
+        }
+        total
+    }
+
+    pub(crate) fn assert_owner(&mut self, owner: Owner) {
+        for (src, sink) in self.items(owner) {
+            self.conn.add(src, sink);
+        }
+    }
+
+    pub(crate) fn retract_owner(&mut self, owner: Owner) {
+        for (src, sink) in self.items(owner) {
+            self.conn.remove(src, sink);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Occupancy mutation primitives (no connection accounting; callers
+    // retract/assert owners around these).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn occupy_op(&mut self, op: OpId, fu: FuId) {
+        self.op_fu[op.index()] = fu;
+        for s in self.ctx.occupied_steps(op) {
+            debug_assert!(self.fu_occ[fu.index()][s].is_none(), "fu occupancy conflict");
+            self.fu_occ[fu.index()][s] = Some(FuOcc::Exec(op));
+        }
+        let done = self.ctx.completion_step(op);
+        debug_assert!(self.fu_completes[fu.index()][done].is_none());
+        self.fu_completes[fu.index()][done] = Some(op);
+        self.fu_item_count[fu.index()] += 1;
+    }
+
+    pub(crate) fn vacate_op(&mut self, op: OpId) {
+        let fu = self.op_fu[op.index()];
+        for s in self.ctx.occupied_steps(op) {
+            self.fu_occ[fu.index()][s] = None;
+        }
+        let done = self.ctx.completion_step(op);
+        self.fu_completes[fu.index()][done] = None;
+        self.fu_item_count[fu.index()] -= 1;
+    }
+
+    pub(crate) fn occupy_seg(&mut self, value: ValueId, slot: usize, idx: usize) {
+        let reg = self.chain(value, slot).expect("live chain").reg_at(idx);
+        let step = self.ctx.lifetimes.get(value).expect("stored").steps()[idx];
+        debug_assert!(
+            self.reg_occ[reg.index()][step].is_none(),
+            "register occupancy conflict at {reg}@{step}"
+        );
+        self.reg_occ[reg.index()][step] = Some((value, slot));
+        self.reg_seg_count[reg.index()] += 1;
+    }
+
+    pub(crate) fn vacate_seg(&mut self, value: ValueId, slot: usize, idx: usize) {
+        let reg = self.chain(value, slot).expect("live chain").reg_at(idx);
+        let step = self.ctx.lifetimes.get(value).expect("stored").steps()[idx];
+        debug_assert_eq!(self.reg_occ[reg.index()][step], Some((value, slot)));
+        self.reg_occ[reg.index()][step] = None;
+        self.reg_seg_count[reg.index()] -= 1;
+    }
+
+    pub(crate) fn set_pass(&mut self, key: TransferKey, fu: Option<FuId>) {
+        if let Some(old) = self.passes.remove(&key) {
+            let (_, _, step) = self
+                .transfer_endpoints(key)
+                .expect("existing pass implies an active transfer");
+            debug_assert_eq!(self.fu_occ[old.index()][step], Some(FuOcc::Pass(key)));
+            self.fu_occ[old.index()][step] = None;
+            self.fu_item_count[old.index()] -= 1;
+        }
+        if let Some(new) = fu {
+            let (_, _, step) = self
+                .transfer_endpoints(key)
+                .expect("pass requires an active transfer");
+            debug_assert!(self.fu_occ[new.index()][step].is_none());
+            self.fu_occ[new.index()][step] = Some(FuOcc::Pass(key));
+            self.fu_item_count[new.index()] += 1;
+            self.passes.insert(key, new);
+        }
+    }
+
+    /// Creates a one-segment copy chain at lifetime index `lo` in `reg`;
+    /// returns the slot.
+    pub(crate) fn add_copy_chain(&mut self, value: ValueId, lo: usize, reg: RegId) -> usize {
+        let slots = &mut self.chains[value.index()];
+        let slot = slots
+            .iter()
+            .position(|c| c.is_none())
+            .unwrap_or_else(|| {
+                slots.push(None);
+                slots.len() - 1
+            });
+        assert!(slot > 0, "slot 0 is reserved for the primal chain");
+        slots[slot] = Some(Chain { lo, regs: vec![reg] });
+        self.occupy_seg(value, slot, lo);
+        slot
+    }
+
+    /// Extends a copy chain by one segment at the front (`front = true`,
+    /// toward earlier steps) or back.
+    pub(crate) fn extend_copy(&mut self, value: ValueId, slot: usize, front: bool, reg: RegId) {
+        let chain = self.chains[value.index()][slot].as_mut().expect("live chain");
+        let idx = if front {
+            chain.lo -= 1;
+            chain.regs.insert(0, reg);
+            chain.lo
+        } else {
+            chain.regs.push(reg);
+            chain.hi()
+        };
+        self.occupy_seg(value, slot, idx);
+    }
+
+    /// Shrinks a copy chain by one segment; removes it entirely when the
+    /// last segment goes. Attached passes on vanishing transfer keys must
+    /// have been cleared by the caller beforehand.
+    pub(crate) fn shrink_copy(&mut self, value: ValueId, slot: usize, front: bool) {
+        let len = self.chain(value, slot).expect("live chain").len();
+        if len == 1 {
+            let lo = self.chain(value, slot).unwrap().lo;
+            self.vacate_seg(value, slot, lo);
+            self.chains[value.index()][slot] = None;
+            return;
+        }
+        let chain = self.chains[value.index()][slot].as_ref().unwrap();
+        let idx = if front { chain.lo } else { chain.hi() };
+        self.vacate_seg(value, slot, idx);
+        let chain = self.chains[value.index()][slot].as_mut().unwrap();
+        if front {
+            chain.lo += 1;
+            chain.regs.remove(0);
+        } else {
+            chain.regs.pop();
+        }
+    }
+
+    /// Directly rewrites a chain's register without touching occupancy —
+    /// for multi-segment rewrites where the caller vacates/occupies in
+    /// bulk.
+    pub(crate) fn chain_reg_mut(&mut self, value: ValueId, slot: usize, idx: usize, reg: RegId) {
+        let chain = self.chains[value.index()][slot].as_mut().expect("live chain");
+        let offset = idx - chain.lo;
+        chain.regs[offset] = reg;
+    }
+
+    /// Removes a whole copy chain. Passes on its transfer keys must have
+    /// been cleared and uses rebound by the caller.
+    pub(crate) fn remove_copy_chain(&mut self, value: ValueId, slot: usize) {
+        assert!(slot > 0, "the primal chain cannot be removed");
+        let (lo, hi) = {
+            let c = self.chain(value, slot).expect("live chain");
+            (c.lo, c.hi())
+        };
+        for idx in lo..=hi {
+            self.vacate_seg(value, slot, idx);
+        }
+        self.chains[value.index()][slot] = None;
+    }
+
+    /// The smallest lifetime index at which a copy of `value` may start:
+    /// copies of environment-provided values (inputs and states) may not
+    /// cover step 0, because nothing would refresh them at the iteration
+    /// boundary; copies of operation results may start at birth (producer
+    /// fan-out).
+    pub(crate) fn min_copy_index(&self, value: ValueId) -> usize {
+        match self.ctx.graph.value(value).source() {
+            salsa_cdfg::ValueSource::Input => 1,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn set_use_chain(&mut self, op: OpId, port: usize, slot: usize) {
+        self.use_chain[op.index()][port] = slot;
+    }
+
+    pub(crate) fn set_op_swap(&mut self, op: OpId, swapped: bool) {
+        self.op_swap[op.index()] = swapped;
+    }
+
+    /// Drops passes attached to transfer keys that no longer correspond to
+    /// an active transfer. Called after mutations that may have collapsed a
+    /// transfer (e.g. two adjacent segments moved into one register).
+    pub(crate) fn drop_stale_passes(&mut self, keys: impl IntoIterator<Item = TransferKey>) {
+        for key in keys {
+            if let Some(&fu) = self.passes.get(&key) {
+                if self.transfer_endpoints(key).is_none() {
+                    // The occupancy entry was placed at the *old* step; we
+                    // cannot resolve it through endpoints anymore, so clear
+                    // by scan.
+                    self.passes.remove(&key);
+                    for cell in self.fu_occ[fu.index()].iter_mut() {
+                        if *cell == Some(FuOcc::Pass(key)) {
+                            *cell = None;
+                        }
+                    }
+                    self.fu_item_count[fu.index()] -= 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (tests and debug assertions).
+    // ------------------------------------------------------------------
+
+    /// Fully recomputes the connection matrix, occupancy tables and
+    /// counters and checks them against the incrementally maintained state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any divergence — used by tests and
+    /// periodically by the improvement engine under `debug_assertions`.
+    pub fn check_consistency(&self) {
+        // Connections.
+        let mut rebuilt = ConnectionMatrix::new();
+        for owner in self.all_owners() {
+            for (src, sink) in self.items(owner) {
+                rebuilt.add(src, sink);
+            }
+        }
+        assert_eq!(
+            rebuilt, self.conn,
+            "incremental connection matrix diverged from rebuild"
+        );
+
+        // Register occupancy.
+        let mut reg_occ = vec![vec![None; self.ctx.n_steps()]; self.ctx.datapath.num_regs()];
+        let mut reg_seg_count = vec![0usize; self.ctx.datapath.num_regs()];
+        for value in self.ctx.graph.value_ids() {
+            let Some(lt) = self.ctx.lifetimes.get(value) else { continue };
+            for (slot, chain) in self.chains_of(value) {
+                for idx in chain.lo..=chain.hi() {
+                    let reg = chain.reg_at(idx);
+                    let step = lt.steps()[idx];
+                    assert!(
+                        reg_occ[reg.index()][step].is_none(),
+                        "rebuild found register conflict at {reg}@{step}"
+                    );
+                    reg_occ[reg.index()][step] = Some((value, slot));
+                    reg_seg_count[reg.index()] += 1;
+                }
+            }
+        }
+        assert_eq!(reg_occ, self.reg_occ, "register occupancy diverged");
+        assert_eq!(reg_seg_count, self.reg_seg_count, "register usage counts diverged");
+
+        // Functional-unit occupancy.
+        let mut fu_occ: Vec<Vec<Option<FuOcc>>> =
+            vec![vec![None; self.ctx.n_steps()]; self.ctx.datapath.num_fus()];
+        let mut fu_completes: Vec<Vec<Option<OpId>>> =
+            vec![vec![None; self.ctx.n_steps()]; self.ctx.datapath.num_fus()];
+        let mut fu_item_count = vec![0usize; self.ctx.datapath.num_fus()];
+        for op in self.ctx.graph.op_ids() {
+            let fu = self.op_fu[op.index()];
+            for s in self.ctx.occupied_steps(op) {
+                assert!(fu_occ[fu.index()][s].is_none(), "rebuild found fu conflict");
+                fu_occ[fu.index()][s] = Some(FuOcc::Exec(op));
+            }
+            fu_completes[fu.index()][self.ctx.completion_step(op)] = Some(op);
+            fu_item_count[fu.index()] += 1;
+        }
+        for (&key, &fu) in &self.passes {
+            let (_, _, step) =
+                self.transfer_endpoints(key).expect("pass on an active transfer");
+            assert!(fu_occ[fu.index()][step].is_none(), "pass rebuild conflict");
+            assert!(
+                fu_completes[fu.index()][step].is_none(),
+                "pass contends with completion"
+            );
+            fu_occ[fu.index()][step] = Some(FuOcc::Pass(key));
+            fu_item_count[fu.index()] += 1;
+        }
+        assert_eq!(fu_occ, self.fu_occ, "fu occupancy diverged");
+        assert_eq!(fu_completes, self.fu_completes, "fu completions diverged");
+        assert_eq!(fu_item_count, self.fu_item_count, "fu usage counts diverged");
+
+        // Use bindings reference live chains that cover the read step.
+        for op in self.ctx.graph.ops() {
+            let issue = self.ctx.schedule.issue(op.id());
+            for (port, operand) in op.inputs().into_iter().enumerate() {
+                if !self.ctx.is_stored(operand) {
+                    continue;
+                }
+                let slot = self.use_chain[op.id().index()][port];
+                let idx = self
+                    .ctx
+                    .lifetime_index(operand, issue)
+                    .expect("operand alive at issue");
+                let chain = self
+                    .chain(operand, slot)
+                    .unwrap_or_else(|| panic!("{}: use references dead chain", op.id()));
+                assert!(chain.covers(idx), "{}: use chain does not cover read step", op.id());
+            }
+        }
+    }
+}

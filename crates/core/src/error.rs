@@ -1,0 +1,65 @@
+//! Error type for allocation.
+
+use std::error::Error;
+use std::fmt;
+
+use salsa_sched::FuClass;
+
+/// Errors from constructing or running an allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The register pool is smaller than the schedule's register demand.
+    InsufficientRegisters {
+        /// Registers required (maximum simultaneously live segments).
+        need: usize,
+        /// Registers provided.
+        have: usize,
+    },
+    /// The functional-unit pool is smaller than the schedule's demand.
+    InsufficientUnits {
+        /// The undersupplied class.
+        class: FuClass,
+        /// Units required.
+        need: usize,
+        /// Units provided.
+        have: usize,
+    },
+    /// The produced datapath failed post-allocation verification — an
+    /// internal consistency bug, never expected in normal operation.
+    VerificationFailed {
+        /// The verifier's message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::InsufficientRegisters { need, have } => {
+                write!(f, "schedule needs {need} registers but only {have} provided")
+            }
+            AllocError::InsufficientUnits { class, need, have } => {
+                write!(f, "schedule needs {need} {class} units but only {have} provided")
+            }
+            AllocError::VerificationFailed { detail } => {
+                write!(f, "allocated datapath failed verification: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AllocError::InsufficientRegisters { need: 12, have: 10 };
+        assert!(e.to_string().contains("12"));
+        let e = AllocError::InsufficientUnits { class: FuClass::Mul, need: 2, have: 1 };
+        assert!(e.to_string().contains("mul"));
+    }
+}

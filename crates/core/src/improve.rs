@@ -1,0 +1,195 @@
+//! The iterative-improvement search of paper §4.
+//!
+//! Several *trials* (analogous to annealing temperature levels) each
+//! attempt a number of random moves. Downhill and sideways moves are
+//! always accepted; a bounded number of uphill moves per trial lets the
+//! search jump to a different region of the configuration space before
+//! descending to a local optimum. The best allocation seen anywhere is
+//! recorded and returned. The search stops after a fixed number of trials
+//! without improvement or a trial cap.
+//!
+//! The search runs in **two phases**: the traditional subset of the
+//! configured move set first (whole-value register moves explore the
+//! contiguous-binding basin efficiently), then the full configured set
+//! (segments, copies, pass-throughs polish and extend from there). With
+//! all eleven move kinds in one undifferentiated pool, the extended moves'
+//! cost-neutral drift dilutes and derails the whole-value search; phasing
+//! composes the strengths of both and guarantees the extended model never
+//! loses to its own restriction.
+
+use rand::rngs::StdRng;
+
+use salsa_datapath::CostWeights;
+
+use crate::moves::{try_move, MoveKind, MoveSet};
+use crate::Binding;
+
+/// Tuning knobs of the improvement search.
+#[derive(Debug, Clone)]
+pub struct ImproveConfig {
+    /// Maximum number of trials (per phase).
+    pub max_trials: usize,
+    /// Stop a phase after this many consecutive trials without improvement
+    /// (the paper uses 3).
+    pub stale_trials: usize,
+    /// Moves attempted per trial. `None` scales with design size
+    /// (`200 x ops`).
+    pub moves_per_trial: Option<usize>,
+    /// Uphill moves accepted per trial before the trial becomes
+    /// downhill-only.
+    pub max_uphill: usize,
+    /// Largest cost increase a single uphill move may introduce. Keeps the
+    /// per-trial perturbation local so the downhill phase can repair it.
+    pub max_uphill_delta: u64,
+    /// The move kinds in play (restrict for baselines/ablations).
+    pub move_set: MoveSet,
+    /// Run the traditional-subset phase before the full-set phase.
+    pub phased: bool,
+    /// Cost weights.
+    pub weights: CostWeights,
+}
+
+impl Default for ImproveConfig {
+    fn default() -> Self {
+        ImproveConfig {
+            max_trials: 12,
+            stale_trials: 3,
+            moves_per_trial: None,
+            max_uphill: 12,
+            max_uphill_delta: 24,
+            move_set: MoveSet::full(),
+            phased: true,
+            weights: CostWeights::default(),
+        }
+    }
+}
+
+impl ImproveConfig {
+    /// The move-set sequence the search runs: the traditional subset of the
+    /// configured set (when phasing is on and the subset is proper), then
+    /// the configured set.
+    fn phases(&self) -> Vec<MoveSet> {
+        if !self.phased {
+            return vec![self.move_set.clone()];
+        }
+        let mut restricted = self.move_set.clone();
+        for (kind, _) in MoveKind::all() {
+            if !MoveSet::traditional().contains(kind) {
+                restricted = restricted.without(kind);
+            }
+        }
+        if restricted == self.move_set || restricted.is_drained() {
+            vec![self.move_set.clone()]
+        } else {
+            vec![restricted, self.move_set.clone()]
+        }
+    }
+}
+
+/// Outcome statistics of one improvement run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImproveStats {
+    /// Cost of the initial allocation.
+    pub initial_cost: u64,
+    /// Cost of the best allocation found.
+    pub final_cost: u64,
+    /// Trials executed (all phases).
+    pub trials: usize,
+    /// Moves attempted (including infeasible proposals).
+    pub attempted: usize,
+    /// Moves applied (feasible proposals).
+    pub applied: usize,
+    /// Applied moves kept (downhill/sideways or within the uphill budget).
+    pub accepted: usize,
+    /// Uphill moves kept.
+    pub uphill_accepted: usize,
+}
+
+/// Runs iterative improvement in place, leaving `binding` at the best
+/// allocation found.
+pub fn improve(binding: &mut Binding<'_>, config: &ImproveConfig, rng: &mut StdRng) -> ImproveStats {
+    let cost = |b: &Binding<'_>| config.weights.evaluate(&b.breakdown());
+    let mut stats = ImproveStats {
+        initial_cost: cost(binding),
+        ..ImproveStats::default()
+    };
+    for set in config.phases() {
+        run_phase(binding, config, &set, rng, &mut stats);
+    }
+    stats.final_cost = cost(binding);
+    stats
+}
+
+fn run_phase(
+    binding: &mut Binding<'_>,
+    config: &ImproveConfig,
+    set: &MoveSet,
+    rng: &mut StdRng,
+    stats: &mut ImproveStats,
+) {
+    let cost = |b: &Binding<'_>| config.weights.evaluate(&b.breakdown());
+    let moves_per_trial = config
+        .moves_per_trial
+        .unwrap_or(200 * binding.ctx().graph.num_ops());
+
+    let mut best = binding.clone();
+    let mut best_cost = cost(binding);
+    let mut current_cost = best_cost;
+    let mut stale = 0;
+
+    for trial in 0..config.max_trials {
+        stats.trials += 1;
+        let mut uphill_left = config.max_uphill;
+        let best_before = best_cost;
+        if trial > 0 && current_cost > best_cost {
+            // Iterated local search: when the previous trial drifted
+            // uphill, restart the perturbation from the best allocation.
+            // Equal-cost drift is kept — sideways wandering across cost
+            // plateaus is how segment migrations and pass-through reuse
+            // configurations are discovered.
+            *binding = best.clone();
+            current_cost = best_cost;
+        }
+
+        for _ in 0..moves_per_trial {
+            stats.attempted += 1;
+            let kind = set.pick(rng);
+            let snapshot = binding.clone();
+            if !try_move(binding, kind, rng) {
+                continue;
+            }
+            stats.applied += 1;
+            let after = cost(binding);
+            if after <= current_cost {
+                stats.accepted += 1;
+                current_cost = after;
+            } else if uphill_left > 0 && after - current_cost <= config.max_uphill_delta {
+                uphill_left -= 1;
+                stats.accepted += 1;
+                stats.uphill_accepted += 1;
+                current_cost = after;
+            } else {
+                *binding = snapshot;
+                continue;
+            }
+            if current_cost < best_cost {
+                best_cost = current_cost;
+                best = binding.clone();
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        binding.check_consistency();
+
+        if best_cost < best_before {
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= config.stale_trials {
+                break;
+            }
+        }
+    }
+
+    *binding = best;
+}

@@ -1,0 +1,183 @@
+//! The constructive initial allocation of paper §4.
+//!
+//! 1. operators are assigned to functional units on a first-available
+//!    basis per control step;
+//! 2. loop-carried (state) values are bound to registers first, so
+//!    consistency across iterations is established up front;
+//! 3. values live in the maximum-register-demand steps are bound next;
+//! 4. remaining values are bound minimizing added interconnections;
+//! 5. values are bound contiguously unless no single register has space,
+//!    in which case they are split into segments that fit (the initial
+//!    allocation already exploits the extended model when forced to).
+
+use std::collections::HashSet;
+
+use salsa_cdfg::{OpId, ValueId};
+use salsa_datapath::{FuId, Port, RegId, Sink, Source};
+
+use crate::{AllocContext, Binding};
+
+/// Builds the starting binding. Infallible given a pool that passed
+/// [`AllocContext::new`]'s demand checks.
+///
+/// # Panics
+///
+/// Panics if the context's pool checks were bypassed and resources are in
+/// fact insufficient.
+pub fn initial_allocation<'a>(ctx: &'a AllocContext<'a>) -> Binding<'a> {
+    let n = ctx.n_steps();
+
+    // --- Step 1: operators onto first-available units. ------------------
+    let mut fu_busy = vec![vec![false; n]; ctx.datapath.num_fus()];
+    let mut op_fu = vec![FuId::from_index(0); ctx.graph.num_ops()];
+    let mut ops: Vec<OpId> = ctx.graph.op_ids().collect();
+    ops.sort_by_key(|&o| (ctx.schedule.issue(o), o));
+    for op in ops {
+        let window: Vec<usize> = ctx.occupied_steps(op).collect();
+        let fu = ctx
+            .datapath
+            .fus_of_class(ctx.class_of(op))
+            .map(|f| f.id())
+            .find(|f| window.iter().all(|&s| !fu_busy[f.index()][s]))
+            .expect("pool demand check guarantees a free unit");
+        for &s in &window {
+            fu_busy[fu.index()][s] = true;
+        }
+        op_fu[op.index()] = fu;
+    }
+
+    // --- Step 2: order values (states, max-demand steps, rest). ---------
+    let max_live = ctx.lifetimes.max_live();
+    let peak_steps: HashSet<usize> = (0..n)
+        .filter(|&s| ctx.lifetimes.live_at(s) == max_live)
+        .collect();
+    let mut values: Vec<ValueId> = ctx
+        .graph
+        .value_ids()
+        .filter(|&v| ctx.lifetimes.get(v).is_some_and(|lt| !lt.is_empty()))
+        .collect();
+    let group = |v: ValueId| -> usize {
+        if ctx.graph.value(v).is_state() {
+            0
+        } else if ctx
+            .lifetimes
+            .get(v)
+            .expect("stored")
+            .steps()
+            .iter()
+            .any(|s| peak_steps.contains(s))
+        {
+            1
+        } else {
+            2
+        }
+    };
+    values.sort_by_key(|&v| (group(v), v));
+
+    // --- Steps 3-5: registers, contiguous first, interconnect-aware. ----
+    let mut reg_busy = vec![vec![false; n]; ctx.datapath.num_regs()];
+    // Proto-interconnect: sink fan-in sets used to estimate added
+    // multiplexer inputs before the real matrix exists.
+    let mut proto: HashSet<(Source, Sink)> = HashSet::new();
+    let mut primal_regs: Vec<Vec<RegId>> = vec![Vec::new(); ctx.graph.num_values()];
+
+    for v in values {
+        let steps: Vec<usize> = ctx.lifetimes.get(v).expect("stored").steps().to_vec();
+        let contiguous: Vec<RegId> = ctx
+            .datapath
+            .reg_ids()
+            .filter(|r| steps.iter().all(|&s| !reg_busy[r.index()][s]))
+            .collect();
+        let assignment: Vec<RegId> = if contiguous.is_empty() {
+            // Split across whatever registers fit, staying in the previous
+            // register when possible to minimize transfers.
+            let mut regs = Vec::with_capacity(steps.len());
+            let mut prev: Option<RegId> = None;
+            for &s in &steps {
+                let reg = prev
+                    .filter(|r| !reg_busy[r.index()][s])
+                    .or_else(|| {
+                        ctx.datapath.reg_ids().find(|r| !reg_busy[r.index()][s])
+                    })
+                    .expect("register demand check guarantees space per step");
+                regs.push(reg);
+                prev = Some(reg);
+            }
+            regs
+        } else {
+            // Contiguous: pick the candidate adding the fewest new
+            // interconnections (paper step: "bound to registers in a way
+            // that attempts to avoid adding more interconnections").
+            let best = contiguous
+                .into_iter()
+                .min_by_key(|&r| {
+                    (estimate_added_connections(ctx, &proto, &op_fu, v, r, &steps), r)
+                })
+                .expect("nonempty");
+            vec![best; steps.len()]
+        };
+        for (&s, &r) in steps.iter().zip(&assignment) {
+            reg_busy[r.index()][s] = true;
+        }
+        record_proto(ctx, &mut proto, &op_fu, v, &assignment, &steps);
+        primal_regs[v.index()] = assignment;
+    }
+
+    Binding::from_assignments(ctx, op_fu, primal_regs)
+}
+
+/// New (source, sink) pairs this contiguous candidate would add.
+fn estimate_added_connections(
+    ctx: &AllocContext<'_>,
+    proto: &HashSet<(Source, Sink)>,
+    op_fu: &[FuId],
+    v: ValueId,
+    reg: RegId,
+    steps: &[usize],
+) -> usize {
+    let mut added = 0;
+    for (src, sink) in value_edges(ctx, op_fu, v, &vec![reg; steps.len()]) {
+        if !proto.contains(&(src, sink)) {
+            added += 1;
+        }
+    }
+    added
+}
+
+fn record_proto(
+    ctx: &AllocContext<'_>,
+    proto: &mut HashSet<(Source, Sink)>,
+    op_fu: &[FuId],
+    v: ValueId,
+    regs: &[RegId],
+    steps: &[usize],
+) {
+    debug_assert_eq!(regs.len(), steps.len());
+    for edge in value_edges(ctx, op_fu, v, regs) {
+        proto.insert(edge);
+    }
+}
+
+/// The producer-write and consumer-read edges a register assignment of `v`
+/// implies (transfers and boundaries are omitted from the estimate).
+fn value_edges(
+    ctx: &AllocContext<'_>,
+    op_fu: &[FuId],
+    v: ValueId,
+    regs: &[RegId],
+) -> Vec<(Source, Sink)> {
+    let mut edges = Vec::new();
+    if let Some(p) = ctx.producer(v) {
+        edges.push((Source::FuOut(op_fu[p.index()]), Sink::RegIn(regs[0])));
+    }
+    for u in ctx.graph.value(v).uses() {
+        let issue = ctx.schedule.issue(u.op);
+        if let Some(idx) = ctx.lifetime_index(v, issue) {
+            edges.push((
+                Source::RegOut(regs[idx]),
+                Sink::FuIn(op_fu[u.op.index()], Port::from_index(u.port)),
+            ));
+        }
+    }
+    edges
+}

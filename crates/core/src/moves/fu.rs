@@ -1,0 +1,185 @@
+//! Functional-unit moves F1-F5.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use salsa_cdfg::OpId;
+use salsa_datapath::FuId;
+use salsa_sched::FuClass;
+
+use crate::binding::Owner;
+use crate::{Binding, TransferKey};
+
+/// F1 — exchange the complete bindings (operators and pass-throughs) of
+/// two same-class units.
+pub(crate) fn fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let classes: Vec<FuClass> = FuClass::all()
+        .into_iter()
+        .filter(|&c| b.ctx.datapath.fus_of_class(c).count() >= 2)
+        .collect();
+    let Some(&class) = classes.choose(rng) else { return false };
+    let units: Vec<FuId> = b.ctx.datapath.fus_of_class(class).map(|f| f.id()).collect();
+    let a = units[rng.gen_range(0..units.len())];
+    let mut z = units[rng.gen_range(0..units.len())];
+    if a == z {
+        z = units[(units.iter().position(|&u| u == a).unwrap() + 1) % units.len()];
+    }
+
+    let ops: Vec<OpId> = b
+        .ctx
+        .graph
+        .op_ids()
+        .filter(|&o| b.op_fu(o) == a || b.op_fu(o) == z)
+        .collect();
+    let pass_keys: Vec<TransferKey> = b
+        .passes()
+        .iter()
+        .filter(|(_, &fu)| fu == a || fu == z)
+        .map(|(&k, _)| k)
+        .collect();
+    if ops.is_empty() && pass_keys.is_empty() {
+        return false;
+    }
+
+    let owners: Vec<Owner> = ops
+        .iter()
+        .map(|&o| Owner::Op(o))
+        .chain(pass_keys.iter().map(|&k| Owner::Transfer(k)))
+        .collect();
+    for &o in &owners {
+        b.retract_owner(o);
+    }
+
+    let other = |fu: FuId| if fu == a { z } else { a };
+    let old_pass_fus: Vec<FuId> = pass_keys.iter().map(|&k| b.passes()[&k]).collect();
+    let old_op_fus: Vec<FuId> = ops.iter().map(|&o| b.op_fu(o)).collect();
+    for &op in &ops {
+        b.vacate_op(op);
+    }
+    for &key in &pass_keys {
+        b.set_pass(key, None);
+    }
+    for (&op, &old) in ops.iter().zip(&old_op_fus) {
+        b.occupy_op(op, other(old));
+    }
+    for (&key, &old) in pass_keys.iter().zip(&old_pass_fus) {
+        b.set_pass(key, Some(other(old)));
+    }
+
+    for &o in &owners {
+        b.assert_owner(o);
+    }
+    true
+}
+
+/// F2 — reassign one operator to another unit that is idle over the
+/// operator's occupancy window.
+pub(crate) fn fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let op = OpId::from_index(rng.gen_range(0..b.ctx.graph.num_ops()));
+    let current = b.op_fu(op);
+    let candidates: Vec<FuId> = b
+        .ctx
+        .datapath
+        .fus_of_class(b.ctx.class_of(op))
+        .map(|f| f.id())
+        .filter(|&f| f != current && b.fu_exec_free(f, op))
+        .collect();
+    let Some(&target) = candidates.choose(rng) else { return false };
+
+    b.retract_owner(Owner::Op(op));
+    b.vacate_op(op);
+    b.occupy_op(op, target);
+    b.assert_owner(Owner::Op(op));
+    true
+}
+
+/// F3 — switch the input ports of a commutative operator.
+pub(crate) fn operand_reverse(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let commutative: Vec<OpId> = b
+        .ctx
+        .graph
+        .ops()
+        .filter(|o| o.kind().is_commutative())
+        .map(|o| o.id())
+        .collect();
+    let Some(&op) = commutative.choose(rng) else { return false };
+    b.retract_owner(Owner::Op(op));
+    let swapped = b.op_swapped(op);
+    b.set_op_swap(op, !swapped);
+    b.assert_owner(Owner::Op(op));
+    true
+}
+
+/// All currently active register-to-register transfers.
+fn active_transfers(b: &Binding<'_>) -> Vec<(TransferKey, usize)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for value in b.ctx.graph.value_ids() {
+        for key in b.transfer_keys_of(value) {
+            if !seen.insert(key) {
+                continue;
+            }
+            if let Some((_, _, step)) = b.transfer_endpoints(key) {
+                out.push((key, step));
+            }
+        }
+    }
+    out
+}
+
+/// F4 — bind an unserved transfer to an idle, pass-capable unit,
+/// converting a register-register connection into reuse of the unit's
+/// existing paths.
+pub(crate) fn pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let unbound: Vec<(TransferKey, usize)> = active_transfers(b)
+        .into_iter()
+        .filter(|(key, _)| !b.passes().contains_key(key))
+        .collect();
+    let Some(&(key, step)) = unbound.choose(rng) else { return false };
+    let units: Vec<FuId> = b
+        .ctx
+        .datapath
+        .fus()
+        .map(|f| f.id())
+        .filter(|&f| b.fu_pass_free(f, step))
+        .collect();
+    if units.is_empty() {
+        return false;
+    }
+
+    // Pass-throughs pay off only when they reuse the unit's existing
+    // connections (Figure 3); pick the unit whose detour adds the least
+    // interconnect, breaking ties at random.
+    b.retract_owner(Owner::Transfer(key));
+    let mut best: Vec<FuId> = Vec::new();
+    let mut best_cost = u64::MAX;
+    for &cand in &units {
+        b.set_pass(key, Some(cand));
+        let cost = b.added_cost_of(&[Owner::Transfer(key)]);
+        b.set_pass(key, None);
+        match cost.cmp(&best_cost) {
+            std::cmp::Ordering::Less => {
+                best_cost = cost;
+                best = vec![cand];
+            }
+            std::cmp::Ordering::Equal => best.push(cand),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    let fu = *best.choose(rng).expect("at least one candidate");
+    b.set_pass(key, Some(fu));
+    b.assert_owner(Owner::Transfer(key));
+    true
+}
+
+/// F5 — eliminate a pass-through binding, reverting the transfer to a
+/// direct register-register connection.
+pub(crate) fn pass_unbind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let keys: Vec<TransferKey> = b.passes().keys().copied().collect();
+    let Some(&key) = keys.choose(rng) else { return false };
+    b.retract_owner(Owner::Transfer(key));
+    b.set_pass(key, None);
+    b.assert_owner(Owner::Transfer(key));
+    true
+}

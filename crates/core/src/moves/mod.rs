@@ -1,0 +1,231 @@
+//! The paper's Table 1 move set.
+//!
+//! | Move | Name | Function |
+//! |------|------|----------|
+//! | F1 | [`MoveKind::FuExchange`] | exchange the bindings of two units |
+//! | F2 | [`MoveKind::FuMove`] | reassign an operator to an idle unit |
+//! | F3 | [`MoveKind::OperandReverse`] | switch a commutative operator's inputs |
+//! | F4 | [`MoveKind::PassBind`] | assign a transfer to a pass-through unit |
+//! | F5 | [`MoveKind::PassUnbind`] | eliminate a pass-through binding |
+//! | R1 | [`MoveKind::SegmentExchange`] | exchange two value segments' registers |
+//! | R2 | [`MoveKind::SegmentMove`] | reassign a segment to an unused register |
+//! | R3 | [`MoveKind::ValueExchange`] | exchange two whole values' registers |
+//! | R4 | [`MoveKind::ValueMove`] | assign all segments of a value to one register |
+//! | R5 | [`MoveKind::ValueSplit`] | copy a value segment (create/extend a copy chain) |
+//! | R6 | [`MoveKind::ValueMerge`] | eliminate a copy of a value |
+//!
+//! Every move is *atomic*: it either applies completely (returning `true`)
+//! or leaves the binding untouched (returning `false`). The improvement
+//! engine snapshots the binding before each attempt and restores it when
+//! the cost function rejects the result, exactly as in the paper's
+//! accept/reverse scheme (§4).
+
+mod fu;
+mod reg;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Binding;
+
+pub(crate) use fu::{fu_exchange, fu_move, operand_reverse, pass_bind, pass_unbind};
+pub(crate) use reg::{
+    segment_exchange, segment_move, value_exchange, value_merge, value_move, value_split,
+};
+
+/// The eleven move types of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MoveKind {
+    /// F1 — exchange the complete bindings of two same-class units.
+    FuExchange,
+    /// F2 — reassign one operator to another (idle) unit.
+    FuMove,
+    /// F3 — switch the inputs of a commutative operator.
+    OperandReverse,
+    /// F4 — bind a register-to-register transfer to a pass-through unit.
+    PassBind,
+    /// F5 — eliminate a pass-through binding.
+    PassUnbind,
+    /// R1 — exchange the registers of two segments in one control step.
+    SegmentExchange,
+    /// R2 — move one segment to a register free at that step.
+    SegmentMove,
+    /// R3 — exchange the registers of two (contiguously bound) values.
+    ValueExchange,
+    /// R4 — bind all segments of a value to one register.
+    ValueMove,
+    /// R5 — split: create or extend a copy of a value.
+    ValueSplit,
+    /// R6 — merge: eliminate a copy of a value.
+    ValueMerge,
+}
+
+impl MoveKind {
+    /// All move kinds with the paper's table labels.
+    pub fn all() -> [(MoveKind, &'static str); 11] {
+        [
+            (MoveKind::FuExchange, "F1"),
+            (MoveKind::FuMove, "F2"),
+            (MoveKind::OperandReverse, "F3"),
+            (MoveKind::PassBind, "F4"),
+            (MoveKind::PassUnbind, "F5"),
+            (MoveKind::SegmentExchange, "R1"),
+            (MoveKind::SegmentMove, "R2"),
+            (MoveKind::ValueExchange, "R3"),
+            (MoveKind::ValueMove, "R4"),
+            (MoveKind::ValueSplit, "R5"),
+            (MoveKind::ValueMerge, "R6"),
+        ]
+    }
+
+    /// The default selection weight: "the random selection process is
+    /// weighted to pick complex moves such as value move and value
+    /// interchange less often to control execution times" (§4).
+    pub fn default_weight(self) -> u32 {
+        match self {
+            MoveKind::FuExchange => 8,
+            MoveKind::FuMove => 12,
+            MoveKind::OperandReverse => 8,
+            MoveKind::PassBind => 8,
+            MoveKind::PassUnbind => 4,
+            MoveKind::SegmentExchange => 10,
+            MoveKind::SegmentMove => 14,
+            MoveKind::ValueExchange => 3,
+            MoveKind::ValueMove => 3,
+            MoveKind::ValueSplit => 4,
+            MoveKind::ValueMerge => 3,
+        }
+    }
+}
+
+/// A weighted subset of the move kinds, used to configure the search (and
+/// to restrict it to the traditional binding model for baselines and
+/// ablations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveSet {
+    kinds: Vec<(MoveKind, u32)>,
+}
+
+impl MoveSet {
+    /// The full SALSA move set with default weights.
+    pub fn full() -> Self {
+        MoveSet {
+            kinds: MoveKind::all()
+                .into_iter()
+                .map(|(k, _)| (k, k.default_weight()))
+                .collect(),
+        }
+    }
+
+    /// The traditional-binding-model subset: whole-value register moves
+    /// only — no segments, no copies, no pass-throughs. Used as the
+    /// paper-comparable baseline.
+    pub fn traditional() -> Self {
+        MoveSet {
+            kinds: [
+                MoveKind::FuExchange,
+                MoveKind::FuMove,
+                MoveKind::OperandReverse,
+                MoveKind::ValueExchange,
+                MoveKind::ValueMove,
+            ]
+            .into_iter()
+            .map(|k| (k, k.default_weight()))
+            .collect(),
+        }
+    }
+
+    /// Removes one move kind (for ablations).
+    pub fn without(mut self, kind: MoveKind) -> Self {
+        self.kinds.retain(|(k, _)| *k != kind);
+        self
+    }
+
+    /// Returns `true` if the set contains the kind.
+    pub fn contains(&self, kind: MoveKind) -> bool {
+        self.kinds.iter().any(|(k, _)| *k == kind)
+    }
+
+    /// Returns `true` if no move kinds remain.
+    pub fn is_drained(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Draws a move kind according to the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn pick(&self, rng: &mut StdRng) -> MoveKind {
+        let total: u32 = self.kinds.iter().map(|(_, w)| w).sum();
+        assert!(total > 0, "cannot pick from an empty move set");
+        let mut roll = rng.gen_range(0..total);
+        for &(kind, weight) in &self.kinds {
+            if roll < weight {
+                return kind;
+            }
+            roll -= weight;
+        }
+        unreachable!("weighted pick is exhaustive")
+    }
+}
+
+impl Default for MoveSet {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Attempts one move of the given kind with random parameters. Returns
+/// `true` if the move applied; `false` leaves the binding untouched.
+pub fn try_move(binding: &mut Binding<'_>, kind: MoveKind, rng: &mut StdRng) -> bool {
+    match kind {
+        MoveKind::FuExchange => fu_exchange(binding, rng),
+        MoveKind::FuMove => fu_move(binding, rng),
+        MoveKind::OperandReverse => operand_reverse(binding, rng),
+        MoveKind::PassBind => pass_bind(binding, rng),
+        MoveKind::PassUnbind => pass_unbind(binding, rng),
+        MoveKind::SegmentExchange => segment_exchange(binding, rng),
+        MoveKind::SegmentMove => segment_move(binding, rng),
+        MoveKind::ValueExchange => value_exchange(binding, rng),
+        MoveKind::ValueMove => value_move(binding, rng),
+        MoveKind::ValueSplit => value_split(binding, rng),
+        MoveKind::ValueMerge => value_merge(binding, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn move_set_composition() {
+        let full = MoveSet::full();
+        assert!(full.contains(MoveKind::ValueSplit));
+        assert!(full.contains(MoveKind::PassBind));
+        let trad = MoveSet::traditional();
+        assert!(!trad.contains(MoveKind::SegmentMove));
+        assert!(!trad.contains(MoveKind::PassBind));
+        assert!(!trad.contains(MoveKind::ValueSplit));
+        assert!(trad.contains(MoveKind::ValueMove));
+        let ablated = MoveSet::full().without(MoveKind::PassBind);
+        assert!(!ablated.contains(MoveKind::PassBind));
+        assert!(ablated.contains(MoveKind::SegmentMove));
+    }
+
+    #[test]
+    fn weighted_pick_honors_membership() {
+        let set = MoveSet::traditional();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(set.contains(set.pick(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn labels_cover_f1_to_r6() {
+        let labels: Vec<&str> = MoveKind::all().iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, ["F1", "F2", "F3", "F4", "F5", "R1", "R2", "R3", "R4", "R5", "R6"]);
+    }
+}

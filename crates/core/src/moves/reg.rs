@@ -1,0 +1,409 @@
+//! Register moves R1-R6: segments, whole values, splits and merges.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use salsa_cdfg::ValueId;
+use salsa_datapath::{Port, RegId, Sink, Source};
+
+use crate::binding::Owner;
+use crate::{Binding, TransferKey};
+
+/// Upper bound on concurrent copies per value, keeping the configuration
+/// space (and undo state) bounded.
+const MAX_COPIES: usize = 2;
+
+fn stored_values(b: &Binding<'_>) -> Vec<ValueId> {
+    b.ctx
+        .graph
+        .value_ids()
+        .filter(|&v| b.primal(v).is_some())
+        .collect()
+}
+
+fn retract_values(b: &mut Binding<'_>, values: &[ValueId]) -> Vec<Owner> {
+    let mut owners = std::collections::BTreeSet::new();
+    for &v in values {
+        owners.extend(b.owners_of_value(v));
+    }
+    let owners: Vec<Owner> = owners.into_iter().collect();
+    for &o in &owners {
+        b.retract_owner(o);
+    }
+    owners
+}
+
+fn assert_values(b: &mut Binding<'_>, values: &[ValueId]) {
+    let mut owners = std::collections::BTreeSet::new();
+    for &v in values {
+        owners.extend(b.owners_of_value(v));
+    }
+    for o in owners {
+        b.assert_owner(o);
+    }
+}
+
+fn drop_stale_for(b: &mut Binding<'_>, values: &[ValueId]) {
+    for &v in values {
+        let keys = b.transfer_keys_of(v);
+        b.drop_stale_passes(keys);
+    }
+}
+
+/// R1 — exchange the registers of two segments stored in the same control
+/// step.
+pub(crate) fn segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let step = rng.gen_range(0..b.ctx.n_steps());
+    let occupied: Vec<(RegId, (ValueId, usize))> = b
+        .ctx
+        .datapath
+        .reg_ids()
+        .filter_map(|r| b.reg_occupant(r, step).map(|occ| (r, occ)))
+        .collect();
+    if occupied.len() < 2 {
+        return false;
+    }
+    let i = rng.gen_range(0..occupied.len());
+    let mut j = rng.gen_range(0..occupied.len());
+    if i == j {
+        j = (j + 1) % occupied.len();
+    }
+    let (r1, (v1, s1)) = occupied[i];
+    let (r2, (v2, s2)) = occupied[j];
+    let idx1 = b.ctx.lifetime_index(v1, step).expect("occupant is stored at step");
+    let idx2 = b.ctx.lifetime_index(v2, step).expect("occupant is stored at step");
+
+    let values = if v1 == v2 { vec![v1] } else { vec![v1, v2] };
+    retract_values(b, &values);
+    b.vacate_seg(v1, s1, idx1);
+    b.vacate_seg(v2, s2, idx2);
+    b.chain_reg_mut(v1, s1, idx1, r2);
+    b.chain_reg_mut(v2, s2, idx2, r1);
+    b.occupy_seg(v1, s1, idx1);
+    b.occupy_seg(v2, s2, idx2);
+    drop_stale_for(b, &values);
+    assert_values(b, &values);
+    true
+}
+
+/// R2 — move one segment to a register free at its step. The segment is
+/// chosen at random; among the free target registers the one adding the
+/// least interconnect is taken (random tie-break), which makes individual
+/// segment moves productive instead of noise.
+pub(crate) fn segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let values = stored_values(b);
+    let Some(&v) = values.choose(rng) else { return false };
+    let chains: Vec<usize> = b.chains_of(v).map(|(slot, _)| slot).collect();
+    let &slot = chains.choose(rng).expect("stored value has chains");
+    let (lo, hi) = {
+        let chain = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
+        (chain.lo(), chain.hi())
+    };
+    let idx = rng.gen_range(lo..=hi);
+    let step = b.ctx.lifetimes.get(v).expect("stored").steps()[idx];
+    let free: Vec<RegId> =
+        b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, step)).collect();
+    if free.is_empty() {
+        return false;
+    }
+
+    let owners = retract_values(b, &[v]);
+    b.vacate_seg(v, slot, idx);
+    let mut best: Vec<RegId> = Vec::new();
+    let mut best_cost = u64::MAX;
+    for &cand in &free {
+        b.chain_reg_mut(v, slot, idx, cand);
+        let cost = b.added_cost_of(&owners);
+        match cost.cmp(&best_cost) {
+            std::cmp::Ordering::Less => {
+                best_cost = cost;
+                best = vec![cand];
+            }
+            std::cmp::Ordering::Equal => best.push(cand),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    let target = *best.choose(rng).expect("at least one free candidate");
+    b.chain_reg_mut(v, slot, idx, target);
+    b.occupy_seg(v, slot, idx);
+    drop_stale_for(b, &[v]);
+    assert_values(b, &[v]);
+    true
+}
+
+/// R3 — exchange the registers of two contiguously bound values.
+pub(crate) fn value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let uniform: Vec<(ValueId, RegId)> = stored_values(b)
+        .into_iter()
+        .filter_map(|v| {
+            let primal = b.primal(v)?;
+            primal.is_uniform().then(|| (v, primal.regs()[0]))
+        })
+        .collect();
+    if uniform.len() < 2 {
+        return false;
+    }
+    let i = rng.gen_range(0..uniform.len());
+    let mut j = rng.gen_range(0..uniform.len());
+    if i == j {
+        j = (j + 1) % uniform.len();
+    }
+    let (v1, r1) = uniform[i];
+    let (v2, r2) = uniform[j];
+    if r1 == r2 {
+        return false;
+    }
+    // Feasible iff each value's steps in the other's register are free or
+    // occupied by the primal chain being vacated.
+    let ok = |value: ValueId, other: ValueId, target: RegId, b: &Binding<'_>| {
+        b.ctx
+            .lifetimes
+            .get(value)
+            .expect("stored")
+            .steps()
+            .iter()
+            .all(|&s| match b.reg_occupant(target, s) {
+                None => true,
+                Some((occ_v, occ_slot)) => occ_v == other && occ_slot == 0,
+            })
+    };
+    if !ok(v1, v2, r2, b) || !ok(v2, v1, r1, b) {
+        return false;
+    }
+
+    retract_values(b, &[v1, v2]);
+    let len1 = b.primal(v1).unwrap().len();
+    let len2 = b.primal(v2).unwrap().len();
+    for idx in 0..len1 {
+        b.vacate_seg(v1, 0, idx);
+    }
+    for idx in 0..len2 {
+        b.vacate_seg(v2, 0, idx);
+    }
+    for idx in 0..len1 {
+        b.chain_reg_mut(v1, 0, idx, r2);
+        b.occupy_seg(v1, 0, idx);
+    }
+    for idx in 0..len2 {
+        b.chain_reg_mut(v2, 0, idx, r1);
+        b.occupy_seg(v2, 0, idx);
+    }
+    drop_stale_for(b, &[v1, v2]);
+    assert_values(b, &[v1, v2]);
+    true
+}
+
+/// R4 — bind every (primal) segment of a value to one register.
+pub(crate) fn value_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let values = stored_values(b);
+    let Some(&v) = values.choose(rng) else { return false };
+    let steps: Vec<usize> = b.ctx.lifetimes.get(v).expect("stored").steps().to_vec();
+    let candidates: Vec<RegId> = b
+        .ctx
+        .datapath
+        .reg_ids()
+        .filter(|&r| {
+            steps.iter().all(|&s| match b.reg_occupant(r, s) {
+                None => true,
+                Some((occ_v, occ_slot)) => occ_v == v && occ_slot == 0,
+            })
+        })
+        .collect();
+    let Some(&target) = candidates.choose(rng) else { return false };
+    if b.primal(v).unwrap().is_uniform() && b.primal(v).unwrap().regs()[0] == target {
+        return false;
+    }
+
+    retract_values(b, &[v]);
+    let len = b.primal(v).unwrap().len();
+    for idx in 0..len {
+        b.vacate_seg(v, 0, idx);
+    }
+    for idx in 0..len {
+        b.chain_reg_mut(v, 0, idx, target);
+        b.occupy_seg(v, 0, idx);
+    }
+    drop_stale_for(b, &[v]);
+    assert_values(b, &[v]);
+    true
+}
+
+/// R5 — value split: create a copy of a value segment in a free register,
+/// or extend an existing copy by one step; consumers covered by the copy
+/// rebind greedily to whichever chain adds less interconnect.
+pub(crate) fn value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let values: Vec<ValueId> = stored_values(b)
+        .into_iter()
+        .filter(|&v| b.num_copies(v) < MAX_COPIES || b.num_copies(v) > 0)
+        .collect();
+    let Some(&v) = values.choose(rng) else { return false };
+    let lt_len = b.ctx.lifetimes.get(v).expect("stored").len();
+    let steps: Vec<usize> = b.ctx.lifetimes.get(v).unwrap().steps().to_vec();
+
+    // Choose: create a new copy, or extend an existing one.
+    let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
+    let extend = !copies.is_empty() && rng.gen_bool(0.5);
+
+    let slot = if extend {
+        let &slot = copies.choose(rng).expect("nonempty");
+        let (lo, hi) = {
+            let c = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
+            (c.lo(), c.hi())
+        };
+        let mut dirs = Vec::new();
+        if lo > b.min_copy_index(v) {
+            dirs.push(true);
+        }
+        if hi + 1 < lt_len {
+            dirs.push(false);
+        }
+        let Some(&front) = dirs.choose(rng) else { return false };
+        let idx = if front { lo - 1 } else { hi + 1 };
+        let free: Vec<RegId> =
+            b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])).collect();
+        let Some(&reg) = free.choose(rng) else { return false };
+
+        retract_values(b, &[v]);
+        if front {
+            // The copy-feed step moves earlier; a pass bound to the old
+            // feed step would become inconsistent.
+            let key = TransferKey::CopyFeed { value: v, chain: slot };
+            if b.passes().contains_key(&key) {
+                b.set_pass(key, None);
+            }
+        }
+        b.extend_copy(v, slot, front, reg);
+        slot
+    } else {
+        if b.num_copies(v) >= MAX_COPIES {
+            return false;
+        }
+        let min_idx = b.min_copy_index(v);
+        if min_idx >= lt_len {
+            return false;
+        }
+        let idx = rng.gen_range(min_idx..lt_len);
+        let free: Vec<RegId> =
+            b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])).collect();
+        let Some(&reg) = free.choose(rng) else { return false };
+
+        retract_values(b, &[v]);
+        b.add_copy_chain(v, idx, reg)
+    };
+
+    rebind_uses_greedily(b, v, slot);
+    drop_stale_for(b, &[v]);
+    assert_values(b, &[v]);
+    true
+}
+
+/// After a split, each consumer read of `v` at a step covered by chain
+/// `slot` picks the cheaper source register (fewer added multiplexer
+/// inputs), measured against the retracted connection matrix.
+fn rebind_uses_greedily(b: &mut Binding<'_>, v: ValueId, slot: usize) {
+    let uses: Vec<(salsa_cdfg::OpId, usize)> = b
+        .ctx
+        .graph
+        .value(v)
+        .uses()
+        .iter()
+        .map(|u| (u.op, u.port))
+        .collect();
+    for (op, port) in uses {
+        let issue = b.ctx.schedule.issue(op);
+        let Some(idx) = b.ctx.lifetime_index(v, issue) else { continue };
+        let covered = b
+            .chains_of(v)
+            .find(|(s, _)| *s == slot)
+            .is_some_and(|(_, c)| c.covers(idx));
+        if !covered {
+            continue;
+        }
+        let fu = b.op_fu(op);
+        let actual = if b.op_swapped(op) { 1 - port } else { port };
+        let sink = Sink::FuIn(fu, Port::from_index(actual));
+        let cost_of = |chain_slot: usize, b: &Binding<'_>| {
+            let reg = b
+                .chains_of(v)
+                .find(|(s, _)| *s == chain_slot)
+                .expect("live chain")
+                .1
+                .reg_at(idx);
+            b.connections().added_mux_cost(Source::RegOut(reg), sink)
+        };
+        let current = b.use_chain(op, port);
+        let (cur_cost, new_cost) = (cost_of(current, b), cost_of(slot, b));
+        if new_cost < cur_cost {
+            b.set_use_chain(op, port, slot);
+        }
+    }
+}
+
+/// R6 — value merge: shrink a copy chain by one segment (reversing a
+/// split), removing the chain entirely when its last segment goes.
+/// Consumers that were reading the vanished segments rebind to the primal
+/// chain.
+pub(crate) fn value_merge(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+    let with_copies: Vec<ValueId> = stored_values(b)
+        .into_iter()
+        .filter(|&v| b.num_copies(v) > 0)
+        .collect();
+    let Some(&v) = with_copies.choose(rng) else { return false };
+    let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
+    let &slot = copies.choose(rng).expect("nonempty");
+    let (lo, hi) = {
+        let c = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
+        (c.lo(), c.hi())
+    };
+    let front = rng.gen_bool(0.5);
+    let removed_idx = if front { lo } else { hi };
+    let whole_chain = lo == hi;
+
+    retract_values(b, &[v]);
+    // Clear passes on transfer keys this shrink invalidates, while their
+    // endpoints can still be resolved: the adjacency at the vanished end
+    // and — when the front moves — the copy feed (its step changes).
+    let mut stale = Vec::new();
+    if whole_chain || front {
+        stale.push(TransferKey::CopyFeed { value: v, chain: slot });
+    }
+    if !whole_chain {
+        let idx = if front { lo } else { hi - 1 };
+        stale.push(TransferKey::Intra { value: v, chain: slot, idx });
+    } else {
+        // Removing a one-segment chain has no adjacencies left.
+    }
+    for key in stale {
+        if b.passes().contains_key(&key) {
+            b.set_pass(key, None);
+        }
+    }
+    // Rebind uses served by the vanishing segment(s).
+    let uses: Vec<(salsa_cdfg::OpId, usize)> = b
+        .ctx
+        .graph
+        .value(v)
+        .uses()
+        .iter()
+        .map(|u| (u.op, u.port))
+        .collect();
+    for (op, port) in uses {
+        if b.use_chain(op, port) != slot {
+            continue;
+        }
+        let issue = b.ctx.schedule.issue(op);
+        let idx = b.ctx.lifetime_index(v, issue).expect("operand alive at issue");
+        if whole_chain || idx == removed_idx {
+            b.set_use_chain(op, port, 0);
+        }
+    }
+    if whole_chain {
+        b.remove_copy_chain(v, slot);
+    } else {
+        b.shrink_copy(v, slot, front);
+    }
+    drop_stale_for(b, &[v]);
+    assert_values(b, &[v]);
+    true
+}

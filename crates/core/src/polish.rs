@@ -1,0 +1,309 @@
+//! Deterministic greedy polish: after the stochastic search, sweep the
+//! complete single-move neighborhood — every operator against every unit,
+//! every operand reversal, every whole-value register move, every
+//! pass-through binding/unbinding, every single-segment move — accepting
+//! strict improvements until a fixpoint. This squeezes out the "one obvious
+//! move away" residue random sampling leaves behind, in the spirit of the
+//! rip-up-and-reallocate refinement the paper cites [Tsai & Hsu 12].
+
+use salsa_cdfg::{OpId, ValueId};
+use salsa_datapath::{CostWeights, FuId, RegId};
+
+use crate::binding::Owner;
+use crate::{Binding, MoveKind, MoveSet, TransferKey};
+
+/// Runs greedy descent to a fixpoint over the neighborhoods the move set
+/// permits (a traditional-model polish stays within the traditional model);
+/// returns the final cost. The binding is left at the (local) optimum;
+/// never worse than the input.
+pub fn polish(binding: &mut Binding<'_>, weights: &CostWeights, move_set: &MoveSet) -> u64 {
+    let cost = |b: &Binding<'_>| weights.evaluate(&b.breakdown());
+    let mut best = cost(binding);
+    loop {
+        let mut improved = false;
+        if move_set.contains(MoveKind::FuMove) {
+            improved |= sweep_op_moves(binding, weights, &mut best);
+        }
+        if move_set.contains(MoveKind::OperandReverse) {
+            improved |= sweep_operand_reversals(binding, weights, &mut best);
+        }
+        if move_set.contains(MoveKind::ValueMove) {
+            improved |= sweep_value_moves(binding, weights, &mut best);
+        }
+        if move_set.contains(MoveKind::PassBind) {
+            improved |= sweep_passes(binding, weights, &mut best);
+        }
+        if move_set.contains(MoveKind::SegmentMove) {
+            improved |= sweep_segment_moves(binding, weights, &mut best);
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn accept_or_rollback<'a>(
+    binding: &mut Binding<'a>,
+    snapshot: Binding<'a>,
+    weights: &CostWeights,
+    best: &mut u64,
+) -> bool {
+    let after = weights.evaluate(&binding.breakdown());
+    if after < *best {
+        *best = after;
+        true
+    } else {
+        *binding = snapshot;
+        false
+    }
+}
+
+/// F2 over the complete (operation, unit) grid.
+fn sweep_op_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u64) -> bool {
+    let mut improved = false;
+    for op in binding.ctx().graph.op_ids() {
+        let class = binding.ctx().class_of(op);
+        let candidates: Vec<FuId> = binding
+            .ctx()
+            .datapath
+            .fus_of_class(class)
+            .map(|f| f.id())
+            .collect();
+        for fu in candidates {
+            if fu == binding.op_fu(op) || !binding.fu_exec_free(fu, op) {
+                continue;
+            }
+            let snapshot = binding.clone();
+            binding.retract_owner(Owner::Op(op));
+            binding.vacate_op(op);
+            binding.occupy_op(op, fu);
+            binding.assert_owner(Owner::Op(op));
+            improved |= accept_or_rollback(binding, snapshot, weights, best);
+        }
+    }
+    improved
+}
+
+/// F3 over every commutative operation.
+fn sweep_operand_reversals(
+    binding: &mut Binding<'_>,
+    weights: &CostWeights,
+    best: &mut u64,
+) -> bool {
+    let mut improved = false;
+    let ops: Vec<OpId> = binding
+        .ctx()
+        .graph
+        .ops()
+        .filter(|o| o.kind().is_commutative())
+        .map(|o| o.id())
+        .collect();
+    for op in ops {
+        let snapshot = binding.clone();
+        let swapped = binding.op_swapped(op);
+        binding.retract_owner(Owner::Op(op));
+        binding.set_op_swap(op, !swapped);
+        binding.assert_owner(Owner::Op(op));
+        improved |= accept_or_rollback(binding, snapshot, weights, best);
+    }
+    improved
+}
+
+/// R4 over every (value, register) pair feasible for the whole lifetime.
+fn sweep_value_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u64) -> bool {
+    let mut improved = false;
+    let values: Vec<ValueId> = binding
+        .ctx()
+        .graph
+        .value_ids()
+        .filter(|&v| binding.primal(v).is_some())
+        .collect();
+    for v in values {
+        let steps: Vec<usize> =
+            binding.ctx().lifetimes.get(v).expect("stored").steps().to_vec();
+        let targets: Vec<RegId> = binding
+            .ctx()
+            .datapath
+            .reg_ids()
+            .filter(|&r| {
+                steps.iter().all(|&s| match binding.reg_occupant(r, s) {
+                    None => true,
+                    Some((occ_v, occ_slot)) => occ_v == v && occ_slot == 0,
+                })
+            })
+            .collect();
+        for target in targets {
+            let primal = binding.primal(v).expect("stored");
+            if primal.is_uniform() && primal.regs()[0] == target {
+                continue;
+            }
+            let snapshot = binding.clone();
+            let owners = binding.owners_of_value(v);
+            for &o in &owners {
+                binding.retract_owner(o);
+            }
+            let len = binding.primal(v).unwrap().len();
+            for idx in 0..len {
+                binding.vacate_seg(v, 0, idx);
+            }
+            for idx in 0..len {
+                binding.chain_reg_mut(v, 0, idx, target);
+                binding.occupy_seg(v, 0, idx);
+            }
+            let keys = binding.transfer_keys_of(v);
+            binding.drop_stale_passes(keys);
+            for o in binding.owners_of_value(v) {
+                binding.assert_owner(o);
+            }
+            improved |= accept_or_rollback(binding, snapshot, weights, best);
+        }
+    }
+    improved
+}
+
+/// F4/F5 over every active transfer and every pass-capable unit.
+fn sweep_passes(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u64) -> bool {
+    let mut improved = false;
+    let mut keys: Vec<(TransferKey, usize)> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for v in binding.ctx().graph.value_ids() {
+        for key in binding.transfer_keys_of(v) {
+            if seen.insert(key) {
+                if let Some((_, _, step)) = binding.transfer_endpoints(key) {
+                    keys.push((key, step));
+                }
+            }
+        }
+    }
+    for (key, step) in keys {
+        // Candidates: every pass-capable idle unit, plus "no pass".
+        let current = binding.passes().get(&key).copied();
+        let mut candidates: Vec<Option<FuId>> = binding
+            .ctx()
+            .datapath
+            .fus()
+            .map(|f| f.id())
+            .filter(|&f| Some(f) != current && binding.fu_pass_free(f, step))
+            .map(Some)
+            .collect();
+        if current.is_some() {
+            candidates.push(None);
+        }
+        for cand in candidates {
+            let snapshot = binding.clone();
+            binding.retract_owner(Owner::Transfer(key));
+            binding.set_pass(key, None);
+            if let Some(fu) = cand {
+                binding.set_pass(key, Some(fu));
+            }
+            binding.assert_owner(Owner::Transfer(key));
+            improved |= accept_or_rollback(binding, snapshot, weights, best);
+        }
+    }
+    improved
+}
+
+/// R2 over every segment, against its greedily best alternative register.
+fn sweep_segment_moves(
+    binding: &mut Binding<'_>,
+    weights: &CostWeights,
+    best: &mut u64,
+) -> bool {
+    let mut improved = false;
+    let values: Vec<ValueId> = binding
+        .ctx()
+        .graph
+        .value_ids()
+        .filter(|&v| binding.primal(v).is_some())
+        .collect();
+    for v in values {
+        let slots: Vec<(usize, usize, usize)> = binding
+            .chains_of(v)
+            .map(|(slot, chain)| (slot, chain.lo(), chain.hi()))
+            .collect();
+        let steps: Vec<usize> =
+            binding.ctx().lifetimes.get(v).expect("stored").steps().to_vec();
+        for (slot, lo, hi) in slots {
+            #[allow(clippy::needless_range_loop)] // idx is a lifetime index, not just a steps[] cursor
+            for idx in lo..=hi {
+                let step = steps[idx];
+                let free: Vec<RegId> = binding
+                    .ctx()
+                    .datapath
+                    .reg_ids()
+                    .filter(|&r| binding.reg_free(r, step))
+                    .collect();
+                for target in free {
+                    let snapshot = binding.clone();
+                    let owners = binding.owners_of_value(v);
+                    for &o in &owners {
+                        binding.retract_owner(o);
+                    }
+                    binding.vacate_seg(v, slot, idx);
+                    binding.chain_reg_mut(v, slot, idx, target);
+                    binding.occupy_seg(v, slot, idx);
+                    let keys = binding.transfer_keys_of(v);
+                    binding.drop_stale_passes(keys);
+                    for o in binding.owners_of_value(v) {
+                        binding.assert_owner(o);
+                    }
+                    improved |= accept_or_rollback(binding, snapshot, weights, best);
+                }
+            }
+        }
+    }
+    improved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{initial_allocation, lower, AllocContext};
+    use salsa_cdfg::benchmarks::{diffeq, ewf};
+    use salsa_datapath::Datapath;
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    fn ctx_for<'a>(
+        graph: &'a salsa_cdfg::Cdfg,
+        schedule: &'a salsa_sched::Schedule,
+        library: &'a FuLibrary,
+    ) -> AllocContext<'a> {
+        let pool = Datapath::new(
+            &schedule.fu_demand(graph, library),
+            schedule.register_demand(graph, library),
+        );
+        AllocContext::new(graph, schedule, library, pool).unwrap()
+    }
+
+    #[test]
+    fn polish_improves_the_initial_allocation_and_verifies() {
+        let graph = ewf();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 17).unwrap();
+        let ctx = ctx_for(&graph, &schedule, &library);
+        let mut binding = initial_allocation(&ctx);
+        let weights = CostWeights::default();
+        let before = weights.evaluate(&binding.breakdown());
+        let after = polish(&mut binding, &weights, &crate::MoveSet::full());
+        assert!(after <= before);
+        assert!(after < before, "the initial allocation always has slack");
+        binding.check_consistency();
+        let (rtl, claims) = lower(&binding);
+        salsa_datapath::verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
+            .expect("polished allocation verifies");
+    }
+
+    #[test]
+    fn polish_is_idempotent() {
+        let graph = diffeq();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 9).unwrap();
+        let ctx = ctx_for(&graph, &schedule, &library);
+        let mut binding = initial_allocation(&ctx);
+        let weights = CostWeights::default();
+        let set = crate::MoveSet::full();
+        let first = polish(&mut binding, &weights, &set);
+        let second = polish(&mut binding, &weights, &set);
+        assert_eq!(first, second, "a fixpoint stays fixed");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests: for arbitrary CDFGs, schedules and random move
+//! sequences, the binding's incremental state stays exactly consistent
+//! with a from-scratch rebuild, and every reachable allocation lowers to a
+//! datapath that passes end-to-end verification.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use salsa_alloc::{
+    improve, initial_allocation, lower, moves, AllocContext, ImproveConfig, MoveSet,
+};
+use salsa_cdfg::{random_cdfg, RandomCdfgConfig};
+use salsa_datapath::{verify, Datapath};
+use salsa_sched::{asap, fds_schedule, FuLibrary};
+
+fn build_case(
+    graph_seed: u64,
+    ops: usize,
+    states: usize,
+    slack: usize,
+    extra_regs: usize,
+    pipelined: bool,
+) -> (salsa_cdfg::Cdfg, salsa_sched::Schedule, FuLibrary, usize) {
+    let cfg = RandomCdfgConfig { ops, states, ..RandomCdfgConfig::default() };
+    let graph = random_cdfg(&cfg, graph_seed);
+    let library = if pipelined { FuLibrary::pipelined() } else { FuLibrary::standard() };
+    let cp = asap(&graph, &library).length;
+    let schedule = fds_schedule(&graph, &library, cp + slack).expect("cp + slack is feasible");
+    (graph, schedule, library, extra_regs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random move sequences preserve full incremental-state consistency
+    /// and end in a verifiable datapath.
+    #[test]
+    fn random_move_sequences_stay_consistent(
+        graph_seed in 0u64..500,
+        move_seed in 0u64..500,
+        ops in 8usize..24,
+        states in 0usize..4,
+        slack in 0usize..3,
+        extra_regs in 0usize..3,
+        pipelined in any::<bool>(),
+    ) {
+        let (graph, schedule, library, extra) =
+            build_case(graph_seed, ops, states, slack, extra_regs, pipelined);
+        let datapath = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library) + extra,
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let mut binding = initial_allocation(&ctx);
+        binding.check_consistency();
+
+        let set = MoveSet::full();
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let mut applied = 0;
+        for i in 0..160 {
+            let kind = set.pick(&mut rng);
+            if moves::try_move(&mut binding, kind, &mut rng) {
+                applied += 1;
+            }
+            if i % 20 == 19 {
+                binding.check_consistency();
+            }
+        }
+        binding.check_consistency();
+        prop_assert!(applied > 0, "some moves should be feasible");
+
+        let (rtl, claims) = lower(&binding);
+        verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
+            .map_err(|e| TestCaseError::fail(format!("verify failed after moves: {e}")))?;
+    }
+
+    /// The full search pipeline produces verified, never-worse allocations
+    /// on arbitrary graphs.
+    #[test]
+    fn improvement_pipeline_on_random_graphs(
+        graph_seed in 0u64..500,
+        search_seed in 0u64..100,
+        ops in 8usize..20,
+        states in 0usize..3,
+        slack in 0usize..3,
+    ) {
+        let (graph, schedule, library, _) =
+            build_case(graph_seed, ops, states, slack, 1, false);
+        let datapath = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library) + 1,
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let mut binding = initial_allocation(&ctx);
+        let config = ImproveConfig {
+            max_trials: 3,
+            moves_per_trial: Some(250),
+            ..ImproveConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(search_seed);
+        let stats = improve(&mut binding, &config, &mut rng);
+        prop_assert!(stats.final_cost <= stats.initial_cost);
+        binding.check_consistency();
+        let (rtl, claims) = lower(&binding);
+        verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
+            .map_err(|e| TestCaseError::fail(format!("verify failed after improve: {e}")))?;
+    }
+}

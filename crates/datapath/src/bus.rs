@@ -1,0 +1,214 @@
+//! Bus-oriented interconnect allocation — the paper's §7 *future work*
+//! ("extensions to interconnection allocation should be investigated to
+//! improve on the point-to-point model currently used"), in the style it
+//! cites from Haroun & Elmasry: module outputs drive shared buses, and a
+//! single level of multiplexers connects buses to module inputs.
+//!
+//! [`bus_allocate`] packs the sources of a traffic matrix onto the minimum
+//! number of conflict-free buses greedily (two sources may share a bus iff
+//! they never need to transport data in the same control step) and derives
+//! the per-sink bus taps. Interconnect is again counted in equivalent 2-1
+//! multiplexers: `drivers - 1` per bus plus `taps - 1` per sink.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::muxmerge::Traffic;
+use crate::{Sink, Source};
+
+/// Result of [`bus_allocate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusResult {
+    /// The sources driving each bus.
+    pub buses: Vec<BTreeSet<Source>>,
+    /// The buses each sink taps (indices into [`buses`](Self::buses)).
+    pub sink_taps: BTreeMap<Sink, BTreeSet<usize>>,
+    /// Equivalent 2-1 multiplexers selecting each bus's driver.
+    pub driver_mux_equiv: usize,
+    /// Equivalent 2-1 multiplexers selecting among buses at sink inputs.
+    pub sink_mux_equiv: usize,
+}
+
+impl BusResult {
+    /// Number of buses.
+    pub fn num_buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Total equivalent 2-1 multiplexers of the bus-style interconnect.
+    pub fn total_mux_equiv(&self) -> usize {
+        self.driver_mux_equiv + self.sink_mux_equiv
+    }
+}
+
+/// Allocates buses for a traffic matrix. Deterministic: sources are packed
+/// in descending activity order (first-fit decreasing), ties by source
+/// identity.
+///
+/// ```
+/// use salsa_datapath::{bus_allocate, RegId, FuId, Port, Sink, Source, Traffic};
+///
+/// // Two registers transporting data in different steps share one bus.
+/// let mut traffic = Traffic::new();
+/// traffic.insert(
+///     Sink::FuIn(FuId::from_index(0), Port::Left),
+///     vec![Some(Source::RegOut(RegId::from_index(0))), None],
+/// );
+/// traffic.insert(
+///     Sink::FuIn(FuId::from_index(0), Port::Right),
+///     vec![None, Some(Source::RegOut(RegId::from_index(1)))],
+/// );
+/// let buses = bus_allocate(&traffic);
+/// assert_eq!(buses.num_buses(), 1);
+/// ```
+pub fn bus_allocate(traffic: &Traffic) -> BusResult {
+    let n_steps = traffic.values().map(Vec::len).max().unwrap_or(0);
+
+    // Steps during which each source must transport data.
+    let mut activity: BTreeMap<Source, BTreeSet<usize>> = BTreeMap::new();
+    for reqs in traffic.values() {
+        for (t, src) in reqs.iter().enumerate() {
+            if let Some(src) = src {
+                activity.entry(*src).or_default().insert(t);
+            }
+        }
+    }
+
+    let mut order: Vec<Source> = activity.keys().copied().collect();
+    order.sort_by_key(|s| (usize::MAX - activity[s].len(), *s));
+
+    // First-fit-decreasing packing into conflict-free buses.
+    let mut buses: Vec<BTreeSet<Source>> = Vec::new();
+    let mut bus_busy: Vec<Vec<bool>> = Vec::new();
+    let mut source_bus: BTreeMap<Source, usize> = BTreeMap::new();
+    for source in order {
+        let steps = &activity[&source];
+        let slot = (0..buses.len())
+            .find(|&b| steps.iter().all(|&t| !bus_busy[b][t]))
+            .unwrap_or_else(|| {
+                buses.push(BTreeSet::new());
+                bus_busy.push(vec![false; n_steps]);
+                buses.len() - 1
+            });
+        for &t in steps {
+            bus_busy[slot][t] = true;
+        }
+        buses[slot].insert(source);
+        source_bus.insert(source, slot);
+    }
+
+    // Sink taps: the buses that carry each sink's needed sources.
+    let mut sink_taps: BTreeMap<Sink, BTreeSet<usize>> = BTreeMap::new();
+    for (&sink, reqs) in traffic {
+        let taps: BTreeSet<usize> =
+            reqs.iter().flatten().map(|src| source_bus[src]).collect();
+        if !taps.is_empty() {
+            sink_taps.insert(sink, taps);
+        }
+    }
+
+    let driver_mux_equiv = buses.iter().map(|b| b.len().saturating_sub(1)).sum();
+    let sink_mux_equiv = sink_taps.values().map(|t| t.len().saturating_sub(1)).sum();
+    BusResult { buses, sink_taps, driver_mux_equiv, sink_mux_equiv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuId, Port, RegId};
+
+    fn r(i: usize) -> RegId {
+        RegId::from_index(i)
+    }
+    fn f(i: usize) -> FuId {
+        FuId::from_index(i)
+    }
+
+    fn traffic(entries: &[(Sink, Vec<Option<Source>>)]) -> Traffic {
+        entries.iter().cloned().collect()
+    }
+
+    #[test]
+    fn time_disjoint_sources_share_a_bus() {
+        // r0 drives at step 0, r1 at step 1: one bus carries both.
+        let t = traffic(&[
+            (Sink::FuIn(f(0), Port::Left), vec![Some(Source::RegOut(r(0))), None]),
+            (Sink::FuIn(f(0), Port::Right), vec![None, Some(Source::RegOut(r(1)))]),
+        ]);
+        let result = bus_allocate(&t);
+        assert_eq!(result.num_buses(), 1);
+        assert_eq!(result.driver_mux_equiv, 1, "two drivers on one bus");
+        assert_eq!(result.sink_mux_equiv, 0, "each sink taps one bus");
+    }
+
+    #[test]
+    fn concurrent_sources_need_separate_buses() {
+        // Both registers transport data at step 0.
+        let t = traffic(&[
+            (Sink::FuIn(f(0), Port::Left), vec![Some(Source::RegOut(r(0)))]),
+            (Sink::FuIn(f(0), Port::Right), vec![Some(Source::RegOut(r(1)))]),
+        ]);
+        let result = bus_allocate(&t);
+        assert_eq!(result.num_buses(), 2);
+        assert_eq!(result.driver_mux_equiv, 0);
+    }
+
+    #[test]
+    fn broadcast_to_two_sinks_uses_one_bus() {
+        // The same source feeds two sinks in the same step: a bus
+        // broadcast, no conflict.
+        let t = traffic(&[
+            (Sink::FuIn(f(0), Port::Left), vec![Some(Source::RegOut(r(0)))]),
+            (Sink::FuIn(f(1), Port::Left), vec![Some(Source::RegOut(r(0)))]),
+        ]);
+        let result = bus_allocate(&t);
+        assert_eq!(result.num_buses(), 1);
+        assert_eq!(result.total_mux_equiv(), 0);
+    }
+
+    #[test]
+    fn no_bus_carries_two_sources_in_one_step() {
+        // Randomized invariant check on a synthetic mesh.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = Traffic::new();
+        for sink_idx in 0..10usize {
+            let reqs: Vec<Option<Source>> = (0..12)
+                .map(|_| {
+                    rng.gen_bool(0.4)
+                        .then(|| Source::RegOut(r(rng.gen_range(0..6))))
+                })
+                .collect();
+            t.insert(Sink::RegIn(r(20 + sink_idx)), reqs);
+        }
+        let result = bus_allocate(&t);
+        // Rebuild per-bus per-step usage and check single-driver-per-step.
+        for step in 0..12 {
+            for (b, bus) in result.buses.iter().enumerate() {
+                let active: BTreeSet<Source> = t
+                    .values()
+                    .filter_map(|reqs| reqs[step])
+                    .filter(|src| bus.contains(src))
+                    .collect();
+                assert!(
+                    active.len() <= 1,
+                    "bus {b} carries {active:?} simultaneously at step {step}"
+                );
+            }
+        }
+        // Every requirement is covered by a tapped bus.
+        for (sink, reqs) in &t {
+            for src in reqs.iter().flatten() {
+                let bus = result.buses.iter().position(|b| b.contains(src)).unwrap();
+                assert!(result.sink_taps[sink].contains(&bus));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_traffic_is_empty_result() {
+        let result = bus_allocate(&Traffic::new());
+        assert_eq!(result.num_buses(), 0);
+        assert_eq!(result.total_mux_equiv(), 0);
+    }
+}

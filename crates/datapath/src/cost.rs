@@ -1,0 +1,87 @@
+//! The weighted allocation cost function.
+
+use std::fmt;
+
+/// Weights of the allocation cost function: "a weighted sum of functional
+/// unit, register, and interconnect costs" (paper §4). Interconnect is
+/// costed in the point-to-point model — equivalent 2-1 multiplexers plus a
+/// small per-connection (wire) term that breaks ties toward fewer wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostWeights {
+    /// Weight per unit of functional-unit *area* (the library's per-class
+    /// `area` times the number of used units of that class).
+    pub fu_area: u64,
+    /// Weight per used register.
+    pub reg: u64,
+    /// Weight per equivalent 2-1 multiplexer.
+    pub mux: u64,
+    /// Weight per distinct connection (wire).
+    pub conn: u64,
+}
+
+impl Default for CostWeights {
+    /// Defaults chosen so that the fixed pools dominate (the schedule
+    /// already fixed FU/register minima) and the search optimizes
+    /// interconnect, as in the paper: functional units and registers are
+    /// expensive, multiplexers are the contested resource, and wires break
+    /// ties.
+    fn default() -> Self {
+        CostWeights { fu_area: 100, reg: 20, mux: 4, conn: 1 }
+    }
+}
+
+impl CostWeights {
+    /// Evaluates the weighted sum for a measured configuration.
+    pub fn evaluate(&self, breakdown: &CostBreakdown) -> u64 {
+        self.fu_area * breakdown.fu_area as u64
+            + self.reg * breakdown.used_regs as u64
+            + self.mux * breakdown.mux_equiv as u64
+            + self.conn * breakdown.connections as u64
+    }
+}
+
+/// The measured resource usage of an allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Sum of the areas of functional units actually used.
+    pub fu_area: usize,
+    /// Number of registers actually holding at least one segment.
+    pub used_regs: usize,
+    /// Equivalent 2-1 multiplexers of the point-to-point interconnect.
+    pub mux_equiv: usize,
+    /// Distinct connections (wires).
+    pub connections: usize,
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fu_area={} regs={} mux={} conns={}",
+            self.fu_area, self.used_regs, self.mux_equiv, self.connections
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_sum() {
+        let w = CostWeights { fu_area: 10, reg: 5, mux: 2, conn: 1 };
+        let b = CostBreakdown { fu_area: 3, used_regs: 4, mux_equiv: 6, connections: 7 };
+        assert_eq!(w.evaluate(&b), 30 + 20 + 12 + 7);
+        assert!(b.to_string().contains("mux=6"));
+    }
+
+    #[test]
+    fn default_prioritizes_units_over_interconnect() {
+        let w = CostWeights::default();
+        assert!(w.fu_area > w.reg);
+        assert!(w.reg > w.mux);
+        assert!(w.mux > w.conn);
+        // Saving one register must never justify adding five muxes.
+        assert!(w.reg < 6 * w.mux);
+    }
+}

@@ -1,0 +1,157 @@
+//! The structural resource pool: functional units and registers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use salsa_sched::{FuClass, FuLibrary};
+
+use crate::FuId;
+
+/// One functional-unit instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fu {
+    id: FuId,
+    class: FuClass,
+}
+
+impl Fu {
+    /// This unit's id.
+    pub fn id(&self) -> FuId {
+        self.id
+    }
+
+    /// This unit's resource class.
+    pub fn class(&self) -> FuClass {
+        self.class
+    }
+}
+
+/// The pool of datapath resources an allocation may use: a fixed set of
+/// functional units (the schedule's demand, possibly plus extras) and a
+/// fixed number of registers (the schedule's register demand, possibly plus
+/// extras — the paper's Table 2 trades extra registers against
+/// interconnect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datapath {
+    fus: Vec<Fu>,
+    n_regs: usize,
+}
+
+impl Datapath {
+    /// Builds a pool with the given per-class unit counts and register
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_regs == 0` or no functional units are requested.
+    pub fn new(fu_counts: &BTreeMap<FuClass, usize>, n_regs: usize) -> Self {
+        assert!(n_regs > 0, "a datapath needs at least one register");
+        let mut fus = Vec::new();
+        for class in FuClass::all() {
+            for _ in 0..fu_counts.get(&class).copied().unwrap_or(0) {
+                fus.push(Fu { id: FuId::from_index(fus.len()), class });
+            }
+        }
+        assert!(!fus.is_empty(), "a datapath needs at least one functional unit");
+        Datapath { fus, n_regs }
+    }
+
+    /// Number of functional units.
+    pub fn num_fus(&self) -> usize {
+        self.fus.len()
+    }
+
+    /// Number of registers.
+    pub fn num_regs(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Looks up a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fu(&self, id: FuId) -> &Fu {
+        &self.fus[id.index()]
+    }
+
+    /// Iterates over all units.
+    pub fn fus(&self) -> impl ExactSizeIterator<Item = &Fu> + '_ {
+        self.fus.iter()
+    }
+
+    /// Iterates over the units of one class.
+    pub fn fus_of_class(&self, class: FuClass) -> impl Iterator<Item = &Fu> + '_ {
+        self.fus.iter().filter(move |fu| fu.class == class)
+    }
+
+    /// Iterates over all register ids.
+    pub fn reg_ids(&self) -> impl ExactSizeIterator<Item = crate::RegId> {
+        (0..self.n_regs).map(crate::RegId::from_index)
+    }
+
+    /// Per-class unit counts.
+    pub fn fu_counts(&self) -> BTreeMap<FuClass, usize> {
+        let mut counts = BTreeMap::new();
+        for fu in &self.fus {
+            *counts.entry(fu.class).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Total area of all units under the given library.
+    pub fn total_fu_area(&self, library: &FuLibrary) -> usize {
+        self.fus.iter().map(|fu| library.spec(fu.class).area).sum()
+    }
+}
+
+impl fmt::Display for Datapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let counts = self.fu_counts();
+        write!(f, "datapath: ")?;
+        for (class, count) in &counts {
+            write!(f, "{count} {class} ")?;
+        }
+        write!(f, "/ {} regs", self.n_regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Datapath {
+        Datapath::new(&BTreeMap::from([(FuClass::Alu, 3), (FuClass::Mul, 2)]), 10)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let dp = pool();
+        assert_eq!(dp.num_fus(), 5);
+        assert_eq!(dp.num_regs(), 10);
+        assert_eq!(dp.fus_of_class(FuClass::Alu).count(), 3);
+        assert_eq!(dp.fus_of_class(FuClass::Mul).count(), 2);
+        assert_eq!(dp.fu_counts()[&FuClass::Mul], 2);
+        assert_eq!(dp.reg_ids().count(), 10);
+        let lib = FuLibrary::standard();
+        assert_eq!(dp.total_fu_area(&lib), 3 + 2 * 8);
+        assert!(dp.to_string().contains("10 regs"));
+    }
+
+    #[test]
+    fn fu_ids_are_dense_and_class_ordered() {
+        let dp = pool();
+        for (i, fu) in dp.fus().enumerate() {
+            assert_eq!(fu.id().index(), i);
+        }
+        // ALUs first (FuClass::all order), then multipliers.
+        assert_eq!(dp.fu(FuId::from_index(0)).class(), FuClass::Alu);
+        assert_eq!(dp.fu(FuId::from_index(4)).class(), FuClass::Mul);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_regs_rejected() {
+        let _ = Datapath::new(&BTreeMap::from([(FuClass::Alu, 1)]), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Graphviz export of an allocated datapath's structure.
+
+use std::fmt::Write as _;
+
+use salsa_sched::FuClass;
+
+use crate::{ConnectionMatrix, Datapath, Sink, Source};
+
+/// Renders the datapath and its point-to-point connections in DOT syntax:
+/// functional units as trapezoids, registers as boxes, one edge per
+/// connection (labeled with the sink port).
+pub fn datapath_dot(datapath: &Datapath, connections: &ConnectionMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph datapath {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for fu in datapath.fus() {
+        let shape = match fu.class() {
+            FuClass::Alu => "trapezium",
+            FuClass::Mul => "invtrapezium",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={} label=\"{} ({})\"];",
+            fu.id(),
+            shape,
+            fu.id(),
+            fu.class()
+        );
+    }
+    for reg in datapath.reg_ids() {
+        let _ = writeln!(out, "  \"{reg}\" [shape=box];");
+    }
+    for (src, sink, _) in connections.iter() {
+        let from = match src {
+            Source::FuOut(fu) => format!("{fu}"),
+            Source::RegOut(r) => format!("{r}"),
+        };
+        let (to, label) = match sink {
+            Sink::FuIn(fu, port) => (format!("{fu}"), format!("{port}")),
+            Sink::RegIn(r) => (format!("{r}"), String::new()),
+        };
+        let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{label}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuId, Port, RegId};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn dot_lists_modules_and_edges() {
+        let dp = Datapath::new(
+            &BTreeMap::from([(FuClass::Alu, 1), (FuClass::Mul, 1)]),
+            2,
+        );
+        let mut m = ConnectionMatrix::new();
+        m.add(Source::RegOut(RegId::from_index(0)), Sink::FuIn(FuId::from_index(0), Port::Left));
+        m.add(Source::FuOut(FuId::from_index(0)), Sink::RegIn(RegId::from_index(1)));
+        let dot = datapath_dot(&dp, &m);
+        assert!(dot.contains("trapezium"));
+        assert!(dot.contains("invtrapezium"));
+        assert!(dot.contains("\"R0\" -> \"FU0\""));
+        assert!(dot.contains("\"FU0\" -> \"R1\""));
+    }
+}

@@ -1,0 +1,127 @@
+//! Index newtypes for datapath modules.
+
+use std::fmt;
+
+/// Identifier of a functional unit within a [`Datapath`](crate::Datapath).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuId(u32);
+
+impl FuId {
+    /// Creates an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("fu index overflow"))
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FU{}", self.0)
+    }
+}
+
+/// Identifier of a register within a [`Datapath`](crate::Datapath).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(u32);
+
+impl RegId {
+    /// Creates an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("register index overflow"))
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// One of the two operand ports of a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// Left operand.
+    Left,
+    /// Right operand.
+    Right,
+}
+
+impl Port {
+    /// Port for operand index 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    pub fn from_index(index: usize) -> Self {
+        match index {
+            0 => Port::Left,
+            1 => Port::Right,
+            _ => panic!("binary operators have two ports, got index {index}"),
+        }
+    }
+
+    /// 0 for left, 1 for right.
+    pub fn index(self) -> usize {
+        match self {
+            Port::Left => 0,
+            Port::Right => 1,
+        }
+    }
+
+    /// The opposite port.
+    pub fn other(self) -> Port {
+        match self {
+            Port::Left => Port::Right,
+            Port::Right => Port::Left,
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::Left => f.write_str("L"),
+            Port::Right => f.write_str("R"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_roundtrip() {
+        assert_eq!(FuId::from_index(2).to_string(), "FU2");
+        assert_eq!(RegId::from_index(5).to_string(), "R5");
+        assert_eq!(FuId::from_index(3).index(), 3);
+        assert_eq!(Port::from_index(0), Port::Left);
+        assert_eq!(Port::from_index(1), Port::Right);
+        assert_eq!(Port::Left.other(), Port::Right);
+        assert_eq!(Port::Right.index(), 1);
+        assert_eq!(Port::Left.to_string(), "L");
+    }
+
+    #[test]
+    #[should_panic(expected = "two ports")]
+    fn bad_port_panics() {
+        let _ = Port::from_index(2);
+    }
+}

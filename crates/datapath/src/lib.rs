@@ -1,0 +1,49 @@
+//! Datapath substrate for the SALSA extended-binding-model reproduction.
+//!
+//! Models the structural side of allocation:
+//!
+//! * functional units and registers with typed ports ([`Datapath`],
+//!   [`Source`], [`Sink`]),
+//! * the **point-to-point interconnection style** the paper costs
+//!   allocations with (§1/§4): module outputs feed module inputs through a
+//!   single level of multiplexers, counted in **equivalent 2-1
+//!   multiplexers** (an n-input mux is n-1 two-input muxes) —
+//!   [`ConnectionMatrix`] maintains these counts incrementally, with
+//!   refcounts, so the allocator's iterative improvement can evaluate moves
+//!   cheaply,
+//! * the weighted cost function ([`CostWeights`]),
+//! * the **multiplexer merging** post-pass of §4 ([`merge_muxes`]),
+//! * a register-transfer-level program representation ([`Rtl`]) with a
+//!   **symbolic-simulation verifier** ([`verify`]) that replays an allocated
+//!   datapath cycle by cycle and confirms that every operation reads the
+//!   right operands, every stored value sits where the binding claims, and
+//!   loop-carried state is consistent across the iteration boundary.
+//!
+//! The verifier is the end-to-end oracle for the whole workspace: any
+//! binding produced by the allocator crates is lowered to [`Rtl`] +
+//! [`Claims`] and must pass [`verify`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod cost;
+mod datapath;
+mod dot;
+mod ids;
+mod muxmerge;
+mod net;
+mod rtl;
+mod sim;
+mod verify;
+
+pub use bus::{bus_allocate, BusResult};
+pub use cost::{CostBreakdown, CostWeights};
+pub use datapath::{Datapath, Fu};
+pub use dot::datapath_dot;
+pub use ids::{FuId, Port, RegId};
+pub use muxmerge::{merge_muxes, traffic_from_rtl, MuxMergeResult, Traffic};
+pub use net::{ConnectionMatrix, Sink, Source};
+pub use rtl::{Claims, Exec, Load, LoadSrc, OperandSrc, Pass, Placement, Rtl, RtlStep};
+pub use sim::{simulate, SimError, SimResult};
+pub use verify::{verify, VerifyError};

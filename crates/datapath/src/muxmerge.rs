@@ -1,0 +1,248 @@
+//! The multiplexer-merging post-pass (paper §4).
+//!
+//! After allocation improvement, single-sink point-to-point multiplexers
+//! are merged: two multiplexers are *compatible* when at every control step
+//! they never require different sources simultaneously, so one physical
+//! multiplexer (with the union of the source sets) can drive both sinks.
+//! "An arbitrary multiplexer is selected and combined with as many other
+//! compatible multiplexers as possible. Then, another multiplexer is
+//! selected and merged ... until merging has been attempted with all
+//! multiplexers."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{LoadSrc, OperandSrc, Port, Rtl, Sink, Source};
+
+/// Per-sink, per-step source requirement (`None` = sink idle that step).
+pub type Traffic = BTreeMap<Sink, Vec<Option<Source>>>;
+
+/// Derives the traffic matrix of an RTL program: which source each sink
+/// must receive in each control step.
+pub fn traffic_from_rtl(rtl: &Rtl) -> Traffic {
+    let n = rtl.n_steps();
+    let mut traffic: Traffic = BTreeMap::new();
+    let mut demand = |sink: Sink, step: usize, source: Source| {
+        traffic.entry(sink).or_insert_with(|| vec![None; n])[step] = Some(source);
+    };
+    for (t, step) in rtl.steps.iter().enumerate() {
+        for exec in &step.execs {
+            if let OperandSrc::Reg(r) = exec.left {
+                demand(Sink::FuIn(exec.fu, Port::Left), t, Source::RegOut(r));
+            }
+            if let OperandSrc::Reg(r) = exec.right {
+                demand(Sink::FuIn(exec.fu, Port::Right), t, Source::RegOut(r));
+            }
+        }
+        for pass in &step.passes {
+            // A pass-through feeds the forwarded value into the unit's left
+            // port and out the unit's ordinary output.
+            demand(Sink::FuIn(pass.fu, Port::Left), t, Source::RegOut(pass.from));
+        }
+        for load in &step.loads {
+            let source = match load.src {
+                LoadSrc::Fu(fu) | LoadSrc::PassThrough(fu) => Source::FuOut(fu),
+                LoadSrc::Reg(r) => Source::RegOut(r),
+            };
+            demand(Sink::RegIn(load.reg), t, source);
+        }
+    }
+    traffic
+}
+
+/// Result of [`merge_muxes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxMergeResult {
+    /// Equivalent 2-1 multiplexers before merging: `sum(fanin - 1)` per
+    /// sink.
+    pub pre_merge: usize,
+    /// Equivalent 2-1 multiplexers after merging: `sum(|union| - 1)` per
+    /// merged group.
+    pub post_merge: usize,
+    /// The merged groups: the sinks sharing one physical multiplexer and
+    /// the union of sources it selects among.
+    pub groups: Vec<(Vec<Sink>, BTreeSet<Source>)>,
+}
+
+/// Greedily merges compatible multiplexers, never accepting a merge that
+/// increases the equivalent 2-1 multiplexer count.
+pub fn merge_muxes(traffic: &Traffic) -> MuxMergeResult {
+    // Distinct sources per sink; sinks with fan-in < 2 carry no mux and are
+    // left alone (their own group, cost 0).
+    let sources: BTreeMap<Sink, BTreeSet<Source>> = traffic
+        .iter()
+        .map(|(&sink, reqs)| (sink, reqs.iter().flatten().copied().collect()))
+        .collect();
+    let pre_merge: usize =
+        sources.values().map(|s: &BTreeSet<Source>| s.len().saturating_sub(1)).sum();
+
+    let mux_sinks: Vec<Sink> =
+        sources.iter().filter(|(_, s)| s.len() >= 2).map(|(&k, _)| k).collect();
+    let mut merged_away: BTreeSet<Sink> = BTreeSet::new();
+    let mut groups: Vec<(Vec<Sink>, BTreeSet<Source>)> = Vec::new();
+
+    for (i, &seed) in mux_sinks.iter().enumerate() {
+        if merged_away.contains(&seed) {
+            continue;
+        }
+        merged_away.insert(seed);
+        let mut members = vec![seed];
+        let mut combined_req = traffic[&seed].clone();
+        let mut combined_src = sources[&seed].clone();
+        for &candidate in &mux_sinks[i + 1..] {
+            if merged_away.contains(&candidate) {
+                continue;
+            }
+            let cand_req = &traffic[&candidate];
+            let compatible = combined_req
+                .iter()
+                .zip(cand_req)
+                .all(|(a, b)| match (a, b) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => true,
+                });
+            if !compatible {
+                continue;
+            }
+            let union: BTreeSet<Source> =
+                combined_src.union(&sources[&candidate]).copied().collect();
+            // Merge only when it reduces the 2-1 equivalent count.
+            let before = (combined_src.len() - 1) + (sources[&candidate].len() - 1);
+            if union.len() > before {
+                continue;
+            }
+            merged_away.insert(candidate);
+            members.push(candidate);
+            combined_src = union;
+            for (slot, req) in combined_req.iter_mut().zip(cand_req) {
+                if slot.is_none() {
+                    *slot = *req;
+                }
+            }
+        }
+        groups.push((members, combined_src));
+    }
+    // Unmerged single-source sinks: zero-cost groups, listed for
+    // completeness.
+    for (&sink, srcs) in &sources {
+        if srcs.len() < 2 {
+            groups.push((vec![sink], srcs.clone()));
+        }
+    }
+
+    let post_merge = groups
+        .iter()
+        .map(|(_, srcs)| srcs.len().saturating_sub(1))
+        .sum();
+    MuxMergeResult { pre_merge, post_merge, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exec, FuId, Load, RegId, RtlStep};
+    use salsa_cdfg::OpId;
+
+    fn r(i: usize) -> RegId {
+        RegId::from_index(i)
+    }
+    fn f(i: usize) -> FuId {
+        FuId::from_index(i)
+    }
+
+    /// Builds traffic directly for focused merge tests.
+    fn traffic(entries: &[(Sink, Vec<Option<Source>>)]) -> Traffic {
+        entries.iter().cloned().collect()
+    }
+
+    #[test]
+    fn disjoint_in_time_same_sources_merge() {
+        // Two register inputs each need {FU0, FU1} but in different steps:
+        // one 2-input mux can serve both.
+        let a = Sink::RegIn(r(0));
+        let b = Sink::RegIn(r(1));
+        let t = traffic(&[
+            (a, vec![Some(Source::FuOut(f(0))), Some(Source::FuOut(f(1))), None, None]),
+            (b, vec![None, None, Some(Source::FuOut(f(0))), Some(Source::FuOut(f(1)))]),
+        ]);
+        let result = merge_muxes(&t);
+        assert_eq!(result.pre_merge, 2);
+        assert_eq!(result.post_merge, 1);
+        assert_eq!(result.groups.iter().filter(|(m, _)| m.len() == 2).count(), 1);
+    }
+
+    #[test]
+    fn conflicting_requirements_do_not_merge() {
+        // Both sinks busy at step 0 with different sources.
+        let a = Sink::RegIn(r(0));
+        let b = Sink::RegIn(r(1));
+        let t = traffic(&[
+            (a, vec![Some(Source::FuOut(f(0))), Some(Source::FuOut(f(1)))]),
+            (b, vec![Some(Source::FuOut(f(1))), Some(Source::FuOut(f(0)))]),
+        ]);
+        let result = merge_muxes(&t);
+        assert_eq!(result.pre_merge, 2);
+        assert_eq!(result.post_merge, 2);
+    }
+
+    #[test]
+    fn merge_never_increases_cost() {
+        // Compatible in time but disjoint sources: union of 4 sources
+        // (cost 3) is worse than two 2-input muxes (cost 2) — must not
+        // merge.
+        let a = Sink::RegIn(r(0));
+        let b = Sink::RegIn(r(1));
+        let t = traffic(&[
+            (a, vec![Some(Source::FuOut(f(0))), Some(Source::FuOut(f(1))), None, None]),
+            (b, vec![None, None, Some(Source::RegOut(r(2))), Some(Source::RegOut(r(3)))]),
+        ]);
+        let result = merge_muxes(&t);
+        assert_eq!(result.post_merge, result.pre_merge);
+    }
+
+    #[test]
+    fn single_source_sinks_cost_nothing() {
+        let a = Sink::RegIn(r(0));
+        let t = traffic(&[(a, vec![Some(Source::FuOut(f(0))), Some(Source::FuOut(f(0)))])]);
+        let result = merge_muxes(&t);
+        assert_eq!(result.pre_merge, 0);
+        assert_eq!(result.post_merge, 0);
+        assert_eq!(result.groups.len(), 1);
+    }
+
+    #[test]
+    fn traffic_derivation_covers_all_microops() {
+        let mut rtl = Rtl::new(2);
+        rtl.steps[0] = RtlStep {
+            execs: vec![Exec {
+                fu: f(0),
+                op: OpId::from_index(0),
+                left: OperandSrc::Reg(r(0)),
+                right: OperandSrc::Const(3),
+            }],
+            passes: vec![crate::Pass { fu: f(1), from: r(1) }],
+            loads: vec![
+                Load { reg: r(2), src: LoadSrc::Fu(f(0)) },
+                Load { reg: r(3), src: LoadSrc::PassThrough(f(1)) },
+            ],
+        };
+        rtl.steps[1].loads.push(Load { reg: r(2), src: LoadSrc::Reg(r(3)) });
+        let t = traffic_from_rtl(&rtl);
+        assert_eq!(
+            t[&Sink::FuIn(f(0), Port::Left)][0],
+            Some(Source::RegOut(r(0))),
+            "exec left operand"
+        );
+        assert!(
+            !t.contains_key(&Sink::FuIn(f(0), Port::Right)),
+            "constant operands need no connection"
+        );
+        assert_eq!(
+            t[&Sink::FuIn(f(1), Port::Left)][0],
+            Some(Source::RegOut(r(1))),
+            "pass-through input"
+        );
+        assert_eq!(t[&Sink::RegIn(r(3))][0], Some(Source::FuOut(f(1))), "pass-through output");
+        assert_eq!(t[&Sink::RegIn(r(2))][0], Some(Source::FuOut(f(0))));
+        assert_eq!(t[&Sink::RegIn(r(2))][1], Some(Source::RegOut(r(3))), "direct reg transfer");
+    }
+}

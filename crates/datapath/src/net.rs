@@ -1,0 +1,272 @@
+//! Point-to-point connections and incremental multiplexer accounting.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{FuId, Port, RegId};
+
+/// A driving module output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Source {
+    /// A functional unit's result output.
+    FuOut(FuId),
+    /// A register's output.
+    RegOut(RegId),
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::FuOut(fu) => write!(f, "{fu}.out"),
+            Source::RegOut(r) => write!(f, "{r}.out"),
+        }
+    }
+}
+
+/// A driven module input: the place a multiplexer sits in the point-to-point
+/// interconnection style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sink {
+    /// A functional unit operand port.
+    FuIn(FuId, Port),
+    /// A register's data input.
+    RegIn(RegId),
+}
+
+impl fmt::Display for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sink::FuIn(fu, port) => write!(f, "{fu}.{port}"),
+            Sink::RegIn(r) => write!(f, "{r}.in"),
+        }
+    }
+}
+
+/// Refcounted set of (source, sink) connections with running
+/// equivalent-2-1-multiplexer and connection counts.
+///
+/// Every data transfer of an allocation asserts one connection use; a sink
+/// with `k` distinct sources costs `k - 1` equivalent 2-1 multiplexers
+/// (paper Tables 2-3 report this unit). Adding and removing uses is O(log)
+/// so the allocator's iterative improvement can evaluate thousands of moves
+/// per second without recomputing interconnect from scratch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnectionMatrix {
+    uses: BTreeMap<(Source, Sink), usize>,
+    per_sink: BTreeMap<Sink, usize>,
+    mux_equiv: usize,
+}
+
+impl ConnectionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts one use of the connection `source -> sink`.
+    pub fn add(&mut self, source: Source, sink: Sink) {
+        let count = self.uses.entry((source, sink)).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            let fanin = self.per_sink.entry(sink).or_insert(0);
+            *fanin += 1;
+            if *fanin >= 2 {
+                self.mux_equiv += 1;
+            }
+        }
+    }
+
+    /// Retracts one use of the connection `source -> sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection has no outstanding uses (an allocator
+    /// bookkeeping bug).
+    pub fn remove(&mut self, source: Source, sink: Sink) {
+        let count = self
+            .uses
+            .get_mut(&(source, sink))
+            .unwrap_or_else(|| panic!("removing unknown connection {source} -> {sink}"));
+        *count -= 1;
+        if *count == 0 {
+            self.uses.remove(&(source, sink));
+            let fanin = self.per_sink.get_mut(&sink).expect("sink tracked");
+            if *fanin >= 2 {
+                self.mux_equiv -= 1;
+            }
+            *fanin -= 1;
+            if *fanin == 0 {
+                self.per_sink.remove(&sink);
+            }
+        }
+    }
+
+    /// Total equivalent 2-1 multiplexers: `sum over sinks of (fanin - 1)`.
+    pub fn mux_equiv(&self) -> usize {
+        self.mux_equiv
+    }
+
+    /// The largest fan-in of any sink — the widest multiplexer.
+    pub fn max_fanin(&self) -> usize {
+        self.per_sink.values().copied().max().unwrap_or(0)
+    }
+
+    /// Worst-case multiplexer depth on any operand/load path, in 2-1 mux
+    /// levels (`ceil(log2(max fan-in))`): a proxy for the interconnect
+    /// delay the controller must accommodate (cf. Huang & Wolf, "How
+    /// Datapath Allocation Affects Controller Delay").
+    pub fn mux_depth(&self) -> u32 {
+        match self.max_fanin() {
+            0 | 1 => 0,
+            k => (k as u32).next_power_of_two().trailing_zeros(),
+        }
+    }
+
+    /// Number of distinct connections (wires).
+    pub fn connections(&self) -> usize {
+        self.uses.len()
+    }
+
+    /// Distinct fan-in of one sink.
+    pub fn fanin(&self, sink: Sink) -> usize {
+        self.per_sink.get(&sink).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if the connection exists (with any use count).
+    pub fn contains(&self, source: Source, sink: Sink) -> bool {
+        self.uses.contains_key(&(source, sink))
+    }
+
+    /// The distinct sources driving a sink.
+    pub fn sources_of(&self, sink: Sink) -> BTreeSet<Source> {
+        self.uses
+            .keys()
+            .filter(|(_, s)| *s == sink)
+            .map(|(src, _)| *src)
+            .collect()
+    }
+
+    /// Iterates over distinct connections with their use counts.
+    pub fn iter(&self) -> impl Iterator<Item = (Source, Sink, usize)> + '_ {
+        self.uses.iter().map(|(&(src, sink), &n)| (src, sink, n))
+    }
+
+    /// The incremental mux cost of using `source -> sink`: 0 if the
+    /// connection already exists or the sink is currently undriven, 1 if a
+    /// new mux input would be required. Used by constructive allocators to
+    /// pick cheap bindings.
+    pub fn added_mux_cost(&self, source: Source, sink: Sink) -> usize {
+        if self.contains(source, sink) || self.fanin(sink) == 0 {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for ConnectionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} connections, {} equivalent 2-1 muxes",
+            self.connections(),
+            self.mux_equiv()
+        )?;
+        for (src, sink, n) in self.iter() {
+            writeln!(f, "  {src} -> {sink} (x{n})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: usize) -> RegId {
+        RegId::from_index(i)
+    }
+    fn f(i: usize) -> FuId {
+        FuId::from_index(i)
+    }
+
+    #[test]
+    fn mux_counting_is_fanin_minus_one() {
+        let mut m = ConnectionMatrix::new();
+        let sink = Sink::FuIn(f(0), Port::Left);
+        m.add(Source::RegOut(r(0)), sink);
+        assert_eq!(m.mux_equiv(), 0, "single source needs no mux");
+        m.add(Source::RegOut(r(1)), sink);
+        assert_eq!(m.mux_equiv(), 1);
+        m.add(Source::RegOut(r(2)), sink);
+        assert_eq!(m.mux_equiv(), 2, "3-input mux = two 2-1 muxes");
+        assert_eq!(m.connections(), 3);
+        assert_eq!(m.fanin(sink), 3);
+    }
+
+    #[test]
+    fn fanin_width_and_depth() {
+        let mut m = ConnectionMatrix::new();
+        let sink = Sink::RegIn(r(9));
+        assert_eq!(m.mux_depth(), 0);
+        m.add(Source::RegOut(r(0)), sink);
+        assert_eq!((m.max_fanin(), m.mux_depth()), (1, 0), "direct wire");
+        m.add(Source::RegOut(r(1)), sink);
+        assert_eq!((m.max_fanin(), m.mux_depth()), (2, 1));
+        m.add(Source::RegOut(r(2)), sink);
+        assert_eq!((m.max_fanin(), m.mux_depth()), (3, 2), "ceil(log2 3) = 2");
+        m.add(Source::RegOut(r(3)), sink);
+        m.add(Source::RegOut(r(4)), sink);
+        assert_eq!((m.max_fanin(), m.mux_depth()), (5, 3), "ceil(log2 5) = 3");
+    }
+
+    #[test]
+    fn refcounting_keeps_shared_connections() {
+        let mut m = ConnectionMatrix::new();
+        let sink = Sink::RegIn(r(3));
+        m.add(Source::FuOut(f(1)), sink);
+        m.add(Source::FuOut(f(1)), sink); // second use of the same wire
+        m.add(Source::RegOut(r(0)), sink);
+        assert_eq!(m.mux_equiv(), 1);
+        m.remove(Source::FuOut(f(1)), sink);
+        assert_eq!(m.mux_equiv(), 1, "one use remains, wire persists");
+        m.remove(Source::FuOut(f(1)), sink);
+        assert_eq!(m.mux_equiv(), 0);
+        assert_eq!(m.connections(), 1);
+        m.remove(Source::RegOut(r(0)), sink);
+        assert_eq!(m.connections(), 0);
+        assert_eq!(m, ConnectionMatrix::new(), "fully retracted matrix is empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "removing unknown connection")]
+    fn removing_unknown_panics() {
+        let mut m = ConnectionMatrix::new();
+        m.remove(Source::RegOut(r(0)), Sink::RegIn(r(1)));
+    }
+
+    #[test]
+    fn sources_of_and_added_cost() {
+        let mut m = ConnectionMatrix::new();
+        let sink = Sink::FuIn(f(0), Port::Right);
+        assert_eq!(m.added_mux_cost(Source::RegOut(r(0)), sink), 0, "undriven sink is free");
+        m.add(Source::RegOut(r(0)), sink);
+        assert_eq!(m.added_mux_cost(Source::RegOut(r(0)), sink), 0, "existing wire is free");
+        assert_eq!(m.added_mux_cost(Source::RegOut(r(1)), sink), 1, "new mux input");
+        m.add(Source::RegOut(r(1)), sink);
+        let srcs = m.sources_of(sink);
+        assert_eq!(srcs.len(), 2);
+        assert!(srcs.contains(&Source::RegOut(r(0))));
+        assert!(m.to_string().contains("->"));
+    }
+
+    #[test]
+    fn display_order_is_deterministic() {
+        let mut m = ConnectionMatrix::new();
+        m.add(Source::RegOut(r(1)), Sink::RegIn(r(0)));
+        m.add(Source::FuOut(f(0)), Sink::RegIn(r(0)));
+        let s1 = m.to_string();
+        let s2 = m.clone().to_string();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Register-transfer-level representation of an allocated datapath's
+//! behaviour over one schedule iteration.
+//!
+//! An [`Rtl`] program is the *lowered* form of a binding: per control step,
+//! which operations issue on which units with which operand sources, which
+//! units act as pass-throughs, and which registers load which sources at the
+//! step boundary. Together with [`Claims`] — the binding's statement of
+//! which register holds which value at each step — it is the input to the
+//! symbolic-simulation checker in [`verify`](crate::verify).
+
+use std::fmt;
+
+use salsa_cdfg::{OpId, ValueId};
+
+use crate::{FuId, RegId};
+
+/// Where an operand port is fed from during an operation's issue step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandSrc {
+    /// Read from a register.
+    Reg(RegId),
+    /// A hard-wired constant (free in the paper's cost model).
+    Const(i64),
+}
+
+impl fmt::Display for OperandSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandSrc::Reg(r) => write!(f, "{r}"),
+            OperandSrc::Const(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+/// An operation issuing on a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exec {
+    /// The executing unit.
+    pub fu: FuId,
+    /// The CDFG operation (determines kind, operands, result).
+    pub op: OpId,
+    /// Source of the left operand.
+    pub left: OperandSrc,
+    /// Source of the right operand.
+    pub right: OperandSrc,
+}
+
+/// An idle functional unit forwarding a register's value unmodified — the
+/// SALSA model's *pass-through* (paper §2, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pass {
+    /// The forwarding unit (must be pass-capable and idle this step).
+    pub fu: FuId,
+    /// The register whose value is forwarded.
+    pub from: RegId,
+}
+
+/// What a register latches at the end of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSrc {
+    /// The result completing on a functional unit this step.
+    Fu(FuId),
+    /// Another register's (pre-load) value — a direct register transfer.
+    Reg(RegId),
+    /// The output of a unit acting as pass-through this step.
+    PassThrough(FuId),
+}
+
+impl fmt::Display for LoadSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadSrc::Fu(fu) => write!(f, "{fu}"),
+            LoadSrc::Reg(r) => write!(f, "{r}"),
+            LoadSrc::PassThrough(fu) => write!(f, "{fu}(pass)"),
+        }
+    }
+}
+
+/// A register load at a step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Load {
+    /// The register being written.
+    pub reg: RegId,
+    /// What it latches.
+    pub src: LoadSrc,
+}
+
+/// The micro-operations of one control step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RtlStep {
+    /// Operations issuing this step.
+    pub execs: Vec<Exec>,
+    /// Pass-throughs active this step.
+    pub passes: Vec<Pass>,
+    /// Register loads at the end of this step. All loads observe pre-load
+    /// register values (simultaneous clocking).
+    pub loads: Vec<Load>,
+}
+
+/// A complete one-iteration RTL program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rtl {
+    /// Per-step micro-operations; `steps.len()` is the schedule length.
+    pub steps: Vec<RtlStep>,
+}
+
+impl Rtl {
+    /// An empty program of the given length.
+    pub fn new(n_steps: usize) -> Self {
+        Rtl { steps: vec![RtlStep::default(); n_steps] }
+    }
+
+    /// Number of control steps.
+    pub fn n_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+impl fmt::Display for Rtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, step) in self.steps.iter().enumerate() {
+            writeln!(f, "step {t}:")?;
+            for e in &step.execs {
+                writeln!(f, "  {} := {}({}, {})", e.fu, e.op, e.left, e.right)?;
+            }
+            for p in &step.passes {
+                writeln!(f, "  {} passes {}", p.fu, p.from)?;
+            }
+            for l in &step.loads {
+                writeln!(f, "  {} <= {}", l.reg, l.src)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One claimed placement: value `value` sits in register `reg` during
+/// control step `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Placement {
+    /// The stored value.
+    pub value: ValueId,
+    /// The control step (a *segment* of the value's lifetime).
+    pub step: usize,
+    /// The register holding it.
+    pub reg: RegId,
+}
+
+/// The binding's claims about where every value segment lives — including
+/// copies, which simply claim several registers for the same (value, step).
+/// The verifier checks each claim against the simulated register contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Claims {
+    /// All placements, in no particular order.
+    pub placements: Vec<Placement>,
+}
+
+impl Claims {
+    /// Adds one placement.
+    pub fn claim(&mut self, value: ValueId, step: usize, reg: RegId) {
+        self.placements.push(Placement { value, step, reg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::OpId;
+
+    #[test]
+    fn display_renders_all_microops() {
+        let mut rtl = Rtl::new(2);
+        rtl.steps[0].execs.push(Exec {
+            fu: FuId::from_index(0),
+            op: OpId::from_index(3),
+            left: OperandSrc::Reg(RegId::from_index(1)),
+            right: OperandSrc::Const(7),
+        });
+        rtl.steps[0].passes.push(Pass { fu: FuId::from_index(1), from: RegId::from_index(2) });
+        rtl.steps[1].loads.push(Load {
+            reg: RegId::from_index(0),
+            src: LoadSrc::PassThrough(FuId::from_index(1)),
+        });
+        let text = rtl.to_string();
+        assert!(text.contains("FU0 := o3(R1, #7)"));
+        assert!(text.contains("FU1 passes R2"));
+        assert!(text.contains("R0 <= FU1(pass)"));
+        assert_eq!(rtl.n_steps(), 2);
+    }
+
+    #[test]
+    fn claims_collect_placements() {
+        let mut c = Claims::default();
+        c.claim(ValueId::from_index(4), 2, RegId::from_index(1));
+        assert_eq!(c.placements.len(), 1);
+        assert_eq!(c.placements[0].step, 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Cycle-accurate concrete-value simulation of an allocated datapath.
+//!
+//! Where [`verify`](crate::verify) checks an RTL program *symbolically*
+//! (each CDFG value is a token), this module executes it over real
+//! two's-complement integers across multiple loop iterations — pipelined
+//! multipliers, pass-throughs, register transfers, everything — so the
+//! datapath's numeric behaviour can be compared against the CDFG's golden
+//! interpretation ([`salsa_cdfg::evaluate`]).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use salsa_cdfg::{Cdfg, ValueId, ValueSource};
+use salsa_sched::{FuLibrary, Schedule};
+
+use crate::{Claims, LoadSrc, OperandSrc, RegId, Rtl};
+
+/// A concrete-simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A register was read before ever being written.
+    UninitializedRead {
+        /// The register.
+        reg: RegId,
+        /// Iteration index.
+        iteration: usize,
+        /// Control step.
+        step: usize,
+    },
+    /// A load referenced a unit with no completing result.
+    MissingResult {
+        /// Iteration index.
+        iteration: usize,
+        /// Control step.
+        step: usize,
+    },
+    /// An input or state value had no concrete value supplied.
+    MissingEnvironment {
+        /// The value without data.
+        value: ValueId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UninitializedRead { reg, iteration, step } => {
+                write!(f, "read of uninitialized {reg} (iteration {iteration}, step {step})")
+            }
+            SimError::MissingResult { iteration, step } => {
+                write!(f, "load from idle unit (iteration {iteration}, step {step})")
+            }
+            SimError::MissingEnvironment { value } => {
+                write!(f, "no concrete value supplied for {value}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result of [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// `outputs[k][v]` — the concrete value observed in output `v`'s
+    /// claimed register during iteration `k`.
+    pub outputs: Vec<BTreeMap<ValueId, i64>>,
+    /// Final register file contents (registers ever written).
+    pub final_regs: BTreeMap<RegId, i64>,
+}
+
+/// Executes the RTL program for `inputs.len()` loop iterations.
+///
+/// Iteration 0 seeds each primary input's and state's claimed step-0
+/// register; subsequent iterations re-drive only the inputs (state
+/// registers carry the loop-fed values, exactly as in hardware).
+///
+/// Outputs are sampled from each output value's claimed register at the
+/// step its claim holds: in-iteration outputs during the same iteration,
+/// boundary-born (wrapped) outputs at the start of the next iteration (the
+/// final iteration's wrapped outputs are sampled after its last step).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on uninitialized reads or structural
+/// inconsistencies — none occur for RTL that passed
+/// [`verify`](crate::verify).
+pub fn simulate(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    rtl: &Rtl,
+    claims: &Claims,
+    inputs: &[BTreeMap<ValueId, i64>],
+    initial_state: &BTreeMap<ValueId, i64>,
+) -> Result<SimResult, SimError> {
+    let n = schedule.n_steps();
+    let mut regs: BTreeMap<RegId, i64> = BTreeMap::new();
+
+    // Step-0 claims of environment-provided values.
+    let env_claims: Vec<(ValueId, RegId, bool)> = claims
+        .placements
+        .iter()
+        .filter(|p| p.step == 0 && graph.value(p.value).source() == ValueSource::Input)
+        .map(|p| (p.value, p.reg, graph.value(p.value).is_state()))
+        .collect();
+    // Output sampling points: (value, step, reg, wrapped).
+    let mut samples: Vec<(ValueId, usize, RegId, bool)> = claims
+        .placements
+        .iter()
+        .filter(|p| graph.value(p.value).is_output())
+        .filter_map(|p| {
+            let birth = schedule.birth(graph, library, p.value)?;
+            let wrapped = birth >= n;
+            // Sample each output once, at its first claimed step.
+            let first = if wrapped { 0 } else { birth };
+            (p.step == first).then_some((p.value, p.step, p.reg, wrapped))
+        })
+        .collect();
+    // Boundary-born outputs that feed a state have no storage of their
+    // own: observe them in the fed state's step-0 register at the start of
+    // the next iteration.
+    for out in graph.values().filter(|v| v.is_output()) {
+        if samples.iter().any(|&(v, ..)| v == out.id()) {
+            continue;
+        }
+        if let Some(state) = graph
+            .values()
+            .find(|v| v.feedback_from() == Some(out.id()))
+        {
+            if let Some(p) = claims
+                .placements
+                .iter()
+                .find(|p| p.value == state.id() && p.step == 0)
+            {
+                samples.push((out.id(), 0, p.reg, true));
+            }
+        }
+    }
+
+    // Seed iteration 0 states.
+    for &(value, reg, is_state) in &env_claims {
+        if is_state {
+            let concrete = *initial_state
+                .get(&value)
+                .ok_or(SimError::MissingEnvironment { value })?;
+            regs.insert(reg, concrete);
+        }
+    }
+
+    let mut outputs: Vec<BTreeMap<ValueId, i64>> = vec![BTreeMap::new(); inputs.len()];
+    // Wrapped outputs produced by iteration k are visible at the start of
+    // iteration k+1 (or after the final step for the last iteration).
+    let mut pending_wrapped: Vec<(ValueId, RegId, usize)> = Vec::new();
+
+    for (k, iteration_inputs) in inputs.iter().enumerate() {
+        // Environment drives the primary inputs.
+        for &(value, reg, is_state) in &env_claims {
+            if !is_state {
+                let concrete = *iteration_inputs
+                    .get(&value)
+                    .ok_or(SimError::MissingEnvironment { value })?;
+                regs.insert(reg, concrete);
+            }
+        }
+        // Wrapped outputs of the previous iteration are now observable.
+        for (value, reg, owner) in pending_wrapped.drain(..) {
+            let sample =
+                *regs.get(&reg).expect("wrapped output register was loaded last iteration");
+            outputs[owner].insert(value, sample);
+        }
+
+        // Per-unit pending results: completion step -> concrete value.
+        let mut completions: BTreeMap<(usize, usize), i64> = BTreeMap::new();
+
+        for t in 0..n {
+            // In-iteration output sampling at the start of the step.
+            for &(value, step, reg, wrapped) in &samples {
+                if !wrapped && step == t {
+                    let sample = *regs.get(&reg).ok_or(SimError::UninitializedRead {
+                        reg,
+                        iteration: k,
+                        step: t,
+                    })?;
+                    outputs[k].insert(value, sample);
+                }
+            }
+
+            // Issue operations.
+            for exec in &rtl.steps[t].execs {
+                let fetch = |src: &OperandSrc| -> Result<i64, SimError> {
+                    match src {
+                        OperandSrc::Const(c) => Ok(*c),
+                        OperandSrc::Reg(r) => regs.get(r).copied().ok_or(
+                            SimError::UninitializedRead { reg: *r, iteration: k, step: t },
+                        ),
+                    }
+                };
+                let op = graph.op(exec.op);
+                let result = op.kind().apply(fetch(&exec.left)?, fetch(&exec.right)?);
+                let done = t + library.delay(op.kind()) - 1;
+                completions.insert((exec.fu.index(), done), result);
+            }
+
+            // Latch loads simultaneously at the end of the step.
+            let snapshot = regs.clone();
+            for load in &rtl.steps[t].loads {
+                let data = match load.src {
+                    LoadSrc::Fu(fu) => completions
+                        .get(&(fu.index(), t))
+                        .copied()
+                        .ok_or(SimError::MissingResult { iteration: k, step: t })?,
+                    LoadSrc::Reg(r) => snapshot.get(&r).copied().ok_or(
+                        SimError::UninitializedRead { reg: r, iteration: k, step: t },
+                    )?,
+                    LoadSrc::PassThrough(fu) => {
+                        let pass = rtl.steps[t]
+                            .passes
+                            .iter()
+                            .find(|p| p.fu == fu)
+                            .ok_or(SimError::MissingResult { iteration: k, step: t })?;
+                        snapshot.get(&pass.from).copied().ok_or(
+                            SimError::UninitializedRead {
+                                reg: pass.from,
+                                iteration: k,
+                                step: t,
+                            },
+                        )?
+                    }
+                };
+                regs.insert(load.reg, data);
+            }
+        }
+
+        for &(value, _, reg, wrapped) in &samples {
+            if wrapped {
+                pending_wrapped.push((value, reg, k));
+            }
+        }
+    }
+    // Final iteration's wrapped outputs.
+    for (value, reg, owner) in pending_wrapped {
+        let sample = *regs.get(&reg).expect("wrapped output register was loaded");
+        outputs[owner].insert(value, sample);
+    }
+
+    Ok(SimResult { outputs, final_regs: regs })
+}

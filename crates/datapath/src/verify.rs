@@ -1,0 +1,563 @@
+//! Symbolic-simulation verification of an allocated datapath.
+//!
+//! [`verify`] replays an [`Rtl`] program cycle by cycle over symbolic
+//! values (each CDFG value is its own token) and checks that
+//!
+//! * every operation issues exactly once, at its scheduled step, on a unit
+//!   of the right class, reading registers that actually hold its operands
+//!   (allowing the commutative operand swap of move F3),
+//! * no functional unit is oversubscribed — multi-cycle occupancy,
+//!   pipelined initiation, pass-throughs and result-output contention are
+//!   all modeled,
+//! * no register is double-loaded and no load reads an empty register,
+//! * every storage claim holds: the claimed register contains the claimed
+//!   value at the claimed step, every step of every value's required
+//!   lifetime is covered by some claim, and no two values claim one
+//!   register in the same step,
+//! * loop-carried state is consistent: after a full iteration each state's
+//!   step-0 register holds its feedback source's value, and boundary-born
+//!   outputs appear in their wrapped step-0 registers.
+//!
+//! Passing `verify` means the binding is *functionally realizable*: a
+//! controller stepping the datapath per the RTL computes exactly the CDFG.
+
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use salsa_cdfg::{Cdfg, OpId, ValueId, ValueSource};
+use salsa_sched::{lifetimes, FuClass, FuLibrary, Schedule};
+
+use crate::{Claims, Datapath, FuId, LoadSrc, OperandSrc, RegId, Rtl};
+
+/// A verification failure, with enough context to locate the bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// RTL length differs from the schedule length.
+    LengthMismatch {
+        /// RTL steps.
+        rtl: usize,
+        /// Schedule steps.
+        schedule: usize,
+    },
+    /// An operation never issues, issues twice, or issues off-schedule.
+    BadIssue {
+        /// The operation.
+        op: OpId,
+        /// Explanation.
+        detail: String,
+    },
+    /// An operation issues on a unit of the wrong class.
+    WrongUnitClass {
+        /// The operation.
+        op: OpId,
+        /// The unit it was placed on.
+        fu: FuId,
+    },
+    /// A functional unit is used by two things at once.
+    FuConflict {
+        /// The oversubscribed unit.
+        fu: FuId,
+        /// The control step.
+        step: usize,
+        /// Explanation.
+        detail: String,
+    },
+    /// A pass-through on a unit that may not pass values.
+    PassOnNonPassUnit {
+        /// The unit.
+        fu: FuId,
+        /// The control step.
+        step: usize,
+    },
+    /// A register is loaded twice in one step.
+    DoubleLoad {
+        /// The register.
+        reg: RegId,
+        /// The control step.
+        step: usize,
+    },
+    /// A load or pass reads a register holding no value.
+    EmptyRead {
+        /// The register.
+        reg: RegId,
+        /// The control step.
+        step: usize,
+    },
+    /// A load names a unit with no result completing this step.
+    NoResultToLoad {
+        /// The unit.
+        fu: FuId,
+        /// The control step.
+        step: usize,
+    },
+    /// An operand port reads the wrong value.
+    WrongOperand {
+        /// The operation.
+        op: OpId,
+        /// The expected operand value.
+        expected: ValueId,
+        /// Explanation of what was found.
+        found: String,
+    },
+    /// A claimed placement does not hold in simulation.
+    ClaimViolated {
+        /// The value claimed.
+        value: ValueId,
+        /// The control step.
+        step: usize,
+        /// The register claimed.
+        reg: RegId,
+        /// What the register actually held.
+        found: Option<ValueId>,
+    },
+    /// Two values claim the same register in the same step.
+    ClaimConflict {
+        /// First value.
+        a: ValueId,
+        /// Second value.
+        b: ValueId,
+        /// The control step.
+        step: usize,
+        /// The register.
+        reg: RegId,
+    },
+    /// A value's required lifetime step has no claimed register.
+    LifetimeUncovered {
+        /// The value.
+        value: ValueId,
+        /// The uncovered step.
+        step: usize,
+    },
+    /// After the iteration, a state's step-0 register does not hold its
+    /// feedback source.
+    BoundaryInconsistent {
+        /// The state value.
+        state: ValueId,
+        /// Its claimed step-0 register.
+        reg: RegId,
+        /// What the register held after the iteration.
+        found: Option<ValueId>,
+    },
+    /// A claim refers to a constant, an out-of-range step, or an
+    /// out-of-range register.
+    BadClaim {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::LengthMismatch { rtl, schedule } => {
+                write!(f, "rtl has {rtl} steps but the schedule has {schedule}")
+            }
+            VerifyError::BadIssue { op, detail } => write!(f, "bad issue of {op}: {detail}"),
+            VerifyError::WrongUnitClass { op, fu } => {
+                write!(f, "{op} issued on {fu} of the wrong class")
+            }
+            VerifyError::FuConflict { fu, step, detail } => {
+                write!(f, "{fu} conflict at step {step}: {detail}")
+            }
+            VerifyError::PassOnNonPassUnit { fu, step } => {
+                write!(f, "pass-through on non-pass unit {fu} at step {step}")
+            }
+            VerifyError::DoubleLoad { reg, step } => {
+                write!(f, "{reg} loaded twice at step {step}")
+            }
+            VerifyError::EmptyRead { reg, step } => {
+                write!(f, "read of empty {reg} at step {step}")
+            }
+            VerifyError::NoResultToLoad { fu, step } => {
+                write!(f, "no result completes on {fu} at step {step}")
+            }
+            VerifyError::WrongOperand { op, expected, found } => {
+                write!(f, "{op} expected operand {expected}, found {found}")
+            }
+            VerifyError::ClaimViolated { value, step, reg, found } => write!(
+                f,
+                "claim {value}@{step} in {reg} violated (register holds {found:?})"
+            ),
+            VerifyError::ClaimConflict { a, b, step, reg } => {
+                write!(f, "{a} and {b} both claim {reg} at step {step}")
+            }
+            VerifyError::LifetimeUncovered { value, step } => {
+                write!(f, "{value} has no register claimed at lifetime step {step}")
+            }
+            VerifyError::BoundaryInconsistent { state, reg, found } => write!(
+                f,
+                "state {state} register {reg} holds {found:?} after the iteration"
+            ),
+            VerifyError::BadClaim { detail } => write!(f, "bad claim: {detail}"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies an allocated datapath end to end. See the module docs for the
+/// property list.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    datapath: &Datapath,
+    rtl: &Rtl,
+    claims: &Claims,
+) -> Result<(), VerifyError> {
+    let n = schedule.n_steps();
+    if rtl.n_steps() != n {
+        return Err(VerifyError::LengthMismatch { rtl: rtl.n_steps(), schedule: n });
+    }
+
+    check_issues(graph, schedule, library, datapath, rtl)?;
+    check_fu_usage(graph, schedule, library, datapath, rtl)?;
+    let claim_map = index_claims(graph, datapath, claims, n)?;
+    check_lifetime_coverage(graph, schedule, library, &claim_map)?;
+    simulate(graph, schedule, library, rtl, claims, &claim_map)
+}
+
+/// (step, reg) -> value, pre-checked for conflicts and range.
+type ClaimMap = HashMap<(usize, RegId), ValueId>;
+
+fn index_claims(
+    graph: &Cdfg,
+    datapath: &Datapath,
+    claims: &Claims,
+    n: usize,
+) -> Result<ClaimMap, VerifyError> {
+    let mut map = ClaimMap::new();
+    for p in &claims.placements {
+        if p.step >= n {
+            return Err(VerifyError::BadClaim {
+                detail: format!("{}@{} is beyond the schedule", p.value, p.step),
+            });
+        }
+        if p.reg.index() >= datapath.num_regs() {
+            return Err(VerifyError::BadClaim {
+                detail: format!("{} is not in the datapath", p.reg),
+            });
+        }
+        if graph.value(p.value).is_const() {
+            return Err(VerifyError::BadClaim {
+                detail: format!("constant {} cannot be stored", p.value),
+            });
+        }
+        if let Some(&prev) = map.get(&(p.step, p.reg)) {
+            if prev != p.value {
+                return Err(VerifyError::ClaimConflict {
+                    a: prev,
+                    b: p.value,
+                    step: p.step,
+                    reg: p.reg,
+                });
+            }
+        }
+        map.insert((p.step, p.reg), p.value);
+    }
+    Ok(map)
+}
+
+fn check_lifetime_coverage(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    claim_map: &ClaimMap,
+) -> Result<(), VerifyError> {
+    let lts = lifetimes(graph, schedule, library);
+    for lt in lts.iter() {
+        for &step in lt.steps() {
+            let covered = claim_map
+                .iter()
+                .any(|(&(s, _), &v)| s == step && v == lt.value());
+            if !covered {
+                return Err(VerifyError::LifetimeUncovered { value: lt.value(), step });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_issues(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    datapath: &Datapath,
+    rtl: &Rtl,
+) -> Result<(), VerifyError> {
+    let mut seen: Vec<Option<usize>> = vec![None; graph.num_ops()];
+    for (t, step) in rtl.steps.iter().enumerate() {
+        for exec in &step.execs {
+            let op = graph.op(exec.op);
+            if exec.fu.index() >= datapath.num_fus() {
+                return Err(VerifyError::BadIssue {
+                    op: op.id(),
+                    detail: format!("{} is not in the datapath", exec.fu),
+                });
+            }
+            if datapath.fu(exec.fu).class() != FuClass::for_op(op.kind()) {
+                return Err(VerifyError::WrongUnitClass { op: op.id(), fu: exec.fu });
+            }
+            if let Some(prev) = seen[op.id().index()] {
+                return Err(VerifyError::BadIssue {
+                    op: op.id(),
+                    detail: format!("issued at both step {prev} and step {t}"),
+                });
+            }
+            if schedule.issue(op.id()) != t {
+                return Err(VerifyError::BadIssue {
+                    op: op.id(),
+                    detail: format!(
+                        "issued at step {t}, scheduled at {}",
+                        schedule.issue(op.id())
+                    ),
+                });
+            }
+            seen[op.id().index()] = Some(t);
+        }
+    }
+    let _ = library;
+    for op in graph.ops() {
+        if seen[op.id().index()].is_none() {
+            return Err(VerifyError::BadIssue {
+                op: op.id(),
+                detail: "never issued".to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_fu_usage(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    datapath: &Datapath,
+    rtl: &Rtl,
+) -> Result<(), VerifyError> {
+    let n = schedule.n_steps();
+    // Per (fu, step): exclusive occupancy count and completion flag.
+    let mut busy = vec![vec![0usize; n]; datapath.num_fus()];
+    let mut completes = vec![vec![false; n]; datapath.num_fus()];
+    for (t, step) in rtl.steps.iter().enumerate() {
+        for exec in &step.execs {
+            let kind = graph.op(exec.op).kind();
+            let window = &mut busy[exec.fu.index()];
+            for slot in window.iter_mut().take((t + library.occupancy(kind)).min(n)).skip(t) {
+                *slot += 1;
+            }
+            let done = t + library.delay(kind) - 1;
+            if done < n {
+                completes[exec.fu.index()][done] = true;
+            }
+        }
+    }
+    for fu in datapath.fus() {
+        for (s, &load) in busy[fu.id().index()].iter().enumerate() {
+            if load > 1 {
+                return Err(VerifyError::FuConflict {
+                    fu: fu.id(),
+                    step: s,
+                    detail: format!("{load} concurrent executions"),
+                });
+            }
+        }
+    }
+    // Pass-throughs: unit idle, pass-capable, output not contended by a
+    // completing result, at most one pass per unit per step.
+    let mut pass_count = vec![vec![0usize; n]; datapath.num_fus()];
+    for (t, step) in rtl.steps.iter().enumerate() {
+        for pass in &step.passes {
+            let fu = datapath.fu(pass.fu);
+            if !library.spec(fu.class()).can_pass_through {
+                return Err(VerifyError::PassOnNonPassUnit { fu: pass.fu, step: t });
+            }
+            if busy[pass.fu.index()][t] > 0 {
+                return Err(VerifyError::FuConflict {
+                    fu: pass.fu,
+                    step: t,
+                    detail: "pass-through on an executing unit".to_string(),
+                });
+            }
+            if completes[pass.fu.index()][t] {
+                return Err(VerifyError::FuConflict {
+                    fu: pass.fu,
+                    step: t,
+                    detail: "pass-through contends with a completing result".to_string(),
+                });
+            }
+            pass_count[pass.fu.index()][t] += 1;
+            if pass_count[pass.fu.index()][t] > 1 {
+                return Err(VerifyError::FuConflict {
+                    fu: pass.fu,
+                    step: t,
+                    detail: "two pass-throughs on one unit".to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn simulate(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    rtl: &Rtl,
+    claims: &Claims,
+    claim_map: &ClaimMap,
+) -> Result<(), VerifyError> {
+    let n = schedule.n_steps();
+    let mut contents: BTreeMap<RegId, ValueId> = BTreeMap::new();
+
+    // Seed: environment-provided values (primary inputs and states) sit in
+    // their claimed step-0 registers when the iteration starts.
+    for p in &claims.placements {
+        if p.step == 0 && graph.value(p.value).source() == ValueSource::Input {
+            contents.insert(p.reg, p.value);
+        }
+    }
+
+    // Completions: (fu, step) -> produced value.
+    let mut completions: HashMap<(usize, usize), ValueId> = HashMap::new();
+    for (t, step) in rtl.steps.iter().enumerate() {
+        for exec in &step.execs {
+            let op = graph.op(exec.op);
+            let done = t + library.delay(op.kind()) - 1;
+            completions.insert((exec.fu.index(), done), op.output());
+        }
+    }
+
+    for t in 0..n {
+        // 1. Claims for this step must hold at its start (boundary-born
+        //    values are checked after the loop instead).
+        for (&(s, reg), &value) in claim_map.iter() {
+            if s != t {
+                continue;
+            }
+            let birth = schedule
+                .birth(graph, library, value)
+                .expect("claims never reference constants");
+            if birth >= n && !graph.value(value).is_state() {
+                continue; // wrapped: checked at the boundary
+            }
+            if graph.value(value).is_state() && t == 0 {
+                continue; // seeded; re-checked at the boundary
+            }
+            if t < birth {
+                continue; // not yet produced (cannot happen for valid claims)
+            }
+            if contents.get(&reg) != Some(&value) {
+                return Err(VerifyError::ClaimViolated {
+                    value,
+                    step: t,
+                    reg,
+                    found: contents.get(&reg).copied(),
+                });
+            }
+        }
+
+        // 2. Operand reads.
+        for exec in &rtl.steps[t].execs {
+            let op = graph.op(exec.op);
+            let expect = |operand: ValueId, src: &OperandSrc| -> Result<(), VerifyError> {
+                match (graph.value(operand).source(), src) {
+                    (ValueSource::Const(c), OperandSrc::Const(got)) if *got == c => Ok(()),
+                    (ValueSource::Const(c), other) => Err(VerifyError::WrongOperand {
+                        op: op.id(),
+                        expected: operand,
+                        found: format!("{other} instead of constant {c}"),
+                    }),
+                    (_, OperandSrc::Reg(r)) => match contents.get(r) {
+                        Some(&v) if v == operand => Ok(()),
+                        found => Err(VerifyError::WrongOperand {
+                            op: op.id(),
+                            expected: operand,
+                            found: format!("{r} holding {found:?}"),
+                        }),
+                    },
+                    (_, OperandSrc::Const(c)) => Err(VerifyError::WrongOperand {
+                        op: op.id(),
+                        expected: operand,
+                        found: format!("constant {c}"),
+                    }),
+                }
+            };
+            let [in0, in1] = op.inputs();
+            let direct = expect(in0, &exec.left).and_then(|()| expect(in1, &exec.right));
+            if direct.is_err() && op.kind().is_commutative() {
+                expect(in1, &exec.left).and_then(|()| expect(in0, &exec.right))?;
+            } else {
+                direct?;
+            }
+        }
+
+        // 3. Loads latch simultaneously at the end of the step, observing
+        //    pre-load register contents.
+        let mut next = contents.clone();
+        let mut loaded: BTreeMap<RegId, ()> = BTreeMap::new();
+        for load in &rtl.steps[t].loads {
+            if loaded.insert(load.reg, ()).is_some() {
+                return Err(VerifyError::DoubleLoad { reg: load.reg, step: t });
+            }
+            let token = match load.src {
+                LoadSrc::Fu(fu) => completions
+                    .get(&(fu.index(), t))
+                    .copied()
+                    .ok_or(VerifyError::NoResultToLoad { fu, step: t })?,
+                LoadSrc::Reg(r) => contents
+                    .get(&r)
+                    .copied()
+                    .ok_or(VerifyError::EmptyRead { reg: r, step: t })?,
+                LoadSrc::PassThrough(fu) => {
+                    let pass = rtl.steps[t]
+                        .passes
+                        .iter()
+                        .find(|p| p.fu == fu)
+                        .ok_or(VerifyError::NoResultToLoad { fu, step: t })?;
+                    contents
+                        .get(&pass.from)
+                        .copied()
+                        .ok_or(VerifyError::EmptyRead { reg: pass.from, step: t })?
+                }
+            };
+            next.insert(load.reg, token);
+        }
+        contents = next;
+    }
+
+    // 4. Iteration-boundary consistency: each state's step-0 register now
+    //    holds its feedback source, and boundary-born outputs appear in
+    //    their wrapped step-0 registers.
+    for (&(s, reg), &value) in claim_map.iter() {
+        if s != 0 {
+            continue;
+        }
+        let v = graph.value(value);
+        if let Some(src) = v.feedback_from() {
+            if contents.get(&reg) != Some(&src) {
+                return Err(VerifyError::BoundaryInconsistent {
+                    state: value,
+                    reg,
+                    found: contents.get(&reg).copied(),
+                });
+            }
+        } else if schedule.birth(graph, library, value) == Some(n)
+            && contents.get(&reg) != Some(&value)
+        {
+            return Err(VerifyError::ClaimViolated {
+                value,
+                step: 0,
+                reg,
+                found: contents.get(&reg).copied(),
+            });
+        }
+    }
+    Ok(())
+}

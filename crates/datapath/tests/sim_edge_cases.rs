@@ -1,0 +1,184 @@
+//! Edge cases of the concrete-value RTL simulator.
+
+use std::collections::BTreeMap;
+
+use salsa_cdfg::CdfgBuilder;
+use salsa_datapath::{
+    simulate, Claims, Exec, FuId, Load, LoadSrc, OperandSrc, Pass, RegId, Rtl, SimError,
+};
+use salsa_sched::{FuLibrary, Schedule};
+
+fn r(i: usize) -> RegId {
+    RegId::from_index(i)
+}
+fn f(i: usize) -> FuId {
+    FuId::from_index(i)
+}
+
+/// m = x * 3 (steps 0-1), y = m + s (step 2), s <= y; same scenario as the
+/// verifier tests, but executed over concrete numbers.
+fn scenario() -> (salsa_cdfg::Cdfg, Schedule, FuLibrary, Rtl, Claims) {
+    let mut b = CdfgBuilder::new("loop");
+    let x = b.input("x");
+    let s = b.state("s");
+    let k = b.constant(3);
+    let m = b.mul(x, k);
+    let y = b.add(m, s);
+    b.feedback(s, y);
+    b.mark_output(y, "y");
+    let graph = b.finish().unwrap();
+    let library = FuLibrary::standard();
+    let schedule = Schedule::from_issue_times(&graph, &library, vec![0, 2], 3).unwrap();
+    let mut rtl = Rtl::new(3);
+    let mul_op = graph.op_ids().next().unwrap();
+    let add_op = graph.op_ids().nth(1).unwrap();
+    rtl.steps[0].execs.push(Exec {
+        fu: f(1),
+        op: mul_op,
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Const(3),
+    });
+    rtl.steps[1].loads.push(Load { reg: r(0), src: LoadSrc::Fu(f(1)) });
+    rtl.steps[2].execs.push(Exec {
+        fu: f(0),
+        op: add_op,
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Reg(r(1)),
+    });
+    rtl.steps[2].loads.push(Load { reg: r(1), src: LoadSrc::Fu(f(0)) });
+    let mut claims = Claims::default();
+    claims.claim(x, 0, r(0));
+    claims.claim(s, 0, r(1));
+    claims.claim(s, 1, r(1));
+    claims.claim(s, 2, r(1));
+    claims.claim(graph.op(mul_op).output(), 2, r(0));
+    (graph, schedule, library, rtl, claims)
+}
+
+#[test]
+fn concrete_loop_matches_recurrence() {
+    let (graph, schedule, library, rtl, claims) = scenario();
+    let x = graph.values().find(|v| v.label() == "x").unwrap().id();
+    let s = graph.state_values().next().unwrap();
+    // y_k = 3*x_k + y_{k-1}, y_{-1} = 5.
+    let inputs: Vec<BTreeMap<_, _>> =
+        [2i64, 4, 6].iter().map(|&v| BTreeMap::from([(x, v)])).collect();
+    let result = simulate(
+        &graph,
+        &schedule,
+        &library,
+        &rtl,
+        &claims,
+        &inputs,
+        &BTreeMap::from([(s, 5)]),
+    )
+    .unwrap();
+    let y = graph.output_values().next().unwrap();
+    let ys: Vec<i64> = result.outputs.iter().map(|o| o[&y]).collect();
+    assert_eq!(ys, [11, 23, 41], "y_k = 3*x_k + y_(k-1)");
+    assert_eq!(result.final_regs[&r(1)], 41, "state register carries the loop value");
+}
+
+#[test]
+fn missing_state_value_is_reported() {
+    let (graph, schedule, library, rtl, claims) = scenario();
+    let x = graph.values().find(|v| v.label() == "x").unwrap().id();
+    let err = simulate(
+        &graph,
+        &schedule,
+        &library,
+        &rtl,
+        &claims,
+        &[BTreeMap::from([(x, 1)])],
+        &BTreeMap::new(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::MissingEnvironment { .. }), "{err}");
+}
+
+#[test]
+fn missing_input_value_is_reported() {
+    let (graph, schedule, library, rtl, claims) = scenario();
+    let s = graph.state_values().next().unwrap();
+    let err = simulate(
+        &graph,
+        &schedule,
+        &library,
+        &rtl,
+        &claims,
+        &[BTreeMap::new()],
+        &BTreeMap::from([(s, 0)]),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::MissingEnvironment { .. }), "{err}");
+}
+
+#[test]
+fn uninitialized_read_is_reported() {
+    let (graph, schedule, library, mut rtl, claims) = scenario();
+    let x = graph.values().find(|v| v.label() == "x").unwrap().id();
+    let s = graph.state_values().next().unwrap();
+    // Read a register nothing ever wrote.
+    rtl.steps[2].execs[0].right = OperandSrc::Reg(r(7));
+    let err = simulate(
+        &graph,
+        &schedule,
+        &library,
+        &rtl,
+        &claims,
+        &[BTreeMap::from([(x, 1)])],
+        &BTreeMap::from([(s, 0)]),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        SimError::UninitializedRead { reg: r(7), iteration: 0, step: 2 },
+        "{err}"
+    );
+}
+
+#[test]
+fn load_from_idle_unit_is_reported() {
+    let (graph, schedule, library, mut rtl, claims) = scenario();
+    let x = graph.values().find(|v| v.label() == "x").unwrap().id();
+    let s = graph.state_values().next().unwrap();
+    rtl.steps[0].loads.push(Load { reg: r(3), src: LoadSrc::Fu(f(0)) });
+    let err = simulate(
+        &graph,
+        &schedule,
+        &library,
+        &rtl,
+        &claims,
+        &[BTreeMap::from([(x, 1)])],
+        &BTreeMap::from([(s, 0)]),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::MissingResult { iteration: 0, step: 0 }), "{err}");
+}
+
+#[test]
+fn pass_through_forwards_concrete_values() {
+    // Extend the scenario: move s from R1 to R2 through the idle ALU at
+    // step 1 and read it from R2; numeric results must be unchanged.
+    let (graph, schedule, library, mut rtl, mut claims) = scenario();
+    let x = graph.values().find(|v| v.label() == "x").unwrap().id();
+    let s = graph.state_values().next().unwrap();
+    rtl.steps[1].passes.push(Pass { fu: f(0), from: r(1) });
+    rtl.steps[1].loads.push(Load { reg: r(2), src: LoadSrc::PassThrough(f(0)) });
+    rtl.steps[2].execs[0].right = OperandSrc::Reg(r(2));
+    claims.placements.retain(|p| !(p.value == s && p.step == 2));
+    claims.claim(s, 2, r(2));
+    let inputs: Vec<BTreeMap<_, _>> = vec![BTreeMap::from([(x, 10)])];
+    let result = simulate(
+        &graph,
+        &schedule,
+        &library,
+        &rtl,
+        &claims,
+        &inputs,
+        &BTreeMap::from([(s, 100)]),
+    )
+    .unwrap();
+    let y = graph.output_values().next().unwrap();
+    assert_eq!(result.outputs[0][&y], 130, "3*10 + 100 through the pass-through");
+}

@@ -1,0 +1,361 @@
+//! End-to-end scenarios for the symbolic-simulation verifier: a hand-built
+//! loop datapath in many correct and deliberately corrupted variants.
+
+use std::collections::BTreeMap;
+
+use salsa_cdfg::{Cdfg, CdfgBuilder};
+use salsa_datapath::{
+    verify, Claims, Datapath, Exec, FuId, Load, LoadSrc, OperandSrc, Pass, RegId, Rtl,
+    VerifyError,
+};
+use salsa_sched::{FuClass, FuLibrary, Schedule};
+
+fn r(i: usize) -> RegId {
+    RegId::from_index(i)
+}
+fn f(i: usize) -> FuId {
+    FuId::from_index(i)
+}
+
+/// `m = x * 3` (steps 0-1), `y = m + s` (step 2), `s <= y` across the
+/// boundary. Lifetimes: x@[0], s@[0,1,2], m@[2], y boundary-born.
+struct Scenario {
+    graph: Cdfg,
+    schedule: Schedule,
+    library: FuLibrary,
+    datapath: Datapath,
+    rtl: Rtl,
+    claims: Claims,
+}
+
+fn scenario() -> Scenario {
+    let mut b = CdfgBuilder::new("loop");
+    let x = b.input("x");
+    let s = b.state("s");
+    let k = b.constant(3);
+    let m = b.mul(x, k);
+    let y = b.add(m, s);
+    b.feedback(s, y);
+    b.mark_output(y, "y");
+    let graph = b.finish().unwrap();
+    let library = FuLibrary::standard();
+    let schedule = Schedule::from_issue_times(&graph, &library, vec![0, 2], 3).unwrap();
+    let datapath =
+        Datapath::new(&BTreeMap::from([(FuClass::Alu, 1), (FuClass::Mul, 1)]), 2);
+    // FU0 = ALU, FU1 = multiplier.
+    let mut rtl = Rtl::new(3);
+    rtl.steps[0].execs.push(Exec {
+        fu: f(1),
+        op: graph.op_ids().next().unwrap(),
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Const(3),
+    });
+    // The multiply completes at the end of step 1; latch it into R0 (x is
+    // dead after step 0).
+    rtl.steps[1].loads.push(Load { reg: r(0), src: LoadSrc::Fu(f(1)) });
+    rtl.steps[2].execs.push(Exec {
+        fu: f(0),
+        op: graph.op_ids().nth(1).unwrap(),
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Reg(r(1)),
+    });
+    // y completes at the end of step 2 and latches straight into the
+    // state's step-0 register (boundary-born feedback source).
+    rtl.steps[2].loads.push(Load { reg: r(1), src: LoadSrc::Fu(f(0)) });
+
+    let mut claims = Claims::default();
+    let x_id = x;
+    let s_id = s;
+    let m_id = graph.op(graph.op_ids().next().unwrap()).output();
+    claims.claim(x_id, 0, r(0));
+    claims.claim(s_id, 0, r(1));
+    claims.claim(s_id, 1, r(1));
+    claims.claim(s_id, 2, r(1));
+    claims.claim(m_id, 2, r(0));
+
+    Scenario { graph, schedule, library, datapath, rtl, claims }
+}
+
+fn run(s: &Scenario) -> Result<(), VerifyError> {
+    verify(&s.graph, &s.schedule, &s.library, &s.datapath, &s.rtl, &s.claims)
+}
+
+#[test]
+fn correct_loop_datapath_verifies() {
+    let s = scenario();
+    run(&s).expect("hand-built datapath is correct");
+}
+
+#[test]
+fn commutative_operand_swap_is_accepted() {
+    let mut s = scenario();
+    let exec = &mut s.rtl.steps[2].execs[0];
+    // y = m + s with the operands delivered on swapped ports (move F3).
+    exec.left = OperandSrc::Reg(r(1));
+    exec.right = OperandSrc::Reg(r(0));
+    run(&s).expect("addition is commutative");
+}
+
+#[test]
+fn wrong_operand_register_is_detected() {
+    let mut s = scenario();
+    s.rtl.steps[2].execs[0].left = OperandSrc::Reg(r(1));
+    // Left and right now both read R1 (holding s); m is never read.
+    s.rtl.steps[2].execs[0].right = OperandSrc::Reg(r(1));
+    assert!(matches!(run(&s), Err(VerifyError::WrongOperand { .. })));
+}
+
+#[test]
+fn missing_load_breaks_a_claim() {
+    let mut s = scenario();
+    s.rtl.steps[1].loads.clear(); // m never latched
+    assert!(matches!(run(&s), Err(VerifyError::ClaimViolated { .. })));
+}
+
+#[test]
+fn missing_claim_is_uncovered_lifetime() {
+    let mut s = scenario();
+    s.claims.placements.retain(|p| p.step != 1 || p.reg != r(1));
+    assert!(matches!(
+        run(&s),
+        Err(VerifyError::LifetimeUncovered { step: 1, .. })
+    ));
+}
+
+#[test]
+fn boundary_inconsistency_is_detected() {
+    let mut s = scenario();
+    // Feed the state's register from itself instead of from y.
+    s.rtl.steps[2].loads[0] = Load { reg: r(1), src: LoadSrc::Reg(r(1)) };
+    assert!(matches!(run(&s), Err(VerifyError::BoundaryInconsistent { .. })));
+}
+
+#[test]
+fn off_schedule_issue_is_detected() {
+    let mut s = scenario();
+    let exec = s.rtl.steps[2].execs.remove(0);
+    s.rtl.steps[1].execs.push(exec);
+    assert!(matches!(run(&s), Err(VerifyError::BadIssue { .. })));
+}
+
+#[test]
+fn duplicate_issue_is_detected() {
+    let mut s = scenario();
+    let exec = s.rtl.steps[2].execs[0];
+    s.rtl.steps[2].execs.push(exec);
+    assert!(matches!(run(&s), Err(VerifyError::BadIssue { .. })));
+}
+
+#[test]
+fn missing_issue_is_detected() {
+    let mut s = scenario();
+    s.rtl.steps[0].execs.clear();
+    let err = run(&s).unwrap_err();
+    assert!(matches!(err, VerifyError::BadIssue { .. }), "{err}");
+}
+
+#[test]
+fn wrong_unit_class_is_detected() {
+    let mut s = scenario();
+    s.rtl.steps[0].execs[0].fu = f(0); // multiply on the ALU
+    assert!(matches!(run(&s), Err(VerifyError::WrongUnitClass { .. })));
+}
+
+#[test]
+fn double_load_is_detected() {
+    let mut s = scenario();
+    s.rtl.steps[1].loads.push(Load { reg: r(0), src: LoadSrc::Fu(f(1)) });
+    assert!(matches!(run(&s), Err(VerifyError::DoubleLoad { .. })));
+}
+
+#[test]
+fn claim_conflict_is_detected() {
+    let mut s = scenario();
+    let m_id = s.graph.op(s.graph.op_ids().next().unwrap()).output();
+    s.claims.claim(m_id, 1, r(1)); // s also claims R1 at step 1
+    assert!(matches!(run(&s), Err(VerifyError::ClaimConflict { .. })));
+}
+
+#[test]
+fn load_from_idle_fu_is_detected() {
+    let mut s = scenario();
+    s.rtl.steps[0].loads.push(Load { reg: r(1), src: LoadSrc::Fu(f(0)) });
+    assert!(matches!(run(&s), Err(VerifyError::NoResultToLoad { .. })));
+}
+
+#[test]
+fn length_mismatch_is_detected() {
+    let mut s = scenario();
+    s.rtl.steps.pop();
+    assert!(matches!(run(&s), Err(VerifyError::LengthMismatch { .. })));
+}
+
+/// A variant with one extra register where the state moves R1 -> R2 through
+/// a pass-through on the idle ALU at step 1 — the Figure 3 situation.
+#[test]
+fn pass_through_transfer_verifies() {
+    let mut s = scenario();
+    let datapath =
+        Datapath::new(&BTreeMap::from([(FuClass::Alu, 1), (FuClass::Mul, 1)]), 3);
+    s.datapath = datapath;
+    // Move s from R1 to R2 at the 1->2 boundary via the ALU (idle at 1).
+    s.rtl.steps[1].passes.push(Pass { fu: f(0), from: r(1) });
+    s.rtl.steps[1].loads.push(Load { reg: r(2), src: LoadSrc::PassThrough(f(0)) });
+    // The add now reads s from R2; y still latches into R1 (the state's
+    // step-0 register).
+    s.rtl.steps[2].execs[0].right = OperandSrc::Reg(r(2));
+    let s_id = s.graph.state_values().next().unwrap();
+    // Re-claim s@2 in R2 instead of R1.
+    s.claims.placements.retain(|p| !(p.value == s_id && p.step == 2));
+    s.claims.claim(s_id, 2, r(2));
+    run(&s).expect("pass-through transfer is legal");
+}
+
+#[test]
+fn pass_through_on_busy_unit_is_detected() {
+    let mut s = scenario();
+    s.datapath = Datapath::new(&BTreeMap::from([(FuClass::Alu, 1), (FuClass::Mul, 1)]), 3);
+    // The ALU executes at step 2; a pass there must be rejected.
+    s.rtl.steps[2].passes.push(Pass { fu: f(0), from: r(1) });
+    s.rtl.steps[2].loads.push(Load { reg: r(2), src: LoadSrc::PassThrough(f(0)) });
+    assert!(matches!(run(&s), Err(VerifyError::FuConflict { .. })));
+}
+
+#[test]
+fn pass_through_on_multiplier_is_rejected_by_default_library() {
+    let mut s = scenario();
+    s.datapath = Datapath::new(&BTreeMap::from([(FuClass::Alu, 1), (FuClass::Mul, 1)]), 3);
+    s.rtl.steps[1].passes.clear();
+    // The multiplier is idle at step 2 but may not pass values.
+    s.rtl.steps[2].passes.push(Pass { fu: f(1), from: r(1) });
+    s.rtl.steps[2].loads.push(Load { reg: r(2), src: LoadSrc::PassThrough(f(1)) });
+    assert!(matches!(run(&s), Err(VerifyError::PassOnNonPassUnit { .. })));
+}
+
+#[test]
+fn pass_through_contending_with_completion_is_detected() {
+    // A pipelined two-cycle ALU completes a result at a step it no longer
+    // occupies; a pass-through there would contend for the output port.
+    let mut alu = *FuLibrary::standard().spec(FuClass::Alu);
+    alu.delay = 2;
+    alu.init_interval = 1;
+    let library = FuLibrary::from_specs(alu, *FuLibrary::standard().spec(FuClass::Mul));
+    let mut b = CdfgBuilder::new("pipe_alu");
+    let x = b.input("x");
+    let a1 = b.add(x, x);
+    b.mark_output(a1, "a1");
+    let graph = b.finish().unwrap();
+    let schedule = Schedule::from_issue_times(&graph, &library, vec![0], 2).unwrap();
+    let datapath = Datapath::new(&BTreeMap::from([(FuClass::Alu, 1)]), 3);
+    let op = graph.op_ids().next().unwrap();
+    let mut rtl = Rtl::new(2);
+    rtl.steps[0].execs.push(Exec {
+        fu: f(0),
+        op,
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Reg(r(0)),
+    });
+    // Result completes at the end of step 1 while the pass also drives the
+    // ALU output: contention.
+    rtl.steps[1].passes.push(Pass { fu: f(0), from: r(0) });
+    rtl.steps[1].loads.push(Load { reg: r(1), src: LoadSrc::Fu(f(0)) });
+    rtl.steps[1].loads.push(Load { reg: r(2), src: LoadSrc::PassThrough(f(0)) });
+    let mut claims = Claims::default();
+    claims.claim(x, 0, r(0));
+    claims.claim(x, 1, r(0));
+    claims.claim(graph.op(op).output(), 0, r(1));
+    let err = verify(&graph, &schedule, &library, &datapath, &rtl, &claims).unwrap_err();
+    assert!(
+        matches!(&err, VerifyError::FuConflict { detail, .. } if detail.contains("completing")),
+        "{err}"
+    );
+}
+
+#[test]
+fn simultaneous_register_exchange_is_legal() {
+    // Registers latch simultaneously: R0 <= R1 and R1 <= R0 in one step is
+    // a legal swap. Build a 2-step graph where two inputs swap and are read
+    // swapped.
+    let mut b = CdfgBuilder::new("swap");
+    let p = b.input("p");
+    let q = b.input("q");
+    let sum = b.add(p, q);
+    let dif = b.sub(q, p);
+    let z = b.add(sum, dif);
+    b.mark_output(z, "z");
+    let graph = b.finish().unwrap();
+    let library = FuLibrary::standard();
+    let schedule = Schedule::from_issue_times(&graph, &library, vec![0, 1, 2], 3).unwrap();
+    let datapath = Datapath::new(&BTreeMap::from([(FuClass::Alu, 2)]), 4);
+    let ops: Vec<_> = graph.op_ids().collect();
+    let mut rtl = Rtl::new(3);
+    rtl.steps[0].execs.push(Exec {
+        fu: f(0),
+        op: ops[0],
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Reg(r(1)),
+    });
+    // Swap p and q while the first add runs.
+    rtl.steps[0].loads.push(Load { reg: r(0), src: LoadSrc::Reg(r(1)) });
+    rtl.steps[0].loads.push(Load { reg: r(1), src: LoadSrc::Reg(r(0)) });
+    rtl.steps[0].loads.push(Load { reg: r(2), src: LoadSrc::Fu(f(0)) });
+    // dif = q - p reads the swapped registers: q now in R0, p in R1.
+    rtl.steps[1].execs.push(Exec {
+        fu: f(1),
+        op: ops[1],
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Reg(r(1)),
+    });
+    rtl.steps[1].loads.push(Load { reg: r(3), src: LoadSrc::Fu(f(1)) });
+    rtl.steps[2].execs.push(Exec {
+        fu: f(0),
+        op: ops[2],
+        left: OperandSrc::Reg(r(2)),
+        right: OperandSrc::Reg(r(3)),
+    });
+    // z is boundary-born: latch it into R2 for observation at wrapped
+    // step 0.
+    rtl.steps[2].loads.push(Load { reg: r(2), src: LoadSrc::Fu(f(0)) });
+    let mut claims = Claims::default();
+    claims.claim(p, 0, r(0));
+    claims.claim(q, 0, r(1));
+    claims.claim(q, 1, r(0));
+    claims.claim(p, 1, r(1));
+    claims.claim(graph.op(ops[0]).output(), 1, r(2));
+    claims.claim(graph.op(ops[0]).output(), 2, r(2));
+    claims.claim(graph.op(ops[1]).output(), 2, r(3));
+    claims.claim(graph.op(ops[2]).output(), 0, r(2));
+    verify(&graph, &schedule, &library, &datapath, &rtl, &claims)
+        .expect("simultaneous swap is legal under edge-triggered semantics");
+}
+
+#[test]
+fn noncommutative_swap_is_rejected() {
+    // Same setup as the swap test but dif reads unswapped ports: for Sub
+    // the ports may not be exchanged.
+    let mut b = CdfgBuilder::new("swap2");
+    let p = b.input("p");
+    let q = b.input("q");
+    let dif = b.sub(q, p);
+    b.mark_output(dif, "dif");
+    let graph = b.finish().unwrap();
+    let library = FuLibrary::standard();
+    let schedule = Schedule::from_issue_times(&graph, &library, vec![0], 1).unwrap();
+    let datapath = Datapath::new(&BTreeMap::from([(FuClass::Alu, 1)]), 3);
+    let op = graph.op_ids().next().unwrap();
+    let mut rtl = Rtl::new(1);
+    rtl.steps[0].execs.push(Exec {
+        fu: f(0),
+        op,
+        // q - p delivered as (p, q): wrong for subtraction.
+        left: OperandSrc::Reg(r(0)),
+        right: OperandSrc::Reg(r(1)),
+    });
+    rtl.steps[0].loads.push(Load { reg: r(2), src: LoadSrc::Fu(f(0)) });
+    let mut claims = Claims::default();
+    claims.claim(p, 0, r(0));
+    claims.claim(q, 0, r(1));
+    claims.claim(graph.op(op).output(), 0, r(2));
+    let err = verify(&graph, &schedule, &library, &datapath, &rtl, &claims).unwrap_err();
+    assert!(matches!(err, VerifyError::WrongOperand { .. }), "{err}");
+}

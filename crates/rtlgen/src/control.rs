@@ -1,0 +1,80 @@
+//! The controller's view of an allocation: a per-step control-word table.
+//!
+//! High-level synthesis hands the datapath to a controller that asserts,
+//! each control step, the functional-unit operation selects, the operand
+//! and register-input multiplexer selects, and the register load enables.
+//! [`control_table`] renders that word sequence as text — the bridge
+//! between the allocation result and controller synthesis (cf. Huang &
+//! Wolf, "How Datapath Allocation Affects Controller Delay").
+
+use std::fmt::Write as _;
+
+use salsa_alloc::AllocResult;
+use salsa_cdfg::Cdfg;
+use salsa_datapath::LoadSrc;
+
+/// Renders the per-step control words of an allocation.
+pub fn control_table(graph: &Cdfg, result: &AllocResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "step | unit operations                  | register loads");
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for (t, step) in result.rtl.steps.iter().enumerate() {
+        let mut ops: Vec<String> = step
+            .execs
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}:{}({},{})",
+                    e.fu,
+                    graph.op(e.op).kind(),
+                    e.left,
+                    e.right
+                )
+            })
+            .collect();
+        ops.extend(step.passes.iter().map(|p| format!("{}:PASS({})", p.fu, p.from)));
+        let loads: Vec<String> = step
+            .loads
+            .iter()
+            .map(|l| {
+                let src = match l.src {
+                    LoadSrc::Fu(fu) => format!("{fu}"),
+                    LoadSrc::Reg(r) => format!("{r}"),
+                    LoadSrc::PassThrough(fu) => format!("{fu}*"),
+                };
+                format!("{}<={}", l.reg, src)
+            })
+            .collect();
+        let _ = writeln!(out, "{t:>4} | {:<32} | {}", ops.join(" "), loads.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use salsa_alloc::{Allocator, ImproveConfig};
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    #[test]
+    fn table_lists_every_step_and_microop() {
+        let graph = salsa_cdfg::benchmarks::pid();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 8).unwrap();
+        let result = Allocator::new(&graph, &schedule, &library)
+            .seed(2)
+            .config(ImproveConfig {
+                max_trials: 2,
+                moves_per_trial: Some(200),
+                ..ImproveConfig::default()
+            })
+            .run()
+            .unwrap();
+        let table = super::control_table(&graph, &result);
+        for t in 0..schedule.n_steps() {
+            assert!(table.contains(&format!("\n{t:>4} |")) || table.starts_with(&format!("{t:>4} |")),
+                "step {t} missing:\n{table}");
+        }
+        assert!(table.contains("<="), "loads rendered");
+        assert!(table.contains("FU"), "units rendered");
+    }
+}

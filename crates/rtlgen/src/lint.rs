@@ -1,0 +1,151 @@
+//! A small structural linter for the emitted Verilog: balanced constructs
+//! and no undeclared datapath identifiers. Not a Verilog parser — a
+//! tripwire for emitter bugs, used by the test suite.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A structural problem in emitted Verilog text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LintError {
+    /// `module`/`endmodule`, `case`/`endcase` or `begin`/`end` do not
+    /// balance.
+    Unbalanced {
+        /// The construct that does not balance.
+        construct: &'static str,
+        /// Opening count.
+        opens: usize,
+        /// Closing count.
+        closes: usize,
+    },
+    /// A datapath identifier is referenced but never declared.
+    Undeclared {
+        /// The identifier.
+        name: String,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Unbalanced { construct, opens, closes } => {
+                write!(f, "{construct}: {opens} openings vs {closes} closings")
+            }
+            LintError::Undeclared { name } => write!(f, "identifier {name} never declared"),
+        }
+    }
+}
+
+impl Error for LintError {}
+
+/// Tokenizes identifiers/keywords, skipping `//` comments.
+fn words(source: &str) -> impl Iterator<Item = &str> {
+    source.lines().flat_map(|line| {
+        let code = line.split("//").next().unwrap_or("");
+        code.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '\''))
+            .filter(|w| !w.is_empty())
+    })
+}
+
+/// Checks the structural invariants described in the module docs.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn lint(source: &str) -> Result<(), LintError> {
+    let mut counts: std::collections::HashMap<&str, (usize, usize)> = Default::default();
+    for w in words(source) {
+        match w {
+            "module" => counts.entry("module").or_default().0 += 1,
+            "endmodule" => counts.entry("module").or_default().1 += 1,
+            "case" => counts.entry("case").or_default().0 += 1,
+            "endcase" => counts.entry("case").or_default().1 += 1,
+            "begin" => counts.entry("begin").or_default().0 += 1,
+            "end" => counts.entry("begin").or_default().1 += 1,
+            _ => {}
+        }
+    }
+    for (construct, (opens, closes)) in [
+        ("module", counts.get("module").copied().unwrap_or((0, 0))),
+        ("case", counts.get("case").copied().unwrap_or((0, 0))),
+        ("begin", counts.get("begin").copied().unwrap_or((0, 0))),
+    ] {
+        if opens != closes || opens == 0 && construct == "module" {
+            return Err(LintError::Unbalanced { construct, opens, closes });
+        }
+    }
+
+    // Declarations: identifiers following reg/wire/input/output keywords on
+    // the same statement (until ';' or ',' boundaries — approximated by
+    // collecting all identifiers on declaration lines).
+    let mut declared: HashSet<&str> = HashSet::new();
+    let mut referenced: HashSet<&str> = HashSet::new();
+    for line in source.lines() {
+        let code = line.split("//").next().unwrap_or("");
+        let is_decl = ["reg ", "wire ", "input ", "output "]
+            .iter()
+            .any(|k| code.trim_start().starts_with(k) || code.contains(&format!(" {k}")));
+        for w in words(code) {
+            let looks_like_signal = w.starts_with('r') && w[1..].chars().all(|c| c.is_ascii_digit())
+                || (w.starts_with("fu") && w.contains('_'))
+                || w == "cstep"
+                || w.starts_with("in_")
+                || w.starts_with("out_")
+                || w.starts_with("init_");
+            if !looks_like_signal {
+                continue;
+            }
+            if is_decl {
+                declared.insert(w);
+            } else {
+                referenced.insert(w);
+            }
+        }
+    }
+    for name in referenced {
+        if !declared.contains(name) {
+            return Err(LintError::Undeclared { name: name.to_string() });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_module_passes() {
+        let src = "module m (input wire clk);\n  reg r0;\n  always @(posedge clk) begin\n    r0 <= r0;\n  end\nendmodule\n";
+        lint(src).unwrap();
+    }
+
+    #[test]
+    fn missing_endmodule_fails() {
+        let src = "module m (input wire clk);\n";
+        assert!(matches!(
+            lint(src),
+            Err(LintError::Unbalanced { construct: "module", .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_case_fails() {
+        let src = "module m ();\n  reg r0;\n  always @* case (r0) default: ;\nendmodule\n";
+        assert!(matches!(lint(src), Err(LintError::Unbalanced { construct: "case", .. })));
+    }
+
+    #[test]
+    fn undeclared_register_fails() {
+        let src = "module m ();\n  reg r0;\n  always @* begin r0 = r9; end\nendmodule\n";
+        assert_eq!(lint(src), Err(LintError::Undeclared { name: "r9".into() }));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "module m ();\n  reg r0; // begin begin case r99\nendmodule\n";
+        lint(src).unwrap();
+    }
+}

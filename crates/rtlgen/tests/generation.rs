@@ -1,0 +1,122 @@
+//! Verilog generation over every benchmark allocation: lints clean,
+//! contains the expected structure, and is deterministic.
+
+use salsa_alloc::{Allocator, ImproveConfig};
+use salsa_cdfg::benchmarks;
+use salsa_rtlgen::{generate_verilog, lint, VerilogOptions};
+use salsa_sched::{asap, fds_schedule, FuLibrary};
+
+fn quick() -> ImproveConfig {
+    ImproveConfig { max_trials: 2, moves_per_trial: Some(300), ..ImproveConfig::default() }
+}
+
+#[test]
+fn all_benchmarks_generate_lint_clean_verilog() {
+    for graph in benchmarks::all() {
+        let library = FuLibrary::standard();
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + 1).unwrap();
+        let result = Allocator::new(&graph, &schedule, &library)
+            .seed(5)
+            .config(quick())
+            .run()
+            .unwrap();
+        let options = VerilogOptions { module_name: format!("dp_{}", graph.name()), width: 16 };
+        let verilog = generate_verilog(&graph, &schedule, &library, &result, &options);
+        lint(&verilog).unwrap_or_else(|e| panic!("{}: {e}\n{verilog}", graph.name()));
+        assert!(verilog.contains(&format!("module dp_{}", graph.name())));
+        assert!(verilog.contains("endmodule"));
+        assert!(verilog.contains("cstep"));
+        // One storage register declaration per allocated register.
+        let decls = verilog.matches("  reg signed [15:0] r").count();
+        assert_eq!(decls, result.datapath.num_regs(), "{}", graph.name());
+        // Every output has a visible port and assignment.
+        for v in graph.values().filter(|v| v.is_output()) {
+            assert!(
+                verilog.contains("out_") && verilog.contains("assign out_"),
+                "{}: output {v} missing",
+                graph.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn multiplier_units_capture_operands() {
+    let graph = benchmarks::ewf();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 19).unwrap();
+    let result = Allocator::new(&graph, &schedule, &library)
+        .seed(5)
+        .config(quick())
+        .run()
+        .unwrap();
+    let verilog =
+        generate_verilog(&graph, &schedule, &library, &result, &VerilogOptions::default());
+    assert!(verilog.contains("_a <= "), "multiplier operand capture register");
+    assert!(verilog.contains("_a * "), "registered product");
+    assert!(verilog.contains("multiplier (operands captured at issue"));
+}
+
+#[test]
+fn pass_through_becomes_an_alu_case_arm() {
+    // Force a pass-through via the allocator's move machinery on the FIR
+    // delay line and confirm the ALU case contains the PASS arm.
+    use rand::SeedableRng;
+    let graph = benchmarks::fir16();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 10).unwrap();
+    let datapath = salsa_datapath::Datapath::new(
+        &schedule.fu_demand(&graph, &library),
+        schedule.register_demand(&graph, &library),
+    );
+    let ctx = salsa_alloc::AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+    let mut binding = salsa_alloc::initial_allocation(&ctx);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut bound = false;
+    for _ in 0..300 {
+        if salsa_alloc::moves::try_move(
+            &mut binding,
+            salsa_alloc::MoveKind::PassBind,
+            &mut rng,
+        ) {
+            bound = true;
+            break;
+        }
+    }
+    assert!(bound);
+    let (rtl, claims) = salsa_alloc::lower(&binding);
+    salsa_datapath::verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims).unwrap();
+    // Assemble a minimal AllocResult-shaped input by re-running the
+    // allocator pipeline pieces.
+    let result = salsa_alloc::AllocResult {
+        datapath: ctx.datapath.clone(),
+        breakdown: binding.breakdown(),
+        cost: 0,
+        merged: salsa_datapath::merge_muxes(&salsa_datapath::traffic_from_rtl(&rtl)),
+        stats: Default::default(),
+        verified: true,
+        rtl,
+        claims,
+    };
+    let verilog =
+        generate_verilog(&graph, &schedule, &library, &result, &VerilogOptions::default());
+    lint(&verilog).unwrap();
+    assert!(verilog.contains("PASS-through"), "pass arm emitted:\n{verilog}");
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let graph = benchmarks::diffeq();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 9).unwrap();
+    let run = || {
+        let result = Allocator::new(&graph, &schedule, &library)
+            .seed(3)
+            .config(quick())
+            .run()
+            .unwrap();
+        generate_verilog(&graph, &schedule, &library, &result, &VerilogOptions::default())
+    };
+    assert_eq!(run(), run());
+}

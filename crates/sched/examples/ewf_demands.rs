@@ -1,0 +1,17 @@
+use salsa_cdfg::benchmarks::ewf;
+use salsa_sched::{fds_schedule, FuLibrary, FuClass};
+fn main() {
+    let g = ewf();
+    for (name, lib, steps) in [
+        ("17 ", FuLibrary::standard(), 17),
+        ("17P", FuLibrary::pipelined(), 17),
+        ("19 ", FuLibrary::standard(), 19),
+        ("19P", FuLibrary::pipelined(), 19),
+        ("21 ", FuLibrary::standard(), 21),
+    ] {
+        let s = fds_schedule(&g, &lib, steps).unwrap();
+        let d = s.fu_demand(&g, &lib);
+        let r = s.register_demand(&g, &lib);
+        println!("{name}: mul={} alu={} minreg={}", d[&FuClass::Mul], d[&FuClass::Alu], r);
+    }
+}

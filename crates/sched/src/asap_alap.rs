@@ -1,0 +1,191 @@
+//! ASAP/ALAP analysis and operation mobility.
+
+use salsa_cdfg::{Cdfg, ValueSource};
+
+use crate::{FuLibrary, SchedError};
+
+/// Result of an ASAP pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsapResult {
+    /// Earliest feasible issue step per operation.
+    pub issue: Vec<usize>,
+    /// Critical-path length: the minimum schedule length in control steps.
+    pub length: usize,
+}
+
+/// Computes the earliest issue step of every operation, optionally honoring
+/// already-fixed issue steps (used by force-directed scheduling).
+///
+/// Returns `None` if a fixation is infeasible (an op fixed before its
+/// operands are available).
+pub(crate) fn asap_fixed(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    fixed: &[Option<usize>],
+) -> Option<AsapResult> {
+    let mut avail = vec![0usize; graph.num_values()];
+    let mut issue = vec![0usize; graph.num_ops()];
+    let mut length = 0;
+    for op in graph.ops() {
+        let mut earliest = 0;
+        for operand in op.inputs() {
+            if !matches!(graph.value(operand).source(), ValueSource::Const(_)) {
+                earliest = earliest.max(avail[operand.index()]);
+            }
+        }
+        let t = match fixed[op.id().index()] {
+            Some(t) if t < earliest => return None,
+            Some(t) => t,
+            None => earliest,
+        };
+        issue[op.id().index()] = t;
+        let finish = t + library.delay(op.kind());
+        avail[op.output().index()] = finish;
+        length = length.max(finish);
+    }
+    Some(AsapResult { issue, length })
+}
+
+/// Computes the earliest issue step of every operation and the
+/// critical-path length of the graph.
+pub fn asap(graph: &Cdfg, library: &FuLibrary) -> AsapResult {
+    asap_fixed(graph, library, &vec![None; graph.num_ops()])
+        .expect("unconstrained ASAP is always feasible")
+}
+
+/// Computes the latest issue step of every operation for an `n_steps`
+/// schedule, optionally honoring fixed issue steps.
+///
+/// Returns `None` when infeasible.
+pub(crate) fn alap_fixed(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    n_steps: usize,
+    fixed: &[Option<usize>],
+) -> Option<Vec<usize>> {
+    // deadline[v]: latest step at which value v may be born.
+    let mut deadline = vec![n_steps as i64; graph.num_values()];
+    let mut latest = vec![0usize; graph.num_ops()];
+    for op in graph.ops().collect::<Vec<_>>().into_iter().rev() {
+        let delay = library.delay(op.kind()) as i64;
+        let t = deadline[op.output().index()] - delay;
+        let t = match fixed[op.id().index()] {
+            Some(f) if (f as i64) > t => return None,
+            Some(f) => f as i64,
+            None => t,
+        };
+        if t < 0 {
+            return None;
+        }
+        latest[op.id().index()] = t as usize;
+        for operand in op.inputs() {
+            if !matches!(graph.value(operand).source(), ValueSource::Const(_)) {
+                let d = &mut deadline[operand.index()];
+                *d = (*d).min(t);
+            }
+        }
+    }
+    Some(latest)
+}
+
+/// Computes the latest feasible issue step of every operation for a schedule
+/// of `n_steps` control steps.
+///
+/// # Errors
+///
+/// Returns [`SchedError::TooShort`] if `n_steps` is below the critical path.
+pub fn alap(graph: &Cdfg, library: &FuLibrary, n_steps: usize) -> Result<Vec<usize>, SchedError> {
+    alap_fixed(graph, library, n_steps, &vec![None; graph.num_ops()]).ok_or_else(|| {
+        SchedError::TooShort { requested: n_steps, critical_path: asap(graph, library).length }
+    })
+}
+
+/// Computes per-operation mobility (`alap - asap`) for an `n_steps`
+/// schedule.
+///
+/// # Errors
+///
+/// Returns [`SchedError::TooShort`] if `n_steps` is below the critical path.
+pub fn mobility(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    n_steps: usize,
+) -> Result<Vec<usize>, SchedError> {
+    let early = asap(graph, library);
+    let late = alap(graph, library, n_steps)?;
+    Ok(early
+        .issue
+        .iter()
+        .zip(&late)
+        .map(|(&e, &l)| l.checked_sub(e).expect("ALAP >= ASAP"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::{dct, ewf};
+    use salsa_cdfg::CdfgBuilder;
+
+    #[test]
+    fn ewf_critical_path_is_17() {
+        let lib = FuLibrary::standard();
+        assert_eq!(asap(&ewf(), &lib).length, 17);
+        // Pipelining does not change data delays, only occupancy.
+        assert_eq!(asap(&ewf(), &FuLibrary::pipelined()).length, 17);
+    }
+
+    #[test]
+    fn dct_critical_path_is_8() {
+        let lib = FuLibrary::standard();
+        assert_eq!(asap(&dct(), &lib).length, 8);
+    }
+
+    #[test]
+    fn alap_respects_deadline_and_bounds() {
+        let g = ewf();
+        let lib = FuLibrary::standard();
+        let early = asap(&g, &lib);
+        let late = alap(&g, &lib, 19).unwrap();
+        for (op, (&e, &l)) in g.ops().zip(early.issue.iter().zip(&late)) {
+            assert!(e <= l, "{}: asap {e} > alap {l}", op.id());
+            assert!(l + lib.delay(op.kind()) <= 19);
+        }
+    }
+
+    #[test]
+    fn alap_too_short_errors() {
+        let g = ewf();
+        let lib = FuLibrary::standard();
+        let err = alap(&g, &lib, 16).unwrap_err();
+        assert_eq!(err, SchedError::TooShort { requested: 16, critical_path: 17 });
+    }
+
+    #[test]
+    fn mobility_zero_on_critical_path_schedule() {
+        let g = dct();
+        let lib = FuLibrary::standard();
+        let m = mobility(&g, &lib, 8).unwrap();
+        assert!(m.contains(&0), "critical ops have zero mobility");
+        let m10 = mobility(&g, &lib, 10).unwrap();
+        assert!(m10.iter().zip(&m).all(|(&a, &b)| a >= b));
+        assert!(m10.iter().all(|&x| x >= 2), "two slack steps everywhere");
+    }
+
+    #[test]
+    fn fixed_asap_detects_infeasible_fixation() {
+        let mut b = CdfgBuilder::new("f");
+        let x = b.input("x");
+        let k = b.constant(2);
+        let m = b.mul(x, k);
+        let y = b.add(m, x);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+        let lib = FuLibrary::standard();
+        // add fixed at step 1 but the mul result is born at step 2.
+        assert!(asap_fixed(&g, &lib, &[None, Some(1)]).is_none());
+        assert!(asap_fixed(&g, &lib, &[None, Some(2)]).is_some());
+        // mul fixed later than the add allows.
+        assert!(alap_fixed(&g, &lib, 3, &[Some(2), None]).is_none());
+    }
+}

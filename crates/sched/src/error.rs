@@ -1,0 +1,82 @@
+//! Error type for scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use salsa_cdfg::{OpId, ValueId};
+
+/// Errors from schedule construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The requested schedule length is shorter than the critical path.
+    TooShort {
+        /// Requested number of control steps.
+        requested: usize,
+        /// Critical-path length of the graph.
+        critical_path: usize,
+    },
+    /// The issue-time table does not have one entry per operation.
+    WrongOpCount {
+        /// Entries provided.
+        got: usize,
+        /// Operations in the graph.
+        expected: usize,
+    },
+    /// An operation would finish after the end of the schedule.
+    OverrunsSchedule {
+        /// The late operation.
+        op: OpId,
+        /// Its issue step.
+        issue: usize,
+    },
+    /// An operation is issued before an operand value is available.
+    PrecedenceViolation {
+        /// The consuming operation.
+        op: OpId,
+        /// The operand that is not yet available.
+        operand: ValueId,
+    },
+    /// The schedule has zero control steps.
+    Empty,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::TooShort { requested, critical_path } => write!(
+                f,
+                "requested {requested} control steps but the critical path is {critical_path}"
+            ),
+            SchedError::WrongOpCount { got, expected } => {
+                write!(f, "issue table has {got} entries for {expected} operations")
+            }
+            SchedError::OverrunsSchedule { op, issue } => {
+                write!(f, "operation {op} issued at step {issue} finishes after the schedule ends")
+            }
+            SchedError::PrecedenceViolation { op, operand } => {
+                write!(f, "operation {op} is issued before operand {operand} is available")
+            }
+            SchedError::Empty => write!(f, "schedule has zero control steps"),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SchedError::TooShort { requested: 10, critical_path: 17 };
+        assert!(e.to_string().contains("17"));
+        let e = SchedError::PrecedenceViolation {
+            op: OpId::from_index(3),
+            operand: ValueId::from_index(9),
+        };
+        assert!(e.to_string().contains("o3"));
+        assert!(e.to_string().contains("v9"));
+    }
+}

@@ -1,0 +1,582 @@
+//! Time-constrained force-directed scheduling (Paulin/Knight style).
+//!
+//! Given a target latency, FDS fixes one operation at a time at the issue
+//! step that best balances the per-class *distribution graphs* (expected
+//! concurrency), which minimizes the number of functional units the
+//! schedule demands. This regenerates the paper's experimental setup, where
+//! "the schedule fixes the minimum number of functional units and
+//! registers" (§5) for each latency/pipelining configuration of Tables 2-3.
+
+use salsa_cdfg::{Cdfg, OpId};
+
+use crate::asap_alap::{alap_fixed, asap_fixed};
+use crate::{asap, FuClass, FuLibrary, Schedule, SchedError};
+
+/// Per-class expected-concurrency histogram.
+struct DistributionGraphs {
+    /// `dg[class][step]` — indexed via `FuClass::all()` position.
+    dg: [Vec<f64>; 2],
+}
+
+impl DistributionGraphs {
+    fn class_index(class: FuClass) -> usize {
+        match class {
+            FuClass::Alu => 0,
+            FuClass::Mul => 1,
+        }
+    }
+
+    fn compute(
+        graph: &Cdfg,
+        library: &FuLibrary,
+        n_steps: usize,
+        early: &[usize],
+        late: &[usize],
+    ) -> Self {
+        let mut dg = [vec![0.0; n_steps], vec![0.0; n_steps]];
+        for op in graph.ops() {
+            let idx = Self::class_index(FuClass::for_op(op.kind()));
+            let occ = library.occupancy(op.kind());
+            let (e, l) = (early[op.id().index()], late[op.id().index()]);
+            let width = (l - e + 1) as f64;
+            for t in e..=l {
+                for slot in dg[idx].iter_mut().take((t + occ).min(n_steps)).skip(t) {
+                    *slot += 1.0 / width;
+                }
+            }
+        }
+        DistributionGraphs { dg }
+    }
+
+    /// Balance score: area-weighted sum of squared expected concurrency,
+    /// plus a strong per-class penalty on the histogram *peak*. The peak
+    /// term matters because expected density understates realized
+    /// concurrency (E[X]^2 <= E[X^2]): without it the search happily parks
+    /// operations under an already-saturated step.
+    fn score(&self, library: &FuLibrary) -> f64 {
+        let mut total = 0.0;
+        for class in FuClass::all() {
+            let area = library.spec(class).area as f64;
+            let series = &self.dg[Self::class_index(class)];
+            let mut peak = 0.0f64;
+            for &v in series {
+                total += area * v * v;
+                peak = peak.max(v);
+            }
+            total += area * peak * peak * series.len() as f64;
+        }
+        total
+    }
+}
+
+/// Scheduling objective options for [`fds_schedule_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FdsOptions {
+    /// Weight of the schedule's register demand (maximum simultaneously
+    /// live values) in the demand objective, relative to functional-unit
+    /// area. `0` optimizes units only (the paper's setup, where the
+    /// schedule's register minimum is simply measured); a small positive
+    /// weight trades unit slack for fewer registers.
+    pub register_weight: usize,
+}
+
+/// Schedules the graph into exactly `n_steps` control steps, minimizing
+/// area-weighted functional-unit demand.
+///
+/// A portfolio of deterministic strategies is evaluated and the best result
+/// returned:
+///
+/// 1. the plain ASAP schedule,
+/// 2. a force-directed greedy pass (distribution-graph balancing with a
+///    forced-occupancy demand bound),
+/// 3. resource-limited list schedules for every unit-count combination up
+///    to the ASAP demand that still meets the latency target.
+///
+/// Every candidate is polished by a chain-sliding local descent on realized
+/// demand, so the result is never worse than ASAP. Fully deterministic.
+///
+/// # Errors
+///
+/// Returns [`SchedError::TooShort`] if `n_steps` is below the critical path.
+pub fn fds_schedule(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    n_steps: usize,
+) -> Result<Schedule, SchedError> {
+    fds_schedule_with(graph, library, n_steps, &FdsOptions::default())
+}
+
+/// [`fds_schedule`] with a configurable demand objective — in particular
+/// register-pressure balancing via [`FdsOptions::register_weight`].
+///
+/// # Errors
+///
+/// Returns [`SchedError::TooShort`] if `n_steps` is below the critical path.
+pub fn fds_schedule_with(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    n_steps: usize,
+    options: &FdsOptions,
+) -> Result<Schedule, SchedError> {
+    let early0 = asap(graph, library);
+    if early0.length > n_steps {
+        return Err(SchedError::TooShort {
+            requested: n_steps,
+            critical_path: early0.length,
+        });
+    }
+
+    let mut candidates: Vec<Vec<usize>> = vec![early0.issue.clone()];
+    candidates.push(force_directed_greedy(graph, library, n_steps));
+
+    // List-scheduling sweep over unit-count limits up to the ASAP demand.
+    let asap_sched = Schedule::from_issue_times(graph, library, early0.issue, n_steps)
+        .expect("ASAP schedule within n_steps is valid");
+    let demand = asap_sched.fu_demand(graph, library);
+    let range = |c: FuClass| 1..=demand[&c].max(1);
+    for alu in range(FuClass::Alu) {
+        for mul in range(FuClass::Mul) {
+            let mut limits = std::collections::BTreeMap::new();
+            if demand[&FuClass::Alu] > 0 {
+                limits.insert(FuClass::Alu, alu);
+            }
+            if demand[&FuClass::Mul] > 0 {
+                limits.insert(FuClass::Mul, mul);
+            }
+            let listed = crate::list_schedule(graph, library, &limits)
+                .expect("list scheduling of a valid graph succeeds");
+            if listed.n_steps() <= n_steps {
+                candidates.push(listed.issue_times().to_vec());
+            }
+        }
+    }
+
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    for mut issue in candidates {
+        reduce_realized_demand(graph, library, n_steps, &mut issue, options);
+        let score = realized_demand(graph, library, &issue, n_steps)
+            + register_penalty(graph, library, &issue, n_steps, options);
+        if best.as_ref().is_none_or(|(b, _)| score < *b) {
+            best = Some((score, issue));
+        }
+    }
+    let (_, issue) = best.expect("at least the ASAP candidate exists");
+    Schedule::from_issue_times(graph, library, issue, n_steps)
+}
+
+/// The force-directed greedy pass: fix the most-constrained operation at
+/// the step minimizing (forced demand, distribution-graph imbalance).
+fn force_directed_greedy(graph: &Cdfg, library: &FuLibrary, n_steps: usize) -> Vec<usize> {
+    let mut fixed: Vec<Option<usize>> = vec![None; graph.num_ops()];
+
+    loop {
+        let early = asap_fixed(graph, library, &fixed).expect("fixations stay feasible");
+        let late = alap_fixed(graph, library, n_steps, &fixed).expect("fixations stay feasible");
+
+        // Mobile operations, most-constrained (narrowest frame) first.
+        let mut mobile: Vec<OpId> = graph
+            .op_ids()
+            .filter(|&id| fixed[id.index()].is_none())
+            .collect();
+        if mobile.is_empty() {
+            return early.issue;
+        }
+        mobile.sort_by_key(|&id| (late[id.index()] - early.issue[id.index()], id));
+        let op = mobile[0];
+
+        // Try every feasible step for this op. Primary criterion: realized
+        // area-weighted demand of the operations placed so far (expected
+        // densities alone understate saturation — E[X]^2 <= E[X^2] — and
+        // would park chains under already-full steps). Secondary criterion:
+        // distribution-graph balance of the still-mobile remainder, the
+        // force-directed ingredient. Final tie-break: earliest step.
+        let mut best: Option<(usize, f64, usize)> = None;
+        for t in early.issue[op.index()]..=late[op.index()] {
+            fixed[op.index()] = Some(t);
+            let (Some(e2), Some(l2)) = (
+                asap_fixed(graph, library, &fixed),
+                alap_fixed(graph, library, n_steps, &fixed),
+            ) else {
+                fixed[op.index()] = None;
+                continue;
+            };
+            let demand = forced_demand(graph, library, &e2.issue, &l2, n_steps);
+            let dg = DistributionGraphs::compute(graph, library, n_steps, &e2.issue, &l2);
+            let balance = dg.score(library);
+            fixed[op.index()] = None;
+            let better = match &best {
+                None => true,
+                Some((bd, bb, _)) => {
+                    demand < *bd || (demand == *bd && balance + 1e-9 < *bb)
+                }
+            };
+            if better {
+                best = Some((demand, balance, t));
+            }
+        }
+        let (_, _, t) = best.expect("at least the ASAP step is feasible");
+        fixed[op.index()] = Some(t);
+    }
+}
+
+/// Area-weighted *forced-occupancy* lower bound on functional-unit demand.
+///
+/// An operation with frame `[e..l]` and occupancy `o` occupies the steps
+/// `l..e+o` under **every** feasible choice (empty when its mobility exceeds
+/// its occupancy). Counting those forced steps sees consequences of a
+/// fixation before the affected successors are themselves placed — the
+/// signal pure expected-density balancing lacks.
+fn forced_demand(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    early: &[usize],
+    late: &[usize],
+    n_steps: usize,
+) -> usize {
+    let mut occ = [vec![0usize; n_steps], vec![0usize; n_steps]];
+    for op in graph.ops() {
+        let idx = DistributionGraphs::class_index(FuClass::for_op(op.kind()));
+        let (e, l) = (early[op.id().index()], late[op.id().index()]);
+        let o = library.occupancy(op.kind());
+        for slot in occ[idx].iter_mut().take((e + o).min(n_steps)).skip(l) {
+            *slot += 1;
+        }
+    }
+    FuClass::all()
+        .iter()
+        .map(|&c| {
+            library.spec(c).area
+                * occ[DistributionGraphs::class_index(c)].iter().copied().max().unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Area-weighted realized functional-unit demand of a full assignment,
+/// refined by how many steps sit at the peak: `sum over classes of
+/// area * (n_steps * peak + steps_at_peak)`. The refinement lets the local
+/// descent accept moves that thin out a saturated peak even when a single
+/// move cannot yet lower it — escaping the plateau where two chained
+/// operations must both leave a step.
+fn realized_demand(graph: &Cdfg, library: &FuLibrary, issue: &[usize], n_steps: usize) -> usize {
+    let mut occ = [vec![0usize; n_steps], vec![0usize; n_steps]];
+    for op in graph.ops() {
+        let idx = DistributionGraphs::class_index(FuClass::for_op(op.kind()));
+        let s = issue[op.id().index()];
+        for slot in occ[idx].iter_mut().skip(s).take(library.occupancy(op.kind())) {
+            *slot += 1;
+        }
+    }
+    FuClass::all()
+        .iter()
+        .map(|&c| {
+            let series = &occ[DistributionGraphs::class_index(c)];
+            let peak = series.iter().copied().max().unwrap_or(0);
+            let at_peak = series.iter().filter(|&&v| v == peak && peak > 0).count();
+            library.spec(c).area * (n_steps * peak + at_peak)
+        })
+        .sum()
+}
+
+/// Moves `op` to `t`, sliding dependent operations just enough to stay
+/// feasible: when moving later, successors are pushed later (forward
+/// repair); when moving earlier, predecessors are pulled earlier (backward
+/// repair). Returns the repaired issue table, or `None` if infeasible.
+fn shift_with_slide(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    n_steps: usize,
+    issue: &[usize],
+    op: salsa_cdfg::OpId,
+    t: usize,
+) -> Option<Vec<usize>> {
+    let mut new = issue.to_vec();
+    let current = new[op.index()];
+    new[op.index()] = t;
+    if t > current {
+        // Forward repair in topological order: push every other op to at
+        // least its operands' birth step.
+        let mut birth = vec![0usize; graph.num_values()];
+        for o in graph.ops() {
+            let earliest = o
+                .inputs()
+                .iter()
+                .filter(|&&v| graph.value(v).source().op().is_some())
+                .map(|&v| birth[v.index()])
+                .max()
+                .unwrap_or(0);
+            let idx = o.id().index();
+            if o.id() == op {
+                if new[idx] < earliest {
+                    return None;
+                }
+            } else {
+                new[idx] = new[idx].max(earliest);
+            }
+            let finish = new[idx] + library.delay(o.kind());
+            if finish > n_steps {
+                return None;
+            }
+            birth[o.output().index()] = finish;
+        }
+    } else {
+        // Backward repair in reverse topological order: pull every other op
+        // to at most what its consumers allow.
+        let mut deadline = vec![n_steps as i64; graph.num_values()];
+        for o in graph.ops().collect::<Vec<_>>().into_iter().rev() {
+            let idx = o.id().index();
+            let latest = deadline[o.output().index()] - library.delay(o.kind()) as i64;
+            if o.id() == op {
+                if (new[idx] as i64) > latest {
+                    return None;
+                }
+            } else if (new[idx] as i64) > latest {
+                if latest < 0 {
+                    return None;
+                }
+                new[idx] = latest as usize;
+            }
+            for operand in o.inputs() {
+                if graph.value(operand).source().op().is_some() {
+                    let d = &mut deadline[operand.index()];
+                    *d = (*d).min(new[idx] as i64);
+                }
+            }
+        }
+    }
+    Some(new)
+}
+
+/// Local-descent post-pass: repeatedly move single operations — sliding
+/// dependent chains along with them when necessary — whenever that strictly
+/// reduces the realized area-weighted demand. Runs to a fixpoint; the result
+/// is never worse than its input.
+fn reduce_realized_demand(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    n_steps: usize,
+    issue: &mut Vec<usize>,
+    options: &FdsOptions,
+) {
+    let total = |issue: &[usize]| {
+        realized_demand(graph, library, issue, n_steps)
+            + register_penalty(graph, library, issue, n_steps, options)
+    };
+    let mut best_demand = total(issue);
+    loop {
+        let mut improved = false;
+        for op in graph.op_ids() {
+            let occ = library.occupancy(graph.op(op).kind());
+            let current = issue[op.index()];
+            for t in 0..=(n_steps.saturating_sub(occ)) {
+                if t == current {
+                    continue;
+                }
+                let Some(candidate) = shift_with_slide(graph, library, n_steps, issue, op, t)
+                else {
+                    continue;
+                };
+                let demand = total(&candidate);
+                if demand < best_demand {
+                    best_demand = demand;
+                    *issue = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+/// Weighted register demand of an issue assignment, scaled like
+/// `realized_demand`'s peak term so the two compose.
+fn register_penalty(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    issue: &[usize],
+    n_steps: usize,
+    options: &FdsOptions,
+) -> usize {
+    if options.register_weight == 0 {
+        return 0;
+    }
+    let schedule = Schedule::from_issue_times(graph, library, issue.to_vec(), n_steps)
+        .expect("descent candidates are precedence-feasible");
+    options.register_weight * n_steps * schedule.register_demand(graph, library)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::{ar_lattice, dct, diffeq, ewf, fir16};
+
+    #[test]
+    fn ewf_fds_is_valid_at_all_paper_latencies() {
+        let g = ewf();
+        for (lib, steps) in [
+            (FuLibrary::standard(), 17),
+            (FuLibrary::standard(), 19),
+            (FuLibrary::standard(), 21),
+            (FuLibrary::pipelined(), 17),
+            (FuLibrary::pipelined(), 19),
+        ] {
+            let s = fds_schedule(&g, &lib, steps).unwrap();
+            s.validate(&g, &lib).unwrap();
+            assert_eq!(s.n_steps(), steps);
+        }
+    }
+
+    #[test]
+    fn ewf_relaxation_reduces_fu_demand() {
+        let g = ewf();
+        let lib = FuLibrary::standard();
+        let tight = fds_schedule(&g, &lib, 17).unwrap().fu_demand(&g, &lib);
+        let loose = fds_schedule(&g, &lib, 21).unwrap().fu_demand(&g, &lib);
+        let total =
+            |d: &std::collections::BTreeMap<FuClass, usize>| d[&FuClass::Alu] + d[&FuClass::Mul];
+        assert!(
+            total(&loose) <= total(&tight),
+            "relaxed schedule must not need more units ({loose:?} vs {tight:?})"
+        );
+    }
+
+    #[test]
+    fn ewf_pipelining_reduces_multiplier_demand() {
+        let g = ewf();
+        let np = fds_schedule(&g, &FuLibrary::standard(), 17)
+            .unwrap()
+            .fu_demand(&g, &FuLibrary::standard())[&FuClass::Mul];
+        let pp = fds_schedule(&g, &FuLibrary::pipelined(), 17)
+            .unwrap()
+            .fu_demand(&g, &FuLibrary::pipelined())[&FuClass::Mul];
+        assert!(pp <= np, "pipelined demand {pp} > non-pipelined {np}");
+    }
+
+    #[test]
+    fn fds_beats_or_matches_asap_demand() {
+        let lib = FuLibrary::standard();
+        for g in [dct(), diffeq(), ar_lattice(), fir16()] {
+            let cp = asap(&g, &lib).length;
+            let asap_sched = Schedule::from_issue_times(
+                &g,
+                &lib,
+                asap(&g, &lib).issue,
+                cp,
+            )
+            .unwrap();
+            let fds = fds_schedule(&g, &lib, cp).unwrap();
+            let total = |s: &Schedule| {
+                let d = s.fu_demand(&g, &lib);
+                d[&FuClass::Alu] * lib.spec(FuClass::Alu).area
+                    + d[&FuClass::Mul] * lib.spec(FuClass::Mul).area
+            };
+            assert!(
+                total(&fds) <= total(&asap_sched),
+                "{}: FDS demand {} > ASAP demand {}",
+                g.name(),
+                total(&fds),
+                total(&asap_sched)
+            );
+        }
+    }
+
+    #[test]
+    fn too_short_is_rejected() {
+        let g = dct();
+        let lib = FuLibrary::standard();
+        assert!(matches!(
+            fds_schedule(&g, &lib, 7),
+            Err(SchedError::TooShort { critical_path: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = dct();
+        let lib = FuLibrary::standard();
+        let a = fds_schedule(&g, &lib, 10).unwrap();
+        let b = fds_schedule(&g, &lib, 10).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod demand_tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::dct;
+
+    #[test]
+    fn dct_critical_path_fds_demand_is_optimal_shape() {
+        // At the 8-step critical path the odd-part multiplies saturate two
+        // steps at 8 concurrent multipliers; FDS must not exceed that, and
+        // it can save ALUs relative to ASAP.
+        let g = dct();
+        let lib = FuLibrary::standard();
+        let fds = fds_schedule(&g, &lib, 8).unwrap();
+        let d = fds.fu_demand(&g, &lib);
+        assert_eq!(d[&FuClass::Mul], 8);
+        assert!(d[&FuClass::Alu] <= 8);
+    }
+}
+
+#[cfg(test)]
+mod register_balance_tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::{ar_lattice, dct, ewf};
+
+    #[test]
+    fn register_weight_never_increases_register_demand() {
+        let lib = FuLibrary::standard();
+        for g in [ewf(), dct(), ar_lattice()] {
+            let cp = asap(&g, &lib).length;
+            for steps in [cp + 1, cp + 3] {
+                let plain = fds_schedule(&g, &lib, steps).unwrap();
+                let balanced = fds_schedule_with(
+                    &g,
+                    &lib,
+                    steps,
+                    &FdsOptions { register_weight: 2 },
+                )
+                .unwrap();
+                balanced.validate(&g, &lib).unwrap();
+                assert!(
+                    balanced.register_demand(&g, &lib) <= plain.register_demand(&g, &lib),
+                    "{} @ {steps}: balancing must not increase register demand",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_reproduces_default() {
+        let lib = FuLibrary::standard();
+        let g = dct();
+        let a = fds_schedule(&g, &lib, 10).unwrap();
+        let b = fds_schedule_with(&g, &lib, 10, &FdsOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn balanced_schedules_can_save_registers() {
+        // On at least one benchmark/latency the register-aware objective
+        // strictly reduces register demand.
+        let lib = FuLibrary::standard();
+        let mut saved = false;
+        for g in [ewf(), dct(), ar_lattice()] {
+            let cp = asap(&g, &lib).length;
+            for steps in [cp + 1, cp + 2, cp + 3] {
+                let plain = fds_schedule(&g, &lib, steps).unwrap();
+                let balanced =
+                    fds_schedule_with(&g, &lib, steps, &FdsOptions { register_weight: 2 })
+                        .unwrap();
+                if balanced.register_demand(&g, &lib) < plain.register_demand(&g, &lib) {
+                    saved = true;
+                }
+            }
+        }
+        assert!(saved, "register balancing should pay off somewhere");
+    }
+}

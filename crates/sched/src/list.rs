@@ -1,0 +1,155 @@
+//! Resource-constrained list scheduling.
+
+use std::collections::BTreeMap;
+
+use salsa_cdfg::{Cdfg, OpId, ValueSource};
+
+use crate::{alap, asap, FuClass, FuLibrary, Schedule, SchedError};
+
+/// Schedules the graph with at most `limits[class]` units of each class,
+/// minimizing latency greedily (classic list scheduling with
+/// least-slack-first priority).
+///
+/// Classes missing from `limits` are unconstrained.
+///
+/// # Errors
+///
+/// Returns [`SchedError`] only if the produced schedule fails validation
+/// (which would indicate an internal bug); a zero limit for a needed class
+/// panics instead.
+///
+/// # Panics
+///
+/// Panics if `limits` contains a zero for a class the graph needs.
+pub fn list_schedule(
+    graph: &Cdfg,
+    library: &FuLibrary,
+    limits: &BTreeMap<FuClass, usize>,
+) -> Result<Schedule, SchedError> {
+    for op in graph.ops() {
+        let class = FuClass::for_op(op.kind());
+        if let Some(&0) = limits.get(&class) {
+            panic!("limit for {class} is zero but the graph contains {class} operations");
+        }
+    }
+
+    // Priority: less slack first. Use ALAP at the (resource-free)
+    // critical-path length; ties by op id for determinism.
+    let cp = asap(graph, library).length;
+    let priority = alap(graph, library, cp).expect("critical path length is feasible");
+
+    let mut issue = vec![usize::MAX; graph.num_ops()];
+    // Availability step per value: inputs/states/constants from step 0,
+    // op-produced values unavailable until their producer is scheduled.
+    let mut avail: Vec<usize> = graph
+        .values()
+        .map(|v| match v.source() {
+            ValueSource::Op(_) => usize::MAX,
+            _ => 0,
+        })
+        .collect();
+    // occupancy[class] -> per-step used unit count (grown on demand).
+    let mut occupancy: BTreeMap<FuClass, Vec<usize>> = BTreeMap::new();
+    let mut remaining: Vec<OpId> = graph.op_ids().collect();
+    let mut step = 0usize;
+
+    while !remaining.is_empty() {
+        // Ready ops: all operands available by `step`.
+        let mut ready: Vec<OpId> = remaining
+            .iter()
+            .copied()
+            .filter(|&id| {
+                graph.op(id).inputs().iter().all(|&v| {
+                    matches!(graph.value(v).source(), ValueSource::Const(_))
+                        || avail[v.index()] <= step
+                })
+            })
+            .collect();
+        ready.sort_by_key(|&id| (priority[id.index()], id));
+
+        for id in ready {
+            let op = graph.op(id);
+            let class = FuClass::for_op(op.kind());
+            let occ = library.occupancy(op.kind());
+            let limit = limits.get(&class).copied().unwrap_or(usize::MAX);
+            let lanes = occupancy.entry(class).or_default();
+            if lanes.len() < step + occ {
+                lanes.resize(step + occ, 0);
+            }
+            if (step..step + occ).all(|s| lanes[s] < limit) {
+                for lane in lanes.iter_mut().skip(step).take(occ) {
+                    *lane += 1;
+                }
+                issue[id.index()] = step;
+                avail[op.output().index()] = step + library.delay(op.kind());
+                remaining.retain(|&r| r != id);
+            }
+        }
+        step += 1;
+        assert!(step <= 4 * graph.num_ops() * library.delay(salsa_cdfg::OpKind::Mul) + cp,
+            "list scheduling failed to converge");
+    }
+
+    let n_steps = graph
+        .ops()
+        .map(|op| issue[op.id().index()] + library.delay(op.kind()))
+        .max()
+        .unwrap_or(1);
+    Schedule::from_issue_times(graph, library, issue, n_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::benchmarks::{dct, ewf};
+
+    fn limits(alu: usize, mul: usize) -> BTreeMap<FuClass, usize> {
+        BTreeMap::from([(FuClass::Alu, alu), (FuClass::Mul, mul)])
+    }
+
+    #[test]
+    fn unconstrained_list_matches_critical_path() {
+        let g = ewf();
+        let lib = FuLibrary::standard();
+        let s = list_schedule(&g, &lib, &BTreeMap::new()).unwrap();
+        assert_eq!(s.n_steps(), 17);
+    }
+
+    #[test]
+    fn constrained_schedules_are_valid_and_respect_limits() {
+        let g = ewf();
+        let lib = FuLibrary::standard();
+        for (alu, mul) in [(3, 3), (2, 2), (2, 1), (1, 1)] {
+            let s = list_schedule(&g, &lib, &limits(alu, mul)).unwrap();
+            s.validate(&g, &lib).unwrap();
+            let demand = s.fu_demand(&g, &lib);
+            assert!(demand[&FuClass::Alu] <= alu);
+            assert!(demand[&FuClass::Mul] <= mul);
+        }
+    }
+
+    #[test]
+    fn fewer_units_never_shorten_the_schedule() {
+        let g = dct();
+        let lib = FuLibrary::standard();
+        let tight = list_schedule(&g, &lib, &limits(2, 2)).unwrap();
+        let loose = list_schedule(&g, &lib, &limits(8, 8)).unwrap();
+        assert!(tight.n_steps() >= loose.n_steps());
+    }
+
+    #[test]
+    fn pipelining_reduces_multiplier_pressure() {
+        let g = dct();
+        let np = list_schedule(&g, &FuLibrary::standard(), &limits(4, 2)).unwrap();
+        let pp = list_schedule(&g, &FuLibrary::pipelined(), &limits(4, 2)).unwrap();
+        assert!(pp.n_steps() <= np.n_steps());
+    }
+
+    #[test]
+    #[should_panic(expected = "limit for mul is zero")]
+    fn zero_limit_panics() {
+        let g = dct();
+        let lib = FuLibrary::standard();
+        let _ = list_schedule(&g, &lib, &limits(2, 0));
+    }
+}

@@ -1,0 +1,277 @@
+//! The scheduled-CDFG representation consumed by allocation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use salsa_cdfg::{Cdfg, OpId, ValueId, ValueSource};
+
+use crate::{lifetimes, FuClass, FuLibrary, SchedError};
+
+/// A validated assignment of issue steps to operations.
+///
+/// Control steps are numbered `0..n_steps`. An operation issued at step `s`
+/// with delay `d` reads its operands during step `s` and its result is
+/// stored at the end of step `s + d - 1` (the value's *birth* step is
+/// `s + d`). A birth step equal to `n_steps` denotes the iteration boundary:
+/// the result is latched directly into next iteration's step-0 register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    n_steps: usize,
+    issue: Vec<usize>,
+}
+
+impl Schedule {
+    /// Builds and validates a schedule from per-operation issue steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedError`] if the table has the wrong length, an
+    /// operation overruns the schedule, or a precedence constraint is
+    /// violated.
+    pub fn from_issue_times(
+        graph: &Cdfg,
+        library: &FuLibrary,
+        issue: Vec<usize>,
+        n_steps: usize,
+    ) -> Result<Self, SchedError> {
+        let schedule = Schedule { n_steps, issue };
+        schedule.validate(graph, library)?;
+        Ok(schedule)
+    }
+
+    /// Number of control steps.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Issue step of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn issue(&self, op: OpId) -> usize {
+        self.issue[op.index()]
+    }
+
+    /// The full per-operation issue table, indexed by operation id.
+    pub fn issue_times(&self) -> &[usize] {
+        &self.issue
+    }
+
+    /// The steps during which an operation exclusively occupies its
+    /// functional unit (`issue .. issue + initiation_interval`).
+    pub fn occupied_steps(
+        &self,
+        graph: &Cdfg,
+        library: &FuLibrary,
+        op: OpId,
+    ) -> std::ops::Range<usize> {
+        let s = self.issue(op);
+        s..s + library.occupancy(graph.op(op).kind())
+    }
+
+    /// Birth step of a value: the first step at which it can be read from a
+    /// register. `None` for constants (never stored). Primary inputs and
+    /// state values are born at step 0. May equal [`n_steps`](Self::n_steps)
+    /// for results produced exactly at the iteration boundary.
+    pub fn birth(&self, graph: &Cdfg, library: &FuLibrary, value: ValueId) -> Option<usize> {
+        match graph.value(value).source() {
+            ValueSource::Const(_) => None,
+            ValueSource::Input => Some(0),
+            ValueSource::Op(op) => {
+                Some(self.issue(op) + library.delay(graph.op(op).kind()))
+            }
+        }
+    }
+
+    /// Step of the last same-iteration read of a value, or `None` if it is
+    /// never read (pure outputs / pure feedback sources).
+    pub fn last_read(&self, graph: &Cdfg, value: ValueId) -> Option<usize> {
+        graph
+            .value(value)
+            .uses()
+            .iter()
+            .map(|u| self.issue(u.op))
+            .max()
+    }
+
+    /// Checks all schedule invariants against the graph and library.
+    ///
+    /// # Errors
+    ///
+    /// See [`SchedError`].
+    pub fn validate(&self, graph: &Cdfg, library: &FuLibrary) -> Result<(), SchedError> {
+        if self.n_steps == 0 {
+            return Err(SchedError::Empty);
+        }
+        if self.issue.len() != graph.num_ops() {
+            return Err(SchedError::WrongOpCount {
+                got: self.issue.len(),
+                expected: graph.num_ops(),
+            });
+        }
+        for op in graph.ops() {
+            let s = self.issue(op.id());
+            let delay = library.delay(op.kind());
+            if s + delay > self.n_steps {
+                return Err(SchedError::OverrunsSchedule { op: op.id(), issue: s });
+            }
+            for operand in op.inputs() {
+                if let Some(birth) = self.birth(graph, library, operand) {
+                    if s < birth {
+                        return Err(SchedError::PrecedenceViolation {
+                            op: op.id(),
+                            operand,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-step, per-class functional-unit occupancy.
+    pub fn occupancy_profile(
+        &self,
+        graph: &Cdfg,
+        library: &FuLibrary,
+    ) -> Vec<BTreeMap<FuClass, usize>> {
+        let mut profile = vec![BTreeMap::new(); self.n_steps];
+        for op in graph.ops() {
+            let class = FuClass::for_op(op.kind());
+            for step in self.occupied_steps(graph, library, op.id()) {
+                *profile[step].entry(class).or_insert(0) += 1;
+            }
+        }
+        profile
+    }
+
+    /// Minimum functional units per class implied by this schedule: the
+    /// maximum concurrent occupancy. "The minimum number of functional units
+    /// and registers is fixed by scheduling" (paper §1).
+    pub fn fu_demand(&self, graph: &Cdfg, library: &FuLibrary) -> BTreeMap<FuClass, usize> {
+        let mut demand: BTreeMap<FuClass, usize> =
+            FuClass::all().iter().map(|&c| (c, 0)).collect();
+        for step in self.occupancy_profile(graph, library) {
+            for (class, count) in step {
+                let entry = demand.entry(class).or_insert(0);
+                *entry = (*entry).max(count);
+            }
+        }
+        demand
+    }
+
+    /// Minimum register count implied by this schedule: the maximum number
+    /// of simultaneously stored value segments in any control step.
+    pub fn register_demand(&self, graph: &Cdfg, library: &FuLibrary) -> usize {
+        lifetimes(graph, self, library).max_live()
+    }
+
+    /// Renders a step-by-step listing.
+    pub fn display<'a>(&'a self, graph: &'a Cdfg) -> ScheduleDisplay<'a> {
+        ScheduleDisplay { schedule: self, graph }
+    }
+}
+
+/// Helper returned by [`Schedule::display`].
+pub struct ScheduleDisplay<'a> {
+    schedule: &'a Schedule,
+    graph: &'a Cdfg,
+}
+
+impl fmt::Display for ScheduleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule of {} over {} steps",
+            self.graph.name(),
+            self.schedule.n_steps
+        )?;
+        for step in 0..self.schedule.n_steps {
+            let ops: Vec<String> = self
+                .graph
+                .ops()
+                .filter(|op| self.schedule.issue(op.id()) == step)
+                .map(|op| format!("{}({})", op.label(), op.kind()))
+                .collect();
+            writeln!(f, "  step {:>2}: {}", step, ops.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::CdfgBuilder;
+
+    fn chain() -> Cdfg {
+        // x -> mul (2 steps) -> add -> y
+        let mut b = CdfgBuilder::new("chain");
+        let x = b.input("x");
+        let k = b.constant(5);
+        let m = b.mul(x, k);
+        let y = b.add(m, x);
+        b.mark_output(y, "y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_chain_schedule() {
+        let g = chain();
+        let lib = FuLibrary::standard();
+        let s = Schedule::from_issue_times(&g, &lib, vec![0, 2], 3).unwrap();
+        assert_eq!(s.issue(OpId::from_index(0)), 0);
+        assert_eq!(s.birth(&g, &lib, g.op(OpId::from_index(0)).output()), Some(2));
+        assert_eq!(s.last_read(&g, g.op(OpId::from_index(0)).output()), Some(2));
+        let demand = s.fu_demand(&g, &lib);
+        assert_eq!(demand[&FuClass::Alu], 1);
+        assert_eq!(demand[&FuClass::Mul], 1);
+        assert!(!s.display(&g).to_string().is_empty());
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = chain();
+        let lib = FuLibrary::standard();
+        let err = Schedule::from_issue_times(&g, &lib, vec![0, 1], 3).unwrap_err();
+        assert!(matches!(err, SchedError::PrecedenceViolation { .. }));
+    }
+
+    #[test]
+    fn overrun_detected() {
+        let g = chain();
+        let lib = FuLibrary::standard();
+        let err = Schedule::from_issue_times(&g, &lib, vec![2, 2], 3).unwrap_err();
+        assert!(matches!(err, SchedError::OverrunsSchedule { .. }));
+    }
+
+    #[test]
+    fn wrong_op_count_detected() {
+        let g = chain();
+        let lib = FuLibrary::standard();
+        let err = Schedule::from_issue_times(&g, &lib, vec![0], 3).unwrap_err();
+        assert!(matches!(err, SchedError::WrongOpCount { .. }));
+    }
+
+    #[test]
+    fn pipelined_multiplier_overlap_counts_once_per_step() {
+        // Two muls issued back-to-back on a pipelined library overlap in
+        // time but each occupies only its issue step.
+        let mut b = CdfgBuilder::new("pipe");
+        let x = b.input("x");
+        let k1 = b.constant(3);
+        let k2 = b.constant(4);
+        let m1 = b.mul(x, k1);
+        let m2 = b.mul(x, k2);
+        let y = b.add(m1, m2);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+        let lib = FuLibrary::pipelined();
+        let s = Schedule::from_issue_times(&g, &lib, vec![0, 1, 3], 4).unwrap();
+        assert_eq!(s.fu_demand(&g, &lib)[&FuClass::Mul], 1, "one pipelined mul suffices");
+        let lib_np = FuLibrary::standard();
+        let s2 = Schedule::from_issue_times(&g, &lib_np, vec![0, 1, 3], 4).unwrap();
+        assert_eq!(s2.fu_demand(&g, &lib_np)[&FuClass::Mul], 2, "non-pipelined needs two");
+    }
+}

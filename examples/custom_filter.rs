@@ -1,0 +1,57 @@
+//! Building and allocating a custom design with the builder DSL: a
+//! 4-tap symmetric FIR with a feedback smoothing stage, swept across
+//! schedule latencies to expose the latency/resource/interconnect
+//! trade-off curve.
+//!
+//! Run with: `cargo run --release --example custom_filter`
+
+use salsa_hls::cdfg::{CdfgBuilder, OpKind};
+use salsa_hls::prelude::*;
+use salsa_hls::sched::{asap, FuClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // y[n] = c0*(x[n] + x[n-3]) + c1*(x[n-1] + x[n-2]); s = s + y (smoother)
+    let mut b = CdfgBuilder::new("sym_fir4");
+    let x0 = b.input("x");
+    let x1 = b.state("x1");
+    let x2 = b.state("x2");
+    let x3 = b.state("x3");
+    let acc = b.state("acc");
+    let c0 = b.constant(7);
+    let c1 = b.constant(19);
+    let outer = b.op_labeled(OpKind::Add, x0, x3, "outer");
+    let inner = b.op_labeled(OpKind::Add, x1, x2, "inner");
+    let p0 = b.op_labeled(OpKind::Mul, outer, c0, "p0");
+    let p1 = b.op_labeled(OpKind::Mul, inner, c1, "p1");
+    let y = b.op_labeled(OpKind::Add, p0, p1, "y");
+    let smoothed = b.op_labeled(OpKind::Add, acc, y, "smoothed");
+    b.feedback(x1, x0);
+    b.feedback(x2, x1);
+    b.feedback(x3, x2);
+    b.feedback(acc, smoothed);
+    b.mark_output(smoothed, "out");
+    let graph = b.finish()?;
+    println!("{graph}");
+
+    let library = FuLibrary::standard();
+    let cp = asap(&graph, &library).length;
+    println!("critical path: {cp} control steps\n");
+    println!(
+        "{:>5} {:>4} {:>4} {:>4} {:>6} {:>7}",
+        "steps", "mul", "alu", "reg", "muxes", "merged"
+    );
+    for steps in cp..cp + 4 {
+        let schedule = fds_schedule(&graph, &library, steps)?;
+        let demand = schedule.fu_demand(&graph, &library);
+        let result = Allocator::new(&graph, &schedule, &library).seed(3).run()?;
+        println!(
+            "{steps:>5} {:>4} {:>4} {:>4} {:>6} {:>7}",
+            demand[&FuClass::Mul],
+            demand[&FuClass::Alu],
+            result.datapath.num_regs(),
+            result.breakdown.mux_equiv,
+            result.merged_mux_count(),
+        );
+    }
+    Ok(())
+}

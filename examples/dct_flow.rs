@@ -1,0 +1,45 @@
+//! The paper's larger example: the 8-point DCT, scheduled at several
+//! latencies with non-pipelined and pipelined multipliers, allocated and
+//! compared against the traditional binding model (Table 3's flow).
+//!
+//! Run with: `cargo run --release --example dct_flow`
+
+use salsa_hls::alloc::{Allocator, ImproveConfig, MoveSet};
+use salsa_hls::cdfg::benchmarks::dct;
+use salsa_hls::sched::{fds_schedule, FuClass, FuLibrary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = dct();
+    println!("DCT: {}", graph.stats());
+
+    for (steps, pipelined) in [(8, false), (8, true), (10, false), (10, true)] {
+        let library = if pipelined { FuLibrary::pipelined() } else { FuLibrary::standard() };
+        let schedule = fds_schedule(&graph, &library, steps)?;
+        let demand = schedule.fu_demand(&graph, &library);
+        let config = ImproveConfig {
+            max_trials: 6,
+            moves_per_trial: Some(2000),
+            ..ImproveConfig::default()
+        };
+        let run = |set: MoveSet| {
+            let mut cfg = config.clone();
+            cfg.move_set = set;
+            Allocator::new(&graph, &schedule, &library)
+                .seed(42)
+                .config(cfg)
+                .run()
+        };
+        let salsa = run(MoveSet::full())?;
+        let trad = run(MoveSet::traditional())?;
+        println!(
+            "{steps:>2} steps{}: {} mul, {} alu, {} regs | salsa {} muxes vs traditional {}",
+            if pipelined { " (pipelined)" } else { "            " },
+            demand[&FuClass::Mul],
+            demand[&FuClass::Alu],
+            salsa.datapath.num_regs(),
+            salsa.merged_mux_count(),
+            trad.merged_mux_count(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,255 @@
+//! `salsa-hls` — command-line front end for the SALSA reproduction.
+//!
+//! ```text
+//! salsa-hls info     <file.cdfg>                      parse, statistics, critical path
+//! salsa-hls dot      <file.cdfg>                      Graphviz rendering of the CDFG
+//! salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
+//! salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
+//!                    [--pipelined] [--traditional] [--controller]
+//!                    [--verilog PATH] [--testbench PATH] [--dot PATH]
+//! salsa-hls bench    <name|--list>                    run a built-in benchmark
+//! ```
+//!
+//! `<file.cdfg>` uses the text format documented in
+//! [`salsa_cdfg::parse_cdfg`]; pass `-` to read standard input.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use salsa_hls::alloc::{Allocator, ImproveConfig, MoveSet};
+use salsa_hls::cdfg::{parse_cdfg, Cdfg};
+use salsa_hls::datapath::{bus_allocate, traffic_from_rtl};
+use salsa_hls::rtlgen::{control_table, generate_testbench, generate_verilog, VerilogOptions};
+use salsa_hls::sched::{asap, fds_schedule, FuClass, FuLibrary};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "info" => info(args),
+        "dot" => dot(args),
+        "schedule" => schedule_cmd(args),
+        "allocate" => allocate(args),
+        "bench" => bench(args),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'salsa-hls help')")),
+    }
+}
+
+const HELP: &str = "\
+salsa-hls - data path allocation with the SALSA extended binding model
+
+usage:
+  salsa-hls info     <file.cdfg>
+  salsa-hls dot      <file.cdfg>
+  salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
+  salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
+                     [--pipelined] [--traditional] [--controller] [--report]
+                     [--verilog PATH] [--testbench PATH] [--dot PATH]
+  salsa-hls bench    <name|--list>
+
+<file.cdfg> is the text CDFG format ('-' reads stdin), e.g.:
+  cdfg iir1
+  input x
+  state yprev
+  const k = 13
+  op scaled = mul yprev k
+  op y = add x scaled
+  feedback yprev <- y
+  output y
+";
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: '{raw}' is not valid")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_graph(args: &[String]) -> Result<Cdfg, String> {
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a .cdfg file (or '-' for stdin)")?;
+    let source = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    parse_cdfg(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn library(args: &[String]) -> FuLibrary {
+    if has_flag(args, "--pipelined") {
+        FuLibrary::pipelined()
+    } else {
+        FuLibrary::standard()
+    }
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    println!("{graph}");
+    let lib = FuLibrary::standard();
+    println!("critical path: {} control steps (add=1, mul=2)", asap(&graph, &lib).length);
+    Ok(())
+}
+
+fn dot(args: &[String]) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    print!("{}", graph.to_dot());
+    Ok(())
+}
+
+fn schedule_cmd(args: &[String]) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let lib = library(args);
+    let steps = resolve_steps(args, &graph, &lib)?;
+    let schedule = fds_schedule(&graph, &lib, steps).map_err(|e| e.to_string())?;
+    print!("{}", schedule.display(&graph));
+    let demand = schedule.fu_demand(&graph, &lib);
+    println!(
+        "demand: {} mul, {} alu, {} registers",
+        demand[&FuClass::Mul],
+        demand[&FuClass::Alu],
+        schedule.register_demand(&graph, &lib)
+    );
+    Ok(())
+}
+
+fn resolve_steps(args: &[String], graph: &Cdfg, lib: &FuLibrary) -> Result<usize, String> {
+    Ok(match flag_parse::<usize>(args, "--steps")? {
+        Some(steps) => steps,
+        None => asap(graph, lib).length,
+    })
+}
+
+fn allocate(args: &[String]) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    allocate_graph(&graph, args)
+}
+
+fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
+    let lib = library(args);
+    let steps = resolve_steps(args, graph, &lib)?;
+    let schedule = fds_schedule(graph, &lib, steps).map_err(|e| e.to_string())?;
+
+    let move_set = if has_flag(args, "--traditional") {
+        MoveSet::traditional()
+    } else {
+        MoveSet::full()
+    };
+    let config = ImproveConfig { move_set, ..ImproveConfig::default() };
+    let result = Allocator::new(graph, &schedule, &lib)
+        .seed(flag_parse(args, "--seed")?.unwrap_or(42))
+        .extra_registers(flag_parse(args, "--extra-regs")?.unwrap_or(0))
+        .config(config)
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    println!("{}", result.datapath);
+    println!("cost breakdown: {}", result.breakdown);
+    println!(
+        "equivalent 2-1 muxes: {} point-to-point, {} after merging",
+        result.breakdown.mux_equiv,
+        result.merged_mux_count()
+    );
+    let bus = bus_allocate(&traffic_from_rtl(&result.rtl));
+    println!(
+        "bus style: {} buses, {} total 2-1 equivalents",
+        bus.num_buses(),
+        bus.total_mux_equiv()
+    );
+    println!("\n{}", result.rtl);
+    if has_flag(args, "--report") {
+        println!("{}", salsa_hls::alloc::report(graph, &schedule, &result));
+    }
+    if has_flag(args, "--controller") {
+        println!("{}", control_table(graph, &result));
+    }
+
+    let options = VerilogOptions { module_name: format!("dp_{}", graph.name()), width: 16 };
+    if let Some(path) = flag_value(args, "--verilog")? {
+        let verilog = generate_verilog(graph, &schedule, &lib, &result, &options);
+        std::fs::write(&path, verilog).map_err(|e| format!("{path}: {e}"))?;
+        println!("verilog written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--testbench")? {
+        // Smoke vectors: three iterations of small deterministic inputs,
+        // zero-initialized loop state.
+        let inputs: Vec<std::collections::BTreeMap<_, i64>> = (0..3)
+            .map(|k| {
+                graph
+                    .values()
+                    .filter(|v| {
+                        v.source() == salsa_hls::cdfg::ValueSource::Input && !v.is_state()
+                    })
+                    .enumerate()
+                    .map(|(i, v)| (v.id(), (k as i64 + 1) * 10 + i as i64))
+                    .collect()
+            })
+            .collect();
+        let state = graph.state_values().map(|s| (s, 0i64)).collect();
+        let tb = generate_testbench(graph, &schedule, &lib, &result, &options, &inputs, &state)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(&path, tb).map_err(|e| format!("{path}: {e}"))?;
+        println!("self-checking testbench written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--dot")? {
+        std::fs::write(&path, graph.to_dot()).map_err(|e| format!("{path}: {e}"))?;
+        println!("dot written to {path}");
+    }
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), String> {
+    let all = salsa_hls::cdfg::benchmarks::all();
+    if has_flag(args, "--list") || args.len() < 2 {
+        println!("built-in benchmarks:");
+        for g in &all {
+            println!("  {:<14} {}", g.name(), g.stats());
+        }
+        return Ok(());
+    }
+    let name = &args[1];
+    let graph = all
+        .into_iter()
+        .find(|g| g.name() == *name)
+        .ok_or_else(|| format!("unknown benchmark '{name}' (try 'salsa-hls bench --list')"))?;
+    allocate_graph(&graph, args)
+}

@@ -1,0 +1,152 @@
+//! Integration tests of the `salsa-hls` command-line tool.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_salsa-hls");
+
+const IIR: &str = "\
+cdfg iir1
+input x
+state yprev
+const k = 13
+op scaled = mul yprev k
+op y = add x scaled
+feedback yprev <- y
+output y
+";
+
+fn write_temp(contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("salsa_cli_{}.cdfg", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = Command::new(BIN).arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("salsa-hls allocate"));
+    assert!(text.contains("feedback yprev <- y"), "help shows the format example");
+}
+
+#[test]
+fn info_reports_stats_and_critical_path() {
+    let path = write_temp(IIR);
+    let out = Command::new(BIN).args(["info", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cdfg iir1"));
+    assert!(text.contains("critical path: 3 control steps"));
+}
+
+#[test]
+fn stdin_input_works() {
+    let mut child = Command::new(BIN)
+        .args(["info", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(IIR.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("iir1"));
+}
+
+#[test]
+fn allocate_produces_report_and_verilog() {
+    let path = write_temp(IIR);
+    let vpath = std::env::temp_dir().join(format!("salsa_cli_{}.v", std::process::id()));
+    let out = Command::new(BIN)
+        .args([
+            "allocate",
+            path.to_str().unwrap(),
+            "--steps",
+            "4",
+            "--seed",
+            "7",
+            "--verilog",
+            vpath.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("equivalent 2-1 muxes"));
+    assert!(text.contains("bus style"));
+    assert!(text.contains("step 0:"));
+    let verilog = std::fs::read_to_string(&vpath).unwrap();
+    assert!(verilog.contains("module dp_iir1"));
+    salsa_hls::rtlgen::lint(&verilog).unwrap();
+}
+
+#[test]
+fn bench_list_and_run() {
+    let out = Command::new(BIN).args(["bench", "--list"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ewf"));
+    assert!(text.contains("dct"));
+
+    let out = Command::new(BIN)
+        .args(["bench", "diffeq", "--steps", "9", "--traditional"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("cost breakdown"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_lines() {
+    let path = write_temp("cdfg t\ninput x\nop y = add x nosuch\noutput y\n");
+    let out = Command::new(BIN).args(["info", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("line 3"), "{text}");
+    assert!(text.contains("nosuch"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = Command::new(BIN).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+}
+
+#[test]
+fn infeasible_schedule_is_a_clean_error() {
+    let path = write_temp(IIR);
+    let out = Command::new(BIN)
+        .args(["schedule", path.to_str().unwrap(), "--steps", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("critical path"));
+}
+
+#[test]
+fn controller_and_testbench_flags_work() {
+    let path = write_temp(IIR);
+    let tb_path = std::env::temp_dir().join(format!("salsa_cli_{}_tb.v", std::process::id()));
+    let out = Command::new(BIN)
+        .args([
+            "allocate",
+            path.to_str().unwrap(),
+            "--steps",
+            "4",
+            "--controller",
+            "--testbench",
+            tb_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("register loads"), "controller table printed");
+    let tb = std::fs::read_to_string(&tb_path).unwrap();
+    assert!(tb.contains("module dp_iir1_tb"));
+    assert!(tb.contains("check(out_"));
+    salsa_hls::rtlgen::lint(&tb).unwrap();
+}

@@ -1,0 +1,80 @@
+//! Cross-crate integration: full schedule→allocate→lower→verify flows
+//! through the facade crate on every benchmark, both libraries.
+
+use salsa_hls::alloc::{Allocator, ImproveConfig};
+use salsa_hls::cdfg::benchmarks;
+use salsa_hls::sched::{asap, fds_schedule, FuLibrary};
+
+fn quick() -> ImproveConfig {
+    ImproveConfig {
+        max_trials: 3,
+        moves_per_trial: Some(400),
+        ..ImproveConfig::default()
+    }
+}
+
+#[test]
+fn every_benchmark_allocates_and_verifies_under_both_libraries() {
+    for graph in benchmarks::all() {
+        for library in [FuLibrary::standard(), FuLibrary::pipelined()] {
+            let cp = asap(&graph, &library).length;
+            let schedule = fds_schedule(&graph, &library, cp + 1).unwrap();
+            let result = Allocator::new(&graph, &schedule, &library)
+                .seed(13)
+                .config(quick())
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+            assert!(result.verified());
+            assert_eq!(result.rtl.n_steps(), cp + 1);
+            assert!(
+                result.claims.placements.len() >= graph.num_ops(),
+                "{}: every op output needs at least one claim",
+                graph.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn extra_registers_can_buy_interconnect_on_dct() {
+    // Table 2's storage-vs-interconnect trade, in miniature on the DCT:
+    // for at least one seed, granting two extra registers strictly reduces
+    // the merged multiplexer count (the search is heuristic, so the claim
+    // is existential, exactly as in the paper's table).
+    let graph = benchmarks::dct();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 9).unwrap();
+    let mut config = quick();
+    config.weights = salsa_hls::datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1 };
+    let run = |extra: usize, seed: u64| {
+        Allocator::new(&graph, &schedule, &library)
+            .seed(seed)
+            .extra_registers(extra)
+            .config(config.clone())
+            .run()
+            .unwrap()
+    };
+    let improved = (0..6u64).any(|seed| {
+        run(2, seed).merged_mux_count() < run(0, seed).merged_mux_count()
+    });
+    assert!(improved, "no seed turned two extra registers into fewer multiplexers");
+}
+
+#[test]
+fn rtl_is_printable_and_deterministic() {
+    let graph = benchmarks::ar_lattice();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 17).unwrap();
+    let a = Allocator::new(&graph, &schedule, &library)
+        .seed(3)
+        .config(quick())
+        .run()
+        .unwrap();
+    let b = Allocator::new(&graph, &schedule, &library)
+        .seed(3)
+        .config(quick())
+        .run()
+        .unwrap();
+    assert_eq!(a.rtl.to_string(), b.rtl.to_string());
+    assert!(a.rtl.to_string().contains(":="), "execs rendered");
+}

@@ -1,0 +1,106 @@
+//! Interconnect-style invariants on real allocator traffic: merging never
+//! increases the 2-1 count, bus allocation covers every requirement with
+//! one driver per bus per step, and the styles agree on the underlying
+//! connection set.
+
+use salsa_hls::alloc::{Allocator, ImproveConfig};
+use salsa_hls::cdfg::benchmarks;
+use salsa_hls::datapath::{bus_allocate, merge_muxes, traffic_from_rtl};
+use salsa_hls::sched::{asap, fds_schedule, FuLibrary};
+
+fn quick() -> ImproveConfig {
+    ImproveConfig { max_trials: 2, moves_per_trial: Some(300), ..ImproveConfig::default() }
+}
+
+#[test]
+fn styles_are_consistent_on_every_benchmark() {
+    let library = FuLibrary::standard();
+    for graph in benchmarks::all() {
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + 1).unwrap();
+        let result = Allocator::new(&graph, &schedule, &library)
+            .seed(6)
+            .config(quick())
+            .run()
+            .unwrap();
+        let traffic = traffic_from_rtl(&result.rtl);
+
+        // Point-to-point counts derived from traffic match the binding's
+        // incremental accounting.
+        let p2p: usize = traffic
+            .values()
+            .map(|reqs| {
+                let distinct: std::collections::BTreeSet<_> =
+                    reqs.iter().flatten().collect();
+                distinct.len().saturating_sub(1)
+            })
+            .sum();
+        assert_eq!(
+            p2p, result.breakdown.mux_equiv,
+            "{}: traffic-derived mux count disagrees with the binding",
+            graph.name()
+        );
+
+        // Merging is sound and never worse.
+        let merged = merge_muxes(&traffic);
+        assert_eq!(merged.pre_merge, p2p, "{}", graph.name());
+        assert!(merged.post_merge <= merged.pre_merge, "{}", graph.name());
+
+        // Bus allocation: every requirement covered, one driver per step.
+        let bus = bus_allocate(&traffic);
+        let n = result.rtl.n_steps();
+        for step in 0..n {
+            for (b, sources) in bus.buses.iter().enumerate() {
+                let active: std::collections::BTreeSet<_> = traffic
+                    .values()
+                    .filter_map(|reqs| reqs.get(step).copied().flatten())
+                    .filter(|src| sources.contains(src))
+                    .collect();
+                assert!(
+                    active.len() <= 1,
+                    "{}: bus {b} double-driven at step {step}",
+                    graph.name()
+                );
+            }
+        }
+        for (sink, reqs) in &traffic {
+            for src in reqs.iter().flatten() {
+                let carrier = bus
+                    .buses
+                    .iter()
+                    .position(|b| b.contains(src))
+                    .unwrap_or_else(|| panic!("{}: {src} unplaced", graph.name()));
+                assert!(
+                    bus.sink_taps[sink].contains(&carrier),
+                    "{}: {sink} misses bus {carrier}",
+                    graph.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mux_depth_is_bounded_by_fanin() {
+    let library = FuLibrary::standard();
+    let graph = benchmarks::dct();
+    let schedule = fds_schedule(&graph, &library, 9).unwrap();
+    let result = Allocator::new(&graph, &schedule, &library)
+        .seed(6)
+        .config(quick())
+        .run()
+        .unwrap();
+    let traffic = traffic_from_rtl(&result.rtl);
+    let max_fanin = traffic
+        .values()
+        .map(|reqs| {
+            let distinct: std::collections::BTreeSet<_> = reqs.iter().flatten().collect();
+            distinct.len()
+        })
+        .max()
+        .unwrap();
+    // ceil(log2(max_fanin)) levels suffice to realize the widest mux.
+    let depth = (max_fanin as u32).next_power_of_two().trailing_zeros();
+    assert!(depth <= max_fanin as u32);
+    assert!((1usize << depth) >= max_fanin);
+}

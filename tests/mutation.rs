@@ -1,0 +1,188 @@
+//! Mutation testing of the verifier: randomly corrupt lowered RTL
+//! programs and claims, and require that every mutant is either rejected
+//! by symbolic verification or still numerically equivalent to the CDFG.
+//! This cross-validates the two independent checking layers — a verifier
+//! that accepted a numerically wrong datapath would fail here.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use salsa_hls::alloc::{Allocator, ImproveConfig};
+use salsa_hls::cdfg::{evaluate, Cdfg, ValueId};
+use salsa_hls::datapath::{
+    simulate, verify, Claims, Datapath, LoadSrc, OperandSrc, RegId, Rtl,
+};
+use salsa_hls::sched::{fds_schedule, FuLibrary, Schedule};
+
+fn mutate(rtl: &mut Rtl, claims: &mut Claims, regs: usize, rng: &mut StdRng) -> &'static str {
+    let n = rtl.n_steps();
+    loop {
+        match rng.gen_range(0..6) {
+            0 => {
+                // Drop a random load.
+                let t = rng.gen_range(0..n);
+                if !rtl.steps[t].loads.is_empty() {
+                    let i = rng.gen_range(0..rtl.steps[t].loads.len());
+                    rtl.steps[t].loads.remove(i);
+                    return "drop-load";
+                }
+            }
+            1 => {
+                // Redirect a load to a different register.
+                let t = rng.gen_range(0..n);
+                if !rtl.steps[t].loads.is_empty() {
+                    let i = rng.gen_range(0..rtl.steps[t].loads.len());
+                    rtl.steps[t].loads[i].reg = RegId::from_index(rng.gen_range(0..regs));
+                    return "redirect-load";
+                }
+            }
+            2 => {
+                // Rewire a register-to-register load's source.
+                let t = rng.gen_range(0..n);
+                let candidates: Vec<usize> = rtl.steps[t]
+                    .loads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| matches!(l.src, LoadSrc::Reg(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&i) = candidates.first() {
+                    rtl.steps[t].loads[i].src =
+                        LoadSrc::Reg(RegId::from_index(rng.gen_range(0..regs)));
+                    return "rewire-transfer";
+                }
+            }
+            3 => {
+                // Point an operand read at a different register.
+                let t = rng.gen_range(0..n);
+                if !rtl.steps[t].execs.is_empty() {
+                    let i = rng.gen_range(0..rtl.steps[t].execs.len());
+                    let exec = &mut rtl.steps[t].execs[i];
+                    let target = &mut if rng.gen_bool(0.5) { &mut exec.left } else { &mut exec.right };
+                    if matches!(**target, OperandSrc::Reg(_)) {
+                        **target = OperandSrc::Reg(RegId::from_index(rng.gen_range(0..regs)));
+                        return "rewire-operand";
+                    }
+                }
+            }
+            4 => {
+                // Shift an exec to a neighboring step.
+                let t = rng.gen_range(0..n);
+                if !rtl.steps[t].execs.is_empty() && n > 1 {
+                    let i = rng.gen_range(0..rtl.steps[t].execs.len());
+                    let exec = rtl.steps[t].execs.remove(i);
+                    let t2 = if t + 1 < n { t + 1 } else { t - 1 };
+                    rtl.steps[t2].execs.push(exec);
+                    return "shift-exec";
+                }
+            }
+            _ => {
+                // Corrupt a claim's register.
+                if !claims.placements.is_empty() {
+                    let i = rng.gen_range(0..claims.placements.len());
+                    claims.placements[i].reg = RegId::from_index(rng.gen_range(0..regs));
+                    return "corrupt-claim";
+                }
+            }
+        }
+    }
+}
+
+fn environment(
+    graph: &Cdfg,
+    rng: &mut StdRng,
+) -> (Vec<BTreeMap<ValueId, i64>>, BTreeMap<ValueId, i64>) {
+    let inputs = (0..4)
+        .map(|_| {
+            graph
+                .values()
+                .filter(|v| {
+                    v.source() == salsa_hls::cdfg::ValueSource::Input && !v.is_state()
+                })
+                .map(|v| (v.id(), rng.gen_range(-100..100)))
+                .collect()
+        })
+        .collect();
+    let state = graph.state_values().map(|s| (s, rng.gen_range(-100..100))).collect();
+    (inputs, state)
+}
+
+fn run_mutations(graph: &Cdfg, schedule: &Schedule, library: &FuLibrary, seed: u64) {
+    let result = Allocator::new(graph, schedule, library)
+        .seed(seed)
+        .config(ImproveConfig {
+            max_trials: 2,
+            moves_per_trial: Some(250),
+            ..ImproveConfig::default()
+        })
+        .run()
+        .unwrap();
+    let datapath =
+        Datapath::new(&schedule.fu_demand(graph, library), result.datapath.num_regs());
+    let mut rng = StdRng::seed_from_u64(seed * 31 + 1);
+    let mut caught = 0;
+    let mut survived_equivalent = 0;
+
+    for _ in 0..120 {
+        let mut rtl = result.rtl.clone();
+        let mut claims = result.claims.clone();
+        let kind = mutate(&mut rtl, &mut claims, datapath.num_regs(), &mut rng);
+        match verify(graph, schedule, library, &datapath, &rtl, &claims) {
+            Err(_) => caught += 1,
+            Ok(()) => {
+                // The verifier accepted the mutant: it must still compute
+                // the CDFG exactly (e.g. a rewire onto a register that
+                // happens to hold the same value).
+                let (inputs, state) = environment(graph, &mut rng);
+                let golden = evaluate(graph, &inputs, &state);
+                let sim =
+                    simulate(graph, schedule, library, &rtl, &claims, &inputs, &state)
+                        .unwrap_or_else(|e| {
+                            panic!("verified mutant ({kind}) failed to simulate: {e}")
+                        });
+                for (k, (want, got)) in golden.outputs.iter().zip(&sim.outputs).enumerate() {
+                    for (v, expected) in want {
+                        assert_eq!(
+                            got.get(v),
+                            Some(expected),
+                            "verified mutant ({kind}) is numerically wrong at iteration {k}, output {v}"
+                        );
+                    }
+                }
+                survived_equivalent += 1;
+            }
+        }
+    }
+    assert!(
+        caught > 60,
+        "{}: verifier caught only {caught}/120 mutations ({survived_equivalent} benign)",
+        graph.name()
+    );
+}
+
+#[test]
+fn verifier_soundness_on_diffeq() {
+    let graph = salsa_hls::cdfg::benchmarks::diffeq();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 9).unwrap();
+    run_mutations(&graph, &schedule, &library, 5);
+}
+
+#[test]
+fn verifier_soundness_on_ewf() {
+    let graph = salsa_hls::cdfg::benchmarks::ewf();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 19).unwrap();
+    run_mutations(&graph, &schedule, &library, 11);
+}
+
+#[test]
+fn verifier_soundness_on_fir16_with_passes() {
+    // The FIR delay line exercises transfer and pass-through paths.
+    let graph = salsa_hls::cdfg::benchmarks::fir16();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 8).unwrap();
+    run_mutations(&graph, &schedule, &library, 23);
+}

@@ -1,0 +1,117 @@
+//! The paper's qualitative claims, checked as executable assertions.
+//! EXPERIMENTS.md records the quantitative counterpart.
+
+use salsa_hls::alloc::{Allocator, ImproveConfig, MoveSet};
+use salsa_hls::cdfg::benchmarks;
+use salsa_hls::sched::{asap, fds_schedule, FuClass, FuLibrary};
+
+fn effort() -> ImproveConfig {
+    ImproveConfig {
+        max_trials: 5,
+        moves_per_trial: Some(1200),
+        weights: salsa_hls::datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1 },
+        ..ImproveConfig::default()
+    }
+}
+
+/// §5/Table 2-3 shape: with identical schedules, pools and search effort,
+/// the extended binding model essentially never loses to its own
+/// traditional restriction (the paper itself reports 2 of 14 cases one
+/// multiplexer worse) and wins strictly somewhere.
+///
+/// The SALSA search's first stochastic phase replays the traditional
+/// search's exact trajectory before extending, so large regressions are
+/// structurally impossible; the deterministic polish runs on each model's
+/// own final state, which can shift single-mux amounts either way.
+#[test]
+fn salsa_never_loses_and_sometimes_wins() {
+    let library = FuLibrary::standard();
+    let mut strict_wins = 0;
+    let one_mux = effort().weights.mux + effort().weights.conn;
+    for graph in [benchmarks::dct(), benchmarks::diffeq(), benchmarks::ar_lattice()] {
+        let cp = asap(&graph, &library).length;
+        for steps in [cp, cp + 2] {
+            let schedule = fds_schedule(&graph, &library, steps).unwrap();
+            let run = |set: MoveSet| {
+                let mut cfg = effort();
+                cfg.move_set = set;
+                Allocator::new(&graph, &schedule, &library)
+                    .seed(42)
+                    .config(cfg)
+                    .run()
+                    .unwrap()
+            };
+            let salsa = run(MoveSet::full());
+            let trad = run(MoveSet::traditional());
+            assert!(
+                salsa.cost <= trad.cost + one_mux,
+                "{} @ {steps}: salsa cost {} more than one mux above traditional {}",
+                graph.name(),
+                salsa.cost,
+                trad.cost
+            );
+            if salsa.merged_mux_count() < trad.merged_mux_count() {
+                strict_wins += 1;
+            }
+        }
+    }
+    assert!(strict_wins >= 1, "the extended model should win strictly somewhere");
+}
+
+/// §5: pipelined multipliers reduce (or preserve) the multiplier count the
+/// schedule demands, at unchanged latency.
+#[test]
+fn pipelining_trades_multiplier_count() {
+    for graph in [benchmarks::ewf(), benchmarks::dct()] {
+        let np = FuLibrary::standard();
+        let pp = FuLibrary::pipelined();
+        let cp = asap(&graph, &np).length;
+        let d_np = fds_schedule(&graph, &np, cp).unwrap().fu_demand(&graph, &np);
+        let d_pp = fds_schedule(&graph, &pp, cp).unwrap().fu_demand(&graph, &pp);
+        assert!(
+            d_pp[&FuClass::Mul] <= d_np[&FuClass::Mul],
+            "{}: pipelining must not increase multiplier demand",
+            graph.name()
+        );
+    }
+}
+
+/// §1: "the minimum number of functional units and registers is fixed by
+/// scheduling" — relaxing the latency never increases the area-weighted
+/// demand (our FDS guarantees it never loses to ASAP; across latencies the
+/// demand is monotonically non-increasing in practice).
+#[test]
+fn relaxed_schedules_need_no_more_hardware() {
+    let library = FuLibrary::standard();
+    for graph in [benchmarks::ewf(), benchmarks::dct(), benchmarks::ar_lattice()] {
+        let cp = asap(&graph, &library).length;
+        let area = |steps: usize| {
+            let s = fds_schedule(&graph, &library, steps).unwrap();
+            let d = s.fu_demand(&graph, &library);
+            d[&FuClass::Alu] + 8 * d[&FuClass::Mul]
+        };
+        assert!(
+            area(cp + 4) <= area(cp),
+            "{}: four slack steps should not increase unit demand",
+            graph.name()
+        );
+    }
+}
+
+/// §4: the multiplexer-merging post-pass never increases the equivalent
+/// 2-1 multiplexer count.
+#[test]
+fn mux_merging_never_hurts() {
+    let library = FuLibrary::standard();
+    for graph in benchmarks::all() {
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + 1).unwrap();
+        let result = Allocator::new(&graph, &schedule, &library)
+            .seed(8)
+            .config(effort())
+            .run()
+            .unwrap();
+        assert!(result.merged.post_merge <= result.merged.pre_merge, "{}", graph.name());
+        assert_eq!(result.merged.pre_merge, result.breakdown.mux_equiv);
+    }
+}
