@@ -1,0 +1,87 @@
+//! Allocation-trajectory timings: runs the EWF and DCT allocations at
+//! fixed seeds and writes `BENCH_alloc.json` at the repository root with
+//! wall-time, final cost and search throughput (moves/sec) per benchmark.
+//!
+//! The JSON is a flat machine-readable record for tracking search-engine
+//! performance across revisions; the fixed seeds make the final costs
+//! comparable run-to-run (the trajectories are deterministic).
+//!
+//! Usage: `cargo run -p salsa-bench --bin bench_trajectory --release [-- --quick]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use salsa_alloc::{Allocator, MoveSet};
+use salsa_bench::Effort;
+use salsa_cdfg::Cdfg;
+use salsa_sched::{fds_schedule, FuLibrary};
+
+struct Record {
+    name: &'static str,
+    steps: usize,
+    seed: u64,
+    wall_secs: f64,
+    final_cost: u64,
+    attempted: usize,
+    moves_per_sec: f64,
+    verified: bool,
+}
+
+fn run(name: &'static str, graph: &Cdfg, steps: usize, seed: u64, effort: Effort) -> Record {
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(graph, &library, steps).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let start = Instant::now();
+    let result = Allocator::new(graph, &schedule, &library)
+        .seed(seed)
+        .config(effort.config(MoveSet::full()))
+        .restarts(effort.restarts())
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let wall_secs = start.elapsed().as_secs_f64();
+    Record {
+        name,
+        steps,
+        seed,
+        wall_secs,
+        final_cost: result.cost,
+        attempted: result.stats.attempted,
+        moves_per_sec: result.stats.moves_per_sec(),
+        verified: result.verified(),
+    }
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    let records = [
+        run("ewf19", &salsa_cdfg::benchmarks::ewf(), 19, 7, effort),
+        run("dct10", &salsa_cdfg::benchmarks::dct(), 10, 42, effort),
+    ];
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"steps\": {}, \"seed\": {}, \"wall_time_sec\": {:.4}, \
+             \"final_cost\": {}, \"moves_attempted\": {}, \"moves_per_sec\": {:.0}, \
+             \"verified\": {}}}",
+            r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
+            r.verified
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // The binary is part of the workspace, so the repo root is two levels
+    // above this crate's manifest regardless of the invocation directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+
+    for r in &records {
+        println!(
+            "{:<8} steps={:<3} seed={:<3} {:.2}s cost={} {} moves ({:.0} moves/sec) verified={}",
+            r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
+            r.verified
+        );
+    }
+    println!("wrote {path}");
+}

@@ -11,6 +11,7 @@ use rand::Rng;
 
 use salsa_datapath::CostWeights;
 
+use crate::improve::weighted_cost;
 use crate::moves::{try_move, MoveSet};
 use crate::Binding;
 
@@ -63,13 +64,12 @@ pub struct AnnealStats {
 /// Runs classic Metropolis simulated annealing in place, leaving `binding`
 /// at the best allocation seen.
 pub fn anneal(binding: &mut Binding<'_>, config: &AnnealConfig, rng: &mut StdRng) -> AnnealStats {
-    let cost = |b: &Binding<'_>| config.weights.evaluate(&b.breakdown());
     let moves_per_level = config
         .moves_per_level
         .unwrap_or(200 * binding.ctx().graph.num_ops());
 
     let mut stats = AnnealStats {
-        initial_cost: cost(binding),
+        initial_cost: weighted_cost(&config.weights, binding),
         final_cost: 0,
         levels: 0,
         attempted: 0,
@@ -85,14 +85,16 @@ pub fn anneal(binding: &mut Binding<'_>, config: &AnnealConfig, rng: &mut StdRng
         for _ in 0..moves_per_level {
             stats.attempted += 1;
             let kind = config.move_set.pick(rng);
-            let snapshot = binding.clone();
+            binding.begin();
             if !try_move(binding, kind, rng) {
+                binding.rollback();
                 continue;
             }
-            let after = cost(binding);
+            let after = weighted_cost(&config.weights, binding);
             let delta = after as f64 - current_cost as f64;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
             if accept {
+                binding.commit();
                 stats.accepted += 1;
                 current_cost = after;
                 if current_cost < best_cost {
@@ -100,7 +102,7 @@ pub fn anneal(binding: &mut Binding<'_>, config: &AnnealConfig, rng: &mut StdRng
                     best = binding.clone();
                 }
             } else {
-                *binding = snapshot;
+                binding.rollback();
             }
         }
         temperature *= config.cooling;

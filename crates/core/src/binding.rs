@@ -15,6 +15,13 @@
 //! and re-assert them; the refcounted
 //! [`ConnectionMatrix`](salsa_datapath::ConnectionMatrix) keeps equivalent
 //! 2-1 multiplexer counts exact throughout.
+//!
+//! Mutation is **transactional**: between [`Binding::begin`] and
+//! [`Binding::commit`]/[`Binding::rollback`], every primitive write (an
+//! occupancy cell, a chain slot, a pass entry, a connection use, a counter)
+//! appends its previous value to an undo journal. `rollback` replays the
+//! journal in reverse, restoring the binding cell-for-cell — so the search
+//! loops evaluate candidate moves without ever cloning the binding.
 
 use std::collections::BTreeSet;
 
@@ -98,6 +105,28 @@ pub(crate) enum Owner {
     Transfer(TransferKey),
 }
 
+/// One reversal record of the undo journal: the previous value of a single
+/// mutated cell. [`Binding::rollback`] replays these newest-first, so a cell
+/// written twice in one transaction ends at its oldest (pre-transaction)
+/// value.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    OpFu { op: OpId, old: FuId },
+    OpSwap { op: OpId, old: bool },
+    UseChain { op: OpId, port: usize, old: usize },
+    FuOccCell { fu: FuId, step: usize, old: Option<FuOcc> },
+    FuCompleteCell { fu: FuId, step: usize, old: Option<OpId> },
+    RegOccCell { reg: RegId, step: usize, old: Option<(ValueId, usize)> },
+    FuItemCount { fu: FuId, old: usize },
+    RegSegCount { reg: RegId, old: usize },
+    PassEntry { key: TransferKey, old: Option<FuId> },
+    ChainSlot { value: ValueId, slot: usize, old: Option<Chain> },
+    /// A new (empty) chain slot was pushed; undo pops it.
+    ChainSlotPushed { value: ValueId },
+    ConnAdd { src: Source, sink: Sink },
+    ConnRemove { src: Source, sink: Sink },
+}
+
 /// A complete allocation under the SALSA extended binding model.
 #[derive(Debug, Clone)]
 pub struct Binding<'a> {
@@ -115,7 +144,37 @@ pub struct Binding<'a> {
     pub(crate) conn: ConnectionMatrix,
     pub(crate) reg_seg_count: Vec<usize>,
     pub(crate) fu_item_count: Vec<usize>,
+    // O(1) cost caches, maintained on 0<->1 transitions of the counters.
+    used_regs: usize,
+    fu_area: usize,
+    // Transaction state.
+    journal: Vec<UndoOp>,
+    recording: bool,
 }
+
+/// Equality of allocation state: assignments, occupancy, connections and
+/// cost caches. The context reference and any in-flight transaction journal
+/// are deliberately excluded — two bindings are equal when they describe
+/// the same allocation.
+impl PartialEq for Binding<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.op_fu == other.op_fu
+            && self.op_swap == other.op_swap
+            && self.chains == other.chains
+            && self.use_chain == other.use_chain
+            && self.passes == other.passes
+            && self.fu_occ == other.fu_occ
+            && self.fu_completes == other.fu_completes
+            && self.reg_occ == other.reg_occ
+            && self.conn == other.conn
+            && self.reg_seg_count == other.reg_seg_count
+            && self.fu_item_count == other.fu_item_count
+            && self.used_regs == other.used_regs
+            && self.fu_area == other.fu_area
+    }
+}
+
+impl Eq for Binding<'_> {}
 
 impl<'a> Binding<'a> {
     /// Builds a binding from raw assignments (no copies, no passes): one
@@ -149,9 +208,13 @@ impl<'a> Binding<'a> {
             fu_occ: vec![vec![None; n]; ctx.datapath.num_fus()],
             fu_completes: vec![vec![None; n]; ctx.datapath.num_fus()],
             reg_occ: vec![vec![None; n]; ctx.datapath.num_regs()],
-            conn: ConnectionMatrix::new(),
+            conn: ConnectionMatrix::with_capacity(ctx.datapath.num_fus(), ctx.datapath.num_regs()),
             reg_seg_count: vec![0; ctx.datapath.num_regs()],
             fu_item_count: vec![0; ctx.datapath.num_fus()],
+            used_regs: 0,
+            fu_area: 0,
+            journal: Vec::new(),
+            recording: false,
         };
         for (op, fu) in ctx.graph.op_ids().zip(op_fu) {
             binding.occupy_op(op, fu);
@@ -227,8 +290,21 @@ impl<'a> Binding<'a> {
         &self.conn
     }
 
-    /// Measured resource usage.
+    /// Measured resource usage. O(1): `used_regs` and `fu_area` are cached
+    /// incrementally on counter transitions, and the connection matrix
+    /// keeps its totals running.
     pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            fu_area: self.fu_area,
+            used_regs: self.used_regs,
+            mux_equiv: self.conn.mux_equiv(),
+            connections: self.conn.connections(),
+        }
+    }
+
+    /// From-scratch recomputation of [`breakdown`](Self::breakdown) by
+    /// scanning the pools — validation only.
+    pub fn recomputed_breakdown(&self) -> CostBreakdown {
         let fu_area = self
             .ctx
             .datapath
@@ -475,13 +551,169 @@ impl<'a> Binding<'a> {
     pub(crate) fn assert_owner(&mut self, owner: Owner) {
         for (src, sink) in self.items(owner) {
             self.conn.add(src, sink);
+            self.j(UndoOp::ConnAdd { src, sink });
         }
     }
 
     pub(crate) fn retract_owner(&mut self, owner: Owner) {
         for (src, sink) in self.items(owner) {
             self.conn.remove(src, sink);
+            self.j(UndoOp::ConnRemove { src, sink });
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions: the undo journal.
+    // ------------------------------------------------------------------
+
+    /// Opens a transaction: every primitive mutation from here on is
+    /// journaled until [`commit`](Self::commit) or
+    /// [`rollback`](Self::rollback). Transactions do not nest.
+    pub fn begin(&mut self) {
+        debug_assert!(!self.recording, "transactions do not nest");
+        debug_assert!(self.journal.is_empty(), "journal leak from a previous transaction");
+        self.recording = true;
+    }
+
+    /// Accepts the mutations since [`begin`](Self::begin) and discards the
+    /// journal (retaining its capacity for the next transaction).
+    pub fn commit(&mut self) {
+        debug_assert!(self.recording, "commit outside a transaction");
+        self.recording = false;
+        self.journal.clear();
+    }
+
+    /// Reverts every mutation since [`begin`](Self::begin) by replaying the
+    /// journal newest-first, restoring the binding cell-for-cell.
+    pub fn rollback(&mut self) {
+        debug_assert!(self.recording, "rollback outside a transaction");
+        self.recording = false;
+        while let Some(entry) = self.journal.pop() {
+            self.undo(entry);
+        }
+    }
+
+    /// Returns `true` while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.recording
+    }
+
+    #[inline]
+    fn j(&mut self, entry: UndoOp) {
+        if self.recording {
+            self.journal.push(entry);
+        }
+    }
+
+    fn undo(&mut self, entry: UndoOp) {
+        match entry {
+            UndoOp::OpFu { op, old } => self.op_fu[op.index()] = old,
+            UndoOp::OpSwap { op, old } => self.op_swap[op.index()] = old,
+            UndoOp::UseChain { op, port, old } => self.use_chain[op.index()][port] = old,
+            UndoOp::FuOccCell { fu, step, old } => self.fu_occ[fu.index()][step] = old,
+            UndoOp::FuCompleteCell { fu, step, old } => {
+                self.fu_completes[fu.index()][step] = old;
+            }
+            UndoOp::RegOccCell { reg, step, old } => self.reg_occ[reg.index()][step] = old,
+            // The apply_* setters re-derive the used_regs/fu_area caches
+            // from the counter transition, so undo keeps them exact.
+            UndoOp::FuItemCount { fu, old } => self.apply_fu_item_count(fu, old),
+            UndoOp::RegSegCount { reg, old } => self.apply_reg_seg_count(reg, old),
+            UndoOp::PassEntry { key, old } => match old {
+                Some(fu) => {
+                    self.passes.insert(key, fu);
+                }
+                None => {
+                    self.passes.remove(&key);
+                }
+            },
+            UndoOp::ChainSlot { value, slot, old } => self.chains[value.index()][slot] = old,
+            UndoOp::ChainSlotPushed { value } => {
+                let popped = self.chains[value.index()].pop();
+                debug_assert_eq!(popped, Some(None), "pushed slot must be empty at undo");
+            }
+            UndoOp::ConnAdd { src, sink } => self.conn.remove(src, sink),
+            UndoOp::ConnRemove { src, sink } => self.conn.add(src, sink),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Journaled cell/counter setters: all primitive mutations funnel
+    // through these so every write is reversible.
+    // ------------------------------------------------------------------
+
+    fn set_fu_occ_cell(&mut self, fu: FuId, step: usize, new: Option<FuOcc>) {
+        self.j(UndoOp::FuOccCell { fu, step, old: self.fu_occ[fu.index()][step] });
+        self.fu_occ[fu.index()][step] = new;
+    }
+
+    fn set_fu_complete_cell(&mut self, fu: FuId, step: usize, new: Option<OpId>) {
+        self.j(UndoOp::FuCompleteCell { fu, step, old: self.fu_completes[fu.index()][step] });
+        self.fu_completes[fu.index()][step] = new;
+    }
+
+    fn set_reg_occ_cell(&mut self, reg: RegId, step: usize, new: Option<(ValueId, usize)>) {
+        self.j(UndoOp::RegOccCell { reg, step, old: self.reg_occ[reg.index()][step] });
+        self.reg_occ[reg.index()][step] = new;
+    }
+
+    fn journal_chain(&mut self, value: ValueId, slot: usize) {
+        if self.recording {
+            let old = self.chains[value.index()][slot].clone();
+            self.journal.push(UndoOp::ChainSlot { value, slot, old });
+        }
+    }
+
+    fn fu_area_of(&self, fu: FuId) -> usize {
+        self.ctx.library.spec(self.ctx.datapath.fu(fu).class()).area
+    }
+
+    /// Writes a fu item count, moving the `fu_area` cache across 0<->1
+    /// transitions.
+    fn apply_fu_item_count(&mut self, fu: FuId, new: usize) {
+        let old = self.fu_item_count[fu.index()];
+        self.fu_item_count[fu.index()] = new;
+        if old == 0 && new > 0 {
+            self.fu_area += self.fu_area_of(fu);
+        } else if old > 0 && new == 0 {
+            self.fu_area -= self.fu_area_of(fu);
+        }
+    }
+
+    /// Writes a register segment count, moving the `used_regs` cache across
+    /// 0<->1 transitions.
+    fn apply_reg_seg_count(&mut self, reg: RegId, new: usize) {
+        let old = self.reg_seg_count[reg.index()];
+        self.reg_seg_count[reg.index()] = new;
+        if old == 0 && new > 0 {
+            self.used_regs += 1;
+        } else if old > 0 && new == 0 {
+            self.used_regs -= 1;
+        }
+    }
+
+    fn fu_item_inc(&mut self, fu: FuId) {
+        let old = self.fu_item_count[fu.index()];
+        self.j(UndoOp::FuItemCount { fu, old });
+        self.apply_fu_item_count(fu, old + 1);
+    }
+
+    fn fu_item_dec(&mut self, fu: FuId) {
+        let old = self.fu_item_count[fu.index()];
+        self.j(UndoOp::FuItemCount { fu, old });
+        self.apply_fu_item_count(fu, old - 1);
+    }
+
+    fn reg_seg_inc(&mut self, reg: RegId) {
+        let old = self.reg_seg_count[reg.index()];
+        self.j(UndoOp::RegSegCount { reg, old });
+        self.apply_reg_seg_count(reg, old + 1);
+    }
+
+    fn reg_seg_dec(&mut self, reg: RegId) {
+        let old = self.reg_seg_count[reg.index()];
+        self.j(UndoOp::RegSegCount { reg, old });
+        self.apply_reg_seg_count(reg, old - 1);
     }
 
     // ------------------------------------------------------------------
@@ -490,25 +722,26 @@ impl<'a> Binding<'a> {
     // ------------------------------------------------------------------
 
     pub(crate) fn occupy_op(&mut self, op: OpId, fu: FuId) {
+        self.j(UndoOp::OpFu { op, old: self.op_fu[op.index()] });
         self.op_fu[op.index()] = fu;
         for s in self.ctx.occupied_steps(op) {
             debug_assert!(self.fu_occ[fu.index()][s].is_none(), "fu occupancy conflict");
-            self.fu_occ[fu.index()][s] = Some(FuOcc::Exec(op));
+            self.set_fu_occ_cell(fu, s, Some(FuOcc::Exec(op)));
         }
         let done = self.ctx.completion_step(op);
         debug_assert!(self.fu_completes[fu.index()][done].is_none());
-        self.fu_completes[fu.index()][done] = Some(op);
-        self.fu_item_count[fu.index()] += 1;
+        self.set_fu_complete_cell(fu, done, Some(op));
+        self.fu_item_inc(fu);
     }
 
     pub(crate) fn vacate_op(&mut self, op: OpId) {
         let fu = self.op_fu[op.index()];
         for s in self.ctx.occupied_steps(op) {
-            self.fu_occ[fu.index()][s] = None;
+            self.set_fu_occ_cell(fu, s, None);
         }
         let done = self.ctx.completion_step(op);
-        self.fu_completes[fu.index()][done] = None;
-        self.fu_item_count[fu.index()] -= 1;
+        self.set_fu_complete_cell(fu, done, None);
+        self.fu_item_dec(fu);
     }
 
     pub(crate) fn occupy_seg(&mut self, value: ValueId, slot: usize, idx: usize) {
@@ -518,51 +751,56 @@ impl<'a> Binding<'a> {
             self.reg_occ[reg.index()][step].is_none(),
             "register occupancy conflict at {reg}@{step}"
         );
-        self.reg_occ[reg.index()][step] = Some((value, slot));
-        self.reg_seg_count[reg.index()] += 1;
+        self.set_reg_occ_cell(reg, step, Some((value, slot)));
+        self.reg_seg_inc(reg);
     }
 
     pub(crate) fn vacate_seg(&mut self, value: ValueId, slot: usize, idx: usize) {
         let reg = self.chain(value, slot).expect("live chain").reg_at(idx);
         let step = self.ctx.lifetimes.get(value).expect("stored").steps()[idx];
         debug_assert_eq!(self.reg_occ[reg.index()][step], Some((value, slot)));
-        self.reg_occ[reg.index()][step] = None;
-        self.reg_seg_count[reg.index()] -= 1;
+        self.set_reg_occ_cell(reg, step, None);
+        self.reg_seg_dec(reg);
     }
 
     pub(crate) fn set_pass(&mut self, key: TransferKey, fu: Option<FuId>) {
-        if let Some(old) = self.passes.remove(&key) {
+        if let Some(&old) = self.passes.get(&key) {
             let (_, _, step) = self
                 .transfer_endpoints(key)
                 .expect("existing pass implies an active transfer");
             debug_assert_eq!(self.fu_occ[old.index()][step], Some(FuOcc::Pass(key)));
-            self.fu_occ[old.index()][step] = None;
-            self.fu_item_count[old.index()] -= 1;
+            self.j(UndoOp::PassEntry { key, old: Some(old) });
+            self.passes.remove(&key);
+            self.set_fu_occ_cell(old, step, None);
+            self.fu_item_dec(old);
         }
         if let Some(new) = fu {
             let (_, _, step) = self
                 .transfer_endpoints(key)
                 .expect("pass requires an active transfer");
             debug_assert!(self.fu_occ[new.index()][step].is_none());
-            self.fu_occ[new.index()][step] = Some(FuOcc::Pass(key));
-            self.fu_item_count[new.index()] += 1;
+            self.j(UndoOp::PassEntry { key, old: None });
             self.passes.insert(key, new);
+            self.set_fu_occ_cell(new, step, Some(FuOcc::Pass(key)));
+            self.fu_item_inc(new);
         }
     }
 
     /// Creates a one-segment copy chain at lifetime index `lo` in `reg`;
     /// returns the slot.
     pub(crate) fn add_copy_chain(&mut self, value: ValueId, lo: usize, reg: RegId) -> usize {
-        let slots = &mut self.chains[value.index()];
-        let slot = slots
-            .iter()
-            .position(|c| c.is_none())
-            .unwrap_or_else(|| {
+        let slot = match self.chains[value.index()].iter().position(|c| c.is_none()) {
+            Some(free) => free,
+            None => {
+                self.j(UndoOp::ChainSlotPushed { value });
+                let slots = &mut self.chains[value.index()];
                 slots.push(None);
                 slots.len() - 1
-            });
+            }
+        };
         assert!(slot > 0, "slot 0 is reserved for the primal chain");
-        slots[slot] = Some(Chain { lo, regs: vec![reg] });
+        self.j(UndoOp::ChainSlot { value, slot, old: None });
+        self.chains[value.index()][slot] = Some(Chain { lo, regs: vec![reg] });
         self.occupy_seg(value, slot, lo);
         slot
     }
@@ -570,6 +808,7 @@ impl<'a> Binding<'a> {
     /// Extends a copy chain by one segment at the front (`front = true`,
     /// toward earlier steps) or back.
     pub(crate) fn extend_copy(&mut self, value: ValueId, slot: usize, front: bool, reg: RegId) {
+        self.journal_chain(value, slot);
         let chain = self.chains[value.index()][slot].as_mut().expect("live chain");
         let idx = if front {
             chain.lo -= 1;
@@ -586,6 +825,7 @@ impl<'a> Binding<'a> {
     /// last segment goes. Attached passes on vanishing transfer keys must
     /// have been cleared by the caller beforehand.
     pub(crate) fn shrink_copy(&mut self, value: ValueId, slot: usize, front: bool) {
+        self.journal_chain(value, slot);
         let len = self.chain(value, slot).expect("live chain").len();
         if len == 1 {
             let lo = self.chain(value, slot).unwrap().lo;
@@ -609,6 +849,7 @@ impl<'a> Binding<'a> {
     /// for multi-segment rewrites where the caller vacates/occupies in
     /// bulk.
     pub(crate) fn chain_reg_mut(&mut self, value: ValueId, slot: usize, idx: usize, reg: RegId) {
+        self.journal_chain(value, slot);
         let chain = self.chains[value.index()][slot].as_mut().expect("live chain");
         let offset = idx - chain.lo;
         chain.regs[offset] = reg;
@@ -618,6 +859,7 @@ impl<'a> Binding<'a> {
     /// been cleared and uses rebound by the caller.
     pub(crate) fn remove_copy_chain(&mut self, value: ValueId, slot: usize) {
         assert!(slot > 0, "the primal chain cannot be removed");
+        self.journal_chain(value, slot);
         let (lo, hi) = {
             let c = self.chain(value, slot).expect("live chain");
             (c.lo, c.hi())
@@ -641,10 +883,12 @@ impl<'a> Binding<'a> {
     }
 
     pub(crate) fn set_use_chain(&mut self, op: OpId, port: usize, slot: usize) {
+        self.j(UndoOp::UseChain { op, port, old: self.use_chain[op.index()][port] });
         self.use_chain[op.index()][port] = slot;
     }
 
     pub(crate) fn set_op_swap(&mut self, op: OpId, swapped: bool) {
+        self.j(UndoOp::OpSwap { op, old: self.op_swap[op.index()] });
         self.op_swap[op.index()] = swapped;
     }
 
@@ -658,13 +902,14 @@ impl<'a> Binding<'a> {
                     // The occupancy entry was placed at the *old* step; we
                     // cannot resolve it through endpoints anymore, so clear
                     // by scan.
+                    self.j(UndoOp::PassEntry { key, old: Some(fu) });
                     self.passes.remove(&key);
-                    for cell in self.fu_occ[fu.index()].iter_mut() {
-                        if *cell == Some(FuOcc::Pass(key)) {
-                            *cell = None;
+                    for step in 0..self.ctx.n_steps() {
+                        if self.fu_occ[fu.index()][step] == Some(FuOcc::Pass(key)) {
+                            self.set_fu_occ_cell(fu, step, None);
                         }
                     }
-                    self.fu_item_count[fu.index()] -= 1;
+                    self.fu_item_dec(fu);
                 }
             }
         }
@@ -744,6 +989,13 @@ impl<'a> Binding<'a> {
         assert_eq!(fu_occ, self.fu_occ, "fu occupancy diverged");
         assert_eq!(fu_completes, self.fu_completes, "fu completions diverged");
         assert_eq!(fu_item_count, self.fu_item_count, "fu usage counts diverged");
+
+        // O(1) cost caches.
+        assert_eq!(
+            self.breakdown(),
+            self.recomputed_breakdown(),
+            "incremental cost caches diverged from recomputation"
+        );
 
         // Use bindings reference live chains that cover the read step.
         for op in self.ctx.graph.ops() {

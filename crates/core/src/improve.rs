@@ -24,6 +24,19 @@ use salsa_datapath::CostWeights;
 use crate::moves::{try_move, MoveKind, MoveSet};
 use crate::Binding;
 
+/// The weighted allocation cost — the one cost function every search stage
+/// (improvement, polish, annealing) evaluates.
+pub(crate) fn weighted_cost(weights: &CostWeights, binding: &Binding<'_>) -> u64 {
+    weights.evaluate(&binding.breakdown())
+}
+
+/// In debug builds, every this-many attempted moves the rejected-move path
+/// cross-checks journal rollback against a full pre-move snapshot. The
+/// selection is a deterministic counter (never the search RNG), so debug
+/// and release builds walk identical move trajectories.
+#[cfg(debug_assertions)]
+const CROSS_CHECK_PERIOD: usize = 64;
+
 /// Tuning knobs of the improvement search.
 #[derive(Debug, Clone)]
 pub struct ImproveConfig {
@@ -103,20 +116,34 @@ pub struct ImproveStats {
     pub accepted: usize,
     /// Uphill moves kept.
     pub uphill_accepted: usize,
+    /// Wall-clock time spent inside the search loops, in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+impl ImproveStats {
+    /// Search throughput: attempted moves per wall-clock second.
+    pub fn moves_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.attempted as f64 * 1e9 / self.elapsed_nanos as f64
+        }
+    }
 }
 
 /// Runs iterative improvement in place, leaving `binding` at the best
 /// allocation found.
 pub fn improve(binding: &mut Binding<'_>, config: &ImproveConfig, rng: &mut StdRng) -> ImproveStats {
-    let cost = |b: &Binding<'_>| config.weights.evaluate(&b.breakdown());
+    let start = std::time::Instant::now();
     let mut stats = ImproveStats {
-        initial_cost: cost(binding),
+        initial_cost: weighted_cost(&config.weights, binding),
         ..ImproveStats::default()
     };
     for set in config.phases() {
         run_phase(binding, config, &set, rng, &mut stats);
     }
-    stats.final_cost = cost(binding);
+    stats.final_cost = weighted_cost(&config.weights, binding);
+    stats.elapsed_nanos = start.elapsed().as_nanos() as u64;
     stats
 }
 
@@ -127,13 +154,12 @@ fn run_phase(
     rng: &mut StdRng,
     stats: &mut ImproveStats,
 ) {
-    let cost = |b: &Binding<'_>| config.weights.evaluate(&b.breakdown());
     let moves_per_trial = config
         .moves_per_trial
         .unwrap_or(200 * binding.ctx().graph.num_ops());
 
     let mut best = binding.clone();
-    let mut best_cost = cost(binding);
+    let mut best_cost = weighted_cost(&config.weights, binding);
     let mut current_cost = best_cost;
     let mut stale = 0;
 
@@ -154,12 +180,20 @@ fn run_phase(
         for _ in 0..moves_per_trial {
             stats.attempted += 1;
             let kind = set.pick(rng);
-            let snapshot = binding.clone();
+            #[cfg(debug_assertions)]
+            let cross_check =
+                stats.attempted.is_multiple_of(CROSS_CHECK_PERIOD).then(|| binding.clone());
+            binding.begin();
             if !try_move(binding, kind, rng) {
+                binding.rollback();
+                #[cfg(debug_assertions)]
+                if let Some(snapshot) = cross_check {
+                    assert!(*binding == snapshot, "rollback of an infeasible move diverged");
+                }
                 continue;
             }
             stats.applied += 1;
-            let after = cost(binding);
+            let after = weighted_cost(&config.weights, binding);
             if after <= current_cost {
                 stats.accepted += 1;
                 current_cost = after;
@@ -169,9 +203,17 @@ fn run_phase(
                 stats.uphill_accepted += 1;
                 current_cost = after;
             } else {
-                *binding = snapshot;
+                binding.rollback();
+                #[cfg(debug_assertions)]
+                if let Some(snapshot) = cross_check {
+                    assert!(
+                        *binding == snapshot,
+                        "journal rollback diverged from the pre-move snapshot"
+                    );
+                }
                 continue;
             }
+            binding.commit();
             if current_cost < best_cost {
                 best_cost = current_cost;
                 best = binding.clone();

@@ -16,9 +16,10 @@
 //!
 //! Every move is *atomic*: it either applies completely (returning `true`)
 //! or leaves the binding untouched (returning `false`). The improvement
-//! engine snapshots the binding before each attempt and restores it when
-//! the cost function rejects the result, exactly as in the paper's
-//! accept/reverse scheme (§4).
+//! engine opens a transaction ([`Binding::begin`](crate::Binding::begin))
+//! before each attempt and rolls the undo journal back when the cost
+//! function rejects the result — the paper's accept/reverse scheme (§4)
+//! without a per-move snapshot clone.
 
 mod fu;
 mod reg;

@@ -10,6 +10,7 @@ use salsa_cdfg::{OpId, ValueId};
 use salsa_datapath::{CostWeights, FuId, RegId};
 
 use crate::binding::Owner;
+use crate::improve::weighted_cost;
 use crate::{Binding, MoveKind, MoveSet, TransferKey};
 
 /// Runs greedy descent to a fixpoint over the neighborhoods the move set
@@ -17,8 +18,7 @@ use crate::{Binding, MoveKind, MoveSet, TransferKey};
 /// returns the final cost. The binding is left at the (local) optimum;
 /// never worse than the input.
 pub fn polish(binding: &mut Binding<'_>, weights: &CostWeights, move_set: &MoveSet) -> u64 {
-    let cost = |b: &Binding<'_>| weights.evaluate(&b.breakdown());
-    let mut best = cost(binding);
+    let mut best = weighted_cost(weights, binding);
     loop {
         let mut improved = false;
         if move_set.contains(MoveKind::FuMove) {
@@ -42,18 +42,16 @@ pub fn polish(binding: &mut Binding<'_>, weights: &CostWeights, move_set: &MoveS
     }
 }
 
-fn accept_or_rollback<'a>(
-    binding: &mut Binding<'a>,
-    snapshot: Binding<'a>,
-    weights: &CostWeights,
-    best: &mut u64,
-) -> bool {
-    let after = weights.evaluate(&binding.breakdown());
+/// Resolves the open transaction: commits when the candidate strictly
+/// improves on `best`, rolls the journal back otherwise.
+fn accept_or_rollback(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u64) -> bool {
+    let after = weighted_cost(weights, binding);
     if after < *best {
+        binding.commit();
         *best = after;
         true
     } else {
-        *binding = snapshot;
+        binding.rollback();
         false
     }
 }
@@ -73,12 +71,12 @@ fn sweep_op_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u
             if fu == binding.op_fu(op) || !binding.fu_exec_free(fu, op) {
                 continue;
             }
-            let snapshot = binding.clone();
+            binding.begin();
             binding.retract_owner(Owner::Op(op));
             binding.vacate_op(op);
             binding.occupy_op(op, fu);
             binding.assert_owner(Owner::Op(op));
-            improved |= accept_or_rollback(binding, snapshot, weights, best);
+            improved |= accept_or_rollback(binding, weights, best);
         }
     }
     improved
@@ -99,12 +97,12 @@ fn sweep_operand_reversals(
         .map(|o| o.id())
         .collect();
     for op in ops {
-        let snapshot = binding.clone();
+        binding.begin();
         let swapped = binding.op_swapped(op);
         binding.retract_owner(Owner::Op(op));
         binding.set_op_swap(op, !swapped);
         binding.assert_owner(Owner::Op(op));
-        improved |= accept_or_rollback(binding, snapshot, weights, best);
+        improved |= accept_or_rollback(binding, weights, best);
     }
     improved
 }
@@ -137,7 +135,7 @@ fn sweep_value_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mu
             if primal.is_uniform() && primal.regs()[0] == target {
                 continue;
             }
-            let snapshot = binding.clone();
+            binding.begin();
             let owners = binding.owners_of_value(v);
             for &o in &owners {
                 binding.retract_owner(o);
@@ -155,7 +153,7 @@ fn sweep_value_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mu
             for o in binding.owners_of_value(v) {
                 binding.assert_owner(o);
             }
-            improved |= accept_or_rollback(binding, snapshot, weights, best);
+            improved |= accept_or_rollback(binding, weights, best);
         }
     }
     improved
@@ -190,14 +188,14 @@ fn sweep_passes(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u64
             candidates.push(None);
         }
         for cand in candidates {
-            let snapshot = binding.clone();
+            binding.begin();
             binding.retract_owner(Owner::Transfer(key));
             binding.set_pass(key, None);
             if let Some(fu) = cand {
                 binding.set_pass(key, Some(fu));
             }
             binding.assert_owner(Owner::Transfer(key));
-            improved |= accept_or_rollback(binding, snapshot, weights, best);
+            improved |= accept_or_rollback(binding, weights, best);
         }
     }
     improved
@@ -234,7 +232,7 @@ fn sweep_segment_moves(
                     .filter(|&r| binding.reg_free(r, step))
                     .collect();
                 for target in free {
-                    let snapshot = binding.clone();
+                    binding.begin();
                     let owners = binding.owners_of_value(v);
                     for &o in &owners {
                         binding.retract_owner(o);
@@ -247,7 +245,7 @@ fn sweep_segment_moves(
                     for o in binding.owners_of_value(v) {
                         binding.assert_owner(o);
                     }
-                    improved |= accept_or_rollback(binding, snapshot, weights, best);
+                    improved |= accept_or_rollback(binding, weights, best);
                 }
             }
         }

@@ -31,6 +31,13 @@ pub fn report(graph: &Cdfg, schedule: &Schedule, result: &AllocResult) -> String
         bus.num_buses(),
         bus.total_mux_equiv()
     );
+    let _ = writeln!(
+        out,
+        "search: {} moves attempted in {:.2} s ({:.0} moves/sec)",
+        result.stats.attempted,
+        result.stats.elapsed_nanos as f64 / 1e9,
+        result.stats.moves_per_sec()
+    );
     let _ = writeln!(out);
     let _ = write!(out, "{}", register_chart(graph, schedule, result));
     let _ = writeln!(out);

@@ -107,3 +107,67 @@ proptest! {
             .map_err(|e| TestCaseError::fail(format!("verify failed after improve: {e}")))?;
     }
 }
+
+proptest! {
+    // The rollback property runs more cases than the end-to-end pipeline
+    // tests above: each case is cheap, and the journal must hold for every
+    // move kind from many distinct reachable states.
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    /// The transactional move engine's two core invariants, on arbitrary
+    /// graphs: rolling back the undo journal restores the binding *exactly*
+    /// (full structural equality with a pre-move clone), and the
+    /// incrementally maintained cost caches match a from-scratch recompute
+    /// at every point of a random committed/rolled-back walk.
+    #[test]
+    fn rollback_restores_premove_state(
+        graph_seed in 0u64..1000,
+        move_seed in 0u64..1000,
+        ops in 8usize..20,
+        states in 0usize..3,
+        slack in 0usize..3,
+        extra_regs in 0usize..3,
+        pipelined in any::<bool>(),
+    ) {
+        let (graph, schedule, library, extra) =
+            build_case(graph_seed, ops, states, slack, extra_regs, pipelined);
+        let datapath = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library) + extra,
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let mut binding = initial_allocation(&ctx);
+        prop_assert_eq!(binding.breakdown(), binding.recomputed_breakdown());
+
+        let set = MoveSet::full();
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        for _ in 0..40 {
+            // A rolled-back attempt must restore the pre-move state exactly.
+            let snapshot = binding.clone();
+            let kind = set.pick(&mut rng);
+            binding.begin();
+            if moves::try_move(&mut binding, kind, &mut rng) {
+                prop_assert_eq!(binding.breakdown(), binding.recomputed_breakdown());
+            }
+            binding.rollback();
+            prop_assert!(
+                binding == snapshot,
+                "rollback of {:?} diverged from the pre-move snapshot",
+                kind
+            );
+            prop_assert_eq!(binding.breakdown(), binding.recomputed_breakdown());
+
+            // Then advance the walk with a committed attempt, so rollback is
+            // exercised from many distinct reachable states.
+            let kind = set.pick(&mut rng);
+            binding.begin();
+            if moves::try_move(&mut binding, kind, &mut rng) {
+                binding.commit();
+            } else {
+                binding.rollback();
+            }
+            prop_assert_eq!(binding.breakdown(), binding.recomputed_breakdown());
+        }
+        binding.check_consistency();
+    }
+}

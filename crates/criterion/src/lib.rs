@@ -1,0 +1,308 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the benchmarking interface it uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`/`finish`),
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is simpler than upstream criterion — per sample the routine
+//! runs enough iterations to cover a minimum sample window, and the harness
+//! reports mean/min/max nanoseconds per iteration over the collected
+//! samples — but it is steady enough for the before/after comparisons this
+//! repo's benches exist for. There is no statistical regression analysis,
+//! no plotting, and no saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. Only the variants this
+/// workspace uses are distinguished; all run one routine call per setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; setup runs once per routine call.
+    SmallInput,
+    /// Large per-iteration inputs; treated the same as `SmallInput`.
+    LargeInput,
+    /// One setup per sample batch; treated the same as `SmallInput`.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times, one entry per sample.
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, per_iter_ns: Vec::with_capacity(samples) }
+    }
+
+    /// Minimum wall-clock span one sample must cover; keeps short routines
+    /// from being dominated by timer granularity.
+    const SAMPLE_WINDOW: Duration = Duration::from_millis(10);
+
+    /// Times `routine`, running it repeatedly per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill one sample window?
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Self::SAMPLE_WINDOW || iters >= 1 << 30 {
+                break;
+            }
+            let scale = Self::SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.min(1000.0) * 1.2).ceil() as u64;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.per_iter_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate iteration count on timed spans only.
+        let mut iters = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Self::SAMPLE_WINDOW || iters >= 1 << 24 {
+                break;
+            }
+            let scale = Self::SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.min(1000.0) * 1.2).ceil() as u64;
+        }
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.per_iter_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    if b.per_iter_ns.is_empty() {
+        println!("{id:<40} (no measurement)");
+        return;
+    }
+    let n = b.per_iter_ns.len() as f64;
+    let mean = b.per_iter_ns.iter().sum::<f64>() / n;
+    let min = b.per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+/// Top-level benchmark harness, created by [`criterion_group!`].
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line settings. Recognises a positional substring
+    /// filter and ignores harness flags such as `--bench`.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = v;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Swallow one value for unknown `--flag value` pairs.
+                    if matches!(s, "--save-baseline" | "--baseline" | "--measurement-time") {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.selected(id) {
+            run_one(id, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group (id is `group/name`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(&full, samples, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group. (No-op beyond upstream-interface compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(2);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, runs);
+        assert_eq!(b.per_iter_ns.len(), 2);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("inner", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,6 +1,6 @@
 //! Point-to-point connections and incremental multiplexer accounting.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::{FuId, Port, RegId};
@@ -42,19 +42,80 @@ impl fmt::Display for Sink {
     }
 }
 
+/// Per-sink connection state: one use-count slot per possible source.
+///
+/// Sources are dense (`FuId`/`RegId` index spaces), so a sink's incoming
+/// connections live in two flat refcount vectors indexed by source id,
+/// grown on demand. `fanin` caches the number of distinct live sources.
+#[derive(Debug, Clone, Default)]
+struct SinkRow {
+    /// Use count per `Source::FuOut(fu)`, indexed by `fu.index()`.
+    fu_uses: Vec<u32>,
+    /// Use count per `Source::RegOut(r)`, indexed by `r.index()`.
+    reg_uses: Vec<u32>,
+    /// Distinct sources with a nonzero use count.
+    fanin: u32,
+}
+
+impl SinkRow {
+    fn count(&self, source: Source) -> u32 {
+        match source {
+            Source::FuOut(fu) => self.fu_uses.get(fu.index()).copied().unwrap_or(0),
+            Source::RegOut(r) => self.reg_uses.get(r.index()).copied().unwrap_or(0),
+        }
+    }
+
+    fn slot_mut(&mut self, source: Source) -> &mut u32 {
+        let (uses, idx) = match source {
+            Source::FuOut(fu) => (&mut self.fu_uses, fu.index()),
+            Source::RegOut(r) => (&mut self.reg_uses, r.index()),
+        };
+        if uses.len() <= idx {
+            uses.resize(idx + 1, 0);
+        }
+        &mut uses[idx]
+    }
+
+    fn live_sources(&self) -> impl Iterator<Item = (Source, usize)> + '_ {
+        let fus = self
+            .fu_uses
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Source::FuOut(FuId::from_index(i)), n as usize));
+        let regs = self
+            .reg_uses
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Source::RegOut(RegId::from_index(i)), n as usize));
+        fus.chain(regs)
+    }
+}
+
 /// Refcounted set of (source, sink) connections with running
 /// equivalent-2-1-multiplexer and connection counts.
 ///
 /// Every data transfer of an allocation asserts one connection use; a sink
 /// with `k` distinct sources costs `k - 1` equivalent 2-1 multiplexers
-/// (paper Tables 2-3 report this unit). Adding and removing uses is O(log)
-/// so the allocator's iterative improvement can evaluate thousands of moves
-/// per second without recomputing interconnect from scratch.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// (paper Tables 2-3 report this unit). Sinks and sources are dense id
+/// spaces known from the `Datapath` pool, so storage is flat and
+/// index-keyed: `add`/`remove`/`fanin`/`contains` are O(1) array
+/// operations and `sources_of` walks only the queried sink's row, which
+/// keeps the allocator's per-move connection accounting off every hot
+/// path profile.
+#[derive(Debug, Clone, Default)]
 pub struct ConnectionMatrix {
-    uses: BTreeMap<(Source, Sink), usize>,
-    per_sink: BTreeMap<Sink, usize>,
+    /// Rows for `Sink::FuIn(fu, port)`, indexed by `2 * fu + port`.
+    fu_sinks: Vec<SinkRow>,
+    /// Rows for `Sink::RegIn(r)`, indexed by `r`.
+    reg_sinks: Vec<SinkRow>,
+    connections: usize,
     mux_equiv: usize,
+}
+
+fn fu_sink_index(fu: FuId, port: Port) -> usize {
+    2 * fu.index() + port.index()
 }
 
 impl ConnectionMatrix {
@@ -63,16 +124,49 @@ impl ConnectionMatrix {
         Self::default()
     }
 
+    /// An empty matrix with rows pre-sized for a datapath pool of
+    /// `fus` functional units and `regs` registers, so the per-move hot
+    /// path never grows the row tables.
+    pub fn with_capacity(fus: usize, regs: usize) -> Self {
+        let mut m = Self::default();
+        m.fu_sinks.resize_with(2 * fus, SinkRow::default);
+        m.reg_sinks.resize_with(regs, SinkRow::default);
+        m
+    }
+
+    fn row(&self, sink: Sink) -> Option<&SinkRow> {
+        match sink {
+            Sink::FuIn(fu, port) => self.fu_sinks.get(fu_sink_index(fu, port)),
+            Sink::RegIn(r) => self.reg_sinks.get(r.index()),
+        }
+    }
+
+    fn row_mut(&mut self, sink: Sink) -> &mut SinkRow {
+        let (rows, idx) = match sink {
+            Sink::FuIn(fu, port) => (&mut self.fu_sinks, fu_sink_index(fu, port)),
+            Sink::RegIn(r) => (&mut self.reg_sinks, r.index()),
+        };
+        if rows.len() <= idx {
+            rows.resize_with(idx + 1, SinkRow::default);
+        }
+        &mut rows[idx]
+    }
+
     /// Asserts one use of the connection `source -> sink`.
     pub fn add(&mut self, source: Source, sink: Sink) {
-        let count = self.uses.entry((source, sink)).or_insert(0);
-        *count += 1;
-        if *count == 1 {
-            let fanin = self.per_sink.entry(sink).or_insert(0);
-            *fanin += 1;
-            if *fanin >= 2 {
-                self.mux_equiv += 1;
+        let fanin_after = {
+            let row = self.row_mut(sink);
+            let count = row.slot_mut(source);
+            *count += 1;
+            if *count > 1 {
+                return;
             }
+            row.fanin += 1;
+            row.fanin
+        };
+        self.connections += 1;
+        if fanin_after >= 2 {
+            self.mux_equiv += 1;
         }
     }
 
@@ -83,21 +177,23 @@ impl ConnectionMatrix {
     /// Panics if the connection has no outstanding uses (an allocator
     /// bookkeeping bug).
     pub fn remove(&mut self, source: Source, sink: Sink) {
-        let count = self
-            .uses
-            .get_mut(&(source, sink))
-            .unwrap_or_else(|| panic!("removing unknown connection {source} -> {sink}"));
-        *count -= 1;
-        if *count == 0 {
-            self.uses.remove(&(source, sink));
-            let fanin = self.per_sink.get_mut(&sink).expect("sink tracked");
-            if *fanin >= 2 {
-                self.mux_equiv -= 1;
+        let fanin_before = {
+            let row = self.row_mut(sink);
+            let count = row.slot_mut(source);
+            if *count == 0 {
+                panic!("removing unknown connection {source} -> {sink}");
             }
-            *fanin -= 1;
-            if *fanin == 0 {
-                self.per_sink.remove(&sink);
+            *count -= 1;
+            if *count > 0 {
+                return;
             }
+            let before = row.fanin;
+            row.fanin -= 1;
+            before
+        };
+        self.connections -= 1;
+        if fanin_before >= 2 {
+            self.mux_equiv -= 1;
         }
     }
 
@@ -108,7 +204,12 @@ impl ConnectionMatrix {
 
     /// The largest fan-in of any sink — the widest multiplexer.
     pub fn max_fanin(&self) -> usize {
-        self.per_sink.values().copied().max().unwrap_or(0)
+        self.fu_sinks
+            .iter()
+            .chain(&self.reg_sinks)
+            .map(|row| row.fanin as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Worst-case multiplexer depth on any operand/load path, in 2-1 mux
@@ -124,31 +225,52 @@ impl ConnectionMatrix {
 
     /// Number of distinct connections (wires).
     pub fn connections(&self) -> usize {
-        self.uses.len()
+        self.connections
     }
 
     /// Distinct fan-in of one sink.
     pub fn fanin(&self, sink: Sink) -> usize {
-        self.per_sink.get(&sink).copied().unwrap_or(0)
+        self.row(sink).map_or(0, |row| row.fanin as usize)
     }
 
     /// Returns `true` if the connection exists (with any use count).
     pub fn contains(&self, source: Source, sink: Sink) -> bool {
-        self.uses.contains_key(&(source, sink))
+        self.row(sink).is_some_and(|row| row.count(source) > 0)
     }
 
-    /// The distinct sources driving a sink.
+    /// The distinct sources driving a sink. A per-sink row walk, not a
+    /// scan of every connection in the matrix.
     pub fn sources_of(&self, sink: Sink) -> BTreeSet<Source> {
-        self.uses
-            .keys()
-            .filter(|(_, s)| *s == sink)
-            .map(|(src, _)| *src)
+        self.row(sink)
+            .into_iter()
+            .flat_map(|row| row.live_sources().map(|(src, _)| src))
             .collect()
     }
 
-    /// Iterates over distinct connections with their use counts.
+    /// Live cells sorted by `(Source, Sink)` — the old map ordering, kept
+    /// so display/dot output stays deterministic.
+    fn cells(&self) -> Vec<(Source, Sink, usize)> {
+        let fu_rows = self.fu_sinks.iter().enumerate().map(|(i, row)| {
+            let sink = Sink::FuIn(FuId::from_index(i / 2), Port::from_index(i % 2));
+            (sink, row)
+        });
+        let reg_rows = self
+            .reg_sinks
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (Sink::RegIn(RegId::from_index(i)), row));
+        let mut cells: Vec<(Source, Sink, usize)> = fu_rows
+            .chain(reg_rows)
+            .flat_map(|(sink, row)| row.live_sources().map(move |(src, n)| (src, sink, n)))
+            .collect();
+        cells.sort_unstable_by_key(|&(src, sink, _)| (src, sink));
+        cells
+    }
+
+    /// Iterates over distinct connections with their use counts, ordered
+    /// by `(Source, Sink)`.
     pub fn iter(&self) -> impl Iterator<Item = (Source, Sink, usize)> + '_ {
-        self.uses.iter().map(|(&(src, sink), &n)| (src, sink, n))
+        self.cells().into_iter()
     }
 
     /// The incremental mux cost of using `source -> sink`: 0 if the
@@ -156,13 +278,26 @@ impl ConnectionMatrix {
     /// new mux input would be required. Used by constructive allocators to
     /// pick cheap bindings.
     pub fn added_mux_cost(&self, source: Source, sink: Sink) -> usize {
-        if self.contains(source, sink) || self.fanin(sink) == 0 {
-            0
-        } else {
-            1
+        match self.row(sink) {
+            Some(row) if row.fanin > 0 => usize::from(row.count(source) == 0),
+            _ => 0,
         }
     }
 }
+
+/// Logical equality: two matrices are equal when they hold the same live
+/// connections with the same use counts, regardless of how far their row
+/// tables have grown. (A matrix that asserted and fully retracted a
+/// high-indexed sink compares equal to a fresh one.)
+impl PartialEq for ConnectionMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.connections == other.connections
+            && self.mux_equiv == other.mux_equiv
+            && self.cells() == other.cells()
+    }
+}
+
+impl Eq for ConnectionMatrix {}
 
 impl fmt::Display for ConnectionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -258,6 +393,49 @@ mod tests {
         assert_eq!(srcs.len(), 2);
         assert!(srcs.contains(&Source::RegOut(r(0))));
         assert!(m.to_string().contains("->"));
+    }
+
+    #[test]
+    fn sources_of_is_per_sink() {
+        let mut m = ConnectionMatrix::new();
+        // Heavy traffic on unrelated sinks must not leak into the query,
+        // and the queried sink's row reports exactly its own live sources.
+        for i in 0..20 {
+            m.add(Source::RegOut(r(i)), Sink::RegIn(r(100)));
+            m.add(Source::FuOut(f(i)), Sink::FuIn(f(50), Port::Left));
+        }
+        let sink = Sink::FuIn(f(3), Port::Right);
+        assert!(m.sources_of(sink).is_empty(), "undriven sink has no sources");
+        m.add(Source::RegOut(r(7)), sink);
+        m.add(Source::FuOut(f(2)), sink);
+        m.add(Source::FuOut(f(2)), sink); // duplicate use, one distinct source
+        let srcs = m.sources_of(sink);
+        assert_eq!(
+            srcs.into_iter().collect::<Vec<_>>(),
+            vec![Source::FuOut(f(2)), Source::RegOut(r(7))]
+        );
+        m.remove(Source::FuOut(f(2)), sink);
+        assert_eq!(m.sources_of(sink).len(), 2, "refcount still live");
+        m.remove(Source::FuOut(f(2)), sink);
+        assert_eq!(
+            m.sources_of(sink).into_iter().collect::<Vec<_>>(),
+            vec![Source::RegOut(r(7))],
+            "fully retracted source disappears from the row"
+        );
+        assert_eq!(m.sources_of(Sink::RegIn(r(100))).len(), 20, "neighbours unaffected");
+    }
+
+    #[test]
+    fn equality_ignores_grown_empty_rows() {
+        let mut grown = ConnectionMatrix::new();
+        grown.add(Source::RegOut(r(40)), Sink::RegIn(r(60)));
+        grown.remove(Source::RegOut(r(40)), Sink::RegIn(r(60)));
+        grown.add(Source::FuOut(f(1)), Sink::RegIn(r(0)));
+        let mut fresh = ConnectionMatrix::with_capacity(4, 4);
+        fresh.add(Source::FuOut(f(1)), Sink::RegIn(r(0)));
+        assert_eq!(grown, fresh);
+        fresh.add(Source::FuOut(f(1)), Sink::RegIn(r(0)));
+        assert_ne!(grown, fresh, "use counts participate in equality");
     }
 
     #[test]
