@@ -69,6 +69,27 @@ fn bench_allocator(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // The portfolio on the same restart set, sequentially and spread over
+    // worker threads: the wall-clock ratio is the realized multi-thread
+    // speedup of the parallel portfolio (hardware-dependent; on a
+    // single-core box the two are expected to tie).
+    let mut group = c.benchmark_group("portfolio");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(&format!("ewf17_4_chains/{threads}_threads"), |b| {
+            b.iter(|| {
+                Allocator::new(&ewf_graph, &ewf_schedule, &library)
+                    .seed(7)
+                    .config(quick(MoveSet::full()))
+                    .restarts(4)
+                    .threads(threads)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_allocator);

@@ -148,6 +148,36 @@ fn bench_moves(c: &mut Criterion) {
     });
 
     c.bench_function("moves/snapshot_clone_dct10", |b| b.iter(|| dct_base.clone()));
+
+    // Chain-pool accounting on a sustained DCT move stream: after warm-up,
+    // every chain snapshot/copy-chain buffer should come from the binding's
+    // arena-lite pool instead of the allocator. Printed rather than timed —
+    // the claim is an allocation *count*, not a wall-clock number.
+    let mut binding = dct_base.clone();
+    let mut rng = StdRng::seed_from_u64(7);
+    let weights = CostWeights::default();
+    let mut current = weights.evaluate(&binding.breakdown());
+    for _ in 0..20_000 {
+        let kind = set.pick(&mut rng);
+        binding.begin();
+        if !moves::try_move(&mut binding, kind, &mut rng) {
+            binding.rollback();
+            continue;
+        }
+        let after = weights.evaluate(&binding.breakdown());
+        if after <= current {
+            current = after;
+            binding.commit();
+        } else {
+            binding.rollback();
+        }
+    }
+    let (reused, fresh) = binding.chain_pool_stats();
+    eprintln!(
+        "moves/chain_pool_dct10: 20000-move stream took {reused} pooled chain buffers, \
+         {fresh} fresh allocations ({:.1}% reuse)",
+        100.0 * reused as f64 / (reused + fresh).max(1) as f64
+    );
 }
 
 criterion_group!(benches, bench_moves);

@@ -1,12 +1,25 @@
 //! Allocation-trajectory timings: runs the EWF and DCT allocations at
-//! fixed seeds and writes `BENCH_alloc.json` at the repository root with
-//! wall-time, final cost and search throughput (moves/sec) per benchmark.
+//! fixed seeds — once sequentially (`threads = 1`, the legacy multi-seed
+//! loop) and once as a parallel portfolio — and writes `BENCH_alloc.json`
+//! at the repository root.
 //!
-//! The JSON is a flat machine-readable record for tracking search-engine
-//! performance across revisions; the fixed seeds make the final costs
-//! comparable run-to-run (the trajectories are deterministic).
+//! The JSON carries two sections (schema documented in EXPERIMENTS.md):
 //!
-//! Usage: `cargo run -p salsa-bench --bin bench_trajectory --release [-- --quick]`
+//! * `"benchmarks"` — the latest sequential rows, overwritten every run
+//!   (the flat record earlier revisions emitted, kept for compatibility);
+//! * `"history"` — one entry per PR label, **appended** across runs so the
+//!   file accumulates a cross-revision performance trail. Re-running with
+//!   the same `--pr` label replaces that label's entry instead of
+//!   duplicating it. A pre-history `"benchmarks"` array found in the file
+//!   is migrated into the history as a `"pre-history"` entry.
+//!
+//! The fixed seeds make the final costs comparable run-to-run, and the
+//! sequential/portfolio cost match on each benchmark is printed (the
+//! portfolio's determinism contract says they agree given default cutoff
+//! headroom).
+//!
+//! Usage: `cargo run -p salsa-bench --bin bench_trajectory --release --
+//! [--quick] [--threads N] [--pr LABEL]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -18,47 +31,239 @@ use salsa_sched::{fds_schedule, FuLibrary};
 
 struct Record {
     name: &'static str,
+    mode: &'static str,
     steps: usize,
     seed: u64,
+    threads: usize,
+    chains: usize,
+    completed: usize,
+    cutoff: usize,
     wall_secs: f64,
     final_cost: u64,
     attempted: usize,
     moves_per_sec: f64,
+    speedup_vs_sequential: Option<f64>,
     verified: bool,
 }
 
-fn run(name: &'static str, graph: &Cdfg, steps: usize, seed: u64, effort: Effort) -> Record {
+fn run(
+    name: &'static str,
+    graph: &Cdfg,
+    steps: usize,
+    seed: u64,
+    effort: Effort,
+    chains: usize,
+    threads: usize,
+) -> Record {
     let library = FuLibrary::standard();
     let schedule = fds_schedule(graph, &library, steps).unwrap_or_else(|e| panic!("{name}: {e}"));
     let start = Instant::now();
     let result = Allocator::new(graph, &schedule, &library)
         .seed(seed)
         .config(effort.config(MoveSet::full()))
-        .restarts(effort.restarts())
+        .restarts(chains)
+        .threads(threads)
         .run()
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     let wall_secs = start.elapsed().as_secs_f64();
     Record {
         name,
+        mode: if threads == 1 { "sequential" } else { "portfolio" },
         steps,
         seed,
+        threads,
+        chains,
+        completed: result.portfolio.completed(),
+        cutoff: result.portfolio.abandoned(),
         wall_secs,
         final_cost: result.cost,
-        attempted: result.stats.attempted,
+        attempted: result.portfolio.aggregate.attempted.max(result.stats.attempted),
         moves_per_sec: result.stats.moves_per_sec(),
+        speedup_vs_sequential: None,
         verified: result.verified(),
     }
 }
 
+fn record_json(r: &Record) -> String {
+    let mut row = format!(
+        "{{\"name\": \"{}\", \"mode\": \"{}\", \"steps\": {}, \"seed\": {}, \"threads\": {}, \
+         \"chains\": {}, \"chains_completed\": {}, \"chains_cutoff\": {}, \
+         \"wall_time_sec\": {:.4}, \"final_cost\": {}, \"moves_attempted\": {}, \
+         \"moves_per_sec\": {:.0}, \"verified\": {}",
+        r.name,
+        r.mode,
+        r.steps,
+        r.seed,
+        r.threads,
+        r.chains,
+        r.completed,
+        r.cutoff,
+        r.wall_secs,
+        r.final_cost,
+        r.attempted,
+        r.moves_per_sec,
+        r.verified
+    );
+    if let Some(s) = r.speedup_vs_sequential {
+        let _ = write!(row, ", \"speedup_vs_sequential\": {s:.2}");
+    }
+    row.push('}');
+    row
+}
+
+/// Splits the top-level `{...}` objects out of a JSON array body. A
+/// hand-rolled scanner (the workspace deliberately has no JSON
+/// dependency): tracks brace depth and string/escape state, which is all
+/// the shapes this file ever contains.
+fn split_objects(body: &str) -> Vec<String> {
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        objects.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    objects
+}
+
+/// The body (between `[` and its matching `]`) of a named top-level array
+/// in `json`, if present.
+fn array_body<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let open = at + json[at..].find('[')?;
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in json[open..].char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open + 1..open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Prior history entries to carry forward: the existing `"history"`
+/// array's entries minus any with the current PR label, or — for a file
+/// from before the history schema — its flat `"benchmarks"` rows wrapped
+/// as a single `"pre-history"` entry.
+fn prior_history(existing: &str, pr: &str) -> Vec<String> {
+    if let Some(body) = array_body(existing, "history") {
+        let marker = format!("\"pr\": \"{pr}\"");
+        return split_objects(body)
+            .into_iter()
+            .filter(|entry| !entry.contains(&marker))
+            .collect();
+    }
+    if let Some(body) = array_body(existing, "benchmarks") {
+        let rows = split_objects(body);
+        if !rows.is_empty() {
+            let mut entry = String::from("{\n      \"pr\": \"pre-history\",\n      \"entries\": [\n");
+            for (i, row) in rows.iter().enumerate() {
+                let _ = write!(entry, "        {row}");
+                entry.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            entry.push_str("      ]\n    }");
+            return vec![entry];
+        }
+    }
+    Vec::new()
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     let effort = Effort::from_args();
-    let records = [
-        run("ewf19", &salsa_cdfg::benchmarks::ewf(), 19, 7, effort),
-        run("dct10", &salsa_cdfg::benchmarks::dct(), 10, 42, effort),
+    let threads: usize = flag_value("--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(4)
+        .max(2);
+    let pr = flag_value("--pr").unwrap_or_else(|| "PR2".to_string());
+    // Enough chains that the portfolio has real work to spread; both modes
+    // run the identical seed set so the wall-clock ratio is an honest
+    // same-work speedup.
+    let chains = match effort {
+        Effort::Quick => 4,
+        Effort::Full => 6,
+    };
+
+    let cases: [(&'static str, Cdfg, usize, u64); 2] = [
+        ("ewf19", salsa_cdfg::benchmarks::ewf(), 19, 7),
+        ("dct10", salsa_cdfg::benchmarks::dct(), 10, 42),
     ];
+    let mut records = Vec::new();
+    for (name, graph, steps, seed) in &cases {
+        let seq = run(name, graph, *steps, *seed, effort, chains, 1);
+        let mut par = run(name, graph, *steps, *seed, effort, chains, threads);
+        par.speedup_vs_sequential = Some(seq.wall_secs / par.wall_secs.max(1e-9));
+        records.push(seq);
+        records.push(par);
+    }
+
+    // The binary is part of the workspace, so the repo root is two levels
+    // above this crate's manifest regardless of the invocation directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut history = prior_history(&existing, &pr);
+
+    let mut entry = format!("{{\n      \"pr\": \"{pr}\",\n      \"entries\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(entry, "        {}", record_json(r));
+        entry.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    entry.push_str("      ]\n    }");
+    history.push(entry);
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, r) in records.iter().enumerate() {
+    let latest: Vec<&Record> = records.iter().filter(|r| r.mode == "sequential").collect();
+    for (i, r) in latest.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"steps\": {}, \"seed\": {}, \"wall_time_sec\": {:.4}, \
@@ -67,21 +272,33 @@ fn main() {
             r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
             r.verified
         );
-        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < latest.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let _ = write!(json, "    {entry}");
+        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-
-    // The binary is part of the workspace, so the repo root is two levels
-    // above this crate's manifest regardless of the invocation directory.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 
     for r in &records {
+        let speedup = r
+            .speedup_vs_sequential
+            .map(|s| format!(" speedup={s:.2}x"))
+            .unwrap_or_default();
         println!(
-            "{:<8} steps={:<3} seed={:<3} {:.2}s cost={} {} moves ({:.0} moves/sec) verified={}",
-            r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
-            r.verified
+            "{:<8} {:<10} threads={:<2} chains={} ({} completed, {} cutoff) {:.2}s cost={} \
+             {} moves ({:.0} moves/sec){} verified={}",
+            r.name, r.mode, r.threads, r.chains, r.completed, r.cutoff, r.wall_secs,
+            r.final_cost, r.attempted, r.moves_per_sec, speedup, r.verified
         );
+    }
+    for pair in records.chunks(2) {
+        if let [seq, par] = pair {
+            let mark = if seq.final_cost == par.final_cost { "match" } else { "DIFFER" };
+            println!("{:<8} sequential vs portfolio cost: {mark}", seq.name);
+        }
     }
     println!("wrote {path}");
 }

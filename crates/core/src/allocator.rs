@@ -3,9 +3,6 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use salsa_cdfg::Cdfg;
 use salsa_datapath::{
     merge_muxes, traffic_from_rtl, verify, Claims, CostBreakdown, CostWeights, Datapath,
@@ -14,8 +11,8 @@ use salsa_datapath::{
 use salsa_sched::{FuClass, FuLibrary, Schedule};
 
 use crate::{
-    improve, initial_allocation, lower, polish, AllocContext, AllocError, ImproveConfig,
-    ImproveStats,
+    lower, portfolio_search, AllocContext, AllocError, ImproveConfig, ImproveStats,
+    PortfolioConfig, PortfolioStats,
 };
 
 /// Configurable allocation run. Build with [`Allocator::new`], adjust with
@@ -37,6 +34,7 @@ pub struct Allocator<'a> {
     config: ImproveConfig,
     seed: u64,
     restarts: usize,
+    portfolio: PortfolioConfig,
 }
 
 impl<'a> Allocator<'a> {
@@ -53,6 +51,7 @@ impl<'a> Allocator<'a> {
             config: ImproveConfig::default(),
             seed: 0,
             restarts: 1,
+            portfolio: PortfolioConfig::default(),
         }
     }
 
@@ -107,6 +106,30 @@ impl<'a> Allocator<'a> {
         self
     }
 
+    /// Caps the portfolio worker threads. The default
+    /// ([`PortfolioConfig::default`]) uses the machine's available
+    /// parallelism; an effective count of 1 reproduces the sequential
+    /// multi-seed loop bit-for-bit.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.portfolio.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the portfolio best-bound cutoff factor (clamped to `>= 1.0`):
+    /// a chain abandons once its best-so-far exceeds `factor` times the
+    /// global best after its minimum trial count.
+    pub fn cutoff_factor(mut self, factor: f64) -> Self {
+        self.portfolio.cutoff_factor = factor;
+        self
+    }
+
+    /// Replaces the whole portfolio configuration (threads, cutoff,
+    /// bonus restarts, opportunistic mode).
+    pub fn portfolio(mut self, portfolio: PortfolioConfig) -> Self {
+        self.portfolio = portfolio;
+        self
+    }
+
     /// Executes the allocation: pool construction, constructive initial
     /// allocation, iterative improvement, lowering, end-to-end
     /// verification, and multiplexer merging.
@@ -127,34 +150,12 @@ impl<'a> Allocator<'a> {
         let datapath = Datapath::new(&fu_counts, regs.max(1));
         let ctx = AllocContext::new(self.graph, self.schedule, self.library, datapath)?;
 
-        // Restarts are independent seeded searches; run them on scoped
-        // threads and keep the cheapest (ties to the lowest restart index,
-        // so the result is identical to a sequential run).
-        let runs: Vec<(u64, crate::Binding<'_>, ImproveStats)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.restarts)
-                .map(|restart| {
-                    let ctx = &ctx;
-                    let config = &self.config;
-                    let seed = self.seed.wrapping_add(restart as u64);
-                    scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let mut binding = initial_allocation(ctx);
-                        let mut stats = improve(&mut binding, config, &mut rng);
-                        // Deterministic full-neighborhood descent: squeeze
-                        // out the "one obvious move away" residue random
-                        // sampling leaves.
-                        stats.final_cost =
-                            polish(&mut binding, &config.weights, &config.move_set);
-                        (stats.final_cost, binding, stats)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("restart thread")).collect()
-        });
-        let (cost, binding, stats) = runs
-            .into_iter()
-            .min_by_key(|(c, _, _)| *c)
-            .expect("restarts >= 1");
+        // Restarts are a parallel portfolio: independent seeded chains on
+        // scoped workers sharing a best-bound cutoff, reduced
+        // deterministically by (cost, seed) — see the `portfolio` module.
+        let outcome =
+            portfolio_search(&ctx, &self.config, &self.portfolio, self.seed, self.restarts);
+        let (cost, binding, stats) = (outcome.cost, outcome.binding, outcome.stats);
 
         let (rtl, claims) = lower(&binding);
         verify(self.graph, self.schedule, self.library, &ctx.datapath, &rtl, &claims)
@@ -170,6 +171,7 @@ impl<'a> Allocator<'a> {
             cost,
             merged,
             stats,
+            portfolio: outcome.portfolio,
             verified: true,
         })
     }
@@ -191,8 +193,10 @@ pub struct AllocResult {
     pub cost: u64,
     /// Result of the multiplexer-merging post-pass (§4).
     pub merged: MuxMergeResult,
-    /// Search statistics.
+    /// Search statistics of the winning chain.
     pub stats: ImproveStats,
+    /// Per-chain portfolio statistics (one row per restart chain).
+    pub portfolio: PortfolioStats,
     /// Always `true`: results are verified before being returned.
     pub verified: bool,
 }

@@ -99,7 +99,7 @@ pub fn anneal(binding: &mut Binding<'_>, config: &AnnealConfig, rng: &mut StdRng
                 current_cost = after;
                 if current_cost < best_cost {
                     best_cost = current_cost;
-                    best = binding.clone();
+                    best.clone_from(binding);
                 }
             } else {
                 binding.rollback();
@@ -108,7 +108,7 @@ pub fn anneal(binding: &mut Binding<'_>, config: &AnnealConfig, rng: &mut StdRng
         temperature *= config.cooling;
     }
 
-    *binding = best;
+    binding.clone_from(&best);
     stats.final_cost = best_cost;
     stats
 }

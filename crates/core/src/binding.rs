@@ -31,13 +31,27 @@ use salsa_datapath::{ConnectionMatrix, CostBreakdown, FuId, Port, RegId, Sink, S
 use crate::{AllocContext, TransferKey};
 
 /// A run of consecutive lifetime segments of one value bound to registers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Chain {
     /// First covered lifetime index.
     pub(crate) lo: usize,
     /// Register per covered index (`regs[i]` covers lifetime index
     /// `lo + i`).
     pub(crate) regs: Vec<RegId>,
+}
+
+impl Clone for Chain {
+    fn clone(&self) -> Self {
+        Chain { lo: self.lo, regs: self.regs.clone() }
+    }
+
+    /// Reuses the destination's register buffer — chains are cloned in bulk
+    /// by [`Binding::clone_from`] on every best-allocation restore, and
+    /// buffer reuse there is what keeps the search loop allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.lo = source.lo;
+        self.regs.clone_from(&source.regs);
+    }
 }
 
 impl Chain {
@@ -127,8 +141,59 @@ enum UndoOp {
     ConnRemove { src: Source, sink: Sink },
 }
 
+/// An arena-lite free list of register buffers for [`Chain`] storage.
+///
+/// Chain mutations are the allocation hot spot of the move stream: every
+/// journaled chain snapshot, every copy-chain creation and every rollback
+/// used to allocate (and drop) a fresh `Vec<RegId>`. The pool recycles
+/// those buffers instead — [`take`](ChainPool::take) pops a cleared buffer
+/// off the free list (falling back to a fresh allocation only when the
+/// list is empty) and [`recycle`](ChainPool::recycle) returns retired
+/// buffers to it. Chains are a few registers long, so the retained
+/// capacity is tiny; the free list is capped anyway as a safety valve.
+///
+/// The pool is scratch state: it is excluded from equality and *not*
+/// carried across [`Binding::clone`] (clones start empty; `clone_from`
+/// keeps the destination's pool, which is why the search loops restore
+/// best allocations with it).
+#[derive(Debug, Default)]
+pub(crate) struct ChainPool {
+    free: Vec<Vec<RegId>>,
+    reused: usize,
+    fresh: usize,
+}
+
+impl ChainPool {
+    /// Free-list cap: beyond this, retired buffers are dropped. Far above
+    /// anything the move set reaches (a move touches a handful of chains),
+    /// so in practice the list never sheds capacity.
+    const MAX_FREE: usize = 256;
+
+    /// A cleared register buffer, recycled when one is available.
+    fn take(&mut self) -> Vec<RegId> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a retired buffer to the free list.
+    fn recycle(&mut self, mut buf: Vec<RegId>) {
+        if buf.capacity() > 0 && self.free.len() < Self::MAX_FREE {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+}
+
 /// A complete allocation under the SALSA extended binding model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Binding<'a> {
     pub(crate) ctx: &'a AllocContext<'a>,
     // Assignments.
@@ -150,6 +215,57 @@ pub struct Binding<'a> {
     // Transaction state.
     journal: Vec<UndoOp>,
     recording: bool,
+    // Scratch (excluded from equality and plain clones).
+    pool: ChainPool,
+}
+
+impl Clone for Binding<'_> {
+    fn clone(&self) -> Self {
+        Binding {
+            ctx: self.ctx,
+            op_fu: self.op_fu.clone(),
+            op_swap: self.op_swap.clone(),
+            chains: self.chains.clone(),
+            use_chain: self.use_chain.clone(),
+            passes: self.passes.clone(),
+            fu_occ: self.fu_occ.clone(),
+            fu_completes: self.fu_completes.clone(),
+            reg_occ: self.reg_occ.clone(),
+            conn: self.conn.clone(),
+            reg_seg_count: self.reg_seg_count.clone(),
+            fu_item_count: self.fu_item_count.clone(),
+            used_regs: self.used_regs,
+            fu_area: self.fu_area,
+            journal: Vec::new(),
+            recording: false,
+            pool: ChainPool::default(),
+        }
+    }
+
+    /// Copies the allocation state while keeping every one of the
+    /// destination's heap buffers — including the chain pool and the
+    /// journal's capacity. The search loops restore best-so-far
+    /// allocations with this, so steady-state trials run without touching
+    /// the allocator at all.
+    fn clone_from(&mut self, source: &Self) {
+        debug_assert!(!self.recording, "clone_from inside a transaction");
+        self.ctx = source.ctx;
+        self.op_fu.clone_from(&source.op_fu);
+        self.op_swap.clone_from(&source.op_swap);
+        self.chains.clone_from(&source.chains);
+        self.use_chain.clone_from(&source.use_chain);
+        self.passes.clone_from(&source.passes);
+        self.fu_occ.clone_from(&source.fu_occ);
+        self.fu_completes.clone_from(&source.fu_completes);
+        self.reg_occ.clone_from(&source.reg_occ);
+        self.conn.clone_from(&source.conn);
+        self.reg_seg_count.clone_from(&source.reg_seg_count);
+        self.fu_item_count.clone_from(&source.fu_item_count);
+        self.used_regs = source.used_regs;
+        self.fu_area = source.fu_area;
+        self.journal.clear();
+        self.recording = false;
+    }
 }
 
 /// Equality of allocation state: assignments, occupancy, connections and
@@ -215,6 +331,7 @@ impl<'a> Binding<'a> {
             fu_area: 0,
             journal: Vec::new(),
             recording: false,
+            pool: ChainPool::default(),
         };
         for (op, fu) in ctx.graph.op_ids().zip(op_fu) {
             binding.occupy_op(op, fu);
@@ -288,6 +405,15 @@ impl<'a> Binding<'a> {
     /// The current interconnect state.
     pub fn connections(&self) -> &ConnectionMatrix {
         &self.conn
+    }
+
+    /// Chain-buffer pool accounting as `(reused, fresh)`: how many chain
+    /// register buffers were recycled from the pool versus freshly
+    /// allocated since this binding was created (or plain-cloned — clones
+    /// start with an empty pool). On any sustained move stream, reused
+    /// dwarfs fresh.
+    pub fn chain_pool_stats(&self) -> (usize, usize) {
+        (self.pool.reused, self.pool.fresh)
     }
 
     /// Measured resource usage. O(1): `used_regs` and `fu_area` are cached
@@ -576,11 +702,17 @@ impl<'a> Binding<'a> {
     }
 
     /// Accepts the mutations since [`begin`](Self::begin) and discards the
-    /// journal (retaining its capacity for the next transaction).
+    /// journal (retaining its capacity for the next transaction). Chain
+    /// snapshots held by the discarded journal return to the pool instead
+    /// of being dropped.
     pub fn commit(&mut self) {
         debug_assert!(self.recording, "commit outside a transaction");
         self.recording = false;
-        self.journal.clear();
+        for entry in self.journal.drain(..) {
+            if let UndoOp::ChainSlot { old: Some(chain), .. } = entry {
+                self.pool.recycle(chain.regs);
+            }
+        }
     }
 
     /// Reverts every mutation since [`begin`](Self::begin) by replaying the
@@ -627,7 +759,12 @@ impl<'a> Binding<'a> {
                     self.passes.remove(&key);
                 }
             },
-            UndoOp::ChainSlot { value, slot, old } => self.chains[value.index()][slot] = old,
+            UndoOp::ChainSlot { value, slot, old } => {
+                let displaced = std::mem::replace(&mut self.chains[value.index()][slot], old);
+                if let Some(chain) = displaced {
+                    self.pool.recycle(chain.regs);
+                }
+            }
             UndoOp::ChainSlotPushed { value } => {
                 let popped = self.chains[value.index()].pop();
                 debug_assert_eq!(popped, Some(None), "pushed slot must be empty at undo");
@@ -658,10 +795,20 @@ impl<'a> Binding<'a> {
     }
 
     fn journal_chain(&mut self, value: ValueId, slot: usize) {
-        if self.recording {
-            let old = self.chains[value.index()][slot].clone();
-            self.journal.push(UndoOp::ChainSlot { value, slot, old });
+        if !self.recording {
+            return;
         }
+        // Snapshot into a pooled buffer instead of `Chain::clone` — chain
+        // journaling is the allocation hot spot of the move stream.
+        let old = if self.chains[value.index()][slot].is_some() {
+            let mut regs = self.pool.take();
+            let chain = self.chains[value.index()][slot].as_ref().unwrap();
+            regs.extend_from_slice(&chain.regs);
+            Some(Chain { lo: chain.lo, regs })
+        } else {
+            None
+        };
+        self.journal.push(UndoOp::ChainSlot { value, slot, old });
     }
 
     fn fu_area_of(&self, fu: FuId) -> usize {
@@ -800,7 +947,9 @@ impl<'a> Binding<'a> {
         };
         assert!(slot > 0, "slot 0 is reserved for the primal chain");
         self.j(UndoOp::ChainSlot { value, slot, old: None });
-        self.chains[value.index()][slot] = Some(Chain { lo, regs: vec![reg] });
+        let mut regs = self.pool.take();
+        regs.push(reg);
+        self.chains[value.index()][slot] = Some(Chain { lo, regs });
         self.occupy_seg(value, slot, lo);
         slot
     }
@@ -830,7 +979,9 @@ impl<'a> Binding<'a> {
         if len == 1 {
             let lo = self.chain(value, slot).unwrap().lo;
             self.vacate_seg(value, slot, lo);
-            self.chains[value.index()][slot] = None;
+            if let Some(chain) = self.chains[value.index()][slot].take() {
+                self.pool.recycle(chain.regs);
+            }
             return;
         }
         let chain = self.chains[value.index()][slot].as_ref().unwrap();
@@ -867,7 +1018,9 @@ impl<'a> Binding<'a> {
         for idx in lo..=hi {
             self.vacate_seg(value, slot, idx);
         }
-        self.chains[value.index()][slot] = None;
+        if let Some(chain) = self.chains[value.index()][slot].take() {
+            self.pool.recycle(chain.regs);
+        }
     }
 
     /// The smallest lifetime index at which a copy of `value` may start:

@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use salsa_datapath::CostWeights;
 
 use crate::moves::{try_move, MoveKind, MoveSet};
+use crate::portfolio::SearchBound;
 use crate::Binding;
 
 /// The weighted allocation cost — the one cost function every search stage
@@ -121,39 +122,102 @@ pub struct ImproveStats {
 }
 
 impl ImproveStats {
-    /// Search throughput: attempted moves per wall-clock second.
+    /// Search throughput: attempted moves per wall-clock second. Returns
+    /// 0.0 (never a division by zero or an absurd rate) for empty or
+    /// sub-timer-resolution runs.
     pub fn moves_per_sec(&self) -> f64 {
-        if self.elapsed_nanos == 0 {
+        if self.attempted == 0 || self.elapsed_nanos == 0 {
             0.0
         } else {
             self.attempted as f64 * 1e9 / self.elapsed_nanos as f64
         }
     }
+
+    /// Folds another run's statistics into this one, for aggregating
+    /// per-chain stats across a portfolio: counters and elapsed time sum,
+    /// `initial_cost` keeps the common (maximum) starting cost and
+    /// `final_cost` the best outcome. Merging into a fresh
+    /// [`Default`] value adopts `other` wholesale.
+    pub fn merge(&mut self, other: &ImproveStats) {
+        if self.trials == 0 && self.attempted == 0 {
+            self.initial_cost = other.initial_cost;
+            self.final_cost = other.final_cost;
+        } else {
+            self.initial_cost = self.initial_cost.max(other.initial_cost);
+            self.final_cost = self.final_cost.min(other.final_cost);
+        }
+        self.trials += other.trials;
+        self.attempted += other.attempted;
+        self.applied += other.applied;
+        self.accepted += other.accepted;
+        self.uphill_accepted += other.uphill_accepted;
+        self.elapsed_nanos += other.elapsed_nanos;
+    }
+}
+
+/// A chain's view of the shared portfolio bound: publish best-so-far at
+/// trial boundaries, abandon once `cutoff_factor` behind the global best
+/// after `min_trials` trials.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchWatch<'a> {
+    /// The shared best-cost bound.
+    pub bound: &'a SearchBound,
+    /// Abandon when best-so-far exceeds `cutoff_factor * bound`.
+    pub cutoff_factor: f64,
+    /// Trials to complete before the first cutoff check.
+    pub min_trials: usize,
+    /// Whether this chain publishes its costs into the bound (primary
+    /// chains do; bonus chains only in opportunistic mode).
+    pub publish: bool,
 }
 
 /// Runs iterative improvement in place, leaving `binding` at the best
 /// allocation found.
 pub fn improve(binding: &mut Binding<'_>, config: &ImproveConfig, rng: &mut StdRng) -> ImproveStats {
+    improve_bounded(binding, config, rng, None).0
+}
+
+/// [`improve`] under an optional portfolio watch. Returns the statistics
+/// and whether the chain was *abandoned* by the best-bound cutoff (in
+/// which case the binding still holds the chain's best-so-far allocation,
+/// but the portfolio reduction must exclude it — see the `portfolio`
+/// module docs for why that preserves determinism).
+///
+/// The watch never touches the RNG, so a chain that completes walks the
+/// exact same trajectory as an unwatched run with the same seed.
+pub fn improve_bounded(
+    binding: &mut Binding<'_>,
+    config: &ImproveConfig,
+    rng: &mut StdRng,
+    watch: Option<&SearchWatch<'_>>,
+) -> (ImproveStats, bool) {
     let start = std::time::Instant::now();
     let mut stats = ImproveStats {
         initial_cost: weighted_cost(&config.weights, binding),
         ..ImproveStats::default()
     };
+    let mut abandoned = false;
     for set in config.phases() {
-        run_phase(binding, config, &set, rng, &mut stats);
+        if run_phase(binding, config, &set, rng, &mut stats, watch) {
+            abandoned = true;
+            break;
+        }
     }
     stats.final_cost = weighted_cost(&config.weights, binding);
     stats.elapsed_nanos = start.elapsed().as_nanos() as u64;
-    stats
+    (stats, abandoned)
 }
 
+/// Runs one move-set phase; returns `true` when the watch abandoned the
+/// chain (the binding is left at its best-so-far allocation either way).
 fn run_phase(
     binding: &mut Binding<'_>,
     config: &ImproveConfig,
     set: &MoveSet,
     rng: &mut StdRng,
     stats: &mut ImproveStats,
-) {
+    watch: Option<&SearchWatch<'_>>,
+) -> bool {
     let moves_per_trial = config
         .moves_per_trial
         .unwrap_or(200 * binding.ctx().graph.num_ops());
@@ -172,8 +236,10 @@ fn run_phase(
             // uphill, restart the perturbation from the best allocation.
             // Equal-cost drift is kept — sideways wandering across cost
             // plateaus is how segment migrations and pass-through reuse
-            // configurations are discovered.
-            *binding = best.clone();
+            // configurations are discovered. `clone_from` keeps the
+            // binding's heap buffers (including the chain pool) alive
+            // across the restore.
+            binding.clone_from(&best);
             current_cost = best_cost;
         }
 
@@ -216,12 +282,28 @@ fn run_phase(
             binding.commit();
             if current_cost < best_cost {
                 best_cost = current_cost;
-                best = binding.clone();
+                best.clone_from(binding);
             }
         }
 
         #[cfg(debug_assertions)]
         binding.check_consistency();
+
+        if let Some(watch) = watch {
+            // Publish before checking: a chain whose best *is* the bound
+            // can never be `cutoff_factor >= 1` behind it, so the
+            // bound-holder always survives and the portfolio always has a
+            // completed chain to reduce over.
+            if watch.publish {
+                watch.bound.publish(best_cost);
+            }
+            if stats.trials >= watch.min_trials
+                && watch.bound.exceeded_by(best_cost, watch.cutoff_factor)
+            {
+                binding.clone_from(&best);
+                return true;
+            }
+        }
 
         if best_cost < best_before {
             stale = 0;
@@ -233,5 +315,6 @@ fn run_phase(
         }
     }
 
-    *binding = best;
+    binding.clone_from(&best);
+    false
 }

@@ -55,6 +55,7 @@ mod initial;
 mod lower;
 pub mod moves;
 mod polish;
+pub mod portfolio;
 mod report;
 mod transfer;
 
@@ -63,10 +64,13 @@ pub use anneal::{anneal, AnnealConfig, AnnealStats};
 pub use binding::{Binding, Chain};
 pub use context::AllocContext;
 pub use error::AllocError;
-pub use improve::{improve, ImproveConfig, ImproveStats};
+pub use improve::{improve, improve_bounded, ImproveConfig, ImproveStats, SearchWatch};
 pub use initial::initial_allocation;
 pub use lower::lower;
 pub use polish::polish;
-pub use report::{register_chart, report, unit_schedule};
+pub use portfolio::{
+    portfolio_search, ChainStat, PortfolioConfig, PortfolioOutcome, PortfolioStats, SearchBound,
+};
+pub use report::{portfolio_table, register_chart, report, unit_schedule};
 pub use moves::{MoveKind, MoveSet};
 pub use transfer::TransferKey;

@@ -1,0 +1,399 @@
+//! Parallel portfolio search: independent seeded restart chains on scoped
+//! worker threads, pruned by a shared best-bound, reduced deterministically.
+//!
+//! The paper's search is "several trials ... random moves, bounded uphill
+//! acceptance" — a randomized multi-trial scheme that is embarrassingly
+//! parallel across *restarts* (the parallel-chains split of the parallel
+//! simulated-annealing literature, as opposed to parallel-moves). Each
+//! chain is a pure function of its seed on the transactional move engine,
+//! so chains share nothing but a single [`SearchBound`]: an `AtomicU64`
+//! holding the best cost any primary chain has achieved so far.
+//!
+//! **Worker model.** `seeds` chains occupy slots `0..seeds`; worker `w` of
+//! `K` owns slots `w, w+K, w+2K, ...` and runs them in slot order. Every
+//! chain clones the (deterministic) initial allocation once and then runs
+//! improve → polish entirely on the undo-journal engine — no cross-thread
+//! mutation of bindings, no locks on the hot path.
+//!
+//! **Best-bound cutoff.** At every trial boundary a chain publishes its
+//! best-so-far cost into the bound (`fetch_min`) and, once past
+//! `min_trials`, abandons itself when it has fallen `cutoff_factor` behind
+//! the global best. An abandoned chain is recorded as such and contributes
+//! *nothing* to the result; its worker moves on to its next slot (and may
+//! spend the freed time on bonus restarts, see below).
+//!
+//! **Deterministic reduction.** Results are collected per slot and the
+//! winner is the completed slot minimizing `(cost, slot)` — equivalently
+//! `(cost, seed)`, since slot seeds are `base_seed + slot`. Two properties
+//! make the reduction scheduling-invariant even though the cutoff reads
+//! the bound racily:
+//!
+//! 1. *All-or-nothing slots*: a chain either completes its full
+//!    deterministic trajectory (same result in every schedule) or is
+//!    excluded entirely — the cutoff affects only *when* a chain stops,
+//!    never what a completing chain returns.
+//! 2. *Bound dominance*: every published value is some primary chain's
+//!    achieved cost, hence `>=` that chain's final cost, hence `>=` the
+//!    best final cost `W`. A chain is abandoned only when its best-so-far
+//!    exceeds `cutoff_factor * bound >= cutoff_factor * W` — so the
+//!    winning chain survives every schedule as long as it never trails
+//!    `cutoff_factor * W` after `min_trials` (the *headroom invariant*,
+//!    validated across thread counts by the portfolio property tests).
+//!
+//! With `threads == 1` the driver runs the legacy sequential multi-seed
+//! loop verbatim (no bound, no cutoff) and is bit-identical to it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::improve::{improve_bounded, SearchWatch};
+use crate::{initial_allocation, polish, AllocContext, Binding, ImproveConfig, ImproveStats};
+
+/// The shared lower envelope of the portfolio: the best cost any primary
+/// chain has achieved so far. Plain relaxed atomics — the value is a
+/// monotonically decreasing hint, and the determinism argument (module
+/// docs) never depends on *when* an update becomes visible.
+#[derive(Debug)]
+pub struct SearchBound(AtomicU64);
+
+impl SearchBound {
+    /// A bound with no published cost yet.
+    pub fn new() -> Self {
+        SearchBound(AtomicU64::new(u64::MAX))
+    }
+
+    /// Lowers the bound to `cost` if it improves on the current value.
+    pub fn publish(&self, cost: u64) {
+        self.0.fetch_min(cost, Ordering::Relaxed);
+    }
+
+    /// The current global best cost (`u64::MAX` before any publish).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if `cost` trails the bound by more than `factor`.
+    pub fn exceeded_by(&self, cost: u64, factor: f64) -> bool {
+        let bound = self.get();
+        bound != u64::MAX && cost as f64 > bound as f64 * factor.max(1.0)
+    }
+}
+
+impl Default for SearchBound {
+    fn default() -> Self {
+        SearchBound::new()
+    }
+}
+
+/// Tuning knobs of the parallel portfolio driver.
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// Worker threads. `None` uses [`std::thread::available_parallelism`].
+    /// An effective count of 1 reproduces the sequential multi-seed loop
+    /// exactly (no bound, no cutoff, no bonus restarts).
+    pub threads: Option<usize>,
+    /// A chain abandons when its best-so-far exceeds `cutoff_factor` times
+    /// the global best. Values are clamped to `>= 1.0`; larger is more
+    /// conservative (more headroom for the eventual winner, less pruning).
+    pub cutoff_factor: f64,
+    /// Trials a chain must complete before its first cutoff check, so the
+    /// noisy early descent cannot abandon an eventual winner.
+    pub min_trials: usize,
+    /// Bonus restarts a worker may run after abandoning chains (one per
+    /// abandonment, capped by this). Bonus chains read the bound but never
+    /// publish to it, and join the reduction only in
+    /// [`opportunistic`](Self::opportunistic) mode.
+    pub bonus_restarts: usize,
+    /// Let bonus chains publish to the bound and enter the reduction.
+    /// Trades bit-reproducibility across schedules for extra exploration;
+    /// leave `false` whenever deterministic output matters.
+    pub opportunistic: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            threads: None,
+            cutoff_factor: 1.25,
+            min_trials: 2,
+            bonus_restarts: 0,
+            opportunistic: false,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// The worker count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
+}
+
+/// Per-chain outcome statistics, one row of the portfolio report table.
+#[derive(Debug, Clone)]
+pub struct ChainStat {
+    /// Restart slot (primary chains) or `usize::MAX` for bonus chains.
+    pub slot: usize,
+    /// The chain's RNG seed.
+    pub seed: u64,
+    /// Whether this was a bonus (reseeded) chain.
+    pub bonus: bool,
+    /// `false` when the chain was abandoned by the best-bound cutoff.
+    pub completed: bool,
+    /// Trials executed before finishing or abandoning.
+    pub trials: usize,
+    /// Moves attempted.
+    pub attempted: usize,
+    /// Final cost (completed) or best-so-far at abandonment.
+    pub best_cost: u64,
+    /// Search throughput of this chain.
+    pub moves_per_sec: f64,
+    /// Wall-clock time of this chain, nanoseconds.
+    pub wall_nanos: u64,
+}
+
+/// Aggregate statistics of one portfolio run.
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-chain rows, primaries in slot order, then bonus chains.
+    pub chains: Vec<ChainStat>,
+    /// Slot of the winning chain.
+    pub winner_slot: usize,
+    /// Wall-clock time of the whole portfolio, nanoseconds.
+    pub wall_nanos: u64,
+    /// Counter totals merged over every chain (completed and abandoned).
+    pub aggregate: ImproveStats,
+}
+
+impl PortfolioStats {
+    /// Chains that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.chains.iter().filter(|c| c.completed).count()
+    }
+
+    /// Chains abandoned by the best-bound cutoff.
+    pub fn abandoned(&self) -> usize {
+        self.chains.iter().filter(|c| !c.completed).count()
+    }
+
+    /// Parallel speedup actually realized: total per-chain search time
+    /// over portfolio wall time (1.0 when sequential).
+    pub fn speedup(&self) -> f64 {
+        let total: u64 = self.chains.iter().map(|c| c.wall_nanos).sum();
+        if self.wall_nanos == 0 {
+            1.0
+        } else {
+            total as f64 / self.wall_nanos as f64
+        }
+    }
+}
+
+/// One finished or abandoned chain, before reduction.
+struct ChainRun<'a> {
+    stat: ChainStat,
+    /// Raw improvement counters (merged into the aggregate).
+    improve: ImproveStats,
+    /// `Some` only for completed chains: the full-trajectory result.
+    result: Option<(u64, Binding<'a>)>,
+}
+
+/// The outcome of [`portfolio_search`]: the winning allocation and the
+/// statistics of every chain that ran.
+pub struct PortfolioOutcome<'a> {
+    /// The winning binding (lowest `(cost, seed)` among completed chains).
+    pub binding: Binding<'a>,
+    /// The winning chain's search statistics.
+    pub stats: ImproveStats,
+    /// The winning cost.
+    pub cost: u64,
+    /// Portfolio-wide statistics.
+    pub portfolio: PortfolioStats,
+}
+
+/// Runs one chain: clone the initial allocation, improve under the watch,
+/// polish if not abandoned.
+fn run_chain<'a>(
+    initial: &Binding<'a>,
+    config: &ImproveConfig,
+    seed: u64,
+    slot: usize,
+    bonus: bool,
+    watch: Option<&SearchWatch<'_>>,
+) -> ChainRun<'a> {
+    let start = Instant::now();
+    let mut binding = initial.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut stats, abandoned) = improve_bounded(&mut binding, config, &mut rng, watch);
+    let result = if abandoned {
+        None
+    } else {
+        stats.final_cost = polish(&mut binding, &config.weights, &config.move_set);
+        if let Some(watch) = watch {
+            if watch.publish {
+                watch.bound.publish(stats.final_cost);
+            }
+        }
+        Some((stats.final_cost, binding))
+    };
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    ChainRun {
+        stat: ChainStat {
+            slot,
+            seed,
+            bonus,
+            completed: result.is_some(),
+            trials: stats.trials,
+            attempted: stats.attempted,
+            best_cost: stats.final_cost,
+            moves_per_sec: stats.moves_per_sec(),
+            wall_nanos,
+        },
+        improve: stats,
+        result,
+    }
+}
+
+/// Derives a bonus-chain seed well away from the primary slot seeds.
+fn bonus_seed(base_seed: u64, worker: usize, k: usize) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x5851_F42D_4C95_7F2D)
+        .wrapping_add((worker as u64) << 20)
+        .wrapping_add(k as u64)
+}
+
+/// Runs the portfolio: `seeds` primary chains with seeds
+/// `base_seed..base_seed + seeds`, on up to `config.threads` workers, and
+/// reduces deterministically to the `(cost, seed)`-minimal completed chain.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0`.
+pub fn portfolio_search<'a>(
+    ctx: &'a AllocContext<'a>,
+    improve_config: &ImproveConfig,
+    config: &PortfolioConfig,
+    base_seed: u64,
+    seeds: usize,
+) -> PortfolioOutcome<'a> {
+    assert!(seeds > 0, "at least one chain is required");
+    let start = Instant::now();
+    let threads = config.effective_threads().min(seeds);
+    let initial = initial_allocation(ctx);
+
+    let mut runs: Vec<ChainRun<'a>> = if threads == 1 {
+        // Sequential compatibility mode: the legacy multi-seed loop,
+        // verbatim — every chain completes, no bound is consulted.
+        (0..seeds)
+            .map(|slot| {
+                run_chain(&initial, improve_config, base_seed.wrapping_add(slot as u64), slot, false, None)
+            })
+            .collect()
+    } else {
+        let bound = SearchBound::new();
+        let mut per_worker: Vec<Vec<ChainRun<'a>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let bound = &bound;
+                    let initial = &initial;
+                    scope.spawn(move || {
+                        let primary_watch = SearchWatch {
+                            bound,
+                            cutoff_factor: config.cutoff_factor,
+                            min_trials: config.min_trials,
+                            publish: true,
+                        };
+                        let bonus_watch = SearchWatch {
+                            publish: config.opportunistic,
+                            ..primary_watch
+                        };
+                        let mut runs = Vec::new();
+                        let mut abandoned = 0usize;
+                        for slot in (w..seeds).step_by(threads) {
+                            let seed = base_seed.wrapping_add(slot as u64);
+                            let run = run_chain(
+                                initial, improve_config, seed, slot, false, Some(&primary_watch),
+                            );
+                            if !run.stat.completed {
+                                abandoned += 1;
+                            }
+                            runs.push(run);
+                        }
+                        // Reseed freed time into fresh exploratory chains:
+                        // one bonus restart per abandonment, bounded.
+                        for k in 0..abandoned.min(config.bonus_restarts) {
+                            runs.push(run_chain(
+                                initial,
+                                improve_config,
+                                bonus_seed(base_seed, w, k),
+                                usize::MAX,
+                                true,
+                                Some(&bonus_watch),
+                            ));
+                        }
+                        runs
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("portfolio worker")).collect()
+        });
+        let mut all = Vec::with_capacity(seeds);
+        for worker_runs in &mut per_worker {
+            all.append(worker_runs);
+        }
+        // Slot order for primaries, bonus chains after: the reduction and
+        // the report table are independent of worker interleaving.
+        all.sort_by_key(|r| (r.stat.bonus, r.stat.slot, r.stat.seed));
+        all
+    };
+
+    // Safety net: the chain holding the published bound can never abandon
+    // itself (factor >= 1), so at least one chain completes; if a future
+    // change breaks that, fall back to a deterministic unwatched chain 0.
+    if !runs.iter().any(|r| r.result.is_some()) {
+        runs.insert(0, run_chain(&initial, improve_config, base_seed, 0, false, None));
+    }
+
+    // Deterministic reduction: minimal (cost, slot) over completed primary
+    // slots — bonus chains join only in opportunistic mode, losing ties.
+    let winner_index = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.result.is_some() && (!r.stat.bonus || config.opportunistic))
+        .min_by_key(|(_, r)| {
+            let cost = r.result.as_ref().expect("filtered to completed").0;
+            (cost, r.stat.bonus, r.stat.slot, r.stat.seed)
+        })
+        .map(|(i, _)| i)
+        .expect("at least one chain completes");
+
+    let mut aggregate = ImproveStats::default();
+    for run in &runs {
+        aggregate.merge(&run.improve);
+    }
+    let chains: Vec<ChainStat> = runs.iter().map(|r| r.stat.clone()).collect();
+    let winner_slot = runs[winner_index].stat.slot;
+    let stats = runs[winner_index].improve;
+    let winner = runs.swap_remove(winner_index);
+    let (cost, binding) = winner.result.expect("winner completed");
+
+    PortfolioOutcome {
+        binding,
+        stats,
+        cost,
+        portfolio: PortfolioStats {
+            threads,
+            chains,
+            winner_slot,
+            wall_nanos: start.elapsed().as_nanos() as u64,
+            aggregate,
+        },
+    }
+}

@@ -38,10 +38,52 @@ pub fn report(graph: &Cdfg, schedule: &Schedule, result: &AllocResult) -> String
         result.stats.elapsed_nanos as f64 / 1e9,
         result.stats.moves_per_sec()
     );
+    let _ = write!(out, "{}", portfolio_table(&result.portfolio));
     let _ = writeln!(out);
     let _ = write!(out, "{}", register_chart(graph, schedule, result));
     let _ = writeln!(out);
     let _ = write!(out, "{}", unit_schedule(graph, schedule, result));
+    out
+}
+
+/// The per-chain portfolio table: one row per restart chain with its
+/// trials, throughput, best cost and cutoff status, plus an aggregate
+/// line with the realized parallel speedup. Empty for a single-chain run
+/// (nothing to compare).
+pub fn portfolio_table(stats: &crate::PortfolioStats) -> String {
+    let mut out = String::new();
+    if stats.chains.len() <= 1 {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "portfolio: {} thread{}, {} chains ({} completed, {} cutoff), {:.2}x parallel speedup",
+        stats.threads,
+        if stats.threads == 1 { "" } else { "s" },
+        stats.chains.len(),
+        stats.completed(),
+        stats.abandoned(),
+        stats.speedup(),
+    );
+    let _ = writeln!(
+        out,
+        "  {:>5} {:>10} {:>7} {:>10} {:>11} {:>10}  status",
+        "chain", "seed", "trials", "moves", "moves/sec", "best-cost"
+    );
+    for chain in &stats.chains {
+        let slot = if chain.bonus { "bonus".to_string() } else { chain.slot.to_string() };
+        let status = match (chain.completed, chain.slot == stats.winner_slot && !chain.bonus) {
+            (true, true) => "winner",
+            (true, false) => "completed",
+            (false, _) => "cutoff",
+        };
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>10} {:>7} {:>10} {:>11.0} {:>10}  {}",
+            slot, chain.seed, chain.trials, chain.attempted, chain.moves_per_sec,
+            chain.best_cost, status
+        );
+    }
     out
 }
 

@@ -193,6 +193,51 @@ fn restarts_never_hurt() {
 }
 
 #[test]
+fn chain_pool_recycles_on_a_sustained_move_stream() {
+    // The arena-lite chain pool's claim: on a long move stream, chain
+    // register buffers come out of the binding's free list, not the
+    // allocator. The DCT design has enough values (and therefore enough
+    // copy/segment churn) that reuse dominates within a few hundred moves.
+    let graph = benchmarks::dct();
+    let library = FuLibrary::standard();
+    let schedule = fds_schedule(&graph, &library, 10).unwrap();
+    let ctx = AllocContext::new(
+        &graph,
+        &schedule,
+        &library,
+        pool_for(&graph, &schedule, &library, 1),
+    )
+    .unwrap();
+    let mut binding = initial_allocation(&ctx);
+    let mut rng = StdRng::seed_from_u64(7);
+    let set = MoveSet::full();
+    let weights = salsa_datapath::CostWeights::default();
+    let mut current = weights.evaluate(&binding.breakdown());
+    for _ in 0..5_000 {
+        let kind = set.pick(&mut rng);
+        binding.begin();
+        if !salsa_alloc::moves::try_move(&mut binding, kind, &mut rng) {
+            binding.rollback();
+            continue;
+        }
+        let after = weights.evaluate(&binding.breakdown());
+        if after <= current {
+            current = after;
+            binding.commit();
+        } else {
+            binding.rollback();
+        }
+    }
+    binding.check_consistency();
+    let (reused, fresh) = binding.chain_pool_stats();
+    assert!(reused > 0, "the stream must exercise chain buffers at all");
+    assert!(
+        reused > fresh,
+        "pool must satisfy most chain-buffer requests (reused {reused} vs fresh {fresh})"
+    );
+}
+
+#[test]
 fn insufficient_pool_is_reported() {
     let graph = benchmarks::dct();
     let library = FuLibrary::standard();

@@ -274,6 +274,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "proptest case")]
+    // The nested `#[test]` is deliberate: the macro expansion is invoked
+    // directly below, never collected by the harness.
+    #[allow(unnameable_test_items)]
     fn failures_panic_with_inputs() {
         proptest! {
             #[test]

@@ -95,6 +95,7 @@ fn pass_through_becomes_an_alu_case_arm() {
         cost: 0,
         merged: salsa_datapath::merge_muxes(&salsa_datapath::traffic_from_rtl(&rtl)),
         stats: Default::default(),
+        portfolio: Default::default(),
         verified: true,
         rtl,
         claims,

@@ -5,6 +5,7 @@
 //! salsa-hls dot      <file.cdfg>                      Graphviz rendering of the CDFG
 //! salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
 //! salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
+//!                    [--restarts R] [--threads T] [--cutoff F]
 //!                    [--pipelined] [--traditional] [--controller]
 //!                    [--verilog PATH] [--testbench PATH] [--dot PATH]
 //! salsa-hls bench    <name|--list>                    run a built-in benchmark
@@ -57,9 +58,15 @@ usage:
   salsa-hls dot      <file.cdfg>
   salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
   salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
+                     [--restarts R] [--threads T] [--cutoff F]
                      [--pipelined] [--traditional] [--controller] [--report]
                      [--verilog PATH] [--testbench PATH] [--dot PATH]
   salsa-hls bench    <name|--list>
+
+--restarts runs R independent seeded search chains and keeps the best;
+--threads caps the portfolio workers spreading those chains (default: the
+machine's parallelism; 1 reproduces the sequential loop bit-for-bit);
+--cutoff sets the shared best-bound cutoff factor (>= 1.0, default 1.25).
 
 <file.cdfg> is the text CDFG format ('-' reads stdin), e.g.:
   cdfg iir1
@@ -175,12 +182,18 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
         MoveSet::full()
     };
     let config = ImproveConfig { move_set, ..ImproveConfig::default() };
-    let result = Allocator::new(graph, &schedule, &lib)
+    let mut allocator = Allocator::new(graph, &schedule, &lib)
         .seed(flag_parse(args, "--seed")?.unwrap_or(42))
         .extra_registers(flag_parse(args, "--extra-regs")?.unwrap_or(0))
-        .config(config)
-        .run()
-        .map_err(|e| e.to_string())?;
+        .restarts(flag_parse(args, "--restarts")?.unwrap_or(1))
+        .config(config);
+    if let Some(threads) = flag_parse(args, "--threads")? {
+        allocator = allocator.threads(threads);
+    }
+    if let Some(cutoff) = flag_parse(args, "--cutoff")? {
+        allocator = allocator.cutoff_factor(cutoff);
+    }
+    let result = allocator.run().map_err(|e| e.to_string())?;
 
     println!("{}", result.datapath);
     println!("cost breakdown: {}", result.breakdown);
