@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use salsa_alloc::{Allocator, MoveSet};
+use salsa_bench::jsonstore::{history_entry, prior_history, render_bench_file, BENCH_FILE};
 use salsa_bench::Effort;
 use salsa_cdfg::Cdfg;
 use salsa_sched::{fds_schedule, FuLibrary};
@@ -111,109 +112,6 @@ fn record_json(r: &Record) -> String {
     row
 }
 
-/// Splits the top-level `{...}` objects out of a JSON array body. A
-/// hand-rolled scanner (the workspace deliberately has no JSON
-/// dependency): tracks brace depth and string/escape state, which is all
-/// the shapes this file ever contains.
-fn split_objects(body: &str) -> Vec<String> {
-    let mut objects = Vec::new();
-    let mut depth = 0usize;
-    let mut start = None;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in body.char_indices() {
-        if in_string {
-            match c {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' => {
-                if depth == 0 {
-                    start = Some(i);
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    if let Some(s) = start.take() {
-                        objects.push(body[s..=i].to_string());
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    objects
-}
-
-/// The body (between `[` and its matching `]`) of a named top-level array
-/// in `json`, if present.
-fn array_body<'a>(json: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)?;
-    let open = at + json[at..].find('[')?;
-    let mut depth = 0usize;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, c) in json[open..].char_indices() {
-        if in_string {
-            match c {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '[' => depth += 1,
-            ']' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(&json[open + 1..open + i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Prior history entries to carry forward: the existing `"history"`
-/// array's entries minus any with the current PR label, or — for a file
-/// from before the history schema — its flat `"benchmarks"` rows wrapped
-/// as a single `"pre-history"` entry.
-fn prior_history(existing: &str, pr: &str) -> Vec<String> {
-    if let Some(body) = array_body(existing, "history") {
-        let marker = format!("\"pr\": \"{pr}\"");
-        return split_objects(body)
-            .into_iter()
-            .filter(|entry| !entry.contains(&marker))
-            .collect();
-    }
-    if let Some(body) = array_body(existing, "benchmarks") {
-        let rows = split_objects(body);
-        if !rows.is_empty() {
-            let mut entry = String::from("{\n      \"pr\": \"pre-history\",\n      \"entries\": [\n");
-            for (i, row) in rows.iter().enumerate() {
-                let _ = write!(entry, "        {row}");
-                entry.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-            }
-            entry.push_str("      ]\n    }");
-            return vec![entry];
-        }
-    }
-    Vec::new()
-}
-
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -247,39 +145,26 @@ fn main() {
         records.push(par);
     }
 
-    // The binary is part of the workspace, so the repo root is two levels
-    // above this crate's manifest regardless of the invocation directory.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+    let path = BENCH_FILE;
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let mut history = prior_history(&existing, &pr);
+    let rows: Vec<String> = records.iter().map(record_json).collect();
+    history.push(history_entry(&pr, &rows));
 
-    let mut entry = format!("{{\n      \"pr\": \"{pr}\",\n      \"entries\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let _ = write!(entry, "        {}", record_json(r));
-        entry.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
-    }
-    entry.push_str("      ]\n    }");
-    history.push(entry);
-
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    let latest: Vec<&Record> = records.iter().filter(|r| r.mode == "sequential").collect();
-    for (i, r) in latest.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"steps\": {}, \"seed\": {}, \"wall_time_sec\": {:.4}, \
-             \"final_cost\": {}, \"moves_attempted\": {}, \"moves_per_sec\": {:.0}, \
-             \"verified\": {}}}",
-            r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
-            r.verified
-        );
-        json.push_str(if i + 1 < latest.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n  \"history\": [\n");
-    for (i, entry) in history.iter().enumerate() {
-        let _ = write!(json, "    {entry}");
-        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+    let latest: Vec<String> = records
+        .iter()
+        .filter(|r| r.mode == "sequential")
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"steps\": {}, \"seed\": {}, \"wall_time_sec\": {:.4}, \
+                 \"final_cost\": {}, \"moves_attempted\": {}, \"moves_per_sec\": {:.0}, \
+                 \"verified\": {}}}",
+                r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
+                r.verified
+            )
+        })
+        .collect();
+    let json = render_bench_file(&latest, &history);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 
     for r in &records {

@@ -1,0 +1,210 @@
+//! Load generator for the allocation service: drives a fixed request mix
+//! against `salsa-serve` over real sockets with several concurrent
+//! clients, measures throughput and latency percentiles, and appends the
+//! results to the `history` array of `BENCH_alloc.json` (schema in
+//! EXPERIMENTS.md).
+//!
+//! By default an in-process server is spun up on a loopback port so the
+//! run is self-contained; pass `--addr HOST:PORT` to aim at an external
+//! `salsa-hls serve` instead (the external server's stats are still read
+//! over the wire).
+//!
+//! The mix deliberately repeats (benchmark, knobs) pairs so the
+//! content-addressed cache sees real hits — the measured throughput is
+//! the *service's*, cache included, which is the number an operator cares
+//! about.
+//!
+//! Usage: `cargo run -p salsa-bench --bin loadgen --release --
+//! [--quick] [--clients N] [--requests N] [--addr HOST:PORT]
+//! [--pr LABEL] [--no-write]`
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use salsa_bench::jsonstore::{
+    existing_benchmark_rows, history_entry, prior_history, render_bench_file, BENCH_FILE,
+};
+use salsa_serve::stats::percentile_ms;
+use salsa_serve::{parse_json, Json, Server, ServerConfig};
+
+/// The fixed request mix, cycled across all requests: (bench, seed,
+/// restarts). Repeated tuples are cache hits after their first
+/// completion; `hal`/`fir` exercise the alias path.
+const MIX: &[(&str, u64, u64)] = &[
+    ("ewf", 1, 2),
+    ("dct", 1, 1),
+    ("hal", 2, 2),
+    ("ewf", 1, 2), // repeat → cache hit
+    ("fir", 3, 1),
+    ("dct", 1, 1), // repeat → cache hit
+];
+
+struct ClientOutcome {
+    ok: usize,
+    errors: usize,
+    retries: usize,
+    latencies_us: Vec<u64>,
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn request_line(mix_index: usize) -> String {
+    let (bench, seed, restarts) = MIX[mix_index % MIX.len()];
+    format!(
+        r#"{{"cmd":"allocate","bench":"{bench}","seed":{seed},"restarts":{restarts},"threads":1,"timeout_ms":120000}}"#
+    )
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}
+
+/// One client: its share of the request sequence over a single
+/// connection, retrying backpressure rejections after the server's hint.
+fn client(addr: &str, client_id: usize, clients: usize, total: usize) -> ClientOutcome {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut outcome = ClientOutcome { ok: 0, errors: 0, retries: 0, latencies_us: Vec::new() };
+    for request_no in (client_id..total).step_by(clients) {
+        let line = request_line(request_no);
+        let started = Instant::now();
+        loop {
+            let raw = send_line(&mut stream, &line).expect("request");
+            let response = parse_json(&raw).expect("response JSON");
+            match response.get("status").and_then(Json::as_str) {
+                Some("rejected") => {
+                    outcome.retries += 1;
+                    let hint =
+                        response.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(100);
+                    std::thread::sleep(std::time::Duration::from_millis(hint));
+                }
+                Some("ok") => {
+                    outcome.ok += 1;
+                    break;
+                }
+                _ => {
+                    outcome.errors += 1;
+                    break;
+                }
+            }
+        }
+        outcome.latencies_us.push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    outcome
+}
+
+fn server_stats(addr: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("connect for stats");
+    let raw = send_line(&mut stream, r#"{"cmd":"stats"}"#).expect("stats");
+    parse_json(&raw).expect("stats JSON").get("stats").expect("stats body").clone()
+}
+
+fn stat(stats: &Json, path: &[&str]) -> u64 {
+    let mut node = stats;
+    for key in path {
+        node = node.get(key).unwrap_or(&Json::Null);
+    }
+    node.as_u64().unwrap_or(0)
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let clients: usize = flag_value("--clients")
+        .map(|v| v.parse().expect("--clients takes a number"))
+        .unwrap_or(if quick { 3 } else { 4 })
+        .max(1);
+    let requests: usize = flag_value("--requests")
+        .map(|v| v.parse().expect("--requests takes a number"))
+        .unwrap_or(if quick { 12 } else { 36 })
+        .max(clients);
+    let pr = flag_value("--pr").unwrap_or_else(|| "PR3-loadgen".to_string());
+
+    // In-process server unless aimed at an external one. A small queue
+    // relative to the client count keeps backpressure observable.
+    let (server, addr) = match flag_value("--addr") {
+        Some(addr) => (None, addr),
+        None => {
+            let config = ServerConfig { workers: 2, queue_capacity: 8, ..ServerConfig::default() };
+            let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+            let addr = server.local_addr().to_string();
+            (Some(server), addr)
+        }
+    };
+
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let handles: Vec<_> = (0..clients)
+            .map(|id| scope.spawn(move || client(addr, id, clients, requests)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let stats = server_stats(&addr);
+    let cache_hits = stat(&stats, &["cache", "hits"]);
+    let cache_misses = stat(&stats, &["cache", "misses"]);
+    let completed = stat(&stats, &["completed"]);
+    let rejected = stat(&stats, &["rejected"]);
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let ok: usize = outcomes.iter().map(|o| o.ok).sum();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let retries: usize = outcomes.iter().map(|o| o.retries).sum();
+    let mut latencies: Vec<u64> = outcomes.iter().flat_map(|o| o.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile_ms(&latencies, 50.0),
+        percentile_ms(&latencies, 95.0),
+        percentile_ms(&latencies, 99.0),
+    );
+    let throughput = ok as f64 / wall_secs.max(1e-9);
+
+    assert_eq!(ok + errors, requests, "every request must resolve");
+    assert_eq!(errors, 0, "the fixed mix contains no failing requests");
+
+    println!(
+        "loadgen: {requests} requests, {clients} clients -> {ok} ok, {errors} errors, \
+         {retries} backpressure retries in {wall_secs:.2}s ({throughput:.1} req/s)"
+    );
+    println!(
+        "         server: {completed} jobs completed, {rejected} rejected, cache {cache_hits} \
+         hits / {cache_misses} misses"
+    );
+    println!("         latency p50={p50:.1}ms p95={p95:.1}ms p99={p99:.1}ms");
+
+    if has_flag("--no-write") {
+        return;
+    }
+    let row = format!(
+        "{{\"name\": \"loadgen-mix1\", \"mode\": \"service\", \"clients\": {clients}, \
+         \"requests\": {requests}, \"ok\": {ok}, \"backpressure_retries\": {retries}, \
+         \"jobs_completed\": {completed}, \"cache_hits\": {cache_hits}, \
+         \"cache_misses\": {cache_misses}, \"wall_time_sec\": {wall_secs:.4}, \
+         \"throughput_rps\": {throughput:.2}, \"p50_ms\": {p50:.1}, \"p95_ms\": {p95:.1}, \
+         \"p99_ms\": {p99:.1}}}"
+    );
+    let existing = std::fs::read_to_string(BENCH_FILE).unwrap_or_default();
+    let benchmark_rows = existing_benchmark_rows(&existing);
+    let mut history = prior_history(&existing, &pr);
+    history.push(history_entry(&pr, &[row]));
+    let json = render_bench_file(&benchmark_rows, &history);
+    std::fs::write(BENCH_FILE, &json).unwrap_or_else(|e| panic!("writing {BENCH_FILE}: {e}"));
+    println!("wrote {BENCH_FILE}");
+}

@@ -1,0 +1,192 @@
+//! Reading and rewriting `BENCH_alloc.json` at the repository root — the
+//! append-only performance trail shared by `bench_trajectory` and
+//! `loadgen`.
+//!
+//! The file carries two sections (schema documented in EXPERIMENTS.md):
+//!
+//! * `"benchmarks"` — the latest flat trajectory rows (overwritten by
+//!   `bench_trajectory`, preserved untouched by everything else);
+//! * `"history"` — one entry per `--pr` label, appended across runs.
+//!   Re-running with an existing label replaces that label's entry.
+//!
+//! The scanners are hand-rolled (the workspace deliberately has no JSON
+//! dependency): brace/bracket depth plus string/escape state, which is
+//! all the shapes this file ever contains.
+
+use std::fmt::Write as _;
+
+/// The absolute path of `BENCH_alloc.json`: the repo root is two levels
+/// above this crate's manifest regardless of the invocation directory.
+pub const BENCH_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+
+/// Splits the top-level `{...}` objects out of a JSON array body.
+pub fn split_objects(body: &str) -> Vec<String> {
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        objects.push(body[s..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    objects
+}
+
+/// The body (between `[` and its matching `]`) of a named top-level array
+/// in `json`, if present.
+pub fn array_body<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let open = at + json[at..].find('[')?;
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in json[open..].char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[open + 1..open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Prior history entries to carry forward: the existing `"history"`
+/// array's entries minus any with the current PR label, or — for a file
+/// from before the history schema — its flat `"benchmarks"` rows wrapped
+/// as a single `"pre-history"` entry.
+pub fn prior_history(existing: &str, pr: &str) -> Vec<String> {
+    if let Some(body) = array_body(existing, "history") {
+        let marker = format!("\"pr\": \"{pr}\"");
+        return split_objects(body)
+            .into_iter()
+            .filter(|entry| !entry.contains(&marker))
+            .collect();
+    }
+    if let Some(body) = array_body(existing, "benchmarks") {
+        let rows = split_objects(body);
+        if !rows.is_empty() {
+            let mut entry = String::from("{\n      \"pr\": \"pre-history\",\n      \"entries\": [\n");
+            for (i, row) in rows.iter().enumerate() {
+                let _ = write!(entry, "        {row}");
+                entry.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            entry.push_str("      ]\n    }");
+            return vec![entry];
+        }
+    }
+    Vec::new()
+}
+
+/// The existing flat `"benchmarks"` rows, for writers (like `loadgen`)
+/// that append history without regenerating the trajectory rows.
+pub fn existing_benchmark_rows(existing: &str) -> Vec<String> {
+    array_body(existing, "benchmarks").map(split_objects).unwrap_or_default()
+}
+
+/// Wraps per-run row objects into one labelled history entry.
+pub fn history_entry(pr: &str, rows: &[String]) -> String {
+    let mut entry = format!("{{\n      \"pr\": \"{pr}\",\n      \"entries\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(entry, "        {row}");
+        entry.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    entry.push_str("      ]\n    }");
+    entry
+}
+
+/// Renders the whole file from its two sections.
+pub fn render_bench_file(benchmark_rows: &[String], history: &[String]) -> String {
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, row) in benchmark_rows.iter().enumerate() {
+        let _ = write!(json, "    {row}");
+        json.push_str(if i + 1 < benchmark_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let _ = write!(json, "    {entry}");
+        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_history_and_replaces_same_label() {
+        let first = render_bench_file(
+            &["{\"name\": \"a\", \"cost\": 1}".to_string()],
+            &[history_entry("PRX", &["{\"name\": \"a\", \"cost\": 1}".to_string()])],
+        );
+        // Same label: replaced, not duplicated.
+        let replaced = prior_history(&first, "PRX");
+        assert!(replaced.is_empty());
+        // Different label: carried forward.
+        let carried = prior_history(&first, "PRY");
+        assert_eq!(carried.len(), 1);
+        assert!(carried[0].contains("\"pr\": \"PRX\""));
+        // Benchmarks rows survive for non-trajectory writers.
+        assert_eq!(existing_benchmark_rows(&first).len(), 1);
+    }
+
+    #[test]
+    fn scanner_ignores_braces_inside_strings() {
+        let body = r#"{"name": "tricky{]}", "x": 1}, {"name": "b \" {", "x": 2}"#;
+        let objects = split_objects(body);
+        assert_eq!(objects.len(), 2);
+        assert!(objects[0].contains("tricky"));
+    }
+
+    #[test]
+    fn pre_history_files_migrate() {
+        let legacy = "{\n  \"benchmarks\": [\n    {\"name\": \"ewf19\", \"cost\": 5}\n  ]\n}\n";
+        let migrated = prior_history(legacy, "PRZ");
+        assert_eq!(migrated.len(), 1);
+        assert!(migrated[0].contains("\"pr\": \"pre-history\""));
+        assert!(migrated[0].contains("ewf19"));
+    }
+}

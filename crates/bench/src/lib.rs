@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsonstore;
+
 use salsa_alloc::{AllocResult, Allocator, ImproveConfig, MoveSet};
 use salsa_cdfg::Cdfg;
 use salsa_sched::{fds_schedule, FuClass, FuLibrary};

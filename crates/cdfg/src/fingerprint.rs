@@ -1,0 +1,95 @@
+//! Content-addressed fingerprinting of CDFGs via the canonical text form.
+//!
+//! The serving layer caches allocation results keyed by *what was asked*:
+//! the graph, the resource constraints and the search knobs. For that key
+//! to be sound the graph component must be **canonical** — two requests
+//! carrying different spellings of the same design (comments, blank
+//! lines, whitespace) must collide, and requests for different designs
+//! must not. [`cdfg_to_text`](crate::cdfg_to_text) provides the canonical
+//! form: serializing any parsed graph is a *fixpoint* (`print(parse(t))
+//! == t` for `t = print(g)`, property-tested in `tests/canonical.rs`
+//! across every benchmark and dozens of random designs), so hashing the
+//! canonical text addresses the graph's structure, not its spelling.
+//!
+//! The hash is FNV-1a over 128 bits — `u128` arithmetic is native Rust,
+//! the function is trivially reproducible in any client language, and at
+//! the cache sizes a single server holds (thousands of entries, not
+//! 2^64) accidental collisions are beyond negligible. This is *not* a
+//! cryptographic hash: the cache trusts its own writers, and a client who
+//! could engineer a collision could as easily submit a wrong answer
+//! directly.
+
+use crate::{cdfg_to_text, Cdfg};
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// 128-bit FNV-1a over arbitrary bytes.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl Cdfg {
+    /// The canonical text form of this graph: the serializer's output,
+    /// which is identical for every source text that parses to this
+    /// structure (comments and whitespace normalized away, names
+    /// sanitized deterministically). This is the cache-key component a
+    /// result store hashes.
+    pub fn canonical_text(&self) -> String {
+        cdfg_to_text(self)
+    }
+
+    /// 128-bit FNV-1a fingerprint of [`canonical_text`](Self::canonical_text).
+    pub fn fingerprint(&self) -> u128 {
+        fnv1a_128(self.canonical_text().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_cdfg;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 128 test vectors (empty string = offset basis).
+        assert_eq!(fnv1a_128(b""), FNV_OFFSET);
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+        assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"));
+    }
+
+    #[test]
+    fn spelling_does_not_change_the_fingerprint() {
+        let spartan = "cdfg t\ninput x\nconst k = 3\nop y = mul x k\noutput y\n";
+        let ornate = "# a comment\ncdfg t\n\n  input   x\nconst k = 3 # three\n\
+                      op y = mul x k\noutput y\n";
+        let a = parse_cdfg(spartan).unwrap();
+        let b = parse_cdfg(ornate).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.canonical_text(), b.canonical_text());
+    }
+
+    #[test]
+    fn different_designs_differ() {
+        let a = parse_cdfg("cdfg t\ninput x\nop y = add x x\noutput y\n").unwrap();
+        let b = parse_cdfg("cdfg t\ninput x\nop y = mul x x\noutput y\n").unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn benchmarks_have_stable_distinct_fingerprints() {
+        let prints: Vec<u128> =
+            crate::benchmarks::all().iter().map(Cdfg::fingerprint).collect();
+        let mut unique = prints.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), prints.len(), "benchmark fingerprints collide");
+        // Stable across calls.
+        assert_eq!(prints[0], crate::benchmarks::all()[0].fingerprint());
+    }
+}

@@ -41,6 +41,7 @@ mod builder;
 mod dot;
 mod error;
 mod eval;
+mod fingerprint;
 mod graph;
 mod ids;
 mod op;
@@ -53,9 +54,10 @@ pub mod benchmarks;
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
 pub use eval::{evaluate, EvalResult};
+pub use fingerprint::fnv1a_128;
 pub use graph::{Cdfg, CdfgStats};
 pub use ids::{OpId, ValueId};
 pub use op::{OpKind, Operation};
 pub use random::{random_cdfg, RandomCdfgConfig};
-pub use text::{cdfg_to_text, parse_cdfg, ParseError};
+pub use text::{cdfg_to_text, parse_cdfg, ParseError, ParseErrorKind};
 pub use value::{Use, Value, ValueSource};

@@ -23,25 +23,95 @@ use std::fmt;
 
 use crate::{Cdfg, CdfgBuilder, OpKind, ValueId, ValueSource};
 
-/// A parse failure, with the 1-based line number.
+/// The category of a parse failure — structured enough for a serving
+/// front end to map hostile input onto a machine-readable error payload
+/// without scraping the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed line shape (wrong token count, bad literal, misplaced or
+    /// missing `cdfg` header).
+    Syntax,
+    /// The line starts with a directive the format does not define.
+    UnknownDirective,
+    /// An `op` line names an operation kind outside `add|sub|mul|lt`.
+    UnknownOpKind,
+    /// A reference to a value name that was never declared (dangling
+    /// operand, feedback or output reference).
+    UnknownValue,
+    /// A name declared twice.
+    DuplicateDefinition,
+    /// The lines parsed individually but the assembled graph is invalid
+    /// (cycles, dead values, unclosed feedback).
+    InvalidGraph,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParseErrorKind::Syntax => "syntax",
+            ParseErrorKind::UnknownDirective => "unknown-directive",
+            ParseErrorKind::UnknownOpKind => "unknown-op-kind",
+            ParseErrorKind::UnknownValue => "unknown-value",
+            ParseErrorKind::DuplicateDefinition => "duplicate-definition",
+            ParseErrorKind::InvalidGraph => "invalid-graph",
+        })
+    }
+}
+
+/// A parse failure, with 1-based line/column context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based line of the offending text (0 for end-of-input problems).
+    /// 1-based line of the offending text (0 for whole-input problems:
+    /// empty input, graph-level validation).
     pub line: usize,
+    /// 1-based byte column of the offending token within its line (0 when
+    /// no single token is at fault).
+    pub column: usize,
+    /// The failure category.
+    pub kind: ParseErrorKind,
     /// Explanation.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match (self.line, self.column) {
+            (0, _) => write!(f, "{}", self.message),
+            (line, 0) => write!(f, "line {line}: {}", self.message),
+            (line, column) => write!(f, "line {line}, column {column}: {}", self.message),
+        }
     }
 }
 
 impl Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+fn err(
+    line: usize,
+    column: usize,
+    kind: ParseErrorKind,
+    message: impl Into<String>,
+) -> ParseError {
+    ParseError { line, column, kind, message: message.into() }
+}
+
+/// Splits a comment-stripped line into `(1-based byte column, token)`
+/// pairs, so errors can point at the offending token.
+fn tokenize(line: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                tokens.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        tokens.push((s + 1, &line[s..]));
+    }
+    tokens
 }
 
 /// Parses the text format into a validated graph.
@@ -60,130 +130,193 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with the offending line on any syntax or
-/// semantic problem (unknown names, duplicate definitions, invalid graphs).
+/// Returns a [`ParseError`] carrying the offending line, the byte column
+/// of the faulty token and a [`ParseErrorKind`] on any syntax or semantic
+/// problem (unknown names, duplicate definitions, invalid graphs) — the
+/// parser never panics or aborts on malformed input, however hostile.
 pub fn parse_cdfg(source: &str) -> Result<Cdfg, ParseError> {
+    use ParseErrorKind as K;
+
+    /// A deferred `feedback` line: the line number plus the
+    /// (column, name) of the state and source tokens, resolved after
+    /// every op has been seen.
+    type PendingFeedback = (usize, (usize, String), (usize, String));
+
     let mut builder: Option<CdfgBuilder> = None;
     let mut names: HashMap<String, ValueId> = HashMap::new();
     let mut states: HashMap<String, ValueId> = HashMap::new();
-    let mut outputs: Vec<(usize, String, String)> = Vec::new();
-    let mut feedbacks: Vec<(usize, String, String)> = Vec::new();
+    let mut outputs: Vec<(usize, usize, String, String)> = Vec::new();
+    let mut feedbacks: Vec<PendingFeedback> = Vec::new();
 
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        let b = match tokens[0] {
+        let line = raw.split('#').next().unwrap_or("");
+        let tokens = tokenize(line);
+        let Some(&(col0, tok0)) = tokens.first() else { continue };
+        let b = match tok0 {
             "cdfg" => {
                 if builder.is_some() {
-                    return Err(err(line_no, "duplicate 'cdfg' header"));
+                    return Err(err(line_no, col0, K::Syntax, "duplicate 'cdfg' header"));
                 }
-                let name = *tokens.get(1).ok_or_else(|| err(line_no, "cdfg needs a name"))?;
+                let (_, name) = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, col0, K::Syntax, "cdfg needs a name"))?;
                 builder = Some(CdfgBuilder::new(name));
                 continue;
             }
-            _ => builder
-                .as_mut()
-                .ok_or_else(|| err(line_no, "file must start with 'cdfg <name>'"))?,
+            _ => builder.as_mut().ok_or_else(|| {
+                err(line_no, col0, K::Syntax, "file must start with 'cdfg <name>'")
+            })?,
         };
-        let define = |name: &str,
-                          id: ValueId,
-                          names: &mut HashMap<String, ValueId>|
+        let define = |(col, name): (usize, &str),
+                      id: ValueId,
+                      names: &mut HashMap<String, ValueId>|
          -> Result<(), ParseError> {
             if names.insert(name.to_string(), id).is_some() {
-                return Err(err(line_no, format!("'{name}' defined twice")));
+                return Err(err(
+                    line_no,
+                    col,
+                    K::DuplicateDefinition,
+                    format!("'{name}' defined twice"),
+                ));
             }
             Ok(())
         };
-        match tokens[0] {
+        match tok0 {
             "input" => {
-                let name = *tokens.get(1).ok_or_else(|| err(line_no, "input needs a name"))?;
+                let (col, name) = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, col0, K::Syntax, "input needs a name"))?;
                 let id = b.input(name);
-                define(name, id, &mut names)?;
+                define((col, name), id, &mut names)?;
             }
             "state" => {
-                let name = *tokens.get(1).ok_or_else(|| err(line_no, "state needs a name"))?;
+                let (col, name) = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, col0, K::Syntax, "state needs a name"))?;
                 let id = b.state(name);
-                define(name, id, &mut names)?;
+                define((col, name), id, &mut names)?;
                 states.insert(name.to_string(), id);
             }
             "const" => {
                 // const <name> = <value>
-                if tokens.len() != 4 || tokens[2] != "=" {
-                    return Err(err(line_no, "expected 'const <name> = <integer>'"));
+                if tokens.len() != 4 || tokens[2].1 != "=" {
+                    return Err(err(
+                        line_no,
+                        col0,
+                        K::Syntax,
+                        "expected 'const <name> = <integer>'",
+                    ));
                 }
-                let value: i64 = tokens[3]
-                    .parse()
-                    .map_err(|_| err(line_no, format!("'{}' is not an integer", tokens[3])))?;
+                let value: i64 = tokens[3].1.parse().map_err(|_| {
+                    err(
+                        line_no,
+                        tokens[3].0,
+                        K::Syntax,
+                        format!("'{}' is not an integer", tokens[3].1),
+                    )
+                })?;
                 let id = b.constant(value);
-                b.relabel(id, tokens[1]);
+                b.relabel(id, tokens[1].1);
                 define(tokens[1], id, &mut names)?;
             }
             "op" => {
                 // op <name> = <kind> <left> <right>
-                if tokens.len() != 6 || tokens[2] != "=" {
-                    return Err(err(line_no, "expected 'op <name> = <kind> <left> <right>'"));
+                if tokens.len() != 6 || tokens[2].1 != "=" {
+                    return Err(err(
+                        line_no,
+                        col0,
+                        K::Syntax,
+                        "expected 'op <name> = <kind> <left> <right>'",
+                    ));
                 }
-                let kind = match tokens[3] {
+                let kind = match tokens[3].1 {
                     "add" => OpKind::Add,
                     "sub" => OpKind::Sub,
                     "mul" => OpKind::Mul,
                     "lt" => OpKind::Lt,
                     other => {
-                        return Err(err(line_no, format!("unknown operation kind '{other}'")))
+                        return Err(err(
+                            line_no,
+                            tokens[3].0,
+                            K::UnknownOpKind,
+                            format!("unknown operation kind '{other}'"),
+                        ))
                     }
                 };
-                let resolve = |t: &str| {
-                    names
-                        .get(t)
-                        .copied()
-                        .ok_or_else(|| err(line_no, format!("unknown value '{t}'")))
+                let resolve = |(col, t): (usize, &str)| {
+                    names.get(t).copied().ok_or_else(|| {
+                        err(line_no, col, K::UnknownValue, format!("unknown value '{t}'"))
+                    })
                 };
                 let (left, right) = (resolve(tokens[4])?, resolve(tokens[5])?);
-                let id = b.op_labeled(kind, left, right, tokens[1]);
+                let id = b.op_labeled(kind, left, right, tokens[1].1);
                 define(tokens[1], id, &mut names)?;
             }
             "feedback" => {
                 // feedback <state> <- <value>
-                if tokens.len() != 4 || tokens[2] != "<-" {
-                    return Err(err(line_no, "expected 'feedback <state> <- <value>'"));
+                if tokens.len() != 4 || tokens[2].1 != "<-" {
+                    return Err(err(
+                        line_no,
+                        col0,
+                        K::Syntax,
+                        "expected 'feedback <state> <- <value>'",
+                    ));
                 }
-                feedbacks.push((line_no, tokens[1].to_string(), tokens[3].to_string()));
+                feedbacks.push((
+                    line_no,
+                    (tokens[1].0, tokens[1].1.to_string()),
+                    (tokens[3].0, tokens[3].1.to_string()),
+                ));
             }
             "output" => {
                 // output <value> [as <name>]
-                let value = *tokens.get(1).ok_or_else(|| err(line_no, "output needs a value"))?;
+                let (col, value) = *tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, col0, K::Syntax, "output needs a value"))?;
                 let label = match (tokens.get(2), tokens.get(3)) {
-                    (Some(&"as"), Some(&alias)) => alias.to_string(),
+                    (Some(&(_, "as")), Some(&(_, alias))) => alias.to_string(),
                     (None, None) => value.to_string(),
-                    _ => return Err(err(line_no, "expected 'output <value> [as <name>]'")),
+                    _ => {
+                        return Err(err(
+                            line_no,
+                            col0,
+                            K::Syntax,
+                            "expected 'output <value> [as <name>]'",
+                        ))
+                    }
                 };
-                outputs.push((line_no, value.to_string(), label));
+                outputs.push((line_no, col, value.to_string(), label));
             }
-            other => return Err(err(line_no, format!("unknown directive '{other}'"))),
+            other => {
+                return Err(err(
+                    line_no,
+                    col0,
+                    K::UnknownDirective,
+                    format!("unknown directive '{other}'"),
+                ))
+            }
         }
     }
 
-    let mut b = builder.ok_or_else(|| err(0, "empty input: missing 'cdfg <name>'"))?;
-    for (line_no, state, from) in feedbacks {
-        let &sid = states
-            .get(&state)
-            .ok_or_else(|| err(line_no, format!("'{state}' is not a state")))?;
-        let &vid = names
-            .get(&from)
-            .ok_or_else(|| err(line_no, format!("unknown value '{from}'")))?;
+    let mut b = builder
+        .ok_or_else(|| err(0, 0, K::Syntax, "empty input: missing 'cdfg <name>'"))?;
+    for (line_no, (state_col, state), (from_col, from)) in feedbacks {
+        let &sid = states.get(&state).ok_or_else(|| {
+            err(line_no, state_col, K::UnknownValue, format!("'{state}' is not a state"))
+        })?;
+        let &vid = names.get(&from).ok_or_else(|| {
+            err(line_no, from_col, K::UnknownValue, format!("unknown value '{from}'"))
+        })?;
         b.feedback(sid, vid);
     }
-    for (line_no, value, label) in outputs {
-        let &vid = names
-            .get(&value)
-            .ok_or_else(|| err(line_no, format!("unknown value '{value}'")))?;
+    for (line_no, col, value, label) in outputs {
+        let &vid = names.get(&value).ok_or_else(|| {
+            err(line_no, col, K::UnknownValue, format!("unknown value '{value}'"))
+        })?;
         b.mark_output(vid, label);
     }
-    b.finish().map_err(|e| err(0, e.to_string()))
+    b.finish().map_err(|e| err(0, 0, K::InvalidGraph, e.to_string()))
 }
 
 /// Serializes a graph back to the text format (labels become names; a
@@ -323,6 +456,52 @@ output y
         let bad = "cdfg t\ninput x\nop y = xor x x\noutput y\n";
         let e = parse_cdfg(bad).unwrap_err();
         assert!(e.message.contains("xor"));
+        assert_eq!(e.kind, ParseErrorKind::UnknownOpKind);
+        // 'xor' starts at byte 8 of "op y = xor x x" (1-based).
+        assert_eq!((e.line, e.column), (3, 8));
+    }
+
+    #[test]
+    fn columns_point_at_the_offending_token() {
+        let bad = "cdfg t\ninput x\nop y = add x nosuch\noutput y\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownValue);
+        assert_eq!((e.line, e.column), (3, 14));
+        assert_eq!(e.to_string(), "line 3, column 14: unknown value 'nosuch'");
+
+        // Columns survive leading whitespace and trailing comments.
+        let bad = "cdfg t\ninput x\n   op y = add x nosuch # comment\noutput y\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert_eq!((e.line, e.column), (3, 17));
+
+        let bad = "cdfg t\ninput x\nfrobnicate y\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownDirective);
+        assert_eq!((e.line, e.column), (3, 1));
+
+        let bad = "cdfg t\ninput x\ninput x\n";
+        let e = parse_cdfg(bad).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateDefinition);
+        assert_eq!((e.line, e.column), (3, 7));
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "op",
+            "cdfg",
+            "cdfg t\nop\n",
+            "cdfg t\nconst k =\n",
+            "cdfg t\nconst k = banana\n",
+            "cdfg t\nfeedback a b c d e\n",
+            "cdfg t\noutput\n",
+            "cdfg t\ncdfg u\n",
+            "cdfg t\ninput x\nop y = add x\n",
+            "cdfg t\ninput x\x00junk\n",
+        ] {
+            assert!(parse_cdfg(bad).is_err(), "expected an error for {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Cache-key soundness: `parse(print(g))` reproduces `g` up to the
+//! canonical form, across every benchmark CDFG and ~50 seeded random
+//! DFGs. The serving layer's content-addressed result cache keys on the
+//! canonical text's fingerprint, so these properties are exactly what
+//! makes an exact-hit cache sound:
+//!
+//! 1. *Fixpoint*: `print(parse(print(g))) == print(g)` — one serialize
+//!    normalizes spelling for good;
+//! 2. *Structure preservation*: the reparse has identical ops, values,
+//!    kinds, feedbacks, outputs and evaluation behaviour;
+//! 3. *Fingerprint stability*: `parse(print(g)).fingerprint() ==
+//!    g.fingerprint()`.
+
+use salsa_cdfg::{cdfg_to_text, parse_cdfg, random_cdfg, Cdfg, RandomCdfgConfig};
+
+fn assert_roundtrip(g: &Cdfg, label: &str) {
+    let text = cdfg_to_text(g);
+    let parsed = parse_cdfg(&text).unwrap_or_else(|e| panic!("{label}: reparse failed: {e}\n{text}"));
+
+    // Structure is preserved exactly.
+    assert_eq!(parsed.num_ops(), g.num_ops(), "{label}: op count");
+    assert_eq!(parsed.num_values(), g.num_values(), "{label}: value count");
+    assert_eq!(parsed.stats().ops_by_kind, g.stats().ops_by_kind, "{label}: op kinds");
+    assert_eq!(
+        parsed.feedback_sources().count(),
+        g.feedback_sources().count(),
+        "{label}: feedbacks"
+    );
+    assert_eq!(
+        parsed.output_values().count(),
+        g.output_values().count(),
+        "{label}: outputs"
+    );
+    assert_eq!(
+        parsed.state_values().count(),
+        g.state_values().count(),
+        "{label}: states"
+    );
+
+    // The canonical form is a fixpoint, so the fingerprint is stable —
+    // the cache-key property.
+    assert_eq!(cdfg_to_text(&parsed), text, "{label}: canonical text is not a fixpoint");
+    assert_eq!(parsed.fingerprint(), g.fingerprint(), "{label}: fingerprint drifted");
+}
+
+#[test]
+fn all_benchmarks_roundtrip_canonically() {
+    // Includes the five served-by-name benchmarks (ewf, dct, hal/diffeq,
+    // fir16, ar_lattice) plus the auxiliary designs.
+    let benchmarks = salsa_cdfg::benchmarks::all();
+    assert!(benchmarks.len() >= 5);
+    for g in &benchmarks {
+        assert_roundtrip(g, g.name());
+    }
+}
+
+#[test]
+fn fifty_seeded_random_dfgs_roundtrip_canonically() {
+    for seed in 0..50u64 {
+        // Vary the shape with the seed so the sweep covers wide/narrow,
+        // state-free and state-heavy, multiplier-light and -heavy graphs.
+        let cfg = RandomCdfgConfig {
+            ops: 3 + (seed as usize * 7) % 60,
+            inputs: 1 + (seed as usize) % 4,
+            states: (seed as usize) % 5,
+            mul_ratio: (seed % 10) as f64 / 10.0,
+            const_coeff_ratio: (seed % 4) as f64 / 4.0,
+        };
+        let g = random_cdfg(&cfg, seed);
+        assert_roundtrip(&g, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn canonical_text_normalizes_spelling_variants() {
+    let canonical = "cdfg t\ninput x\nconst k = 3\nop y = mul x k\noutput y\n";
+    let variants = [
+        "cdfg t\ninput x\nconst k = 3\nop y = mul x k\noutput y",
+        "# header comment\ncdfg t\n\ninput x\nconst k = 3\n\top y = mul\tx  k\noutput y # out\n",
+        "cdfg t\r\ninput x\r\nconst k = 3\r\nop y = mul x k\r\noutput y\r\n",
+    ];
+    let base = parse_cdfg(canonical).unwrap();
+    for v in variants {
+        let g = parse_cdfg(v).unwrap_or_else(|e| panic!("variant failed: {e}"));
+        assert_eq!(g.canonical_text(), base.canonical_text(), "variant: {v:?}");
+        assert_eq!(g.fingerprint(), base.fingerprint());
+    }
+}

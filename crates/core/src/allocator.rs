@@ -11,7 +11,7 @@ use salsa_datapath::{
 use salsa_sched::{FuClass, FuLibrary, Schedule};
 
 use crate::{
-    lower, portfolio_search, AllocContext, AllocError, ImproveConfig, ImproveStats,
+    lower, portfolio_search, AllocContext, AllocError, CancelToken, ImproveConfig, ImproveStats,
     PortfolioConfig, PortfolioStats,
 };
 
@@ -130,6 +130,16 @@ impl<'a> Allocator<'a> {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`]: the search polls it at
+    /// trial boundaries (and every few hundred moves within a trial) and
+    /// [`run`](Allocator::run) returns [`AllocError::Cancelled`] if it
+    /// trips before the portfolio completes — the hook a serving layer
+    /// uses for per-job deadlines and drain-then-exit shutdowns.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.config.cancel = Some(token);
+        self
+    }
+
     /// Executes the allocation: pool construction, constructive initial
     /// allocation, iterative improvement, lowering, end-to-end
     /// verification, and multiplexer merging.
@@ -154,7 +164,7 @@ impl<'a> Allocator<'a> {
         // scoped workers sharing a best-bound cutoff, reduced
         // deterministically by (cost, seed) — see the `portfolio` module.
         let outcome =
-            portfolio_search(&ctx, &self.config, &self.portfolio, self.seed, self.restarts);
+            portfolio_search(&ctx, &self.config, &self.portfolio, self.seed, self.restarts)?;
         let (cost, binding, stats) = (outcome.cost, outcome.binding, outcome.stats);
 
         let (rtl, claims) = lower(&binding);

@@ -31,6 +31,11 @@ pub enum AllocError {
         /// The verifier's message.
         detail: String,
     },
+    /// The search was cancelled (deadline expired or the supervising
+    /// [`CancelToken`](crate::CancelToken) was tripped) before a result
+    /// was produced. Cancellation is abortive: no partial allocation is
+    /// returned, so cached/deterministic results are never diluted.
+    Cancelled,
 }
 
 impl fmt::Display for AllocError {
@@ -44,6 +49,9 @@ impl fmt::Display for AllocError {
             }
             AllocError::VerificationFailed { detail } => {
                 write!(f, "allocated datapath failed verification: {detail}")
+            }
+            AllocError::Cancelled => {
+                write!(f, "allocation cancelled before completion (deadline or shutdown)")
             }
         }
     }

@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 
 use salsa_datapath::CostWeights;
 
+use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
 use crate::moves::{try_move, MoveKind, MoveSet};
 use crate::portfolio::SearchBound;
 use crate::Binding;
@@ -61,6 +62,13 @@ pub struct ImproveConfig {
     pub phased: bool,
     /// Cost weights.
     pub weights: CostWeights,
+    /// Cooperative cancellation (per-job deadlines, shutdown drains).
+    /// Polled at trial boundaries and every
+    /// [`CANCEL_POLL_PERIOD`](crate::CANCEL_POLL_PERIOD) moves; a tripped
+    /// token aborts the search, which the driver surfaces as
+    /// [`AllocError::Cancelled`](crate::AllocError). `None` (the default)
+    /// searches to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ImproveConfig {
@@ -74,6 +82,7 @@ impl Default for ImproveConfig {
             move_set: MoveSet::full(),
             phased: true,
             weights: CostWeights::default(),
+            cancel: None,
         }
     }
 }
@@ -171,45 +180,66 @@ pub struct SearchWatch<'a> {
     pub publish: bool,
 }
 
+/// How a bounded improvement run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchExit {
+    /// Ran to natural convergence (trial cap or staleness).
+    Completed,
+    /// Abandoned by the portfolio best-bound cutoff.
+    Abandoned,
+    /// Aborted by the configured [`CancelToken`] (deadline or shutdown).
+    Cancelled,
+}
+
 /// Runs iterative improvement in place, leaving `binding` at the best
 /// allocation found.
+///
+/// If the configuration carries a [`CancelToken`] that trips mid-search,
+/// the binding is left at the best allocation seen so far and the exit
+/// condition is silently dropped — use [`improve_bounded`] (or the
+/// [`Allocator`](crate::Allocator) driver, which surfaces
+/// [`AllocError::Cancelled`](crate::AllocError)) when the caller must
+/// distinguish a cancelled run from a converged one.
 pub fn improve(binding: &mut Binding<'_>, config: &ImproveConfig, rng: &mut StdRng) -> ImproveStats {
     improve_bounded(binding, config, rng, None).0
 }
 
 /// [`improve`] under an optional portfolio watch. Returns the statistics
-/// and whether the chain was *abandoned* by the best-bound cutoff (in
-/// which case the binding still holds the chain's best-so-far allocation,
-/// but the portfolio reduction must exclude it — see the `portfolio`
-/// module docs for why that preserves determinism).
+/// and how the run ended: [`SearchExit::Abandoned`] means the best-bound
+/// cutoff pruned the chain (the binding still holds its best-so-far
+/// allocation, but the portfolio reduction must exclude it — see the
+/// `portfolio` module docs for why that preserves determinism), and
+/// [`SearchExit::Cancelled`] means the configured token tripped.
 ///
-/// The watch never touches the RNG, so a chain that completes walks the
-/// exact same trajectory as an unwatched run with the same seed.
+/// Neither the watch nor the cancellation polls touch the RNG, so a chain
+/// that completes walks the exact same trajectory as an unwatched run
+/// with the same seed.
 pub fn improve_bounded(
     binding: &mut Binding<'_>,
     config: &ImproveConfig,
     rng: &mut StdRng,
     watch: Option<&SearchWatch<'_>>,
-) -> (ImproveStats, bool) {
+) -> (ImproveStats, SearchExit) {
     let start = std::time::Instant::now();
     let mut stats = ImproveStats {
         initial_cost: weighted_cost(&config.weights, binding),
         ..ImproveStats::default()
     };
-    let mut abandoned = false;
+    let mut exit = SearchExit::Completed;
     for set in config.phases() {
-        if run_phase(binding, config, &set, rng, &mut stats, watch) {
-            abandoned = true;
+        if let Some(stop) = run_phase(binding, config, &set, rng, &mut stats, watch) {
+            exit = stop;
             break;
         }
     }
     stats.final_cost = weighted_cost(&config.weights, binding);
     stats.elapsed_nanos = start.elapsed().as_nanos() as u64;
-    (stats, abandoned)
+    (stats, exit)
 }
 
-/// Runs one move-set phase; returns `true` when the watch abandoned the
-/// chain (the binding is left at its best-so-far allocation either way).
+/// Runs one move-set phase; returns `Some` when the watch abandoned the
+/// chain or the cancel token tripped (the binding is left at its
+/// best-so-far allocation either way).
 fn run_phase(
     binding: &mut Binding<'_>,
     config: &ImproveConfig,
@@ -217,7 +247,7 @@ fn run_phase(
     rng: &mut StdRng,
     stats: &mut ImproveStats,
     watch: Option<&SearchWatch<'_>>,
-) -> bool {
+) -> Option<SearchExit> {
     let moves_per_trial = config
         .moves_per_trial
         .unwrap_or(200 * binding.ctx().graph.num_ops());
@@ -228,6 +258,10 @@ fn run_phase(
     let mut stale = 0;
 
     for trial in 0..config.max_trials {
+        if config.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            binding.clone_from(&best);
+            return Some(SearchExit::Cancelled);
+        }
         stats.trials += 1;
         let mut uphill_left = config.max_uphill;
         let best_before = best_cost;
@@ -245,6 +279,14 @@ fn run_phase(
 
         for _ in 0..moves_per_trial {
             stats.attempted += 1;
+            // Poll the deadline between transactions (never mid-journal),
+            // at a stride that keeps the clock read off the hot path.
+            if stats.attempted.is_multiple_of(CANCEL_POLL_PERIOD)
+                && config.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            {
+                binding.clone_from(&best);
+                return Some(SearchExit::Cancelled);
+            }
             let kind = set.pick(rng);
             #[cfg(debug_assertions)]
             let cross_check =
@@ -301,7 +343,7 @@ fn run_phase(
                 && watch.bound.exceeded_by(best_cost, watch.cutoff_factor)
             {
                 binding.clone_from(&best);
-                return true;
+                return Some(SearchExit::Abandoned);
             }
         }
 
@@ -316,5 +358,5 @@ fn run_phase(
     }
 
     binding.clone_from(&best);
-    false
+    None
 }

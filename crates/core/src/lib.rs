@@ -48,6 +48,7 @@
 mod allocator;
 mod anneal;
 mod binding;
+mod cancel;
 mod context;
 mod error;
 mod improve;
@@ -62,9 +63,12 @@ mod transfer;
 pub use allocator::{AllocResult, Allocator};
 pub use anneal::{anneal, AnnealConfig, AnnealStats};
 pub use binding::{Binding, Chain};
+pub use cancel::{CancelToken, CANCEL_POLL_PERIOD};
 pub use context::AllocContext;
 pub use error::AllocError;
-pub use improve::{improve, improve_bounded, ImproveConfig, ImproveStats, SearchWatch};
+pub use improve::{
+    improve, improve_bounded, ImproveConfig, ImproveStats, SearchExit, SearchWatch,
+};
 pub use initial::initial_allocation;
 pub use lower::lower;
 pub use polish::polish;

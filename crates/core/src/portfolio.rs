@@ -49,8 +49,10 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::improve::{improve_bounded, SearchWatch};
-use crate::{initial_allocation, polish, AllocContext, Binding, ImproveConfig, ImproveStats};
+use crate::improve::{improve_bounded, SearchExit, SearchWatch};
+use crate::{
+    initial_allocation, polish, AllocContext, AllocError, Binding, ImproveConfig, ImproveStats,
+};
 
 /// The shared lower envelope of the portfolio: the best cost any primary
 /// chain has achieved so far. Plain relaxed atomics — the value is a
@@ -230,8 +232,8 @@ fn run_chain<'a>(
     let start = Instant::now();
     let mut binding = initial.clone();
     let mut rng = StdRng::seed_from_u64(seed);
-    let (mut stats, abandoned) = improve_bounded(&mut binding, config, &mut rng, watch);
-    let result = if abandoned {
+    let (mut stats, exit) = improve_bounded(&mut binding, config, &mut rng, watch);
+    let result = if exit != SearchExit::Completed {
         None
     } else {
         stats.final_cost = polish(&mut binding, &config.weights, &config.move_set);
@@ -273,6 +275,15 @@ fn bonus_seed(base_seed: u64, worker: usize, k: usize) -> u64 {
 /// `base_seed..base_seed + seeds`, on up to `config.threads` workers, and
 /// reduces deterministically to the `(cost, seed)`-minimal completed chain.
 ///
+/// # Errors
+///
+/// Returns [`AllocError::Cancelled`] when the improve configuration's
+/// [`CancelToken`](crate::CancelToken) trips before the portfolio
+/// finishes. Cancellation is all-or-nothing: a cancelled portfolio never
+/// returns a partial reduction, because *which* chains completed before
+/// the deadline depends on scheduling and would break the
+/// identical-inputs-identical-winner contract.
+///
 /// # Panics
 ///
 /// Panics if `seeds == 0`.
@@ -282,20 +293,31 @@ pub fn portfolio_search<'a>(
     config: &PortfolioConfig,
     base_seed: u64,
     seeds: usize,
-) -> PortfolioOutcome<'a> {
+) -> Result<PortfolioOutcome<'a>, AllocError> {
     assert!(seeds > 0, "at least one chain is required");
     let start = Instant::now();
     let threads = config.effective_threads().min(seeds);
     let initial = initial_allocation(ctx);
+    let cancelled = || improve_config.cancel.as_ref().is_some_and(|t| t.is_cancelled());
 
     let mut runs: Vec<ChainRun<'a>> = if threads == 1 {
         // Sequential compatibility mode: the legacy multi-seed loop,
         // verbatim — every chain completes, no bound is consulted.
-        (0..seeds)
-            .map(|slot| {
-                run_chain(&initial, improve_config, base_seed.wrapping_add(slot as u64), slot, false, None)
-            })
-            .collect()
+        let mut runs = Vec::with_capacity(seeds);
+        for slot in 0..seeds {
+            if cancelled() {
+                break;
+            }
+            runs.push(run_chain(
+                &initial,
+                improve_config,
+                base_seed.wrapping_add(slot as u64),
+                slot,
+                false,
+                None,
+            ));
+        }
+        runs
     } else {
         let bound = SearchBound::new();
         let mut per_worker: Vec<Vec<ChainRun<'a>>> = std::thread::scope(|scope| {
@@ -303,6 +325,7 @@ pub fn portfolio_search<'a>(
                 .map(|w| {
                     let bound = &bound;
                     let initial = &initial;
+                    let cancelled = &cancelled;
                     scope.spawn(move || {
                         let primary_watch = SearchWatch {
                             bound,
@@ -317,6 +340,9 @@ pub fn portfolio_search<'a>(
                         let mut runs = Vec::new();
                         let mut abandoned = 0usize;
                         for slot in (w..seeds).step_by(threads) {
+                            if cancelled() {
+                                break;
+                            }
                             let seed = base_seed.wrapping_add(slot as u64);
                             let run = run_chain(
                                 initial, improve_config, seed, slot, false, Some(&primary_watch),
@@ -329,6 +355,9 @@ pub fn portfolio_search<'a>(
                         // Reseed freed time into fresh exploratory chains:
                         // one bonus restart per abandonment, bounded.
                         for k in 0..abandoned.min(config.bonus_restarts) {
+                            if cancelled() {
+                                break;
+                            }
                             runs.push(run_chain(
                                 initial,
                                 improve_config,
@@ -353,6 +382,13 @@ pub fn portfolio_search<'a>(
         all.sort_by_key(|r| (r.stat.bonus, r.stat.slot, r.stat.seed));
         all
     };
+
+    // Cancellation is abortive: even if some chains finished before the
+    // token tripped, *which* ones did depends on scheduling — returning a
+    // partial reduction would make a deadline-racing job nondeterministic.
+    if cancelled() {
+        return Err(AllocError::Cancelled);
+    }
 
     // Safety net: the chain holding the published bound can never abandon
     // itself (factor >= 1), so at least one chain completes; if a future
@@ -384,7 +420,7 @@ pub fn portfolio_search<'a>(
     let winner = runs.swap_remove(winner_index);
     let (cost, binding) = winner.result.expect("winner completed");
 
-    PortfolioOutcome {
+    Ok(PortfolioOutcome {
         binding,
         stats,
         cost,
@@ -395,5 +431,5 @@ pub fn portfolio_search<'a>(
             wall_nanos: start.elapsed().as_nanos() as u64,
             aggregate,
         },
-    }
+    })
 }

@@ -1,0 +1,152 @@
+//! Content-addressed result cache: completed allocation responses keyed
+//! by the 128-bit FNV-1a fingerprint of `(canonical CDFG text, search
+//! knobs)`.
+//!
+//! Soundness rests on two properties established elsewhere in the
+//! workspace: the canonical text is a *fixpoint* of `parse ∘ print`
+//! (spelling variants of the same design collapse to one key — see
+//! `crates/cdfg/tests/canonical.rs`), and the portfolio search is
+//! *deterministic* for identical inputs (same graph + same knobs ⇒ same
+//! winning allocation). An exact hit can therefore replay the stored
+//! response **bytes** — not a re-rendering — so a cached reply is
+//! byte-identical to the one the original job produced.
+//!
+//! The cache is bounded with FIFO eviction: allocation responses are a
+//! few KiB and jobs are expensive, so recency tracking buys little over
+//! insertion order here.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    map: HashMap<u128, Arc<String>>,
+    order: VecDeque<u128>,
+}
+
+/// Bounded, thread-safe response cache.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` responses (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting the access as a hit or miss.
+    pub fn get(&self, key: u128) -> Option<Arc<String>> {
+        let inner = self.inner.lock().expect("cache poisoned");
+        match inner.map.get(&key) {
+            Some(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(bytes))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `response` under `key`, evicting the oldest entry when at
+    /// capacity. Re-inserting an existing key refreshes the bytes without
+    /// growing the cache.
+    pub fn insert(&self, key: u128, response: Arc<String>) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.map.insert(key, response).is_some() {
+            return; // key already tracked in `order`
+        }
+        inner.order.push_back(key);
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups, in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 { 0.0 } else { hits / total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_exact_stored_bytes() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(1).is_none());
+        let stored = Arc::new("{\"status\":\"ok\"}".to_string());
+        cache.insert(1, Arc::clone(&stored));
+        let got = cache.get(1).expect("hit");
+        assert!(Arc::ptr_eq(&got, &stored), "must replay the stored allocation, not a copy");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, Arc::new("a".into()));
+        cache.insert(2, Arc::new("b".into()));
+        cache.insert(3, Arc::new("c".into()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(1).is_none(), "oldest entry evicted first");
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let cache = ResultCache::new(2);
+        cache.insert(7, Arc::new("old".into()));
+        cache.insert(7, Arc::new("new".into()));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(7).unwrap().as_str(), "new");
+        assert_eq!(cache.evictions(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Job execution: resolve the request's design, schedule it, run the
+//! portfolio allocator under the job's cancel token, and serialize the
+//! report. Shared by the server's workers and usable in-process by the
+//! load generator (which drives the same path without a socket).
+
+use salsa_alloc::{AllocError, Allocator, CancelToken, ImproveConfig, MoveSet};
+use salsa_cdfg::{parse_cdfg, Cdfg};
+use salsa_sched::{asap, fds_schedule, FuLibrary};
+
+use crate::json::Json;
+use crate::protocol::{
+    canonical_bench_name, AllocRequest, ErrorKind, GraphSource, Knobs, ServeError,
+};
+use crate::report::report_json;
+
+/// Resolves the request's design into a graph: benchmark lookup (with
+/// alias mapping) or CDFG text parse (structured errors with positions).
+pub fn resolve_graph(source: &GraphSource) -> Result<Cdfg, ServeError> {
+    match source {
+        GraphSource::Bench(name) => {
+            let canonical = canonical_bench_name(name);
+            salsa_cdfg::benchmarks::all()
+                .into_iter()
+                .find(|g| g.name() == canonical)
+                .ok_or_else(|| {
+                    ServeError::new(
+                        ErrorKind::BadRequest,
+                        format!("unknown benchmark '{name}' (try ewf, dct, hal, fir or ar)"),
+                    )
+                })
+        }
+        GraphSource::Text(text) => parse_cdfg(text).map_err(|e| ServeError::from_parse(&e)),
+    }
+}
+
+/// Runs the allocation described by `knobs` on `graph`, polling `cancel`
+/// cooperatively, and returns the report object.
+pub fn run_allocation(
+    graph: &Cdfg,
+    knobs: &Knobs,
+    cancel: Option<CancelToken>,
+) -> Result<Json, ServeError> {
+    let library = if knobs.pipelined { FuLibrary::pipelined() } else { FuLibrary::standard() };
+    let steps = knobs.steps.unwrap_or_else(|| asap(graph, &library).length);
+    let schedule = fds_schedule(graph, &library, steps)
+        .map_err(|e| ServeError::new(ErrorKind::Schedule, e.to_string()))?;
+
+    let move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
+    let config = ImproveConfig { move_set, cancel, ..ImproveConfig::default() };
+    let mut allocator = Allocator::new(graph, &schedule, &library)
+        .seed(knobs.seed)
+        .extra_registers(knobs.extra_regs)
+        .restarts(knobs.restarts)
+        .config(config);
+    if let Some(threads) = knobs.threads {
+        allocator = allocator.threads(threads);
+    }
+    if let Some(cutoff) = knobs.cutoff {
+        allocator = allocator.cutoff_factor(cutoff);
+    }
+    let result = allocator.run().map_err(|e| match e {
+        AllocError::Cancelled => ServeError::new(
+            ErrorKind::Timeout,
+            "allocation cancelled before completion (deadline or shutdown)",
+        ),
+        other => ServeError::new(ErrorKind::Alloc, other.to_string()),
+    })?;
+    Ok(report_json(graph, &schedule, knobs.seed, &result))
+}
+
+/// Resolves and runs a whole request (no cache, no queue) — the
+/// in-process path used by the load generator and by tests.
+pub fn run_request(request: &AllocRequest, cancel: Option<CancelToken>) -> Result<Json, ServeError> {
+    let graph = resolve_graph(&request.source)?;
+    run_allocation(&graph, &request.knobs, cancel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn bench_aliases_resolve_and_allocate() {
+        for name in ["ewf", "hal", "fir", "ar"] {
+            let g = resolve_graph(&GraphSource::Bench(name.into())).unwrap_or_else(|e| {
+                panic!("{name}: {}", e.message);
+            });
+            assert!(g.num_ops() > 0, "{name}");
+        }
+        let err = resolve_graph(&GraphSource::Bench("nosuch".into())).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn text_source_reports_structured_parse_errors() {
+        let err = resolve_graph(&GraphSource::Text(
+            "cdfg t\ninput x\nop y = add x nosuch\noutput y\n".into(),
+        ))
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+        assert_eq!(err.line, Some(3));
+        assert!(err.column.is_some());
+    }
+
+    #[test]
+    fn identical_requests_produce_identical_reports() {
+        // The cache-soundness property, exercised end to end: same design
+        // + same knobs ⇒ byte-identical report apart from timing, and in
+        // particular identical cost/breakdown.
+        let knobs = Knobs { restarts: 2, threads: Some(2), ..Knobs::default() };
+        let graph = resolve_graph(&GraphSource::Bench("paper_example".into())).unwrap();
+        let a = run_allocation(&graph, &knobs, None).unwrap();
+        let b = run_allocation(&graph, &knobs, None).unwrap();
+        assert_eq!(
+            a.get("cost").and_then(Json::as_u64),
+            b.get("cost").and_then(Json::as_u64)
+        );
+        assert_eq!(
+            a.get("breakdown").map(Json::to_string_compact),
+            b.get("breakdown").map(Json::to_string_compact)
+        );
+        assert_eq!(
+            a.get("portfolio").and_then(|p| p.get("winner_slot")).and_then(Json::as_u64),
+            b.get("portfolio").and_then(|p| p.get("winner_slot")).and_then(Json::as_u64)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_yields_timeout_not_panic() {
+        let knobs = Knobs { restarts: 4, threads: Some(1), ..Knobs::default() };
+        let graph = resolve_graph(&GraphSource::Bench("ewf".into())).unwrap();
+        // A deadline already in the past: the search must bail out at its
+        // first poll with Cancelled, mapped to a timeout error.
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = run_allocation(&graph, &knobs, Some(token)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn infeasible_steps_yield_schedule_error() {
+        let knobs = Knobs { steps: Some(1), ..Knobs::default() };
+        let graph = resolve_graph(&GraphSource::Bench("ewf".into())).unwrap();
+        let err = run_allocation(&graph, &knobs, None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Schedule);
+    }
+}

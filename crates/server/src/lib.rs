@@ -1,0 +1,58 @@
+//! `salsa-serve` — an allocation service for the SALSA reproduction.
+//!
+//! A std-only multi-threaded TCP server speaking a newline-delimited
+//! JSON protocol: clients submit a CDFG (inline text or a benchmark
+//! name) plus resource constraints and search knobs; the server runs the
+//! parallel portfolio allocator and returns the allocation report as
+//! JSON. See [`protocol`] for the wire format.
+//!
+//! The service is built from small, independently tested parts:
+//!
+//! - [`queue`] — a bounded job queue with explicit backpressure: when
+//!   full, requests are *rejected with a retry hint*, never buffered
+//!   unboundedly;
+//! - [`server`] — the accept loop, a fixed worker pool (with per-worker
+//!   scratch buffers reused across jobs), per-job deadlines delivered as
+//!   cooperative [`CancelToken`](salsa_alloc::CancelToken)s into the
+//!   search, and graceful drain-then-exit shutdown;
+//! - [`cache`] — a content-addressed result cache keyed by the FNV-1a
+//!   128 fingerprint of `(canonical CDFG text, knobs)`;
+//! - [`stats`] — job counters and p50/p95/p99 latency for the wire
+//!   `stats` command;
+//! - [`json`] / [`report`] — a std-only JSON model and the report
+//!   serializer shared with the CLI's `--json` mode;
+//! - [`exec`] — the request → schedule → allocate → report pipeline,
+//!   also usable in-process (the load generator drives it directly).
+//!
+//! # Why an exact-hit cache is sound
+//!
+//! Two requests whose canonical CDFG text and knobs agree are the *same
+//! job*: canonicalization collapses spelling variants (the canonical
+//! text is a fixpoint of `parse ∘ print`), and the portfolio search is
+//! deterministic for identical inputs — identical seeds, restart
+//! derivation and reduction order. The cache therefore replays the
+//! stored response bytes, and a hit is byte-identical to what a fresh
+//! run would have produced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod exec;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod report;
+pub mod server;
+pub mod stats;
+
+pub use cache::ResultCache;
+pub use exec::{resolve_graph, run_allocation, run_request};
+pub use json::{parse_json, Json, JsonError};
+pub use protocol::{
+    cache_key, parse_command, AllocRequest, Command, ErrorKind, GraphSource, Knobs, ServeError,
+};
+pub use queue::{JobQueue, PushError};
+pub use report::report_json;
+pub use server::{Server, ServerConfig};
+pub use stats::{ServerStats, StatsSnapshot};

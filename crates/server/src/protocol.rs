@@ -1,0 +1,435 @@
+//! The newline-delimited JSON wire protocol: request parsing, response
+//! shapes, structured errors, and the content-address of a job.
+//!
+//! One request per line, one JSON object per request; the server answers
+//! with exactly one JSON object per line. Commands:
+//!
+//! ```json
+//! {"cmd":"allocate","bench":"ewf","seed":1,"restarts":4,"timeout_ms":5000}
+//! {"cmd":"allocate","cdfg":"cdfg t\ninput x\n...","steps":6}
+//! {"cmd":"stats"}
+//! {"cmd":"ping"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses carry a `status` of `ok`, `error` (with a machine-readable
+//! `kind`, and `line`/`column` for CDFG parse errors), or `rejected`
+//! (backpressure, with a `retry_after_ms` hint).
+
+use salsa_cdfg::{fnv1a_128, ParseError};
+
+use crate::json::Json;
+
+/// Benchmarks servable by name, with the paper's aliases mapped onto the
+/// workspace's canonical names.
+pub const BENCH_ALIASES: &[(&str, &str)] =
+    &[("hal", "diffeq"), ("fir", "fir16"), ("ar", "ar_lattice")];
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run (or replay from cache) an allocation.
+    Allocate(AllocRequest),
+    /// Report service counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin the graceful drain-then-exit.
+    Shutdown,
+}
+
+/// Where the design comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A built-in benchmark, by (possibly aliased) name.
+    Bench(String),
+    /// Inline CDFG text in the request.
+    Text(String),
+}
+
+/// Search knobs. Every field participates in the cache key: two requests
+/// with any knob differing are different jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knobs {
+    /// Schedule length (control steps); `None` = as-soon-as-possible.
+    pub steps: Option<usize>,
+    /// Registers beyond the schedule's minimum.
+    pub extra_regs: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Independent restart chains.
+    pub restarts: usize,
+    /// Portfolio worker cap; `None` = machine parallelism.
+    pub threads: Option<usize>,
+    /// Best-bound cutoff factor; `None` = the allocator default.
+    pub cutoff: Option<f64>,
+    /// Use the pipelined functional-unit library.
+    pub pipelined: bool,
+    /// Restrict to the traditional (pre-SALSA) move set.
+    pub traditional: bool,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            steps: None,
+            extra_regs: 0,
+            seed: 42,
+            restarts: 1,
+            threads: None,
+            cutoff: None,
+            pipelined: false,
+            traditional: false,
+        }
+    }
+}
+
+/// An allocation request: the design, the knobs, and the deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocRequest {
+    /// The design to allocate.
+    pub source: GraphSource,
+    /// Search configuration (all cache-keyed).
+    pub knobs: Knobs,
+    /// Per-job deadline in milliseconds; `None` = the server default.
+    /// Not part of the cache key — the result of a completed job does
+    /// not depend on how long it was allowed to take.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Machine-readable error categories carried in the `kind` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON, missing/invalid fields, or an unknown benchmark.
+    BadRequest,
+    /// The CDFG text failed to parse (carries line/column).
+    Parse,
+    /// Scheduling failed (e.g. infeasible step count).
+    Schedule,
+    /// The allocation itself failed.
+    Alloc,
+    /// The job's deadline expired before the search completed.
+    Timeout,
+    /// The server is draining and no longer admits jobs.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire spelling of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Schedule => "schedule",
+            ErrorKind::Alloc => "alloc",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A structured service error, renderable as an error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// Category for programmatic handling.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// 1-based source line, for [`ErrorKind::Parse`].
+    pub line: Option<usize>,
+    /// 1-based byte column, for [`ErrorKind::Parse`].
+    pub column: Option<usize>,
+}
+
+impl ServeError {
+    /// An error with no source position.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ServeError { kind, message: message.into(), line: None, column: None }
+    }
+
+    /// Wraps a CDFG parse error, preserving its position.
+    pub fn from_parse(err: &ParseError) -> Self {
+        ServeError {
+            kind: ErrorKind::Parse,
+            message: err.to_string(),
+            line: (err.line > 0).then_some(err.line),
+            column: (err.column > 0).then_some(err.column),
+        }
+    }
+}
+
+/// Renders the `{"status":"error",...}` response object.
+pub fn error_response(err: &ServeError) -> Json {
+    let mut pairs = vec![
+        ("status", Json::Str("error".into())),
+        ("kind", Json::Str(err.kind.as_str().into())),
+        ("message", Json::Str(err.message.clone())),
+    ];
+    if let Some(line) = err.line {
+        pairs.push(("line", Json::Int(line as i64)));
+    }
+    if let Some(column) = err.column {
+        pairs.push(("column", Json::Int(column as i64)));
+    }
+    Json::obj(pairs)
+}
+
+/// Renders the backpressure rejection response.
+pub fn rejected_response(retry_after_ms: u64) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("rejected".into())),
+        ("retry_after_ms", Json::Int(retry_after_ms as i64)),
+    ])
+}
+
+/// Renders a successful allocation response around a report object.
+pub fn ok_response(report: Json) -> Json {
+    Json::obj(vec![("status", Json::Str("ok".into())), ("report", report)])
+}
+
+/// Resolves a benchmark alias (`hal` → `diffeq`, …) to its canonical
+/// workspace name.
+pub fn canonical_bench_name(name: &str) -> &str {
+    BENCH_ALIASES
+        .iter()
+        .find(|(alias, _)| *alias == name)
+        .map(|(_, canonical)| *canonical)
+        .unwrap_or(name)
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServeError::new(ErrorKind::BadRequest, format!("'{key}' must be a non-negative integer"))
+        }),
+    }
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<Option<f64>, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, format!("'{key}' must be a number"))),
+    }
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<bool, ServeError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, format!("'{key}' must be a boolean"))),
+    }
+}
+
+/// Upper bound on `restarts` per job — the queue bounds jobs, this bounds
+/// the work a single job may demand.
+pub const MAX_RESTARTS: usize = 4096;
+
+/// Parses one request object into a [`Command`].
+pub fn parse_command(request: &Json) -> Result<Command, ServeError> {
+    if !matches!(request, Json::Obj(_)) {
+        return Err(ServeError::new(ErrorKind::BadRequest, "request must be a JSON object"));
+    }
+    let cmd = request
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, "missing string field 'cmd'"))?;
+    match cmd {
+        "stats" => Ok(Command::Stats),
+        "ping" => Ok(Command::Ping),
+        "shutdown" => Ok(Command::Shutdown),
+        "allocate" => Ok(Command::Allocate(parse_alloc_request(request)?)),
+        other => Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("unknown cmd '{other}' (expected allocate, stats, ping or shutdown)"),
+        )),
+    }
+}
+
+fn parse_alloc_request(obj: &Json) -> Result<AllocRequest, ServeError> {
+    let bench = obj.get("bench").and_then(Json::as_str);
+    let text = obj.get("cdfg").and_then(Json::as_str);
+    let source = match (bench, text) {
+        (Some(name), None) => GraphSource::Bench(name.to_string()),
+        (None, Some(src)) => GraphSource::Text(src.to_string()),
+        (Some(_), Some(_)) => {
+            return Err(ServeError::new(
+                ErrorKind::BadRequest,
+                "give either 'bench' or 'cdfg', not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ServeError::new(
+                ErrorKind::BadRequest,
+                "allocate needs a design: 'bench' (name) or 'cdfg' (text)",
+            ))
+        }
+    };
+
+    let steps = field_u64(obj, "steps")?.map(|s| s as usize);
+    if steps == Some(0) {
+        return Err(ServeError::new(ErrorKind::BadRequest, "'steps' must be at least 1"));
+    }
+    let restarts = field_u64(obj, "restarts")?.map(|r| r as usize).unwrap_or(1);
+    if restarts == 0 || restarts > MAX_RESTARTS {
+        return Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("'restarts' must be in 1..={MAX_RESTARTS}"),
+        ));
+    }
+    let knobs = Knobs {
+        steps,
+        extra_regs: field_u64(obj, "extra_regs")?.map(|e| e as usize).unwrap_or(0),
+        seed: field_u64(obj, "seed")?.unwrap_or(42),
+        restarts,
+        threads: field_u64(obj, "threads")?.map(|t| (t as usize).max(1)),
+        cutoff: field_f64(obj, "cutoff")?,
+        pipelined: field_bool(obj, "pipelined")?,
+        traditional: field_bool(obj, "traditional")?,
+    };
+    Ok(AllocRequest { source, knobs, timeout_ms: field_u64(obj, "timeout_ms")? })
+}
+
+/// The content address of a job: FNV-1a 128 over the canonical CDFG text
+/// plus a canonical rendering of every search knob. Sound as a cache key
+/// because the canonical text is a print/parse fixpoint and the search is
+/// deterministic in (text, knobs) — see the crate docs.
+pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
+    let mut keyed = String::with_capacity(canonical_text.len() + 96);
+    keyed.push_str(canonical_text);
+    keyed.push_str("\x00knobs\x00");
+    keyed.push_str(&format!(
+        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};cutoff={:?};pipelined={};traditional={}",
+        knobs.steps,
+        knobs.extra_regs,
+        knobs.seed,
+        knobs.restarts,
+        knobs.threads,
+        knobs.cutoff,
+        knobs.pipelined,
+        knobs.traditional,
+    ));
+    fnv1a_128(keyed.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn parses_a_full_allocate_request() {
+        let req = parse_json(
+            r#"{"cmd":"allocate","bench":"ewf","steps":17,"seed":7,"restarts":4,
+                "threads":2,"cutoff":1.5,"extra_regs":1,"pipelined":true,
+                "traditional":true,"timeout_ms":2000}"#,
+        )
+        .unwrap();
+        let Command::Allocate(alloc) = parse_command(&req).unwrap() else {
+            panic!("expected allocate")
+        };
+        assert_eq!(alloc.source, GraphSource::Bench("ewf".into()));
+        assert_eq!(alloc.knobs.steps, Some(17));
+        assert_eq!(alloc.knobs.seed, 7);
+        assert_eq!(alloc.knobs.restarts, 4);
+        assert_eq!(alloc.knobs.threads, Some(2));
+        assert_eq!(alloc.knobs.cutoff, Some(1.5));
+        assert_eq!(alloc.knobs.extra_regs, 1);
+        assert!(alloc.knobs.pipelined);
+        assert!(alloc.knobs.traditional);
+        assert_eq!(alloc.timeout_ms, Some(2000));
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        let req = parse_json(r#"{"cmd":"allocate","bench":"dct"}"#).unwrap();
+        let Command::Allocate(alloc) = parse_command(&req).unwrap() else {
+            panic!("expected allocate")
+        };
+        assert_eq!(alloc.knobs, Knobs::default());
+        assert_eq!(alloc.knobs.seed, 42);
+        assert_eq!(alloc.timeout_ms, None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_bad_request() {
+        let cases = [
+            (r#"[1,2]"#, "object"),
+            (r#"{"bench":"ewf"}"#, "cmd"),
+            (r#"{"cmd":"frobnicate"}"#, "unknown cmd"),
+            (r#"{"cmd":"allocate"}"#, "needs a design"),
+            (r#"{"cmd":"allocate","bench":"ewf","cdfg":"x"}"#, "not both"),
+            (r#"{"cmd":"allocate","bench":"ewf","steps":0}"#, "steps"),
+            (r#"{"cmd":"allocate","bench":"ewf","restarts":0}"#, "restarts"),
+            (r#"{"cmd":"allocate","bench":"ewf","seed":-3}"#, "seed"),
+            (r#"{"cmd":"allocate","bench":"ewf","pipelined":"yes"}"#, "boolean"),
+        ];
+        for (raw, needle) in cases {
+            let req = parse_json(raw).unwrap();
+            let err = parse_command(&req).expect_err(raw);
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{raw}");
+            assert!(err.message.contains(needle), "{raw}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn seeds_above_i64_survive_the_wire() {
+        // u64 seeds near the top of the range are Int-encoded losslessly
+        // up to i64::MAX; beyond that the protocol rejects rather than
+        // silently rounding through a double.
+        let req = parse_json(&format!(r#"{{"cmd":"allocate","bench":"ewf","seed":{}}}"#, i64::MAX))
+            .unwrap();
+        let Command::Allocate(alloc) = parse_command(&req).unwrap() else { panic!() };
+        assert_eq!(alloc.knobs.seed, i64::MAX as u64);
+    }
+
+    #[test]
+    fn cache_key_separates_every_knob() {
+        let text = "cdfg t\ninput x\nop y = add x x\noutput y\n";
+        let base = Knobs::default();
+        let key = |k: &Knobs| cache_key(text, k);
+        let variants = [
+            Knobs { steps: Some(9), ..base.clone() },
+            Knobs { extra_regs: 1, ..base.clone() },
+            Knobs { seed: 43, ..base.clone() },
+            Knobs { restarts: 2, ..base.clone() },
+            Knobs { threads: Some(2), ..base.clone() },
+            Knobs { cutoff: Some(1.5), ..base.clone() },
+            Knobs { pipelined: true, ..base.clone() },
+            Knobs { traditional: true, ..base.clone() },
+        ];
+        let base_key = key(&base);
+        for v in &variants {
+            assert_ne!(key(v), base_key, "{v:?}");
+        }
+        // Different text, same knobs — different key too.
+        assert_ne!(cache_key("cdfg u\ninput x\nop y = add x x\noutput y\n", &base), base_key);
+        // Stable for identical inputs.
+        assert_eq!(key(&base), base_key);
+    }
+
+    #[test]
+    fn error_response_carries_position_for_parse_errors() {
+        let parse_err = salsa_cdfg::parse_cdfg("cdfg t\ninput x\nop y = add x nosuch\noutput y\n")
+            .expect_err("dangling reference");
+        let err = ServeError::from_parse(&parse_err);
+        let json = error_response(&err);
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("parse"));
+        assert_eq!(json.get("line").and_then(Json::as_i64), Some(3));
+        assert!(json.get("column").and_then(Json::as_i64).is_some());
+    }
+
+    #[test]
+    fn aliases_resolve_to_canonical_benchmarks() {
+        assert_eq!(canonical_bench_name("hal"), "diffeq");
+        assert_eq!(canonical_bench_name("fir"), "fir16");
+        assert_eq!(canonical_bench_name("ar"), "ar_lattice");
+        assert_eq!(canonical_bench_name("ewf"), "ewf");
+        assert_eq!(canonical_bench_name("dct"), "dct");
+    }
+}

@@ -1,0 +1,126 @@
+//! The allocation report as JSON — the one serializer shared by the
+//! server's `allocate` responses and the CLI's `--json` output mode, so a
+//! report reads identically whether it came over the wire or off the
+//! terminal.
+//!
+//! Key order is fixed (insertion-ordered objects), so serializing the
+//! same result twice yields the same bytes except for the timing fields,
+//! which measure the run that produced them.
+
+use salsa_alloc::AllocResult;
+use salsa_cdfg::Cdfg;
+use salsa_datapath::{bus_allocate, traffic_from_rtl};
+use salsa_sched::Schedule;
+
+use crate::json::Json;
+
+/// Serializes an allocation result (plus the schedule and knobs it was
+/// produced under) into the protocol's report object.
+pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocResult) -> Json {
+    let bus = bus_allocate(&traffic_from_rtl(&result.rtl));
+    let stats = &result.stats;
+    let portfolio = &result.portfolio;
+    Json::obj(vec![
+        ("design", Json::Str(graph.name().to_string())),
+        ("steps", Json::Int(schedule.n_steps() as i64)),
+        ("seed", Json::Int(seed as i64)),
+        ("cost", Json::Int(result.cost as i64)),
+        (
+            "breakdown",
+            Json::obj(vec![
+                ("fu_area", Json::Int(result.breakdown.fu_area as i64)),
+                ("registers", Json::Int(result.breakdown.used_regs as i64)),
+                ("mux_equiv", Json::Int(result.breakdown.mux_equiv as i64)),
+                ("connections", Json::Int(result.breakdown.connections as i64)),
+            ]),
+        ),
+        (
+            "mux",
+            Json::obj(vec![
+                ("point_to_point", Json::Int(result.breakdown.mux_equiv as i64)),
+                ("merged", Json::Int(result.merged_mux_count() as i64)),
+            ]),
+        ),
+        (
+            "bus",
+            Json::obj(vec![
+                ("buses", Json::Int(bus.num_buses() as i64)),
+                ("mux_equiv", Json::Int(bus.total_mux_equiv() as i64)),
+            ]),
+        ),
+        (
+            "search",
+            Json::obj(vec![
+                ("trials", Json::Int(stats.trials as i64)),
+                ("attempted", Json::Int(stats.attempted as i64)),
+                ("accepted", Json::Int(stats.accepted as i64)),
+                ("uphill_accepted", Json::Int(stats.uphill_accepted as i64)),
+                ("initial_cost", Json::Int(stats.initial_cost as i64)),
+                ("final_cost", Json::Int(stats.final_cost as i64)),
+                ("elapsed_ms", Json::Float(stats.elapsed_nanos as f64 / 1e6)),
+                ("moves_per_sec", Json::Float(stats.moves_per_sec())),
+            ]),
+        ),
+        (
+            "portfolio",
+            Json::obj(vec![
+                ("threads", Json::Int(portfolio.threads as i64)),
+                ("chains", Json::Int(portfolio.chains.len() as i64)),
+                ("completed", Json::Int(portfolio.completed() as i64)),
+                ("cutoff", Json::Int(portfolio.abandoned() as i64)),
+                ("winner_slot", Json::Int(portfolio.winner_slot as i64)),
+                ("speedup", Json::Float(portfolio.speedup())),
+            ]),
+        ),
+        ("verified", Json::Bool(result.verified())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_alloc::{Allocator, ImproveConfig};
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    #[test]
+    fn report_has_the_full_shape_and_consistent_numbers() {
+        let graph = salsa_cdfg::benchmarks::paper_example();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 4).unwrap();
+        let result = Allocator::new(&graph, &schedule, &library)
+            .seed(3)
+            .config(ImproveConfig {
+                max_trials: 2,
+                moves_per_trial: Some(100),
+                ..ImproveConfig::default()
+            })
+            .run()
+            .unwrap();
+        let json = report_json(&graph, &schedule, 3, &result);
+
+        assert_eq!(json.get("design").and_then(Json::as_str), Some("paper_example"));
+        assert_eq!(json.get("steps").and_then(Json::as_u64), Some(4));
+        assert_eq!(json.get("seed").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("cost").and_then(Json::as_u64), Some(result.cost));
+        assert_eq!(json.get("verified").and_then(Json::as_bool), Some(true));
+        let breakdown = json.get("breakdown").expect("breakdown");
+        assert_eq!(
+            breakdown.get("registers").and_then(Json::as_u64),
+            Some(result.breakdown.used_regs as u64)
+        );
+        let mux = json.get("mux").expect("mux");
+        assert!(
+            mux.get("merged").and_then(Json::as_u64).unwrap()
+                <= mux.get("point_to_point").and_then(Json::as_u64).unwrap(),
+            "merging never increases the mux count"
+        );
+        assert!(json.get("search").and_then(|s| s.get("attempted")).is_some());
+        assert!(json.get("portfolio").and_then(|p| p.get("chains")).is_some());
+
+        // The serializer is stable: same result, same bytes.
+        assert_eq!(
+            json.to_string_compact(),
+            report_json(&graph, &schedule, 3, &result).to_string_compact()
+        );
+    }
+}

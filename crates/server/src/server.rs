@@ -1,0 +1,490 @@
+//! The TCP service: accept loop, connection handling, the fixed worker
+//! pool, and graceful drain-then-exit shutdown.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! listener thread ── accepts, spawns one thread per connection
+//! connection threads ── parse requests; cache hits answered inline,
+//!                       misses pushed to the bounded queue (or rejected
+//!                       with backpressure), then block on the job reply
+//! worker pool (fixed) ── pop → schedule → portfolio search under the
+//!                        job's deadline token → serialize → cache →
+//!                        reply; per-worker scratch buffer reused across
+//!                        jobs
+//! ```
+//!
+//! Shutdown (via [`Server::begin_shutdown`] or the wire `shutdown`
+//! command) closes the queue: no new admissions, queued jobs still run
+//! to completion, workers exit when the queue drains, connection threads
+//! notice the flag within one read-timeout tick, and
+//! [`Server::join`] collects everything.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use salsa_alloc::CancelToken;
+use salsa_cdfg::Cdfg;
+
+use crate::cache::ResultCache;
+use crate::exec::{resolve_graph, run_allocation};
+use crate::json::{parse_json, Json};
+use crate::protocol::{
+    cache_key, error_response, ok_response, parse_command, rejected_response, Command, ErrorKind,
+    Knobs, ServeError,
+};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::ServerStats;
+
+/// How often blocked connection reads wake to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// Accept-loop poll period while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// How long [`Server::join`] waits for open connections to finish.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// Service tuning. All fields have serviceable defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed allocation worker pool size (min 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity; pushes beyond it are rejected with
+    /// backpressure (min 1).
+    pub queue_capacity: usize,
+    /// Result-cache capacity, in responses (min 1).
+    pub cache_capacity: usize,
+    /// Deadline applied to jobs that do not carry their own
+    /// `timeout_ms` (`None` = unbounded).
+    pub default_timeout_ms: Option<u64>,
+    /// The `retry_after_ms` hint sent with backpressure rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            default_timeout_ms: None,
+            retry_after_ms: 200,
+        }
+    }
+}
+
+/// One queued allocation job. The graph is resolved (and the cache
+/// consulted) in the connection thread, so workers only ever see
+/// well-formed work.
+struct Job {
+    graph: Cdfg,
+    knobs: Knobs,
+    key: u128,
+    deadline: Option<Instant>,
+    accepted_at: Instant,
+    reply: mpsc::Sender<Arc<String>>,
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    cache: ResultCache,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running allocation service. Bind with [`Server::bind`], stop with
+/// [`Server::shutdown`] (or the wire `shutdown` command followed by
+/// [`Server::join`]).
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
+    /// starts the listener and worker threads.
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            config: config.clone(),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("salsa-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("salsa-serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn listener")
+        };
+
+        Ok(Server { local_addr, shared, listener: Some(listener_handle), workers })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts the graceful drain: stop admitting, finish what is queued.
+    /// Idempotent; does not block.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has been initiated (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Waits for the service to exit: the accept loop, every worker, and
+    /// (bounded by a grace period) open connections. Blocks until the
+    /// wire `shutdown` command or [`begin_shutdown`](Server::begin_shutdown)
+    /// triggers the drain.
+    pub fn join(mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let deadline = Instant::now() + DRAIN_GRACE;
+        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Convenience: [`begin_shutdown`](Server::begin_shutdown) then
+    /// [`join`](Server::join).
+    pub fn shutdown(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("salsa-serve-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &conn_shared);
+                        conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let request = line.trim();
+                let mut closing = false;
+                if !request.is_empty() {
+                    let (response, end) = handle_line(request, shared);
+                    closing = end;
+                    let wrote = writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush());
+                    if wrote.is_err() {
+                        break;
+                    }
+                }
+                line.clear();
+                if closing {
+                    break;
+                }
+            }
+            // Timeout tick: partial data (if any) stays buffered in
+            // `line`; just poll the shutdown flag and keep reading.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shared.shutting_down() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one request line; returns the response line (no trailing
+/// newline) and whether the connection should close afterwards.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    let request = match parse_json(line) {
+        Ok(json) => json,
+        Err(e) => {
+            let err = ServeError::new(
+                ErrorKind::BadRequest,
+                format!("invalid JSON at byte {}: {}", e.offset, e.message),
+            );
+            return (error_response(&err).to_string_compact(), false);
+        }
+    };
+    let command = match parse_command(&request) {
+        Ok(command) => command,
+        Err(e) => return (error_response(&e).to_string_compact(), false),
+    };
+    match command {
+        Command::Ping => (
+            Json::obj(vec![("status", Json::Str("ok".into())), ("pong", Json::Bool(true))])
+                .to_string_compact(),
+            false,
+        ),
+        Command::Stats => (stats_response(shared).to_string_compact(), false),
+        Command::Shutdown => {
+            shared.begin_shutdown();
+            (
+                Json::obj(vec![
+                    ("status", Json::Str("ok".into())),
+                    ("shutting_down", Json::Bool(true)),
+                ])
+                .to_string_compact(),
+                true,
+            )
+        }
+        Command::Allocate(request) => {
+            let response = handle_allocate(shared, request.source, request.knobs, request.timeout_ms);
+            (response, false)
+        }
+    }
+}
+
+fn handle_allocate(
+    shared: &Arc<Shared>,
+    source: crate::protocol::GraphSource,
+    knobs: Knobs,
+    timeout_ms: Option<u64>,
+) -> String {
+    if shared.shutting_down() {
+        let err = ServeError::new(ErrorKind::ShuttingDown, "server is draining; not accepting jobs");
+        return error_response(&err).to_string_compact();
+    }
+    let graph = match resolve_graph(&source) {
+        Ok(graph) => graph,
+        Err(e) => return error_response(&e).to_string_compact(),
+    };
+    let key = cache_key(&graph.canonical_text(), &knobs);
+    if let Some(bytes) = shared.cache.get(key) {
+        // Exact hit: replay the stored response bytes verbatim.
+        return (*bytes).clone();
+    }
+
+    let deadline = timeout_ms
+        .or(shared.config.default_timeout_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (reply, receiver) = mpsc::channel();
+    let job = Job { graph, knobs, key, deadline, accepted_at: Instant::now(), reply };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.stats.record_accepted();
+            match receiver.recv() {
+                Ok(bytes) => (*bytes).clone(),
+                Err(_) => {
+                    let err = ServeError::new(ErrorKind::Alloc, "worker dropped the job");
+                    error_response(&err).to_string_compact()
+                }
+            }
+        }
+        Err(PushError::Full(_)) => {
+            shared.stats.record_rejected();
+            rejected_response(shared.config.retry_after_ms).to_string_compact()
+        }
+        Err(PushError::Closed(_)) => {
+            let err =
+                ServeError::new(ErrorKind::ShuttingDown, "server is draining; not accepting jobs");
+            error_response(&err).to_string_compact()
+        }
+    }
+}
+
+fn stats_response(shared: &Arc<Shared>) -> Json {
+    let snap = shared.stats.snapshot();
+    let cache = &shared.cache;
+    Json::obj(vec![
+        ("status", Json::Str("ok".into())),
+        (
+            "stats",
+            Json::obj(vec![
+                ("accepted", Json::Int(snap.accepted as i64)),
+                ("rejected", Json::Int(snap.rejected as i64)),
+                ("completed", Json::Int(snap.completed as i64)),
+                ("failed", Json::Int(snap.failed as i64)),
+                ("timeouts", Json::Int(snap.timeouts as i64)),
+                (
+                    "cache",
+                    Json::obj(vec![
+                        ("hits", Json::Int(cache.hits() as i64)),
+                        ("misses", Json::Int(cache.misses() as i64)),
+                        ("evictions", Json::Int(cache.evictions() as i64)),
+                        ("entries", Json::Int(cache.len() as i64)),
+                        ("hit_rate", Json::Float(cache.hit_rate())),
+                    ]),
+                ),
+                (
+                    "queue",
+                    Json::obj(vec![
+                        ("depth", Json::Int(shared.queue.depth() as i64)),
+                        ("capacity", Json::Int(shared.queue.capacity() as i64)),
+                    ]),
+                ),
+                (
+                    "latency_ms",
+                    Json::obj(vec![
+                        ("p50", Json::Float(snap.p50_ms)),
+                        ("p95", Json::Float(snap.p95_ms)),
+                        ("p99", Json::Float(snap.p99_ms)),
+                        ("samples", Json::Int(snap.samples as i64)),
+                    ]),
+                ),
+                ("workers", Json::Int(shared.config.workers as i64)),
+            ]),
+        ),
+    ])
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // Per-worker scratch buffer, reused across jobs: responses are built
+    // here and only the final bytes are copied into the shared Arc.
+    let mut scratch = String::new();
+    while let Some(job) = shared.queue.pop() {
+        process_job(shared, job, &mut scratch);
+    }
+}
+
+fn process_job(shared: &Arc<Shared>, job: Job, scratch: &mut String) {
+    let cancel = job.deadline.map(CancelToken::with_deadline);
+    let outcome = run_allocation(&job.graph, &job.knobs, cancel);
+    let latency = job.accepted_at.elapsed();
+    let bytes = match outcome {
+        Ok(report) => {
+            scratch.clear();
+            scratch.push_str(&ok_response(report).to_string_compact());
+            let bytes = Arc::new(scratch.clone());
+            shared.cache.insert(job.key, Arc::clone(&bytes));
+            shared.stats.record_completed(latency);
+            bytes
+        }
+        Err(err) => {
+            if err.kind == ErrorKind::Timeout {
+                shared.stats.record_timeout(latency);
+            } else {
+                shared.stats.record_failed(latency);
+            }
+            Arc::new(error_response(&err).to_string_compact())
+        }
+    };
+    // The client may have disconnected while waiting; nothing to do then.
+    let _ = job.reply.send(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> Json {
+        let mut line = request.to_string();
+        line.push('\n');
+        stream.write_all(line.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        parse_json(response.trim()).unwrap_or_else(|e| panic!("{response:?}: {e:?}"))
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_over_the_wire() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        let pong = roundtrip(&mut stream, r#"{"cmd":"ping"}"#);
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+        let stats = roundtrip(&mut stream, r#"{"cmd":"stats"}"#);
+        let body = stats.get("stats").expect("stats body");
+        assert_eq!(body.get("accepted").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            body.get("queue").and_then(|q| q.get("capacity")).and_then(Json::as_u64),
+            Some(ServerConfig::default().queue_capacity as u64)
+        );
+
+        let bye = roundtrip(&mut stream, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(bye.get("shutting_down").and_then(Json::as_bool), Some(true));
+        server.join();
+    }
+
+    #[test]
+    fn malformed_json_gets_a_structured_error_not_a_hangup() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let err = roundtrip(&mut stream, "{not json");
+        assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("bad-request"));
+        // The connection survives the bad line.
+        let pong = roundtrip(&mut stream, r#"{"cmd":"ping"}"#);
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,172 @@
+//! Service counters and a bounded latency reservoir.
+//!
+//! Counters are lock-free atomics bumped on the hot path; latencies go
+//! through a small mutex-guarded ring (a full histogram is overkill for
+//! jobs that take milliseconds to seconds). Percentiles are computed on
+//! demand from the reservoir — with at most [`RESERVOIR_CAP`] samples the
+//! sort is negligible next to one allocation job.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency samples kept for percentile estimation. Once full, the oldest
+/// sample is dropped — percentiles track the recent window, which is what
+/// an operator watching an overloaded service wants anyway.
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// Shared service counters. All methods take `&self`.
+#[derive(Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    timeouts: AtomicU64,
+    latencies: Mutex<std::collections::VecDeque<u64>>,
+}
+
+/// A point-in-time copy of the counters, plus derived percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Jobs refused with backpressure (queue full).
+    pub rejected: u64,
+    /// Jobs that finished with a valid allocation.
+    pub completed: u64,
+    /// Jobs that failed (schedule/allocation error).
+    pub failed: u64,
+    /// Jobs cancelled by their deadline.
+    pub timeouts: u64,
+    /// End-to-end job latency percentiles, milliseconds (0 when no
+    /// samples yet).
+    pub p50_ms: f64,
+    /// 95th percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// Samples currently in the reservoir.
+    pub samples: usize,
+}
+
+impl ServerStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a queue admission.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a backpressure rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful completion and its end-to-end latency.
+    pub fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    /// Records a failed job (still a latency sample — failures occupy a
+    /// worker too).
+    pub fn record_failed(&self, latency: Duration) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    /// Records a deadline expiry.
+    pub fn record_timeout(&self, latency: Duration) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.record_latency(latency);
+    }
+
+    fn record_latency(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut reservoir = self.latencies.lock().expect("stats poisoned");
+        if reservoir.len() >= RESERVOIR_CAP {
+            reservoir.pop_front();
+        }
+        reservoir.push_back(micros);
+    }
+
+    /// Copies the counters and computes latency percentiles.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let sorted = {
+            let reservoir = self.latencies.lock().expect("stats poisoned");
+            let mut v: Vec<u64> = reservoir.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            p50_ms: percentile_ms(&sorted, 50.0),
+            p95_ms: percentile_ms(&sorted, 95.0),
+            p99_ms: percentile_ms(&sorted, 99.0),
+            samples: sorted.len(),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending `sorted` sample of
+/// microsecond latencies, reported in milliseconds.
+pub fn percentile_ms(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let index = rank.clamp(1, sorted.len()) - 1;
+    sorted[index] as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).map(|i| i * 1000).collect(); // 1..=100 ms
+        assert_eq!(percentile_ms(&sorted, 50.0), 50.0);
+        assert_eq!(percentile_ms(&sorted, 95.0), 95.0);
+        assert_eq!(percentile_ms(&sorted, 99.0), 99.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(percentile_ms(&[7000], 99.0), 7.0);
+    }
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let stats = ServerStats::new();
+        stats.record_accepted();
+        stats.record_accepted();
+        stats.record_rejected();
+        stats.record_completed(Duration::from_millis(10));
+        stats.record_timeout(Duration::from_millis(5));
+        stats.record_failed(Duration::from_millis(1));
+        let snap = stats.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.samples, 3);
+        assert!(snap.p50_ms > 0.0);
+        assert!(snap.p99_ms >= snap.p50_ms);
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let stats = ServerStats::new();
+        for i in 0..(RESERVOIR_CAP + 100) {
+            stats.record_completed(Duration::from_micros(i as u64));
+        }
+        assert_eq!(stats.snapshot().samples, RESERVOIR_CAP);
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end service tests over real sockets: concurrent jobs, the
+//! content-addressed cache (byte-identical replay, observable only via
+//! the stats counters), per-job deadlines that do not poison their
+//! worker, queue-overflow backpressure, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use salsa_serve::{parse_json, Json, Server, ServerConfig};
+
+fn connect(server: &Server) -> TcpStream {
+    TcpStream::connect(server.local_addr()).expect("connect")
+}
+
+/// Sends one request line and reads one response line (raw bytes).
+fn send_line(stream: &mut TcpStream, request: &str) -> String {
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(response.ends_with('\n'), "response not newline-terminated: {response:?}");
+    response.trim_end().to_string()
+}
+
+fn send_json(stream: &mut TcpStream, request: &str) -> Json {
+    let raw = send_line(stream, request);
+    parse_json(&raw).unwrap_or_else(|e| panic!("bad response {raw:?}: {e:?}"))
+}
+
+fn stats(server: &Server) -> Json {
+    let mut stream = connect(server);
+    let response = send_json(&mut stream, r#"{"cmd":"stats"}"#);
+    response.get("stats").expect("stats body").clone()
+}
+
+fn stat_u64(stats: &Json, path: &[&str]) -> u64 {
+    let mut node = stats;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("missing {path:?}"));
+    }
+    node.as_u64().unwrap_or_else(|| panic!("{path:?} not a u64"))
+}
+
+#[test]
+fn concurrent_jobs_then_cache_replay_then_graceful_shutdown() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    // Two different benchmarks allocated concurrently on separate
+    // connections.
+    let ewf_request =
+        r#"{"cmd":"allocate","bench":"ewf","seed":1,"restarts":2,"threads":1,"timeout_ms":60000}"#;
+    let dct_request =
+        r#"{"cmd":"allocate","bench":"dct","seed":1,"restarts":1,"threads":1,"timeout_ms":60000}"#;
+    let (first_ewf, dct_response) = std::thread::scope(|scope| {
+        let addr = server.local_addr();
+        let ewf = scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            send_line(&mut stream, ewf_request)
+        });
+        let dct = scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            send_line(&mut stream, dct_request)
+        });
+        (ewf.join().unwrap(), dct.join().unwrap())
+    });
+    for (raw, design) in [(&first_ewf, "ewf"), (&dct_response, "dct")] {
+        let json = parse_json(raw).unwrap();
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"), "{raw}");
+        let report = json.get("report").expect("report");
+        assert_eq!(report.get("design").and_then(Json::as_str), Some(design));
+        assert_eq!(report.get("verified").and_then(Json::as_bool), Some(true));
+        assert!(report.get("cost").and_then(Json::as_u64).unwrap() > 0);
+    }
+    let after_misses = stats(&server);
+    assert_eq!(stat_u64(&after_misses, &["accepted"]), 2);
+    assert_eq!(stat_u64(&after_misses, &["completed"]), 2);
+    assert_eq!(stat_u64(&after_misses, &["cache", "hits"]), 0);
+    assert_eq!(stat_u64(&after_misses, &["cache", "misses"]), 2);
+
+    // The identical request again: served from the cache — observable
+    // only through the counters — and byte-identical to the first reply.
+    let mut stream = connect(&server);
+    let replay = send_line(&mut stream, ewf_request);
+    assert_eq!(replay, first_ewf, "cache replay must be byte-identical");
+    let after_hit = stats(&server);
+    assert_eq!(stat_u64(&after_hit, &["cache", "hits"]), 1);
+    assert_eq!(stat_u64(&after_hit, &["completed"]), 2, "no new job ran for the hit");
+    assert_eq!(stat_u64(&after_hit, &["accepted"]), 2, "the hit never touched the queue");
+
+    // Graceful shutdown over the wire: the drain acknowledges, the
+    // server exits, and the port stops accepting.
+    let mut stream = connect(&server);
+    let bye = send_json(&mut stream, r#"{"cmd":"shutdown"}"#);
+    assert_eq!(bye.get("shutting_down").and_then(Json::as_bool), Some(true));
+    let addr = server.local_addr();
+    server.join();
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = TcpStream::connect_timeout(&addr.to_string().parse().unwrap(), Duration::from_millis(200));
+    assert!(refused.is_err(), "listener still accepting after graceful shutdown");
+}
+
+#[test]
+fn deadline_timeout_does_not_poison_the_worker() {
+    // One worker: if the timed-out job left it wedged, the follow-up job
+    // could never complete.
+    let config = ServerConfig { workers: 1, queue_capacity: 4, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let mut stream = connect(&server);
+
+    // 4096 restarts of EWF cannot finish in 300 ms; the deadline trips
+    // the cooperative cancel and the job reports a timeout.
+    let timeout = send_json(
+        &mut stream,
+        r#"{"cmd":"allocate","bench":"ewf","restarts":4096,"threads":1,"timeout_ms":300}"#,
+    );
+    assert_eq!(timeout.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(timeout.get("kind").and_then(Json::as_str), Some("timeout"));
+
+    // The same worker then serves a normal job.
+    let ok = send_json(
+        &mut stream,
+        r#"{"cmd":"allocate","bench":"paper_example","seed":5,"timeout_ms":60000}"#,
+    );
+    assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"), "{ok}");
+
+    let snapshot = stats(&server);
+    assert_eq!(stat_u64(&snapshot, &["timeouts"]), 1);
+    assert_eq!(stat_u64(&snapshot, &["completed"]), 1);
+    server.shutdown();
+}
+
+#[test]
+fn queue_overflow_yields_backpressure_rejection() {
+    // One worker, queue of one: a running job plus a queued job saturate
+    // the service; the third submission must be rejected, not buffered.
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 125,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let slow = |seed: u64| {
+        format!(
+            r#"{{"cmd":"allocate","bench":"ewf","seed":{seed},"restarts":4096,"threads":1,"timeout_ms":1500}}"#
+        )
+    };
+    std::thread::scope(|scope| {
+        let occupant = scope.spawn(|| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            send_line(&mut stream, &slow(1))
+        });
+        std::thread::sleep(Duration::from_millis(250)); // worker now busy
+        let queued = scope.spawn(|| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            send_line(&mut stream, &slow(2))
+        });
+        std::thread::sleep(Duration::from_millis(250)); // queue now full
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let rejection = send_json(&mut stream, &slow(3));
+        assert_eq!(
+            rejection.get("status").and_then(Json::as_str),
+            Some("rejected"),
+            "{rejection}"
+        );
+        assert_eq!(rejection.get("retry_after_ms").and_then(Json::as_u64), Some(125));
+
+        // The in-flight jobs still resolve (as timeouts, given their
+        // short deadlines) — rejection sheds load without breaking them.
+        occupant.join().unwrap();
+        queued.join().unwrap();
+    });
+    let snapshot = stats(&server);
+    assert!(stat_u64(&snapshot, &["rejected"]) >= 1);
+    assert_eq!(stat_u64(&snapshot, &["accepted"]), 2);
+    server.shutdown();
+}

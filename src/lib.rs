@@ -13,7 +13,10 @@
 //! * [`alloc`] — the SALSA extended binding model and allocator (the
 //!   paper's contribution),
 //! * [`baseline`] — traditional-binding-model comparators,
-//! * [`rtlgen`] — structural Verilog export of allocated datapaths.
+//! * [`rtlgen`] — structural Verilog export of allocated datapaths,
+//! * [`serve`] — the TCP allocation service (bounded job queue,
+//!   content-addressed result cache, worker pool with per-job
+//!   deadlines) and the JSON report serializer.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use salsa_cdfg as cdfg;
 pub use salsa_rtlgen as rtlgen;
 pub use salsa_datapath as datapath;
 pub use salsa_sched as sched;
+pub use salsa_serve as serve;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

@@ -9,12 +9,14 @@
 //!                    [--pipelined] [--traditional] [--controller]
 //!                    [--verilog PATH] [--testbench PATH] [--dot PATH]
 //! salsa-hls bench    <name|--list>                    run a built-in benchmark
+//! salsa-hls serve    [--addr H:P] [--workers N] [--queue N] [--cache N]
+//! salsa-hls submit   [--addr H:P] (--bench NAME | <file.cdfg>) [knobs...]
 //! ```
 //!
 //! `<file.cdfg>` uses the text format documented in
 //! [`salsa_cdfg::parse_cdfg`]; pass `-` to read standard input.
 
-use std::io::Read as _;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
 
 use salsa_hls::alloc::{Allocator, ImproveConfig, MoveSet};
@@ -22,6 +24,7 @@ use salsa_hls::cdfg::{parse_cdfg, Cdfg};
 use salsa_hls::datapath::{bus_allocate, traffic_from_rtl};
 use salsa_hls::rtlgen::{control_table, generate_testbench, generate_verilog, VerilogOptions};
 use salsa_hls::sched::{asap, fds_schedule, FuClass, FuLibrary};
+use salsa_hls::serve::{parse_json, report_json, Json, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +45,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => schedule_cmd(args),
         "allocate" => allocate(args),
         "bench" => bench(args),
+        "serve" => serve(args),
+        "submit" => submit(args),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -60,13 +65,25 @@ usage:
   salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
                      [--restarts R] [--threads T] [--cutoff F]
                      [--pipelined] [--traditional] [--controller] [--report]
-                     [--verilog PATH] [--testbench PATH] [--dot PATH]
+                     [--json] [--verilog PATH] [--testbench PATH] [--dot PATH]
   salsa-hls bench    <name|--list>
+  salsa-hls serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+                     [--default-timeout-ms MS]
+  salsa-hls submit   [--addr HOST:PORT] (--bench NAME | <file.cdfg>)
+                     [--steps N] [--extra-regs K] [--seed S] [--restarts R]
+                     [--threads T] [--cutoff F] [--pipelined] [--traditional]
+                     [--timeout-ms MS] [--pretty]
+  salsa-hls submit   [--addr HOST:PORT] (--ping | --stats | --shutdown)
 
 --restarts runs R independent seeded search chains and keeps the best;
 --threads caps the portfolio workers spreading those chains (default: the
 machine's parallelism; 1 reproduces the sequential loop bit-for-bit);
 --cutoff sets the shared best-bound cutoff factor (>= 1.0, default 1.25).
+
+serve starts the allocation service (newline-delimited JSON over TCP;
+default 127.0.0.1:7741, port 0 picks a free port) and runs until a
+shutdown command drains it; submit sends one request and prints the
+response (--json reports use the same serializer in both).
 
 <file.cdfg> is the text CDFG format ('-' reads stdin), e.g.:
   cdfg iir1
@@ -182,8 +199,9 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
         MoveSet::full()
     };
     let config = ImproveConfig { move_set, ..ImproveConfig::default() };
+    let seed = flag_parse(args, "--seed")?.unwrap_or(42);
     let mut allocator = Allocator::new(graph, &schedule, &lib)
-        .seed(flag_parse(args, "--seed")?.unwrap_or(42))
+        .seed(seed)
         .extra_registers(flag_parse(args, "--extra-regs")?.unwrap_or(0))
         .restarts(flag_parse(args, "--restarts")?.unwrap_or(1))
         .config(config);
@@ -195,20 +213,25 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
     }
     let result = allocator.run().map_err(|e| e.to_string())?;
 
-    println!("{}", result.datapath);
-    println!("cost breakdown: {}", result.breakdown);
-    println!(
-        "equivalent 2-1 muxes: {} point-to-point, {} after merging",
-        result.breakdown.mux_equiv,
-        result.merged_mux_count()
-    );
-    let bus = bus_allocate(&traffic_from_rtl(&result.rtl));
-    println!(
-        "bus style: {} buses, {} total 2-1 equivalents",
-        bus.num_buses(),
-        bus.total_mux_equiv()
-    );
-    println!("\n{}", result.rtl);
+    if has_flag(args, "--json") {
+        // Same serializer as the server's allocate responses.
+        println!("{}", report_json(graph, &schedule, seed, &result).to_string_pretty());
+    } else {
+        println!("{}", result.datapath);
+        println!("cost breakdown: {}", result.breakdown);
+        println!(
+            "equivalent 2-1 muxes: {} point-to-point, {} after merging",
+            result.breakdown.mux_equiv,
+            result.merged_mux_count()
+        );
+        let bus = bus_allocate(&traffic_from_rtl(&result.rtl));
+        println!(
+            "bus style: {} buses, {} total 2-1 equivalents",
+            bus.num_buses(),
+            bus.total_mux_equiv()
+        );
+        println!("\n{}", result.rtl);
+    }
     if has_flag(args, "--report") {
         println!("{}", salsa_hls::alloc::report(graph, &schedule, &result));
     }
@@ -248,6 +271,137 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
         println!("dot written to {path}");
     }
     Ok(())
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7741";
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let mut config = ServerConfig::default();
+    if let Some(workers) = flag_parse(args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(capacity) = flag_parse(args, "--queue")? {
+        config.queue_capacity = capacity;
+    }
+    if let Some(capacity) = flag_parse(args, "--cache")? {
+        config.cache_capacity = capacity;
+    }
+    if let Some(ms) = flag_parse(args, "--default-timeout-ms")? {
+        config.default_timeout_ms = Some(ms);
+    }
+    let server = Server::bind(&addr, config).map_err(|e| format!("{addr}: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    // The banner must reach pipes promptly: scripts wait for it before
+    // submitting.
+    let _ = std::io::stdout().flush();
+    server.join();
+    println!("drained and stopped");
+    Ok(())
+}
+
+fn submit(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let request = build_submit_request(args)?;
+
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("{addr}: {e} (is 'salsa-hls serve' running?)"))?;
+    let mut line = request.to_string_compact();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).map_err(|e| format!("{addr}: send: {e}"))?;
+    let mut response = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stream), &mut response)
+        .map_err(|e| format!("{addr}: receive: {e}"))?;
+    let response = response.trim_end();
+    if response.is_empty() {
+        return Err(format!("{addr}: server closed the connection without replying"));
+    }
+
+    let parsed = parse_json(response)
+        .map_err(|e| format!("{addr}: unparsable response: {} ({response})", e.message))?;
+    if has_flag(args, "--pretty") {
+        println!("{}", parsed.to_string_pretty());
+    } else {
+        println!("{response}");
+    }
+    match parsed.get("status").and_then(Json::as_str) {
+        Some("ok") => Ok(()),
+        Some("rejected") => {
+            let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
+            Err(format!("rejected with backpressure (retry after {hint} ms)"))
+        }
+        Some("error") => {
+            let kind = parsed.get("kind").and_then(Json::as_str).unwrap_or("?");
+            let message = parsed.get("message").and_then(Json::as_str).unwrap_or("");
+            Err(format!("server error [{kind}]: {message}"))
+        }
+        other => Err(format!("unexpected response status {other:?}")),
+    }
+}
+
+/// The first token after `submit` that is neither a flag nor the value
+/// of a value-taking flag — the `.cdfg` path operand.
+fn submit_positional(args: &[String]) -> Option<&String> {
+    const VALUE_FLAGS: &[&str] = &[
+        "--addr", "--bench", "--steps", "--extra-regs", "--seed", "--restarts", "--threads",
+        "--cutoff", "--timeout-ms",
+    ];
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            i += if VALUE_FLAGS.contains(&arg.as_str()) { 2 } else { 1 };
+        } else {
+            return Some(arg);
+        }
+    }
+    None
+}
+
+fn build_submit_request(args: &[String]) -> Result<Json, String> {
+    for (flag, cmd) in [("--ping", "ping"), ("--stats", "stats"), ("--shutdown", "shutdown")] {
+        if has_flag(args, flag) {
+            return Ok(Json::obj(vec![("cmd", Json::Str(cmd.to_string()))]));
+        }
+    }
+    let mut pairs = vec![("cmd".to_string(), Json::Str("allocate".to_string()))];
+    if let Some(bench) = flag_value(args, "--bench")? {
+        pairs.push(("bench".to_string(), Json::Str(bench)));
+    } else {
+        let path = submit_positional(args)
+            .ok_or("submit needs --bench NAME, a .cdfg file ('-' for stdin), or --ping/--stats/--shutdown")?;
+        let text = if path == "-" {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buffer
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        };
+        pairs.push(("cdfg".to_string(), Json::Str(text)));
+    }
+    for (flag, key) in [
+        ("--steps", "steps"),
+        ("--extra-regs", "extra_regs"),
+        ("--seed", "seed"),
+        ("--restarts", "restarts"),
+        ("--threads", "threads"),
+        ("--timeout-ms", "timeout_ms"),
+    ] {
+        if let Some(value) = flag_parse::<i64>(args, flag)? {
+            pairs.push((key.to_string(), Json::Int(value)));
+        }
+    }
+    if let Some(cutoff) = flag_parse::<f64>(args, "--cutoff")? {
+        pairs.push(("cutoff".to_string(), Json::Float(cutoff)));
+    }
+    for (flag, key) in [("--pipelined", "pipelined"), ("--traditional", "traditional")] {
+        if has_flag(args, flag) {
+            pairs.push((key.to_string(), Json::Bool(true)));
+        }
+    }
+    Ok(Json::Obj(pairs))
 }
 
 fn bench(args: &[String]) -> Result<(), String> {

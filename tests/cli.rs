@@ -127,6 +127,67 @@ fn infeasible_schedule_is_a_clean_error() {
 }
 
 #[test]
+fn allocate_json_emits_the_protocol_report() {
+    let path = write_temp(IIR);
+    let out = Command::new(BIN)
+        .args(["allocate", path.to_str().unwrap(), "--steps", "4", "--seed", "7", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let json = salsa_hls::serve::parse_json(text.trim()).expect("--json output parses as JSON");
+    assert_eq!(json.get("design").and_then(|d| d.as_str()), Some("iir1"));
+    assert_eq!(json.get("seed").and_then(|s| s.as_u64()), Some(7));
+    assert_eq!(json.get("verified").and_then(|v| v.as_bool()), Some(true));
+    assert!(json.get("breakdown").is_some());
+    assert!(json.get("search").is_some());
+}
+
+#[test]
+fn serve_and_submit_roundtrip() {
+    // Start a server on an OS-assigned port, wait for the banner, then
+    // drive it with `submit`: a benchmark job, a malformed job (structured
+    // error + nonzero exit), stats, and the graceful shutdown.
+    use std::io::{BufRead as _, BufReader};
+    let mut server = Command::new(BIN)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    BufReader::new(server.stdout.as_mut().unwrap()).read_line(&mut banner).unwrap();
+    let addr = banner.trim().strip_prefix("listening on ").expect("banner").to_string();
+
+    let ok = Command::new(BIN)
+        .args(["submit", "--addr", &addr, "--bench", "paper_example", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    let response = String::from_utf8(ok.stdout).unwrap();
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+    assert!(response.contains("\"design\":\"paper_example\""), "{response}");
+
+    let bad = write_temp("cdfg t\ninput x\nop y = add x nosuch\noutput y\n");
+    let err = Command::new(BIN)
+        .args(["submit", "--addr", &addr, bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!err.status.success(), "malformed job must exit nonzero");
+    let response = String::from_utf8(err.stdout).unwrap();
+    assert!(response.contains("\"kind\":\"parse\""), "{response}");
+    assert!(response.contains("\"line\":3"), "{response}");
+
+    let stats = Command::new(BIN).args(["submit", "--addr", &addr, "--stats"]).output().unwrap();
+    assert!(stats.status.success());
+    assert!(String::from_utf8(stats.stdout).unwrap().contains("\"completed\":1"));
+
+    let bye = Command::new(BIN).args(["submit", "--addr", &addr, "--shutdown"]).output().unwrap();
+    assert!(bye.status.success());
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exits cleanly after the drain");
+}
+
+#[test]
 fn controller_and_testbench_flags_work() {
     let path = write_temp(IIR);
     let tb_path = std::env::temp_dir().join(format!("salsa_cli_{}_tb.v", std::process::id()));
