@@ -178,6 +178,12 @@ fn bench_moves(c: &mut Criterion) {
          {fresh} fresh allocations ({:.1}% reuse)",
         100.0 * reused as f64 / (reused + fresh).max(1) as f64
     );
+    // The claim, enforced: a sustained stream recycles far more chain
+    // buffers than it allocates (fresh allocations are warm-up only).
+    assert!(
+        reused > 10 * fresh.max(1),
+        "chain-pool reuse regressed: {reused} pooled vs {fresh} fresh"
+    );
 }
 
 criterion_group!(benches, bench_moves);

@@ -1,7 +1,8 @@
 //! Allocation-trajectory timings: runs the EWF and DCT allocations at
 //! fixed seeds — once sequentially (`threads = 1`, the legacy multi-seed
-//! loop) and once as a parallel portfolio — and writes `BENCH_alloc.json`
-//! at the repository root.
+//! loop), once as a parallel portfolio, and once per inner-loop protocol
+//! (plain sequential vs speculative move batches on a single chain) — and
+//! writes `BENCH_alloc.json` at the repository root.
 //!
 //! The JSON carries two sections (schema documented in EXPERIMENTS.md):
 //!
@@ -37,6 +38,7 @@ struct Record {
     seed: u64,
     threads: usize,
     chains: usize,
+    batch: Option<usize>,
     completed: usize,
     cutoff: usize,
     wall_secs: f64,
@@ -47,33 +49,39 @@ struct Record {
     verified: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     name: &'static str,
+    mode: &'static str,
     graph: &Cdfg,
     steps: usize,
     seed: u64,
     effort: Effort,
     chains: usize,
     threads: usize,
+    batch: Option<usize>,
 ) -> Record {
     let library = FuLibrary::standard();
     let schedule = fds_schedule(graph, &library, steps).unwrap_or_else(|e| panic!("{name}: {e}"));
     let start = Instant::now();
-    let result = Allocator::new(graph, &schedule, &library)
+    let mut allocator = Allocator::new(graph, &schedule, &library)
         .seed(seed)
         .config(effort.config(MoveSet::full()))
         .restarts(chains)
-        .threads(threads)
-        .run()
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        .threads(threads);
+    if let Some(k) = batch {
+        allocator = allocator.batch(k);
+    }
+    let result = allocator.run().unwrap_or_else(|e| panic!("{name}: {e}"));
     let wall_secs = start.elapsed().as_secs_f64();
     Record {
         name,
-        mode: if threads == 1 { "sequential" } else { "portfolio" },
+        mode,
         steps,
         seed,
         threads,
         chains,
+        batch,
         completed: result.portfolio.completed(),
         cutoff: result.portfolio.abandoned(),
         wall_secs,
@@ -105,6 +113,9 @@ fn record_json(r: &Record) -> String {
         r.moves_per_sec,
         r.verified
     );
+    if let Some(k) = r.batch {
+        let _ = write!(row, ", \"batch\": {k}");
+    }
     if let Some(s) = r.speedup_vs_sequential {
         let _ = write!(row, ", \"speedup_vs_sequential\": {s:.2}");
     }
@@ -123,7 +134,7 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or(4)
         .max(2);
-    let pr = flag_value("--pr").unwrap_or_else(|| "PR2".to_string());
+    let pr = flag_value("--pr").unwrap_or_else(|| "PR4-batch".to_string());
     // Enough chains that the portfolio has real work to spread; both modes
     // run the identical seed set so the wall-clock ratio is an honest
     // same-work speedup.
@@ -138,11 +149,23 @@ fn main() {
     ];
     let mut records = Vec::new();
     for (name, graph, steps, seed) in &cases {
-        let seq = run(name, graph, *steps, *seed, effort, chains, 1);
-        let mut par = run(name, graph, *steps, *seed, effort, chains, threads);
+        let seq = run(name, "sequential", graph, *steps, *seed, effort, chains, 1, None);
+        let mut par = run(name, "portfolio", graph, *steps, *seed, effort, chains, threads, None);
         par.speedup_vs_sequential = Some(seq.wall_secs / par.wall_secs.max(1e-9));
         records.push(seq);
         records.push(par);
+
+        // The inner-loop protocol comparison on a single chain: the plain
+        // sequential accept loop vs speculative batches of 8 graded by
+        // `--threads` evaluators. Same seed; the batched trajectory is its
+        // own deterministic function of (seed, batch), so costs may differ.
+        let inner = run(name, "inner-sequential", graph, *steps, *seed, effort, 1, 1, None);
+        let mut batched =
+            run(name, "inner-batched", graph, *steps, *seed, effort, 1, threads, Some(8));
+        batched.speedup_vs_sequential =
+            Some(batched.moves_per_sec / inner.moves_per_sec.max(1e-9));
+        records.push(inner);
+        records.push(batched);
     }
 
     let path = BENCH_FILE;
@@ -173,16 +196,27 @@ fn main() {
             .map(|s| format!(" speedup={s:.2}x"))
             .unwrap_or_default();
         println!(
-            "{:<8} {:<10} threads={:<2} chains={} ({} completed, {} cutoff) {:.2}s cost={} \
+            "{:<16} {:<16} threads={:<2} chains={} ({} completed, {} cutoff) {:.2}s cost={} \
              {} moves ({:.0} moves/sec){} verified={}",
             r.name, r.mode, r.threads, r.chains, r.completed, r.cutoff, r.wall_secs,
             r.final_cost, r.attempted, r.moves_per_sec, speedup, r.verified
         );
     }
-    for pair in records.chunks(2) {
-        if let [seq, par] = pair {
+    for group in records.chunks(4) {
+        if let [seq, par, inner, batched] = group {
             let mark = if seq.final_cost == par.final_cost { "match" } else { "DIFFER" };
             println!("{:<8} sequential vs portfolio cost: {mark}", seq.name);
+            println!(
+                "{:<8} inner loop: {:.0} moves/sec sequential, {:.0} moves/sec batched x{} \
+                 ({:.2}x throughput, cost {} vs {})",
+                seq.name,
+                inner.moves_per_sec,
+                batched.moves_per_sec,
+                batched.batch.unwrap_or(1),
+                batched.speedup_vs_sequential.unwrap_or(0.0),
+                inner.final_cost,
+                batched.final_cost
+            );
         }
     }
     println!("wrote {path}");

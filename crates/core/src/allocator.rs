@@ -115,6 +115,21 @@ impl<'a> Allocator<'a> {
         self
     }
 
+    /// Enables the speculative move-batch engine: every step draws `k`
+    /// proposals, grades their cost deltas in parallel against the frozen
+    /// base, and commits the non-conflicting prefix in proposal order.
+    /// Deterministic in `(seed, k)` and invariant to thread count;
+    /// `batch(1)` reproduces the sequential trajectory bit-for-bit.
+    ///
+    /// Evaluation threads follow the [`threads`](Allocator::threads) knob,
+    /// split evenly across concurrently running restart chains, unless the
+    /// improve configuration sets
+    /// [`eval_threads`](ImproveConfig::eval_threads) above 1 explicitly.
+    pub fn batch(mut self, k: usize) -> Self {
+        self.config.batch = Some(k.max(1));
+        self
+    }
+
     /// Sets the portfolio best-bound cutoff factor (clamped to `>= 1.0`):
     /// a chain abandons once its best-so-far exceeds `factor` times the
     /// global best after its minimum trial count.
@@ -163,8 +178,17 @@ impl<'a> Allocator<'a> {
         // Restarts are a parallel portfolio: independent seeded chains on
         // scoped workers sharing a best-bound cutoff, reduced
         // deterministically by (cost, seed) — see the `portfolio` module.
+        // With batching on, the thread budget not consumed by concurrent
+        // chains grades move batches instead (never affecting the result,
+        // which is thread-count invariant).
+        let mut config = self.config.clone();
+        if config.batch.is_some() && config.eval_threads <= 1 {
+            let threads = self.portfolio.effective_threads();
+            let chains = threads.min(self.restarts).max(1);
+            config.eval_threads = (threads / chains).max(1);
+        }
         let outcome =
-            portfolio_search(&ctx, &self.config, &self.portfolio, self.seed, self.restarts)?;
+            portfolio_search(&ctx, &config, &self.portfolio, self.seed, self.restarts)?;
         let (cost, binding, stats) = (outcome.cost, outcome.binding, outcome.stats);
 
         let (rtl, claims) = lower(&binding);

@@ -1,0 +1,770 @@
+//! Speculative intra-trial move batches (the parallel-moves split, in
+//! contrast to the `portfolio` module's parallel-chains split).
+//!
+//! Each step the search RNG proposes a batch of `K` moves up front — all
+//! drawn single-threaded against the same frozen base binding, so the RNG
+//! stream is exactly the sequential one. Worker threads then evaluate the
+//! proposals concurrently: each is applied inside a transaction on a
+//! worker-private replica of the base, its exact weighted-cost delta and
+//! its *footprint* (the ops, values, registers and units its undo journal
+//! touches) are extracted, and the replica is rolled back — the base is
+//! never mutated. Finally a sequential committer walks the batch in
+//! proposal order, accepting or rejecting on the speculative delta and
+//! skipping any proposal whose footprint intersects one already committed
+//! in the same batch (a skipped proposal consumes no move budget, so its
+//! slot is re-drawn in a later batch rather than silently lost).
+//!
+//! **Why the deltas stay exact.** Every cost interaction between moves
+//! flows through state the journal records at cell granularity: connection
+//! matrix entries (both endpoints marked), register/unit occupancy cells,
+//! chain slots and pass bindings. Two proposals with disjoint footprints
+//! therefore touch disjoint cost terms, and their deltas compose
+//! additively; the committer asserts `current + delta` against a full
+//! recount in debug builds. The accept rule (`delta <= 0`, bounded uphill
+//! otherwise) depends only on the delta, never on the absolute cost, so it
+//! is unaffected by earlier commits in the batch.
+//!
+//! **Determinism.** Proposal drawing, conflict resolution and commit order
+//! are all sequential functions of `(seed, batch)`; workers only fill an
+//! indexed result table, so the outcome is invariant to the evaluation
+//! thread count — and with `batch == 1` a batch is one proposal evaluated
+//! against its own base, which reproduces the sequential trajectory
+//! bit-for-bit (same RNG draws, same accepts, same binding). That extends
+//! the portfolio determinism contract the `salsa-serve` result cache keys
+//! on: `(seed, batch)` joins the cache key, thread counts do not.
+
+use std::sync::{Condvar, Mutex, RwLock};
+
+use rand::rngs::StdRng;
+
+use salsa_cdfg::{OpId, ValueId};
+use salsa_datapath::{CostWeights, FuId, RegId, Sink, Source};
+
+use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
+use crate::improve::{weighted_cost, ImproveConfig, ImproveStats, SearchExit, SearchWatch};
+use crate::moves::{apply_proposal, propose_move, MoveSet, Proposal};
+use crate::{Binding, TransferKey};
+
+/// A fixed-capacity bitset over one id space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn with_bits(bits: usize) -> Self {
+        BitSet { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    fn set(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1 << (bit % 64);
+    }
+
+    fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// `other ⊆ self`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn covers(&self, other: &BitSet) -> bool {
+        other.words.iter().zip(&self.words).all(|(o, s)| o & !s == 0)
+    }
+
+    fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// The state a move touches: the ops, values, registers and functional
+/// units its undo journal mentions. Two moves with disjoint footprints
+/// read and write disjoint binding state (and disjoint cost terms), so
+/// they commute and their cost deltas add.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Footprint {
+    ops: BitSet,
+    values: BitSet,
+    regs: BitSet,
+    fus: BitSet,
+}
+
+impl Footprint {
+    /// An empty footprint sized for `binding`'s context.
+    pub(crate) fn for_binding(binding: &Binding<'_>) -> Self {
+        let ctx = binding.ctx();
+        Footprint {
+            ops: BitSet::with_bits(ctx.graph.num_ops()),
+            values: BitSet::with_bits(ctx.graph.num_values()),
+            regs: BitSet::with_bits(ctx.datapath.num_regs()),
+            fus: BitSet::with_bits(ctx.datapath.num_fus()),
+        }
+    }
+
+    pub(crate) fn mark_op(&mut self, op: OpId) {
+        self.ops.set(op.index());
+    }
+
+    pub(crate) fn mark_value(&mut self, value: ValueId) {
+        self.values.set(value.index());
+    }
+
+    pub(crate) fn mark_reg(&mut self, reg: RegId) {
+        self.regs.set(reg.index());
+    }
+
+    pub(crate) fn mark_fu(&mut self, fu: FuId) {
+        self.fus.set(fu.index());
+    }
+
+    /// A transfer key is identified by the value whose storage it moves
+    /// (boundary transfers by the receiving state value).
+    pub(crate) fn mark_transfer(&mut self, key: TransferKey) {
+        match key {
+            TransferKey::Intra { value, .. } | TransferKey::CopyFeed { value, .. } => {
+                self.mark_value(value)
+            }
+            TransferKey::Boundary { state } => self.mark_value(state),
+        }
+    }
+
+    /// Connection endpoints mark their resource: mux cost is a function of
+    /// a sink's whole fanin, so any two moves touching the same endpoint
+    /// must serialize.
+    pub(crate) fn mark_source(&mut self, src: Source) {
+        match src {
+            Source::FuOut(fu) => self.mark_fu(fu),
+            Source::RegOut(reg) => self.mark_reg(reg),
+        }
+    }
+
+    pub(crate) fn mark_sink(&mut self, sink: Sink) {
+        match sink {
+            Sink::FuIn(fu, _) => self.mark_fu(fu),
+            Sink::RegIn(reg) => self.mark_reg(reg),
+        }
+    }
+
+    pub(crate) fn intersects(&self, other: &Footprint) -> bool {
+        self.ops.intersects(&other.ops)
+            || self.values.intersects(&other.values)
+            || self.regs.intersects(&other.regs)
+            || self.fus.intersects(&other.fus)
+    }
+
+    /// `other ⊆ self` in every dimension.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn covers(&self, other: &Footprint) -> bool {
+        self.ops.covers(&other.ops)
+            && self.values.covers(&other.values)
+            && self.regs.covers(&other.regs)
+            && self.fus.covers(&other.fus)
+    }
+
+    pub(crate) fn union_with(&mut self, other: &Footprint) {
+        self.ops.union_with(&other.ops);
+        self.values.union_with(&other.values);
+        self.regs.union_with(&other.regs);
+        self.fus.union_with(&other.fus);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.ops.clear();
+        self.values.clear();
+        self.regs.clear();
+        self.fus.clear();
+    }
+}
+
+/// The speculative verdict on one proposal: whether it applied against the
+/// frozen base, the exact weighted-cost delta it would contribute, and the
+/// state it touched.
+#[derive(Debug, Clone)]
+pub(crate) struct Evaluation {
+    /// `false` when the proposal failed its apply precheck on the base
+    /// (cannot happen for freshly drawn proposals; kept for defense).
+    pub(crate) feasible: bool,
+    /// `weighted_cost(base + move) - base_cost`.
+    pub(crate) delta: i64,
+    /// The journal footprint of the applied move.
+    pub(crate) footprint: Footprint,
+}
+
+/// Speculatively applies `proposal` inside a transaction, extracts delta
+/// and footprint, and rolls back — `binding` is returned to its exact
+/// pre-call state.
+pub(crate) fn evaluate_proposal(
+    binding: &mut Binding<'_>,
+    weights: &CostWeights,
+    base_cost: u64,
+    proposal: Proposal,
+) -> Evaluation {
+    binding.begin();
+    let feasible = apply_proposal(binding, proposal);
+    let mut footprint = Footprint::for_binding(binding);
+    let mut delta = 0i64;
+    if feasible {
+        binding.journal_footprint(&mut footprint);
+        delta = weighted_cost(weights, binding) as i64 - base_cost as i64;
+    }
+    binding.rollback();
+    Evaluation { feasible, delta, footprint }
+}
+
+/// One published batch: the jobs to evaluate and their indexed results.
+/// `generation` increments per batch so late workers never touch a stale
+/// round; `base_version` increments whenever the shared base binding is
+/// re-synced, telling workers to refresh their replicas.
+#[derive(Default)]
+struct Round {
+    generation: u64,
+    shutdown: bool,
+    base_version: u64,
+    base_cost: u64,
+    /// `(slot in the drawn batch, proposal)`.
+    jobs: Vec<(usize, Proposal)>,
+    /// Next unclaimed job index.
+    next: usize,
+    /// Jobs claimed or unclaimed but not yet stored.
+    pending: usize,
+    /// Results, indexed like `jobs` — thread-count invariant.
+    results: Vec<Option<Evaluation>>,
+}
+
+/// The evaluation pool: a mutex-guarded round, wakeup condvars, and the
+/// frozen base binding workers replicate from.
+struct Pool<'a> {
+    round: Mutex<Round>,
+    start: Condvar,
+    done: Condvar,
+    base: RwLock<Binding<'a>>,
+}
+
+/// A worker: sync the private replica to the current base version, then
+/// claim and evaluate jobs until the round drains.
+fn worker_loop(pool: &Pool<'_>, weights: &CostWeights) {
+    let mut replica: Option<Binding<'_>> = None;
+    let mut my_version = u64::MAX;
+    let mut last_gen = 0u64;
+    loop {
+        let (gen, version, base_cost) = {
+            let mut g = pool.round.lock().expect("pool mutex");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.generation != last_gen {
+                    break;
+                }
+                g = pool.start.wait(g).expect("pool mutex");
+            }
+            last_gen = g.generation;
+            (g.generation, g.base_version, g.base_cost)
+        };
+        if my_version != version {
+            // Never hold the round mutex while blocking on the base lock.
+            let base = pool.base.read().expect("base lock");
+            match replica.as_mut() {
+                Some(r) => r.clone_from(&base),
+                None => replica = Some(base.clone()),
+            }
+            my_version = version;
+        }
+        let replica = replica.as_mut().expect("replica synced");
+        loop {
+            let claim = {
+                let mut g = pool.round.lock().expect("pool mutex");
+                if g.generation != gen || g.next >= g.jobs.len() {
+                    None
+                } else {
+                    let i = g.next;
+                    g.next += 1;
+                    Some((i, g.jobs[i].1))
+                }
+            };
+            let Some((i, proposal)) = claim else { break };
+            let eval = evaluate_proposal(replica, weights, base_cost, proposal);
+            let mut g = pool.round.lock().expect("pool mutex");
+            if g.generation == gen {
+                g.results[i] = Some(eval);
+                g.pending -= 1;
+                if g.pending == 0 {
+                    pool.done.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// Publishes a round, participates in evaluating it on the live binding
+/// (which equals the synced base), waits for the workers to drain it, and
+/// scatters the results back into per-slot order.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_round<'a>(
+    binding: &mut Binding<'a>,
+    pool: &Pool<'a>,
+    weights: &CostWeights,
+    base_cost: u64,
+    base_dirty: &mut bool,
+    jobs: &[(usize, Proposal)],
+    evals: &mut [Option<Evaluation>],
+) {
+    if *base_dirty {
+        let mut base = pool.base.write().expect("base lock");
+        base.clone_from(binding);
+        drop(base);
+        pool.round.lock().expect("pool mutex").base_version += 1;
+        *base_dirty = false;
+    }
+    {
+        let mut g = pool.round.lock().expect("pool mutex");
+        g.generation += 1;
+        g.base_cost = base_cost;
+        g.jobs.clear();
+        g.jobs.extend_from_slice(jobs);
+        g.next = 0;
+        g.pending = jobs.len();
+        g.results.clear();
+        g.results.resize_with(jobs.len(), || None);
+        pool.start.notify_all();
+    }
+    loop {
+        let claim = {
+            let mut g = pool.round.lock().expect("pool mutex");
+            if g.next < g.jobs.len() {
+                let i = g.next;
+                g.next += 1;
+                Some((i, g.jobs[i].1))
+            } else {
+                None
+            }
+        };
+        let Some((i, proposal)) = claim else { break };
+        let eval = evaluate_proposal(binding, weights, base_cost, proposal);
+        let mut g = pool.round.lock().expect("pool mutex");
+        g.results[i] = Some(eval);
+        g.pending -= 1;
+        if g.pending == 0 {
+            pool.done.notify_all();
+        }
+    }
+    let mut g = pool.round.lock().expect("pool mutex");
+    while g.pending > 0 {
+        g = pool.done.wait(g).expect("pool mutex");
+    }
+    let g = &mut *g;
+    for (i, &(slot, _)) in g.jobs.iter().enumerate() {
+        evals[slot] = g.results[i].take();
+    }
+}
+
+/// Runs one move-set phase with the speculative batch engine; the
+/// batched counterpart of `improve::run_phase`, with the identical trial
+/// structure (ILS restarts, bounded uphill, staleness, watch and cancel
+/// semantics). Returns `Some` when the watch abandoned the chain or the
+/// cancel token tripped.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_phase_batched(
+    binding: &mut Binding<'_>,
+    config: &ImproveConfig,
+    set: &MoveSet,
+    rng: &mut StdRng,
+    stats: &mut ImproveStats,
+    watch: Option<&SearchWatch<'_>>,
+    batch: usize,
+    eval_threads: usize,
+) -> Option<SearchExit> {
+    let batch = batch.max(1);
+    // One evaluator is the main thread; extra threads only help while
+    // there is more than one proposal to grade.
+    let workers = eval_threads.saturating_sub(1).min(batch.saturating_sub(1));
+    if workers == 0 {
+        return batched_loop(binding, config, set, rng, stats, watch, batch, None);
+    }
+    let pool = Pool {
+        round: Mutex::new(Round::default()),
+        start: Condvar::new(),
+        done: Condvar::new(),
+        base: RwLock::new(binding.clone()),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let pool = &pool;
+            let weights = &config.weights;
+            scope.spawn(move || worker_loop(pool, weights));
+        }
+        let out = batched_loop(binding, config, set, rng, stats, watch, batch, Some(&pool));
+        pool.round.lock().expect("pool mutex").shutdown = true;
+        pool.start.notify_all();
+        out
+    })
+}
+
+/// The draw → evaluate → commit trial loop shared by the pooled and
+/// inline (single-evaluator) paths.
+#[allow(clippy::too_many_arguments)]
+fn batched_loop<'a>(
+    binding: &mut Binding<'a>,
+    config: &ImproveConfig,
+    set: &MoveSet,
+    rng: &mut StdRng,
+    stats: &mut ImproveStats,
+    watch: Option<&SearchWatch<'_>>,
+    batch: usize,
+    pool: Option<&Pool<'a>>,
+) -> Option<SearchExit> {
+    let moves_per_trial = config
+        .moves_per_trial
+        .unwrap_or(200 * binding.ctx().graph.num_ops());
+    let cancelled = || config.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+
+    let mut best = binding.clone();
+    let mut best_cost = weighted_cost(&config.weights, binding);
+    let mut current_cost = best_cost;
+    let mut stale = 0;
+    // Whether the pool's base binding lags the live one.
+    let mut base_dirty = false;
+    let mut since_poll = 0usize;
+    let mut committed_fp = Footprint::for_binding(binding);
+    let mut drawn: Vec<Option<Proposal>> = Vec::with_capacity(batch);
+    let mut jobs: Vec<(usize, Proposal)> = Vec::with_capacity(batch);
+    let mut evals: Vec<Option<Evaluation>> = Vec::new();
+
+    for trial in 0..config.max_trials {
+        if cancelled() {
+            binding.clone_from(&best);
+            return Some(SearchExit::Cancelled);
+        }
+        stats.trials += 1;
+        let mut uphill_left = config.max_uphill;
+        let best_before = best_cost;
+        if trial > 0 && current_cost > best_cost {
+            // Iterated local search, as in the sequential loop.
+            binding.clone_from(&best);
+            current_cost = best_cost;
+            base_dirty = true;
+        }
+
+        let mut disposed = 0usize;
+        while disposed < moves_per_trial {
+            // Poll the deadline between batches (never mid-journal); the
+            // poll reads no RNG, so trajectories are poll-invariant.
+            if since_poll >= CANCEL_POLL_PERIOD {
+                since_poll = 0;
+                if cancelled() {
+                    binding.clone_from(&best);
+                    return Some(SearchExit::Cancelled);
+                }
+            }
+            let k = batch.min(moves_per_trial - disposed);
+            since_poll += k;
+
+            // 1. Draw: single-threaded, against the frozen base. Proposing
+            // never changes net state, so every draw sees the same base.
+            drawn.clear();
+            for _ in 0..k {
+                let kind = set.pick(rng);
+                drawn.push(propose_move(binding, kind, rng));
+            }
+            stats.proposed += k;
+
+            // 2. Evaluate: speculative deltas + footprints, in parallel
+            // when the pool is up and the batch is worth fanning out.
+            let base_cost = current_cost;
+            jobs.clear();
+            jobs.extend(drawn.iter().enumerate().filter_map(|(i, p)| p.map(|p| (i, p))));
+            evals.clear();
+            evals.resize_with(drawn.len(), || None);
+            match pool {
+                Some(pool) if jobs.len() >= 2 => {
+                    evaluate_round(
+                        binding,
+                        pool,
+                        &config.weights,
+                        base_cost,
+                        &mut base_dirty,
+                        &jobs,
+                        &mut evals,
+                    );
+                }
+                _ => {
+                    for &(slot, proposal) in &jobs {
+                        evals[slot] =
+                            Some(evaluate_proposal(binding, &config.weights, base_cost, proposal));
+                    }
+                }
+            }
+
+            // 3. Commit: sequential, in proposal order.
+            committed_fp.clear();
+            for slot in 0..drawn.len() {
+                let Some(proposal) = drawn[slot] else {
+                    // Infeasible draw: consumes budget like the sequential
+                    // loop's failed try_move.
+                    stats.attempted += 1;
+                    disposed += 1;
+                    continue;
+                };
+                let eval = evals[slot].take().expect("every proposal was evaluated");
+                if !eval.feasible {
+                    stats.attempted += 1;
+                    disposed += 1;
+                    continue;
+                }
+                if eval.footprint.intersects(&committed_fp) {
+                    // Conflicts with an earlier commit in this batch: the
+                    // speculative delta is unreliable, so drop the proposal
+                    // without consuming budget — the freed slot is re-drawn
+                    // in a later batch.
+                    stats.conflict_skipped += 1;
+                    continue;
+                }
+                stats.attempted += 1;
+                disposed += 1;
+                let uphill = eval.delta > 0;
+                let accept =
+                    !uphill || (uphill_left > 0 && eval.delta as u64 <= config.max_uphill_delta);
+                if !accept {
+                    // Feasible but rejected on cost: the sequential loop
+                    // would apply and roll back; here the binding is never
+                    // touched at all.
+                    stats.applied += 1;
+                    continue;
+                }
+                binding.begin();
+                if !apply_proposal(binding, proposal) {
+                    // Stale: an earlier commit invalidated a precondition
+                    // the footprint did not capture. Conservative skip.
+                    binding.rollback();
+                    stats.stale_skipped += 1;
+                    continue;
+                }
+                #[cfg(debug_assertions)]
+                {
+                    let mut replay = Footprint::for_binding(binding);
+                    binding.journal_footprint(&mut replay);
+                    debug_assert!(
+                        eval.footprint.covers(&replay),
+                        "replayed commit escaped the declared footprint: {proposal:?}"
+                    );
+                }
+                stats.applied += 1;
+                stats.accepted += 1;
+                if uphill {
+                    uphill_left -= 1;
+                    stats.uphill_accepted += 1;
+                }
+                binding.commit();
+                stats.committed += 1;
+                base_dirty = true;
+                current_cost = current_cost
+                    .checked_add_signed(eval.delta)
+                    .expect("weighted cost stays in range");
+                debug_assert_eq!(
+                    weighted_cost(&config.weights, binding),
+                    current_cost,
+                    "speculative delta diverged from the applied cost"
+                );
+                committed_fp.union_with(&eval.footprint);
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best.clone_from(binding);
+                }
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        binding.check_consistency();
+
+        if let Some(watch) = watch {
+            // Publish before checking — see `improve::run_phase`.
+            if watch.publish {
+                watch.bound.publish(best_cost);
+            }
+            if stats.trials >= watch.min_trials
+                && watch.bound.exceeded_by(best_cost, watch.cutoff_factor)
+            {
+                binding.clone_from(&best);
+                return Some(SearchExit::Abandoned);
+            }
+        }
+
+        if best_cost < best_before {
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= config.stale_trials {
+                break;
+            }
+        }
+    }
+
+    binding.clone_from(&best);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial_allocation;
+    use crate::moves::MoveSet;
+    use crate::AllocContext;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use salsa_cdfg::benchmarks::paper_example;
+    use salsa_datapath::Datapath;
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    #[test]
+    fn footprint_marks_and_set_algebra() {
+        let graph = paper_example();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 4).unwrap();
+        let demand = schedule.fu_demand(&graph, &library);
+        let regs = schedule.register_demand(&graph, &library);
+        let ctx =
+            AllocContext::new(&graph, &schedule, &library, Datapath::new(&demand, regs)).unwrap();
+        let binding = initial_allocation(&ctx);
+
+        let mut a = Footprint::for_binding(&binding);
+        let mut b = Footprint::for_binding(&binding);
+        assert!(!a.intersects(&b), "empty footprints are disjoint");
+        assert!(a.covers(&b), "everything covers the empty footprint");
+
+        a.mark_reg(RegId::from_index(0));
+        b.mark_reg(RegId::from_index(1));
+        assert!(!a.intersects(&b), "distinct registers do not conflict");
+        b.mark_reg(RegId::from_index(0));
+        assert!(a.intersects(&b), "a shared register conflicts");
+        assert!(b.covers(&a));
+        assert!(!a.covers(&b));
+
+        let mut u = Footprint::for_binding(&binding);
+        u.union_with(&a);
+        u.union_with(&b);
+        assert!(u.covers(&a) && u.covers(&b), "a union covers its parts");
+        u.clear();
+        assert!(!u.intersects(&b), "cleared footprint is empty again");
+    }
+
+    #[test]
+    fn evaluation_leaves_the_binding_untouched_and_predicts_the_delta() {
+        let graph = paper_example();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 4).unwrap();
+        let demand = schedule.fu_demand(&graph, &library);
+        let regs = schedule.register_demand(&graph, &library);
+        let ctx =
+            AllocContext::new(&graph, &schedule, &library, Datapath::new(&demand, regs)).unwrap();
+        let mut binding = initial_allocation(&ctx);
+        let weights = CostWeights::default();
+        let set = MoveSet::full();
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let mut checked = 0;
+        for _ in 0..500 {
+            let snapshot = binding.clone();
+            let base_cost = weighted_cost(&weights, &binding);
+            let kind = set.pick(&mut rng);
+            let Some(proposal) = propose_move(&mut binding, kind, &mut rng) else { continue };
+            let eval = evaluate_proposal(&mut binding, &weights, base_cost, proposal);
+            assert!(binding == snapshot, "evaluation mutated the binding");
+            assert!(eval.feasible, "fresh proposals always apply");
+
+            // Applying for real lands exactly on the predicted cost, and
+            // the commit journal stays inside the declared footprint.
+            binding.begin();
+            assert!(apply_proposal(&mut binding, proposal));
+            let mut replay_fp = Footprint::for_binding(&binding);
+            binding.journal_footprint(&mut replay_fp);
+            assert!(
+                eval.footprint.covers(&replay_fp),
+                "replayed journal escaped the declared footprint"
+            );
+            let actual = weighted_cost(&weights, &binding) as i64 - base_cost as i64;
+            assert_eq!(actual, eval.delta, "speculative delta is exact");
+            // Keep some moves so later proposals see varied states.
+            if rng.gen_bool(0.5) {
+                binding.commit();
+            } else {
+                binding.rollback();
+            }
+            checked += 1;
+        }
+        assert!(checked > 100, "exercised only {checked} proposals");
+    }
+
+    use proptest::prelude::*;
+    use salsa_cdfg::{random_cdfg, RandomCdfgConfig};
+    use salsa_sched::asap;
+
+    proptest! {
+        // The ISSUE's footprint-soundness contract, on arbitrary graphs:
+        // an applied move's journal entries never escape the footprint its
+        // speculative evaluation declared, and the declared delta is exact.
+        #![proptest_config(ProptestConfig { cases: 110, ..ProptestConfig::default() })]
+
+        #[test]
+        fn speculative_footprints_are_sound_on_random_graphs(
+            graph_seed in 0u64..1000,
+            move_seed in 0u64..1000,
+            ops in 8usize..20,
+            states in 0usize..3,
+            slack in 0usize..3,
+            extra_regs in 0usize..3,
+            pipelined in any::<bool>(),
+        ) {
+            let cfg = RandomCdfgConfig { ops, states, ..RandomCdfgConfig::default() };
+            let graph = random_cdfg(&cfg, graph_seed);
+            let library =
+                if pipelined { FuLibrary::pipelined() } else { FuLibrary::standard() };
+            let cp = asap(&graph, &library).length;
+            let schedule =
+                fds_schedule(&graph, &library, cp + slack).expect("cp + slack is feasible");
+            let datapath = Datapath::new(
+                &schedule.fu_demand(&graph, &library),
+                schedule.register_demand(&graph, &library) + extra_regs,
+            );
+            let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+            let mut binding = initial_allocation(&ctx);
+            let weights = CostWeights::default();
+            let set = MoveSet::full();
+            let mut rng = StdRng::seed_from_u64(move_seed);
+
+            for _ in 0..30 {
+                let base_cost = weighted_cost(&weights, &binding);
+                let kind = set.pick(&mut rng);
+                let Some(proposal) = propose_move(&mut binding, kind, &mut rng) else {
+                    continue;
+                };
+                let snapshot = binding.clone();
+                let eval = evaluate_proposal(&mut binding, &weights, base_cost, proposal);
+                prop_assert!(binding == snapshot, "evaluation mutated the binding");
+                prop_assert!(eval.feasible, "fresh proposals always apply");
+
+                binding.begin();
+                prop_assert!(apply_proposal(&mut binding, proposal));
+                let mut replay = Footprint::for_binding(&binding);
+                binding.journal_footprint(&mut replay);
+                prop_assert!(
+                    eval.footprint.covers(&replay),
+                    "journal escaped the declared footprint for {:?}",
+                    proposal
+                );
+                let actual = weighted_cost(&weights, &binding) as i64 - base_cost as i64;
+                prop_assert_eq!(actual, eval.delta, "speculative delta is exact");
+                // Keep most moves so later proposals see varied states.
+                if rng.gen_bool(0.7) {
+                    binding.commit();
+                } else {
+                    binding.rollback();
+                }
+            }
+            binding.check_consistency();
+        }
+    }
+}

@@ -217,6 +217,7 @@ pub struct Binding<'a> {
     recording: bool,
     // Scratch (excluded from equality and plain clones).
     pool: ChainPool,
+    items_scratch: Vec<(Source, Sink)>,
 }
 
 impl Clone for Binding<'_> {
@@ -239,6 +240,7 @@ impl Clone for Binding<'_> {
             journal: Vec::new(),
             recording: false,
             pool: ChainPool::default(),
+            items_scratch: Vec::new(),
         }
     }
 
@@ -332,6 +334,7 @@ impl<'a> Binding<'a> {
             journal: Vec::new(),
             recording: false,
             pool: ChainPool::default(),
+            items_scratch: Vec::new(),
         };
         for (op, fu) in ctx.graph.op_ids().zip(op_fu) {
             binding.occupy_op(op, fu);
@@ -604,14 +607,20 @@ impl<'a> Binding<'a> {
         owners
     }
 
-    /// The connection uses an owner currently implies.
-    pub(crate) fn items(&self, owner: Owner) -> Vec<(Source, Sink)> {
+    /// Appends the connection uses an owner currently implies to `out`
+    /// (which is *not* cleared — callers reuse one buffer across owners).
+    /// The allocation-free core of [`items`](Self::items): the hot paths
+    /// ([`assert_owner`](Self::assert_owner),
+    /// [`retract_owner`](Self::retract_owner),
+    /// [`added_cost_of`](Self::added_cost_of)) drive it through the
+    /// binding's scratch buffer so the steady-state move stream stays off
+    /// the global allocator.
+    pub(crate) fn items_into(&self, owner: Owner, out: &mut Vec<(Source, Sink)>) {
         match owner {
             Owner::Op(op_id) => {
                 let op = self.ctx.graph.op(op_id);
                 let fu = self.op_fu[op_id.index()];
                 let issue = self.ctx.schedule.issue(op_id);
-                let mut items = Vec::new();
                 for (port, operand) in op.inputs().into_iter().enumerate() {
                     if !self.ctx.is_stored(operand) {
                         continue;
@@ -623,69 +632,93 @@ impl<'a> Binding<'a> {
                         .expect("operand stored at issue step");
                     let chain = self.chain(operand, slot).expect("use references a live chain");
                     let actual = if self.op_swap[op_id.index()] { 1 - port } else { port };
-                    items.push((
+                    out.push((
                         Source::RegOut(chain.reg_at(idx)),
                         Sink::FuIn(fu, Port::from_index(actual)),
                     ));
                 }
-                let out = op.output();
-                let lt = self.ctx.lifetimes.get(out).expect("op outputs are stored values");
+                let out_value = op.output();
+                let lt = self.ctx.lifetimes.get(out_value).expect("op outputs are stored values");
                 if lt.is_empty() {
                     for &state in lt.feeds() {
                         let dst = self.primal(state).expect("states have storage").regs[0];
-                        items.push((Source::FuOut(fu), Sink::RegIn(dst)));
+                        out.push((Source::FuOut(fu), Sink::RegIn(dst)));
                     }
                 } else {
-                    for (_, chain) in self.chains_of(out) {
+                    for (_, chain) in self.chains_of(out_value) {
                         if chain.lo == 0 {
-                            items.push((Source::FuOut(fu), Sink::RegIn(chain.regs[0])));
+                            out.push((Source::FuOut(fu), Sink::RegIn(chain.regs[0])));
                         }
                     }
                 }
-                items
             }
             Owner::Transfer(key) => match self.transfer_endpoints(key) {
-                None => Vec::new(),
+                None => {}
                 Some((src, dst, _)) => match self.passes.get(&key) {
-                    Some(&g) => vec![
-                        (Source::RegOut(src), Sink::FuIn(g, Port::Left)),
-                        (Source::FuOut(g), Sink::RegIn(dst)),
-                    ],
-                    None => vec![(Source::RegOut(src), Sink::RegIn(dst))],
+                    Some(&g) => {
+                        out.push((Source::RegOut(src), Sink::FuIn(g, Port::Left)));
+                        out.push((Source::FuOut(g), Sink::RegIn(dst)));
+                    }
+                    None => out.push((Source::RegOut(src), Sink::RegIn(dst))),
                 },
             },
         }
+    }
+
+    /// The connection uses an owner currently implies, as a fresh vector —
+    /// validation paths only; the move stream uses
+    /// [`items_into`](Self::items_into) through the scratch buffer.
+    pub(crate) fn items(&self, owner: Owner) -> Vec<(Source, Sink)> {
+        let mut items = Vec::new();
+        self.items_into(owner, &mut items);
+        items
     }
 
     /// Weighted cost the given owners' items would add to the current
     /// connection matrix (new-wire and new-mux-input weights fixed at the
     /// default 1:4 ratio). Used by moves to rank candidate targets while
     /// the affected owners are retracted; removals are identical across
-    /// candidates, so ranking by additions is sound.
-    pub(crate) fn added_cost_of(&self, owners: &[Owner]) -> u64 {
+    /// candidates, so ranking by additions is sound. Takes `&mut self`
+    /// only for the scratch buffer — the binding state is not changed.
+    pub(crate) fn added_cost_of(&mut self, owners: &[Owner]) -> u64 {
+        let mut items = std::mem::take(&mut self.items_scratch);
         let mut total = 0u64;
         for &owner in owners {
-            for (src, sink) in self.items(owner) {
+            items.clear();
+            self.items_into(owner, &mut items);
+            for &(src, sink) in &items {
                 if !self.conn.contains(src, sink) {
                     total += 1 + 4 * self.conn.added_mux_cost(src, sink) as u64;
                 }
             }
         }
+        items.clear();
+        self.items_scratch = items;
         total
     }
 
     pub(crate) fn assert_owner(&mut self, owner: Owner) {
-        for (src, sink) in self.items(owner) {
+        let mut items = std::mem::take(&mut self.items_scratch);
+        items.clear();
+        self.items_into(owner, &mut items);
+        for &(src, sink) in &items {
             self.conn.add(src, sink);
             self.j(UndoOp::ConnAdd { src, sink });
         }
+        items.clear();
+        self.items_scratch = items;
     }
 
     pub(crate) fn retract_owner(&mut self, owner: Owner) {
-        for (src, sink) in self.items(owner) {
+        let mut items = std::mem::take(&mut self.items_scratch);
+        items.clear();
+        self.items_into(owner, &mut items);
+        for &(src, sink) in &items {
             self.conn.remove(src, sink);
             self.j(UndoOp::ConnRemove { src, sink });
         }
+        items.clear();
+        self.items_scratch = items;
     }
 
     // ------------------------------------------------------------------
@@ -728,6 +761,98 @@ impl<'a> Binding<'a> {
     /// Returns `true` while a transaction is open.
     pub fn in_txn(&self) -> bool {
         self.recording
+    }
+
+    /// The current journal length — a checkpoint for
+    /// [`undo_to`](Self::undo_to). Only meaningful inside a transaction.
+    pub(crate) fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Reverts every mutation journaled after the `mark` checkpoint,
+    /// newest-first, leaving the transaction open. This is how move
+    /// *proposal* explores candidate placements (which requires transient
+    /// mutations for exact cost ranking) without disturbing the enclosing
+    /// transaction: checkpoint, mutate, rank, revert.
+    pub(crate) fn undo_to(&mut self, mark: usize) {
+        debug_assert!(self.recording, "undo_to outside a transaction");
+        debug_assert!(mark <= self.journal.len(), "checkpoint from a different transaction");
+        while self.journal.len() > mark {
+            let entry = self.journal.pop().expect("length checked");
+            self.undo(entry);
+        }
+    }
+
+    /// Marks every op, value, register and functional unit the open
+    /// transaction's journal touches into `fp` (without clearing it).
+    ///
+    /// The journal names exactly the cells a move wrote — occupancy cells,
+    /// counters, chain slots, pass entries and connection uses — so the
+    /// resulting footprint covers everything the move's cost delta and
+    /// feasibility depend on *and* everything it changes: two moves with
+    /// disjoint footprints read and write disjoint connection-matrix rows
+    /// and occupancy cells, which is what makes their deltas compose
+    /// exactly (see the `batch` module docs). For snapshot entries both
+    /// the old (journaled) and the new (current) occupant are marked.
+    pub(crate) fn journal_footprint(&self, fp: &mut crate::batch::Footprint) {
+        for entry in &self.journal {
+            match *entry {
+                UndoOp::OpFu { op, old } => {
+                    fp.mark_op(op);
+                    fp.mark_fu(old);
+                    fp.mark_fu(self.op_fu[op.index()]);
+                }
+                UndoOp::OpSwap { op, .. } => fp.mark_op(op),
+                UndoOp::UseChain { op, .. } => fp.mark_op(op),
+                UndoOp::FuOccCell { fu, old, .. } => {
+                    fp.mark_fu(fu);
+                    if let Some(FuOcc::Exec(op)) = old {
+                        fp.mark_op(op);
+                    }
+                }
+                UndoOp::FuCompleteCell { fu, old, .. } => {
+                    fp.mark_fu(fu);
+                    if let Some(op) = old {
+                        fp.mark_op(op);
+                    }
+                }
+                UndoOp::RegOccCell { reg, old, .. } => {
+                    fp.mark_reg(reg);
+                    if let Some((value, _)) = old {
+                        fp.mark_value(value);
+                    }
+                }
+                UndoOp::FuItemCount { fu, .. } => fp.mark_fu(fu),
+                UndoOp::RegSegCount { reg, .. } => fp.mark_reg(reg),
+                UndoOp::PassEntry { key, old } => {
+                    fp.mark_transfer(key);
+                    if let Some(fu) = old {
+                        fp.mark_fu(fu);
+                    }
+                    if let Some(&fu) = self.passes.get(&key) {
+                        fp.mark_fu(fu);
+                    }
+                }
+                UndoOp::ChainSlot { value, slot, ref old } => {
+                    fp.mark_value(value);
+                    if let Some(chain) = old {
+                        for &reg in &chain.regs {
+                            fp.mark_reg(reg);
+                        }
+                    }
+                    if let Some(Some(chain)) = self.chains[value.index()].get(slot) {
+                        for &reg in &chain.regs {
+                            fp.mark_reg(reg);
+                        }
+                    }
+                }
+                UndoOp::ChainSlotPushed { value } => fp.mark_value(value),
+                UndoOp::ConnAdd { src, sink } | UndoOp::ConnRemove { src, sink } => {
+                    fp.mark_source(src);
+                    fp.mark_sink(sink);
+                }
+            }
+        }
     }
 
     #[inline]

@@ -69,6 +69,17 @@ pub struct ImproveConfig {
     /// [`AllocError::Cancelled`](crate::AllocError). `None` (the default)
     /// searches to completion.
     pub cancel: Option<CancelToken>,
+    /// Speculative move-batch size. `Some(k)` draws `k` proposals per step,
+    /// evaluates their cost deltas speculatively and commits the
+    /// non-conflicting prefix order — deterministic in `(seed, batch)` and
+    /// invariant to [`eval_threads`](Self::eval_threads); `Some(1)`
+    /// reproduces the sequential trajectory bit-for-bit. `None` (the
+    /// default) runs the plain sequential loop.
+    pub batch: Option<usize>,
+    /// Threads grading a batch's proposals (the main thread counts as
+    /// one; `1` evaluates inline). Never affects the result, only the
+    /// wall-clock. Ignored without [`batch`](Self::batch).
+    pub eval_threads: usize,
 }
 
 impl Default for ImproveConfig {
@@ -83,6 +94,8 @@ impl Default for ImproveConfig {
             phased: true,
             weights: CostWeights::default(),
             cancel: None,
+            batch: None,
+            eval_threads: 1,
         }
     }
 }
@@ -126,6 +139,17 @@ pub struct ImproveStats {
     pub accepted: usize,
     /// Uphill moves kept.
     pub uphill_accepted: usize,
+    /// Batch engine: proposals drawn (0 in sequential mode).
+    pub proposed: usize,
+    /// Batch engine: proposals dropped because their footprint intersected
+    /// an earlier commit in the same batch (budget returned, slot
+    /// re-drawn).
+    pub conflict_skipped: usize,
+    /// Batch engine: accepted proposals whose replay failed against the
+    /// evolved binding (conservatively skipped).
+    pub stale_skipped: usize,
+    /// Batch engine: proposals committed to the binding.
+    pub committed: usize,
     /// Wall-clock time spent inside the search loops, in nanoseconds.
     pub elapsed_nanos: u64,
 }
@@ -160,6 +184,10 @@ impl ImproveStats {
         self.applied += other.applied;
         self.accepted += other.accepted;
         self.uphill_accepted += other.uphill_accepted;
+        self.proposed += other.proposed;
+        self.conflict_skipped += other.conflict_skipped;
+        self.stale_skipped += other.stale_skipped;
+        self.committed += other.committed;
         self.elapsed_nanos += other.elapsed_nanos;
     }
 }
@@ -227,7 +255,20 @@ pub fn improve_bounded(
     };
     let mut exit = SearchExit::Completed;
     for set in config.phases() {
-        if let Some(stop) = run_phase(binding, config, &set, rng, &mut stats, watch) {
+        let stop = match config.batch {
+            Some(batch) => crate::batch::run_phase_batched(
+                binding,
+                config,
+                &set,
+                rng,
+                &mut stats,
+                watch,
+                batch,
+                config.eval_threads,
+            ),
+            None => run_phase(binding, config, &set, rng, &mut stats, watch),
+        };
+        if let Some(stop) = stop {
             exit = stop;
             break;
         }

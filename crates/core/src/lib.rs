@@ -47,6 +47,7 @@
 
 mod allocator;
 mod anneal;
+mod batch;
 mod binding;
 mod cancel;
 mod context;

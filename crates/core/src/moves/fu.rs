@@ -1,4 +1,6 @@
-//! Functional-unit moves F1-F5.
+//! Functional-unit moves F1-F5, split into propose (draw + resolve every
+//! random decision, no net state change) and apply (replay the resolved
+//! move inside the caller's transaction).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -9,23 +11,12 @@ use salsa_datapath::FuId;
 use salsa_sched::FuClass;
 
 use crate::binding::Owner;
+use crate::moves::Proposal;
 use crate::{Binding, TransferKey};
 
-/// F1 — exchange the complete bindings (operators and pass-throughs) of
-/// two same-class units.
-pub(crate) fn fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
-    let classes: Vec<FuClass> = FuClass::all()
-        .into_iter()
-        .filter(|&c| b.ctx.datapath.fus_of_class(c).count() >= 2)
-        .collect();
-    let Some(&class) = classes.choose(rng) else { return false };
-    let units: Vec<FuId> = b.ctx.datapath.fus_of_class(class).map(|f| f.id()).collect();
-    let a = units[rng.gen_range(0..units.len())];
-    let mut z = units[rng.gen_range(0..units.len())];
-    if a == z {
-        z = units[(units.iter().position(|&u| u == a).unwrap() + 1) % units.len()];
-    }
-
+/// The ops and pass bindings currently living on either of two units —
+/// the payload an F1 exchange swaps.
+fn exchange_cargo(b: &Binding<'_>, a: FuId, z: FuId) -> (Vec<OpId>, Vec<TransferKey>) {
     let ops: Vec<OpId> = b
         .ctx
         .graph
@@ -38,6 +29,32 @@ pub(crate) fn fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         .filter(|(_, &fu)| fu == a || fu == z)
         .map(|(&k, _)| k)
         .collect();
+    (ops, pass_keys)
+}
+
+/// F1 — exchange the complete bindings (operators and pass-throughs) of
+/// two same-class units.
+pub(crate) fn propose_fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
+    let classes: Vec<FuClass> = FuClass::all()
+        .into_iter()
+        .filter(|&c| b.ctx.datapath.fus_of_class(c).count() >= 2)
+        .collect();
+    let &class = classes.choose(rng)?;
+    let units: Vec<FuId> = b.ctx.datapath.fus_of_class(class).map(|f| f.id()).collect();
+    let a = units[rng.gen_range(0..units.len())];
+    let mut z = units[rng.gen_range(0..units.len())];
+    if a == z {
+        z = units[(units.iter().position(|&u| u == a).unwrap() + 1) % units.len()];
+    }
+    let (ops, pass_keys) = exchange_cargo(b, a, z);
+    if ops.is_empty() && pass_keys.is_empty() {
+        return None;
+    }
+    Some(Proposal::FuExchange { a, z })
+}
+
+pub(crate) fn apply_fu_exchange(b: &mut Binding<'_>, a: FuId, z: FuId) -> bool {
+    let (ops, pass_keys) = exchange_cargo(b, a, z);
     if ops.is_empty() && pass_keys.is_empty() {
         return false;
     }
@@ -75,7 +92,7 @@ pub(crate) fn fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
 
 /// F2 — reassign one operator to another unit that is idle over the
 /// operator's occupancy window.
-pub(crate) fn fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let op = OpId::from_index(rng.gen_range(0..b.ctx.graph.num_ops()));
     let current = b.op_fu(op);
     let candidates: Vec<FuId> = b
@@ -85,8 +102,14 @@ pub(crate) fn fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         .map(|f| f.id())
         .filter(|&f| f != current && b.fu_exec_free(f, op))
         .collect();
-    let Some(&target) = candidates.choose(rng) else { return false };
+    let &target = candidates.choose(rng)?;
+    Some(Proposal::FuMove { op, target })
+}
 
+pub(crate) fn apply_fu_move(b: &mut Binding<'_>, op: OpId, target: FuId) -> bool {
+    if target == b.op_fu(op) || !b.fu_exec_free(target, op) {
+        return false;
+    }
     b.retract_owner(Owner::Op(op));
     b.vacate_op(op);
     b.occupy_op(op, target);
@@ -95,7 +118,7 @@ pub(crate) fn fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
 }
 
 /// F3 — switch the input ports of a commutative operator.
-pub(crate) fn operand_reverse(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_operand_reverse(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let commutative: Vec<OpId> = b
         .ctx
         .graph
@@ -103,7 +126,11 @@ pub(crate) fn operand_reverse(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         .filter(|o| o.kind().is_commutative())
         .map(|o| o.id())
         .collect();
-    let Some(&op) = commutative.choose(rng) else { return false };
+    let &op = commutative.choose(rng)?;
+    Some(Proposal::OperandReverse { op })
+}
+
+pub(crate) fn apply_operand_reverse(b: &mut Binding<'_>, op: OpId) -> bool {
     b.retract_owner(Owner::Op(op));
     let swapped = b.op_swapped(op);
     b.set_op_swap(op, !swapped);
@@ -131,12 +158,18 @@ fn active_transfers(b: &Binding<'_>) -> Vec<(TransferKey, usize)> {
 /// F4 — bind an unserved transfer to an idle, pass-capable unit,
 /// converting a register-register connection into reuse of the unit's
 /// existing paths.
-pub(crate) fn pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+///
+/// Pass-throughs pay off only when they reuse the unit's existing
+/// connections (Figure 3); the proposal ranks candidates by added
+/// interconnect (random tie-break), which requires transiently retracting
+/// the transfer and trying each unit — all reverted through a journal
+/// checkpoint before returning.
+pub(crate) fn propose_pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let unbound: Vec<(TransferKey, usize)> = active_transfers(b)
         .into_iter()
         .filter(|(key, _)| !b.passes().contains_key(key))
         .collect();
-    let Some(&(key, step)) = unbound.choose(rng) else { return false };
+    let &(key, step) = unbound.choose(rng)?;
     let units: Vec<FuId> = b
         .ctx
         .datapath
@@ -145,12 +178,14 @@ pub(crate) fn pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         .filter(|&f| b.fu_pass_free(f, step))
         .collect();
     if units.is_empty() {
-        return false;
+        return None;
     }
 
-    // Pass-throughs pay off only when they reuse the unit's existing
-    // connections (Figure 3); pick the unit whose detour adds the least
-    // interconnect, breaking ties at random.
+    let outer = b.in_txn();
+    if !outer {
+        b.begin();
+    }
+    let mark = b.journal_len();
     b.retract_owner(Owner::Transfer(key));
     let mut best: Vec<FuId> = Vec::new();
     let mut best_cost = u64::MAX;
@@ -167,7 +202,20 @@ pub(crate) fn pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
             std::cmp::Ordering::Greater => {}
         }
     }
+    b.undo_to(mark);
+    if !outer {
+        b.rollback();
+    }
     let fu = *best.choose(rng).expect("at least one candidate");
+    Some(Proposal::PassBind { key, fu })
+}
+
+pub(crate) fn apply_pass_bind(b: &mut Binding<'_>, key: TransferKey, fu: FuId) -> bool {
+    let Some((_, _, step)) = b.transfer_endpoints(key) else { return false };
+    if b.passes().contains_key(&key) || !b.fu_pass_free(fu, step) {
+        return false;
+    }
+    b.retract_owner(Owner::Transfer(key));
     b.set_pass(key, Some(fu));
     b.assert_owner(Owner::Transfer(key));
     true
@@ -175,9 +223,16 @@ pub(crate) fn pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
 
 /// F5 — eliminate a pass-through binding, reverting the transfer to a
 /// direct register-register connection.
-pub(crate) fn pass_unbind(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_pass_unbind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let keys: Vec<TransferKey> = b.passes().keys().copied().collect();
-    let Some(&key) = keys.choose(rng) else { return false };
+    let &key = keys.choose(rng)?;
+    Some(Proposal::PassUnbind { key })
+}
+
+pub(crate) fn apply_pass_unbind(b: &mut Binding<'_>, key: TransferKey) -> bool {
+    if !b.passes().contains_key(&key) {
+        return false;
+    }
     b.retract_owner(Owner::Transfer(key));
     b.set_pass(key, None);
     b.assert_owner(Owner::Transfer(key));

@@ -27,12 +27,10 @@ mod reg;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::Binding;
+use salsa_cdfg::{OpId, ValueId};
+use salsa_datapath::{FuId, RegId};
 
-pub(crate) use fu::{fu_exchange, fu_move, operand_reverse, pass_bind, pass_unbind};
-pub(crate) use reg::{
-    segment_exchange, segment_move, value_exchange, value_merge, value_move, value_split,
-};
+use crate::{Binding, TransferKey};
 
 /// The eleven move types of the paper's Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -177,21 +175,201 @@ impl Default for MoveSet {
     }
 }
 
-/// Attempts one move of the given kind with random parameters. Returns
-/// `true` if the move applied; `false` leaves the binding untouched.
-pub fn try_move(binding: &mut Binding<'_>, kind: MoveKind, rng: &mut StdRng) -> bool {
+/// A fully resolved move: every random decision (which entities, which
+/// target) has been drawn, so applying it is deterministic. Proposals are
+/// what the speculative batch engine ships to evaluation workers — they
+/// are `Copy`, carry no borrows, and can be replayed against any binding
+/// in the same state as the one they were proposed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Proposal {
+    /// F1 — exchange the complete bindings of units `a` and `z`.
+    FuExchange {
+        /// First unit.
+        a: FuId,
+        /// Second unit (same class, distinct from `a`).
+        z: FuId,
+    },
+    /// F2 — reassign `op` to `target`.
+    FuMove {
+        /// The operation to move.
+        op: OpId,
+        /// The idle unit to move it to.
+        target: FuId,
+    },
+    /// F3 — toggle the operand swap of `op`.
+    OperandReverse {
+        /// The commutative operation.
+        op: OpId,
+    },
+    /// F4 — bind transfer `key` to pass-through unit `fu`.
+    PassBind {
+        /// The unbound transfer.
+        key: TransferKey,
+        /// The ranked-best pass-capable unit.
+        fu: FuId,
+    },
+    /// F5 — unbind the pass-through serving `key`.
+    PassUnbind {
+        /// The bound transfer.
+        key: TransferKey,
+    },
+    /// R1 — exchange the registers of two segments stored at `step`.
+    SegmentExchange {
+        /// The control step both segments occupy.
+        step: usize,
+        /// First segment's value, chain slot and register.
+        v1: ValueId,
+        /// First segment's chain slot.
+        s1: usize,
+        /// First segment's register.
+        r1: RegId,
+        /// Second segment's value.
+        v2: ValueId,
+        /// Second segment's chain slot.
+        s2: usize,
+        /// Second segment's register.
+        r2: RegId,
+    },
+    /// R2 — move one segment of `value` to `target`.
+    SegmentMove {
+        /// The value whose segment moves.
+        value: ValueId,
+        /// The chain slot holding the segment.
+        slot: usize,
+        /// The lifetime index of the segment.
+        idx: usize,
+        /// The ranked-best free register.
+        target: RegId,
+    },
+    /// R3 — exchange the registers of two contiguously bound values.
+    ValueExchange {
+        /// First value.
+        v1: ValueId,
+        /// First value's (uniform) register.
+        r1: RegId,
+        /// Second value.
+        v2: ValueId,
+        /// Second value's (uniform) register.
+        r2: RegId,
+    },
+    /// R4 — bind every primal segment of `value` to `target`.
+    ValueMove {
+        /// The value to make contiguous.
+        value: ValueId,
+        /// The register all segments move to.
+        target: RegId,
+    },
+    /// R5 (extend form) — extend copy chain `slot` of `value` by one
+    /// segment.
+    ValueSplitExtend {
+        /// The value being split.
+        value: ValueId,
+        /// The copy chain being extended.
+        slot: usize,
+        /// Extend toward earlier steps (`true`) or later.
+        front: bool,
+        /// The free register for the new segment.
+        reg: RegId,
+    },
+    /// R5 (create form) — create a one-segment copy of `value`.
+    ValueSplitNew {
+        /// The value being split.
+        value: ValueId,
+        /// The lifetime index the copy covers.
+        idx: usize,
+        /// The free register for the copy.
+        reg: RegId,
+    },
+    /// R6 — shrink (or remove) copy chain `slot` of `value`.
+    ValueMerge {
+        /// The value being merged.
+        value: ValueId,
+        /// The copy chain shrinking.
+        slot: usize,
+        /// Shrink from the front (`true`) or the back.
+        front: bool,
+    },
+}
+
+/// Draws one move of the given kind, resolving every random decision
+/// against the current binding, **without changing it**. Returns `None`
+/// when the drawn parameters admit no feasible move (the sequential
+/// engine's "infeasible" outcome).
+///
+/// The RNG draw sequence is identical to the historical combined
+/// `try_move` for every kind, so a `propose` + [`apply_proposal`] pair
+/// walks the exact same trajectory as the old code — the contract the
+/// batch engine's `batch(1) ≡ sequential` guarantee rests on. The ranked
+/// moves (F4, R2) need transient mutations to reproduce their exact
+/// candidate costs; those run under a journal checkpoint
+/// ([`Binding::undo_to`]) and are fully reverted before returning.
+pub(crate) fn propose_move(
+    binding: &mut Binding<'_>,
+    kind: MoveKind,
+    rng: &mut StdRng,
+) -> Option<Proposal> {
     match kind {
-        MoveKind::FuExchange => fu_exchange(binding, rng),
-        MoveKind::FuMove => fu_move(binding, rng),
-        MoveKind::OperandReverse => operand_reverse(binding, rng),
-        MoveKind::PassBind => pass_bind(binding, rng),
-        MoveKind::PassUnbind => pass_unbind(binding, rng),
-        MoveKind::SegmentExchange => segment_exchange(binding, rng),
-        MoveKind::SegmentMove => segment_move(binding, rng),
-        MoveKind::ValueExchange => value_exchange(binding, rng),
-        MoveKind::ValueMove => value_move(binding, rng),
-        MoveKind::ValueSplit => value_split(binding, rng),
-        MoveKind::ValueMerge => value_merge(binding, rng),
+        MoveKind::FuExchange => fu::propose_fu_exchange(binding, rng),
+        MoveKind::FuMove => fu::propose_fu_move(binding, rng),
+        MoveKind::OperandReverse => fu::propose_operand_reverse(binding, rng),
+        MoveKind::PassBind => fu::propose_pass_bind(binding, rng),
+        MoveKind::PassUnbind => fu::propose_pass_unbind(binding, rng),
+        MoveKind::SegmentExchange => reg::propose_segment_exchange(binding, rng),
+        MoveKind::SegmentMove => reg::propose_segment_move(binding, rng),
+        MoveKind::ValueExchange => reg::propose_value_exchange(binding, rng),
+        MoveKind::ValueMove => reg::propose_value_move(binding, rng),
+        MoveKind::ValueSplit => reg::propose_value_split(binding, rng),
+        MoveKind::ValueMerge => reg::propose_value_merge(binding, rng),
+    }
+}
+
+/// Applies a resolved proposal inside the caller's open transaction.
+/// Returns `false` — leaving whatever it journaled for the caller to roll
+/// back — when the binding has drifted from the state the proposal was
+/// drawn against (a *stale* proposal: its precondition no longer holds).
+/// Fresh proposals always apply.
+pub(crate) fn apply_proposal(binding: &mut Binding<'_>, proposal: Proposal) -> bool {
+    match proposal {
+        Proposal::FuExchange { a, z } => fu::apply_fu_exchange(binding, a, z),
+        Proposal::FuMove { op, target } => fu::apply_fu_move(binding, op, target),
+        Proposal::OperandReverse { op } => fu::apply_operand_reverse(binding, op),
+        Proposal::PassBind { key, fu } => fu::apply_pass_bind(binding, key, fu),
+        Proposal::PassUnbind { key } => fu::apply_pass_unbind(binding, key),
+        Proposal::SegmentExchange { step, v1, s1, r1, v2, s2, r2 } => {
+            reg::apply_segment_exchange(binding, step, v1, s1, r1, v2, s2, r2)
+        }
+        Proposal::SegmentMove { value, slot, idx, target } => {
+            reg::apply_segment_move(binding, value, slot, idx, target)
+        }
+        Proposal::ValueExchange { v1, r1, v2, r2 } => {
+            reg::apply_value_exchange(binding, v1, r1, v2, r2)
+        }
+        Proposal::ValueMove { value, target } => reg::apply_value_move(binding, value, target),
+        Proposal::ValueSplitExtend { value, slot, front, reg } => {
+            reg::apply_value_split_extend(binding, value, slot, front, reg)
+        }
+        Proposal::ValueSplitNew { value, idx, reg } => {
+            reg::apply_value_split_new(binding, value, idx, reg)
+        }
+        Proposal::ValueMerge { value, slot, front } => {
+            reg::apply_value_merge(binding, value, slot, front)
+        }
+    }
+}
+
+/// Attempts one move of the given kind with random parameters, inside the
+/// caller's open transaction. Returns `true` if the move applied; `false`
+/// leaves the binding untouched. Implemented as
+/// [`propose_move`] + [`apply_proposal`]: the proposal resolved against
+/// the current state is never stale, so the apply cannot fail.
+pub fn try_move(binding: &mut Binding<'_>, kind: MoveKind, rng: &mut StdRng) -> bool {
+    match propose_move(binding, kind, rng) {
+        Some(proposal) => {
+            let applied = apply_proposal(binding, proposal);
+            debug_assert!(applied, "a fresh proposal must apply: {proposal:?}");
+            applied
+        }
+        None => false,
     }
 }
 

@@ -1,4 +1,6 @@
-//! Register moves R1-R6: segments, whole values, splits and merges.
+//! Register moves R1-R6: segments, whole values, splits and merges —
+//! split into propose (draw + resolve, no net state change) and apply
+//! (replay inside the caller's transaction).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -8,6 +10,7 @@ use salsa_cdfg::ValueId;
 use salsa_datapath::{Port, RegId, Sink, Source};
 
 use crate::binding::Owner;
+use crate::moves::Proposal;
 use crate::{Binding, TransferKey};
 
 /// Upper bound on concurrent copies per value, keeping the configuration
@@ -53,7 +56,7 @@ fn drop_stale_for(b: &mut Binding<'_>, values: &[ValueId]) {
 
 /// R1 — exchange the registers of two segments stored in the same control
 /// step.
-pub(crate) fn segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let step = rng.gen_range(0..b.ctx.n_steps());
     let occupied: Vec<(RegId, (ValueId, usize))> = b
         .ctx
@@ -62,7 +65,7 @@ pub(crate) fn segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         .filter_map(|r| b.reg_occupant(r, step).map(|occ| (r, occ)))
         .collect();
     if occupied.len() < 2 {
-        return false;
+        return None;
     }
     let i = rng.gen_range(0..occupied.len());
     let mut j = rng.gen_range(0..occupied.len());
@@ -71,6 +74,23 @@ pub(crate) fn segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
     }
     let (r1, (v1, s1)) = occupied[i];
     let (r2, (v2, s2)) = occupied[j];
+    Some(Proposal::SegmentExchange { step, v1, s1, r1, v2, s2, r2 })
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_segment_exchange(
+    b: &mut Binding<'_>,
+    step: usize,
+    v1: ValueId,
+    s1: usize,
+    r1: RegId,
+    v2: ValueId,
+    s2: usize,
+    r2: RegId,
+) -> bool {
+    if b.reg_occupant(r1, step) != Some((v1, s1)) || b.reg_occupant(r2, step) != Some((v2, s2)) {
+        return false;
+    }
     let idx1 = b.ctx.lifetime_index(v1, step).expect("occupant is stored at step");
     let idx2 = b.ctx.lifetime_index(v2, step).expect("occupant is stored at step");
 
@@ -90,10 +110,12 @@ pub(crate) fn segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
 /// R2 — move one segment to a register free at its step. The segment is
 /// chosen at random; among the free target registers the one adding the
 /// least interconnect is taken (random tie-break), which makes individual
-/// segment moves productive instead of noise.
-pub(crate) fn segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+/// segment moves productive instead of noise. The exact ranking needs the
+/// value's owners retracted and the candidate written, so the proposal
+/// runs it under a journal checkpoint and reverts before returning.
+pub(crate) fn propose_segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let values = stored_values(b);
-    let Some(&v) = values.choose(rng) else { return false };
+    let &v = values.choose(rng)?;
     let chains: Vec<usize> = b.chains_of(v).map(|(slot, _)| slot).collect();
     let &slot = chains.choose(rng).expect("stored value has chains");
     let (lo, hi) = {
@@ -105,9 +127,14 @@ pub(crate) fn segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
     let free: Vec<RegId> =
         b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, step)).collect();
     if free.is_empty() {
-        return false;
+        return None;
     }
 
+    let outer = b.in_txn();
+    if !outer {
+        b.begin();
+    }
+    let mark = b.journal_len();
     let owners = retract_values(b, &[v]);
     b.vacate_seg(v, slot, idx);
     let mut best: Vec<RegId> = Vec::new();
@@ -124,7 +151,31 @@ pub(crate) fn segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
             std::cmp::Ordering::Greater => {}
         }
     }
+    b.undo_to(mark);
+    if !outer {
+        b.rollback();
+    }
     let target = *best.choose(rng).expect("at least one free candidate");
+    Some(Proposal::SegmentMove { value: v, slot, idx, target })
+}
+
+pub(crate) fn apply_segment_move(
+    b: &mut Binding<'_>,
+    v: ValueId,
+    slot: usize,
+    idx: usize,
+    target: RegId,
+) -> bool {
+    let covers = b.chains_of(v).find(|(s, _)| *s == slot).is_some_and(|(_, c)| c.covers(idx));
+    if !covers {
+        return false;
+    }
+    let step = b.ctx.lifetimes.get(v).expect("stored").steps()[idx];
+    if !b.reg_free(target, step) {
+        return false;
+    }
+    retract_values(b, &[v]);
+    b.vacate_seg(v, slot, idx);
     b.chain_reg_mut(v, slot, idx, target);
     b.occupy_seg(v, slot, idx);
     drop_stale_for(b, &[v]);
@@ -132,8 +183,23 @@ pub(crate) fn segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
     true
 }
 
+/// Feasibility of a value exchange: each value's steps in the other's
+/// register are free or occupied by the primal chain being vacated.
+fn exchange_ok(b: &Binding<'_>, value: ValueId, other: ValueId, target: RegId) -> bool {
+    b.ctx
+        .lifetimes
+        .get(value)
+        .expect("stored")
+        .steps()
+        .iter()
+        .all(|&s| match b.reg_occupant(target, s) {
+            None => true,
+            Some((occ_v, occ_slot)) => occ_v == other && occ_slot == 0,
+        })
+}
+
 /// R3 — exchange the registers of two contiguously bound values.
-pub(crate) fn value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let uniform: Vec<(ValueId, RegId)> = stored_values(b)
         .into_iter()
         .filter_map(|v| {
@@ -142,7 +208,7 @@ pub(crate) fn value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         })
         .collect();
     if uniform.len() < 2 {
-        return false;
+        return None;
     }
     let i = rng.gen_range(0..uniform.len());
     let mut j = rng.gen_range(0..uniform.len());
@@ -152,23 +218,30 @@ pub(crate) fn value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
     let (v1, r1) = uniform[i];
     let (v2, r2) = uniform[j];
     if r1 == r2 {
-        return false;
+        return None;
     }
-    // Feasible iff each value's steps in the other's register are free or
-    // occupied by the primal chain being vacated.
-    let ok = |value: ValueId, other: ValueId, target: RegId, b: &Binding<'_>| {
-        b.ctx
-            .lifetimes
-            .get(value)
-            .expect("stored")
-            .steps()
-            .iter()
-            .all(|&s| match b.reg_occupant(target, s) {
-                None => true,
-                Some((occ_v, occ_slot)) => occ_v == other && occ_slot == 0,
-            })
+    if !exchange_ok(b, v1, v2, r2) || !exchange_ok(b, v2, v1, r1) {
+        return None;
+    }
+    Some(Proposal::ValueExchange { v1, r1, v2, r2 })
+}
+
+pub(crate) fn apply_value_exchange(
+    b: &mut Binding<'_>,
+    v1: ValueId,
+    r1: RegId,
+    v2: ValueId,
+    r2: RegId,
+) -> bool {
+    let uniform_at = |v: ValueId, r: RegId, b: &Binding<'_>| {
+        b.primal(v).is_some_and(|p| p.is_uniform() && p.regs()[0] == r)
     };
-    if !ok(v1, v2, r2, b) || !ok(v2, v1, r1, b) {
+    if r1 == r2
+        || !uniform_at(v1, r1, b)
+        || !uniform_at(v2, r2, b)
+        || !exchange_ok(b, v1, v2, r2)
+        || !exchange_ok(b, v2, v1, r1)
+    {
         return false;
     }
 
@@ -195,9 +268,9 @@ pub(crate) fn value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
 }
 
 /// R4 — bind every (primal) segment of a value to one register.
-pub(crate) fn value_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_value_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let values = stored_values(b);
-    let Some(&v) = values.choose(rng) else { return false };
+    let &v = values.choose(rng)?;
     let steps: Vec<usize> = b.ctx.lifetimes.get(v).expect("stored").steps().to_vec();
     let candidates: Vec<RegId> = b
         .ctx
@@ -210,8 +283,22 @@ pub(crate) fn value_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
             })
         })
         .collect();
-    let Some(&target) = candidates.choose(rng) else { return false };
+    let &target = candidates.choose(rng)?;
     if b.primal(v).unwrap().is_uniform() && b.primal(v).unwrap().regs()[0] == target {
+        return None;
+    }
+    Some(Proposal::ValueMove { value: v, target })
+}
+
+pub(crate) fn apply_value_move(b: &mut Binding<'_>, v: ValueId, target: RegId) -> bool {
+    let feasible = b.ctx.lifetimes.get(v).expect("stored").steps().iter().all(|&s| {
+        match b.reg_occupant(target, s) {
+            None => true,
+            Some((occ_v, occ_slot)) => occ_v == v && occ_slot == 0,
+        }
+    });
+    let primal = b.primal(v).expect("stored value has a primal chain");
+    if !feasible || (primal.is_uniform() && primal.regs()[0] == target) {
         return false;
     }
 
@@ -232,12 +319,12 @@ pub(crate) fn value_move(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
 /// R5 — value split: create a copy of a value segment in a free register,
 /// or extend an existing copy by one step; consumers covered by the copy
 /// rebind greedily to whichever chain adds less interconnect.
-pub(crate) fn value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let values: Vec<ValueId> = stored_values(b)
         .into_iter()
         .filter(|&v| b.num_copies(v) < MAX_COPIES || b.num_copies(v) > 0)
         .collect();
-    let Some(&v) = values.choose(rng) else { return false };
+    let &v = values.choose(rng)?;
     let lt_len = b.ctx.lifetimes.get(v).expect("stored").len();
     let steps: Vec<usize> = b.ctx.lifetimes.get(v).unwrap().steps().to_vec();
 
@@ -245,7 +332,7 @@ pub(crate) fn value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
     let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
     let extend = !copies.is_empty() && rng.gen_bool(0.5);
 
-    let slot = if extend {
+    if extend {
         let &slot = copies.choose(rng).expect("nonempty");
         let (lo, hi) = {
             let c = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
@@ -258,40 +345,83 @@ pub(crate) fn value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
         if hi + 1 < lt_len {
             dirs.push(false);
         }
-        let Some(&front) = dirs.choose(rng) else { return false };
+        let &front = dirs.choose(rng)?;
         let idx = if front { lo - 1 } else { hi + 1 };
         let free: Vec<RegId> =
             b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])).collect();
-        let Some(&reg) = free.choose(rng) else { return false };
-
-        retract_values(b, &[v]);
-        if front {
-            // The copy-feed step moves earlier; a pass bound to the old
-            // feed step would become inconsistent.
-            let key = TransferKey::CopyFeed { value: v, chain: slot };
-            if b.passes().contains_key(&key) {
-                b.set_pass(key, None);
-            }
-        }
-        b.extend_copy(v, slot, front, reg);
-        slot
+        let &reg = free.choose(rng)?;
+        Some(Proposal::ValueSplitExtend { value: v, slot, front, reg })
     } else {
         if b.num_copies(v) >= MAX_COPIES {
-            return false;
+            return None;
         }
         let min_idx = b.min_copy_index(v);
         if min_idx >= lt_len {
-            return false;
+            return None;
         }
         let idx = rng.gen_range(min_idx..lt_len);
         let free: Vec<RegId> =
             b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])).collect();
-        let Some(&reg) = free.choose(rng) else { return false };
+        let &reg = free.choose(rng)?;
+        Some(Proposal::ValueSplitNew { value: v, idx, reg })
+    }
+}
 
-        retract_values(b, &[v]);
-        b.add_copy_chain(v, idx, reg)
+pub(crate) fn apply_value_split_extend(
+    b: &mut Binding<'_>,
+    v: ValueId,
+    slot: usize,
+    front: bool,
+    reg: RegId,
+) -> bool {
+    let lt_len = b.ctx.lifetimes.get(v).expect("stored").len();
+    let steps: Vec<usize> = b.ctx.lifetimes.get(v).unwrap().steps().to_vec();
+    let Some((_, chain)) = b.chains_of(v).find(|(s, _)| *s == slot) else { return false };
+    let (lo, hi) = (chain.lo(), chain.hi());
+    let idx = if front {
+        if lo <= b.min_copy_index(v) {
+            return false;
+        }
+        lo - 1
+    } else {
+        if hi + 1 >= lt_len {
+            return false;
+        }
+        hi + 1
     };
+    if !b.reg_free(reg, steps[idx]) {
+        return false;
+    }
 
+    retract_values(b, &[v]);
+    if front {
+        // The copy-feed step moves earlier; a pass bound to the old
+        // feed step would become inconsistent.
+        let key = TransferKey::CopyFeed { value: v, chain: slot };
+        if b.passes().contains_key(&key) {
+            b.set_pass(key, None);
+        }
+    }
+    b.extend_copy(v, slot, front, reg);
+    rebind_uses_greedily(b, v, slot);
+    drop_stale_for(b, &[v]);
+    assert_values(b, &[v]);
+    true
+}
+
+pub(crate) fn apply_value_split_new(
+    b: &mut Binding<'_>,
+    v: ValueId,
+    idx: usize,
+    reg: RegId,
+) -> bool {
+    let steps: Vec<usize> = b.ctx.lifetimes.get(v).expect("stored").steps().to_vec();
+    if b.num_copies(v) >= MAX_COPIES || !b.reg_free(reg, steps[idx]) {
+        return false;
+    }
+
+    retract_values(b, &[v]);
+    let slot = b.add_copy_chain(v, idx, reg);
     rebind_uses_greedily(b, v, slot);
     drop_stale_for(b, &[v]);
     assert_values(b, &[v]);
@@ -344,19 +474,26 @@ fn rebind_uses_greedily(b: &mut Binding<'_>, v: ValueId, slot: usize) {
 /// split), removing the chain entirely when its last segment goes.
 /// Consumers that were reading the vanished segments rebind to the primal
 /// chain.
-pub(crate) fn value_merge(b: &mut Binding<'_>, rng: &mut StdRng) -> bool {
+pub(crate) fn propose_value_merge(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let with_copies: Vec<ValueId> = stored_values(b)
         .into_iter()
         .filter(|&v| b.num_copies(v) > 0)
         .collect();
-    let Some(&v) = with_copies.choose(rng) else { return false };
+    let &v = with_copies.choose(rng)?;
     let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
     let &slot = copies.choose(rng).expect("nonempty");
-    let (lo, hi) = {
-        let c = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
-        (c.lo(), c.hi())
-    };
     let front = rng.gen_bool(0.5);
+    Some(Proposal::ValueMerge { value: v, slot, front })
+}
+
+pub(crate) fn apply_value_merge(
+    b: &mut Binding<'_>,
+    v: ValueId,
+    slot: usize,
+    front: bool,
+) -> bool {
+    let Some((_, chain)) = b.chains_of(v).find(|(s, _)| *s == slot) else { return false };
+    let (lo, hi) = (chain.lo(), chain.hi());
     let removed_idx = if front { lo } else { hi };
     let whole_chain = lo == hi;
 

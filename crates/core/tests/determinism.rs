@@ -1,0 +1,218 @@
+//! The determinism contract of the speculative batch engine: for a fixed
+//! `(seed, batch)` the search result is a pure function of those two knobs
+//! — `batch = 1` reproduces the plain sequential trajectory bit-for-bit
+//! (same RNG draws, same accepts, same final binding and counters), and
+//! the evaluation thread count never changes anything. The `salsa-serve`
+//! result cache keys on exactly this contract.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use salsa_alloc::{
+    improve, initial_allocation, register_chart, AllocContext, Allocator, Binding, ImproveConfig,
+    ImproveStats,
+};
+use salsa_cdfg::{benchmarks, random_cdfg, Cdfg, RandomCdfgConfig};
+use salsa_datapath::Datapath;
+use salsa_sched::{asap, fds_schedule, FuLibrary, Schedule};
+
+fn quick(batch: Option<usize>, eval_threads: usize) -> ImproveConfig {
+    ImproveConfig {
+        max_trials: 3,
+        moves_per_trial: Some(400),
+        batch,
+        eval_threads,
+        ..ImproveConfig::default()
+    }
+}
+
+fn pool_for(graph: &Cdfg, schedule: &Schedule, library: &FuLibrary, extra: usize) -> Datapath {
+    Datapath::new(
+        &schedule.fu_demand(graph, library),
+        schedule.register_demand(graph, library) + extra,
+    )
+}
+
+fn search<'a>(
+    ctx: &'a AllocContext<'a>,
+    seed: u64,
+    config: &ImproveConfig,
+) -> (Binding<'a>, ImproveStats) {
+    let mut binding = initial_allocation(ctx);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stats = improve(&mut binding, config, &mut rng);
+    (binding, stats)
+}
+
+/// The counters that must agree between equivalent runs (timing excluded).
+fn counters(stats: &ImproveStats) -> [usize; 5] {
+    [stats.trials, stats.attempted, stats.applied, stats.accepted, stats.uphill_accepted]
+}
+
+#[test]
+fn batch_of_one_reproduces_the_sequential_trajectory() {
+    let library = FuLibrary::standard();
+    for graph in [benchmarks::ewf(), benchmarks::dct()] {
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+        let datapath = pool_for(&graph, &schedule, &library, 1);
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+
+        for seed in [3u64, 19] {
+            let (seq, seq_stats) = search(&ctx, seed, &quick(None, 1));
+            let (one, one_stats) = search(&ctx, seed, &quick(Some(1), 1));
+            assert!(
+                one == seq,
+                "{} seed {seed}: batch(1) diverged from the sequential binding",
+                graph.name()
+            );
+            assert_eq!(
+                counters(&one_stats),
+                counters(&seq_stats),
+                "{} seed {seed}: counter mismatch",
+                graph.name()
+            );
+            assert_eq!(one_stats.final_cost, seq_stats.final_cost);
+            // The batched loop reports its own bookkeeping too.
+            assert!(one_stats.proposed > 0);
+            assert_eq!(one_stats.committed, one_stats.accepted);
+            assert_eq!(one_stats.conflict_skipped, 0, "a batch of one cannot conflict");
+            assert_eq!(one_stats.stale_skipped, 0, "a batch of one cannot go stale");
+            assert_eq!(seq_stats.proposed, 0, "the sequential loop draws no batches");
+        }
+    }
+}
+
+#[test]
+fn batched_results_are_invariant_to_eval_threads() {
+    let graph = benchmarks::dct();
+    let library = FuLibrary::standard();
+    let cp = asap(&graph, &library).length;
+    let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+    let datapath = pool_for(&graph, &schedule, &library, 1);
+    let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+
+    for batch in [2usize, 8] {
+        let (base, base_stats) = search(&ctx, 42, &quick(Some(batch), 1));
+        for threads in [2usize, 8] {
+            let (other, other_stats) = search(&ctx, 42, &quick(Some(batch), threads));
+            assert!(
+                other == base,
+                "batch {batch}: {threads} eval threads changed the result"
+            );
+            assert_eq!(counters(&other_stats), counters(&base_stats));
+            assert_eq!(other_stats.proposed, base_stats.proposed);
+            assert_eq!(other_stats.conflict_skipped, base_stats.conflict_skipped);
+            assert_eq!(other_stats.stale_skipped, base_stats.stale_skipped);
+            assert_eq!(other_stats.committed, base_stats.committed);
+        }
+    }
+}
+
+#[test]
+fn allocator_batch_of_one_matches_the_plain_allocator() {
+    let graph = benchmarks::ewf();
+    let library = FuLibrary::standard();
+    let cp = asap(&graph, &library).length;
+    let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+
+    let run = |batched: bool| {
+        let mut allocator = Allocator::new(&graph, &schedule, &library)
+            .seed(5)
+            .extra_registers(1)
+            .config(quick(None, 1));
+        if batched {
+            allocator = allocator.batch(1);
+        }
+        allocator.run().unwrap()
+    };
+    let plain = run(false);
+    let batched = run(true);
+    assert_eq!(batched.cost, plain.cost, "batch(1) changed the end-to-end cost");
+    assert_eq!(
+        register_chart(&graph, &schedule, &batched),
+        register_chart(&graph, &schedule, &plain),
+        "batch(1) changed the final register layout"
+    );
+    assert_eq!(counters(&batched.stats), counters(&plain.stats));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// `batch(1)` is the sequential loop on arbitrary graphs, not just the
+    /// benchmarks: identical final binding and identical counters.
+    #[test]
+    fn batch_of_one_is_sequential_on_random_graphs(
+        graph_seed in 0u64..500,
+        search_seed in 0u64..100,
+        ops in 8usize..20,
+        states in 0usize..3,
+        slack in 0usize..3,
+    ) {
+        let cfg = RandomCdfgConfig { ops, states, ..RandomCdfgConfig::default() };
+        let graph = random_cdfg(&cfg, graph_seed);
+        let library = FuLibrary::standard();
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + slack).unwrap();
+        let datapath = pool_for(&graph, &schedule, &library, 1);
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let config = ImproveConfig {
+            max_trials: 3,
+            moves_per_trial: Some(250),
+            ..ImproveConfig::default()
+        };
+
+        let (seq, seq_stats) = search(&ctx, search_seed, &config);
+        let (one, one_stats) =
+            search(&ctx, search_seed, &ImproveConfig { batch: Some(1), ..config.clone() });
+        prop_assert!(one == seq, "batch(1) diverged from the sequential trajectory");
+        prop_assert_eq!(counters(&one_stats), counters(&seq_stats));
+        prop_assert_eq!(one_stats.final_cost, seq_stats.final_cost);
+    }
+
+    /// For any `(seed, batch)` the result is invariant to the evaluation
+    /// thread count, on arbitrary graphs.
+    #[test]
+    fn batched_search_is_thread_invariant_on_random_graphs(
+        graph_seed in 0u64..500,
+        search_seed in 0u64..100,
+        batch in 2usize..8,
+        ops in 8usize..20,
+        states in 0usize..3,
+        slack in 0usize..3,
+    ) {
+        let cfg = RandomCdfgConfig { ops, states, ..RandomCdfgConfig::default() };
+        let graph = random_cdfg(&cfg, graph_seed);
+        let library = FuLibrary::standard();
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + slack).unwrap();
+        let datapath = pool_for(&graph, &schedule, &library, 1);
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let config = ImproveConfig {
+            max_trials: 3,
+            moves_per_trial: Some(250),
+            batch: Some(batch),
+            ..ImproveConfig::default()
+        };
+
+        let (base, base_stats) = search(&ctx, search_seed, &config);
+        for threads in [2usize, 8] {
+            let (other, other_stats) = search(
+                &ctx,
+                search_seed,
+                &ImproveConfig { eval_threads: threads, ..config.clone() },
+            );
+            prop_assert!(
+                other == base,
+                "batch {} with {} eval threads changed the result",
+                batch,
+                threads
+            );
+            prop_assert_eq!(counters(&other_stats), counters(&base_stats));
+            prop_assert_eq!(other_stats.conflict_skipped, base_stats.conflict_skipped);
+            prop_assert_eq!(other_stats.committed, base_stats.committed);
+        }
+    }
+}

@@ -55,6 +55,9 @@ pub fn run_allocation(
     if let Some(threads) = knobs.threads {
         allocator = allocator.threads(threads);
     }
+    if let Some(batch) = knobs.batch {
+        allocator = allocator.batch(batch);
+    }
     if let Some(cutoff) = knobs.cutoff {
         allocator = allocator.cutoff_factor(cutoff);
     }

@@ -61,6 +61,10 @@ pub struct Knobs {
     pub restarts: usize,
     /// Portfolio worker cap; `None` = machine parallelism.
     pub threads: Option<usize>,
+    /// Speculative move-batch size; `None` = sequential inner loop. Part
+    /// of the cache key (results are deterministic in `(seed, batch)` but
+    /// differ across batch sizes); thread counts never change the result.
+    pub batch: Option<usize>,
     /// Best-bound cutoff factor; `None` = the allocator default.
     pub cutoff: Option<f64>,
     /// Use the pipelined functional-unit library.
@@ -77,6 +81,7 @@ impl Default for Knobs {
             seed: 42,
             restarts: 1,
             threads: None,
+            batch: None,
             cutoff: None,
             pipelined: false,
             traditional: false,
@@ -287,6 +292,7 @@ fn parse_alloc_request(obj: &Json) -> Result<AllocRequest, ServeError> {
         seed: field_u64(obj, "seed")?.unwrap_or(42),
         restarts,
         threads: field_u64(obj, "threads")?.map(|t| (t as usize).max(1)),
+        batch: field_u64(obj, "batch")?.map(|b| (b as usize).max(1)),
         cutoff: field_f64(obj, "cutoff")?,
         pipelined: field_bool(obj, "pipelined")?,
         traditional: field_bool(obj, "traditional")?,
@@ -303,12 +309,13 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
     keyed.push_str(canonical_text);
     keyed.push_str("\x00knobs\x00");
     keyed.push_str(&format!(
-        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};cutoff={:?};pipelined={};traditional={}",
+        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={}",
         knobs.steps,
         knobs.extra_regs,
         knobs.seed,
         knobs.restarts,
         knobs.threads,
+        knobs.batch,
         knobs.cutoff,
         knobs.pipelined,
         knobs.traditional,
@@ -325,7 +332,7 @@ mod tests {
     fn parses_a_full_allocate_request() {
         let req = parse_json(
             r#"{"cmd":"allocate","bench":"ewf","steps":17,"seed":7,"restarts":4,
-                "threads":2,"cutoff":1.5,"extra_regs":1,"pipelined":true,
+                "threads":2,"batch":8,"cutoff":1.5,"extra_regs":1,"pipelined":true,
                 "traditional":true,"timeout_ms":2000}"#,
         )
         .unwrap();
@@ -337,6 +344,7 @@ mod tests {
         assert_eq!(alloc.knobs.seed, 7);
         assert_eq!(alloc.knobs.restarts, 4);
         assert_eq!(alloc.knobs.threads, Some(2));
+        assert_eq!(alloc.knobs.batch, Some(8));
         assert_eq!(alloc.knobs.cutoff, Some(1.5));
         assert_eq!(alloc.knobs.extra_regs, 1);
         assert!(alloc.knobs.pipelined);
@@ -398,6 +406,7 @@ mod tests {
             Knobs { seed: 43, ..base.clone() },
             Knobs { restarts: 2, ..base.clone() },
             Knobs { threads: Some(2), ..base.clone() },
+            Knobs { batch: Some(8), ..base.clone() },
             Knobs { cutoff: Some(1.5), ..base.clone() },
             Knobs { pipelined: true, ..base.clone() },
             Knobs { traditional: true, ..base.clone() },

@@ -55,6 +55,10 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
                 ("attempted", Json::Int(stats.attempted as i64)),
                 ("accepted", Json::Int(stats.accepted as i64)),
                 ("uphill_accepted", Json::Int(stats.uphill_accepted as i64)),
+                ("proposed", Json::Int(stats.proposed as i64)),
+                ("conflict_skipped", Json::Int(stats.conflict_skipped as i64)),
+                ("stale_skipped", Json::Int(stats.stale_skipped as i64)),
+                ("committed", Json::Int(stats.committed as i64)),
                 ("initial_cost", Json::Int(stats.initial_cost as i64)),
                 ("final_cost", Json::Int(stats.final_cost as i64)),
                 ("elapsed_ms", Json::Float(stats.elapsed_nanos as f64 / 1e6)),
@@ -114,7 +118,16 @@ mod tests {
                 <= mux.get("point_to_point").and_then(Json::as_u64).unwrap(),
             "merging never increases the mux count"
         );
-        assert!(json.get("search").and_then(|s| s.get("attempted")).is_some());
+        let search = json.get("search").expect("search");
+        assert!(search.get("attempted").is_some());
+        assert_eq!(
+            search.get("proposed").and_then(Json::as_u64),
+            Some(0),
+            "a sequential run draws no batched proposals"
+        );
+        assert!(search.get("conflict_skipped").is_some());
+        assert!(search.get("stale_skipped").is_some());
+        assert!(search.get("committed").is_some());
         assert!(json.get("portfolio").and_then(|p| p.get("chains")).is_some());
 
         // The serializer is stable: same result, same bytes.

@@ -5,7 +5,7 @@
 //! salsa-hls dot      <file.cdfg>                      Graphviz rendering of the CDFG
 //! salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
 //! salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
-//!                    [--restarts R] [--threads T] [--cutoff F]
+//!                    [--restarts R] [--threads T] [--batch K] [--cutoff F]
 //!                    [--pipelined] [--traditional] [--controller]
 //!                    [--verilog PATH] [--testbench PATH] [--dot PATH]
 //! salsa-hls bench    <name|--list>                    run a built-in benchmark
@@ -63,7 +63,7 @@ usage:
   salsa-hls dot      <file.cdfg>
   salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
   salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
-                     [--restarts R] [--threads T] [--cutoff F]
+                     [--restarts R] [--threads T] [--batch K] [--cutoff F]
                      [--pipelined] [--traditional] [--controller] [--report]
                      [--json] [--verilog PATH] [--testbench PATH] [--dot PATH]
   salsa-hls bench    <name|--list>
@@ -71,14 +71,17 @@ usage:
                      [--default-timeout-ms MS]
   salsa-hls submit   [--addr HOST:PORT] (--bench NAME | <file.cdfg>)
                      [--steps N] [--extra-regs K] [--seed S] [--restarts R]
-                     [--threads T] [--cutoff F] [--pipelined] [--traditional]
-                     [--timeout-ms MS] [--pretty]
+                     [--threads T] [--batch K] [--cutoff F] [--pipelined]
+                     [--traditional] [--timeout-ms MS] [--pretty]
   salsa-hls submit   [--addr HOST:PORT] (--ping | --stats | --shutdown)
 
 --restarts runs R independent seeded search chains and keeps the best;
 --threads caps the portfolio workers spreading those chains (default: the
 machine's parallelism; 1 reproduces the sequential loop bit-for-bit);
---cutoff sets the shared best-bound cutoff factor (>= 1.0, default 1.25).
+--cutoff sets the shared best-bound cutoff factor (>= 1.0, default 1.25);
+--batch K turns on speculative move batches: K proposals per step graded
+in parallel, committed in proposal order (results depend only on the seed
+and K, never on thread count; --batch 1 matches the sequential loop).
 
 serve starts the allocation service (newline-delimited JSON over TCP;
 default 127.0.0.1:7741, port 0 picks a free port) and runs until a
@@ -207,6 +210,9 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
         .config(config);
     if let Some(threads) = flag_parse(args, "--threads")? {
         allocator = allocator.threads(threads);
+    }
+    if let Some(batch) = flag_parse(args, "--batch")? {
+        allocator = allocator.batch(batch);
     }
     if let Some(cutoff) = flag_parse(args, "--cutoff")? {
         allocator = allocator.cutoff_factor(cutoff);
@@ -344,7 +350,7 @@ fn submit(args: &[String]) -> Result<(), String> {
 fn submit_positional(args: &[String]) -> Option<&String> {
     const VALUE_FLAGS: &[&str] = &[
         "--addr", "--bench", "--steps", "--extra-regs", "--seed", "--restarts", "--threads",
-        "--cutoff", "--timeout-ms",
+        "--batch", "--cutoff", "--timeout-ms",
     ];
     let mut i = 1;
     while i < args.len() {
@@ -387,6 +393,7 @@ fn build_submit_request(args: &[String]) -> Result<Json, String> {
         ("--seed", "seed"),
         ("--restarts", "restarts"),
         ("--threads", "threads"),
+        ("--batch", "batch"),
         ("--timeout-ms", "timeout_ms"),
     ] {
         if let Some(value) = flag_parse::<i64>(args, flag)? {
