@@ -19,6 +19,12 @@
 //! portfolio's determinism contract says they agree given default cutoff
 //! headroom).
 //!
+//! A third family of rows measures the distributed path: the same job run
+//! locally (`cluster-local`), on a 1-worker cluster and on a 2-worker
+//! cluster (in-process coordinator + worker threads over loopback TCP).
+//! The cluster contract makes all three costs identical; the rows record
+//! what the wire, leases and heartbeats cost in wall time.
+//!
 //! Usage: `cargo run -p salsa-bench --bin bench_trajectory --release --
 //! [--quick] [--threads N] [--pr LABEL]`
 
@@ -29,7 +35,9 @@ use salsa_alloc::{Allocator, MoveSet};
 use salsa_bench::jsonstore::{history_entry, prior_history, render_bench_file, BENCH_FILE};
 use salsa_bench::Effort;
 use salsa_cdfg::Cdfg;
+use salsa_cluster::{run_worker, ClusterConfig, Coordinator, FaultPlan, WorkerConfig};
 use salsa_sched::{fds_schedule, FuLibrary};
+use salsa_serve::{run_allocation, Json, Knobs};
 
 struct Record {
     name: &'static str,
@@ -93,6 +101,91 @@ fn run(
     }
 }
 
+/// Runs the same job through the service's local path (`workers == 0`)
+/// or an in-process loopback cluster of `workers` worker threads, and
+/// reduces the report to a [`Record`] row. The cluster pins each chain to
+/// one thread, so `cluster-local` is the honest overhead baseline.
+fn cluster_run(
+    name: &'static str,
+    mode: &'static str,
+    graph: &Cdfg,
+    steps: usize,
+    seed: u64,
+    chains: usize,
+    workers: usize,
+) -> Record {
+    let knobs = Knobs {
+        steps: Some(steps),
+        seed,
+        restarts: chains,
+        threads: Some(1),
+        ..Knobs::default()
+    };
+    let start = Instant::now();
+    let mut wall_secs = 0.0;
+    let report = if workers == 0 {
+        run_allocation(graph, &knobs, None).unwrap_or_else(|e| panic!("{name}: {e:?}"))
+    } else {
+        let coordinator = Coordinator::bind("127.0.0.1:0", ClusterConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: bind coordinator: {e}"));
+        let addr = coordinator.local_addr();
+        let fleet: Vec<_> = (0..workers)
+            .map(|i| {
+                let config = WorkerConfig {
+                    poll_ms: 5,
+                    heartbeat_ms: 100,
+                    fault: FaultPlan::None,
+                    ..WorkerConfig::new(addr.to_string(), format!("bench-w{i}"))
+                };
+                std::thread::spawn(move || {
+                    let _ = run_worker(config);
+                })
+            })
+            .collect();
+        let report = coordinator
+            .allocate(graph, &knobs, None)
+            .unwrap_or_else(|e| panic!("{name}: cluster allocate: {e:?}"));
+        // The row measures job latency; fleet teardown is not billed.
+        wall_secs = start.elapsed().as_secs_f64();
+        coordinator.shutdown();
+        for worker in fleet {
+            let _ = worker.join();
+        }
+        report
+    };
+    if workers == 0 {
+        wall_secs = start.elapsed().as_secs_f64();
+    }
+    let field = |path: &[&str]| {
+        let mut node = &report;
+        for key in path {
+            node = node.get(key).unwrap_or(&Json::Null);
+        }
+        node.as_u64().unwrap_or(0)
+    };
+    Record {
+        name,
+        mode,
+        steps,
+        seed,
+        threads: workers.max(1),
+        chains,
+        batch: None,
+        completed: field(&["portfolio", "completed"]) as usize,
+        cutoff: field(&["portfolio", "cutoff"]) as usize,
+        wall_secs,
+        final_cost: field(&["cost"]),
+        attempted: field(&["search", "attempted"]) as usize,
+        moves_per_sec: report
+            .get("search")
+            .and_then(|s| s.get("moves_per_sec"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        speedup_vs_sequential: None,
+        verified: report.get("verified").and_then(Json::as_bool).unwrap_or(false),
+    }
+}
+
 fn record_json(r: &Record) -> String {
     let mut row = format!(
         "{{\"name\": \"{}\", \"mode\": \"{}\", \"steps\": {}, \"seed\": {}, \"threads\": {}, \
@@ -134,7 +227,7 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or(4)
         .max(2);
-    let pr = flag_value("--pr").unwrap_or_else(|| "PR4-batch".to_string());
+    let pr = flag_value("--pr").unwrap_or_else(|| "PR5-cluster".to_string());
     // Enough chains that the portfolio has real work to spread; both modes
     // run the identical seed set so the wall-clock ratio is an honest
     // same-work speedup.
@@ -166,6 +259,20 @@ fn main() {
             Some(batched.moves_per_sec / inner.moves_per_sec.max(1e-9));
         records.push(inner);
         records.push(batched);
+
+        // The distributed path: the identical job run locally and on
+        // loopback clusters of one and two workers. Costs must agree
+        // (the cluster's bit-exact contract); the wall-clock spread is
+        // the price of the wire, leases and heartbeats.
+        let local = cluster_run(name, "cluster-local", graph, *steps, *seed, chains, 0);
+        let mut one_worker = cluster_run(name, "cluster-1w", graph, *steps, *seed, chains, 1);
+        one_worker.speedup_vs_sequential = Some(local.wall_secs / one_worker.wall_secs.max(1e-9));
+        let mut two_workers = cluster_run(name, "cluster-2w", graph, *steps, *seed, chains, 2);
+        two_workers.speedup_vs_sequential =
+            Some(local.wall_secs / two_workers.wall_secs.max(1e-9));
+        records.push(local);
+        records.push(one_worker);
+        records.push(two_workers);
     }
 
     let path = BENCH_FILE;
@@ -202,8 +309,8 @@ fn main() {
             r.final_cost, r.attempted, r.moves_per_sec, speedup, r.verified
         );
     }
-    for group in records.chunks(4) {
-        if let [seq, par, inner, batched] = group {
+    for group in records.chunks(7) {
+        if let [seq, par, inner, batched, local, one_worker, two_workers] = group {
             let mark = if seq.final_cost == par.final_cost { "match" } else { "DIFFER" };
             println!("{:<8} sequential vs portfolio cost: {mark}", seq.name);
             println!(
@@ -216,6 +323,24 @@ fn main() {
                 batched.speedup_vs_sequential.unwrap_or(0.0),
                 inner.final_cost,
                 batched.final_cost
+            );
+            let cluster_mark = if local.final_cost == one_worker.final_cost
+                && local.final_cost == two_workers.final_cost
+            {
+                "match"
+            } else {
+                "DIFFER"
+            };
+            println!(
+                "{:<8} cluster cost (local / 1w / 2w): {} / {} / {} — {cluster_mark}; \
+                 wall {:.2}s / {:.2}s / {:.2}s",
+                seq.name,
+                local.final_cost,
+                one_worker.final_cost,
+                two_workers.final_cost,
+                local.wall_secs,
+                one_worker.wall_secs,
+                two_workers.wall_secs
             );
         }
     }

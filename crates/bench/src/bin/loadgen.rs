@@ -27,6 +27,7 @@ use salsa_bench::jsonstore::{
 };
 use salsa_serve::stats::percentile_ms;
 use salsa_serve::{parse_json, Json, Server, ServerConfig};
+use salsa_wire::Backoff;
 
 /// The fixed request mix, cycled across all requests: (bench, seed,
 /// restarts). Repeated tuples are cache hits after their first
@@ -78,6 +79,14 @@ fn send_line(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
 fn client(addr: &str, client_id: usize, clients: usize, total: usize) -> ClientOutcome {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let mut outcome = ClientOutcome { ok: 0, errors: 0, retries: 0, latencies_us: Vec::new() };
+    // Jittered exponential backoff for backpressure, seeded per client so
+    // runs are reproducible but clients never retry in lockstep. The
+    // server's `retry_after_ms` hint stays a floor: never come back early.
+    let mut backoff = Backoff::new(
+        0x10ad_6e4e ^ client_id as u64,
+        std::time::Duration::from_millis(10),
+        std::time::Duration::from_secs(2),
+    );
     for request_no in (client_id..total).step_by(clients) {
         let line = request_line(request_no);
         let started = Instant::now();
@@ -89,10 +98,13 @@ fn client(addr: &str, client_id: usize, clients: usize, total: usize) -> ClientO
                     outcome.retries += 1;
                     let hint =
                         response.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(100);
-                    std::thread::sleep(std::time::Duration::from_millis(hint));
+                    let delay =
+                        backoff.next_delay().max(std::time::Duration::from_millis(hint));
+                    std::thread::sleep(delay);
                 }
                 Some("ok") => {
                     outcome.ok += 1;
+                    backoff.reset();
                     break;
                 }
                 _ => {

@@ -1,0 +1,48 @@
+//! The service backend adapter: plugs a [`Coordinator`] into
+//! `salsa-serve`'s backend seam, so `--backend cluster` keeps the queue,
+//! cache and stats layers exactly as they are and only swaps where the
+//! chains run. Sound for the byte-replay cache because the cluster's
+//! report contract matches the local one: deterministic in
+//! `(graph, knobs)`.
+
+use std::sync::Arc;
+
+use salsa_alloc::CancelToken;
+use salsa_cdfg::Cdfg;
+use salsa_serve::json::Json;
+use salsa_serve::{AllocBackend, Knobs, ServeError};
+
+use crate::coordinator::Coordinator;
+
+/// An [`AllocBackend`] that fans each job out to the coordinator's
+/// worker fleet.
+pub struct ClusterBackend {
+    coordinator: Arc<Coordinator>,
+}
+
+impl ClusterBackend {
+    /// Wraps a running coordinator.
+    pub fn new(coordinator: Arc<Coordinator>) -> ClusterBackend {
+        ClusterBackend { coordinator }
+    }
+
+    /// The wrapped coordinator (e.g. to shut it down after the server).
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+}
+
+impl AllocBackend for ClusterBackend {
+    fn name(&self) -> &str {
+        "cluster"
+    }
+
+    fn allocate(
+        &self,
+        graph: &Cdfg,
+        knobs: &Knobs,
+        cancel: Option<CancelToken>,
+    ) -> Result<Json, ServeError> {
+        self.coordinator.allocate(graph, knobs, cancel)
+    }
+}

@@ -1,0 +1,337 @@
+//! The cluster worker: poll for a shard, run its chains on the local
+//! portfolio engine, heartbeat while they run, report the outcome.
+//!
+//! One worker process drives one shard at a time. The TCP stream is
+//! owned by the main thread, which heartbeats on a timer while an
+//! executor thread runs the chains; the two share a local
+//! [`SearchBound`] (fed by gossip from heartbeat acks) and a
+//! [`CancelToken`] (tripped when the coordinator revokes the lease or
+//! cancels the job). Chains are side-effect-free, so abandoning a shard
+//! mid-run needs no cleanup — the coordinator simply re-leases it.
+//!
+//! [`FaultPlan`] exists for the failover tests: a worker can be told to
+//! die (drop the connection without reporting) or stall (go silent past
+//! its lease, then report late) after a set number of chains, exercising
+//! lease expiry, reassignment, and first-write-wins deduplication
+//! exactly as a real crash or hang would — both are TCP-observable in
+//! the same way.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use salsa_alloc::{
+    run_chain_slots, AllocError, CancelToken, ChainOutcome, SearchBound, SearchWatch,
+};
+use salsa_cdfg::parse_cdfg;
+use salsa_serve::json::Json;
+use salsa_serve::knobs_from_json;
+use salsa_wire::frame::{read_json_line, write_json_line};
+use salsa_wire::Backoff;
+
+use crate::plan::{build_allocator, plan_job};
+use crate::protocol::{bound_from_json, bound_to_json, chain_to_json};
+
+/// Injected failure behaviour, for the failover tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Behave normally.
+    None,
+    /// After running this many chains (across the worker's lifetime),
+    /// drop the connection and exit without reporting — a crash.
+    ExitAfterChains(usize),
+    /// After running this many chains, go silent (no heartbeats) for
+    /// `stall_ms` before reporting — a hang that outlives the lease.
+    /// Triggers once; the worker behaves normally afterwards.
+    StallAfterChains {
+        /// Chains to run before stalling.
+        chains: usize,
+        /// How long to stay silent, in milliseconds.
+        stall_ms: u64,
+    },
+}
+
+/// Worker tuning.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address, e.g. `"127.0.0.1:7742"`.
+    pub addr: String,
+    /// Worker name, carried in every request (lease bookkeeping, logs).
+    pub name: String,
+    /// Idle poll fallback when the coordinator sends no retry hint.
+    pub poll_ms: u64,
+    /// Heartbeat period while a shard is running. Keep this a small
+    /// fraction of the coordinator's lease.
+    pub heartbeat_ms: u64,
+    /// Injected failure behaviour ([`FaultPlan::None`] in production).
+    pub fault: FaultPlan,
+    /// Give up after this many consecutive failed connection attempts
+    /// (the coordinator is gone for good, not just restarting).
+    pub max_reconnects: u32,
+}
+
+impl WorkerConfig {
+    /// A production-default configuration for `addr`.
+    pub fn new(addr: impl Into<String>, name: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            addr: addr.into(),
+            name: name.into(),
+            poll_ms: 25,
+            heartbeat_ms: 250,
+            fault: FaultPlan::None,
+            max_reconnects: 40,
+        }
+    }
+}
+
+/// Why a connection ended deliberately (I/O errors surface as `Err` and
+/// trigger a reconnect instead).
+enum Exit {
+    /// Coordinator told us to shut down.
+    Shutdown,
+    /// Injected fault: die now.
+    Fault,
+}
+
+/// Deterministic per-name seed for the reconnect backoff (FNV-1a), so a
+/// fleet restarting together does not retry in lockstep.
+fn seed_from_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Runs a worker until the coordinator shuts it down, an injected fault
+/// kills it, or the coordinator stays unreachable past the reconnect
+/// budget.
+pub fn run_worker(config: WorkerConfig) -> io::Result<()> {
+    let mut backoff = Backoff::new(
+        seed_from_name(&config.name),
+        Duration::from_millis(50),
+        Duration::from_secs(2),
+    );
+    let mut chains_done = 0usize;
+    let mut stalled = false;
+    loop {
+        match TcpStream::connect(&config.addr) {
+            Ok(stream) => {
+                backoff.reset();
+                match serve_connection(&config, stream, &mut chains_done, &mut stalled) {
+                    Ok(Exit::Shutdown) | Ok(Exit::Fault) => return Ok(()),
+                    Err(_) => {}
+                }
+            }
+            Err(e) => {
+                if backoff.attempts() >= config.max_reconnects {
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(backoff.next_delay());
+    }
+}
+
+/// One blocking request/response exchange on the worker's stream.
+fn request(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    message: &Json,
+) -> io::Result<Json> {
+    write_json_line(writer, message)?;
+    read_json_line(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator closed"))
+}
+
+fn serve_connection(
+    config: &WorkerConfig,
+    stream: TcpStream,
+    chains_done: &mut usize,
+    stalled: &mut bool,
+) -> io::Result<Exit> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let poll = Json::obj(vec![
+            ("cmd", Json::Str("poll".into())),
+            ("worker", Json::Str(config.name.clone())),
+        ]);
+        let reply = request(&mut writer, &mut reader, &poll)?;
+        match reply.get("status").and_then(Json::as_str) {
+            Some("shutdown") => return Ok(Exit::Shutdown),
+            Some("assign") => {
+                if let Some(exit) =
+                    run_shard(config, &mut writer, &mut reader, &reply, chains_done, stalled)?
+                {
+                    return Ok(exit);
+                }
+            }
+            Some("idle") => {
+                let hint = reply.get("retry_after_ms").and_then(Json::as_u64);
+                std::thread::sleep(Duration::from_millis(hint.unwrap_or(config.poll_ms).max(1)));
+            }
+            _ => std::thread::sleep(Duration::from_millis(config.poll_ms.max(1))),
+        }
+    }
+}
+
+/// Runs one assigned shard; returns `Some(exit)` if the worker should
+/// stop entirely (fault injection), `None` to keep polling.
+fn run_shard(
+    config: &WorkerConfig,
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    assign: &Json,
+    chains_done: &mut usize,
+    stalled: &mut bool,
+) -> io::Result<Option<Exit>> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad assign: {what}"));
+    let job_id = assign.get("job").and_then(Json::as_u64).ok_or_else(|| bad("job"))?;
+    let shard_id = assign.get("shard").and_then(Json::as_u64).ok_or_else(|| bad("shard"))?;
+    let slot_start =
+        assign.get("slot_start").and_then(Json::as_u64).ok_or_else(|| bad("slot_start"))? as usize;
+    let slot_end =
+        assign.get("slot_end").and_then(Json::as_u64).ok_or_else(|| bad("slot_end"))? as usize;
+    let cdfg_text = assign.get("cdfg").and_then(Json::as_str).ok_or_else(|| bad("cdfg"))?;
+    let knobs_json = assign.get("knobs").ok_or_else(|| bad("knobs"))?;
+    let cutoff = assign.get("cutoff").and_then(Json::as_f64);
+    let min_trials =
+        assign.get("min_trials").and_then(Json::as_u64).unwrap_or(2) as usize;
+    let heartbeat = Duration::from_millis(config.heartbeat_ms.max(1));
+
+    // Prepare the job exactly as the coordinator (and the local path)
+    // does. A deterministic failure here would fail on every worker, so
+    // report it as a job error instead of letting the shard bounce
+    // between workers forever.
+    let outcome = (|| {
+        let graph = parse_cdfg(cdfg_text)
+            .map_err(|e| format!("cdfg did not parse: {e}"))?;
+        let knobs = knobs_from_json(knobs_json).map_err(|e| e.message)?;
+        let plan = plan_job(&graph, &knobs).map_err(|e| e.message)?;
+        let cancel = CancelToken::new();
+        let allocator = build_allocator(&graph, &plan, Some(cancel.clone()));
+        let (ctx, improve_config) = allocator.prepare().map_err(|e| e.to_string())?;
+
+        let local_bound = SearchBound::new();
+        let initial_bound = bound_from_json(assign.get("bound"));
+        if initial_bound != u64::MAX {
+            local_bound.publish(initial_bound);
+        }
+
+        // Executor thread runs the chains; this thread keeps the lease
+        // alive and relays bound gossip until it finishes.
+        let result: Result<Vec<ChainOutcome>, AllocError> = std::thread::scope(|scope| {
+            let handle = {
+                let local_bound = &local_bound;
+                let ctx = &ctx;
+                let improve_config = &improve_config;
+                scope.spawn(move || {
+                    let watch = cutoff.map(|factor| SearchWatch {
+                        bound: local_bound,
+                        cutoff_factor: factor,
+                        min_trials,
+                        publish: true,
+                    });
+                    run_chain_slots(
+                        ctx,
+                        improve_config,
+                        knobs.seed,
+                        slot_start..slot_end,
+                        watch.as_ref(),
+                    )
+                })
+            };
+            let mut last_beat = Instant::now();
+            while !handle.is_finished() {
+                std::thread::sleep(Duration::from_millis(5));
+                if last_beat.elapsed() >= heartbeat {
+                    last_beat = Instant::now();
+                    let beat = Json::obj(vec![
+                        ("cmd", Json::Str("heartbeat".into())),
+                        ("worker", Json::Str(config.name.clone())),
+                        ("job", Json::Int(job_id as i64)),
+                        ("shard", Json::Int(shard_id as i64)),
+                        ("bound", bound_to_json(local_bound.get())),
+                    ]);
+                    match request(writer, reader, &beat) {
+                        Ok(ack) => {
+                            let gossip = bound_from_json(ack.get("bound"));
+                            if gossip != u64::MAX {
+                                local_bound.publish(gossip);
+                            }
+                            let revoked =
+                                ack.get("revoked").and_then(Json::as_bool).unwrap_or(false);
+                            let cancelled =
+                                ack.get("cancelled").and_then(Json::as_bool).unwrap_or(false);
+                            if revoked || cancelled {
+                                cancel.cancel();
+                            }
+                        }
+                        // Connection trouble: abandon the shard; the
+                        // lease will expire and someone else takes it.
+                        Err(_) => cancel.cancel(),
+                    }
+                }
+            }
+            handle.join().expect("shard executor")
+        });
+        Ok::<_, String>((result, local_bound.get()))
+    })();
+
+    let (result, final_bound) = match outcome {
+        Ok(pair) => pair,
+        Err(message) => {
+            let report = Json::obj(vec![
+                ("cmd", Json::Str("result".into())),
+                ("worker", Json::Str(config.name.clone())),
+                ("job", Json::Int(job_id as i64)),
+                ("shard", Json::Int(shard_id as i64)),
+                ("error", Json::Str(message)),
+            ]);
+            let _ = request(writer, reader, &report)?;
+            return Ok(None);
+        }
+    };
+
+    match result {
+        Ok(chains) => {
+            *chains_done += chains.len();
+            match config.fault {
+                FaultPlan::ExitAfterChains(limit) if *chains_done >= limit => {
+                    // Die without reporting: the connection drops, the
+                    // heartbeats stop, the lease expires.
+                    return Ok(Some(Exit::Fault));
+                }
+                FaultPlan::StallAfterChains { chains: limit, stall_ms }
+                    if *chains_done >= limit && !*stalled =>
+                {
+                    // Hang silently past the lease, then report late.
+                    *stalled = true;
+                    std::thread::sleep(Duration::from_millis(stall_ms));
+                }
+                _ => {}
+            }
+            let report = Json::obj(vec![
+                ("cmd", Json::Str("result".into())),
+                ("worker", Json::Str(config.name.clone())),
+                ("job", Json::Int(job_id as i64)),
+                ("shard", Json::Int(shard_id as i64)),
+                ("bound", bound_to_json(final_bound)),
+                ("chains", Json::Arr(chains.iter().map(chain_to_json).collect())),
+            ]);
+            let _ = request(writer, reader, &report)?;
+            Ok(None)
+        }
+        // Revoked or cancelled mid-shard: report nothing (the shard is
+        // someone else's now) and go back to polling.
+        Err(AllocError::Cancelled) => Ok(None),
+        Err(other) => {
+            let report = Json::obj(vec![
+                ("cmd", Json::Str("result".into())),
+                ("worker", Json::Str(config.name.clone())),
+                ("job", Json::Int(job_id as i64)),
+                ("shard", Json::Int(shard_id as i64)),
+                ("error", Json::Str(other.to_string())),
+            ]);
+            let _ = request(writer, reader, &report)?;
+            Ok(None)
+        }
+    }
+}

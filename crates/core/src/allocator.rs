@@ -12,7 +12,7 @@ use salsa_sched::{FuClass, FuLibrary, Schedule};
 
 use crate::{
     lower, portfolio_search, AllocContext, AllocError, CancelToken, ImproveConfig, ImproveStats,
-    PortfolioConfig, PortfolioStats,
+    PortfolioConfig, PortfolioOutcome, PortfolioStats,
 };
 
 /// Configurable allocation run. Build with [`Allocator::new`], adjust with
@@ -155,16 +155,18 @@ impl<'a> Allocator<'a> {
         self
     }
 
-    /// Executes the allocation: pool construction, constructive initial
-    /// allocation, iterative improvement, lowering, end-to-end
-    /// verification, and multiplexer merging.
+    /// Builds the allocation context (pool construction) and the resolved
+    /// improvement configuration — the part of [`run`](Allocator::run)
+    /// that precedes the search. Exposed so distributed drivers can run
+    /// the *same* prepared job on every participant: a cluster worker
+    /// prepares from identical inputs and executes a shard of chains; the
+    /// coordinator prepares identically and finishes with
+    /// [`complete`](Allocator::complete).
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError`] if the pool cannot fit the schedule, or — in
-    /// the event of an internal bug — if the produced datapath fails
-    /// verification.
-    pub fn run(&self) -> Result<AllocResult, AllocError> {
+    /// Returns [`AllocError`] if the pool cannot fit the schedule.
+    pub fn prepare(&self) -> Result<(AllocContext<'a>, ImproveConfig), AllocError> {
         let mut fu_counts = self.schedule.fu_demand(self.graph, self.library);
         for (class, extra) in &self.extra_units {
             *fu_counts.entry(*class).or_insert(0) += extra;
@@ -175,9 +177,6 @@ impl<'a> Allocator<'a> {
         let datapath = Datapath::new(&fu_counts, regs.max(1));
         let ctx = AllocContext::new(self.graph, self.schedule, self.library, datapath)?;
 
-        // Restarts are a parallel portfolio: independent seeded chains on
-        // scoped workers sharing a best-bound cutoff, reduced
-        // deterministically by (cost, seed) — see the `portfolio` module.
         // With batching on, the thread budget not consumed by concurrent
         // chains grades move batches instead (never affecting the result,
         // which is thread-count invariant).
@@ -187,8 +186,23 @@ impl<'a> Allocator<'a> {
             let chains = threads.min(self.restarts).max(1);
             config.eval_threads = (threads / chains).max(1);
         }
-        let outcome =
-            portfolio_search(&ctx, &config, &self.portfolio, self.seed, self.restarts)?;
+        Ok((ctx, config))
+    }
+
+    /// Finishes an allocation from a search outcome: lowering, end-to-end
+    /// verification, and multiplexer merging. The counterpart of
+    /// [`prepare`](Allocator::prepare); `outcome.binding` must have been
+    /// produced against `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::VerificationFailed`] if — in the event of an
+    /// internal bug — the produced datapath fails verification.
+    pub fn complete(
+        &self,
+        ctx: &AllocContext<'_>,
+        outcome: PortfolioOutcome<'_>,
+    ) -> Result<AllocResult, AllocError> {
         let (cost, binding, stats) = (outcome.cost, outcome.binding, outcome.stats);
 
         let (rtl, claims) = lower(&binding);
@@ -208,6 +222,26 @@ impl<'a> Allocator<'a> {
             portfolio: outcome.portfolio,
             verified: true,
         })
+    }
+
+    /// Executes the allocation: pool construction, constructive initial
+    /// allocation, iterative improvement, lowering, end-to-end
+    /// verification, and multiplexer merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the pool cannot fit the schedule, or — in
+    /// the event of an internal bug — if the produced datapath fails
+    /// verification.
+    pub fn run(&self) -> Result<AllocResult, AllocError> {
+        let (ctx, config) = self.prepare()?;
+
+        // Restarts are a parallel portfolio: independent seeded chains on
+        // scoped workers sharing a best-bound cutoff, reduced
+        // deterministically by (cost, seed) — see the `portfolio` module.
+        let outcome =
+            portfolio_search(&ctx, &config, &self.portfolio, self.seed, self.restarts)?;
+        self.complete(&ctx, outcome)
     }
 }
 

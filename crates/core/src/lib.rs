@@ -74,7 +74,8 @@ pub use initial::initial_allocation;
 pub use lower::lower;
 pub use polish::polish;
 pub use portfolio::{
-    portfolio_search, ChainStat, PortfolioConfig, PortfolioOutcome, PortfolioStats, SearchBound,
+    portfolio_search, replay_slot, run_chain_slots, ChainOutcome, ChainStat, PortfolioConfig,
+    PortfolioOutcome, PortfolioStats, SearchBound,
 };
 pub use report::{portfolio_table, register_chart, report, unit_schedule};
 pub use moves::{MoveKind, MoveSet};

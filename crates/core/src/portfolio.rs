@@ -262,6 +262,105 @@ fn run_chain<'a>(
     }
 }
 
+/// One chain's outcome in owned, binding-free form — what a remote worker
+/// can report back over a wire. The winning slot's binding is *not* here:
+/// chains are pure functions of `(initial, config, seed)`, so the caller
+/// rematerializes the winner with [`replay_slot`] instead of shipping a
+/// serialized binding.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// The report-table row for this chain.
+    pub stat: ChainStat,
+    /// Raw improvement counters (for the portfolio aggregate).
+    pub improve: ImproveStats,
+    /// Final cost, `Some` only for completed chains.
+    pub cost: Option<u64>,
+}
+
+/// Runs the primary chains of `slots` sequentially in slot order — the
+/// execution core of a cluster worker's shard. Seeds are
+/// `base_seed + slot`, exactly as [`portfolio_search`] derives them, so a
+/// shard's chains are indistinguishable from the same slots run locally.
+///
+/// With `watch == None` every chain runs unwatched to completion, matching
+/// the sequential (`threads == 1`) loop bit-for-bit. Passing a watch
+/// enables the best-bound cutoff against an externally maintained
+/// [`SearchBound`] (e.g. one fed by coordinator gossip).
+///
+/// # Errors
+///
+/// Returns [`AllocError::Cancelled`] when the improve configuration's
+/// cancel token trips; like [`portfolio_search`], cancellation is
+/// all-or-nothing and never yields a partial shard.
+pub fn run_chain_slots(
+    ctx: &AllocContext<'_>,
+    improve_config: &ImproveConfig,
+    base_seed: u64,
+    slots: std::ops::Range<usize>,
+    watch: Option<&SearchWatch<'_>>,
+) -> Result<Vec<ChainOutcome>, AllocError> {
+    let initial = initial_allocation(ctx);
+    let cancelled = || improve_config.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+    let mut outcomes = Vec::with_capacity(slots.len());
+    for slot in slots {
+        if cancelled() {
+            return Err(AllocError::Cancelled);
+        }
+        let run = run_chain(
+            &initial,
+            improve_config,
+            base_seed.wrapping_add(slot as u64),
+            slot,
+            false,
+            watch,
+        );
+        outcomes.push(ChainOutcome {
+            stat: run.stat,
+            improve: run.improve,
+            cost: run.result.map(|(cost, _)| cost),
+        });
+    }
+    if cancelled() {
+        return Err(AllocError::Cancelled);
+    }
+    Ok(outcomes)
+}
+
+/// Re-runs one primary slot unwatched and returns its binding — the seed
+/// replay that turns a remote winner's `(cost, slot)` back into an
+/// allocation. Deterministic: the replayed trajectory is identical to the
+/// one the reporting worker ran, so the returned cost always equals the
+/// reported one.
+///
+/// # Errors
+///
+/// Returns [`AllocError::Cancelled`] if the improve configuration carries
+/// a tripped cancel token (the only way an unwatched chain can fail to
+/// complete).
+pub fn replay_slot<'a>(
+    ctx: &'a AllocContext<'a>,
+    improve_config: &ImproveConfig,
+    base_seed: u64,
+    slot: usize,
+) -> Result<(ChainOutcome, Binding<'a>), AllocError> {
+    let initial = initial_allocation(ctx);
+    let run = run_chain(
+        &initial,
+        improve_config,
+        base_seed.wrapping_add(slot as u64),
+        slot,
+        false,
+        None,
+    );
+    match run.result {
+        Some((cost, binding)) => Ok((
+            ChainOutcome { stat: run.stat, improve: run.improve, cost: Some(cost) },
+            binding,
+        )),
+        None => Err(AllocError::Cancelled),
+    }
+}
+
 /// Derives a bonus-chain seed well away from the primary slot seeds.
 fn bonus_seed(base_seed: u64, worker: usize, k: usize) -> u64 {
     base_seed

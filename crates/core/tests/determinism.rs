@@ -10,11 +10,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use salsa_alloc::{
-    improve, initial_allocation, register_chart, AllocContext, Allocator, Binding, ImproveConfig,
-    ImproveStats,
+    anneal, improve, initial_allocation, polish, register_chart, AllocContext, AnnealConfig,
+    Allocator, Binding, ImproveConfig, ImproveStats, MoveSet,
 };
 use salsa_cdfg::{benchmarks, random_cdfg, Cdfg, RandomCdfgConfig};
-use salsa_datapath::Datapath;
+use salsa_datapath::{CostWeights, Datapath};
 use salsa_sched::{asap, fds_schedule, FuLibrary, Schedule};
 
 fn quick(batch: Option<usize>, eval_threads: usize) -> ImproveConfig {
@@ -136,6 +136,69 @@ fn allocator_batch_of_one_matches_the_plain_allocator() {
         "batch(1) changed the final register layout"
     );
     assert_eq!(counters(&batched.stats), counters(&plain.stats));
+}
+
+#[test]
+fn annealing_is_a_pure_function_of_the_seed() {
+    let graph = benchmarks::ewf();
+    let library = FuLibrary::standard();
+    let cp = asap(&graph, &library).length;
+    let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+    let datapath = pool_for(&graph, &schedule, &library, 1);
+    let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+    let config = AnnealConfig {
+        initial_temperature: 10.0,
+        moves_per_level: Some(300),
+        ..AnnealConfig::default()
+    };
+
+    let run = |seed: u64| {
+        let mut binding = initial_allocation(&ctx);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = anneal(&mut binding, &config, &mut rng);
+        (binding, stats)
+    };
+    let (first, first_stats) = run(7);
+    let (again, again_stats) = run(7);
+    assert!(first == again, "same seed, same annealed binding");
+    assert_eq!(first_stats, again_stats, "same seed, same annealing statistics");
+    assert!(first_stats.final_cost <= first_stats.initial_cost, "best-so-far never worsens");
+
+    let (other, other_stats) = run(8);
+    assert!(
+        !(other == first) || other_stats != first_stats,
+        "a different seed should explore differently"
+    );
+}
+
+#[test]
+fn polish_reaches_a_deterministic_fixpoint() {
+    let graph = benchmarks::dct();
+    let library = FuLibrary::standard();
+    let cp = asap(&graph, &library).length;
+    let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+    let datapath = pool_for(&graph, &schedule, &library, 1);
+    let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+    let weights = CostWeights::default();
+    let cost_of = |b: &Binding<'_>| weights.evaluate(&b.breakdown());
+
+    // Two identical stochastic starts, polished independently, must land
+    // on the same local optimum: the sweep order is fixed, so polish is
+    // as deterministic as the binding it starts from.
+    let (mut first, _) = search(&ctx, 3, &quick(None, 1));
+    let (mut twin, _) = search(&ctx, 3, &quick(None, 1));
+    let before = cost_of(&first);
+    let polished = polish(&mut first, &weights, &MoveSet::full());
+    let twin_polished = polish(&mut twin, &weights, &MoveSet::full());
+    assert_eq!(polished, twin_polished, "identical inputs polish to identical costs");
+    assert!(first == twin, "identical inputs polish to identical bindings");
+    assert!(polished <= before, "polish never worsens the binding");
+    assert_eq!(polished, cost_of(&first), "returned cost matches the final binding");
+
+    // A fixpoint is a fixpoint: polishing again changes nothing.
+    let again = polish(&mut first, &weights, &MoveSet::full());
+    assert_eq!(again, polished);
+    assert!(first == twin, "re-polishing at the fixpoint is a no-op");
 }
 
 proptest! {

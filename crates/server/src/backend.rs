@@ -1,0 +1,52 @@
+//! The allocation backend seam: how the service turns a resolved job
+//! into a report.
+//!
+//! The queue, cache, stats and connection layers are agnostic to *where*
+//! chains run — in-process threads (the default [`LocalBackend`]) or a
+//! coordinator fanning shards out to worker processes (`salsa-cluster`'s
+//! backend, injected from the binary to keep the dependency graph
+//! acyclic: `wire ← server ← cluster ← main`). Whatever the backend, the
+//! report contract is identical — the portfolio reduction is
+//! deterministic in `(cost, seed)`, so the cache stays sound.
+
+use salsa_alloc::CancelToken;
+use salsa_cdfg::Cdfg;
+
+use crate::exec::run_allocation;
+use crate::json::Json;
+use crate::protocol::{Knobs, ServeError};
+
+/// Executes one resolved allocation job and returns its report object.
+pub trait AllocBackend: Send + Sync {
+    /// A short label for the `stats` response (`"local"`, `"cluster"`).
+    fn name(&self) -> &str;
+
+    /// Runs the job, polling `cancel` cooperatively. Must produce the
+    /// same report a local run would for the same `(graph, knobs)` —
+    /// the cache replays responses across backends.
+    fn allocate(
+        &self,
+        graph: &Cdfg,
+        knobs: &Knobs,
+        cancel: Option<CancelToken>,
+    ) -> Result<Json, ServeError>;
+}
+
+/// The default backend: chains run on this process's portfolio engine.
+#[derive(Debug, Default)]
+pub struct LocalBackend;
+
+impl AllocBackend for LocalBackend {
+    fn name(&self) -> &str {
+        "local"
+    }
+
+    fn allocate(
+        &self,
+        graph: &Cdfg,
+        knobs: &Knobs,
+        cancel: Option<CancelToken>,
+    ) -> Result<Json, ServeError> {
+        run_allocation(graph, knobs, cancel)
+    }
+}

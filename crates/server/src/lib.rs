@@ -37,22 +37,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod exec;
-pub mod json;
+pub use salsa_wire::json;
 pub mod protocol;
 pub mod queue;
 pub mod report;
 pub mod server;
 pub mod stats;
 
+pub use backend::{AllocBackend, LocalBackend};
 pub use cache::ResultCache;
 pub use exec::{resolve_graph, run_allocation, run_request};
 pub use json::{parse_json, Json, JsonError};
 pub use protocol::{
-    cache_key, parse_command, AllocRequest, Command, ErrorKind, GraphSource, Knobs, ServeError,
+    cache_key, knobs_from_json, knobs_to_json, parse_command, AllocRequest, Command, ErrorKind,
+    GraphSource, Knobs, ServeError,
 };
 pub use queue::{JobQueue, PushError};
-pub use report::report_json;
+pub use report::{canonicalize_report, report_json};
 pub use server::{Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};

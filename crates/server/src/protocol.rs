@@ -274,7 +274,15 @@ fn parse_alloc_request(obj: &Json) -> Result<AllocRequest, ServeError> {
             ))
         }
     };
+    let knobs = knobs_from_json(obj)?;
+    Ok(AllocRequest { source, knobs, timeout_ms: field_u64(obj, "timeout_ms")? })
+}
 
+/// Parses the knob fields out of a request-shaped object (unset fields
+/// take their [`Knobs::default`] values). Shared by `allocate` request
+/// parsing and the cluster protocol, which ships a job's knobs to worker
+/// processes in exactly the request spelling.
+pub fn knobs_from_json(obj: &Json) -> Result<Knobs, ServeError> {
     let steps = field_u64(obj, "steps")?.map(|s| s as usize);
     if steps == Some(0) {
         return Err(ServeError::new(ErrorKind::BadRequest, "'steps' must be at least 1"));
@@ -286,7 +294,7 @@ fn parse_alloc_request(obj: &Json) -> Result<AllocRequest, ServeError> {
             format!("'restarts' must be in 1..={MAX_RESTARTS}"),
         ));
     }
-    let knobs = Knobs {
+    Ok(Knobs {
         steps,
         extra_regs: field_u64(obj, "extra_regs")?.map(|e| e as usize).unwrap_or(0),
         seed: field_u64(obj, "seed")?.unwrap_or(42),
@@ -296,8 +304,36 @@ fn parse_alloc_request(obj: &Json) -> Result<AllocRequest, ServeError> {
         cutoff: field_f64(obj, "cutoff")?,
         pipelined: field_bool(obj, "pipelined")?,
         traditional: field_bool(obj, "traditional")?,
-    };
-    Ok(AllocRequest { source, knobs, timeout_ms: field_u64(obj, "timeout_ms")? })
+    })
+}
+
+/// Renders knobs as a JSON object in the request spelling, the inverse
+/// of [`knobs_from_json`]: unset options are omitted, and the rendering
+/// round-trips exactly (floats use shortest-roundtrip formatting).
+pub fn knobs_to_json(knobs: &Knobs) -> Json {
+    let mut pairs = Vec::with_capacity(9);
+    if let Some(steps) = knobs.steps {
+        pairs.push(("steps", Json::Int(steps as i64)));
+    }
+    pairs.push(("extra_regs", Json::Int(knobs.extra_regs as i64)));
+    pairs.push(("seed", Json::Int(knobs.seed as i64)));
+    pairs.push(("restarts", Json::Int(knobs.restarts as i64)));
+    if let Some(threads) = knobs.threads {
+        pairs.push(("threads", Json::Int(threads as i64)));
+    }
+    if let Some(batch) = knobs.batch {
+        pairs.push(("batch", Json::Int(batch as i64)));
+    }
+    if let Some(cutoff) = knobs.cutoff {
+        pairs.push(("cutoff", Json::Float(cutoff)));
+    }
+    if knobs.pipelined {
+        pairs.push(("pipelined", Json::Bool(true)));
+    }
+    if knobs.traditional {
+        pairs.push(("traditional", Json::Bool(true)));
+    }
+    Json::obj(pairs)
 }
 
 /// The content address of a job: FNV-1a 128 over the canonical CDFG text
@@ -419,6 +455,26 @@ mod tests {
         assert_ne!(cache_key("cdfg u\ninput x\nop y = add x x\noutput y\n", &base), base_key);
         // Stable for identical inputs.
         assert_eq!(key(&base), base_key);
+    }
+
+    #[test]
+    fn knobs_roundtrip_through_their_wire_spelling() {
+        let full = Knobs {
+            steps: Some(17),
+            extra_regs: 1,
+            seed: 7,
+            restarts: 4,
+            threads: Some(2),
+            batch: Some(8),
+            cutoff: Some(1.25),
+            pipelined: true,
+            traditional: true,
+        };
+        for knobs in [Knobs::default(), full] {
+            let rendered = knobs_to_json(&knobs);
+            let reparsed = parse_json(&rendered.to_string_compact()).unwrap();
+            assert_eq!(knobs_from_json(&reparsed).unwrap(), knobs);
+        }
     }
 
     #[test]

@@ -80,6 +80,38 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
     ])
 }
 
+/// Zeroes the wall-clock fields of a report — `search.elapsed_ms`,
+/// `search.moves_per_sec`, `portfolio.speedup` — in place.
+///
+/// Everything else in a report is deterministic in `(design, knobs)`;
+/// only these three measure the run that produced them. The byte-exact
+/// contracts (`threads(1)` ≡ sequential, `batch(1)` ≡ sequential,
+/// 1-worker cluster ≡ local portfolio) and the CI report diffs compare
+/// reports in this canonical form. Accepts either a bare report object
+/// or a full `{"status":"ok","report":{...}}` response.
+pub fn canonicalize_report(json: &mut Json) {
+    if let Json::Obj(pairs) = json {
+        for (key, value) in pairs.iter_mut() {
+            match key.as_str() {
+                "report" => canonicalize_report(value),
+                "search" => zero_fields(value, &["elapsed_ms", "moves_per_sec"]),
+                "portfolio" => zero_fields(value, &["speedup"]),
+                _ => {}
+            }
+        }
+    }
+}
+
+fn zero_fields(obj: &mut Json, keys: &[&str]) {
+    if let Json::Obj(pairs) = obj {
+        for (key, value) in pairs.iter_mut() {
+            if keys.contains(&key.as_str()) {
+                *value = Json::Float(0.0);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +167,21 @@ mod tests {
             json.to_string_compact(),
             report_json(&graph, &schedule, 3, &result).to_string_compact()
         );
+
+        // Canonicalization zeroes exactly the wall-clock fields, whether
+        // the report is bare or wrapped in an ok response.
+        let mut bare = json.clone();
+        canonicalize_report(&mut bare);
+        let search = bare.get("search").unwrap();
+        assert_eq!(search.get("elapsed_ms"), Some(&Json::Float(0.0)));
+        assert_eq!(search.get("moves_per_sec"), Some(&Json::Float(0.0)));
+        assert_eq!(
+            bare.get("portfolio").and_then(|p| p.get("speedup")),
+            Some(&Json::Float(0.0))
+        );
+        assert_eq!(search.get("trials"), json.get("search").unwrap().get("trials"));
+        let mut wrapped = crate::protocol::ok_response(json.clone());
+        canonicalize_report(&mut wrapped);
+        assert_eq!(wrapped.get("report"), Some(&bare));
     }
 }

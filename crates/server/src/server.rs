@@ -30,8 +30,9 @@ use std::time::{Duration, Instant};
 use salsa_alloc::CancelToken;
 use salsa_cdfg::Cdfg;
 
+use crate::backend::{AllocBackend, LocalBackend};
 use crate::cache::ResultCache;
-use crate::exec::{resolve_graph, run_allocation};
+use crate::exec::resolve_graph;
 use crate::json::{parse_json, Json};
 use crate::protocol::{
     cache_key, error_response, ok_response, parse_command, rejected_response, Command, ErrorKind,
@@ -95,6 +96,7 @@ struct Shared {
     shutdown: AtomicBool,
     connections: AtomicUsize,
     config: ServerConfig,
+    backend: Arc<dyn AllocBackend>,
 }
 
 impl Shared {
@@ -120,8 +122,19 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
-    /// starts the listener and worker threads.
+    /// starts the listener and worker threads, running jobs on the
+    /// in-process [`LocalBackend`].
     pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        Server::bind_with_backend(addr, config, Arc::new(LocalBackend))
+    }
+
+    /// Like [`bind`](Server::bind) but with an explicit allocation
+    /// backend (e.g. the cluster coordinator's).
+    pub fn bind_with_backend(
+        addr: &str,
+        config: ServerConfig,
+        backend: Arc<dyn AllocBackend>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -133,6 +146,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             config: config.clone(),
+            backend,
         });
 
         let workers = (0..config.workers.max(1))
@@ -399,6 +413,7 @@ fn stats_response(shared: &Arc<Shared>) -> Json {
                     ]),
                 ),
                 ("workers", Json::Int(shared.config.workers as i64)),
+                ("backend", Json::Str(shared.backend.name().to_string())),
             ]),
         ),
     ])
@@ -415,7 +430,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn process_job(shared: &Arc<Shared>, job: Job, scratch: &mut String) {
     let cancel = job.deadline.map(CancelToken::with_deadline);
-    let outcome = run_allocation(&job.graph, &job.knobs, cancel);
+    let outcome = shared.backend.allocate(&job.graph, &job.knobs, cancel);
     let latency = job.accepted_at.elapsed();
     let bytes = match outcome {
         Ok(report) => {

@@ -1,0 +1,27 @@
+//! `salsa-wire` — the shared wire substrate of the SALSA services.
+//!
+//! Both the allocation service (`salsa-serve`) and the distributed
+//! portfolio cluster (`salsa-cluster`) speak newline-delimited JSON over
+//! TCP. This crate holds the pieces they share, with the workspace's
+//! no-external-dependencies policy intact (std only):
+//!
+//! - [`json`] — the hand-rolled JSON document model: insertion-ordered
+//!   objects (deterministic serialization, which the byte-replay caches
+//!   and the cluster's bit-exact reduction contract rely on) and a
+//!   parser that distinguishes integers from floats;
+//! - [`frame`] — one-JSON-object-per-line framing over buffered TCP
+//!   streams, with the poll-tolerant read loop both services use;
+//! - [`backoff`] — seeded, jittered exponential backoff for retry loops
+//!   (backpressure resubmission, worker reconnects), deterministic per
+//!   seed so load-generator runs stay reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod frame;
+pub mod json;
+
+pub use backoff::Backoff;
+pub use frame::{read_json_line, roundtrip, write_json_line, LineReader, Polled};
+pub use json::{parse_json, Json, JsonError};

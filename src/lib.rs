@@ -16,7 +16,12 @@
 //! * [`rtlgen`] — structural Verilog export of allocated datapaths,
 //! * [`serve`] — the TCP allocation service (bounded job queue,
 //!   content-addressed result cache, worker pool with per-job
-//!   deadlines) and the JSON report serializer.
+//!   deadlines) and the JSON report serializer,
+//! * [`wire`] — the shared newline-delimited-JSON wire layer (parser,
+//!   line framing, seeded reconnect backoff),
+//! * [`cluster`] — distributed portfolio search: a coordinator leasing
+//!   restart-chain shards to worker processes with heartbeat failover
+//!   and a bit-exact deterministic reduction.
 //!
 //! # Quickstart
 //!
@@ -38,10 +43,12 @@
 pub use salsa_alloc as alloc;
 pub use salsa_baseline as baseline;
 pub use salsa_cdfg as cdfg;
+pub use salsa_cluster as cluster;
 pub use salsa_rtlgen as rtlgen;
 pub use salsa_datapath as datapath;
 pub use salsa_sched as sched;
 pub use salsa_serve as serve;
+pub use salsa_wire as wire;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {

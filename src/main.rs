@@ -10,7 +10,12 @@
 //!                    [--verilog PATH] [--testbench PATH] [--dot PATH]
 //! salsa-hls bench    <name|--list>                    run a built-in benchmark
 //! salsa-hls serve    [--addr H:P] [--workers N] [--queue N] [--cache N]
+//!                    [--backend local|cluster] [--cluster-listen H:P]
 //! salsa-hls submit   [--addr H:P] (--bench NAME | <file.cdfg>) [knobs...]
+//! salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [knobs...]
+//!                    [--listen H:P] [--shard-chains N] [--lease-ms MS]
+//! salsa-hls cluster-worker [--addr H:P] [--name NAME] [--poll-ms MS]
+//!                    [--heartbeat-ms MS] [--max-reconnects N]
 //! ```
 //!
 //! `<file.cdfg>` uses the text format documented in
@@ -24,7 +29,10 @@ use salsa_hls::cdfg::{parse_cdfg, Cdfg};
 use salsa_hls::datapath::{bus_allocate, traffic_from_rtl};
 use salsa_hls::rtlgen::{control_table, generate_testbench, generate_verilog, VerilogOptions};
 use salsa_hls::sched::{asap, fds_schedule, FuClass, FuLibrary};
-use salsa_hls::serve::{parse_json, report_json, Json, Server, ServerConfig};
+use salsa_hls::cluster::{run_worker, ClusterBackend, ClusterConfig, Coordinator, WorkerConfig};
+use salsa_hls::serve::{
+    canonicalize_report, parse_json, report_json, Json, Knobs, Server, ServerConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +55,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => bench(args),
         "serve" => serve(args),
         "submit" => submit(args),
+        "cluster-alloc" => cluster_alloc(args),
+        "cluster-worker" => cluster_worker(args),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -68,12 +78,21 @@ usage:
                      [--json] [--verilog PATH] [--testbench PATH] [--dot PATH]
   salsa-hls bench    <name|--list>
   salsa-hls serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                     [--default-timeout-ms MS]
+                     [--default-timeout-ms MS] [--backend local|cluster]
+                     [--cluster-listen HOST:PORT] [--shard-chains N]
+                     [--lease-ms MS]
   salsa-hls submit   [--addr HOST:PORT] (--bench NAME | <file.cdfg>)
                      [--steps N] [--extra-regs K] [--seed S] [--restarts R]
                      [--threads T] [--batch K] [--cutoff F] [--pipelined]
-                     [--traditional] [--timeout-ms MS] [--pretty]
+                     [--traditional] [--timeout-ms MS] [--pretty] [--retry N]
   salsa-hls submit   [--addr HOST:PORT] (--ping | --stats | --shutdown)
+  salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [--steps N]
+                     [--extra-regs K] [--seed S] [--restarts R] [--batch K]
+                     [--cutoff F] [--pipelined] [--traditional]
+                     [--listen HOST:PORT] [--shard-chains N] [--lease-ms MS]
+                     [--canonical]
+  salsa-hls cluster-worker [--addr HOST:PORT] [--name NAME] [--poll-ms MS]
+                     [--heartbeat-ms MS] [--max-reconnects N]
 
 --restarts runs R independent seeded search chains and keeps the best;
 --threads caps the portfolio workers spreading those chains (default: the
@@ -87,6 +106,17 @@ serve starts the allocation service (newline-delimited JSON over TCP;
 default 127.0.0.1:7741, port 0 picks a free port) and runs until a
 shutdown command drains it; submit sends one request and prints the
 response (--json reports use the same serializer in both).
+
+--backend cluster makes serve dispatch each job to a worker fleet: it
+also binds a coordinator on --cluster-listen (default 127.0.0.1:7742)
+and waits for 'salsa-hls cluster-worker' processes to poll it. Restart
+chains are leased out in shards; a worker that dies or stalls past its
+lease loses the shard to a peer (chains are pure functions of the seed,
+so reruns are exact). With no --cutoff the final report is byte-identical
+to the local sequential portfolio in canonical form (--canonical zeroes
+the wall-clock fields: search.elapsed_ms, search.moves_per_sec,
+portfolio.speedup). cluster-alloc is the one-shot form: bind, run one
+job against the fleet, print the report, shut down.
 
 <file.cdfg> is the text CDFG format ('-' reads stdin), e.g.:
   cdfg iir1
@@ -219,7 +249,13 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
     }
     let result = allocator.run().map_err(|e| e.to_string())?;
 
-    if has_flag(args, "--json") {
+    if has_flag(args, "--canonical") {
+        // Canonical form for byte-exact diffs against a cluster run:
+        // compact, with the wall-clock fields zeroed.
+        let mut report = report_json(graph, &schedule, seed, &result);
+        canonicalize_report(&mut report);
+        println!("{}", report.to_string_compact());
+    } else if has_flag(args, "--json") {
         // Same serializer as the server's allocate responses.
         println!("{}", report_json(graph, &schedule, seed, &result).to_string_pretty());
     } else {
@@ -280,6 +316,7 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
 }
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7741";
+const DEFAULT_CLUSTER_ADDR: &str = "127.0.0.1:7742";
 
 fn serve(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
@@ -296,53 +333,197 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = flag_parse(args, "--default-timeout-ms")? {
         config.default_timeout_ms = Some(ms);
     }
-    let server = Server::bind(&addr, config).map_err(|e| format!("{addr}: {e}"))?;
+
+    let backend = flag_value(args, "--backend")?.unwrap_or_else(|| "local".to_string());
+    let coordinator = match backend.as_str() {
+        "local" => None,
+        "cluster" => {
+            let listen =
+                flag_value(args, "--cluster-listen")?.unwrap_or_else(|| DEFAULT_CLUSTER_ADDR.to_string());
+            let coordinator = std::sync::Arc::new(
+                Coordinator::bind(&listen, cluster_config(args)?)
+                    .map_err(|e| format!("{listen}: {e}"))?,
+            );
+            println!("cluster listening on {}", coordinator.local_addr());
+            Some(coordinator)
+        }
+        other => return Err(format!("unknown backend '{other}' (try local or cluster)")),
+    };
+
+    let server = match &coordinator {
+        Some(coordinator) => Server::bind_with_backend(
+            &addr,
+            config,
+            std::sync::Arc::new(ClusterBackend::new(std::sync::Arc::clone(coordinator))),
+        ),
+        None => Server::bind(&addr, config),
+    }
+    .map_err(|e| format!("{addr}: {e}"))?;
     println!("listening on {}", server.local_addr());
     // The banner must reach pipes promptly: scripts wait for it before
     // submitting.
     let _ = std::io::stdout().flush();
     server.join();
+    if let Some(coordinator) = coordinator {
+        // Tell polling workers to exit; give them one poll period to
+        // hear it before the process (and the listener) goes away.
+        coordinator.begin_shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
     println!("drained and stopped");
     Ok(())
+}
+
+/// Coordinator tuning shared by `serve --backend cluster` and
+/// `cluster-alloc`.
+fn cluster_config(args: &[String]) -> Result<ClusterConfig, String> {
+    let mut config = ClusterConfig::default();
+    if let Some(chains) = flag_parse(args, "--shard-chains")? {
+        config.shard_chains = chains;
+    }
+    if let Some(ms) = flag_parse(args, "--lease-ms")? {
+        config.lease_ms = ms;
+    }
+    Ok(config)
+}
+
+/// The allocation knobs shared by `cluster-alloc` (flags mirror
+/// `allocate`/`submit`; `--threads` is absent because the cluster pins
+/// every chain to one thread — its parallelism is workers).
+fn knobs_from_args(args: &[String]) -> Result<Knobs, String> {
+    Ok(Knobs {
+        steps: flag_parse(args, "--steps")?,
+        extra_regs: flag_parse(args, "--extra-regs")?.unwrap_or(0),
+        seed: flag_parse(args, "--seed")?.unwrap_or(42),
+        restarts: flag_parse(args, "--restarts")?.unwrap_or(1),
+        threads: None,
+        batch: flag_parse(args, "--batch")?,
+        cutoff: flag_parse(args, "--cutoff")?,
+        pipelined: has_flag(args, "--pipelined"),
+        traditional: has_flag(args, "--traditional"),
+    })
+}
+
+fn load_graph_or_bench(args: &[String]) -> Result<Cdfg, String> {
+    if let Some(name) = flag_value(args, "--bench")? {
+        return salsa_hls::cdfg::benchmarks::all()
+            .into_iter()
+            .find(|g| g.name() == name)
+            .ok_or_else(|| format!("unknown benchmark '{name}' (try 'salsa-hls bench --list')"));
+    }
+    load_graph(args)
+}
+
+/// One-shot distributed allocation: bind a coordinator, run a single job
+/// against whatever workers poll it, print the report, shut down.
+fn cluster_alloc(args: &[String]) -> Result<(), String> {
+    let graph = load_graph_or_bench(args)?;
+    let knobs = knobs_from_args(args)?;
+    let listen = flag_value(args, "--listen")?.unwrap_or_else(|| DEFAULT_CLUSTER_ADDR.to_string());
+    let coordinator = Coordinator::bind(&listen, cluster_config(args)?)
+        .map_err(|e| format!("{listen}: {e}"))?;
+    // Banner first and flushed: scripts wait for it before starting the
+    // workers that will carry this job.
+    println!("cluster listening on {}", coordinator.local_addr());
+    let _ = std::io::stdout().flush();
+
+    let outcome = coordinator.allocate(&graph, &knobs, None);
+    coordinator.shutdown();
+    let mut report = outcome.map_err(|e| format!("[{}] {}", e.kind.as_str(), e.message))?;
+    if has_flag(args, "--canonical") {
+        canonicalize_report(&mut report);
+        println!("{}", report.to_string_compact());
+    } else {
+        println!("{}", report.to_string_pretty());
+    }
+    Ok(())
+}
+
+/// A cluster worker process: polls the coordinator for leased shards,
+/// runs their chains, heartbeats while they run, reports the outcomes.
+fn cluster_worker(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| DEFAULT_CLUSTER_ADDR.to_string());
+    let name = flag_value(args, "--name")?
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let mut config = WorkerConfig::new(addr.clone(), name);
+    if let Some(ms) = flag_parse(args, "--poll-ms")? {
+        config.poll_ms = ms;
+    }
+    if let Some(ms) = flag_parse(args, "--heartbeat-ms")? {
+        config.heartbeat_ms = ms;
+    }
+    if let Some(limit) = flag_parse(args, "--max-reconnects")? {
+        config.max_reconnects = limit;
+    }
+    run_worker(config).map_err(|e| format!("{addr}: {e}"))
 }
 
 fn submit(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
     let request = build_submit_request(args)?;
-
-    let mut stream = std::net::TcpStream::connect(&addr)
-        .map_err(|e| format!("{addr}: {e} (is 'salsa-hls serve' running?)"))?;
     let mut line = request.to_string_compact();
     line.push('\n');
+
+    // --retry N resends after backpressure rejections, up to N times,
+    // with seeded jittered exponential backoff floored at the server's
+    // retry_after_ms hint. Default 0: one attempt, as before.
+    let retries: u32 = flag_parse(args, "--retry")?.unwrap_or(0);
+    let mut backoff = salsa_hls::wire::Backoff::new(
+        0x5a15_a5abu64 ^ u64::from(std::process::id()),
+        std::time::Duration::from_millis(25),
+        std::time::Duration::from_secs(5),
+    );
+    let mut attempts_left = retries;
+    loop {
+        let response = submit_once(&addr, &line)?;
+        let parsed = parse_json(&response)
+            .map_err(|e| format!("{addr}: unparsable response: {} ({response})", e.message))?;
+        if parsed.get("status").and_then(Json::as_str) == Some("rejected") && attempts_left > 0 {
+            attempts_left -= 1;
+            let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(100);
+            let delay = backoff.next_delay().max(std::time::Duration::from_millis(hint));
+            eprintln!(
+                "rejected with backpressure; retrying in {} ms ({} attempts left)",
+                delay.as_millis(),
+                attempts_left
+            );
+            std::thread::sleep(delay);
+            continue;
+        }
+        if has_flag(args, "--pretty") {
+            println!("{}", parsed.to_string_pretty());
+        } else {
+            println!("{response}");
+        }
+        return match parsed.get("status").and_then(Json::as_str) {
+            Some("ok") => Ok(()),
+            Some("rejected") => {
+                let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
+                Err(format!("rejected with backpressure (retry after {hint} ms)"))
+            }
+            Some("error") => {
+                let kind = parsed.get("kind").and_then(Json::as_str).unwrap_or("?");
+                let message = parsed.get("message").and_then(Json::as_str).unwrap_or("");
+                Err(format!("server error [{kind}]: {message}"))
+            }
+            other => Err(format!("unexpected response status {other:?}")),
+        };
+    }
+}
+
+/// One request/response exchange on a fresh connection.
+fn submit_once(addr: &str, line: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("{addr}: {e} (is 'salsa-hls serve' running?)"))?;
     stream.write_all(line.as_bytes()).map_err(|e| format!("{addr}: send: {e}"))?;
     let mut response = String::new();
     std::io::BufRead::read_line(&mut std::io::BufReader::new(stream), &mut response)
         .map_err(|e| format!("{addr}: receive: {e}"))?;
-    let response = response.trim_end();
+    let response = response.trim_end().to_string();
     if response.is_empty() {
         return Err(format!("{addr}: server closed the connection without replying"));
     }
-
-    let parsed = parse_json(response)
-        .map_err(|e| format!("{addr}: unparsable response: {} ({response})", e.message))?;
-    if has_flag(args, "--pretty") {
-        println!("{}", parsed.to_string_pretty());
-    } else {
-        println!("{response}");
-    }
-    match parsed.get("status").and_then(Json::as_str) {
-        Some("ok") => Ok(()),
-        Some("rejected") => {
-            let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
-            Err(format!("rejected with backpressure (retry after {hint} ms)"))
-        }
-        Some("error") => {
-            let kind = parsed.get("kind").and_then(Json::as_str).unwrap_or("?");
-            let message = parsed.get("message").and_then(Json::as_str).unwrap_or("");
-            Err(format!("server error [{kind}]: {message}"))
-        }
-        other => Err(format!("unexpected response status {other:?}")),
-    }
+    Ok(response)
 }
 
 /// The first token after `submit` that is neither a flag nor the value
@@ -350,7 +531,7 @@ fn submit(args: &[String]) -> Result<(), String> {
 fn submit_positional(args: &[String]) -> Option<&String> {
     const VALUE_FLAGS: &[&str] = &[
         "--addr", "--bench", "--steps", "--extra-regs", "--seed", "--restarts", "--threads",
-        "--batch", "--cutoff", "--timeout-ms",
+        "--batch", "--cutoff", "--timeout-ms", "--retry",
     ];
     let mut i = 1;
     while i < args.len() {
