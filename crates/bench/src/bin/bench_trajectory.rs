@@ -6,8 +6,10 @@
 //!
 //! The JSON carries two sections (schema documented in EXPERIMENTS.md):
 //!
-//! * `"benchmarks"` — the latest sequential rows, overwritten every run
-//!   (the flat record earlier revisions emitted, kept for compatibility);
+//! * `"benchmarks"` — the newest history entry's sequential rows,
+//!   projected verbatim every run (the flat record earlier revisions
+//!   emitted, kept for compatibility and guaranteed in step with the
+//!   history by construction);
 //! * `"history"` — one entry per PR label, **appended** across runs so the
 //!   file accumulates a cross-revision performance trail. Re-running with
 //!   the same `--pr` label replaces that label's entry instead of
@@ -32,7 +34,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use salsa_alloc::{Allocator, MoveSet};
-use salsa_bench::jsonstore::{history_entry, prior_history, render_bench_file, BENCH_FILE};
+use salsa_bench::jsonstore::{
+    history_entry, latest_flat_rows, prior_history, render_bench_file, BENCH_FILE,
+};
 use salsa_bench::Effort;
 use salsa_cdfg::Cdfg;
 use salsa_cluster::{run_worker, ClusterConfig, Coordinator, FaultPlan, WorkerConfig};
@@ -227,7 +231,7 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or(4)
         .max(2);
-    let pr = flag_value("--pr").unwrap_or_else(|| "PR5-cluster".to_string());
+    let pr = flag_value("--pr").unwrap_or_else(|| "PR6-plan".to_string());
     // Enough chains that the portfolio has real work to spread; both modes
     // run the identical seed set so the wall-clock ratio is an honest
     // same-work speedup.
@@ -281,19 +285,9 @@ fn main() {
     let rows: Vec<String> = records.iter().map(record_json).collect();
     history.push(history_entry(&pr, &rows));
 
-    let latest: Vec<String> = records
-        .iter()
-        .filter(|r| r.mode == "sequential")
-        .map(|r| {
-            format!(
-                "{{\"name\": \"{}\", \"steps\": {}, \"seed\": {}, \"wall_time_sec\": {:.4}, \
-                 \"final_cost\": {}, \"moves_attempted\": {}, \"moves_per_sec\": {:.0}, \
-                 \"verified\": {}}}",
-                r.name, r.steps, r.seed, r.wall_secs, r.final_cost, r.attempted, r.moves_per_sec,
-                r.verified
-            )
-        })
-        .collect();
+    // The flat block is a projection of the entry just appended — never a
+    // separately rendered copy that can drift out of step with history.
+    let latest = latest_flat_rows(history.last().expect("entry just pushed"));
     let json = render_bench_file(&latest, &history);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 

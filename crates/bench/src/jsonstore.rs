@@ -125,6 +125,22 @@ pub fn existing_benchmark_rows(existing: &str) -> Vec<String> {
     array_body(existing, "benchmarks").map(split_objects).unwrap_or_default()
 }
 
+/// The flat `"benchmarks"` block derived from one history entry: its
+/// sequential rows, verbatim (rows without a `"mode"` field — the
+/// pre-history schema — count as sequential). `bench_trajectory` renders
+/// the block from the entry it just appended, so the flat section is
+/// always a projection of the newest history entry and can never drift
+/// out of step with it.
+pub fn latest_flat_rows(newest_entry: &str) -> Vec<String> {
+    let Some(body) = array_body(newest_entry, "entries") else {
+        return Vec::new();
+    };
+    split_objects(body)
+        .into_iter()
+        .filter(|row| row.contains("\"mode\": \"sequential\"") || !row.contains("\"mode\""))
+        .collect()
+}
+
 /// Wraps per-run row objects into one labelled history entry.
 pub fn history_entry(pr: &str, rows: &[String]) -> String {
     let mut entry = format!("{{\n      \"pr\": \"{pr}\",\n      \"entries\": [\n");
@@ -179,6 +195,23 @@ mod tests {
         let objects = split_objects(body);
         assert_eq!(objects.len(), 2);
         assert!(objects[0].contains("tricky"));
+    }
+
+    #[test]
+    fn flat_block_projects_newest_entry() {
+        let rows = [
+            "{\"name\": \"ewf19\", \"mode\": \"sequential\", \"final_cost\": 9}".to_string(),
+            "{\"name\": \"ewf19\", \"mode\": \"portfolio\", \"final_cost\": 9}".to_string(),
+            "{\"name\": \"dct10\", \"mode\": \"sequential\", \"final_cost\": 8}".to_string(),
+        ];
+        let entry = history_entry("PRN", &rows);
+        let flat = latest_flat_rows(&entry);
+        assert_eq!(flat.len(), 2, "sequential rows only");
+        assert_eq!(flat[0], rows[0]);
+        assert_eq!(flat[1], rows[2]);
+        // Pre-history rows have no mode field and count as sequential.
+        let legacy = history_entry("old", &["{\"name\": \"a\", \"cost\": 1}".to_string()]);
+        assert_eq!(latest_flat_rows(&legacy).len(), 1);
     }
 
     #[test]

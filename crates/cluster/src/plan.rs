@@ -54,6 +54,7 @@ pub fn build_allocator<'a>(
         .extra_registers(knobs.extra_regs)
         .restarts(knobs.restarts)
         .config(config)
+        .plan(knobs.plan)
         .threads(1);
     if let Some(batch) = knobs.batch {
         allocator = allocator.batch(batch);

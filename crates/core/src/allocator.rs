@@ -130,6 +130,15 @@ impl<'a> Allocator<'a> {
         self
     }
 
+    /// Enables or disables the compiled [`MovePlan`](crate::MovePlan)
+    /// fast path in the move proposers (on by default). Never changes the
+    /// result — both paths walk bit-identical trajectories — only the
+    /// moves/sec; `false` exists for A/B verification and ablations.
+    pub fn plan(mut self, on: bool) -> Self {
+        self.config.plan = on;
+        self
+    }
+
     /// Sets the portfolio best-bound cutoff factor (clamped to `>= 1.0`):
     /// a chain abandons once its best-so-far exceeds `factor` times the
     /// global best after its minimum trial count.

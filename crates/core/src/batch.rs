@@ -32,6 +32,18 @@
 //! bit-for-bit (same RNG draws, same accepts, same binding). That extends
 //! the portfolio determinism contract the `salsa-serve` result cache keys
 //! on: `(seed, batch)` joins the cache key, thread counts do not.
+//!
+//! **Replica sync by journal diff.** Workers keep a private replica of the
+//! base binding. Instead of re-cloning the whole base every time it moves
+//! (the original protocol — a full `clone_from` per commit-bearing batch),
+//! the main thread publishes a [`DiffLog`]: one base snapshot plus the
+//! ordered [`RedoOp`] stream of every commit since, extracted from the
+//! commit journal at cell granularity. A worker joining a round replays
+//! only the ops appended since its last sync — `O(cells touched)` instead
+//! of `O(design)`. The log is compacted into a fresh snapshot (an *epoch*
+//! bump, forcing one full re-clone) when the search restarts from the best
+//! allocation (an ILS restore rewrites state wholesale, so a diff would be
+//! no cheaper) or when the log outgrows [`REDO_COMPACT_LIMIT`].
 
 use std::sync::{Condvar, Mutex, RwLock};
 
@@ -40,10 +52,17 @@ use rand::rngs::StdRng;
 use salsa_cdfg::{OpId, ValueId};
 use salsa_datapath::{CostWeights, FuId, RegId, Sink, Source};
 
+use crate::binding::RedoOp;
 use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
 use crate::improve::{weighted_cost, ImproveConfig, ImproveStats, SearchExit, SearchWatch};
 use crate::moves::{apply_proposal, propose_move, MoveSet, Proposal};
 use crate::{Binding, TransferKey};
+
+/// Redo-log length that triggers compaction into a fresh base snapshot.
+/// Bounds both the log's memory and the worst-case catch-up replay of a
+/// worker that sat out many rounds; at a few machine words per op this
+/// caps the log well under one design clone.
+const REDO_COMPACT_LIMIT: usize = 16_384;
 
 /// A fixed-capacity bitset over one id space.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -217,13 +236,17 @@ pub(crate) fn evaluate_proposal(
 
 /// One published batch: the jobs to evaluate and their indexed results.
 /// `generation` increments per batch so late workers never touch a stale
-/// round; `base_version` increments whenever the shared base binding is
-/// re-synced, telling workers to refresh their replicas.
+/// round; `(epoch, sync_len)` names the [`DiffLog`] position that defines
+/// the round's base state, telling workers how far to catch their
+/// replicas up.
 #[derive(Default)]
 struct Round {
     generation: u64,
     shutdown: bool,
-    base_version: u64,
+    /// The diff log epoch the round's base state lives in.
+    epoch: u64,
+    /// The committed-op prefix of the log that defines the base state.
+    sync_len: usize,
     base_cost: u64,
     /// `(slot in the drawn batch, proposal)`.
     jobs: Vec<(usize, Proposal)>,
@@ -235,23 +258,86 @@ struct Round {
     results: Vec<Option<Evaluation>>,
 }
 
+/// The shared base state, shipped incrementally: a snapshot plus the redo
+/// ops of every commit since. `base + ops[..n]` reproduces the main
+/// binding as of any published `sync_len == n`; ops are only ever
+/// appended within an epoch, so a replica at position `p` catches up by
+/// replaying `ops[p..n]`.
+struct DiffLog<'a> {
+    /// Bumped on every compaction; a replica from another epoch must
+    /// re-clone the snapshot before replaying.
+    epoch: u64,
+    /// Committed redo ops since the snapshot, in commit order.
+    ops: Vec<RedoOp>,
+    /// The snapshot the op log extends.
+    base: Binding<'a>,
+}
+
 /// The evaluation pool: a mutex-guarded round, wakeup condvars, and the
-/// frozen base binding workers replicate from.
+/// diff log workers sync their replicas from.
 struct Pool<'a> {
     round: Mutex<Round>,
     start: Condvar,
     done: Condvar,
-    base: RwLock<Binding<'a>>,
+    diff: RwLock<DiffLog<'a>>,
 }
 
-/// A worker: sync the private replica to the current base version, then
-/// claim and evaluate jobs until the round drains.
+/// The main thread's side of the diff protocol: redo ops committed since
+/// the last publish, and whether the binding was rewritten wholesale
+/// (ILS restore), which invalidates any diff and forces an epoch bump.
+#[derive(Default)]
+struct ReplicaSync {
+    pending: Vec<RedoOp>,
+    reset: bool,
+}
+
+/// Brings `replica` up to the diff log's current position: a same-epoch
+/// replica replays only the ops it has not seen; a cross-epoch (or
+/// fresh) replica re-clones the snapshot first.
+///
+/// The round's published `(epoch, sync_len)` serve only as the
+/// lock-free fast path. Under the lock the replica syncs to the log's
+/// *own* state, never to the round's: a slow worker can reach this lock
+/// after the main thread has already drained its round and compacted
+/// the log for the next one, leaving the round's position dangling past
+/// the cleared op vector. Syncing past the worker's round is harmless —
+/// a log that moved on means the round's generation moved on too, so
+/// the claim loop's generation guard keeps the worker from grading any
+/// job against the newer base.
+fn sync_replica<'a>(
+    pool: &Pool<'a>,
+    replica: &mut Option<Binding<'a>>,
+    my_epoch: &mut u64,
+    my_pos: &mut usize,
+    epoch: u64,
+    sync_len: usize,
+) {
+    if *my_epoch == epoch && *my_pos == sync_len {
+        return;
+    }
+    let diff = pool.diff.read().expect("diff lock");
+    if *my_epoch != diff.epoch {
+        match replica.as_mut() {
+            Some(r) => r.clone_from(&diff.base),
+            None => *replica = Some(diff.base.clone()),
+        }
+        *my_pos = 0;
+        *my_epoch = diff.epoch;
+    }
+    let replica = replica.as_mut().expect("replica cloned");
+    replica.apply_redo(&diff.ops[*my_pos..]);
+    *my_pos = diff.ops.len();
+}
+
+/// A worker: catch the private replica up to the round's diff log
+/// position, then claim and evaluate jobs until the round drains.
 fn worker_loop(pool: &Pool<'_>, weights: &CostWeights) {
     let mut replica: Option<Binding<'_>> = None;
-    let mut my_version = u64::MAX;
+    let mut my_epoch = 0u64;
+    let mut my_pos = 0usize;
     let mut last_gen = 0u64;
     loop {
-        let (gen, version, base_cost) = {
+        let (gen, epoch, sync_len, base_cost) = {
             let mut g = pool.round.lock().expect("pool mutex");
             loop {
                 if g.shutdown {
@@ -263,17 +349,10 @@ fn worker_loop(pool: &Pool<'_>, weights: &CostWeights) {
                 g = pool.start.wait(g).expect("pool mutex");
             }
             last_gen = g.generation;
-            (g.generation, g.base_version, g.base_cost)
+            (g.generation, g.epoch, g.sync_len, g.base_cost)
         };
-        if my_version != version {
-            // Never hold the round mutex while blocking on the base lock.
-            let base = pool.base.read().expect("base lock");
-            match replica.as_mut() {
-                Some(r) => r.clone_from(&base),
-                None => replica = Some(base.clone()),
-            }
-            my_version = version;
-        }
+        // Never hold the round mutex while blocking on the diff lock.
+        sync_replica(pool, &mut replica, &mut my_epoch, &mut my_pos, epoch, sync_len);
         let replica = replica.as_mut().expect("replica synced");
         loop {
             let claim = {
@@ -300,6 +379,32 @@ fn worker_loop(pool: &Pool<'_>, weights: &CostWeights) {
     }
 }
 
+/// Publishes the main thread's committed redo ops into the diff log (or
+/// compacts the log into a fresh snapshot after an ILS restore or
+/// overflow), returning the `(epoch, sync_len)` that names the resulting
+/// base state.
+fn publish_sync<'a>(pool: &Pool<'a>, binding: &Binding<'a>, sync: &mut ReplicaSync) -> (u64, usize) {
+    if sync.reset
+        || pool.diff.read().expect("diff lock").ops.len() + sync.pending.len()
+            > REDO_COMPACT_LIMIT
+    {
+        let mut diff = pool.diff.write().expect("diff lock");
+        diff.epoch += 1;
+        diff.ops.clear();
+        diff.base.clone_from(binding);
+        sync.pending.clear();
+        sync.reset = false;
+        (diff.epoch, 0)
+    } else if sync.pending.is_empty() {
+        let diff = pool.diff.read().expect("diff lock");
+        (diff.epoch, diff.ops.len())
+    } else {
+        let mut diff = pool.diff.write().expect("diff lock");
+        diff.ops.append(&mut sync.pending);
+        (diff.epoch, diff.ops.len())
+    }
+}
+
 /// Publishes a round, participates in evaluating it on the live binding
 /// (which equals the synced base), waits for the workers to drain it, and
 /// scatters the results back into per-slot order.
@@ -309,20 +414,16 @@ fn evaluate_round<'a>(
     pool: &Pool<'a>,
     weights: &CostWeights,
     base_cost: u64,
-    base_dirty: &mut bool,
+    sync: &mut ReplicaSync,
     jobs: &[(usize, Proposal)],
     evals: &mut [Option<Evaluation>],
 ) {
-    if *base_dirty {
-        let mut base = pool.base.write().expect("base lock");
-        base.clone_from(binding);
-        drop(base);
-        pool.round.lock().expect("pool mutex").base_version += 1;
-        *base_dirty = false;
-    }
+    let (epoch, sync_len) = publish_sync(pool, binding, sync);
     {
         let mut g = pool.round.lock().expect("pool mutex");
         g.generation += 1;
+        g.epoch = epoch;
+        g.sync_len = sync_len;
         g.base_cost = base_cost;
         g.jobs.clear();
         g.jobs.extend_from_slice(jobs);
@@ -389,7 +490,7 @@ pub(crate) fn run_phase_batched(
         round: Mutex::new(Round::default()),
         start: Condvar::new(),
         done: Condvar::new(),
-        base: RwLock::new(binding.clone()),
+        diff: RwLock::new(DiffLog { epoch: 1, ops: Vec::new(), base: binding.clone() }),
     };
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -426,8 +527,8 @@ fn batched_loop<'a>(
     let mut best_cost = weighted_cost(&config.weights, binding);
     let mut current_cost = best_cost;
     let mut stale = 0;
-    // Whether the pool's base binding lags the live one.
-    let mut base_dirty = false;
+    // The diff-log side channel to the pool's worker replicas.
+    let mut sync = ReplicaSync::default();
     let mut since_poll = 0usize;
     let mut committed_fp = Footprint::for_binding(binding);
     let mut drawn: Vec<Option<Proposal>> = Vec::with_capacity(batch);
@@ -443,10 +544,12 @@ fn batched_loop<'a>(
         let mut uphill_left = config.max_uphill;
         let best_before = best_cost;
         if trial > 0 && current_cost > best_cost {
-            // Iterated local search, as in the sequential loop.
+            // Iterated local search, as in the sequential loop. The
+            // restore rewrites the binding wholesale, so the next publish
+            // compacts the diff log instead of extending it.
             binding.clone_from(&best);
             current_cost = best_cost;
-            base_dirty = true;
+            sync.reset = true;
         }
 
         let mut disposed = 0usize;
@@ -486,7 +589,7 @@ fn batched_loop<'a>(
                         pool,
                         &config.weights,
                         base_cost,
-                        &mut base_dirty,
+                        &mut sync,
                         &jobs,
                         &mut evals,
                     );
@@ -558,9 +661,13 @@ fn batched_loop<'a>(
                     uphill_left -= 1;
                     stats.uphill_accepted += 1;
                 }
-                binding.commit();
+                match pool {
+                    // With workers up, extract the commit's redo ops for
+                    // the diff log instead of discarding the journal.
+                    Some(_) => binding.commit_into(&mut sync.pending),
+                    None => binding.commit(),
+                }
                 stats.committed += 1;
-                base_dirty = true;
                 current_cost = current_cost
                     .checked_add_signed(eval.delta)
                     .expect("weighted cost stays in range");

@@ -23,8 +23,6 @@
 //! journal in reverse, restoring the binding cell-for-cell — so the search
 //! loops evaluate candidate moves without ever cloning the binding.
 
-use std::collections::BTreeSet;
-
 use salsa_cdfg::{OpId, ValueId};
 use salsa_datapath::{ConnectionMatrix, CostBreakdown, FuId, Port, RegId, Sink, Source};
 
@@ -119,6 +117,95 @@ pub(crate) enum Owner {
     Transfer(TransferKey),
 }
 
+/// The pass-through assignment map, keyed by [`TransferKey`].
+///
+/// Backed by a sorted vector with binary-search lookup instead of a
+/// `BTreeMap`: pass counts are tiny (a handful of entries), iteration
+/// order is identical (sorted by key), and — decisively for the
+/// compiled-plan propose path — `insert`/`remove` retain the vector's
+/// capacity, so the transient pass placements the F4 ranking loop makes
+/// stay off the global allocator.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct PassMap {
+    entries: Vec<(TransferKey, FuId)>,
+}
+
+impl Clone for PassMap {
+    fn clone(&self) -> Self {
+        PassMap { entries: self.entries.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.entries.clone_from(&source.entries);
+    }
+}
+
+impl PassMap {
+    fn position(&self, key: &TransferKey) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    /// Number of bound passes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no pass is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The unit bound to a transfer, if any.
+    pub fn get(&self, key: &TransferKey) -> Option<&FuId> {
+        self.position(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Returns `true` if the transfer has a bound pass unit.
+    pub fn contains_key(&self, key: &TransferKey) -> bool {
+        self.position(key).is_ok()
+    }
+
+    /// The bound transfer keys in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &TransferKey> + '_ {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// The `(key, unit)` entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TransferKey, &FuId)> + '_ {
+        self.entries.iter().map(|(k, f)| (k, f))
+    }
+
+    /// The entries as a slice, for indexed random draws.
+    pub fn as_slice(&self) -> &[(TransferKey, FuId)] {
+        &self.entries
+    }
+
+    fn insert(&mut self, key: TransferKey, fu: FuId) -> Option<FuId> {
+        match self.position(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, fu)),
+            Err(i) => {
+                self.entries.insert(i, (key, fu));
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &TransferKey) -> Option<FuId> {
+        match self.position(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+}
+
+impl std::ops::Index<&TransferKey> for PassMap {
+    type Output = FuId;
+
+    fn index(&self, key: &TransferKey) -> &FuId {
+        self.get(key).expect("no pass bound to this transfer")
+    }
+}
+
 /// One reversal record of the undo journal: the previous value of a single
 /// mutated cell. [`Binding::rollback`] replays these newest-first, so a cell
 /// written twice in one transaction ends at its oldest (pre-transaction)
@@ -141,6 +228,60 @@ enum UndoOp {
     ConnRemove { src: Source, sink: Sink },
 }
 
+/// One forward (redo) record of a committed transaction: the *final* value
+/// of a mutated cell. [`Binding::commit_into`] extracts these from the undo
+/// journal at commit time, and [`Binding::apply_redo`] replays them
+/// oldest-first on a replica — the journal-diff protocol the batch engine
+/// uses to keep worker replicas in sync without recloning the whole base
+/// binding.
+///
+/// Replaying final values (instead of the undo deltas) is sound because a
+/// committed journal never contains a net-undone suffix: proposals roll
+/// their transient mutations back *before* the commit, so every journaled
+/// cell's current value is its value after the move. A cell written twice
+/// simply ships two identical final-value records, which converge.
+#[derive(Debug, Clone)]
+pub(crate) enum RedoOp {
+    OpFu { op: OpId, new: FuId },
+    OpSwap { op: OpId, new: bool },
+    UseChain { op: OpId, port: usize, new: usize },
+    FuOccCell { fu: FuId, step: usize, new: Option<FuOcc> },
+    FuCompleteCell { fu: FuId, step: usize, new: Option<OpId> },
+    RegOccCell { reg: RegId, step: usize, new: Option<(ValueId, usize)> },
+    FuItemCount { fu: FuId, new: usize },
+    RegSegCount { reg: RegId, new: usize },
+    PassEntry { key: TransferKey, new: Option<FuId> },
+    ChainSlot { value: ValueId, slot: usize, new: Option<Chain> },
+    /// A new (empty) chain slot was pushed; redo pushes it. A subsequent
+    /// `ChainSlot` record fills it with its final content.
+    ChainSlotPushed { value: ValueId },
+    ConnAdd { src: Source, sink: Sink },
+    ConnRemove { src: Source, sink: Sink },
+}
+
+/// Reusable candidate/owner buffers for the move proposers. Scratch state
+/// like the [`ChainPool`]: excluded from equality, reset (not copied) by
+/// plain clones, and kept by `clone_from` — which is what makes the
+/// steady-state propose/apply stream allocation-free under the compiled
+/// plan.
+#[derive(Debug, Default)]
+pub(crate) struct MoveScratch {
+    pub(crate) fus: Vec<FuId>,
+    pub(crate) best_fus: Vec<FuId>,
+    pub(crate) regs: Vec<RegId>,
+    pub(crate) best_regs: Vec<RegId>,
+    pub(crate) values: Vec<ValueId>,
+    pub(crate) slots: Vec<usize>,
+    pub(crate) ops: Vec<OpId>,
+    pub(crate) keys: Vec<TransferKey>,
+    pub(crate) transfers: Vec<(TransferKey, usize)>,
+    pub(crate) seen_states: Vec<ValueId>,
+    pub(crate) owners: Vec<Owner>,
+    pub(crate) affected: Vec<Owner>,
+    pub(crate) occupied: Vec<(RegId, (ValueId, usize))>,
+    pub(crate) uniform: Vec<(ValueId, RegId)>,
+}
+
 /// An arena-lite free list of register buffers for [`Chain`] storage.
 ///
 /// Chain mutations are the allocation hot spot of the move stream: every
@@ -152,6 +293,13 @@ enum UndoOp {
 /// buffers to it. Chains are a few registers long, so the retained
 /// capacity is tiny; the free list is capped anyway as a safety valve.
 ///
+/// Every buffer handed out by `take` carries at least `min_capacity` —
+/// the longest lifetime in the design, so no chain snapshot can outgrow
+/// it. Without the floor, a short buffer recycled from a short chain
+/// could land on a long chain and force a growth reallocation mid-stream;
+/// with it, each buffer pays at most one reserve on its first `take` and
+/// the steady-state move stream never touches the allocator.
+///
 /// The pool is scratch state: it is excluded from equality and *not*
 /// carried across [`Binding::clone`] (clones start empty; `clone_from`
 /// keeps the destination's pool, which is why the search loops restore
@@ -159,6 +307,7 @@ enum UndoOp {
 #[derive(Debug, Default)]
 pub(crate) struct ChainPool {
     free: Vec<Vec<RegId>>,
+    min_capacity: usize,
     reused: usize,
     fresh: usize,
 }
@@ -169,16 +318,22 @@ impl ChainPool {
     /// so in practice the list never sheds capacity.
     const MAX_FREE: usize = 256;
 
+    /// An empty pool whose buffers will all carry at least `min_capacity`.
+    fn with_min_capacity(min_capacity: usize) -> Self {
+        ChainPool { min_capacity, ..ChainPool::default() }
+    }
+
     /// A cleared register buffer, recycled when one is available.
     fn take(&mut self) -> Vec<RegId> {
         match self.free.pop() {
-            Some(buf) => {
+            Some(mut buf) => {
                 self.reused += 1;
+                buf.reserve(self.min_capacity);
                 buf
             }
             None => {
                 self.fresh += 1;
-                Vec::new()
+                Vec::with_capacity(self.min_capacity)
             }
         }
     }
@@ -201,7 +356,7 @@ pub struct Binding<'a> {
     pub(crate) op_swap: Vec<bool>,
     pub(crate) chains: Vec<Vec<Option<Chain>>>,
     pub(crate) use_chain: Vec<[usize; 2]>,
-    pub(crate) passes: std::collections::BTreeMap<TransferKey, FuId>,
+    pub(crate) passes: PassMap,
     // Derived occupancy and cost state.
     pub(crate) fu_occ: Vec<Vec<Option<FuOcc>>>,
     pub(crate) fu_completes: Vec<Vec<Option<OpId>>>,
@@ -215,9 +370,15 @@ pub struct Binding<'a> {
     // Transaction state.
     journal: Vec<UndoOp>,
     recording: bool,
+    // Whether the move proposers draw from the compiled plan tables
+    // (candidate-set fast paths and delta-cost kernels). Carried across
+    // clones; excluded from equality — it selects between trajectory-
+    // identical implementations, not between allocations.
+    use_plan: bool,
     // Scratch (excluded from equality and plain clones).
     pool: ChainPool,
     items_scratch: Vec<(Source, Sink)>,
+    pub(crate) scratch: MoveScratch,
 }
 
 impl Clone for Binding<'_> {
@@ -239,8 +400,10 @@ impl Clone for Binding<'_> {
             fu_area: self.fu_area,
             journal: Vec::new(),
             recording: false,
-            pool: ChainPool::default(),
+            use_plan: self.use_plan,
+            pool: ChainPool::with_min_capacity(self.pool.min_capacity),
             items_scratch: Vec::new(),
+            scratch: MoveScratch::default(),
         }
     }
 
@@ -267,6 +430,7 @@ impl Clone for Binding<'_> {
         self.fu_area = source.fu_area;
         self.journal.clear();
         self.recording = false;
+        self.use_plan = source.use_plan;
     }
 }
 
@@ -322,7 +486,7 @@ impl<'a> Binding<'a> {
             op_swap: vec![false; num_ops],
             chains: vec![Vec::new(); ctx.graph.num_values()],
             use_chain: vec![[0, 0]; num_ops],
-            passes: std::collections::BTreeMap::new(),
+            passes: PassMap::default(),
             fu_occ: vec![vec![None; n]; ctx.datapath.num_fus()],
             fu_completes: vec![vec![None; n]; ctx.datapath.num_fus()],
             reg_occ: vec![vec![None; n]; ctx.datapath.num_regs()],
@@ -333,8 +497,12 @@ impl<'a> Binding<'a> {
             fu_area: 0,
             journal: Vec::new(),
             recording: false,
-            pool: ChainPool::default(),
+            use_plan: true,
+            pool: ChainPool::with_min_capacity(
+                ctx.plan.value_lt_len.iter().map(|&l| l as usize).max().unwrap_or(0),
+            ),
             items_scratch: Vec::new(),
+            scratch: MoveScratch::default(),
         };
         for (op, fu) in ctx.graph.op_ids().zip(op_fu) {
             binding.occupy_op(op, fu);
@@ -396,8 +564,21 @@ impl<'a> Binding<'a> {
     }
 
     /// The pass-through assignments.
-    pub fn passes(&self) -> &std::collections::BTreeMap<TransferKey, FuId> {
+    pub fn passes(&self) -> &PassMap {
         &self.passes
+    }
+
+    /// Whether the move proposers use the compiled plan's candidate tables
+    /// and delta-cost kernels (on by default). The off position runs the
+    /// legacy re-derive-per-draw paths; both produce bit-identical
+    /// trajectories (see the `plan` module docs).
+    pub fn plan_enabled(&self) -> bool {
+        self.use_plan
+    }
+
+    /// Selects between the compiled-plan and legacy propose paths.
+    pub fn set_plan_enabled(&mut self, on: bool) {
+        self.use_plan = on;
     }
 
     /// Number of live copy chains of a value.
@@ -539,57 +720,65 @@ impl<'a> Binding<'a> {
     /// chains' adjacencies, copy feeds, boundaries it participates in).
     pub fn transfer_keys_of(&self, value: ValueId) -> Vec<TransferKey> {
         let mut keys = Vec::new();
+        self.transfer_keys_into(value, &mut keys);
+        keys
+    }
+
+    /// Appends a value's structural transfer keys to `out` (not cleared) —
+    /// the allocation-free core of
+    /// [`transfer_keys_of`](Self::transfer_keys_of). The boundary keys are
+    /// binding-independent and come from the compiled plan.
+    pub(crate) fn transfer_keys_into(&self, value: ValueId, out: &mut Vec<TransferKey>) {
         for (slot, chain) in self.chains_of(value) {
             for idx in chain.lo..chain.hi() {
-                keys.push(TransferKey::Intra { value, chain: slot, idx });
+                out.push(TransferKey::Intra { value, chain: slot, idx });
             }
             if slot > 0 {
-                keys.push(TransferKey::CopyFeed { value, chain: slot });
+                out.push(TransferKey::CopyFeed { value, chain: slot });
             }
         }
-        if let Some(lt) = self.ctx.lifetimes.get(value) {
-            for &state in lt.feeds() {
-                keys.push(TransferKey::Boundary { state });
-            }
-        }
-        if self.ctx.graph.value(value).is_state() {
-            keys.push(TransferKey::Boundary { state: value });
-        }
-        keys
+        out.extend(self.ctx.plan.value_boundaries[value.index()].iter().copied());
     }
 
     // ------------------------------------------------------------------
     // Owner-based connection accounting.
     // ------------------------------------------------------------------
 
-    /// The owner set whose connection items may reference a value's
-    /// registers: its producer, its consumers, its transfers, plus the
-    /// producer of its feedback source when that source is boundary-born
-    /// (it writes this state's register directly).
-    pub(crate) fn owners_of_value(&self, value: ValueId) -> BTreeSet<Owner> {
-        let mut owners = BTreeSet::new();
-        if let Some(p) = self.ctx.producer(value) {
-            owners.insert(Owner::Op(p));
-        }
-        for u in self.ctx.graph.value(value).uses() {
-            owners.insert(Owner::Op(u.op));
-        }
-        for key in self.transfer_keys_of(value) {
-            owners.insert(Owner::Transfer(key));
-        }
-        if let Some(src) = self.ctx.graph.value(value).feedback_from() {
-            let src_empty = self
-                .ctx
-                .lifetimes
-                .get(src)
-                .is_some_and(|lt| lt.is_empty());
-            if src_empty {
-                if let Some(p) = self.ctx.producer(src) {
-                    owners.insert(Owner::Op(p));
-                }
+    /// Appends the owner set whose connection items may reference a
+    /// value's registers: its producer, its consumers, its transfers, plus
+    /// the producer of its feedback source when that source is
+    /// boundary-born (it writes this state's register directly). The
+    /// static operation owners come pre-sorted from the compiled plan; the
+    /// appended list as a whole is *unsorted* — callers sort and
+    /// deduplicate once over all values they collect (which reproduces the
+    /// order of the `BTreeSet` this replaced, since `Owner` orders ops
+    /// before transfers).
+    pub(crate) fn owners_of_value_into(&self, value: ValueId, out: &mut Vec<Owner>) {
+        out.extend(
+            self.ctx.plan.value_op_owners[value.index()].iter().map(|&op| Owner::Op(op)),
+        );
+        for (slot, chain) in self.chains_of(value) {
+            for idx in chain.lo..chain.hi() {
+                out.push(Owner::Transfer(TransferKey::Intra { value, chain: slot, idx }));
+            }
+            if slot > 0 {
+                out.push(Owner::Transfer(TransferKey::CopyFeed { value, chain: slot }));
             }
         }
-        owners
+        out.extend(
+            self.ctx.plan.value_boundaries[value.index()].iter().map(|&k| Owner::Transfer(k)),
+        );
+    }
+
+    /// The sorted, deduplicated owner set of one value, as a fresh `Vec`.
+    /// Convenience for cold paths (polish sweeps); the move loop uses
+    /// [`owners_of_value_into`](Self::owners_of_value_into) with scratch.
+    pub(crate) fn owners_of_value_sorted(&self, value: ValueId) -> Vec<Owner> {
+        let mut out = Vec::new();
+        self.owners_of_value_into(value, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Every owner in the binding (for full rebuilds and validation).
@@ -618,33 +807,30 @@ impl<'a> Binding<'a> {
     pub(crate) fn items_into(&self, owner: Owner, out: &mut Vec<(Source, Sink)>) {
         match owner {
             Owner::Op(op_id) => {
-                let op = self.ctx.graph.op(op_id);
+                // The schedule-static parts of an op's items (which
+                // operands are stored, their lifetime index at the issue
+                // step, the output's boundary-born states) come from the
+                // compiled plan; only the unit, swap, serving chains and
+                // their registers are binding state.
+                let plan = &self.ctx.plan;
                 let fu = self.op_fu[op_id.index()];
-                let issue = self.ctx.schedule.issue(op_id);
-                for (port, operand) in op.inputs().into_iter().enumerate() {
-                    if !self.ctx.is_stored(operand) {
-                        continue;
-                    }
+                for &(port, operand, idx) in &plan.op_reads[op_id.index()] {
+                    let port = port as usize;
                     let slot = self.use_chain[op_id.index()][port];
-                    let idx = self
-                        .ctx
-                        .lifetime_index(operand, issue)
-                        .expect("operand stored at issue step");
                     let chain = self.chain(operand, slot).expect("use references a live chain");
                     let actual = if self.op_swap[op_id.index()] { 1 - port } else { port };
                     out.push((
-                        Source::RegOut(chain.reg_at(idx)),
+                        Source::RegOut(chain.reg_at(idx as usize)),
                         Sink::FuIn(fu, Port::from_index(actual)),
                     ));
                 }
-                let out_value = op.output();
-                let lt = self.ctx.lifetimes.get(out_value).expect("op outputs are stored values");
-                if lt.is_empty() {
-                    for &state in lt.feeds() {
+                if plan.op_out_empty[op_id.index()] {
+                    for &state in &plan.op_out_states[op_id.index()] {
                         let dst = self.primal(state).expect("states have storage").regs[0];
                         out.push((Source::FuOut(fu), Sink::RegIn(dst)));
                     }
                 } else {
+                    let out_value = plan.op_output[op_id.index()];
                     for (_, chain) in self.chains_of(out_value) {
                         if chain.lo == 0 {
                             out.push((Source::FuOut(fu), Sink::RegIn(chain.regs[0])));
@@ -744,6 +930,110 @@ impl<'a> Binding<'a> {
         for entry in self.journal.drain(..) {
             if let UndoOp::ChainSlot { old: Some(chain), .. } = entry {
                 self.pool.recycle(chain.regs);
+            }
+        }
+    }
+
+    /// Commits like [`commit`](Self::commit), additionally appending one
+    /// forward [`RedoOp`] per journal entry — each mutated cell's *final*
+    /// value, in write order — to `redo`. The batch engine ships these to
+    /// worker replicas instead of recloning the base binding (see
+    /// [`apply_redo`](Self::apply_redo)).
+    pub(crate) fn commit_into(&mut self, redo: &mut Vec<RedoOp>) {
+        debug_assert!(self.recording, "commit outside a transaction");
+        self.recording = false;
+        for entry in &self.journal {
+            redo.push(match *entry {
+                UndoOp::OpFu { op, .. } => RedoOp::OpFu { op, new: self.op_fu[op.index()] },
+                UndoOp::OpSwap { op, .. } => {
+                    RedoOp::OpSwap { op, new: self.op_swap[op.index()] }
+                }
+                UndoOp::UseChain { op, port, .. } => {
+                    RedoOp::UseChain { op, port, new: self.use_chain[op.index()][port] }
+                }
+                UndoOp::FuOccCell { fu, step, .. } => {
+                    RedoOp::FuOccCell { fu, step, new: self.fu_occ[fu.index()][step] }
+                }
+                UndoOp::FuCompleteCell { fu, step, .. } => RedoOp::FuCompleteCell {
+                    fu,
+                    step,
+                    new: self.fu_completes[fu.index()][step],
+                },
+                UndoOp::RegOccCell { reg, step, .. } => {
+                    RedoOp::RegOccCell { reg, step, new: self.reg_occ[reg.index()][step] }
+                }
+                UndoOp::FuItemCount { fu, .. } => {
+                    RedoOp::FuItemCount { fu, new: self.fu_item_count[fu.index()] }
+                }
+                UndoOp::RegSegCount { reg, .. } => {
+                    RedoOp::RegSegCount { reg, new: self.reg_seg_count[reg.index()] }
+                }
+                UndoOp::PassEntry { key, .. } => {
+                    RedoOp::PassEntry { key, new: self.passes.get(&key).copied() }
+                }
+                UndoOp::ChainSlot { value, slot, .. } => RedoOp::ChainSlot {
+                    value,
+                    slot,
+                    new: self.chains[value.index()][slot].clone(),
+                },
+                UndoOp::ChainSlotPushed { value } => RedoOp::ChainSlotPushed { value },
+                UndoOp::ConnAdd { src, sink } => RedoOp::ConnAdd { src, sink },
+                UndoOp::ConnRemove { src, sink } => RedoOp::ConnRemove { src, sink },
+            });
+        }
+        for entry in self.journal.drain(..) {
+            if let UndoOp::ChainSlot { old: Some(chain), .. } = entry {
+                self.pool.recycle(chain.regs);
+            }
+        }
+    }
+
+    /// Replays committed forward records oldest-first, bringing a replica
+    /// of the same base state to the committer's state cell-for-cell. Must
+    /// be called outside a transaction.
+    pub(crate) fn apply_redo(&mut self, ops: &[RedoOp]) {
+        debug_assert!(!self.recording, "apply_redo inside a transaction");
+        for op in ops {
+            match *op {
+                RedoOp::OpFu { op, new } => self.op_fu[op.index()] = new,
+                RedoOp::OpSwap { op, new } => self.op_swap[op.index()] = new,
+                RedoOp::UseChain { op, port, new } => self.use_chain[op.index()][port] = new,
+                RedoOp::FuOccCell { fu, step, new } => self.fu_occ[fu.index()][step] = new,
+                RedoOp::FuCompleteCell { fu, step, new } => {
+                    self.fu_completes[fu.index()][step] = new;
+                }
+                RedoOp::RegOccCell { reg, step, new } => self.reg_occ[reg.index()][step] = new,
+                RedoOp::FuItemCount { fu, new } => self.apply_fu_item_count(fu, new),
+                RedoOp::RegSegCount { reg, new } => self.apply_reg_seg_count(reg, new),
+                RedoOp::PassEntry { key, new } => match new {
+                    Some(fu) => {
+                        self.passes.insert(key, fu);
+                    }
+                    None => {
+                        self.passes.remove(&key);
+                    }
+                },
+                RedoOp::ChainSlot { value, slot, ref new } => {
+                    let cell = &mut self.chains[value.index()][slot];
+                    match new {
+                        Some(n) => match cell {
+                            Some(c) => c.clone_from(n),
+                            None => {
+                                let mut regs = self.pool.take();
+                                regs.extend_from_slice(&n.regs);
+                                *cell = Some(Chain { lo: n.lo, regs });
+                            }
+                        },
+                        None => {
+                            if let Some(chain) = cell.take() {
+                                self.pool.recycle(chain.regs);
+                            }
+                        }
+                    }
+                }
+                RedoOp::ChainSlotPushed { value } => self.chains[value.index()].push(None),
+                RedoOp::ConnAdd { src, sink } => self.conn.add(src, sink),
+                RedoOp::ConnRemove { src, sink } => self.conn.remove(src, sink),
             }
         }
     }
@@ -1253,7 +1543,7 @@ impl<'a> Binding<'a> {
             fu_completes[fu.index()][self.ctx.completion_step(op)] = Some(op);
             fu_item_count[fu.index()] += 1;
         }
-        for (&key, &fu) in &self.passes {
+        for (&key, &fu) in self.passes.iter() {
             let (_, _, step) =
                 self.transfer_endpoints(key).expect("pass on an active transfer");
             assert!(fu_occ[fu.index()][step].is_none(), "pass rebuild conflict");

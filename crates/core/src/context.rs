@@ -4,6 +4,7 @@ use salsa_cdfg::{Cdfg, OpId, ValueId, ValueSource};
 use salsa_datapath::Datapath;
 use salsa_sched::{lifetimes, FuClass, FuLibrary, Lifetimes, Schedule};
 
+use crate::plan::MovePlan;
 use crate::AllocError;
 
 /// Bundles the graph, schedule, library, resource pool and precomputed
@@ -22,6 +23,10 @@ pub struct AllocContext<'a> {
     pub datapath: Datapath,
     /// Per-value stored lifetimes.
     pub lifetimes: Lifetimes,
+    /// Flat candidate tables compiled once at admission; the move
+    /// proposers and the binding's owner enumeration draw from these
+    /// instead of re-deriving their search space per move.
+    pub plan: MovePlan,
 }
 
 impl<'a> AllocContext<'a> {
@@ -53,7 +58,8 @@ impl<'a> AllocContext<'a> {
                 return Err(AllocError::InsufficientUnits { class: *class, need: *need, have });
             }
         }
-        Ok(AllocContext { graph, schedule, library, datapath, lifetimes: lts })
+        let plan = MovePlan::compile(graph, schedule, library, &datapath, &lts);
+        Ok(AllocContext { graph, schedule, library, datapath, lifetimes: lts, plan })
     }
 
     /// Number of control steps.
@@ -87,13 +93,10 @@ impl<'a> AllocContext<'a> {
     }
 
     /// The position of control step `step` within a value's lifetime, or
-    /// `None` if the value is not stored then.
+    /// `None` if the value is not stored then. O(1) through the compiled
+    /// plan's dense `value × step` table.
     pub fn lifetime_index(&self, value: ValueId, step: usize) -> Option<usize> {
-        self.lifetimes
-            .get(value)?
-            .steps()
-            .iter()
-            .position(|&s| s == step)
+        self.plan.lifetime_index(value, step)
     }
 }
 

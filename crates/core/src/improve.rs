@@ -80,6 +80,13 @@ pub struct ImproveConfig {
     /// one; `1` evaluates inline). Never affects the result, only the
     /// wall-clock. Ignored without [`batch`](Self::batch).
     pub eval_threads: usize,
+    /// Drive the move proposers from the compiled
+    /// [`MovePlan`](crate::MovePlan) tables (the default) instead of
+    /// re-deriving candidate sets per draw. Never affects the result —
+    /// both paths enumerate identical candidate lists, so the trajectory
+    /// is bit-for-bit the same — only the wall-clock. `false` exists for
+    /// A/B verification and ablation.
+    pub plan: bool,
 }
 
 impl Default for ImproveConfig {
@@ -96,6 +103,7 @@ impl Default for ImproveConfig {
             cancel: None,
             batch: None,
             eval_threads: 1,
+            plan: true,
         }
     }
 }
@@ -249,6 +257,7 @@ pub fn improve_bounded(
     watch: Option<&SearchWatch<'_>>,
 ) -> (ImproveStats, SearchExit) {
     let start = std::time::Instant::now();
+    binding.set_plan_enabled(config.plan);
     let mut stats = ImproveStats {
         initial_cost: weighted_cost(&config.weights, binding),
         ..ImproveStats::default()

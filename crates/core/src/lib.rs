@@ -56,6 +56,7 @@ mod improve;
 mod initial;
 mod lower;
 pub mod moves;
+mod plan;
 mod polish;
 pub mod portfolio;
 mod report;
@@ -63,7 +64,7 @@ mod transfer;
 
 pub use allocator::{AllocResult, Allocator};
 pub use anneal::{anneal, AnnealConfig, AnnealStats};
-pub use binding::{Binding, Chain};
+pub use binding::{Binding, Chain, PassMap};
 pub use cancel::{CancelToken, CANCEL_POLL_PERIOD};
 pub use context::AllocContext;
 pub use error::AllocError;
@@ -72,6 +73,7 @@ pub use improve::{
 };
 pub use initial::initial_allocation;
 pub use lower::lower;
+pub use plan::MovePlan;
 pub use polish::polish;
 pub use portfolio::{
     portfolio_search, replay_slot, run_chain_slots, ChainOutcome, ChainStat, PortfolioConfig,

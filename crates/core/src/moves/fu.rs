@@ -1,12 +1,20 @@
 //! Functional-unit moves F1-F5, split into propose (draw + resolve every
 //! random decision, no net state change) and apply (replay the resolved
 //! move inside the caller's transaction).
+//!
+//! Every proposer has two implementations selected by
+//! [`Binding::plan_enabled`]: the compiled-plan path draws candidates from
+//! the [`MovePlan`](crate::MovePlan)'s prebuilt tables through the
+//! binding's scratch buffers (allocation-free in steady state), and the
+//! legacy path re-derives them with per-draw collects. Both enumerate the
+//! same candidates in the same order, so the RNG draw sequence — and the
+//! search trajectory — is bit-for-bit identical either way.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use salsa_cdfg::OpId;
+use salsa_cdfg::{OpId, ValueId};
 use salsa_datapath::FuId;
 use salsa_sched::FuClass;
 
@@ -14,63 +22,88 @@ use crate::binding::Owner;
 use crate::moves::Proposal;
 use crate::{Binding, TransferKey};
 
-/// The ops and pass bindings currently living on either of two units —
-/// the payload an F1 exchange swaps.
-fn exchange_cargo(b: &Binding<'_>, a: FuId, z: FuId) -> (Vec<OpId>, Vec<TransferKey>) {
-    let ops: Vec<OpId> = b
-        .ctx
-        .graph
-        .op_ids()
-        .filter(|&o| b.op_fu(o) == a || b.op_fu(o) == z)
-        .collect();
-    let pass_keys: Vec<TransferKey> = b
-        .passes()
-        .iter()
-        .filter(|(_, &fu)| fu == a || fu == z)
-        .map(|(&k, _)| k)
-        .collect();
-    (ops, pass_keys)
+/// Appends the ops and pass bindings currently living on either of two
+/// units — the payload an F1 exchange swaps.
+fn exchange_cargo_into(
+    b: &Binding<'_>,
+    a: FuId,
+    z: FuId,
+    ops: &mut Vec<OpId>,
+    pass_keys: &mut Vec<TransferKey>,
+) {
+    ops.clear();
+    ops.extend(b.ctx.graph.op_ids().filter(|&o| b.op_fu(o) == a || b.op_fu(o) == z));
+    pass_keys.clear();
+    pass_keys.extend(
+        b.passes().iter().filter(|(_, &fu)| fu == a || fu == z).map(|(&k, _)| k),
+    );
+}
+
+/// Returns `true` if either unit carries any op or pass binding.
+fn has_exchange_cargo(b: &Binding<'_>, a: FuId, z: FuId) -> bool {
+    b.ctx.graph.op_ids().any(|o| b.op_fu(o) == a || b.op_fu(o) == z)
+        || b.passes().iter().any(|(_, &fu)| fu == a || fu == z)
 }
 
 /// F1 — exchange the complete bindings (operators and pass-throughs) of
 /// two same-class units.
 pub(crate) fn propose_fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let classes: Vec<FuClass> = FuClass::all()
-        .into_iter()
-        .filter(|&c| b.ctx.datapath.fus_of_class(c).count() >= 2)
-        .collect();
-    let &class = classes.choose(rng)?;
-    let units: Vec<FuId> = b.ctx.datapath.fus_of_class(class).map(|f| f.id()).collect();
-    let a = units[rng.gen_range(0..units.len())];
-    let mut z = units[rng.gen_range(0..units.len())];
-    if a == z {
-        z = units[(units.iter().position(|&u| u == a).unwrap() + 1) % units.len()];
-    }
-    let (ops, pass_keys) = exchange_cargo(b, a, z);
-    if ops.is_empty() && pass_keys.is_empty() {
+    let ctx = b.ctx;
+    let (a, z) = if b.plan_enabled() {
+        let plan = &ctx.plan;
+        let &class_idx = plan.exchange_classes.choose(rng)?;
+        let units = &plan.class_units[class_idx];
+        let a = units[rng.gen_range(0..units.len())];
+        let mut z = units[rng.gen_range(0..units.len())];
+        if a == z {
+            z = units[(units.iter().position(|&u| u == a).unwrap() + 1) % units.len()];
+        }
+        (a, z)
+    } else {
+        let classes: Vec<FuClass> = FuClass::all()
+            .into_iter()
+            .filter(|&c| ctx.datapath.fus_of_class(c).count() >= 2)
+            .collect();
+        let &class = classes.choose(rng)?;
+        let units: Vec<FuId> = ctx.datapath.fus_of_class(class).map(|f| f.id()).collect();
+        let a = units[rng.gen_range(0..units.len())];
+        let mut z = units[rng.gen_range(0..units.len())];
+        if a == z {
+            z = units[(units.iter().position(|&u| u == a).unwrap() + 1) % units.len()];
+        }
+        (a, z)
+    };
+    if !has_exchange_cargo(b, a, z) {
         return None;
     }
     Some(Proposal::FuExchange { a, z })
 }
 
 pub(crate) fn apply_fu_exchange(b: &mut Binding<'_>, a: FuId, z: FuId) -> bool {
-    let (ops, pass_keys) = exchange_cargo(b, a, z);
+    let mut ops = std::mem::take(&mut b.scratch.ops);
+    let mut pass_keys = std::mem::take(&mut b.scratch.keys);
+    exchange_cargo_into(b, a, z, &mut ops, &mut pass_keys);
     if ops.is_empty() && pass_keys.is_empty() {
+        b.scratch.ops = ops;
+        b.scratch.keys = pass_keys;
         return false;
     }
 
-    let owners: Vec<Owner> = ops
-        .iter()
-        .map(|&o| Owner::Op(o))
-        .chain(pass_keys.iter().map(|&k| Owner::Transfer(k)))
-        .collect();
+    let mut owners = std::mem::take(&mut b.scratch.owners);
+    owners.clear();
+    owners.extend(ops.iter().map(|&o| Owner::Op(o)));
+    owners.extend(pass_keys.iter().map(|&k| Owner::Transfer(k)));
     for &o in &owners {
         b.retract_owner(o);
     }
 
     let other = |fu: FuId| if fu == a { z } else { a };
-    let old_pass_fus: Vec<FuId> = pass_keys.iter().map(|&k| b.passes()[&k]).collect();
-    let old_op_fus: Vec<FuId> = ops.iter().map(|&o| b.op_fu(o)).collect();
+    let mut old_pass_fus = std::mem::take(&mut b.scratch.best_fus);
+    old_pass_fus.clear();
+    old_pass_fus.extend(pass_keys.iter().map(|&k| b.passes()[&k]));
+    let mut old_op_fus = std::mem::take(&mut b.scratch.fus);
+    old_op_fus.clear();
+    old_op_fus.extend(ops.iter().map(|&o| b.op_fu(o)));
     for &op in &ops {
         b.vacate_op(op);
     }
@@ -87,23 +120,42 @@ pub(crate) fn apply_fu_exchange(b: &mut Binding<'_>, a: FuId, z: FuId) -> bool {
     for &o in &owners {
         b.assert_owner(o);
     }
+    b.scratch.ops = ops;
+    b.scratch.keys = pass_keys;
+    b.scratch.owners = owners;
+    b.scratch.best_fus = old_pass_fus;
+    b.scratch.fus = old_op_fus;
     true
 }
 
 /// F2 — reassign one operator to another unit that is idle over the
 /// operator's occupancy window.
 pub(crate) fn propose_fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let op = OpId::from_index(rng.gen_range(0..b.ctx.graph.num_ops()));
+    let ctx = b.ctx;
+    let op = OpId::from_index(rng.gen_range(0..ctx.graph.num_ops()));
     let current = b.op_fu(op);
-    let candidates: Vec<FuId> = b
-        .ctx
-        .datapath
-        .fus_of_class(b.ctx.class_of(op))
-        .map(|f| f.id())
-        .filter(|&f| f != current && b.fu_exec_free(f, op))
-        .collect();
-    let &target = candidates.choose(rng)?;
-    Some(Proposal::FuMove { op, target })
+    if b.plan_enabled() {
+        let mut candidates = std::mem::take(&mut b.scratch.fus);
+        candidates.clear();
+        for &f in ctx.plan.units_for_op(op) {
+            if f != current && b.fu_exec_free(f, op) {
+                candidates.push(f);
+            }
+        }
+        let pick = candidates.choose(rng).copied();
+        b.scratch.fus = candidates;
+        let target = pick?;
+        Some(Proposal::FuMove { op, target })
+    } else {
+        let candidates: Vec<FuId> = ctx
+            .datapath
+            .fus_of_class(ctx.class_of(op))
+            .map(|f| f.id())
+            .filter(|&f| f != current && b.fu_exec_free(f, op))
+            .collect();
+        let &target = candidates.choose(rng)?;
+        Some(Proposal::FuMove { op, target })
+    }
 }
 
 pub(crate) fn apply_fu_move(b: &mut Binding<'_>, op: OpId, target: FuId) -> bool {
@@ -119,15 +171,16 @@ pub(crate) fn apply_fu_move(b: &mut Binding<'_>, op: OpId, target: FuId) -> bool
 
 /// F3 — switch the input ports of a commutative operator.
 pub(crate) fn propose_operand_reverse(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let commutative: Vec<OpId> = b
-        .ctx
-        .graph
-        .ops()
-        .filter(|o| o.kind().is_commutative())
-        .map(|o| o.id())
-        .collect();
-    let &op = commutative.choose(rng)?;
-    Some(Proposal::OperandReverse { op })
+    let ctx = b.ctx;
+    if b.plan_enabled() {
+        let &op = ctx.plan.commutative.choose(rng)?;
+        Some(Proposal::OperandReverse { op })
+    } else {
+        let commutative: Vec<OpId> =
+            ctx.graph.ops().filter(|o| o.kind().is_commutative()).map(|o| o.id()).collect();
+        let &op = commutative.choose(rng)?;
+        Some(Proposal::OperandReverse { op })
+    }
 }
 
 pub(crate) fn apply_operand_reverse(b: &mut Binding<'_>, op: OpId) -> bool {
@@ -138,7 +191,7 @@ pub(crate) fn apply_operand_reverse(b: &mut Binding<'_>, op: OpId) -> bool {
     true
 }
 
-/// All currently active register-to-register transfers.
+/// All currently active register-to-register transfers (legacy path).
 fn active_transfers(b: &Binding<'_>) -> Vec<(TransferKey, usize)> {
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();
@@ -155,6 +208,38 @@ fn active_transfers(b: &Binding<'_>) -> Vec<(TransferKey, usize)> {
     out
 }
 
+/// Appends the active transfers without a bound pass, in the same
+/// first-encounter order as the legacy enumeration. Only boundary keys can
+/// repeat across values (once from the feeding source, once from the
+/// state), so `seen_states` is the whole deduplication state.
+fn unbound_transfers_into(
+    b: &Binding<'_>,
+    keys: &mut Vec<TransferKey>,
+    seen_states: &mut Vec<ValueId>,
+    out: &mut Vec<(TransferKey, usize)>,
+) {
+    seen_states.clear();
+    out.clear();
+    for value in b.ctx.graph.value_ids() {
+        keys.clear();
+        b.transfer_keys_into(value, keys);
+        for &key in keys.iter() {
+            if let TransferKey::Boundary { state } = key {
+                if seen_states.contains(&state) {
+                    continue;
+                }
+                seen_states.push(state);
+            }
+            if b.passes().contains_key(&key) {
+                continue;
+            }
+            if let Some((_, _, step)) = b.transfer_endpoints(key) {
+                out.push((key, step));
+            }
+        }
+    }
+}
+
 /// F4 — bind an unserved transfer to an idle, pass-capable unit,
 /// converting a register-register connection into reuse of the unit's
 /// existing paths.
@@ -165,19 +250,46 @@ fn active_transfers(b: &Binding<'_>) -> Vec<(TransferKey, usize)> {
 /// the transfer and trying each unit — all reverted through a journal
 /// checkpoint before returning.
 pub(crate) fn propose_pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let unbound: Vec<(TransferKey, usize)> = active_transfers(b)
-        .into_iter()
-        .filter(|(key, _)| !b.passes().contains_key(key))
-        .collect();
-    let &(key, step) = unbound.choose(rng)?;
-    let units: Vec<FuId> = b
-        .ctx
-        .datapath
-        .fus()
-        .map(|f| f.id())
-        .filter(|&f| b.fu_pass_free(f, step))
-        .collect();
+    let ctx = b.ctx;
+    let mut units = std::mem::take(&mut b.scratch.fus);
+    units.clear();
+    let picked = if b.plan_enabled() {
+        let mut keys = std::mem::take(&mut b.scratch.keys);
+        let mut seen_states = std::mem::take(&mut b.scratch.seen_states);
+        let mut unbound = std::mem::take(&mut b.scratch.transfers);
+        unbound_transfers_into(b, &mut keys, &mut seen_states, &mut unbound);
+        let pick = unbound.choose(rng).copied();
+        b.scratch.keys = keys;
+        b.scratch.seen_states = seen_states;
+        b.scratch.transfers = unbound;
+        let (key, step) = match pick {
+            Some(p) => p,
+            None => {
+                b.scratch.fus = units;
+                return None;
+            }
+        };
+        units.extend(ctx.plan.pass_units.iter().copied().filter(|&f| b.fu_pass_free(f, step)));
+        (key, step)
+    } else {
+        let unbound: Vec<(TransferKey, usize)> = active_transfers(b)
+            .into_iter()
+            .filter(|(key, _)| !b.passes().contains_key(key))
+            .collect();
+        let pick = unbound.choose(rng).copied();
+        let (key, step) = match pick {
+            Some(p) => p,
+            None => {
+                b.scratch.fus = units;
+                return None;
+            }
+        };
+        units.extend(ctx.datapath.fus().map(|f| f.id()).filter(|&f| b.fu_pass_free(f, step)));
+        (key, step)
+    };
+    let (key, _step) = picked;
     if units.is_empty() {
+        b.scratch.fus = units;
         return None;
     }
 
@@ -187,7 +299,8 @@ pub(crate) fn propose_pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option
     }
     let mark = b.journal_len();
     b.retract_owner(Owner::Transfer(key));
-    let mut best: Vec<FuId> = Vec::new();
+    let mut best = std::mem::take(&mut b.scratch.best_fus);
+    best.clear();
     let mut best_cost = u64::MAX;
     for &cand in &units {
         b.set_pass(key, Some(cand));
@@ -196,7 +309,8 @@ pub(crate) fn propose_pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option
         match cost.cmp(&best_cost) {
             std::cmp::Ordering::Less => {
                 best_cost = cost;
-                best = vec![cand];
+                best.clear();
+                best.push(cand);
             }
             std::cmp::Ordering::Equal => best.push(cand),
             std::cmp::Ordering::Greater => {}
@@ -207,6 +321,8 @@ pub(crate) fn propose_pass_bind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option
         b.rollback();
     }
     let fu = *best.choose(rng).expect("at least one candidate");
+    b.scratch.fus = units;
+    b.scratch.best_fus = best;
     Some(Proposal::PassBind { key, fu })
 }
 
@@ -222,10 +338,10 @@ pub(crate) fn apply_pass_bind(b: &mut Binding<'_>, key: TransferKey, fu: FuId) -
 }
 
 /// F5 — eliminate a pass-through binding, reverting the transfer to a
-/// direct register-register connection.
+/// direct register-register connection. The pass map is key-sorted either
+/// way, so drawing straight from its entry slice is the legacy draw.
 pub(crate) fn propose_pass_unbind(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let keys: Vec<TransferKey> = b.passes().keys().copied().collect();
-    let &key = keys.choose(rng)?;
+    let &(key, _) = b.passes().as_slice().choose(rng)?;
     Some(Proposal::PassUnbind { key })
 }
 

@@ -357,6 +357,14 @@ pub(crate) fn apply_proposal(binding: &mut Binding<'_>, proposal: Proposal) -> b
     }
 }
 
+/// Draws one move of the given kind and discards the resolved proposal,
+/// returning whether the draw was feasible. Benchmark hook: isolates the
+/// propose path (candidate enumeration, ranking, RNG draws) from apply,
+/// so the allocation profile of proposing alone can be measured.
+pub fn propose_discard(binding: &mut Binding<'_>, kind: MoveKind, rng: &mut StdRng) -> bool {
+    propose_move(binding, kind, rng).is_some()
+}
+
 /// Attempts one move of the given kind with random parameters, inside the
 /// caller's open transaction. Returns `true` if the move applied; `false`
 /// leaves the binding untouched. Implemented as

@@ -1,6 +1,15 @@
 //! Register moves R1-R6: segments, whole values, splits and merges —
 //! split into propose (draw + resolve, no net state change) and apply
 //! (replay inside the caller's transaction).
+//!
+//! As in the [`fu`](super::fu) module, each proposer has a compiled-plan
+//! path (prebuilt candidate tables + scratch buffers, selected by
+//! [`Binding::plan_enabled`]) and a legacy re-derive path; both enumerate
+//! identical candidate lists so the trajectory is draw-for-draw the same.
+//! The R2 ranking additionally uses an incremental delta kernel under the
+//! plan: only the owners whose connection items can reference the moved
+//! segment's register are re-costed per candidate (see
+//! [`collect_affected`]).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -17,6 +26,7 @@ use crate::{Binding, TransferKey};
 /// space (and undo state) bounded.
 const MAX_COPIES: usize = 2;
 
+/// Legacy stored-value population (re-collected per draw).
 fn stored_values(b: &Binding<'_>) -> Vec<ValueId> {
     b.ctx
         .graph
@@ -25,55 +35,82 @@ fn stored_values(b: &Binding<'_>) -> Vec<ValueId> {
         .collect()
 }
 
-fn retract_values(b: &mut Binding<'_>, values: &[ValueId]) -> Vec<Owner> {
-    let mut owners = std::collections::BTreeSet::new();
+/// Compiled-plan stored-value population: the plan's storable table
+/// (values with a non-empty lifetime, in id order) filtered by actual
+/// storage — the same list `stored_values` collects.
+fn stored_values_into(b: &Binding<'_>, out: &mut Vec<ValueId>) {
+    out.clear();
+    out.extend(b.ctx.plan.storable.iter().copied().filter(|&v| b.primal(v).is_some()));
+}
+
+/// Collects the sorted, deduplicated owner set of the given values into
+/// `out`. Sorting reproduces the iteration order of the `BTreeSet` this
+/// replaced (`Owner` derives `Ord`; keys are unique per value, so
+/// first-insert ties cannot reorder).
+fn collect_owners(b: &Binding<'_>, values: &[ValueId], out: &mut Vec<Owner>) {
+    out.clear();
     for &v in values {
-        owners.extend(b.owners_of_value(v));
+        b.owners_of_value_into(v, out);
     }
-    let owners: Vec<Owner> = owners.into_iter().collect();
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Retracts every owner of the given values. The returned buffer is the
+/// binding's owner scratch — callers must hand it back via
+/// `b.scratch.owners = owners` when done with the list.
+fn retract_values(b: &mut Binding<'_>, values: &[ValueId]) -> Vec<Owner> {
+    let mut owners = std::mem::take(&mut b.scratch.owners);
+    collect_owners(b, values, &mut owners);
     for &o in &owners {
         b.retract_owner(o);
     }
     owners
 }
 
+/// Re-asserts the owner set of the given values, re-derived from the
+/// post-mutation state (transfer keys may have changed).
 fn assert_values(b: &mut Binding<'_>, values: &[ValueId]) {
-    let mut owners = std::collections::BTreeSet::new();
-    for &v in values {
-        owners.extend(b.owners_of_value(v));
-    }
-    for o in owners {
+    let mut owners = std::mem::take(&mut b.scratch.owners);
+    collect_owners(b, values, &mut owners);
+    for &o in &owners {
         b.assert_owner(o);
     }
+    b.scratch.owners = owners;
 }
 
 fn drop_stale_for(b: &mut Binding<'_>, values: &[ValueId]) {
+    let mut keys = std::mem::take(&mut b.scratch.keys);
     for &v in values {
-        let keys = b.transfer_keys_of(v);
-        b.drop_stale_passes(keys);
+        keys.clear();
+        b.transfer_keys_into(v, &mut keys);
+        b.drop_stale_passes(keys.iter().copied());
     }
+    keys.clear();
+    b.scratch.keys = keys;
 }
 
 /// R1 — exchange the registers of two segments stored in the same control
 /// step.
 pub(crate) fn propose_segment_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let step = rng.gen_range(0..b.ctx.n_steps());
-    let occupied: Vec<(RegId, (ValueId, usize))> = b
-        .ctx
-        .datapath
-        .reg_ids()
-        .filter_map(|r| b.reg_occupant(r, step).map(|occ| (r, occ)))
-        .collect();
-    if occupied.len() < 2 {
-        return None;
-    }
-    let i = rng.gen_range(0..occupied.len());
-    let mut j = rng.gen_range(0..occupied.len());
-    if i == j {
-        j = (j + 1) % occupied.len();
-    }
-    let (r1, (v1, s1)) = occupied[i];
-    let (r2, (v2, s2)) = occupied[j];
+    let ctx = b.ctx;
+    let step = rng.gen_range(0..ctx.n_steps());
+    let mut occupied = std::mem::take(&mut b.scratch.occupied);
+    occupied.clear();
+    occupied
+        .extend(ctx.datapath.reg_ids().filter_map(|r| b.reg_occupant(r, step).map(|o| (r, o))));
+    let picked = if occupied.len() < 2 {
+        None
+    } else {
+        let i = rng.gen_range(0..occupied.len());
+        let mut j = rng.gen_range(0..occupied.len());
+        if i == j {
+            j = (j + 1) % occupied.len();
+        }
+        Some((occupied[i], occupied[j]))
+    };
+    b.scratch.occupied = occupied;
+    let ((r1, (v1, s1)), (r2, (v2, s2))) = picked?;
     Some(Proposal::SegmentExchange { step, v1, s1, r1, v2, s2, r2 })
 }
 
@@ -94,17 +131,90 @@ pub(crate) fn apply_segment_exchange(
     let idx1 = b.ctx.lifetime_index(v1, step).expect("occupant is stored at step");
     let idx2 = b.ctx.lifetime_index(v2, step).expect("occupant is stored at step");
 
-    let values = if v1 == v2 { vec![v1] } else { vec![v1, v2] };
-    retract_values(b, &values);
+    let values = if v1 == v2 { [v1, v1] } else { [v1, v2] };
+    let values = if v1 == v2 { &values[..1] } else { &values[..] };
+    let owners = retract_values(b, values);
+    b.scratch.owners = owners;
     b.vacate_seg(v1, s1, idx1);
     b.vacate_seg(v2, s2, idx2);
     b.chain_reg_mut(v1, s1, idx1, r2);
     b.chain_reg_mut(v2, s2, idx2, r1);
     b.occupy_seg(v1, s1, idx1);
     b.occupy_seg(v2, s2, idx2);
-    drop_stale_for(b, &values);
-    assert_values(b, &values);
+    drop_stale_for(b, values);
+    assert_values(b, values);
     true
+}
+
+/// R2 delta-cost kernel: of a value's (retracted) owners, selects those
+/// whose connection items can reference the register of the moved segment
+/// `(slot, idx)`. Every other owner's items are identical for every
+/// candidate target, contributing a constant to the ranking sum — so
+/// costing only the affected subset preserves the argmin, the tie set and
+/// the tie order exactly. Over-approximation is safe (a never-changing
+/// owner adds the same constant); omission is not, so the conditions
+/// mirror [`Binding::items_into`] case by case.
+fn collect_affected(
+    b: &Binding<'_>,
+    owners: &[Owner],
+    v: ValueId,
+    slot: usize,
+    idx: usize,
+    out: &mut Vec<Owner>,
+) {
+    let plan = &b.ctx.plan;
+    let moved_lo =
+        b.chains_of(v).find(|(s, _)| *s == slot).expect("live chain").1.lo();
+    let lt_len = plan.value_lt_len[v.index()] as usize;
+    for &owner in owners {
+        let affected = match owner {
+            Owner::Op(op) => {
+                // A consumer reading the moved segment through this slot.
+                let reads = plan.op_reads[op.index()].iter().any(|&(port, val, ridx)| {
+                    val == v && ridx as usize == idx && b.use_chain(op, port as usize) == slot
+                });
+                // The producer writes the head register of every chain
+                // starting at lifetime index 0.
+                let writes = plan.value_producer[v.index()] == Some(op)
+                    && moved_lo == 0
+                    && idx == 0;
+                // A boundary-born feedback source's producer writes this
+                // state's primal head directly.
+                let feeds = plan.value_fb_producer[v.index()] == Some(op)
+                    && slot == 0
+                    && idx == 0;
+                reads || writes || feeds
+            }
+            Owner::Transfer(key) => match key {
+                TransferKey::Intra { value, chain, idx: j } => {
+                    value == v && chain == slot && (j == idx || j + 1 == idx)
+                }
+                TransferKey::CopyFeed { value, chain } => {
+                    value == v && {
+                        let c_lo = b
+                            .chains_of(v)
+                            .find(|(s, _)| *s == chain)
+                            .map(|(_, c)| c.lo())
+                            .unwrap_or(0);
+                        (slot == 0 && c_lo > 0 && idx == c_lo - 1)
+                            || (chain == slot && idx == c_lo)
+                    }
+                }
+                TransferKey::Boundary { state } => {
+                    if state == v {
+                        // Destination side: this state's primal head.
+                        slot == 0 && idx == 0
+                    } else {
+                        // Source side: v's primal tail feeds `state`.
+                        slot == 0 && idx + 1 == lt_len
+                    }
+                }
+            },
+        };
+        if affected {
+            out.push(owner);
+        }
+    }
 }
 
 /// R2 — move one segment to a register free at its step. The segment is
@@ -114,19 +224,41 @@ pub(crate) fn apply_segment_exchange(
 /// value's owners retracted and the candidate written, so the proposal
 /// runs it under a journal checkpoint and reverts before returning.
 pub(crate) fn propose_segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let values = stored_values(b);
-    let &v = values.choose(rng)?;
-    let chains: Vec<usize> = b.chains_of(v).map(|(slot, _)| slot).collect();
-    let &slot = chains.choose(rng).expect("stored value has chains");
+    let ctx = b.ctx;
+    let plan_on = b.plan_enabled();
+    let v = if plan_on {
+        let mut values = std::mem::take(&mut b.scratch.values);
+        stored_values_into(b, &mut values);
+        let pick = values.choose(rng).copied();
+        b.scratch.values = values;
+        pick?
+    } else {
+        let values = stored_values(b);
+        let &v = values.choose(rng)?;
+        v
+    };
+    let slot = if plan_on {
+        let mut slots = std::mem::take(&mut b.scratch.slots);
+        slots.clear();
+        slots.extend(b.chains_of(v).map(|(slot, _)| slot));
+        let pick = slots.choose(rng).copied();
+        b.scratch.slots = slots;
+        pick.expect("stored value has chains")
+    } else {
+        let chains: Vec<usize> = b.chains_of(v).map(|(slot, _)| slot).collect();
+        *chains.choose(rng).expect("stored value has chains")
+    };
     let (lo, hi) = {
         let chain = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
         (chain.lo(), chain.hi())
     };
     let idx = rng.gen_range(lo..=hi);
-    let step = b.ctx.lifetimes.get(v).expect("stored").steps()[idx];
-    let free: Vec<RegId> =
-        b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, step)).collect();
+    let step = ctx.lifetimes.get(v).expect("stored").steps()[idx];
+    let mut free = std::mem::take(&mut b.scratch.regs);
+    free.clear();
+    free.extend(ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, step)));
     if free.is_empty() {
+        b.scratch.regs = free;
         return None;
     }
 
@@ -137,15 +269,26 @@ pub(crate) fn propose_segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Opt
     let mark = b.journal_len();
     let owners = retract_values(b, &[v]);
     b.vacate_seg(v, slot, idx);
-    let mut best: Vec<RegId> = Vec::new();
+    // Under the plan, rank candidates over only the owners the move can
+    // re-route; every other owner's added cost is candidate-invariant.
+    let mut ranked = std::mem::take(&mut b.scratch.affected);
+    ranked.clear();
+    if plan_on {
+        collect_affected(b, &owners, v, slot, idx, &mut ranked);
+    } else {
+        ranked.extend_from_slice(&owners);
+    }
+    let mut best = std::mem::take(&mut b.scratch.best_regs);
+    best.clear();
     let mut best_cost = u64::MAX;
     for &cand in &free {
         b.chain_reg_mut(v, slot, idx, cand);
-        let cost = b.added_cost_of(&owners);
+        let cost = b.added_cost_of(&ranked);
         match cost.cmp(&best_cost) {
             std::cmp::Ordering::Less => {
                 best_cost = cost;
-                best = vec![cand];
+                best.clear();
+                best.push(cand);
             }
             std::cmp::Ordering::Equal => best.push(cand),
             std::cmp::Ordering::Greater => {}
@@ -156,6 +299,10 @@ pub(crate) fn propose_segment_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Opt
         b.rollback();
     }
     let target = *best.choose(rng).expect("at least one free candidate");
+    b.scratch.regs = free;
+    b.scratch.owners = owners;
+    b.scratch.affected = ranked;
+    b.scratch.best_regs = best;
     Some(Proposal::SegmentMove { value: v, slot, idx, target })
 }
 
@@ -174,7 +321,8 @@ pub(crate) fn apply_segment_move(
     if !b.reg_free(target, step) {
         return false;
     }
-    retract_values(b, &[v]);
+    let owners = retract_values(b, &[v]);
+    b.scratch.owners = owners;
     b.vacate_seg(v, slot, idx);
     b.chain_reg_mut(v, slot, idx, target);
     b.occupy_seg(v, slot, idx);
@@ -200,23 +348,46 @@ fn exchange_ok(b: &Binding<'_>, value: ValueId, other: ValueId, target: RegId) -
 
 /// R3 — exchange the registers of two contiguously bound values.
 pub(crate) fn propose_value_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let uniform: Vec<(ValueId, RegId)> = stored_values(b)
-        .into_iter()
-        .filter_map(|v| {
-            let primal = b.primal(v)?;
-            primal.is_uniform().then(|| (v, primal.regs()[0]))
-        })
-        .collect();
-    if uniform.len() < 2 {
-        return None;
-    }
-    let i = rng.gen_range(0..uniform.len());
-    let mut j = rng.gen_range(0..uniform.len());
-    if i == j {
-        j = (j + 1) % uniform.len();
-    }
-    let (v1, r1) = uniform[i];
-    let (v2, r2) = uniform[j];
+    let picked = if b.plan_enabled() {
+        let mut uniform = std::mem::take(&mut b.scratch.uniform);
+        uniform.clear();
+        for &v in &b.ctx.plan.storable {
+            let Some(primal) = b.primal(v) else { continue };
+            if primal.is_uniform() {
+                uniform.push((v, primal.regs()[0]));
+            }
+        }
+        let pick = if uniform.len() < 2 {
+            None
+        } else {
+            let i = rng.gen_range(0..uniform.len());
+            let mut j = rng.gen_range(0..uniform.len());
+            if i == j {
+                j = (j + 1) % uniform.len();
+            }
+            Some((uniform[i], uniform[j]))
+        };
+        b.scratch.uniform = uniform;
+        pick?
+    } else {
+        let uniform: Vec<(ValueId, RegId)> = stored_values(b)
+            .into_iter()
+            .filter_map(|v| {
+                let primal = b.primal(v)?;
+                primal.is_uniform().then(|| (v, primal.regs()[0]))
+            })
+            .collect();
+        if uniform.len() < 2 {
+            return None;
+        }
+        let i = rng.gen_range(0..uniform.len());
+        let mut j = rng.gen_range(0..uniform.len());
+        if i == j {
+            j = (j + 1) % uniform.len();
+        }
+        (uniform[i], uniform[j])
+    };
+    let ((v1, r1), (v2, r2)) = picked;
     if r1 == r2 {
         return None;
     }
@@ -245,7 +416,8 @@ pub(crate) fn apply_value_exchange(
         return false;
     }
 
-    retract_values(b, &[v1, v2]);
+    let owners = retract_values(b, &[v1, v2]);
+    b.scratch.owners = owners;
     let len1 = b.primal(v1).unwrap().len();
     let len2 = b.primal(v2).unwrap().len();
     for idx in 0..len1 {
@@ -269,21 +441,38 @@ pub(crate) fn apply_value_exchange(
 
 /// R4 — bind every (primal) segment of a value to one register.
 pub(crate) fn propose_value_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let values = stored_values(b);
-    let &v = values.choose(rng)?;
-    let steps: Vec<usize> = b.ctx.lifetimes.get(v).expect("stored").steps().to_vec();
-    let candidates: Vec<RegId> = b
-        .ctx
-        .datapath
-        .reg_ids()
-        .filter(|&r| {
-            steps.iter().all(|&s| match b.reg_occupant(r, s) {
-                None => true,
-                Some((occ_v, occ_slot)) => occ_v == v && occ_slot == 0,
-            })
+    let ctx = b.ctx;
+    let v = if b.plan_enabled() {
+        let mut values = std::mem::take(&mut b.scratch.values);
+        stored_values_into(b, &mut values);
+        let pick = values.choose(rng).copied();
+        b.scratch.values = values;
+        pick?
+    } else {
+        let values = stored_values(b);
+        let &v = values.choose(rng)?;
+        v
+    };
+    let steps = ctx.lifetimes.get(v).expect("stored").steps();
+    let feasible = |b: &Binding<'_>, r: RegId| {
+        steps.iter().all(|&s| match b.reg_occupant(r, s) {
+            None => true,
+            Some((occ_v, occ_slot)) => occ_v == v && occ_slot == 0,
         })
-        .collect();
-    let &target = candidates.choose(rng)?;
+    };
+    let target = if b.plan_enabled() {
+        let mut candidates = std::mem::take(&mut b.scratch.regs);
+        candidates.clear();
+        candidates.extend(ctx.datapath.reg_ids().filter(|&r| feasible(b, r)));
+        let pick = candidates.choose(rng).copied();
+        b.scratch.regs = candidates;
+        pick?
+    } else {
+        let candidates: Vec<RegId> =
+            ctx.datapath.reg_ids().filter(|&r| feasible(b, r)).collect();
+        let &target = candidates.choose(rng)?;
+        target
+    };
     if b.primal(v).unwrap().is_uniform() && b.primal(v).unwrap().regs()[0] == target {
         return None;
     }
@@ -302,7 +491,8 @@ pub(crate) fn apply_value_move(b: &mut Binding<'_>, v: ValueId, target: RegId) -
         return false;
     }
 
-    retract_values(b, &[v]);
+    let owners = retract_values(b, &[v]);
+    b.scratch.owners = owners;
     let len = b.primal(v).unwrap().len();
     for idx in 0..len {
         b.vacate_seg(v, 0, idx);
@@ -320,36 +510,68 @@ pub(crate) fn apply_value_move(b: &mut Binding<'_>, v: ValueId, target: RegId) -
 /// or extend an existing copy by one step; consumers covered by the copy
 /// rebind greedily to whichever chain adds less interconnect.
 pub(crate) fn propose_value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let values: Vec<ValueId> = stored_values(b)
-        .into_iter()
-        .filter(|&v| b.num_copies(v) < MAX_COPIES || b.num_copies(v) > 0)
-        .collect();
-    let &v = values.choose(rng)?;
-    let lt_len = b.ctx.lifetimes.get(v).expect("stored").len();
-    let steps: Vec<usize> = b.ctx.lifetimes.get(v).unwrap().steps().to_vec();
+    let ctx = b.ctx;
+    let plan_on = b.plan_enabled();
+    let v = if plan_on {
+        let mut values = std::mem::take(&mut b.scratch.values);
+        stored_values_into(b, &mut values);
+        values.retain(|&v| b.num_copies(v) < MAX_COPIES || b.num_copies(v) > 0);
+        let pick = values.choose(rng).copied();
+        b.scratch.values = values;
+        pick?
+    } else {
+        let values: Vec<ValueId> = stored_values(b)
+            .into_iter()
+            .filter(|&v| b.num_copies(v) < MAX_COPIES || b.num_copies(v) > 0)
+            .collect();
+        let &v = values.choose(rng)?;
+        v
+    };
+    let lt = ctx.lifetimes.get(v).expect("stored");
+    let lt_len = lt.len();
+    let steps = lt.steps();
 
     // Choose: create a new copy, or extend an existing one.
-    let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
-    let extend = !copies.is_empty() && rng.gen_bool(0.5);
+    let copies_pick = if plan_on {
+        let mut copies = std::mem::take(&mut b.scratch.slots);
+        copies.clear();
+        copies.extend(b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0));
+        let extend = !copies.is_empty() && rng.gen_bool(0.5);
+        let slot = if extend { copies.choose(rng).copied() } else { None };
+        b.scratch.slots = copies;
+        (extend, slot)
+    } else {
+        let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
+        let extend = !copies.is_empty() && rng.gen_bool(0.5);
+        let slot = if extend { copies.choose(rng).copied() } else { None };
+        (extend, slot)
+    };
+    let (extend, slot_pick) = copies_pick;
 
     if extend {
-        let &slot = copies.choose(rng).expect("nonempty");
+        let slot = slot_pick.expect("nonempty");
         let (lo, hi) = {
             let c = b.chains_of(v).find(|(s, _)| *s == slot).unwrap().1;
             (c.lo(), c.hi())
         };
-        let mut dirs = Vec::new();
+        let mut dirs = [false; 2];
+        let mut n_dirs = 0;
         if lo > b.min_copy_index(v) {
-            dirs.push(true);
+            dirs[n_dirs] = true;
+            n_dirs += 1;
         }
         if hi + 1 < lt_len {
-            dirs.push(false);
+            dirs[n_dirs] = false;
+            n_dirs += 1;
         }
-        let &front = dirs.choose(rng)?;
+        let &front = dirs[..n_dirs].choose(rng)?;
         let idx = if front { lo - 1 } else { hi + 1 };
-        let free: Vec<RegId> =
-            b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])).collect();
-        let &reg = free.choose(rng)?;
+        let mut free = std::mem::take(&mut b.scratch.regs);
+        free.clear();
+        free.extend(ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])));
+        let pick = free.choose(rng).copied();
+        b.scratch.regs = free;
+        let reg = pick?;
         Some(Proposal::ValueSplitExtend { value: v, slot, front, reg })
     } else {
         if b.num_copies(v) >= MAX_COPIES {
@@ -360,9 +582,12 @@ pub(crate) fn propose_value_split(b: &mut Binding<'_>, rng: &mut StdRng) -> Opti
             return None;
         }
         let idx = rng.gen_range(min_idx..lt_len);
-        let free: Vec<RegId> =
-            b.ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])).collect();
-        let &reg = free.choose(rng)?;
+        let mut free = std::mem::take(&mut b.scratch.regs);
+        free.clear();
+        free.extend(ctx.datapath.reg_ids().filter(|&r| b.reg_free(r, steps[idx])));
+        let pick = free.choose(rng).copied();
+        b.scratch.regs = free;
+        let reg = pick?;
         Some(Proposal::ValueSplitNew { value: v, idx, reg })
     }
 }
@@ -374,8 +599,10 @@ pub(crate) fn apply_value_split_extend(
     front: bool,
     reg: RegId,
 ) -> bool {
-    let lt_len = b.ctx.lifetimes.get(v).expect("stored").len();
-    let steps: Vec<usize> = b.ctx.lifetimes.get(v).unwrap().steps().to_vec();
+    let ctx = b.ctx;
+    let lt = ctx.lifetimes.get(v).expect("stored");
+    let lt_len = lt.len();
+    let steps = lt.steps();
     let Some((_, chain)) = b.chains_of(v).find(|(s, _)| *s == slot) else { return false };
     let (lo, hi) = (chain.lo(), chain.hi());
     let idx = if front {
@@ -393,7 +620,8 @@ pub(crate) fn apply_value_split_extend(
         return false;
     }
 
-    retract_values(b, &[v]);
+    let owners = retract_values(b, &[v]);
+    b.scratch.owners = owners;
     if front {
         // The copy-feed step moves earlier; a pass bound to the old
         // feed step would become inconsistent.
@@ -415,12 +643,13 @@ pub(crate) fn apply_value_split_new(
     idx: usize,
     reg: RegId,
 ) -> bool {
-    let steps: Vec<usize> = b.ctx.lifetimes.get(v).expect("stored").steps().to_vec();
+    let steps = b.ctx.lifetimes.get(v).expect("stored").steps();
     if b.num_copies(v) >= MAX_COPIES || !b.reg_free(reg, steps[idx]) {
         return false;
     }
 
-    retract_values(b, &[v]);
+    let owners = retract_values(b, &[v]);
+    b.scratch.owners = owners;
     let slot = b.add_copy_chain(v, idx, reg);
     rebind_uses_greedily(b, v, slot);
     drop_stale_for(b, &[v]);
@@ -432,17 +661,11 @@ pub(crate) fn apply_value_split_new(
 /// `slot` picks the cheaper source register (fewer added multiplexer
 /// inputs), measured against the retracted connection matrix.
 fn rebind_uses_greedily(b: &mut Binding<'_>, v: ValueId, slot: usize) {
-    let uses: Vec<(salsa_cdfg::OpId, usize)> = b
-        .ctx
-        .graph
-        .value(v)
-        .uses()
-        .iter()
-        .map(|u| (u.op, u.port))
-        .collect();
-    for (op, port) in uses {
-        let issue = b.ctx.schedule.issue(op);
-        let Some(idx) = b.ctx.lifetime_index(v, issue) else { continue };
+    let ctx = b.ctx;
+    for u in ctx.graph.value(v).uses() {
+        let (op, port) = (u.op, u.port);
+        let issue = ctx.schedule.issue(op);
+        let Some(idx) = ctx.lifetime_index(v, issue) else { continue };
         let covered = b
             .chains_of(v)
             .find(|(s, _)| *s == slot)
@@ -475,13 +698,30 @@ fn rebind_uses_greedily(b: &mut Binding<'_>, v: ValueId, slot: usize) {
 /// Consumers that were reading the vanished segments rebind to the primal
 /// chain.
 pub(crate) fn propose_value_merge(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
-    let with_copies: Vec<ValueId> = stored_values(b)
-        .into_iter()
-        .filter(|&v| b.num_copies(v) > 0)
-        .collect();
-    let &v = with_copies.choose(rng)?;
-    let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
-    let &slot = copies.choose(rng).expect("nonempty");
+    let picked = if b.plan_enabled() {
+        let mut values = std::mem::take(&mut b.scratch.values);
+        stored_values_into(b, &mut values);
+        values.retain(|&v| b.num_copies(v) > 0);
+        let pick = values.choose(rng).copied();
+        b.scratch.values = values;
+        let v = pick?;
+        let mut copies = std::mem::take(&mut b.scratch.slots);
+        copies.clear();
+        copies.extend(b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0));
+        let slot = copies.choose(rng).copied();
+        b.scratch.slots = copies;
+        (v, slot.expect("nonempty"))
+    } else {
+        let with_copies: Vec<ValueId> = stored_values(b)
+            .into_iter()
+            .filter(|&v| b.num_copies(v) > 0)
+            .collect();
+        let &v = with_copies.choose(rng)?;
+        let copies: Vec<usize> = b.chains_of(v).map(|(s, _)| s).filter(|&s| s > 0).collect();
+        let &slot = copies.choose(rng).expect("nonempty");
+        (v, slot)
+    };
+    let (v, slot) = picked;
     let front = rng.gen_bool(0.5);
     Some(Proposal::ValueMerge { value: v, slot, front })
 }
@@ -497,40 +737,36 @@ pub(crate) fn apply_value_merge(
     let removed_idx = if front { lo } else { hi };
     let whole_chain = lo == hi;
 
-    retract_values(b, &[v]);
+    let owners = retract_values(b, &[v]);
+    b.scratch.owners = owners;
     // Clear passes on transfer keys this shrink invalidates, while their
     // endpoints can still be resolved: the adjacency at the vanished end
     // and — when the front moves — the copy feed (its step changes).
-    let mut stale = Vec::new();
+    let mut stale = [TransferKey::CopyFeed { value: v, chain: slot }; 2];
+    let mut n_stale = 0;
     if whole_chain || front {
-        stale.push(TransferKey::CopyFeed { value: v, chain: slot });
+        stale[n_stale] = TransferKey::CopyFeed { value: v, chain: slot };
+        n_stale += 1;
     }
     if !whole_chain {
         let idx = if front { lo } else { hi - 1 };
-        stale.push(TransferKey::Intra { value: v, chain: slot, idx });
-    } else {
-        // Removing a one-segment chain has no adjacencies left.
+        stale[n_stale] = TransferKey::Intra { value: v, chain: slot, idx };
+        n_stale += 1;
     }
-    for key in stale {
+    for &key in &stale[..n_stale] {
         if b.passes().contains_key(&key) {
             b.set_pass(key, None);
         }
     }
     // Rebind uses served by the vanishing segment(s).
-    let uses: Vec<(salsa_cdfg::OpId, usize)> = b
-        .ctx
-        .graph
-        .value(v)
-        .uses()
-        .iter()
-        .map(|u| (u.op, u.port))
-        .collect();
-    for (op, port) in uses {
+    let ctx = b.ctx;
+    for u in ctx.graph.value(v).uses() {
+        let (op, port) = (u.op, u.port);
         if b.use_chain(op, port) != slot {
             continue;
         }
-        let issue = b.ctx.schedule.issue(op);
-        let idx = b.ctx.lifetime_index(v, issue).expect("operand alive at issue");
+        let issue = ctx.schedule.issue(op);
+        let idx = ctx.lifetime_index(v, issue).expect("operand alive at issue");
         if whole_chain || idx == removed_idx {
             b.set_use_chain(op, port, 0);
         }

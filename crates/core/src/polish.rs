@@ -136,7 +136,7 @@ fn sweep_value_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mu
                 continue;
             }
             binding.begin();
-            let owners = binding.owners_of_value(v);
+            let owners = binding.owners_of_value_sorted(v);
             for &o in &owners {
                 binding.retract_owner(o);
             }
@@ -150,7 +150,7 @@ fn sweep_value_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mu
             }
             let keys = binding.transfer_keys_of(v);
             binding.drop_stale_passes(keys);
-            for o in binding.owners_of_value(v) {
+            for o in binding.owners_of_value_sorted(v) {
                 binding.assert_owner(o);
             }
             improved |= accept_or_rollback(binding, weights, best);
@@ -233,7 +233,7 @@ fn sweep_segment_moves(
                     .collect();
                 for target in free {
                     binding.begin();
-                    let owners = binding.owners_of_value(v);
+                    let owners = binding.owners_of_value_sorted(v);
                     for &o in &owners {
                         binding.retract_owner(o);
                     }
@@ -242,7 +242,7 @@ fn sweep_segment_moves(
                     binding.occupy_seg(v, slot, idx);
                     let keys = binding.transfer_keys_of(v);
                     binding.drop_stale_passes(keys);
-                    for o in binding.owners_of_value(v) {
+                    for o in binding.owners_of_value_sorted(v) {
                         binding.assert_owner(o);
                     }
                     improved |= accept_or_rollback(binding, weights, best);

@@ -201,6 +201,78 @@ fn polish_reaches_a_deterministic_fixpoint() {
     assert!(first == twin, "re-polishing at the fixpoint is a no-op");
 }
 
+/// The compiled-move-plan contract: plan-on and plan-off runs enumerate
+/// identical candidate lists in identical order, so for any seed the
+/// trajectories — not just the outcomes — are bit-for-bit the same, in
+/// the sequential loop, the batched engine and the portfolio reduction.
+#[test]
+fn compiled_plan_matches_legacy_proposers_bit_for_bit() {
+    let library = FuLibrary::standard();
+    for graph in [benchmarks::ewf(), benchmarks::dct()] {
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+        let datapath = pool_for(&graph, &schedule, &library, 1);
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+
+        for seed in [7u64, 23] {
+            // Sequential inner loop.
+            let (on, on_stats) = search(&ctx, seed, &quick(None, 1));
+            let (off, off_stats) =
+                search(&ctx, seed, &ImproveConfig { plan: false, ..quick(None, 1) });
+            assert!(
+                on == off,
+                "{} seed {seed}: the compiled plan diverged from the legacy proposers",
+                graph.name()
+            );
+            assert_eq!(counters(&on_stats), counters(&off_stats));
+            assert_eq!(on_stats.final_cost, off_stats.final_cost);
+
+            // Batched engine, workers up.
+            let (bon, bon_stats) = search(&ctx, seed, &quick(Some(8), 2));
+            let (boff, boff_stats) =
+                search(&ctx, seed, &ImproveConfig { plan: false, ..quick(Some(8), 2) });
+            assert!(
+                bon == boff,
+                "{} seed {seed}: plan on/off diverged under batch(8)",
+                graph.name()
+            );
+            assert_eq!(counters(&bon_stats), counters(&boff_stats));
+            assert_eq!(bon_stats.committed, boff_stats.committed);
+            assert_eq!(bon_stats.conflict_skipped, boff_stats.conflict_skipped);
+        }
+    }
+}
+
+/// Plan on/off equivalence through the full portfolio driver: multiple
+/// restart chains, reduction, polish and lowering included.
+#[test]
+fn compiled_plan_matches_legacy_through_the_portfolio() {
+    let graph = benchmarks::ewf();
+    let library = FuLibrary::standard();
+    let cp = asap(&graph, &library).length;
+    let schedule = fds_schedule(&graph, &library, cp + 2).unwrap();
+
+    let run = |plan: bool| {
+        Allocator::new(&graph, &schedule, &library)
+            .seed(5)
+            .extra_registers(1)
+            .restarts(3)
+            .config(quick(None, 1))
+            .plan(plan)
+            .run()
+            .unwrap()
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.cost, off.cost, "plan on/off changed the portfolio outcome");
+    assert_eq!(
+        register_chart(&graph, &schedule, &on),
+        register_chart(&graph, &schedule, &off),
+        "plan on/off changed the final register layout"
+    );
+    assert_eq!(counters(&on.stats), counters(&off.stats));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
@@ -277,5 +349,41 @@ proptest! {
             prop_assert_eq!(other_stats.conflict_skipped, base_stats.conflict_skipped);
             prop_assert_eq!(other_stats.committed, base_stats.committed);
         }
+    }
+
+    /// Plan on ≡ plan off on arbitrary graphs, sequential and batched:
+    /// same final binding, same counters, for any seed.
+    #[test]
+    fn compiled_plan_is_exact_on_random_graphs(
+        graph_seed in 0u64..500,
+        search_seed in 0u64..100,
+        batch_raw in 0usize..8,
+        ops in 8usize..20,
+        states in 0usize..3,
+        slack in 0usize..3,
+        extra_regs in 0usize..3,
+    ) {
+        // 0 encodes "sequential loop"; 1..8 are batch sizes.
+        let batch = (batch_raw > 0).then_some(batch_raw);
+        let cfg = RandomCdfgConfig { ops, states, ..RandomCdfgConfig::default() };
+        let graph = random_cdfg(&cfg, graph_seed);
+        let library = FuLibrary::standard();
+        let cp = asap(&graph, &library).length;
+        let schedule = fds_schedule(&graph, &library, cp + slack).unwrap();
+        let datapath = pool_for(&graph, &schedule, &library, extra_regs);
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let config = ImproveConfig {
+            max_trials: 3,
+            moves_per_trial: Some(250),
+            batch,
+            ..ImproveConfig::default()
+        };
+
+        let (on, on_stats) = search(&ctx, search_seed, &config);
+        let (off, off_stats) =
+            search(&ctx, search_seed, &ImproveConfig { plan: false, ..config.clone() });
+        prop_assert!(on == off, "plan on/off trajectories diverged");
+        prop_assert_eq!(counters(&on_stats), counters(&off_stats));
+        prop_assert_eq!(on_stats.final_cost, off_stats.final_cost);
     }
 }

@@ -51,7 +51,8 @@ pub fn run_allocation(
         .seed(knobs.seed)
         .extra_registers(knobs.extra_regs)
         .restarts(knobs.restarts)
-        .config(config);
+        .config(config)
+        .plan(knobs.plan);
     if let Some(threads) = knobs.threads {
         allocator = allocator.threads(threads);
     }

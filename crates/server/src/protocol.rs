@@ -71,6 +71,11 @@ pub struct Knobs {
     pub pipelined: bool,
     /// Restrict to the traditional (pre-SALSA) move set.
     pub traditional: bool,
+    /// Drive the move proposers from the compiled move plan (the
+    /// default). Never changes the result — kept in the cache key anyway
+    /// so an A/B pair of requests is two observable jobs, not one cache
+    /// hit.
+    pub plan: bool,
 }
 
 impl Default for Knobs {
@@ -85,6 +90,7 @@ impl Default for Knobs {
             cutoff: None,
             pipelined: false,
             traditional: false,
+            plan: true,
         }
     }
 }
@@ -304,6 +310,13 @@ pub fn knobs_from_json(obj: &Json) -> Result<Knobs, ServeError> {
         cutoff: field_f64(obj, "cutoff")?,
         pipelined: field_bool(obj, "pipelined")?,
         traditional: field_bool(obj, "traditional")?,
+        // Unlike the other booleans, absent means *true*.
+        plan: match obj.get("plan") {
+            None | Some(Json::Null) => true,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ServeError::new(ErrorKind::BadRequest, "'plan' must be a boolean")
+            })?,
+        },
     })
 }
 
@@ -333,6 +346,9 @@ pub fn knobs_to_json(knobs: &Knobs) -> Json {
     if knobs.traditional {
         pairs.push(("traditional", Json::Bool(true)));
     }
+    if !knobs.plan {
+        pairs.push(("plan", Json::Bool(false)));
+    }
     Json::obj(pairs)
 }
 
@@ -345,7 +361,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
     keyed.push_str(canonical_text);
     keyed.push_str("\x00knobs\x00");
     keyed.push_str(&format!(
-        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={}",
+        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={}",
         knobs.steps,
         knobs.extra_regs,
         knobs.seed,
@@ -355,6 +371,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
         knobs.cutoff,
         knobs.pipelined,
         knobs.traditional,
+        knobs.plan,
     ));
     fnv1a_128(keyed.as_bytes())
 }
@@ -446,6 +463,7 @@ mod tests {
             Knobs { cutoff: Some(1.5), ..base.clone() },
             Knobs { pipelined: true, ..base.clone() },
             Knobs { traditional: true, ..base.clone() },
+            Knobs { plan: false, ..base.clone() },
         ];
         let base_key = key(&base);
         for v in &variants {
@@ -469,6 +487,7 @@ mod tests {
             cutoff: Some(1.25),
             pipelined: true,
             traditional: true,
+            plan: false,
         };
         for knobs in [Knobs::default(), full] {
             let rendered = knobs_to_json(&knobs);

@@ -74,8 +74,9 @@ usage:
   salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
   salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
                      [--restarts R] [--threads T] [--batch K] [--cutoff F]
-                     [--pipelined] [--traditional] [--controller] [--report]
-                     [--json] [--verilog PATH] [--testbench PATH] [--dot PATH]
+                     [--pipelined] [--traditional] [--no-plan] [--controller]
+                     [--report] [--json] [--verilog PATH] [--testbench PATH]
+                     [--dot PATH]
   salsa-hls bench    <name|--list>
   salsa-hls serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                      [--default-timeout-ms MS] [--backend local|cluster]
@@ -101,6 +102,8 @@ machine's parallelism; 1 reproduces the sequential loop bit-for-bit);
 --batch K turns on speculative move batches: K proposals per step graded
 in parallel, committed in proposal order (results depend only on the seed
 and K, never on thread count; --batch 1 matches the sequential loop).
+--no-plan disables the compiled move-plan fast path in the proposers (for
+A/B verification; the trajectory and result are identical either way).
 
 serve starts the allocation service (newline-delimited JSON over TCP;
 default 127.0.0.1:7741, port 0 picks a free port) and runs until a
@@ -237,7 +240,8 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
         .seed(seed)
         .extra_registers(flag_parse(args, "--extra-regs")?.unwrap_or(0))
         .restarts(flag_parse(args, "--restarts")?.unwrap_or(1))
-        .config(config);
+        .config(config)
+        .plan(!has_flag(args, "--no-plan"));
     if let Some(threads) = flag_parse(args, "--threads")? {
         allocator = allocator.threads(threads);
     }
@@ -401,6 +405,7 @@ fn knobs_from_args(args: &[String]) -> Result<Knobs, String> {
         cutoff: flag_parse(args, "--cutoff")?,
         pipelined: has_flag(args, "--pipelined"),
         traditional: has_flag(args, "--traditional"),
+        plan: !has_flag(args, "--no-plan"),
     })
 }
 
@@ -588,6 +593,9 @@ fn build_submit_request(args: &[String]) -> Result<Json, String> {
         if has_flag(args, flag) {
             pairs.push((key.to_string(), Json::Bool(true)));
         }
+    }
+    if has_flag(args, "--no-plan") {
+        pairs.push(("plan".to_string(), Json::Bool(false)));
     }
     Ok(Json::Obj(pairs))
 }
