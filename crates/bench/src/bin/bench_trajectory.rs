@@ -35,7 +35,8 @@ use std::time::Instant;
 
 use salsa_alloc::{Allocator, MoveSet};
 use salsa_bench::jsonstore::{
-    history_entry, latest_flat_rows, prior_history, render_bench_file, BENCH_FILE,
+    history_entry, latest_flat_rows, prior_history, render_bench_file, same_label_rows,
+    BENCH_FILE,
 };
 use salsa_bench::Effort;
 use salsa_cdfg::Cdfg;
@@ -231,7 +232,7 @@ fn main() {
         .map(|v| v.parse().expect("--threads takes a number"))
         .unwrap_or(4)
         .max(2);
-    let pr = flag_value("--pr").unwrap_or_else(|| "PR6-plan".to_string());
+    let pr = flag_value("--pr").unwrap_or_else(|| "PR7-wire".to_string());
     // Enough chains that the portfolio has real work to spread; both modes
     // run the identical seed set so the wall-clock ratio is an honest
     // same-work speedup.
@@ -282,7 +283,14 @@ fn main() {
     let path = BENCH_FILE;
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let mut history = prior_history(&existing, &pr);
-    let rows: Vec<String> = records.iter().map(record_json).collect();
+    let mut rows: Vec<String> = records.iter().map(record_json).collect();
+    // Merge, don't clobber: keep service rows (loadgen's) already written
+    // under this label — only the trajectory rows are regenerated here.
+    rows.extend(
+        same_label_rows(&existing, &pr)
+            .into_iter()
+            .filter(|row| row.contains("\"mode\": \"service\"")),
+    );
     history.push(history_entry(&pr, &rows));
 
     // The flat block is a projection of the entry just appended — never a

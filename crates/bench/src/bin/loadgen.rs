@@ -4,6 +4,12 @@
 //! results to the `history` array of `BENCH_alloc.json` (schema in
 //! EXPERIMENTS.md).
 //!
+//! Each client holds **one** connection for its whole share of the run
+//! and keeps up to `--pipeline` requests in flight on it, paired to
+//! responses by correlation id (binary protocol) or strict request order
+//! (JSON lines). `--protocol` picks the wire encoding; the default
+//! `auto` negotiates binary frames when the server speaks them.
+//!
 //! By default an in-process server is spun up on a loopback port so the
 //! run is self-contained; pass `--addr HOST:PORT` to aim at an external
 //! `salsa-hls serve` instead (the external server's stats are still read
@@ -15,19 +21,20 @@
 //! about.
 //!
 //! Usage: `cargo run -p salsa-bench --bin loadgen --release --
-//! [--quick] [--clients N] [--requests N] [--addr HOST:PORT]
-//! [--pr LABEL] [--no-write]`
+//! [--quick] [--clients N] [--requests N] [--pipeline N]
+//! [--protocol json|binary|auto] [--addr HOST:PORT] [--pr LABEL]
+//! [--no-write]`
 
-use std::io::{BufRead, BufReader, Write as _};
-use std::net::TcpStream;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use salsa_bench::jsonstore::{
-    existing_benchmark_rows, history_entry, prior_history, render_bench_file, BENCH_FILE,
+    existing_benchmark_rows, history_entry, prior_history, render_bench_file, same_label_rows,
+    BENCH_FILE,
 };
 use salsa_serve::stats::percentile_ms;
-use salsa_serve::{parse_json, Json, Server, ServerConfig};
-use salsa_wire::Backoff;
+use salsa_serve::{Json, Server, ServerConfig};
+use salsa_wire::{Backoff, Connection, Protocol, WireCounts};
 
 /// The fixed request mix, cycled across all requests: (bench, seed,
 /// restarts). Repeated tuples are cache hits after their first
@@ -46,6 +53,8 @@ struct ClientOutcome {
     errors: usize,
     retries: usize,
     latencies_us: Vec<u64>,
+    counts: WireCounts,
+    mode: &'static str,
 }
 
 fn flag_value(name: &str) -> Option<String> {
@@ -57,28 +66,38 @@ fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-fn request_line(mix_index: usize) -> String {
+fn request_json(mix_index: usize) -> Json {
     let (bench, seed, restarts) = MIX[mix_index % MIX.len()];
-    format!(
-        r#"{{"cmd":"allocate","bench":"{bench}","seed":{seed},"restarts":{restarts},"threads":1,"timeout_ms":120000}}"#
-    )
+    Json::obj(vec![
+        ("cmd", Json::Str("allocate".into())),
+        ("bench", Json::Str(bench.into())),
+        ("seed", Json::Int(seed as i64)),
+        ("restarts", Json::Int(restarts as i64)),
+        ("threads", Json::Int(1)),
+        ("timeout_ms", Json::Int(120_000)),
+    ])
 }
 
-fn send_line(stream: &mut TcpStream, line: &str) -> std::io::Result<String> {
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut response = String::new();
-    reader.read_line(&mut response)?;
-    Ok(response.trim_end().to_string())
-}
-
-/// One client: its share of the request sequence over a single
-/// connection, retrying backpressure rejections after the server's hint.
-fn client(addr: &str, client_id: usize, clients: usize, total: usize) -> ClientOutcome {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let mut outcome = ClientOutcome { ok: 0, errors: 0, retries: 0, latencies_us: Vec::new() };
+/// One client: its share of the request sequence over a single reused
+/// connection, keeping up to `pipeline` requests in flight and retrying
+/// backpressure rejections after the server's hint.
+fn client(
+    addr: &str,
+    protocol: Protocol,
+    pipeline: usize,
+    client_id: usize,
+    clients: usize,
+    total: usize,
+) -> ClientOutcome {
+    let mut conn = Connection::connect(addr, protocol).expect("connect");
+    let mut outcome = ClientOutcome {
+        ok: 0,
+        errors: 0,
+        retries: 0,
+        latencies_us: Vec::new(),
+        counts: WireCounts::default(),
+        mode: conn.mode_name(),
+    };
     // Jittered exponential backoff for backpressure, seeded per client so
     // runs are reproducible but clients never retry in lockstep. The
     // server's `retry_after_ms` hint stays a floor: never come back early.
@@ -87,41 +106,55 @@ fn client(addr: &str, client_id: usize, clients: usize, total: usize) -> ClientO
         std::time::Duration::from_millis(10),
         std::time::Duration::from_secs(2),
     );
-    for request_no in (client_id..total).step_by(clients) {
-        let line = request_line(request_no);
-        let started = Instant::now();
-        loop {
-            let raw = send_line(&mut stream, &line).expect("request");
-            let response = parse_json(&raw).expect("response JSON");
-            match response.get("status").and_then(Json::as_str) {
-                Some("rejected") => {
-                    outcome.retries += 1;
-                    let hint =
-                        response.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(100);
-                    let delay =
-                        backoff.next_delay().max(std::time::Duration::from_millis(hint));
-                    std::thread::sleep(delay);
-                }
-                Some("ok") => {
-                    outcome.ok += 1;
-                    backoff.reset();
-                    break;
-                }
-                _ => {
-                    outcome.errors += 1;
-                    break;
-                }
+    let mut todo: VecDeque<usize> = (client_id..total).step_by(clients).collect();
+    // Correlation id → (mix index, first-send time). Latency spans the
+    // whole request lifetime including backpressure retries, as before.
+    let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::new();
+    while !todo.is_empty() || !in_flight.is_empty() {
+        while in_flight.len() < pipeline.max(1) {
+            let Some(request_no) = todo.pop_front() else { break };
+            let started = Instant::now();
+            let id = conn.send(&request_json(request_no)).expect("send");
+            in_flight.insert(id, (request_no, started));
+        }
+        let (id, response) = conn.recv_any().expect("receive");
+        let (request_no, started) = in_flight.remove(&id).expect("known correlation id");
+        match response.get("status").and_then(Json::as_str) {
+            Some("rejected") => {
+                outcome.retries += 1;
+                let hint = response.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(100);
+                let delay = backoff.next_delay().max(std::time::Duration::from_millis(hint));
+                // Sleeping stalls this client's whole window, which is
+                // the point: backpressure means the server is saturated.
+                std::thread::sleep(delay);
+                let id = conn.send(&request_json(request_no)).expect("resend");
+                in_flight.insert(id, (request_no, started));
+            }
+            Some("ok") => {
+                outcome.ok += 1;
+                backoff.reset();
+                outcome
+                    .latencies_us
+                    .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            _ => {
+                outcome.errors += 1;
+                outcome
+                    .latencies_us
+                    .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
             }
         }
-        outcome.latencies_us.push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     }
+    outcome.counts = conn.counts();
     outcome
 }
 
-fn server_stats(addr: &str) -> Json {
-    let mut stream = TcpStream::connect(addr).expect("connect for stats");
-    let raw = send_line(&mut stream, r#"{"cmd":"stats"}"#).expect("stats");
-    parse_json(&raw).expect("stats JSON").get("stats").expect("stats body").clone()
+fn server_stats(addr: &str, protocol: Protocol) -> Json {
+    let mut conn = Connection::connect(addr, protocol).expect("connect for stats");
+    let reply = conn
+        .call(&Json::obj(vec![("cmd", Json::Str("stats".into()))]))
+        .expect("stats");
+    reply.get("stats").expect("stats body").clone()
 }
 
 fn stat(stats: &Json, path: &[&str]) -> u64 {
@@ -142,6 +175,19 @@ fn main() {
         .map(|v| v.parse().expect("--requests takes a number"))
         .unwrap_or(if quick { 12 } else { 36 })
         .max(clients);
+    // Default depth 1: this mix repeats (bench, knobs) pairs, and
+    // pipelining duplicates-in-flight defeats the content-addressed
+    // cache (every copy of a request misses until the first completes).
+    // Deeper windows are for cache-cold mixes and the CI pipelining
+    // smoke; the win for this mix comes from connection reuse + nodelay.
+    let pipeline: usize = flag_value("--pipeline")
+        .map(|v| v.parse().expect("--pipeline takes a number"))
+        .unwrap_or(1)
+        .max(1);
+    let protocol = match flag_value("--protocol") {
+        None => Protocol::Auto,
+        Some(raw) => Protocol::parse(&raw).expect("--protocol takes json, binary or auto"),
+    };
     let pr = flag_value("--pr").unwrap_or_else(|| "PR3-loadgen".to_string());
 
     // In-process server unless aimed at an external one. A small queue
@@ -160,13 +206,13 @@ fn main() {
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let addr = addr.as_str();
         let handles: Vec<_> = (0..clients)
-            .map(|id| scope.spawn(move || client(addr, id, clients, requests)))
+            .map(|id| scope.spawn(move || client(addr, protocol, pipeline, id, clients, requests)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
     });
     let wall_secs = started.elapsed().as_secs_f64();
 
-    let stats = server_stats(&addr);
+    let stats = server_stats(&addr, protocol);
     let cache_hits = stat(&stats, &["cache", "hits"]);
     let cache_misses = stat(&stats, &["cache", "misses"]);
     let completed = stat(&stats, &["completed"]);
@@ -179,7 +225,20 @@ fn main() {
     let ok: usize = outcomes.iter().map(|o| o.ok).sum();
     let errors: usize = outcomes.iter().map(|o| o.errors).sum();
     let retries: usize = outcomes.iter().map(|o| o.retries).sum();
-    let mut latencies: Vec<u64> = outcomes.iter().flat_map(|o| o.latencies_us.iter().copied()).collect();
+    let mode = outcomes.first().map(|o| o.mode).unwrap_or("json");
+    let mut wire = WireCounts::default();
+    for outcome in &outcomes {
+        wire.absorb(&outcome.counts);
+    }
+    let messages = wire.frames_in + wire.frames_out;
+    let bytes_per_message = if messages == 0 {
+        0.0
+    } else {
+        (wire.bytes_in + wire.bytes_out) as f64 / messages as f64
+    };
+    let messages_per_sec = messages as f64 / wall_secs.max(1e-9);
+    let mut latencies: Vec<u64> =
+        outcomes.iter().flat_map(|o| o.latencies_us.iter().copied()).collect();
     latencies.sort_unstable();
     let (p50, p95, p99) = (
         percentile_ms(&latencies, 50.0),
@@ -192,12 +251,18 @@ fn main() {
     assert_eq!(errors, 0, "the fixed mix contains no failing requests");
 
     println!(
-        "loadgen: {requests} requests, {clients} clients -> {ok} ok, {errors} errors, \
-         {retries} backpressure retries in {wall_secs:.2}s ({throughput:.1} req/s)"
+        "loadgen: {requests} requests, {clients} clients, pipeline {pipeline} ({mode} wire) -> \
+         {ok} ok, {errors} errors, {retries} backpressure retries in {wall_secs:.2}s \
+         ({throughput:.1} req/s)"
     );
     println!(
         "         server: {completed} jobs completed, {rejected} rejected, cache {cache_hits} \
          hits / {cache_misses} misses"
+    );
+    println!(
+        "         wire: {} B in, {} B out, {messages} messages ({bytes_per_message:.0} B/msg, \
+         {messages_per_sec:.1} msg/s)",
+        wire.bytes_in, wire.bytes_out
     );
     println!("         latency p50={p50:.1}ms p95={p95:.1}ms p99={p99:.1}ms");
 
@@ -205,17 +270,28 @@ fn main() {
         return;
     }
     let row = format!(
-        "{{\"name\": \"loadgen-mix1\", \"mode\": \"service\", \"clients\": {clients}, \
+        "{{\"name\": \"loadgen-mix1\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
+         \"pipeline\": {pipeline}, \"clients\": {clients}, \
          \"requests\": {requests}, \"ok\": {ok}, \"backpressure_retries\": {retries}, \
          \"jobs_completed\": {completed}, \"cache_hits\": {cache_hits}, \
          \"cache_misses\": {cache_misses}, \"wall_time_sec\": {wall_secs:.4}, \
-         \"throughput_rps\": {throughput:.2}, \"p50_ms\": {p50:.1}, \"p95_ms\": {p95:.1}, \
-         \"p99_ms\": {p99:.1}}}"
+         \"throughput_rps\": {throughput:.2}, \"bytes_per_message\": {bytes_per_message:.1}, \
+         \"messages_per_sec\": {messages_per_sec:.1}, \"p50_ms\": {p50:.1}, \
+         \"p95_ms\": {p95:.1}, \"p99_ms\": {p99:.1}}}"
     );
     let existing = std::fs::read_to_string(BENCH_FILE).unwrap_or_default();
     let benchmark_rows = existing_benchmark_rows(&existing);
+    // Merge into the label: keep the entry's other rows (e.g. the
+    // trajectory rows bench_trajectory wrote under the same PR label),
+    // replacing only a prior run of this same loadgen configuration.
+    let dup_marker = format!("\"name\": \"loadgen-mix1\", \"mode\": \"service\", \"protocol\": \"{mode}\", \"pipeline\": {pipeline},");
+    let mut rows: Vec<String> = same_label_rows(&existing, &pr)
+        .into_iter()
+        .filter(|prior| !prior.contains(&dup_marker))
+        .collect();
+    rows.push(row);
     let mut history = prior_history(&existing, &pr);
-    history.push(history_entry(&pr, &[row]));
+    history.push(history_entry(&pr, &rows));
     let json = render_bench_file(&benchmark_rows, &history);
     std::fs::write(BENCH_FILE, &json).unwrap_or_else(|e| panic!("writing {BENCH_FILE}: {e}"));
     println!("wrote {BENCH_FILE}");

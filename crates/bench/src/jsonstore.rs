@@ -141,6 +141,22 @@ pub fn latest_flat_rows(newest_entry: &str) -> Vec<String> {
         .collect()
 }
 
+/// The rows already inside the history entry labelled `pr`, so a second
+/// writer (e.g. `loadgen` after `bench_trajectory`) can merge its rows
+/// into the shared label instead of clobbering the entry
+/// ([`prior_history`] drops the same-label entry wholesale).
+pub fn same_label_rows(existing: &str, pr: &str) -> Vec<String> {
+    let Some(body) = array_body(existing, "history") else {
+        return Vec::new();
+    };
+    let marker = format!("\"pr\": \"{pr}\"");
+    split_objects(body)
+        .into_iter()
+        .find(|entry| entry.contains(&marker))
+        .and_then(|entry| array_body(&entry, "entries").map(split_objects))
+        .unwrap_or_default()
+}
+
 /// Wraps per-run row objects into one labelled history entry.
 pub fn history_entry(pr: &str, rows: &[String]) -> String {
     let mut entry = format!("{{\n      \"pr\": \"{pr}\",\n      \"entries\": [\n");
@@ -187,6 +203,24 @@ mod tests {
         assert!(carried[0].contains("\"pr\": \"PRX\""));
         // Benchmarks rows survive for non-trajectory writers.
         assert_eq!(existing_benchmark_rows(&first).len(), 1);
+    }
+
+    #[test]
+    fn same_label_rows_recovers_the_entry_for_merging() {
+        let file = render_bench_file(
+            &[],
+            &[history_entry(
+                "PRM",
+                &[
+                    "{\"name\": \"a\", \"cost\": 1}".to_string(),
+                    "{\"name\": \"b\", \"cost\": 2}".to_string(),
+                ],
+            )],
+        );
+        let rows = same_label_rows(&file, "PRM");
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("\"a\""));
+        assert!(same_label_rows(&file, "PRQ").is_empty());
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //! chains, and the coordinator keeps the first result per shard
 //! (first-write-wins), so duplicates are dropped without affecting the
 //! reduction. The reduction itself is the portfolio's deterministic
-//! `(cost, slot)` minimum; the winning binding is rematerialized locally
-//! by seed replay rather than shipped over the wire.
+//! `(cost, slot)` minimum; the winning binding arrives serialized with
+//! its shard's result and is rebuilt here (validated structurally, then
+//! cost-verified against the reported cost). Seed replay — rerunning the
+//! winning chain locally, which the purity above makes byte-equivalent —
+//! remains the fallback whenever a shipped binding is absent, malformed
+//! or disagrees with its report.
 //!
 //! With no cutoff configured (the default) every chain completes and the
 //! canonical report is byte-identical to a local sequential portfolio of
@@ -29,28 +33,30 @@
 //! winner always survives given the PR 2 headroom invariant).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use salsa_alloc::{replay_slot, CancelToken, ChainOutcome, ImproveStats, PortfolioOutcome, PortfolioStats};
+use salsa_alloc::{
+    replay_slot, Binding, CancelToken, ChainOutcome, ImproveStats, PortfolioOutcome,
+    PortfolioStats,
+};
 use salsa_cdfg::Cdfg;
-use salsa_serve::json::{parse_json, Json};
+use salsa_serve::json::Json;
 use salsa_serve::{knobs_to_json, report_json, ErrorKind, Knobs, ServeError};
+use salsa_wire::frame::Payload;
+use salsa_wire::net::{Handler, NetConfig, NetServer};
 
 use crate::plan::{build_allocator, map_alloc_error, plan_job, JobPlan};
-use crate::protocol::{bound_from_json, bound_to_json, chain_from_json};
+use crate::protocol::{
+    binding_parts_from_json, binding_slot, bound_from_json, bound_to_json, chain_from_json,
+};
 
-/// How often blocked connection reads wake to poll the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// Accept-loop poll period while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// How often a waiting job re-checks its cancel token and results.
 const JOB_POLL: Duration = Duration::from_millis(25);
-/// How long a connection keeps serving after shutdown begins, so a
+/// How long the I/O loop keeps serving after shutdown begins, so a
 /// worker's in-flight poll still gets its `shutdown` answer instead of a
 /// dropped connection (which would send it into reconnect backoff).
 const SHUTDOWN_LINGER: Duration = Duration::from_secs(1);
@@ -109,6 +115,9 @@ struct JobState {
     pending: VecDeque<usize>,
     leases: HashMap<usize, Lease>,
     results: BTreeMap<usize, Vec<ChainOutcome>>,
+    /// Shipped best-binding images, keyed by slot (first write wins,
+    /// like `results`). Consulted only for the winning slot.
+    bindings: HashMap<usize, Json>,
     bound: u64,
     cutoff: Option<f64>,
     failed: Option<String>,
@@ -145,8 +154,7 @@ struct CoState {
 struct Shared {
     state: Mutex<CoState>,
     wake: Condvar,
-    shutdown: AtomicBool,
-    connections: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
     config: ClusterConfig,
 }
 
@@ -157,30 +165,41 @@ struct Shared {
 pub struct Coordinator {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    listener: Option<JoinHandle<()>>,
+    net: Option<NetServer>,
 }
 
 impl Coordinator {
     /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting workers.
+    /// Workers connect on either wire protocol: the poll loop classifies
+    /// each connection from its first byte (binary hello vs JSON line).
     pub fn bind(addr: &str, config: ClusterConfig) -> io::Result<Coordinator> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
             state: Mutex::new(CoState { next_job: 0, jobs: BTreeMap::new() }),
             wake: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            connections: AtomicUsize::new(0),
+            shutdown: Arc::clone(&shutdown),
             config,
         });
-        let listener_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("salsa-cluster-accept".into())
-                .spawn(move || accept_loop(listener, &shared))
-                .expect("spawn coordinator listener")
+        let handler_shared = Arc::clone(&shared);
+        let handler: Handler = Box::new(move |incoming, handle| {
+            let response = match incoming {
+                Ok(request) => handle_request(&request, &handler_shared),
+                Err(message) => error_json(&format!("invalid JSON: {message}")),
+            };
+            handle.send(Arc::new(Payload::new(response)));
+        });
+        let net_config = NetConfig {
+            shutdown,
+            // Workers heartbeat every few hundred ms while running and
+            // poll continuously while idle; a minute of true silence
+            // means the peer is gone.
+            idle_timeout: Some(Duration::from_secs(60)),
+            shutdown_linger: SHUTDOWN_LINGER,
+            ..NetConfig::default()
         };
-        Ok(Coordinator { local_addr, shared, listener: Some(listener_handle) })
+        let net = NetServer::bind(addr, net_config, handler)?;
+        let local_addr = net.local_addr();
+        Ok(Coordinator { local_addr, shared, net: Some(net) })
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -202,12 +221,22 @@ impl Coordinator {
         cancel: Option<CancelToken>,
     ) -> Result<Json, ServeError> {
         let start = Instant::now();
+        // The job's identity on the wire is its canonical text, and the
+        // coordinator derives its own search context from that text
+        // exactly as every worker does. This makes value numbering — and
+        // with it every index inside a shipped binding image — agree
+        // across the fleet by construction: a programmatically built
+        // graph may order its values differently than its canonical
+        // form, and an index-keyed image from one numbering is garbage
+        // under the other.
+        let cdfg_text = graph.canonical_text();
+        let graph = &salsa_cdfg::parse_cdfg(&cdfg_text).map_err(|e| {
+            ServeError::new(ErrorKind::Parse, format!("canonical CDFG did not reparse: {e}"))
+        })?;
         // Plan and validate locally before involving any worker: an
         // infeasible schedule or oversized pool fails here, identically
         // to the local path.
         let plan = plan_job(graph, knobs)?;
-        let allocator = build_allocator(graph, &plan, cancel.clone());
-        let (ctx, improve_config) = allocator.prepare().map_err(map_alloc_error)?;
 
         let restarts = plan.knobs.restarts;
         let shard_chains = self.shared.config.shard_chains.max(1);
@@ -224,12 +253,13 @@ impl Coordinator {
             state.jobs.insert(
                 id,
                 JobState {
-                    cdfg_text: graph.canonical_text(),
+                    cdfg_text,
                     knobs_json: knobs_to_json(&plan.knobs),
                     pending: (0..shards.len()).collect(),
                     shards,
                     leases: HashMap::new(),
                     results: BTreeMap::new(),
+                    bindings: HashMap::new(),
                     bound: u64::MAX,
                     cutoff,
                     failed: None,
@@ -239,9 +269,24 @@ impl Coordinator {
             id
         };
 
+        // Build the coordinator's own search context — needed only for
+        // the final winner replay — *after* the job is visible, so the
+        // fleet starts crunching shards while this thread prepares.
+        let allocator = build_allocator(graph, &plan, cancel.clone());
+        let (ctx, improve_config) = match allocator.prepare() {
+            Ok(prepared) => prepared,
+            Err(e) => {
+                // Withdrawing the job revokes every lease; stray results
+                // for it are acked and dropped.
+                let mut state = self.shared.state.lock().expect("coordinator state");
+                state.jobs.remove(&job_id);
+                return Err(map_alloc_error(e));
+            }
+        };
+
         // Wait for the fleet. Workers pull shards by polling; all this
         // thread does is watch for completion, failure or cancellation.
-        let outcome = {
+        let outcome = (|| {
             let mut state = self.shared.state.lock().expect("coordinator state");
             loop {
                 let job = state.jobs.get(&job_id).expect("job registered");
@@ -251,17 +296,18 @@ impl Coordinator {
                     return Err(ServeError::new(ErrorKind::Alloc, message));
                 }
                 if job.complete() {
-                    break state.jobs.remove(&job_id).expect("job registered");
+                    return Ok(state.jobs.remove(&job_id).expect("job registered"));
                 }
                 if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
-                    // Removing the job revokes every lease: heartbeats on
-                    // it answer `revoked`, which aborts the shard.
+                    // Removing the job revokes every lease: heartbeats
+                    // on it answer `revoked`, which aborts the shard.
                     state.jobs.remove(&job_id);
                     return Err(map_alloc_error(salsa_alloc::AllocError::Cancelled));
                 }
                 if self.shared.shutdown.load(Ordering::SeqCst) {
-                    // Workers stop polling once told to shut down, so an
-                    // incomplete job can never finish; fail it cleanly.
+                    // Workers stop polling once told to shut down, so
+                    // an incomplete job can never finish; fail it
+                    // cleanly.
                     state.jobs.remove(&job_id);
                     return Err(ServeError::new(
                         ErrorKind::ShuttingDown,
@@ -275,9 +321,9 @@ impl Coordinator {
                     .expect("coordinator state");
                 state = next;
             }
-        };
+        })();
 
-        finalize(graph, &plan, &allocator, &ctx, &improve_config, outcome, start)
+        finalize(graph, &plan, &allocator, &ctx, &improve_config, outcome?, start)
     }
 
     /// Starts the drain: pending polls answer `shutdown`, new jobs are
@@ -293,31 +339,30 @@ impl Coordinator {
     }
 
     /// [`begin_shutdown`](Coordinator::begin_shutdown), then waits for
-    /// the accept loop and open connections to wind down.
+    /// the I/O loop to finish its linger and flush every open reply.
     pub fn shutdown(mut self) {
         self.begin_shutdown();
-        if let Some(listener) = self.listener.take() {
-            let _ = listener.join();
-        }
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
+        if let Some(net) = self.net.take() {
+            net.join();
         }
     }
 }
 
 /// The deterministic final reduction: order chains by slot, pick the
-/// `(cost, slot)`-minimal completed chain, replay its seed locally, and
-/// finish with the ordinary lower → verify → report pipeline.
-fn finalize(
+/// `(cost, slot)`-minimal completed chain, rebuild its shipped binding
+/// (falling back to local seed replay when absent, malformed, or in
+/// disagreement with the reported cost), and finish with the ordinary
+/// lower → verify → report pipeline.
+fn finalize<'a>(
     graph: &Cdfg,
     plan: &JobPlan,
     allocator: &salsa_alloc::Allocator<'_>,
-    ctx: &salsa_alloc::AllocContext<'_>,
+    ctx: &'a salsa_alloc::AllocContext<'a>,
     improve_config: &salsa_alloc::ImproveConfig,
-    job: JobState,
+    mut job: JobState,
     start: Instant,
 ) -> Result<Json, ServeError> {
+    let mut bindings = std::mem::take(&mut job.bindings);
     let mut chains: Vec<ChainOutcome> = job.results.into_values().flatten().collect();
     chains.sort_by_key(|c| (c.stat.slot, c.stat.seed));
 
@@ -329,26 +374,43 @@ fn finalize(
 
     let (winner, binding) = match winner_slot {
         Some(slot) => {
-            let (replayed, binding) =
-                replay_slot(ctx, improve_config, job.base_seed, slot).map_err(map_alloc_error)?;
             let reported = chains
                 .iter()
                 .find(|c| c.stat.slot == slot)
-                .and_then(|c| c.cost)
-                .expect("winner slot has a reported cost");
-            if replayed.cost != Some(reported) {
-                // A replay that disagrees with the report means the worker
-                // and coordinator did not run the same job — never paper
-                // over a broken bit-exact contract with the wrong binding.
-                return Err(ServeError::new(
-                    ErrorKind::Alloc,
-                    format!(
-                        "seed replay of winning slot {slot} produced cost {:?}, worker reported {reported}",
-                        replayed.cost
-                    ),
-                ));
+                .cloned()
+                .expect("winner slot has a reported chain");
+            let reported_cost = reported.cost.expect("winner completed");
+            // The shipped image is accepted only when it rebuilds cleanly
+            // AND its recomputed weighted cost equals the reported one —
+            // the same equality the replay path checks, so a bogus image
+            // can downgrade us to a replay but never alter the result.
+            let rebuilt: Option<Binding<'_>> = bindings
+                .remove(&slot)
+                .and_then(|image| binding_parts_from_json(&image))
+                .and_then(|parts| Binding::from_parts(ctx, &parts).ok())
+                .filter(|b| improve_config.weights.evaluate(&b.breakdown()) == reported_cost);
+            match rebuilt {
+                Some(binding) => (reported, binding),
+                None => {
+                    let (replayed, binding) =
+                        replay_slot(ctx, improve_config, job.base_seed, slot)
+                            .map_err(map_alloc_error)?;
+                    if replayed.cost != Some(reported_cost) {
+                        // A replay that disagrees with the report means the
+                        // worker and coordinator did not run the same job —
+                        // never paper over a broken bit-exact contract with
+                        // the wrong binding.
+                        return Err(ServeError::new(
+                            ErrorKind::Alloc,
+                            format!(
+                                "seed replay of winning slot {slot} produced cost {:?}, worker reported {reported_cost}",
+                                replayed.cost
+                            ),
+                        ));
+                    }
+                    (replayed, binding)
+                }
             }
-            (replayed, binding)
         }
         None => {
             // Safety net, mirroring the local portfolio: if the cutoff
@@ -378,107 +440,32 @@ fn finalize(
     Ok(report_json(graph, &plan.schedule, plan.knobs.seed, &result))
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.connections.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name("salsa-cluster-conn".into())
-                    .spawn(move || {
-                        connection_loop(stream, &conn_shared);
-                        conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    shared.connections.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    let mut shutdown_seen: Option<Instant> = None;
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let request = line.trim();
-                if !request.is_empty() {
-                    let response = handle_line(request, shared);
-                    let wrote = writer
-                        .write_all(response.as_bytes())
-                        .and_then(|()| writer.write_all(b"\n"))
-                        .and_then(|()| writer.flush());
-                    if wrote.is_err() {
-                        break;
-                    }
-                }
-                line.clear();
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
-                ) =>
-            {
-                // A worker with live leases may be mid-chain for longer
-                // than the read timeout; only shutdown ends the wait, and
-                // even then the connection lingers long enough to answer
-                // the worker's next poll with `shutdown` so it exits
-                // cleanly instead of retrying a vanished listener.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    let seen = *shutdown_seen.get_or_insert_with(Instant::now);
-                    if seen.elapsed() > SHUTDOWN_LINGER {
-                        break;
-                    }
-                }
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-fn error_line(message: &str) -> String {
+fn error_json(message: &str) -> Json {
     Json::obj(vec![
         ("status", Json::Str("error".into())),
         ("message", Json::Str(message.into())),
     ])
-    .to_string_compact()
 }
 
-fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
-    let Ok(request) = parse_json(line) else {
-        return error_line("invalid JSON");
-    };
+/// Dispatch, run on the I/O thread: every verb is a quick bookkeeping
+/// operation under the state mutex, so answering inline keeps the loop
+/// responsive without a worker pool of its own.
+fn handle_request(request: &Json, shared: &Arc<Shared>) -> Json {
     let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
-        return error_line("missing string field 'cmd'");
+        return error_json("missing string field 'cmd'");
     };
     let worker = request.get("worker").and_then(Json::as_str).unwrap_or("anonymous").to_string();
     match cmd {
         "poll" => handle_poll(shared, &worker),
-        "heartbeat" => handle_heartbeat(shared, &worker, &request),
-        "result" => handle_result(shared, &worker, &request),
-        other => error_line(&format!("unknown cmd '{other}' (expected poll, heartbeat or result)")),
+        "heartbeat" => handle_heartbeat(shared, &worker, request),
+        "result" => handle_result(shared, &worker, request),
+        other => error_json(&format!("unknown cmd '{other}' (expected poll, heartbeat or result)")),
     }
 }
 
-fn handle_poll(shared: &Arc<Shared>, worker: &str) -> String {
+fn handle_poll(shared: &Arc<Shared>, worker: &str) -> Json {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Json::obj(vec![("status", Json::Str("shutdown".into()))]).to_string_compact();
+        return Json::obj(vec![("status", Json::Str("shutdown".into()))]);
     }
     let now = Instant::now();
     let lease = Duration::from_millis(shared.config.lease_ms.max(1));
@@ -513,18 +500,16 @@ fn handle_poll(shared: &Arc<Shared>, worker: &str) -> String {
                     },
                 ),
                 ("min_trials", Json::Int(shared.config.min_trials as i64)),
-            ])
-            .to_string_compact();
+            ]);
         }
     }
     Json::obj(vec![
         ("status", Json::Str("idle".into())),
         ("retry_after_ms", Json::Int(shared.config.idle_retry_ms as i64)),
     ])
-    .to_string_compact()
 }
 
-fn ack_line(bound: u64, revoked: bool, cancelled: bool, accepted: Option<bool>) -> String {
+fn ack_json(bound: u64, revoked: bool, cancelled: bool, accepted: Option<bool>) -> Json {
     let mut pairs = vec![
         ("status", Json::Str("ack".into())),
         ("bound", bound_to_json(bound)),
@@ -534,21 +519,21 @@ fn ack_line(bound: u64, revoked: bool, cancelled: bool, accepted: Option<bool>) 
     if let Some(accepted) = accepted {
         pairs.push(("accepted", Json::Bool(accepted)));
     }
-    Json::obj(pairs).to_string_compact()
+    Json::obj(pairs)
 }
 
-fn handle_heartbeat(shared: &Arc<Shared>, worker: &str, request: &Json) -> String {
+fn handle_heartbeat(shared: &Arc<Shared>, worker: &str, request: &Json) -> Json {
     let (Some(job_id), Some(shard_id)) = (
         request.get("job").and_then(Json::as_u64),
         request.get("shard").and_then(Json::as_u64).map(|s| s as usize),
     ) else {
-        return error_line("heartbeat needs 'job' and 'shard'");
+        return error_json("heartbeat needs 'job' and 'shard'");
     };
     let lease = Duration::from_millis(shared.config.lease_ms.max(1));
     let mut state = shared.state.lock().expect("coordinator state");
     let Some(job) = state.jobs.get_mut(&job_id) else {
         // Completed or cancelled: the shard no longer matters.
-        return ack_line(u64::MAX, true, false, None);
+        return ack_json(u64::MAX, true, false, None);
     };
     job.bound = job.bound.min(bound_from_json(request.get("bound")));
     let renewed = match job.leases.get_mut(&shard_id) {
@@ -559,19 +544,19 @@ fn handle_heartbeat(shared: &Arc<Shared>, worker: &str, request: &Json) -> Strin
         _ => false, // expired and reassigned, or never leased to this worker
     };
     let revoked = !renewed || job.results.contains_key(&shard_id);
-    ack_line(job.bound, revoked, false, None)
+    ack_json(job.bound, revoked, false, None)
 }
 
-fn handle_result(shared: &Arc<Shared>, worker: &str, request: &Json) -> String {
+fn handle_result(shared: &Arc<Shared>, worker: &str, request: &Json) -> Json {
     let (Some(job_id), Some(shard_id)) = (
         request.get("job").and_then(Json::as_u64),
         request.get("shard").and_then(Json::as_u64).map(|s| s as usize),
     ) else {
-        return error_line("result needs 'job' and 'shard'");
+        return error_json("result needs 'job' and 'shard'");
     };
     let mut state = shared.state.lock().expect("coordinator state");
     let Some(job) = state.jobs.get_mut(&job_id) else {
-        return ack_line(u64::MAX, true, false, Some(false));
+        return ack_json(u64::MAX, true, false, Some(false));
     };
     job.bound = job.bound.min(bound_from_json(request.get("bound")));
 
@@ -581,14 +566,14 @@ fn handle_result(shared: &Arc<Shared>, worker: &str, request: &Json) -> String {
     if let Some(message) = request.get("error").and_then(Json::as_str) {
         job.failed = Some(format!("worker {worker}: {message}"));
         shared.wake.notify_all();
-        return ack_line(job.bound, true, false, Some(false));
+        return ack_json(job.bound, true, false, Some(false));
     }
 
     if job.results.contains_key(&shard_id) || shard_id >= job.shards.len() {
         // First write wins: a stalled worker's late duplicate is dropped
         // (the chains are identical by determinism anyway).
         let bound = job.bound;
-        return ack_line(bound, true, false, Some(false));
+        return ack_json(bound, true, false, Some(false));
     }
 
     let shard = job.shards[shard_id];
@@ -614,9 +599,20 @@ fn handle_result(shared: &Arc<Shared>, worker: &str, request: &Json) -> String {
             job.pending.push_front(shard_id);
         }
         let bound = job.bound;
-        return ack_line(bound, true, false, Some(false));
+        return ack_json(bound, true, false, Some(false));
     }
 
+    // The shard's best-binding image rides along with the result. It is
+    // advisory: finalize rebuilds and cost-verifies it before use, so an
+    // out-of-range or bogus image is dropped there (replay fallback), and
+    // losing one here never affects the reduction.
+    if let Some(image) = request.get("binding") {
+        if let Some(slot) = binding_slot(image) {
+            if (shard.slot_start..shard.slot_end).contains(&slot) {
+                job.bindings.entry(slot).or_insert_with(|| image.clone());
+            }
+        }
+    }
     job.results.insert(shard_id, parsed.expect("validated"));
     job.leases.remove(&shard_id);
     let bound = job.bound;
@@ -624,5 +620,5 @@ fn handle_result(shared: &Arc<Shared>, worker: &str, request: &Json) -> String {
     if done {
         shared.wake.notify_all();
     }
-    ack_line(bound, false, false, Some(true))
+    ack_json(bound, false, false, Some(true))
 }

@@ -17,6 +17,7 @@ use salsa_cdfg::benchmarks::paper_example;
 use salsa_cdfg::{random_cdfg, Cdfg, RandomCdfgConfig};
 use salsa_cluster::{run_worker, ClusterBackend, ClusterConfig, Coordinator, FaultPlan, WorkerConfig};
 use salsa_serve::{canonicalize_report, run_allocation, Json, Knobs};
+use salsa_wire::Protocol;
 
 /// The local reference: the sequential portfolio (`threads = 1`), which
 /// the PR 2 contract pins to the plain restart loop.
@@ -28,11 +29,21 @@ fn local_canonical(graph: &Cdfg, knobs: &Knobs) -> String {
 }
 
 fn spawn_worker(addr: SocketAddr, name: &str, fault: FaultPlan) -> JoinHandle<()> {
+    spawn_worker_speaking(addr, name, fault, Protocol::Auto)
+}
+
+fn spawn_worker_speaking(
+    addr: SocketAddr,
+    name: &str,
+    fault: FaultPlan,
+    protocol: Protocol,
+) -> JoinHandle<()> {
     let config = WorkerConfig {
         fault,
         poll_ms: 5,
         heartbeat_ms: 40,
         max_reconnects: 3,
+        protocol,
         ..WorkerConfig::new(addr.to_string(), name)
     };
     std::thread::spawn(move || {
@@ -120,6 +131,35 @@ fn stalled_worker_is_reassigned_and_its_late_result_deduped() {
     ];
     let cluster = cluster_canonical(&graph, &knobs, config, &faults);
     assert_eq!(cluster, local, "a stalled worker must not change the final report");
+}
+
+#[test]
+fn mixed_protocol_fleet_reproduces_local_portfolio_bytes() {
+    let graph = paper_example();
+    let knobs = Knobs { restarts: 6, seed: 9, ..Knobs::default() };
+    let local = local_canonical(&graph, &knobs);
+    // Three workers, one per wire mode: a line-only JSON worker, a
+    // strict binary worker, and a negotiating one, all against the same
+    // coordinator port. The transport must be invisible in the result.
+    let coordinator =
+        Coordinator::bind("127.0.0.1:0", ClusterConfig::default()).expect("bind coordinator");
+    let addr = coordinator.local_addr();
+    let workers = [
+        spawn_worker_speaking(addr, "w-json", FaultPlan::None, Protocol::Json),
+        spawn_worker_speaking(addr, "w-binary", FaultPlan::None, Protocol::Binary),
+        spawn_worker_speaking(addr, "w-auto", FaultPlan::None, Protocol::Auto),
+    ];
+    let mut report = coordinator.allocate(&graph, &knobs, None).expect("cluster allocation");
+    coordinator.shutdown();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    canonicalize_report(&mut report);
+    assert_eq!(
+        report.to_string_compact(),
+        local,
+        "a protocol-mixed fleet must be byte-identical to the local portfolio"
+    );
 }
 
 #[test]
@@ -212,5 +252,50 @@ proptest! {
         let cluster =
             cluster_canonical(&graph, &knobs, ClusterConfig::default(), &[FaultPlan::None]);
         prop_assert_eq!(cluster, local);
+    }
+}
+
+/// A binding image is keyed by value indices, and a programmatically
+/// built graph may number its values differently than its canonical
+/// text form (the ewf benchmark does). Both sides of the protocol must
+/// therefore derive their search context from the canonical wire text —
+/// this pins the invariant that makes an image from one fleet member
+/// meaningful to another: an image built against one wire-derived
+/// context rebuilds, bit-for-bit, in an independently wire-derived one.
+#[test]
+fn binding_images_survive_the_canonical_text_boundary() {
+    use salsa_cluster::plan::{build_allocator, plan_job};
+
+    for (graph, steps, seed) in [
+        (salsa_cdfg::benchmarks::ewf(), 19usize, 7u64),
+        (salsa_cdfg::benchmarks::dct(), 10, 42),
+        (paper_example(), 4, 3),
+    ] {
+        let knobs = Knobs { steps: Some(steps), seed, restarts: 1, ..Knobs::default() };
+        let text = graph.canonical_text();
+        let wire_graph = salsa_cdfg::parse_cdfg(&text).expect("canonical text parses");
+
+        // Sender: run a chain on a wire-derived context and image its
+        // best binding, exactly as a worker does.
+        let plan_a = plan_job(&wire_graph, &knobs).unwrap();
+        let alloc_a = build_allocator(&wire_graph, &plan_a, None);
+        let (ctx_a, config_a) = alloc_a.prepare().unwrap();
+        let (chain, binding) =
+            salsa_alloc::replay_slot(&ctx_a, &config_a, knobs.seed, 0).unwrap();
+        let parts = binding.to_parts();
+
+        // Receiver: an independent context derived the same way, as the
+        // coordinator's finalize builds it.
+        let receiver_graph = salsa_cdfg::parse_cdfg(&text).expect("canonical text parses");
+        let plan_b = plan_job(&receiver_graph, &knobs).unwrap();
+        let alloc_b = build_allocator(&receiver_graph, &plan_b, None);
+        let (ctx_b, config_b) = alloc_b.prepare().unwrap();
+        let rebuilt = salsa_alloc::Binding::from_parts(&ctx_b, &parts)
+            .expect("image rebuilds across the wire boundary");
+        assert_eq!(
+            config_b.weights.evaluate(&rebuilt.breakdown()),
+            chain.cost.expect("chain completed"),
+            "rebuilt binding must reproduce the reported cost"
+        );
     }
 }

@@ -347,6 +347,36 @@ impl ChainPool {
     }
 }
 
+/// One imaged chain slot: `None` marks a dead slot; a live slot is
+/// `(lo, regs)` — first covered lifetime index and one register per
+/// covered index.
+pub type ChainSlotImage = Option<(usize, Vec<RegId>)>;
+
+/// An owned, context-free image of a complete allocation: exactly the
+/// assignment state of a [`Binding`] (unit per operation, operand swaps,
+/// chain slots, serving chains, pass-throughs) with every derived table
+/// stripped. This is what a cluster worker ships for its best chain so
+/// the coordinator can rebuild the winning binding with
+/// [`Binding::from_parts`] instead of replaying the whole search.
+///
+/// Dead chain slots are preserved as `None`: slot indices are allocation
+/// state (serving-chain references and transfer keys name them), so a
+/// rebuilt binding must reproduce the slot layout exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingParts {
+    /// The executing unit of every operation, in operation order.
+    pub op_fu: Vec<FuId>,
+    /// The commutative operand-swap flag of every operation.
+    pub op_swap: Vec<bool>,
+    /// Chain slots per value ([`ChainSlotImage`] semantics); empty for
+    /// values without storage.
+    pub chains: Vec<Vec<ChainSlotImage>>,
+    /// The chain slot serving each operand read, per operation and port.
+    pub use_chain: Vec<[usize; 2]>,
+    /// Pass-through units, keyed by transfer (sorted by key).
+    pub passes: Vec<(TransferKey, FuId)>,
+}
+
 /// A complete allocation under the SALSA extended binding model.
 #[derive(Debug)]
 pub struct Binding<'a> {
@@ -523,6 +553,191 @@ impl<'a> Binding<'a> {
             binding.assert_owner(owner);
         }
         binding
+    }
+
+    /// Extracts the serializable assignment state. Round-trips through
+    /// [`from_parts`](Self::from_parts) to an allocation equal to this one
+    /// (`PartialEq` covers every derived table, so equality here means
+    /// byte-identical downstream reports).
+    pub fn to_parts(&self) -> BindingParts {
+        BindingParts {
+            op_fu: self.op_fu.clone(),
+            op_swap: self.op_swap.clone(),
+            chains: self
+                .chains
+                .iter()
+                .map(|slots| {
+                    slots.iter().map(|c| c.as_ref().map(|c| (c.lo, c.regs.clone()))).collect()
+                })
+                .collect(),
+            use_chain: self.use_chain.clone(),
+            passes: self.passes.iter().map(|(&key, &fu)| (key, fu)).collect(),
+        }
+    }
+
+    /// Rebuilds an allocation from shipped assignment state, deriving all
+    /// occupancy tables and the connection matrix from scratch.
+    ///
+    /// Every structural invariant the derivation relies on is validated
+    /// first — table lengths, id ranges, chain coverage, occupancy
+    /// conflicts, serving-chain liveness, pass-transfer activity — so
+    /// arbitrary (untrusted) parts are rejected with an error instead of
+    /// corrupting state. Validation does not prove the parts describe the
+    /// *claimed* allocation; callers verifying a remote result should
+    /// compare the rebuilt binding's cost against the reported one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn from_parts(ctx: &'a AllocContext<'a>, parts: &BindingParts) -> Result<Self, String> {
+        let num_ops = ctx.graph.num_ops();
+        let num_values = ctx.graph.num_values();
+        let num_fus = ctx.datapath.num_fus();
+        let num_regs = ctx.datapath.num_regs();
+        if parts.op_fu.len() != num_ops
+            || parts.op_swap.len() != num_ops
+            || parts.use_chain.len() != num_ops
+            || parts.chains.len() != num_values
+        {
+            return Err("assignment tables do not match the design's dimensions".into());
+        }
+
+        let n = ctx.n_steps();
+        let mut binding = Binding {
+            ctx,
+            op_fu: vec![FuId::from_index(0); num_ops],
+            op_swap: vec![false; num_ops],
+            chains: vec![Vec::new(); num_values],
+            use_chain: vec![[0, 0]; num_ops],
+            passes: PassMap::default(),
+            fu_occ: vec![vec![None; n]; num_fus],
+            fu_completes: vec![vec![None; n]; num_fus],
+            reg_occ: vec![vec![None; n]; num_regs],
+            conn: ConnectionMatrix::with_capacity(num_fus, num_regs),
+            reg_seg_count: vec![0; num_regs],
+            fu_item_count: vec![0; num_fus],
+            used_regs: 0,
+            fu_area: 0,
+            journal: Vec::new(),
+            recording: false,
+            use_plan: true,
+            pool: ChainPool::with_min_capacity(
+                ctx.plan.value_lt_len.iter().map(|&l| l as usize).max().unwrap_or(0),
+            ),
+            items_scratch: Vec::new(),
+            scratch: MoveScratch::default(),
+        };
+
+        // Operations: class- and conflict-checked unit placement. This is
+        // deliberately `occupy_op`'s own invariant set, not `fu_exec_free`
+        // (whose completion-step obstruction test is a *move* legality
+        // rule and rejects reachable pipelined overlaps when ops are
+        // placed one at a time).
+        for (op, &fu) in ctx.graph.op_ids().zip(&parts.op_fu) {
+            if fu.index() >= num_fus {
+                return Err(format!("op {op} bound to nonexistent unit {fu}"));
+            }
+            if ctx.datapath.fu(fu).class() != ctx.class_of(op) {
+                return Err(format!("op {op} bound to wrong-class unit {fu}"));
+            }
+            let free = ctx.occupied_steps(op).all(|s| binding.fu_occ[fu.index()][s].is_none())
+                && binding.fu_completes[fu.index()][ctx.completion_step(op)].is_none();
+            if !free {
+                return Err(format!("op {op} conflicts with another op on {fu}"));
+            }
+            binding.occupy_op(op, fu);
+        }
+        binding.op_swap.clone_from(&parts.op_swap);
+
+        // Chains: range-validated against the lifetimes, then occupied
+        // segment by segment with explicit conflict checks.
+        for (value, slots) in ctx.graph.value_ids().zip(&parts.chains) {
+            let stored = ctx.lifetimes.get(value).is_some_and(|lt| !lt.is_empty());
+            if slots.is_empty() {
+                if stored {
+                    return Err(format!("stored value {value} has no chains"));
+                }
+                continue;
+            }
+            if !stored {
+                return Err(format!("chains on unstored value {value}"));
+            }
+            let lt = ctx.lifetimes.get(value).expect("checked stored");
+            match &slots[0] {
+                // The primal chain covers the whole lifetime; copy feeds
+                // and boundary transfers index into it unconditionally.
+                Some((0, regs)) if regs.len() == lt.len() => {}
+                _ => return Err(format!("primal chain of {value} does not cover its lifetime")),
+            }
+            for (slot, entry) in slots.iter().enumerate() {
+                let Some((lo, regs)) = entry else { continue };
+                if regs.is_empty() || lo + regs.len() > lt.len() {
+                    return Err(format!("chain {value}.{slot} exceeds the lifetime"));
+                }
+                if regs.iter().any(|r| r.index() >= num_regs) {
+                    return Err(format!("chain {value}.{slot} uses a nonexistent register"));
+                }
+            }
+            binding.chains[value.index()] = slots
+                .iter()
+                .map(|entry| {
+                    entry.as_ref().map(|(lo, regs)| Chain { lo: *lo, regs: regs.clone() })
+                })
+                .collect();
+            for (slot, entry) in slots.iter().enumerate() {
+                let Some((lo, regs)) = entry else { continue };
+                for idx in *lo..lo + regs.len() {
+                    let reg = regs[idx - lo];
+                    let step = lt.steps()[idx];
+                    if binding.reg_occ[reg.index()][step].is_some() {
+                        return Err(format!("register conflict at {reg} step {step}"));
+                    }
+                    binding.occupy_seg(value, slot, idx);
+                }
+            }
+        }
+
+        // Serving chains: every operand read must name a live chain
+        // covering its read index (connection accounting relies on it).
+        for op in ctx.graph.op_ids() {
+            for &(port, operand, idx) in &ctx.plan.op_reads[op.index()] {
+                let slot = parts.use_chain[op.index()][port as usize];
+                match binding.chain(operand, slot) {
+                    Some(chain) if chain.covers(idx as usize) => {}
+                    _ => {
+                        return Err(format!(
+                            "op {op} reads {operand} through dead or short chain slot {slot}"
+                        ));
+                    }
+                }
+            }
+        }
+        binding.use_chain.clone_from(&parts.use_chain);
+
+        // Passes: each key must name an in-range value, resolve to an
+        // active transfer, and land on a unit free to pass at that step.
+        for &(key, fu) in &parts.passes {
+            let value = match key {
+                TransferKey::Intra { value, .. } | TransferKey::CopyFeed { value, .. } => value,
+                TransferKey::Boundary { state } => state,
+            };
+            if value.index() >= num_values || fu.index() >= num_fus {
+                return Err(format!("pass {key} -> {fu} references out-of-range ids"));
+            }
+            let Some((_, _, step)) = binding.transfer_endpoints(key) else {
+                return Err(format!("pass {key} does not name an active transfer"));
+            };
+            if !binding.fu_pass_free(fu, step) {
+                return Err(format!("pass {key} unit {fu} is not free at step {step}"));
+            }
+            binding.set_pass(key, Some(fu));
+        }
+
+        // Connections derive from the now-complete assignment state.
+        for owner in binding.all_owners() {
+            binding.assert_owner(owner);
+        }
+        Ok(binding)
     }
 
     /// The context this binding runs against.

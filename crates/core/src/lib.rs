@@ -64,7 +64,7 @@ mod transfer;
 
 pub use allocator::{AllocResult, Allocator};
 pub use anneal::{anneal, AnnealConfig, AnnealStats};
-pub use binding::{Binding, Chain, PassMap};
+pub use binding::{Binding, BindingParts, Chain, ChainSlotImage, PassMap};
 pub use cancel::{CancelToken, CANCEL_POLL_PERIOD};
 pub use context::AllocContext;
 pub use error::AllocError;
@@ -76,9 +76,12 @@ pub use lower::lower;
 pub use plan::MovePlan;
 pub use polish::polish;
 pub use portfolio::{
-    portfolio_search, replay_slot, run_chain_slots, ChainOutcome, ChainStat, PortfolioConfig,
-    PortfolioOutcome, PortfolioStats, SearchBound,
+    portfolio_search, replay_slot, run_chain_slots, run_chain_slots_with_best, ChainOutcome,
+    ChainStat, PortfolioConfig, PortfolioOutcome, PortfolioStats, SearchBound, ShardBest,
 };
 pub use report::{portfolio_table, register_chart, report, unit_schedule};
 pub use moves::{MoveKind, MoveSet};
 pub use transfer::TransferKey;
+// Id types appearing in `BindingParts`, for consumers (e.g. the cluster
+// protocol) that do not depend on the datapath crate directly.
+pub use salsa_datapath::{FuId, RegId};

@@ -299,9 +299,33 @@ pub fn run_chain_slots(
     slots: std::ops::Range<usize>,
     watch: Option<&SearchWatch<'_>>,
 ) -> Result<Vec<ChainOutcome>, AllocError> {
+    run_chain_slots_with_best(ctx, improve_config, base_seed, slots, watch)
+        .map(|(outcomes, _)| outcomes)
+}
+
+/// The shard's `(cost, slot)`-minimal completed chain: its slot and its
+/// final binding. `None` only when no chain in the range completed.
+pub type ShardBest<'a> = Option<(usize, Binding<'a>)>;
+
+/// [`run_chain_slots`], additionally keeping the binding of the shard's
+/// `(cost, slot)`-minimal completed chain — what a cluster worker ships
+/// alongside the chain statistics so the coordinator can reconstruct the
+/// winner (via [`Binding::to_parts`]) instead of replaying its seed.
+///
+/// # Errors
+///
+/// Returns [`AllocError::Cancelled`] exactly as [`run_chain_slots`] does.
+pub fn run_chain_slots_with_best<'a>(
+    ctx: &'a AllocContext<'a>,
+    improve_config: &ImproveConfig,
+    base_seed: u64,
+    slots: std::ops::Range<usize>,
+    watch: Option<&SearchWatch<'_>>,
+) -> Result<(Vec<ChainOutcome>, ShardBest<'a>), AllocError> {
     let initial = initial_allocation(ctx);
     let cancelled = || improve_config.cancel.as_ref().is_some_and(|t| t.is_cancelled());
     let mut outcomes = Vec::with_capacity(slots.len());
+    let mut best: Option<(u64, usize, Binding<'a>)> = None;
     for slot in slots {
         if cancelled() {
             return Err(AllocError::Cancelled);
@@ -314,16 +338,19 @@ pub fn run_chain_slots(
             false,
             watch,
         );
-        outcomes.push(ChainOutcome {
-            stat: run.stat,
-            improve: run.improve,
-            cost: run.result.map(|(cost, _)| cost),
-        });
+        let cost = run.result.as_ref().map(|(cost, _)| *cost);
+        if let Some((cost, binding)) = run.result {
+            // Strict `<` keeps the lowest slot on ties; slots ascend.
+            if best.as_ref().is_none_or(|(best_cost, _, _)| cost < *best_cost) {
+                best = Some((cost, slot, binding));
+            }
+        }
+        outcomes.push(ChainOutcome { stat: run.stat, improve: run.improve, cost });
     }
     if cancelled() {
         return Err(AllocError::Cancelled);
     }
-    Ok(outcomes)
+    Ok((outcomes, best.map(|(_, slot, binding)| (slot, binding))))
 }
 
 /// Re-runs one primary slot unwatched and returns its binding — the seed

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use salsa_alloc::{
-    improve, initial_allocation, lower, moves, AllocContext, ImproveConfig, MoveSet,
+    improve, initial_allocation, lower, moves, AllocContext, Binding, ImproveConfig, MoveSet,
 };
 use salsa_cdfg::{random_cdfg, RandomCdfgConfig};
 use salsa_datapath::{verify, Datapath};
@@ -73,6 +73,47 @@ proptest! {
         let (rtl, claims) = lower(&binding);
         verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
             .map_err(|e| TestCaseError::fail(format!("verify failed after moves: {e}")))?;
+    }
+
+    /// Every reachable allocation survives the wire: serializing to
+    /// [`BindingParts`] and rebuilding yields an equal binding (equality
+    /// covers all derived tables, so reports downstream are identical).
+    #[test]
+    fn binding_parts_roundtrip_reachable_states(
+        graph_seed in 0u64..500,
+        move_seed in 0u64..500,
+        ops in 8usize..24,
+        states in 0usize..4,
+        slack in 0usize..3,
+        extra_regs in 0usize..3,
+        pipelined in any::<bool>(),
+    ) {
+        let (graph, schedule, library, extra) =
+            build_case(graph_seed, ops, states, slack, extra_regs, pipelined);
+        let datapath = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library) + extra,
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let mut binding = initial_allocation(&ctx);
+        let set = MoveSet::full();
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        for _ in 0..160 {
+            moves::try_move(&mut binding, set.pick(&mut rng), &mut rng);
+        }
+
+        let parts = binding.to_parts();
+        let rebuilt = Binding::from_parts(&ctx, &parts)
+            .map_err(|e| TestCaseError::fail(format!("from_parts rejected own parts: {e}")))?;
+        prop_assert!(rebuilt == binding, "rebuilt binding differs from the original");
+        prop_assert_eq!(rebuilt.to_parts(), parts);
+
+        // Corrupted images are rejected with an error, never a panic and
+        // never silent acceptance: here, a unit table that no longer
+        // matches the design's operation count.
+        let mut corrupt = binding.to_parts();
+        corrupt.op_fu.pop();
+        prop_assert!(Binding::from_parts(&ctx, &corrupt).is_err());
     }
 
     /// The full search pipeline produces verified, never-worse allocations

@@ -9,7 +9,10 @@
 //! *deterministic* for identical inputs (same graph + same knobs ⇒ same
 //! winning allocation). An exact hit can therefore replay the stored
 //! response **bytes** — not a re-rendering — so a cached reply is
-//! byte-identical to the one the original job produced.
+//! byte-identical to the one the original job produced. Entries are
+//! [`Payload`]s (one JSON document with lazily cached text and binary
+//! renderings), so one entry serves line-mode and binary-mode clients
+//! their respective verbatim bytes.
 //!
 //! The cache is bounded with FIFO eviction: allocation responses are a
 //! few KiB and jobs are expensive, so recency tracking buys little over
@@ -19,8 +22,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use salsa_wire::frame::Payload;
+
 struct Inner {
-    map: HashMap<u128, Arc<String>>,
+    map: HashMap<u128, Arc<Payload>>,
     order: VecDeque<u128>,
 }
 
@@ -46,7 +51,7 @@ impl ResultCache {
     }
 
     /// Looks up `key`, counting the access as a hit or miss.
-    pub fn get(&self, key: u128) -> Option<Arc<String>> {
+    pub fn get(&self, key: u128) -> Option<Arc<Payload>> {
         let inner = self.inner.lock().expect("cache poisoned");
         match inner.map.get(&key) {
             Some(bytes) => {
@@ -63,7 +68,7 @@ impl ResultCache {
     /// Stores `response` under `key`, evicting the oldest entry when at
     /// capacity. Re-inserting an existing key refreshes the bytes without
     /// growing the cache.
-    pub fn insert(&self, key: u128, response: Arc<String>) {
+    pub fn insert(&self, key: u128, response: Arc<Payload>) {
         let mut inner = self.inner.lock().expect("cache poisoned");
         if inner.map.insert(key, response).is_some() {
             return; // key already tracked in `order`
@@ -114,11 +119,15 @@ impl ResultCache {
 mod tests {
     use super::*;
 
+    fn payload(s: &str) -> Arc<Payload> {
+        Arc::new(Payload::new(salsa_wire::json::Json::Str(s.into())))
+    }
+
     #[test]
     fn hit_returns_the_exact_stored_bytes() {
         let cache = ResultCache::new(4);
         assert!(cache.get(1).is_none());
-        let stored = Arc::new("{\"status\":\"ok\"}".to_string());
+        let stored = Arc::new(Payload::new(salsa_wire::json::parse_json("{\"status\":\"ok\"}").unwrap()));
         cache.insert(1, Arc::clone(&stored));
         let got = cache.get(1).expect("hit");
         assert!(Arc::ptr_eq(&got, &stored), "must replay the stored allocation, not a copy");
@@ -130,9 +139,9 @@ mod tests {
     #[test]
     fn fifo_eviction_at_capacity() {
         let cache = ResultCache::new(2);
-        cache.insert(1, Arc::new("a".into()));
-        cache.insert(2, Arc::new("b".into()));
-        cache.insert(3, Arc::new("c".into()));
+        cache.insert(1, payload("a"));
+        cache.insert(2, payload("b"));
+        cache.insert(3, payload("c"));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 1);
         assert!(cache.get(1).is_none(), "oldest entry evicted first");
@@ -143,10 +152,10 @@ mod tests {
     #[test]
     fn reinsert_refreshes_without_duplicating() {
         let cache = ResultCache::new(2);
-        cache.insert(7, Arc::new("old".into()));
-        cache.insert(7, Arc::new("new".into()));
+        cache.insert(7, payload("old"));
+        cache.insert(7, payload("new"));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(7).unwrap().as_str(), "new");
+        assert_eq!(cache.get(7).unwrap().json().as_str(), Some("new"));
         assert_eq!(cache.evictions(), 0);
     }
 }

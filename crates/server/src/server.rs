@@ -1,52 +1,55 @@
-//! The TCP service: accept loop, connection handling, the fixed worker
-//! pool, and graceful drain-then-exit shutdown.
+//! The TCP service: a poll-based I/O core, the fixed worker pool, and
+//! graceful drain-then-exit shutdown.
 //!
 //! Thread layout:
 //!
 //! ```text
-//! listener thread ── accepts, spawns one thread per connection
-//! connection threads ── parse requests; cache hits answered inline,
-//!                       misses pushed to the bounded queue (or rejected
-//!                       with backpressure), then block on the job reply
+//! net-io thread ── one nonblocking readiness loop over every
+//!                  connection (accept, classify JSON-line vs binary
+//!                  frames, parse, dispatch); cache hits, stats, ping
+//!                  and admission-control decisions answered inline,
+//!                  misses pushed to the bounded queue (or rejected
+//!                  with backpressure) carrying the reply handle
 //! worker pool (fixed) ── pop → schedule → portfolio search under the
-//!                        job's deadline token → serialize → cache →
-//!                        reply; per-worker scratch buffer reused across
-//!                        jobs
+//!                        job's deadline token → build the response
+//!                        payload → cache → complete the reply handle
 //! ```
+//!
+//! The I/O loop lives in [`salsa_wire::net`]; this module supplies the
+//! dispatch handler. Responses are [`Payload`]s — one JSON document with
+//! lazily cached text and binary renderings — so the byte-replay cache
+//! serves line-mode and binary-mode clients identical bytes from one
+//! entry, and pipelined clients get per-request correlation on the
+//! binary protocol (line mode answers strictly in request order).
 //!
 //! Shutdown (via [`Server::begin_shutdown`] or the wire `shutdown`
 //! command) closes the queue: no new admissions, queued jobs still run
-//! to completion, workers exit when the queue drains, connection threads
-//! notice the flag within one read-timeout tick, and
-//! [`Server::join`] collects everything.
+//! to completion, workers exit when the queue drains, and the I/O loop
+//! exits once every outstanding reply is flushed; [`Server::join`]
+//! collects everything.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use salsa_alloc::CancelToken;
 use salsa_cdfg::Cdfg;
+use salsa_wire::frame::Payload;
+use salsa_wire::net::{Handler, Incoming, NetConfig, NetMetrics, NetServer, ReplyHandle};
 
 use crate::backend::{AllocBackend, LocalBackend};
 use crate::cache::ResultCache;
 use crate::exec::resolve_graph;
-use crate::json::{parse_json, Json};
+use crate::json::Json;
 use crate::protocol::{
     cache_key, error_response, ok_response, parse_command, rejected_response, Command, ErrorKind,
     Knobs, ServeError,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::stats::ServerStats;
-
-/// How often blocked connection reads wake to poll the shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// Accept-loop poll period while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// How long [`Server::join`] waits for open connections to finish.
-const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 /// Service tuning. All fields have serviceable defaults.
 #[derive(Debug, Clone)]
@@ -63,6 +66,13 @@ pub struct ServerConfig {
     pub default_timeout_ms: Option<u64>,
     /// The `retry_after_ms` hint sent with backpressure rejections.
     pub retry_after_ms: u64,
+    /// Max pipelined requests in flight per connection; beyond it the
+    /// wire core answers with the same backpressure rejection (0 =
+    /// unlimited).
+    pub max_in_flight: usize,
+    /// Evict connections idle (no traffic, no pending work) for this
+    /// long (`None` = never).
+    pub idle_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -73,28 +83,31 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             default_timeout_ms: None,
             retry_after_ms: 200,
+            max_in_flight: 64,
+            idle_timeout_ms: Some(60_000),
         }
     }
 }
 
 /// One queued allocation job. The graph is resolved (and the cache
-/// consulted) in the connection thread, so workers only ever see
-/// well-formed work.
+/// consulted) at dispatch, so workers only ever see well-formed work.
+/// The reply handle completes the originating request on whichever
+/// protocol its connection negotiated.
 struct Job {
     graph: Cdfg,
     knobs: Knobs,
     key: u128,
     deadline: Option<Instant>,
     accepted_at: Instant,
-    reply: mpsc::Sender<Arc<String>>,
+    reply: ReplyHandle,
 }
 
 struct Shared {
     queue: JobQueue<Job>,
     cache: ResultCache,
     stats: ServerStats,
-    shutdown: AtomicBool,
-    connections: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
+    wire: Arc<NetMetrics>,
     config: ServerConfig,
     backend: Arc<dyn AllocBackend>,
 }
@@ -116,13 +129,13 @@ impl Shared {
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    listener: Option<JoinHandle<()>>,
+    net: Option<NetServer>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
-    /// starts the listener and worker threads, running jobs on the
+    /// starts the I/O loop and worker threads, running jobs on the
     /// in-process [`LocalBackend`].
     pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
         Server::bind_with_backend(addr, config, Arc::new(LocalBackend))
@@ -135,16 +148,14 @@ impl Server {
         config: ServerConfig,
         backend: Arc<dyn AllocBackend>,
     ) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let wire = Arc::new(NetMetrics::default());
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
             stats: ServerStats::new(),
-            shutdown: AtomicBool::new(false),
-            connections: AtomicUsize::new(0),
+            shutdown: Arc::clone(&shutdown),
+            wire: Arc::clone(&wire),
             config: config.clone(),
             backend,
         });
@@ -159,15 +170,22 @@ impl Server {
             })
             .collect();
 
-        let listener_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("salsa-serve-accept".into())
-                .spawn(move || accept_loop(listener, &shared))
-                .expect("spawn listener")
+        let handler_shared = Arc::clone(&shared);
+        let handler: Handler =
+            Box::new(move |incoming, handle| dispatch(&handler_shared, incoming, handle));
+        let net_config = NetConfig {
+            shutdown,
+            max_in_flight: config.max_in_flight,
+            busy_reply: Some(rejected_response(config.retry_after_ms)),
+            idle_timeout: config.idle_timeout_ms.map(Duration::from_millis),
+            shutdown_linger: Duration::from_millis(0),
+            metrics: wire,
+            ..NetConfig::default()
         };
+        let net = NetServer::bind(addr, net_config, handler)?;
+        let local_addr = net.local_addr();
 
-        Ok(Server { local_addr, shared, listener: Some(listener_handle), workers })
+        Ok(Server { local_addr, shared, net: Some(net), workers })
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -186,20 +204,16 @@ impl Server {
         self.shared.shutting_down()
     }
 
-    /// Waits for the service to exit: the accept loop, every worker, and
-    /// (bounded by a grace period) open connections. Blocks until the
-    /// wire `shutdown` command or [`begin_shutdown`](Server::begin_shutdown)
-    /// triggers the drain.
+    /// Waits for the service to exit: the I/O loop (which drains every
+    /// outstanding reply before stopping) and every worker. Blocks until
+    /// the wire `shutdown` command or
+    /// [`begin_shutdown`](Server::begin_shutdown) triggers the drain.
     pub fn join(mut self) {
-        if let Some(listener) = self.listener.take() {
-            let _ = listener.join();
+        if let Some(net) = self.net.take() {
+            net.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
-        }
-        let deadline = Instant::now() + DRAIN_GRACE;
-        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
@@ -211,116 +225,44 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    loop {
-        if shared.shutting_down() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.connections.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name("salsa-serve-conn".into())
-                    .spawn(move || {
-                        connection_loop(stream, &conn_shared);
-                        conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    shared.connections.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
+fn payload(json: Json) -> Arc<Payload> {
+    Arc::new(Payload::new(json))
 }
 
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {
-                let request = line.trim();
-                let mut closing = false;
-                if !request.is_empty() {
-                    let (response, end) = handle_line(request, shared);
-                    closing = end;
-                    let wrote = writer
-                        .write_all(response.as_bytes())
-                        .and_then(|()| writer.write_all(b"\n"))
-                        .and_then(|()| writer.flush());
-                    if wrote.is_err() {
-                        break;
-                    }
-                }
-                line.clear();
-                if closing {
-                    break;
-                }
-            }
-            // Timeout tick: partial data (if any) stays buffered in
-            // `line`; just poll the shutdown flag and keep reading.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
-                ) =>
-            {
-                if shared.shutting_down() {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Handles one request line; returns the response line (no trailing
-/// newline) and whether the connection should close afterwards.
-fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
-    let request = match parse_json(line) {
+/// The wire dispatch handler, run on the I/O thread. Everything cheap is
+/// answered inline; allocation misses carry their reply handle into the
+/// worker queue.
+fn dispatch(shared: &Arc<Shared>, incoming: Incoming, handle: ReplyHandle) {
+    let request = match incoming {
         Ok(json) => json,
-        Err(e) => {
-            let err = ServeError::new(
-                ErrorKind::BadRequest,
-                format!("invalid JSON at byte {}: {}", e.offset, e.message),
-            );
-            return (error_response(&err).to_string_compact(), false);
+        Err(message) => {
+            let err = ServeError::new(ErrorKind::BadRequest, format!("invalid JSON: {message}"));
+            handle.send(payload(error_response(&err)));
+            return;
         }
     };
     let command = match parse_command(&request) {
         Ok(command) => command,
-        Err(e) => return (error_response(&e).to_string_compact(), false),
+        Err(e) => {
+            handle.send(payload(error_response(&e)));
+            return;
+        }
     };
     match command {
-        Command::Ping => (
-            Json::obj(vec![("status", Json::Str("ok".into())), ("pong", Json::Bool(true))])
-                .to_string_compact(),
-            false,
-        ),
-        Command::Stats => (stats_response(shared).to_string_compact(), false),
+        Command::Ping => handle.send(payload(Json::obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("pong", Json::Bool(true)),
+        ]))),
+        Command::Stats => handle.send(payload(stats_response(shared))),
         Command::Shutdown => {
             shared.begin_shutdown();
-            (
-                Json::obj(vec![
-                    ("status", Json::Str("ok".into())),
-                    ("shutting_down", Json::Bool(true)),
-                ])
-                .to_string_compact(),
-                true,
-            )
+            handle.send_then_close(payload(Json::obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("shutting_down", Json::Bool(true)),
+            ])));
         }
         Command::Allocate(request) => {
-            let response = handle_allocate(shared, request.source, request.knobs, request.timeout_ms);
-            (response, false)
+            handle_allocate(shared, request.source, request.knobs, request.timeout_ms, handle)
         }
     }
 }
@@ -330,45 +272,42 @@ fn handle_allocate(
     source: crate::protocol::GraphSource,
     knobs: Knobs,
     timeout_ms: Option<u64>,
-) -> String {
+    handle: ReplyHandle,
+) {
     if shared.shutting_down() {
         let err = ServeError::new(ErrorKind::ShuttingDown, "server is draining; not accepting jobs");
-        return error_response(&err).to_string_compact();
+        handle.send(payload(error_response(&err)));
+        return;
     }
     let graph = match resolve_graph(&source) {
         Ok(graph) => graph,
-        Err(e) => return error_response(&e).to_string_compact(),
+        Err(e) => {
+            handle.send(payload(error_response(&e)));
+            return;
+        }
     };
     let key = cache_key(&graph.canonical_text(), &knobs);
-    if let Some(bytes) = shared.cache.get(key) {
-        // Exact hit: replay the stored response bytes verbatim.
-        return (*bytes).clone();
+    if let Some(hit) = shared.cache.get(key) {
+        // Exact hit: replay the stored payload — byte-verbatim on both
+        // protocols, since the renderings live in the payload itself.
+        handle.send(hit);
+        return;
     }
 
     let deadline = timeout_ms
         .or(shared.config.default_timeout_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let (reply, receiver) = mpsc::channel();
-    let job = Job { graph, knobs, key, deadline, accepted_at: Instant::now(), reply };
+    let job = Job { graph, knobs, key, deadline, accepted_at: Instant::now(), reply: handle };
     match shared.queue.try_push(job) {
-        Ok(()) => {
-            shared.stats.record_accepted();
-            match receiver.recv() {
-                Ok(bytes) => (*bytes).clone(),
-                Err(_) => {
-                    let err = ServeError::new(ErrorKind::Alloc, "worker dropped the job");
-                    error_response(&err).to_string_compact()
-                }
-            }
-        }
-        Err(PushError::Full(_)) => {
+        Ok(()) => shared.stats.record_accepted(),
+        Err(PushError::Full(job)) => {
             shared.stats.record_rejected();
-            rejected_response(shared.config.retry_after_ms).to_string_compact()
+            job.reply.send(payload(rejected_response(shared.config.retry_after_ms)));
         }
-        Err(PushError::Closed(_)) => {
+        Err(PushError::Closed(job)) => {
             let err =
                 ServeError::new(ErrorKind::ShuttingDown, "server is draining; not accepting jobs");
-            error_response(&err).to_string_compact()
+            job.reply.send(payload(error_response(&err)));
         }
     }
 }
@@ -376,6 +315,8 @@ fn handle_allocate(
 fn stats_response(shared: &Arc<Shared>) -> Json {
     let snap = shared.stats.snapshot();
     let cache = &shared.cache;
+    let wire = &shared.wire;
+    let w = |counter: &std::sync::atomic::AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
     Json::obj(vec![
         ("status", Json::Str("ok".into())),
         (
@@ -404,6 +345,18 @@ fn stats_response(shared: &Arc<Shared>) -> Json {
                     ]),
                 ),
                 (
+                    "wire",
+                    Json::obj(vec![
+                        ("bytes_in", w(&wire.bytes_in)),
+                        ("bytes_out", w(&wire.bytes_out)),
+                        ("frames_in", w(&wire.frames_in)),
+                        ("frames_out", w(&wire.frames_out)),
+                        ("conns_opened", w(&wire.conns_opened)),
+                        ("conns_active", w(&wire.conns_active)),
+                        ("idle_evicted", w(&wire.idle_evicted)),
+                    ]),
+                ),
+                (
                     "latency_ms",
                     Json::obj(vec![
                         ("p50", Json::Float(snap.p50_ms)),
@@ -420,26 +373,21 @@ fn stats_response(shared: &Arc<Shared>) -> Json {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    // Per-worker scratch buffer, reused across jobs: responses are built
-    // here and only the final bytes are copied into the shared Arc.
-    let mut scratch = String::new();
     while let Some(job) = shared.queue.pop() {
-        process_job(shared, job, &mut scratch);
+        process_job(shared, job);
     }
 }
 
-fn process_job(shared: &Arc<Shared>, job: Job, scratch: &mut String) {
+fn process_job(shared: &Arc<Shared>, job: Job) {
     let cancel = job.deadline.map(CancelToken::with_deadline);
     let outcome = shared.backend.allocate(&job.graph, &job.knobs, cancel);
     let latency = job.accepted_at.elapsed();
-    let bytes = match outcome {
+    let body = match outcome {
         Ok(report) => {
-            scratch.clear();
-            scratch.push_str(&ok_response(report).to_string_compact());
-            let bytes = Arc::new(scratch.clone());
-            shared.cache.insert(job.key, Arc::clone(&bytes));
+            let body = payload(ok_response(report));
+            shared.cache.insert(job.key, Arc::clone(&body));
             shared.stats.record_completed(latency);
-            bytes
+            body
         }
         Err(err) => {
             if err.kind == ErrorKind::Timeout {
@@ -447,16 +395,20 @@ fn process_job(shared: &Arc<Shared>, job: Job, scratch: &mut String) {
             } else {
                 shared.stats.record_failed(latency);
             }
-            Arc::new(error_response(&err).to_string_compact())
+            payload(error_response(&err))
         }
     };
-    // The client may have disconnected while waiting; nothing to do then.
-    let _ = job.reply.send(bytes);
+    // The client may have disconnected while waiting; the handle is a
+    // no-op then.
+    job.reply.send(body);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::parse_json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn roundtrip(stream: &mut TcpStream, request: &str) -> Json {
         let mut line = request.to_string();
@@ -484,6 +436,10 @@ mod tests {
             body.get("queue").and_then(|q| q.get("capacity")).and_then(Json::as_u64),
             Some(ServerConfig::default().queue_capacity as u64)
         );
+        // The wire counters are live: this connection's traffic shows up.
+        let wire = body.get("wire").expect("wire counters");
+        assert!(wire.get("bytes_in").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(wire.get("conns_opened").and_then(Json::as_u64), Some(1));
 
         let bye = roundtrip(&mut stream, r#"{"cmd":"shutdown"}"#);
         assert_eq!(bye.get("shutting_down").and_then(Json::as_bool), Some(true));

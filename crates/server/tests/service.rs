@@ -8,6 +8,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use salsa_serve::{parse_json, Json, Server, ServerConfig};
+use salsa_wire::{Connection, Protocol};
 
 fn connect(server: &Server) -> TcpStream {
     TcpStream::connect(server.local_addr()).expect("connect")
@@ -100,6 +101,91 @@ fn concurrent_jobs_then_cache_replay_then_graceful_shutdown() {
     std::thread::sleep(Duration::from_millis(50));
     let refused = TcpStream::connect_timeout(&addr.to_string().parse().unwrap(), Duration::from_millis(200));
     assert!(refused.is_err(), "listener still accepting after graceful shutdown");
+}
+
+#[test]
+fn binary_and_json_clients_get_byte_identical_reports() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let request =
+        r#"{"cmd":"allocate","bench":"ewf","seed":1,"restarts":2,"threads":1,"timeout_ms":60000}"#;
+
+    // Legacy line-mode client first (populates the cache)...
+    let mut stream = connect(&server);
+    let json_reply = send_line(&mut stream, request);
+
+    // ...then the binary protocol, negotiated for real (strict: the
+    // connect fails if the hello is rebuffed), asking for the same job.
+    let mut conn = Connection::connect(&addr, Protocol::Binary).expect("binary handshake");
+    assert_eq!(conn.mode_name(), "binary");
+    let binary_reply = conn.call(&parse_json(request).unwrap()).expect("binary call");
+    assert_eq!(
+        binary_reply.to_string_compact(),
+        json_reply,
+        "the two protocols must carry the identical response document"
+    );
+
+    // The hit came from the cache: one job ran, both protocols replayed
+    // its payload.
+    let snapshot = stats(&server);
+    assert_eq!(stat_u64(&snapshot, &["completed"]), 1);
+    assert_eq!(stat_u64(&snapshot, &["cache", "hits"]), 1);
+
+    // Auto negotiation picks binary against this server; plain JSON mode
+    // still works on the same port and sees the same bytes.
+    let mut auto = Connection::connect(&addr, Protocol::Auto).expect("auto connect");
+    assert_eq!(auto.mode_name(), "binary");
+    let mut line_mode = Connection::connect(&addr, Protocol::Json).expect("json connect");
+    assert_eq!(line_mode.mode_name(), "json");
+    let from_auto = auto.call(&parse_json(request).unwrap()).expect("auto call");
+    let from_line = line_mode.call(&parse_json(request).unwrap()).expect("line call");
+    assert_eq!(from_auto.to_string_compact(), json_reply);
+    assert_eq!(from_line.to_string_compact(), json_reply);
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_and_wire_counters() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::connect(&addr, Protocol::Binary).expect("binary connect");
+
+    // Six requests in flight on one socket before any response is read;
+    // correlation ids pair each answer to its question whatever order
+    // completions arrive in.
+    let benches = ["ewf", "dct", "paper_example", "ewf", "dct", "paper_example"];
+    let ids: Vec<u64> = benches
+        .iter()
+        .map(|bench| {
+            let request = format!(
+                r#"{{"cmd":"allocate","bench":"{bench}","seed":2,"threads":1,"timeout_ms":60000}}"#
+            );
+            conn.send(&parse_json(&request).unwrap()).expect("pipelined send")
+        })
+        .collect();
+    assert_eq!(conn.in_flight(), benches.len());
+    // Collect out of submission order on purpose.
+    for (id, bench) in ids.iter().zip(benches).rev() {
+        let reply = conn.recv_for(*id).expect("pipelined recv");
+        assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"), "{bench}");
+        let design = reply.get("report").and_then(|r| r.get("design")).and_then(Json::as_str);
+        assert_eq!(design, Some(bench), "correlation id must pair request and response");
+    }
+    assert_eq!(conn.in_flight(), 0);
+
+    // The client-side counters saw all the traffic, and the server's
+    // stats verb surfaces its own view of the same wire.
+    let counts = conn.counts();
+    assert_eq!(counts.frames_out, benches.len() as u64);
+    assert_eq!(counts.frames_in, benches.len() as u64);
+    assert!(counts.bytes_out > 0 && counts.bytes_in > 0);
+    let snapshot = stats(&server);
+    assert!(stat_u64(&snapshot, &["wire", "bytes_in"]) >= counts.bytes_out);
+    assert!(stat_u64(&snapshot, &["wire", "frames_in"]) >= counts.frames_out);
+    assert!(stat_u64(&snapshot, &["wire", "conns_opened"]) >= 1);
+
+    server.shutdown();
 }
 
 #[test]

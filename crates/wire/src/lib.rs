@@ -9,8 +9,22 @@
 //!   objects (deterministic serialization, which the byte-replay caches
 //!   and the cluster's bit-exact reduction contract rely on) and a
 //!   parser that distinguishes integers from floats;
-//! - [`frame`] — one-JSON-object-per-line framing over buffered TCP
-//!   streams, with the poll-tolerant read loop both services use;
+//! - [`binary`] — a compact tagged binary encoding of the same document
+//!   model (varint integers, raw IEEE float bits), so both protocols
+//!   transport identical values and every determinism contract carries
+//!   across protocols;
+//! - [`frame`] — framing in both flavours: the legacy
+//!   one-JSON-object-per-line mode, and varint length-prefixed binary
+//!   frames with correlation ids, negotiated by a 3-byte hello; plus
+//!   [`frame::Payload`], the render-once response body both protocols
+//!   replay verbatim;
+//! - [`proto`] — client connections: protocol negotiation with JSON
+//!   fallback, connection reuse, request pipelining with correlation
+//!   ids, and per-connection traffic counters;
+//! - [`net`] — the non-blocking poll-based server core (one I/O thread
+//!   over nonblocking sockets) that `salsa-serve` and the cluster
+//!   coordinator both run on, with per-connection buffers, bounded
+//!   in-flight limits and idle-timeout eviction;
 //! - [`backoff`] — seeded, jittered exponential backoff for retry loops
 //!   (backpressure resubmission, worker reconnects), deterministic per
 //!   seed so load-generator runs stay reproducible.
@@ -19,9 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod binary;
 pub mod frame;
 pub mod json;
+pub mod net;
+pub mod proto;
 
 pub use backoff::Backoff;
-pub use frame::{read_json_line, roundtrip, write_json_line, LineReader, Polled};
+pub use frame::{read_json_line, roundtrip, write_json_line, LineReader, Payload, Polled};
 pub use json::{parse_json, Json, JsonError};
+pub use net::{Handler, Incoming, NetConfig, NetMetrics, NetServer, ReplyHandle};
+pub use proto::{Connection, Protocol, WireCounts};

@@ -1,0 +1,437 @@
+//! Client-side connections: protocol negotiation, connection reuse and
+//! request pipelining.
+//!
+//! A [`Connection`] holds one TCP socket for its whole life (no
+//! per-request reconnects), negotiates binary framing via the 3-byte
+//! hello (see [`frame`](crate::frame)) and keeps multiple requests in
+//! flight. In binary mode responses carry correlation ids and may return
+//! out of order; in legacy JSON line mode the server answers strictly in
+//! request order, so the connection pairs responses with the oldest
+//! outstanding id. Either way callers use the same API: [`send`] returns
+//! an id, [`recv_for`]/[`call`] deliver the matching response (stashing
+//! any other completions for their own waiters).
+//!
+//! [`Protocol::Auto`] degrades gracefully: against a JSON-only peer the
+//! hello comes back as a parse-error *line* (never a hang — the hello is
+//! newline-terminated), which the client consumes before falling back to
+//! line mode. [`Protocol::Binary`] treats that as a hard error instead.
+//!
+//! Every connection counts its own traffic ([`WireCounts`]): socket
+//! bytes in/out and messages in/out, the numbers loadgen and the bench
+//! harness report as bytes/message.
+//!
+//! [`send`]: Connection::send
+//! [`recv_for`]: Connection::recv_for
+//! [`call`]: Connection::call
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::frame::{read_json_line, write_frame, MAGIC, MAX_FRAME, WIRE_VERSION};
+use crate::json::Json;
+use crate::{binary, frame};
+
+/// Which wire protocol to speak (or negotiate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Legacy newline-delimited JSON. Works against every server.
+    Json,
+    /// Binary framing, required: fail if the peer cannot negotiate it.
+    Binary,
+    /// Try binary, fall back to JSON if the peer is line-only.
+    Auto,
+}
+
+impl Protocol {
+    /// Parses a `--protocol` flag value.
+    pub fn parse(text: &str) -> Option<Protocol> {
+        match text {
+            "json" => Some(Protocol::Json),
+            "binary" => Some(Protocol::Binary),
+            "auto" => Some(Protocol::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Traffic counters for one connection (socket bytes and whole messages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounts {
+    /// Bytes read off the socket.
+    pub bytes_in: u64,
+    /// Bytes written to the socket.
+    pub bytes_out: u64,
+    /// Messages (frames or lines) received.
+    pub frames_in: u64,
+    /// Messages (frames or lines) sent.
+    pub frames_out: u64,
+}
+
+impl WireCounts {
+    /// Adds another connection's counters into this one (fleet totals).
+    pub fn absorb(&mut self, other: &WireCounts) {
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+    }
+}
+
+/// `Read` adapter that counts bytes as they come off the socket.
+#[derive(Debug)]
+struct CountRead {
+    inner: TcpStream,
+    count: Arc<AtomicU64>,
+}
+
+impl Read for CountRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Json,
+    Binary(u8),
+}
+
+/// One negotiated, reusable, pipelined client connection.
+#[derive(Debug)]
+pub struct Connection {
+    writer: TcpStream,
+    reader: BufReader<CountRead>,
+    mode: Mode,
+    next_id: u64,
+    /// Outstanding request ids in send order (line mode answers in this
+    /// order; binary mode uses it only to cap pipelining bookkeeping).
+    pending: VecDeque<u64>,
+    /// Responses that arrived for ids other than the one being awaited.
+    stash: Vec<(u64, Json)>,
+    bytes_in: Arc<AtomicU64>,
+    bytes_out: u64,
+    frames_in: u64,
+    frames_out: u64,
+    scratch: Vec<u8>,
+}
+
+impl Connection {
+    /// Connects to `addr` and negotiates `protocol`.
+    ///
+    /// With [`Protocol::Auto`], a peer that reacts to the binary hello
+    /// by erroring out or closing the connection (legacy line servers
+    /// treat the magic byte as invalid UTF-8) is retried once over a
+    /// fresh connection in plain JSON mode.
+    pub fn connect(addr: &str, protocol: Protocol) -> io::Result<Connection> {
+        match Connection::from_stream(TcpStream::connect(addr)?, protocol) {
+            Err(e) if protocol == Protocol::Auto && hello_rebuffed(&e) => {
+                Connection::from_stream(TcpStream::connect(addr)?, Protocol::Json)
+            }
+            other => other,
+        }
+    }
+
+    /// Wraps an already-connected stream and negotiates `protocol`.
+    pub fn from_stream(stream: TcpStream, protocol: Protocol) -> io::Result<Connection> {
+        // Small request/response messages interact badly with Nagle +
+        // delayed ACK (tens of ms per round trip); every connection in
+        // the system is latency-bound, so opt out unconditionally.
+        stream.set_nodelay(true)?;
+        let bytes_in = Arc::new(AtomicU64::new(0));
+        let reader =
+            BufReader::new(CountRead { inner: stream.try_clone()?, count: Arc::clone(&bytes_in) });
+        let mut conn = Connection {
+            writer: stream,
+            reader,
+            mode: Mode::Json,
+            next_id: 1,
+            pending: VecDeque::new(),
+            stash: Vec::new(),
+            bytes_in,
+            bytes_out: 0,
+            frames_in: 0,
+            frames_out: 0,
+            scratch: Vec::new(),
+        };
+        match protocol {
+            Protocol::Json => {}
+            Protocol::Binary | Protocol::Auto => conn.hello(protocol == Protocol::Binary)?,
+        }
+        Ok(conn)
+    }
+
+    /// Sends the binary hello and classifies the peer from its first
+    /// response byte. `strict` turns a JSON-only peer into an error.
+    fn hello(&mut self, strict: bool) -> io::Result<()> {
+        self.writer.write_all(&[MAGIC, WIRE_VERSION, b'\n'])?;
+        self.writer.flush()?;
+        self.bytes_out += 3;
+        let mut first = [0u8; 1];
+        if let Err(e) = self.reader.read_exact(&mut first) {
+            // A peer that hangs up on the magic byte is a line server
+            // that treated it as garbage input.
+            return Err(if strict && hello_rebuffed(&e) {
+                invalid("peer does not speak the binary protocol (closed on hello)")
+            } else {
+                e
+            });
+        }
+        if first[0] == MAGIC {
+            let mut rest = [0u8; 2];
+            self.reader.read_exact(&mut rest)?;
+            if rest[1] != b'\n' {
+                return Err(invalid("malformed binary hello from peer"));
+            }
+            let version = rest[0].min(WIRE_VERSION);
+            if version == 0 {
+                return Err(invalid("peer offered binary protocol version 0"));
+            }
+            self.mode = Mode::Binary(version);
+            return Ok(());
+        }
+        // A line server answered our hello with a parse-error line.
+        // Drain it, then either fall back to line mode or fail strictly.
+        let mut discard = Vec::new();
+        self.reader.read_until(b'\n', &mut discard)?;
+        if strict {
+            return Err(invalid("peer does not speak the binary protocol"));
+        }
+        self.mode = Mode::Json;
+        Ok(())
+    }
+
+    /// `"json"` or `"binary"` — the negotiated mode.
+    pub fn mode_name(&self) -> &'static str {
+        match self.mode {
+            Mode::Json => "json",
+            Mode::Binary(_) => "binary",
+        }
+    }
+
+    /// Negotiated binary version, if in binary mode.
+    pub fn binary_version(&self) -> Option<u8> {
+        match self.mode {
+            Mode::Json => None,
+            Mode::Binary(v) => Some(v),
+        }
+    }
+
+    /// Number of requests sent and not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Snapshot of this connection's traffic counters.
+    pub fn counts(&self) -> WireCounts {
+        WireCounts {
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out,
+            frames_in: self.frames_in,
+            frames_out: self.frames_out,
+        }
+    }
+
+    /// Sets the socket read timeout (used by pollers layered above).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one request without waiting; returns its correlation id.
+    pub fn send(&mut self, message: &Json) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.mode {
+            Mode::Json => {
+                let mut line = message.to_string_compact();
+                line.push('\n');
+                self.writer.write_all(line.as_bytes())?;
+                self.writer.flush()?;
+                self.bytes_out += line.len() as u64;
+            }
+            Mode::Binary(_) => {
+                self.scratch.clear();
+                binary::encode_into(message, &mut self.scratch);
+                if self.scratch.len() > MAX_FRAME {
+                    return Err(invalid("request exceeds MAX_FRAME"));
+                }
+                let before = self.scratch.len();
+                let body = std::mem::take(&mut self.scratch);
+                write_frame(&mut self.writer, id, &body)?;
+                self.scratch = body;
+                // Frame overhead: length prefix + id varint.
+                self.bytes_out += before as u64 + varint_len(id) + varint_len(before as u64 + varint_len(id));
+            }
+        }
+        self.frames_out += 1;
+        self.pending.push_back(id);
+        Ok(id)
+    }
+
+    /// Blocks for the next response from the wire (or the stash), in
+    /// completion order, returning `(correlation_id, document)`.
+    pub fn recv_any(&mut self) -> io::Result<(u64, Json)> {
+        if !self.stash.is_empty() {
+            let (id, doc) = self.stash.remove(0);
+            return Ok((id, doc));
+        }
+        self.recv_wire()
+    }
+
+    /// Blocks for the next response off the socket, bypassing the stash
+    /// (so [`recv_for`](Connection::recv_for)'s stash-then-retry loop
+    /// cannot feed itself its own stashed entries).
+    fn recv_wire(&mut self) -> io::Result<(u64, Json)> {
+        match self.mode {
+            Mode::Json => {
+                let doc = read_json_line(&mut self.reader)?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before replying"))?;
+                let id = self
+                    .pending
+                    .pop_front()
+                    .ok_or_else(|| invalid("response line with no request outstanding"))?;
+                self.frames_in += 1;
+                Ok((id, doc))
+            }
+            Mode::Binary(_) => {
+                let (id, doc) = frame::read_frame(&mut self.reader)?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before replying"))?;
+                self.pending.retain(|&p| p != id);
+                self.frames_in += 1;
+                Ok((id, doc))
+            }
+        }
+    }
+
+    /// Blocks until the response for `id` arrives, stashing any other
+    /// completions for their own waiters.
+    pub fn recv_for(&mut self, id: u64) -> io::Result<Json> {
+        if let Some(at) = self.stash.iter().position(|(sid, _)| *sid == id) {
+            return Ok(self.stash.remove(at).1);
+        }
+        loop {
+            let (got, doc) = self.recv_wire()?;
+            if got == id {
+                return Ok(doc);
+            }
+            self.stash.push((got, doc));
+        }
+    }
+
+    /// One blocking request/response round trip on the reused socket.
+    pub fn call(&mut self, message: &Json) -> io::Result<Json> {
+        let id = self.send(message)?;
+        self.recv_for(id)
+    }
+}
+
+fn varint_len(value: u64) -> u64 {
+    let mut n = 1;
+    let mut v = value >> 7;
+    while v != 0 {
+        n += 1;
+        v >>= 7;
+    }
+    n
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Errors that mean "the peer rejected the binary hello outright"
+/// rather than "the network failed": worth one JSON-mode retry.
+fn hello_rebuffed(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::InvalidData
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::write_json_line;
+    use crate::json::parse_json;
+    use std::net::TcpListener;
+
+    /// A minimal JSON-only echo server, faithful to the legacy stack:
+    /// UTF-8 `read_line` framing, so the binary hello's magic byte makes
+    /// it drop the connection — exactly what old servers do. Serves
+    /// `conns` sequential connections, then exits.
+    fn line_echo_server(conns: usize) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..conns {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    match parse_json(line.trim()) {
+                        Ok(doc) => write_json_line(&mut writer, &doc).unwrap(),
+                        Err(_) => {
+                            let err = parse_json(r#"{"status":"error","kind":"parse"}"#).unwrap();
+                            write_json_line(&mut writer, &err).unwrap();
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn auto_falls_back_to_json_against_a_line_server() {
+        let (addr, handle) = line_echo_server(2);
+        let mut conn = Connection::connect(&addr.to_string(), Protocol::Auto).unwrap();
+        assert_eq!(conn.mode_name(), "json");
+        let request = parse_json(r#"{"cmd":"ping"}"#).unwrap();
+        let reply = conn.call(&request).unwrap();
+        assert_eq!(reply, request, "echo after fallback");
+        let counts = conn.counts();
+        assert!(counts.bytes_out > 0 && counts.bytes_in > 0);
+        assert_eq!(counts.frames_out, 1);
+        drop(conn);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn strict_binary_fails_against_a_line_server() {
+        let (addr, handle) = line_echo_server(1);
+        let err = Connection::connect(&addr.to_string(), Protocol::Binary).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn json_mode_pairs_pipelined_responses_in_order() {
+        let (addr, handle) = line_echo_server(1);
+        let mut conn = Connection::connect(&addr.to_string(), Protocol::Json).unwrap();
+        let a = conn.send(&parse_json(r#"{"n":1}"#).unwrap()).unwrap();
+        let b = conn.send(&parse_json(r#"{"n":2}"#).unwrap()).unwrap();
+        assert_eq!(conn.in_flight(), 2);
+        // Await the second first: the first gets stashed, ids stay right.
+        let doc_b = conn.recv_for(b).unwrap();
+        let doc_a = conn.recv_for(a).unwrap();
+        assert_eq!(doc_a.get("n").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc_b.get("n").and_then(Json::as_u64), Some(2));
+        assert_eq!(conn.in_flight(), 0);
+        drop(conn);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! Property/fuzz coverage for the binary codec and framing layers.
+//!
+//! The contract under test: random documents round-trip exactly through
+//! the binary codec (and produce the same compact text afterwards — the
+//! surface the determinism contracts pin); truncated, bit-flipped, or
+//! oversized inputs come back as structured errors, never a panic, an
+//! over-allocation, or an infinite loop.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use salsa_wire::binary::{decode, encode, read_varint, unzigzag, write_varint, zigzag};
+use salsa_wire::frame::{append_frame, split_frame, MAX_FRAME};
+use salsa_wire::json::Json;
+
+/// A random document, depth-bounded, biased toward the shapes the
+/// services actually exchange (objects of scalars with some nesting).
+fn arb_json(rng: &mut StdRng, depth: usize) -> Json {
+    let roll = if depth == 0 { rng.gen_range(0..5u32) } else { rng.gen_range(0..7u32) };
+    match roll {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => Json::Int(unzigzag(rng.gen())),
+        3 => {
+            // Finite floats only: NaN breaks PartialEq, and the JSON
+            // text protocol cannot carry non-finite values anyway.
+            let f = f64::from_bits(rng.gen());
+            Json::Float(if f.is_finite() { f } else { rng.gen_range(-1.0e9..1.0e9) })
+        }
+        4 => Json::Str(arb_string(rng)),
+        5 => {
+            let n = rng.gen_range(0..5usize);
+            Json::Arr((0..n).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..5usize);
+            Json::Obj((0..n).map(|i| (format!("k{i}_{}", arb_string(rng)), arb_json(rng, depth - 1))).collect())
+        }
+    }
+}
+
+fn arb_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..12usize);
+    (0..n)
+        .map(|_| {
+            // Mix ASCII, multi-byte chars, escapes and newlines (the CDFG
+            // text payloads are newline-heavy).
+            match rng.gen_range(0..6u32) {
+                0 => '\n',
+                1 => '"',
+                2 => '\\',
+                3 => 'µ',
+                4 => '語',
+                _ => char::from(rng.gen_range(0x20..0x7fu32) as u8),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+
+    /// decode(encode(doc)) == doc, and the compact-text rendering (the
+    /// byte surface canonical reports live on) is unchanged by the trip.
+    #[test]
+    fn random_documents_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = arb_json(&mut rng, 4);
+        let bytes = encode(&doc);
+        let back = decode(&bytes).expect("well-formed encoding decodes");
+        prop_assert_eq!(&back, &doc);
+        prop_assert_eq!(back.to_string_compact(), doc.to_string_compact());
+    }
+
+    /// Every proper prefix of a valid encoding is a structured error
+    /// (the document's extent is fixed, so a cut can't decode cleanly).
+    #[test]
+    fn truncations_are_structured_errors(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = arb_json(&mut rng, 3);
+        let bytes = encode(&doc);
+        let cut = rng.gen_range(0..bytes.len().max(1));
+        let err = decode(&bytes[..cut]).expect_err("prefix must not decode");
+        prop_assert!(err.offset <= cut);
+        prop_assert!(!err.message.is_empty());
+    }
+
+    /// A single flipped byte either still decodes (to something) or
+    /// errors cleanly — never a panic, hang, or huge allocation.
+    #[test]
+    fn bit_flips_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = arb_json(&mut rng, 3);
+        let mut bytes = encode(&doc);
+        let at = rng.gen_range(0..bytes.len());
+        bytes[at] ^= 1 << rng.gen_range(0..8u32);
+        let _ = decode(&bytes);
+    }
+
+    /// Pure garbage through the frame scanner: `Ok(None)` (need more
+    /// bytes), a parsed frame, or a structured error — never a panic.
+    #[test]
+    fn garbage_frames_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..64usize);
+        let garbage: Vec<u8> = (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect();
+        let _ = split_frame(&garbage);
+    }
+
+    /// Frames round-trip through the incremental scanner at any split
+    /// point, and prefixes are always "still arriving", never errors.
+    #[test]
+    fn frames_reassemble_from_any_split(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = arb_json(&mut rng, 3);
+        let id = rng.gen::<u64>() >> rng.gen_range(0..64u32);
+        let mut wire = Vec::new();
+        append_frame(&mut wire, id, &encode(&doc));
+        let cut = rng.gen_range(0..wire.len());
+        prop_assert!(matches!(split_frame(&wire[..cut]), Ok(None)));
+        let (consumed, got_id, got) = split_frame(&wire).unwrap().expect("whole frame");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, doc);
+    }
+
+    /// Varints round-trip over the full u64 domain, zigzag over i64.
+    #[test]
+    fn varints_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+        let i = unzigzag(v);
+        prop_assert_eq!(zigzag(i), v);
+    }
+}
+
+#[test]
+fn oversized_frame_lengths_are_rejected_up_front() {
+    // The scanner must refuse the declared length before ever waiting
+    // for (or allocating) that many bytes.
+    for oversize in [MAX_FRAME as u64 + 1, u64::MAX / 2, u64::MAX] {
+        let mut wire = Vec::new();
+        write_varint(&mut wire, oversize);
+        wire.extend_from_slice(&[0u8; 16]);
+        let err = split_frame(&wire).expect_err("oversized length must error");
+        assert!(err.message.contains("MAX_FRAME"), "{}", err.message);
+    }
+}
+
+#[test]
+fn deep_nesting_is_capped_not_a_stack_overflow() {
+    let mut doc = Json::Int(1);
+    for _ in 0..200 {
+        doc = Json::Arr(vec![doc]);
+    }
+    let bytes = encode(&doc);
+    let err = decode(&bytes).expect_err("200 levels exceeds MAX_DEPTH");
+    assert!(err.message.contains("MAX_DEPTH"));
+}

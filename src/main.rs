@@ -11,7 +11,7 @@
 //! salsa-hls bench    <name|--list>                    run a built-in benchmark
 //! salsa-hls serve    [--addr H:P] [--workers N] [--queue N] [--cache N]
 //!                    [--backend local|cluster] [--cluster-listen H:P]
-//! salsa-hls submit   [--addr H:P] (--bench NAME | <file.cdfg>) [knobs...]
+//! salsa-hls submit   [--addr H:P] [--protocol P] (--bench NAME | <file.cdfg>) [knobs...]
 //! salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [knobs...]
 //!                    [--listen H:P] [--shard-chains N] [--lease-ms MS]
 //! salsa-hls cluster-worker [--addr H:P] [--name NAME] [--poll-ms MS]
@@ -31,8 +31,9 @@ use salsa_hls::rtlgen::{control_table, generate_testbench, generate_verilog, Ver
 use salsa_hls::sched::{asap, fds_schedule, FuClass, FuLibrary};
 use salsa_hls::cluster::{run_worker, ClusterBackend, ClusterConfig, Coordinator, WorkerConfig};
 use salsa_hls::serve::{
-    canonicalize_report, parse_json, report_json, Json, Knobs, Server, ServerConfig,
+    canonicalize_report, report_json, Json, Knobs, Server, ServerConfig,
 };
+use salsa_hls::wire::{Connection, Protocol};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,13 +80,15 @@ usage:
                      [--dot PATH]
   salsa-hls bench    <name|--list>
   salsa-hls serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-                     [--default-timeout-ms MS] [--backend local|cluster]
+                     [--default-timeout-ms MS] [--max-in-flight N]
+                     [--idle-timeout-ms MS] [--backend local|cluster]
                      [--cluster-listen HOST:PORT] [--shard-chains N]
                      [--lease-ms MS]
   salsa-hls submit   [--addr HOST:PORT] (--bench NAME | <file.cdfg>)
                      [--steps N] [--extra-regs K] [--seed S] [--restarts R]
                      [--threads T] [--batch K] [--cutoff F] [--pipelined]
                      [--traditional] [--timeout-ms MS] [--pretty] [--retry N]
+                     [--protocol json|binary|auto]
   salsa-hls submit   [--addr HOST:PORT] (--ping | --stats | --shutdown)
   salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [--steps N]
                      [--extra-regs K] [--seed S] [--restarts R] [--batch K]
@@ -94,6 +97,7 @@ usage:
                      [--canonical]
   salsa-hls cluster-worker [--addr HOST:PORT] [--name NAME] [--poll-ms MS]
                      [--heartbeat-ms MS] [--max-reconnects N]
+                     [--protocol json|binary|auto]
 
 --restarts runs R independent seeded search chains and keeps the best;
 --threads caps the portfolio workers spreading those chains (default: the
@@ -105,10 +109,17 @@ and K, never on thread count; --batch 1 matches the sequential loop).
 --no-plan disables the compiled move-plan fast path in the proposers (for
 A/B verification; the trajectory and result are identical either way).
 
-serve starts the allocation service (newline-delimited JSON over TCP;
-default 127.0.0.1:7741, port 0 picks a free port) and runs until a
-shutdown command drains it; submit sends one request and prints the
-response (--json reports use the same serializer in both).
+serve starts the allocation service (default 127.0.0.1:7741, port 0
+picks a free port) and runs until a shutdown command drains it. Both
+wire protocols are served on the one port: newline-delimited JSON, and
+length-prefixed binary frames negotiated by a client hello (see
+DESIGN.md section 12). submit sends one request and prints the response
+(--json reports use the same serializer in both); --protocol picks its
+wire encoding (default auto: binary when the server speaks it). The two
+encodings carry the same documents, so reports are byte-identical
+either way. --retry N retries backpressure rejections and transient
+connection failures up to N times; any other error is final and is
+reported at once.
 
 --backend cluster makes serve dispatch each job to a worker fleet: it
 also binds a coordinator on --cluster-listen (default 127.0.0.1:7742)
@@ -337,6 +348,13 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(ms) = flag_parse(args, "--default-timeout-ms")? {
         config.default_timeout_ms = Some(ms);
     }
+    if let Some(limit) = flag_parse(args, "--max-in-flight")? {
+        config.max_in_flight = limit;
+    }
+    if let Some(ms) = flag_parse(args, "--idle-timeout-ms")? {
+        // 0 disables eviction (a debugging convenience).
+        config.idle_timeout_ms = if ms == 0 { None } else { Some(ms) };
+    }
 
     let backend = flag_value(args, "--backend")?.unwrap_or_else(|| "local".to_string());
     let coordinator = match backend.as_str() {
@@ -460,37 +478,74 @@ fn cluster_worker(args: &[String]) -> Result<(), String> {
     if let Some(limit) = flag_parse(args, "--max-reconnects")? {
         config.max_reconnects = limit;
     }
+    config.protocol = parse_protocol(args)?;
     run_worker(config).map_err(|e| format!("{addr}: {e}"))
+}
+
+fn parse_protocol(args: &[String]) -> Result<Protocol, String> {
+    match flag_value(args, "--protocol")? {
+        None => Ok(Protocol::Auto),
+        Some(raw) => Protocol::parse(&raw)
+            .ok_or_else(|| format!("--protocol: '{raw}' is not valid (json, binary or auto)")),
+    }
 }
 
 fn submit(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let protocol = parse_protocol(args)?;
     let request = build_submit_request(args)?;
-    let mut line = request.to_string_compact();
-    line.push('\n');
 
-    // --retry N resends after backpressure rejections, up to N times,
-    // with seeded jittered exponential backoff floored at the server's
-    // retry_after_ms hint. Default 0: one attempt, as before.
+    // --retry N retries up to N times (N+1 total attempts), with seeded
+    // jittered exponential backoff floored at the server's
+    // retry_after_ms hint. Only backpressure rejections and transient
+    // connection failures are retried; a structured server error is
+    // final and reported on the first occurrence. Default 0: one
+    // attempt, as before.
     let retries: u32 = flag_parse(args, "--retry")?.unwrap_or(0);
     let mut backoff = salsa_hls::wire::Backoff::new(
         0x5a15_a5abu64 ^ u64::from(std::process::id()),
         std::time::Duration::from_millis(25),
         std::time::Duration::from_secs(5),
     );
+    // The connection is reused across retries (backpressure does not
+    // cost a reconnect); it is only reopened after an I/O failure.
+    let mut conn: Option<Connection> = None;
     let mut attempts_left = retries;
     loop {
-        let response = submit_once(&addr, &line)?;
-        let parsed = parse_json(&response)
-            .map_err(|e| format!("{addr}: unparsable response: {} ({response})", e.message))?;
+        let exchanged = match &mut conn {
+            Some(open) => open.call(&request).map_err(|e| format!("{addr}: {e}")),
+            None => Connection::connect(&addr, protocol)
+                .map_err(|e| format!("{addr}: {e} (is 'salsa-hls serve' running?)"))
+                .and_then(|mut fresh| {
+                    let reply = fresh.call(&request).map_err(|e| format!("{addr}: {e}"));
+                    conn = Some(fresh);
+                    reply
+                }),
+        };
+        let parsed = match exchanged {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                conn = None;
+                if attempts_left == 0 {
+                    return Err(message);
+                }
+                attempts_left -= 1;
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "{message}; retrying in {} ms ({attempts_left} attempts left)",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                continue;
+            }
+        };
         if parsed.get("status").and_then(Json::as_str) == Some("rejected") && attempts_left > 0 {
             attempts_left -= 1;
             let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(100);
             let delay = backoff.next_delay().max(std::time::Duration::from_millis(hint));
             eprintln!(
-                "rejected with backpressure; retrying in {} ms ({} attempts left)",
-                delay.as_millis(),
-                attempts_left
+                "rejected with backpressure; retrying in {} ms ({attempts_left} attempts left)",
+                delay.as_millis()
             );
             std::thread::sleep(delay);
             continue;
@@ -498,7 +553,10 @@ fn submit(args: &[String]) -> Result<(), String> {
         if has_flag(args, "--pretty") {
             println!("{}", parsed.to_string_pretty());
         } else {
-            println!("{response}");
+            // Compact form: for line-mode servers this is the exact
+            // response line; binary responses render identically because
+            // both protocols carry the same document.
+            println!("{}", parsed.to_string_compact());
         }
         return match parsed.get("status").and_then(Json::as_str) {
             Some("ok") => Ok(()),
@@ -516,27 +574,12 @@ fn submit(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// One request/response exchange on a fresh connection.
-fn submit_once(addr: &str, line: &str) -> Result<String, String> {
-    let mut stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| format!("{addr}: {e} (is 'salsa-hls serve' running?)"))?;
-    stream.write_all(line.as_bytes()).map_err(|e| format!("{addr}: send: {e}"))?;
-    let mut response = String::new();
-    std::io::BufRead::read_line(&mut std::io::BufReader::new(stream), &mut response)
-        .map_err(|e| format!("{addr}: receive: {e}"))?;
-    let response = response.trim_end().to_string();
-    if response.is_empty() {
-        return Err(format!("{addr}: server closed the connection without replying"));
-    }
-    Ok(response)
-}
-
 /// The first token after `submit` that is neither a flag nor the value
 /// of a value-taking flag — the `.cdfg` path operand.
 fn submit_positional(args: &[String]) -> Option<&String> {
     const VALUE_FLAGS: &[&str] = &[
         "--addr", "--bench", "--steps", "--extra-regs", "--seed", "--restarts", "--threads",
-        "--batch", "--cutoff", "--timeout-ms", "--retry",
+        "--batch", "--cutoff", "--timeout-ms", "--retry", "--protocol",
     ];
     let mut i = 1;
     while i < args.len() {
