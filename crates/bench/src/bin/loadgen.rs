@@ -20,10 +20,20 @@
 //! the *service's*, cache included, which is the number an operator cares
 //! about.
 //!
+//! `--verify-mix F` sends a fraction `F` of the requests with a
+//! `verify` knob (`--verify-mode`, default `sample` — the mode built for
+//! exactly this always-on-under-load role; `full` is audit-grade),
+//! exercising the verifier lane under load. The run then measures
+//! **two** passes against fresh in-process servers — a baseline with
+//! verification off, then the mixed pass — and records both throughputs
+//! plus the verifier-lane latency percentiles in a `loadgen-verify` row,
+//! quantifying what certificates cost the allocation path.
+//!
 //! Usage: `cargo run -p salsa-bench --bin loadgen --release --
 //! [--quick] [--clients N] [--requests N] [--pipeline N]
-//! [--protocol json|binary|auto] [--addr HOST:PORT] [--pr LABEL]
-//! [--no-write]`
+//! [--protocol json|binary|auto] [--verify-mix F]
+//! [--verify-mode sample|full] [--repeats N] [--addr HOST:PORT]
+//! [--pr LABEL] [--no-write]`
 
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -53,6 +63,11 @@ struct ClientOutcome {
     errors: usize,
     retries: usize,
     latencies_us: Vec<u64>,
+    /// Completion instants of *unverified* requests, as offsets from the
+    /// pass epoch. The verifier-lane overhead metric is the throughput of
+    /// these: requests that did not ask for a certificate must not slow
+    /// down because others did.
+    unverified_finish_us: Vec<u64>,
     counts: WireCounts,
     mode: &'static str,
 }
@@ -66,21 +81,69 @@ fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-fn request_json(mix_index: usize) -> Json {
+/// The unique (bench, seed, restarts) tuple id of each `MIX` entry, in
+/// order of first appearance. Repeats share an id so a verified tuple is
+/// verified *everywhere* it occurs.
+const MIX_TUPLE: &[usize] = &[0, 1, 2, 0, 3, 1];
+
+/// Which requests of a pass carry a `verify` knob, and which mode.
+///
+/// Selection is per unique job tuple, not per request index: operators
+/// certify *job classes* (a design and knobs they will sign off on), so
+/// every occurrence of a selected tuple asks for the same certificate —
+/// and identical certified jobs dedupe through the result cache, exactly
+/// as mixed production traffic would.
+#[derive(Clone, Copy)]
+struct VerifySpec {
+    /// Verified share of the mix's unique job tuples, in permille.
+    permille: usize,
+    /// The `verify` value the selected requests carry.
+    mode: &'static str,
+    /// Whether selected requests actually carry the knob. A baseline
+    /// pass uses `send: false` with the mixed pass's permille: requests
+    /// are *classified* identically (so the two passes' unverified
+    /// shares cover the same request indices and their throughputs
+    /// compare like with like) but none ask for a certificate.
+    send: bool,
+}
+
+impl VerifySpec {
+    const OFF: VerifySpec = VerifySpec { permille: 0, mode: "off", send: false };
+
+    /// The classification-only twin of this spec, for baseline passes.
+    fn baseline_of(self) -> VerifySpec {
+        VerifySpec { send: false, ..self }
+    }
+
+    /// Whether request `i` of the sequence is verified: the Bresenham
+    /// spread of `permille`/1000 over the mix's unique tuples, so the
+    /// verified share is deterministic and exact to one tuple.
+    fn selected(&self, i: usize) -> bool {
+        let tuple = MIX_TUPLE[i % MIX_TUPLE.len()];
+        ((tuple + 1) * self.permille) / 1000 > (tuple * self.permille) / 1000
+    }
+}
+
+fn request_json(mix_index: usize, verify: VerifySpec) -> Json {
     let (bench, seed, restarts) = MIX[mix_index % MIX.len()];
-    Json::obj(vec![
+    let mut fields = vec![
         ("cmd", Json::Str("allocate".into())),
         ("bench", Json::Str(bench.into())),
         ("seed", Json::Int(seed as i64)),
         ("restarts", Json::Int(restarts as i64)),
         ("threads", Json::Int(1)),
         ("timeout_ms", Json::Int(120_000)),
-    ])
+    ];
+    if verify.send && verify.selected(mix_index) {
+        fields.push(("verify", Json::Str(verify.mode.into())));
+    }
+    Json::obj(fields)
 }
 
 /// One client: its share of the request sequence over a single reused
 /// connection, keeping up to `pipeline` requests in flight and retrying
 /// backpressure rejections after the server's hint.
+#[allow(clippy::too_many_arguments)]
 fn client(
     addr: &str,
     protocol: Protocol,
@@ -88,6 +151,8 @@ fn client(
     client_id: usize,
     clients: usize,
     total: usize,
+    verify: VerifySpec,
+    epoch: Instant,
 ) -> ClientOutcome {
     let mut conn = Connection::connect(addr, protocol).expect("connect");
     let mut outcome = ClientOutcome {
@@ -95,6 +160,7 @@ fn client(
         errors: 0,
         retries: 0,
         latencies_us: Vec::new(),
+        unverified_finish_us: Vec::new(),
         counts: WireCounts::default(),
         mode: conn.mode_name(),
     };
@@ -114,7 +180,7 @@ fn client(
         while in_flight.len() < pipeline.max(1) {
             let Some(request_no) = todo.pop_front() else { break };
             let started = Instant::now();
-            let id = conn.send(&request_json(request_no)).expect("send");
+            let id = conn.send(&request_json(request_no, verify)).expect("send");
             in_flight.insert(id, (request_no, started));
         }
         let (id, response) = conn.recv_any().expect("receive");
@@ -127,7 +193,7 @@ fn client(
                 // Sleeping stalls this client's whole window, which is
                 // the point: backpressure means the server is saturated.
                 std::thread::sleep(delay);
-                let id = conn.send(&request_json(request_no)).expect("resend");
+                let id = conn.send(&request_json(request_no, verify)).expect("resend");
                 in_flight.insert(id, (request_no, started));
             }
             Some("ok") => {
@@ -136,6 +202,11 @@ fn client(
                 outcome
                     .latencies_us
                     .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                if !verify.selected(request_no) {
+                    outcome
+                        .unverified_finish_us
+                        .push(epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
             }
             _ => {
                 outcome.errors += 1;
@@ -158,11 +229,128 @@ fn server_stats(addr: &str, protocol: Protocol) -> Json {
 }
 
 fn stat(stats: &Json, path: &[&str]) -> u64 {
+    node_at(stats, path).as_u64().unwrap_or(0)
+}
+
+fn statf(stats: &Json, path: &[&str]) -> f64 {
+    node_at(stats, path).as_f64().unwrap_or(0.0)
+}
+
+fn node_at<'a>(stats: &'a Json, path: &[&str]) -> &'a Json {
     let mut node = stats;
     for key in path {
         node = node.get(key).unwrap_or(&Json::Null);
     }
-    node.as_u64().unwrap_or(0)
+    node
+}
+
+/// Everything one measured pass produces: client-side aggregates plus
+/// the server's own stats snapshot taken right after the last response.
+struct Pass {
+    ok: usize,
+    errors: usize,
+    retries: usize,
+    wall_secs: f64,
+    throughput: f64,
+    /// Throughput of the unverified share alone: count over the time to
+    /// its own last completion. For a pass with verification off this is
+    /// the overall throughput; for a mixed pass it isolates what the
+    /// verifier lane cost the allocation path.
+    unverified_throughput: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    wire: WireCounts,
+    mode: &'static str,
+    stats: Json,
+}
+
+/// Drives the full request sequence against `addr` and gathers the
+/// pass's metrics. The server (when in-process) is managed by the
+/// caller, so back-to-back passes can run against fresh caches.
+///
+/// With `warm`, one request per mix entry is issued (with this pass's
+/// own verify spec) before the clock starts: cold allocations and
+/// first-time certificates are one-off costs a service pays once per
+/// job class, so the timed portion measures the steady state — where
+/// the verifier lane's per-request cost is whatever the verdict cache
+/// leaves. The server's stats still cover the warm-up, so the cold
+/// certificate cost stays visible in the verify latency percentiles.
+fn run_pass(
+    addr: &str,
+    protocol: Protocol,
+    clients: usize,
+    requests: usize,
+    pipeline: usize,
+    verify: VerifySpec,
+    warm: bool,
+) -> Pass {
+    if warm {
+        let mut conn = Connection::connect(addr, protocol).expect("warmup connect");
+        for i in 0..MIX.len() {
+            loop {
+                let reply = conn.call(&request_json(i, verify)).expect("warmup request");
+                match reply.get("status").and_then(Json::as_str) {
+                    Some("rejected") => std::thread::sleep(std::time::Duration::from_millis(
+                        reply.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(50),
+                    )),
+                    _ => break,
+                }
+            }
+        }
+    }
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                scope.spawn(move || {
+                    client(addr, protocol, pipeline, id, clients, requests, verify, started)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let stats = server_stats(addr, protocol);
+
+    let ok: usize = outcomes.iter().map(|o| o.ok).sum();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let retries: usize = outcomes.iter().map(|o| o.retries).sum();
+    let mode = outcomes.first().map(|o| o.mode).unwrap_or("json");
+    let mut wire = WireCounts::default();
+    for outcome in &outcomes {
+        wire.absorb(&outcome.counts);
+    }
+    let mut latencies: Vec<u64> =
+        outcomes.iter().flat_map(|o| o.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let unverified: Vec<u64> =
+        outcomes.iter().flat_map(|o| o.unverified_finish_us.iter().copied()).collect();
+    let unverified_throughput = match unverified.iter().max() {
+        Some(&last) if last > 0 => unverified.len() as f64 / (last as f64 / 1e6),
+        _ => ok as f64 / wall_secs.max(1e-9),
+    };
+    Pass {
+        ok,
+        errors,
+        retries,
+        wall_secs,
+        throughput: ok as f64 / wall_secs.max(1e-9),
+        unverified_throughput,
+        p50: percentile_ms(&latencies, 50.0),
+        p95: percentile_ms(&latencies, 95.0),
+        p99: percentile_ms(&latencies, 99.0),
+        wire,
+        mode,
+        stats,
+    }
+}
+
+fn in_process_server() -> (Server, String) {
+    let config = ServerConfig { workers: 2, queue_capacity: 8, ..ServerConfig::default() };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
 }
 
 fn main() {
@@ -188,48 +376,55 @@ fn main() {
         None => Protocol::Auto,
         Some(raw) => Protocol::parse(&raw).expect("--protocol takes json, binary or auto"),
     };
+    let verify_permille: usize = flag_value("--verify-mix")
+        .map(|v| {
+            let f: f64 = v.parse().expect("--verify-mix takes a fraction in 0..=1");
+            assert!((0.0..=1.0).contains(&f), "--verify-mix takes a fraction in 0..=1");
+            (f * 1000.0).round() as usize
+        })
+        .unwrap_or(0);
+    let verify_mode: &'static str = match flag_value("--verify-mode").as_deref() {
+        None | Some("sample") => "sample",
+        Some("full") => "full",
+        Some(other) => panic!("--verify-mode takes sample or full, not '{other}'"),
+    };
     let pr = flag_value("--pr").unwrap_or_else(|| "PR3-loadgen".to_string());
+
+    if verify_permille > 0 {
+        assert!(
+            flag_value("--addr").is_none(),
+            "--verify-mix measures a baseline pass against a fresh server and \
+             needs the in-process one; drop --addr"
+        );
+        let verify = VerifySpec { permille: verify_permille, mode: verify_mode, send: true };
+        run_verify_comparison(clients, requests, pipeline, protocol, verify, &pr);
+        return;
+    }
 
     // In-process server unless aimed at an external one. A small queue
     // relative to the client count keeps backpressure observable.
     let (server, addr) = match flag_value("--addr") {
         Some(addr) => (None, addr),
         None => {
-            let config = ServerConfig { workers: 2, queue_capacity: 8, ..ServerConfig::default() };
-            let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
-            let addr = server.local_addr().to_string();
+            let (server, addr) = in_process_server();
             (Some(server), addr)
         }
     };
 
-    let started = Instant::now();
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
-        let addr = addr.as_str();
-        let handles: Vec<_> = (0..clients)
-            .map(|id| scope.spawn(move || client(addr, protocol, pipeline, id, clients, requests)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
-    });
-    let wall_secs = started.elapsed().as_secs_f64();
-
-    let stats = server_stats(&addr, protocol);
-    let cache_hits = stat(&stats, &["cache", "hits"]);
-    let cache_misses = stat(&stats, &["cache", "misses"]);
-    let completed = stat(&stats, &["completed"]);
-    let rejected = stat(&stats, &["rejected"]);
-
+    let pass = run_pass(&addr, protocol, clients, requests, pipeline, VerifySpec::OFF, false);
     if let Some(server) = server {
         server.shutdown();
     }
 
-    let ok: usize = outcomes.iter().map(|o| o.ok).sum();
-    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
-    let retries: usize = outcomes.iter().map(|o| o.retries).sum();
-    let mode = outcomes.first().map(|o| o.mode).unwrap_or("json");
-    let mut wire = WireCounts::default();
-    for outcome in &outcomes {
-        wire.absorb(&outcome.counts);
-    }
+    let cache_hits = stat(&pass.stats, &["cache", "hits"]);
+    let cache_misses = stat(&pass.stats, &["cache", "misses"]);
+    let completed = stat(&pass.stats, &["completed"]);
+    let rejected = stat(&pass.stats, &["rejected"]);
+    let (ok, errors, retries, mode) = (pass.ok, pass.errors, pass.retries, pass.mode);
+    let wall_secs = pass.wall_secs;
+    let throughput = pass.throughput;
+    let (p50, p95, p99) = (pass.p50, pass.p95, pass.p99);
+    let wire = pass.wire;
     let messages = wire.frames_in + wire.frames_out;
     let bytes_per_message = if messages == 0 {
         0.0
@@ -237,15 +432,6 @@ fn main() {
         (wire.bytes_in + wire.bytes_out) as f64 / messages as f64
     };
     let messages_per_sec = messages as f64 / wall_secs.max(1e-9);
-    let mut latencies: Vec<u64> =
-        outcomes.iter().flat_map(|o| o.latencies_us.iter().copied()).collect();
-    latencies.sort_unstable();
-    let (p50, p95, p99) = (
-        percentile_ms(&latencies, 50.0),
-        percentile_ms(&latencies, 95.0),
-        percentile_ms(&latencies, 99.0),
-    );
-    let throughput = ok as f64 / wall_secs.max(1e-9);
 
     assert_eq!(ok + errors, requests, "every request must resolve");
     assert_eq!(errors, 0, "the fixed mix contains no failing requests");
@@ -279,19 +465,148 @@ fn main() {
          \"messages_per_sec\": {messages_per_sec:.1}, \"p50_ms\": {p50:.1}, \
          \"p95_ms\": {p95:.1}, \"p99_ms\": {p99:.1}}}"
     );
+    write_row(&pr, "loadgen-mix1", mode, pipeline, row);
+}
+
+/// The `--verify-mix` comparison: a verification-off baseline and the
+/// mixed pass, each against a fresh in-process server warmed with one
+/// request per mix entry (under its own verify spec, so the mixed
+/// side's first-time certificates land in the warm-up), reported as one
+/// `loadgen-verify` row.
+fn run_verify_comparison(
+    clients: usize,
+    requests: usize,
+    pipeline: usize,
+    protocol: Protocol,
+    verify: VerifySpec,
+    pr: &str,
+) {
+    // Alternate baseline/mixed passes and keep each side's median (by
+    // its lane throughput): single passes on a small box are noisy, and
+    // interleaving spreads ambient jitter evenly over both sides.
+    let repeats: usize = flag_value("--repeats")
+        .map(|v| v.parse().expect("--repeats takes a number"))
+        .unwrap_or(3)
+        .max(1);
+    let mut baselines = Vec::new();
+    let mut passes = Vec::new();
+    for _ in 0..repeats {
+        let (server, addr) = in_process_server();
+        baselines
+            .push(run_pass(&addr, protocol, clients, requests, pipeline, verify.baseline_of(), true));
+        server.shutdown();
+        let (server, addr) = in_process_server();
+        passes.push(run_pass(&addr, protocol, clients, requests, pipeline, verify, true));
+        server.shutdown();
+    }
+    for (label, p) in baselines
+        .iter()
+        .map(|p| ("baseline", p))
+        .chain(passes.iter().map(|p| ("verify", p)))
+    {
+        assert_eq!(p.ok + p.errors, requests, "{label}: every request must resolve");
+        assert_eq!(p.errors, 0, "{label}: the fixed mix contains no failing requests");
+    }
+    let median = |mut v: Vec<Pass>| -> Pass {
+        v.sort_by(|a, b| {
+            a.unverified_throughput.partial_cmp(&b.unverified_throughput).expect("finite")
+        });
+        v.remove(v.len() / 2)
+    };
+    let baseline = median(baselines);
+    let pass = median(passes);
+
+    let verify_fraction = verify.permille as f64 / 1000.0;
+    let verified = stat(&pass.stats, &["verifier", "verified"]);
+    let verify_failed = stat(&pass.stats, &["verifier", "failed"]);
+    let vcache_hits = stat(&pass.stats, &["verifier", "cache", "hits"]);
+    let vcache_misses = stat(&pass.stats, &["verifier", "cache", "misses"]);
+    let v50 = statf(&pass.stats, &["verifier", "latency_ms", "p50"]);
+    let v95 = statf(&pass.stats, &["verifier", "latency_ms", "p95"]);
+    let v99 = statf(&pass.stats, &["verifier", "latency_ms", "p99"]);
+    // The lane-isolation metric: requests that did NOT ask for a
+    // certificate, at the pace they completed, against the same pace
+    // with verification off entirely. Verified requests pay for their
+    // own certificates; unverified ones must not.
+    let ratio = pass.unverified_throughput / baseline.unverified_throughput.max(1e-9);
+    let e2e_ratio = pass.throughput / baseline.throughput.max(1e-9);
+    let mode = pass.mode;
+
+    assert_eq!(verify_failed, 0, "certified jobs must not refute their own reports");
+    assert!(verified > 0, "the mixed pass must actually verify something");
+
+    println!(
+        "loadgen verify-mix {verify_fraction:.2} ({vmode}): {requests} requests, \
+         {clients} clients, pipeline {pipeline} ({mode} wire)",
+        vmode = verify.mode,
+    );
+    println!(
+        "         baseline (verify off): {} ok in {:.2}s ({:.1} req/s, p95 {:.1}ms)",
+        baseline.ok, baseline.wall_secs, baseline.throughput, baseline.p95
+    );
+    println!(
+        "         mixed: {} ok in {:.2}s ({:.1} req/s end-to-end, {:.1}% of baseline)",
+        pass.ok,
+        pass.wall_secs,
+        pass.throughput,
+        e2e_ratio * 100.0
+    );
+    println!(
+        "         allocation lane (unverified share): {:.1} req/s vs {:.1} baseline \
+         -> {:.1}% kept",
+        pass.unverified_throughput,
+        baseline.unverified_throughput,
+        ratio * 100.0
+    );
+    println!(
+        "         verifier lane: {verified} certified ({vcache_hits} verdict-cache hits / \
+         {vcache_misses} misses), verify p50={v50:.1}ms p95={v95:.1}ms p99={v99:.1}ms"
+    );
+
+    if has_flag("--no-write") {
+        return;
+    }
+    let row = format!(
+        "{{\"name\": \"loadgen-verify\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
+         \"pipeline\": {pipeline}, \"clients\": {clients}, \"requests\": {requests}, \
+         \"repeats\": {repeats}, \"verify_fraction\": {verify_fraction:.3}, \"verify_mode\": \"{vmode}\", \
+         \"ok\": {ok}, \
+         \"baseline_throughput_rps\": {base_tp:.2}, \"throughput_rps\": {tp:.2}, \
+         \"end_to_end_ratio\": {e2e_ratio:.3}, \
+         \"alloc_lane_throughput_rps\": {lane_tp:.2}, \
+         \"alloc_lane_baseline_rps\": {lane_base:.2}, \"alloc_lane_ratio\": {ratio:.3}, \
+         \"verified\": {verified}, \
+         \"verdict_cache_hits\": {vcache_hits}, \"verdict_cache_misses\": {vcache_misses}, \
+         \"p95_ms\": {p95:.1}, \"verify_p50_ms\": {v50:.1}, \"verify_p95_ms\": {v95:.1}, \
+         \"verify_p99_ms\": {v99:.1}}}",
+        vmode = verify.mode,
+        ok = pass.ok,
+        base_tp = baseline.throughput,
+        tp = pass.throughput,
+        lane_tp = pass.unverified_throughput,
+        lane_base = baseline.unverified_throughput,
+        p95 = pass.p95,
+    );
+    write_row(pr, "loadgen-verify", mode, pipeline, row);
+}
+
+/// Appends `row` to the `history` entry for `pr`, replacing a prior run
+/// of the same configuration (same name, protocol and pipeline depth)
+/// and keeping that label's other rows.
+fn write_row(pr: &str, name: &str, mode: &str, pipeline: usize, row: String) {
     let existing = std::fs::read_to_string(BENCH_FILE).unwrap_or_default();
     let benchmark_rows = existing_benchmark_rows(&existing);
-    // Merge into the label: keep the entry's other rows (e.g. the
-    // trajectory rows bench_trajectory wrote under the same PR label),
-    // replacing only a prior run of this same loadgen configuration.
-    let dup_marker = format!("\"name\": \"loadgen-mix1\", \"mode\": \"service\", \"protocol\": \"{mode}\", \"pipeline\": {pipeline},");
-    let mut rows: Vec<String> = same_label_rows(&existing, &pr)
+    let dup_marker = format!(
+        "\"name\": \"{name}\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
+         \"pipeline\": {pipeline},"
+    );
+    let mut rows: Vec<String> = same_label_rows(&existing, pr)
         .into_iter()
         .filter(|prior| !prior.contains(&dup_marker))
         .collect();
     rows.push(row);
-    let mut history = prior_history(&existing, &pr);
-    history.push(history_entry(&pr, &rows));
+    let mut history = prior_history(&existing, pr);
+    history.push(history_entry(pr, &rows));
     let json = render_bench_file(&benchmark_rows, &history);
     std::fs::write(BENCH_FILE, &json).unwrap_or_else(|e| panic!("writing {BENCH_FILE}: {e}"));
     println!("wrote {BENCH_FILE}");

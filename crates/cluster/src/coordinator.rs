@@ -381,14 +381,16 @@ fn finalize<'a>(
                 .expect("winner slot has a reported chain");
             let reported_cost = reported.cost.expect("winner completed");
             // The shipped image is accepted only when it rebuilds cleanly
-            // AND its recomputed weighted cost equals the reported one —
-            // the same equality the replay path checks, so a bogus image
-            // can downgrade us to a replay but never alter the result.
+            // AND its recomputed weighted cost equals the reported one AND
+            // it passes the same symbolic verification gate the audit lane
+            // runs — a bogus image can downgrade us to a replay but never
+            // alter the result or smuggle in an unrealizable datapath.
             let rebuilt: Option<Binding<'_>> = bindings
                 .remove(&slot)
                 .and_then(|image| binding_parts_from_json(&image))
                 .and_then(|parts| Binding::from_parts(ctx, &parts).ok())
-                .filter(|b| improve_config.weights.evaluate(&b.breakdown()) == reported_cost);
+                .filter(|b| improve_config.weights.evaluate(&b.breakdown()) == reported_cost)
+                .filter(|b| salsa_alloc::verify_binding(b).is_certified());
             match rebuilt {
                 Some(binding) => (reported, binding),
                 None => {

@@ -5,13 +5,13 @@ use std::collections::BTreeMap;
 
 use salsa_cdfg::Cdfg;
 use salsa_datapath::{
-    merge_muxes, traffic_from_rtl, verify, Claims, CostBreakdown, CostWeights, Datapath,
-    MuxMergeResult, Rtl,
+    merge_muxes, traffic_from_rtl, Claims, CostBreakdown, CostWeights, Datapath, MuxMergeResult,
+    Rtl,
 };
 use salsa_sched::{FuClass, FuLibrary, Schedule};
 
 use crate::{
-    lower, portfolio_search, AllocContext, AllocError, CancelToken, ImproveConfig, ImproveStats,
+    portfolio_search, AllocContext, AllocError, CancelToken, ImproveConfig, ImproveStats,
     PortfolioConfig, PortfolioOutcome, PortfolioStats,
 };
 
@@ -214,9 +214,10 @@ impl<'a> Allocator<'a> {
     ) -> Result<AllocResult, AllocError> {
         let (cost, binding, stats) = (outcome.cost, outcome.binding, outcome.stats);
 
-        let (rtl, claims) = lower(&binding);
-        verify(self.graph, self.schedule, self.library, &ctx.datapath, &rtl, &claims)
-            .map_err(|e| AllocError::VerificationFailed { detail: e.to_string() })?;
+        let (rtl, claims, verdict) = crate::verify_lowered(&binding);
+        if let Some(detail) = verdict.detail() {
+            return Err(AllocError::VerificationFailed { detail: detail.to_string() });
+        }
         let merged = merge_muxes(&traffic_from_rtl(&rtl));
         let breakdown = binding.breakdown();
 

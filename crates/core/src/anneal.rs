@@ -142,9 +142,8 @@ mod tests {
         assert!(stats.final_cost <= stats.initial_cost);
         assert!(stats.levels > 5);
         binding.check_consistency();
-        let (rtl, claims) = crate::lower(&binding);
-        salsa_datapath::verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
-            .expect("annealed allocation verifies");
+        let verdict = crate::verify_binding(&binding);
+        assert!(verdict.is_certified(), "annealed allocation verifies: {verdict}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ use crate::binding::RedoOp;
 use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
 use crate::improve::{weighted_cost, ImproveConfig, ImproveStats, SearchExit, SearchWatch};
 use crate::moves::{apply_proposal, propose_move, MoveSet, Proposal};
+use crate::trace::TraceRecorder;
 use crate::{Binding, TransferKey};
 
 /// Redo-log length that triggers compaction into a fresh base snapshot.
@@ -478,13 +479,14 @@ pub(crate) fn run_phase_batched(
     watch: Option<&SearchWatch<'_>>,
     batch: usize,
     eval_threads: usize,
+    rec: Option<&mut TraceRecorder>,
 ) -> Option<SearchExit> {
     let batch = batch.max(1);
     // One evaluator is the main thread; extra threads only help while
     // there is more than one proposal to grade.
     let workers = eval_threads.saturating_sub(1).min(batch.saturating_sub(1));
     if workers == 0 {
-        return batched_loop(binding, config, set, rng, stats, watch, batch, None);
+        return batched_loop(binding, config, set, rng, stats, watch, batch, None, rec);
     }
     let pool = Pool {
         round: Mutex::new(Round::default()),
@@ -498,7 +500,7 @@ pub(crate) fn run_phase_batched(
             let weights = &config.weights;
             scope.spawn(move || worker_loop(pool, weights));
         }
-        let out = batched_loop(binding, config, set, rng, stats, watch, batch, Some(&pool));
+        let out = batched_loop(binding, config, set, rng, stats, watch, batch, Some(&pool), rec);
         pool.round.lock().expect("pool mutex").shutdown = true;
         pool.start.notify_all();
         out
@@ -517,6 +519,7 @@ fn batched_loop<'a>(
     watch: Option<&SearchWatch<'_>>,
     batch: usize,
     pool: Option<&Pool<'a>>,
+    mut rec: Option<&mut TraceRecorder>,
 ) -> Option<SearchExit> {
     let moves_per_trial = config
         .moves_per_trial
@@ -550,6 +553,9 @@ fn batched_loop<'a>(
             binding.clone_from(&best);
             current_cost = best_cost;
             sync.reset = true;
+            if let Some(r) = rec.as_deref_mut() {
+                r.record_restore();
+            }
         }
 
         let mut disposed = 0usize;
@@ -671,6 +677,9 @@ fn batched_loop<'a>(
                 current_cost = current_cost
                     .checked_add_signed(eval.delta)
                     .expect("weighted cost stays in range");
+                if let Some(r) = rec.as_deref_mut() {
+                    r.record_commit(proposal, current_cost);
+                }
                 debug_assert_eq!(
                     weighted_cost(&config.weights, binding),
                     current_cost,
@@ -711,6 +720,9 @@ fn batched_loop<'a>(
     }
 
     binding.clone_from(&best);
+    if let Some(r) = rec {
+        r.record_restore();
+    }
     None
 }
 

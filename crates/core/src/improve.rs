@@ -22,8 +22,9 @@ use rand::rngs::StdRng;
 use salsa_datapath::CostWeights;
 
 use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
-use crate::moves::{try_move, MoveKind, MoveSet};
+use crate::moves::{apply_proposal, propose_move, MoveKind, MoveSet};
 use crate::portfolio::SearchBound;
+use crate::trace::TraceRecorder;
 use crate::Binding;
 
 /// The weighted allocation cost — the one cost function every search stage
@@ -256,6 +257,21 @@ pub fn improve_bounded(
     rng: &mut StdRng,
     watch: Option<&SearchWatch<'_>>,
 ) -> (ImproveStats, SearchExit) {
+    improve_traced(binding, config, rng, watch, None)
+}
+
+/// [`improve_bounded`] with an optional move-trace recorder. The recorder
+/// observes commits and best-restores without reading the RNG or altering
+/// control flow, so a recorded run walks the identical trajectory to an
+/// unrecorded one — the property `record_slot_trace` relies on to record
+/// a portfolio winner after the fact.
+pub(crate) fn improve_traced(
+    binding: &mut Binding<'_>,
+    config: &ImproveConfig,
+    rng: &mut StdRng,
+    watch: Option<&SearchWatch<'_>>,
+    mut rec: Option<&mut TraceRecorder>,
+) -> (ImproveStats, SearchExit) {
     let start = std::time::Instant::now();
     binding.set_plan_enabled(config.plan);
     let mut stats = ImproveStats {
@@ -274,8 +290,9 @@ pub fn improve_bounded(
                 watch,
                 batch,
                 config.eval_threads,
+                rec.as_deref_mut(),
             ),
-            None => run_phase(binding, config, &set, rng, &mut stats, watch),
+            None => run_phase(binding, config, &set, rng, &mut stats, watch, rec.as_deref_mut()),
         };
         if let Some(stop) = stop {
             exit = stop;
@@ -297,6 +314,7 @@ fn run_phase(
     rng: &mut StdRng,
     stats: &mut ImproveStats,
     watch: Option<&SearchWatch<'_>>,
+    mut rec: Option<&mut TraceRecorder>,
 ) -> Option<SearchExit> {
     let moves_per_trial = config
         .moves_per_trial
@@ -325,6 +343,9 @@ fn run_phase(
             // across the restore.
             binding.clone_from(&best);
             current_cost = best_cost;
+            if let Some(r) = rec.as_deref_mut() {
+                r.record_restore();
+            }
         }
 
         for _ in 0..moves_per_trial {
@@ -342,14 +363,23 @@ fn run_phase(
             let cross_check =
                 stats.attempted.is_multiple_of(CROSS_CHECK_PERIOD).then(|| binding.clone());
             binding.begin();
-            if !try_move(binding, kind, rng) {
-                binding.rollback();
-                #[cfg(debug_assertions)]
-                if let Some(snapshot) = cross_check {
-                    assert!(*binding == snapshot, "rollback of an infeasible move diverged");
+            // `propose` + `apply` rather than the combined `try_move`:
+            // identical RNG draws and identical semantics (a fresh
+            // proposal always applies), but the resolved proposal stays
+            // in hand for the trace recorder.
+            let proposal = match propose_move(binding, kind, rng) {
+                Some(proposal) => proposal,
+                None => {
+                    binding.rollback();
+                    #[cfg(debug_assertions)]
+                    if let Some(snapshot) = cross_check {
+                        assert!(*binding == snapshot, "rollback of an infeasible move diverged");
+                    }
+                    continue;
                 }
-                continue;
-            }
+            };
+            let applied = apply_proposal(binding, proposal);
+            debug_assert!(applied, "a fresh proposal must apply: {proposal:?}");
             stats.applied += 1;
             let after = weighted_cost(&config.weights, binding);
             if after <= current_cost {
@@ -372,6 +402,9 @@ fn run_phase(
                 continue;
             }
             binding.commit();
+            if let Some(r) = rec.as_deref_mut() {
+                r.record_commit(proposal, current_cost);
+            }
             if current_cost < best_cost {
                 best_cost = current_cost;
                 best.clone_from(binding);
@@ -408,5 +441,8 @@ fn run_phase(
     }
 
     binding.clone_from(&best);
+    if let Some(r) = rec {
+        r.record_restore();
+    }
     None
 }

@@ -60,6 +60,7 @@ mod plan;
 mod polish;
 pub mod portfolio;
 mod report;
+mod trace;
 mod transfer;
 
 pub use allocator::{AllocResult, Allocator};
@@ -72,7 +73,7 @@ pub use improve::{
     improve, improve_bounded, ImproveConfig, ImproveStats, SearchExit, SearchWatch,
 };
 pub use initial::initial_allocation;
-pub use lower::lower;
+pub use lower::{lower, verify_binding, verify_lowered};
 pub use plan::MovePlan;
 pub use polish::polish;
 pub use portfolio::{
@@ -80,7 +81,8 @@ pub use portfolio::{
     ChainStat, PortfolioConfig, PortfolioOutcome, PortfolioStats, SearchBound, ShardBest,
 };
 pub use report::{portfolio_table, register_chart, report, unit_schedule};
-pub use moves::{MoveKind, MoveSet};
+pub use moves::{MoveKind, MoveSet, Proposal};
+pub use trace::{record_slot_trace, replay_trace, MoveTrace, ReplayCheck, TraceError, TraceStep};
 pub use transfer::TransferKey;
 // Id types appearing in `BindingParts`, for consumers (e.g. the cluster
 // protocol) that do not depend on the datapath crate directly.

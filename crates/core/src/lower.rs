@@ -3,9 +3,34 @@
 use std::collections::BTreeSet;
 
 use salsa_cdfg::ValueSource;
-use salsa_datapath::{Claims, Exec, Load, LoadSrc, OperandSrc, Pass, Rtl};
+use salsa_datapath::{Claims, Exec, Load, LoadSrc, OperandSrc, Pass, Rtl, Verdict};
 
 use crate::{Binding, TransferKey};
+
+/// Lowers a binding and runs the full symbolic verification against its
+/// own context, returning the lowered program alongside the structured
+/// [`Verdict`] — the one shared gate every consumer (the allocator's
+/// completion, the audit lane, the cluster coordinator's rebuilt-image
+/// acceptance, the search-stage tests) funnels through.
+pub fn verify_lowered(binding: &Binding<'_>) -> (Rtl, Claims, Verdict) {
+    let (rtl, claims) = lower(binding);
+    let ctx = binding.ctx();
+    let verdict = salsa_datapath::verdict(
+        ctx.graph,
+        ctx.schedule,
+        ctx.library,
+        &ctx.datapath,
+        &rtl,
+        &claims,
+    );
+    (rtl, claims, verdict)
+}
+
+/// [`verify_lowered`], discarding the lowered program: the structured
+/// verdict of symbolically verifying `binding`.
+pub fn verify_binding(binding: &Binding<'_>) -> Verdict {
+    verify_lowered(binding).2
+}
 
 /// Lowers a complete binding into the register-transfer program it
 /// describes and the storage claims it makes — the inputs to

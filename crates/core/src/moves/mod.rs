@@ -179,9 +179,11 @@ impl Default for MoveSet {
 /// target) has been drawn, so applying it is deterministic. Proposals are
 /// what the speculative batch engine ships to evaluation workers — they
 /// are `Copy`, carry no borrows, and can be replayed against any binding
-/// in the same state as the one they were proposed on.
+/// in the same state as the one they were proposed on. They are also the
+/// unit of record of a [`MoveTrace`](crate::MoveTrace): a committed-move
+/// sequence re-derives a search result without re-running the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Proposal {
+pub enum Proposal {
     /// F1 — exchange the complete bindings of units `a` and `z`.
     FuExchange {
         /// First unit.

@@ -256,7 +256,7 @@ fn sweep_segment_moves(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{initial_allocation, lower, AllocContext};
+    use crate::{initial_allocation, AllocContext};
     use salsa_cdfg::benchmarks::{diffeq, ewf};
     use salsa_datapath::Datapath;
     use salsa_sched::{fds_schedule, FuLibrary};
@@ -286,9 +286,8 @@ mod tests {
         assert!(after <= before);
         assert!(after < before, "the initial allocation always has slack");
         binding.check_consistency();
-        let (rtl, claims) = lower(&binding);
-        salsa_datapath::verify(&graph, &schedule, &library, &ctx.datapath, &rtl, &claims)
-            .expect("polished allocation verifies");
+        let verdict = crate::verify_binding(&binding);
+        assert!(verdict.is_certified(), "polished allocation verifies: {verdict}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod muxmerge;
 mod net;
 mod rtl;
 mod sim;
+mod verdict;
 mod verify;
 
 pub use bus::{bus_allocate, BusResult};
@@ -46,4 +47,5 @@ pub use muxmerge::{merge_muxes, traffic_from_rtl, MuxMergeResult, Traffic};
 pub use net::{ConnectionMatrix, Sink, Source};
 pub use rtl::{Claims, Exec, Load, LoadSrc, OperandSrc, Pass, Placement, Rtl, RtlStep};
 pub use sim::{simulate, SimError, SimResult};
+pub use verdict::{verdict, Verdict};
 pub use verify::{verify, VerifyError};

@@ -1,0 +1,82 @@
+//! Structured verification verdicts — the user-facing form of a
+//! [`verify`](crate::verify) outcome.
+//!
+//! `verify` answers with `Result<(), VerifyError>`, which is the right
+//! shape for a test asserting success. The audit subsystem instead needs
+//! a *value* it can attach to reports, cache content-addressed, and ship
+//! over the wire: a [`Verdict`] is that value, carrying either a clean
+//! certification or the first property violation found.
+
+use std::fmt;
+
+use salsa_cdfg::Cdfg;
+use salsa_sched::{FuLibrary, Schedule};
+
+use crate::verify::{verify, VerifyError};
+use crate::{Claims, Datapath, Rtl};
+
+/// The outcome of one symbolic verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every checked property held: the RTL realizes the scheduled
+    /// behaviour on the given datapath.
+    Certified,
+    /// Verification failed; the payload is the first violated property.
+    Refuted {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl Verdict {
+    /// Whether the verdict certifies the allocation.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, Verdict::Certified)
+    }
+
+    /// The violation description, when refuted.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            Verdict::Certified => None,
+            Verdict::Refuted { detail } => Some(detail),
+        }
+    }
+
+    /// The wire spelling of the verdict kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Certified => "certified",
+            Verdict::Refuted { .. } => "refuted",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Certified => f.write_str("certified"),
+            Verdict::Refuted { detail } => write!(f, "refuted: {detail}"),
+        }
+    }
+}
+
+impl From<Result<(), VerifyError>> for Verdict {
+    fn from(result: Result<(), VerifyError>) -> Self {
+        match result {
+            Ok(()) => Verdict::Certified,
+            Err(e) => Verdict::Refuted { detail: e.to_string() },
+        }
+    }
+}
+
+/// Runs [`verify`] and folds the outcome into a [`Verdict`].
+pub fn verdict(
+    graph: &Cdfg,
+    schedule: &Schedule,
+    library: &FuLibrary,
+    datapath: &Datapath,
+    rtl: &Rtl,
+    claims: &Claims,
+) -> Verdict {
+    verify(graph, schedule, library, datapath, rtl, claims).into()
+}

@@ -3,7 +3,7 @@
 //! report. Shared by the server's workers and usable in-process by the
 //! load generator (which drives the same path without a socket).
 
-use salsa_alloc::{AllocError, Allocator, CancelToken, ImproveConfig, MoveSet};
+use salsa_alloc::{AllocContext, AllocError, Allocator, CancelToken, ImproveConfig, MoveSet};
 use salsa_cdfg::{parse_cdfg, Cdfg};
 use salsa_sched::{asap, fds_schedule, FuLibrary};
 
@@ -15,11 +15,22 @@ use crate::report::report_json;
 
 /// Resolves the request's design into a graph: benchmark lookup (with
 /// alias mapping) or CDFG text parse (structured errors with positions).
+///
+/// Benchmark graphs are **canonicalized** — reparsed from their canonical
+/// text — before use. Builder-constructed graphs can number ops and
+/// values differently from the parse of their own canonical text, and
+/// the serving layer's identities all flow through that text: the result
+/// cache keys on it, and a certificate's trace artifact embeds it for
+/// offline replay. Canonicalizing here makes every holder of the same
+/// canonical text hold the *same graph*, IDs included, so a cached
+/// response, a verifier-lane replay and an offline `salsa audit` all
+/// re-derive the job bit-for-bit. (Parsed graphs are already a fixpoint
+/// of this round-trip, so the `text` arm needs nothing extra.)
 pub fn resolve_graph(source: &GraphSource) -> Result<Cdfg, ServeError> {
     match source {
         GraphSource::Bench(name) => {
             let canonical = canonical_bench_name(name);
-            salsa_cdfg::benchmarks::all()
+            let graph = salsa_cdfg::benchmarks::all()
                 .into_iter()
                 .find(|g| g.name() == canonical)
                 .ok_or_else(|| {
@@ -27,7 +38,8 @@ pub fn resolve_graph(source: &GraphSource) -> Result<Cdfg, ServeError> {
                         ErrorKind::BadRequest,
                         format!("unknown benchmark '{name}' (try ewf, dct, hal, fir or ar)"),
                     )
-                })
+                })?;
+            parse_cdfg(&graph.canonical_text()).map_err(|e| ServeError::from_parse(&e))
         }
         GraphSource::Text(text) => parse_cdfg(text).map_err(|e| ServeError::from_parse(&e)),
     }
@@ -72,6 +84,39 @@ pub fn run_allocation(
     Ok(report_json(graph, &schedule, knobs.seed, &result))
 }
 
+/// Rebuilds the allocation environment a serve job ran under — library,
+/// schedule, resource pool and improvement configuration, all derived
+/// from `(graph, knobs)` exactly as [`run_allocation`] derives them —
+/// and hands it to `f`. This is the audit seam: trace recording and
+/// replay must happen against a bit-identical context or the re-derived
+/// trajectory diverges from the one the report describes. (The
+/// `AllocContext` borrows the schedule, so the environment can only be
+/// lent downward, not returned.)
+pub fn with_replay_env<R>(
+    graph: &Cdfg,
+    knobs: &Knobs,
+    f: impl FnOnce(&AllocContext<'_>, &ImproveConfig) -> R,
+) -> Result<R, ServeError> {
+    let library = if knobs.pipelined { FuLibrary::pipelined() } else { FuLibrary::standard() };
+    let steps = knobs.steps.unwrap_or_else(|| asap(graph, &library).length);
+    let schedule = fds_schedule(graph, &library, steps)
+        .map_err(|e| ServeError::new(ErrorKind::Schedule, e.to_string()))?;
+    let move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
+    // `eval_threads` is left at its default: it never affects the
+    // trajectory (the batch engine is thread-count invariant), only the
+    // wall-clock, and the verifier lane replays single-threaded anyway.
+    let config = ImproveConfig {
+        move_set,
+        batch: knobs.batch.map(|b| b.max(1)),
+        plan: knobs.plan,
+        ..ImproveConfig::default()
+    };
+    let datapath = salsa_audit::build_datapath(graph, &schedule, &library, knobs.extra_regs);
+    let ctx = AllocContext::new(graph, &schedule, &library, datapath)
+        .map_err(|e| ServeError::new(ErrorKind::Alloc, e.to_string()))?;
+    Ok(f(&ctx, &config))
+}
+
 /// Resolves and runs a whole request (no cache, no queue) — the
 /// in-process path used by the load generator and by tests.
 pub fn run_request(request: &AllocRequest, cancel: Option<CancelToken>) -> Result<Json, ServeError> {
@@ -94,6 +139,19 @@ mod tests {
         }
         let err = resolve_graph(&GraphSource::Bench("nosuch".into())).unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn bench_and_its_canonical_text_resolve_to_the_same_graph() {
+        // The cache-key argument requires it: a `bench` request and a
+        // `text` request carrying that benchmark's canonical form share a
+        // key, so they must resolve to the *same graph*, IDs included —
+        // and the trace artifact's offline replay reparses that text.
+        for name in ["ewf", "dct", "hal", "fir", "ar"] {
+            let by_name = resolve_graph(&GraphSource::Bench(name.into())).unwrap();
+            let by_text = resolve_graph(&GraphSource::Text(by_name.canonical_text())).unwrap();
+            assert_eq!(by_name, by_text, "{name}: bench and text resolution diverge");
+        }
     }
 
     #[test]

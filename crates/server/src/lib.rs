@@ -22,7 +22,14 @@
 //! - [`json`] / [`report`] — a std-only JSON model and the report
 //!   serializer shared with the CLI's `--json` mode;
 //! - [`exec`] — the request → schedule → allocate → report pipeline,
-//!   also usable in-process (the load generator drives it directly).
+//!   also usable in-process (the load generator drives it directly);
+//! - [`verifier`] — verification as a service: jobs submitted with
+//!   `verify: sample|full` are certified on a dedicated worker lane
+//!   (record the winning chain's move trace, replay it with cost
+//!   cross-checks, verify symbolically) before the response — which
+//!   gains a `certificate` section — is sent; verdicts are cached
+//!   content-addressed beside the result cache, and the wire `trace`
+//!   command serves the portable artifact for offline audit.
 //!
 //! # Why an exact-hit cache is sound
 //!
@@ -46,10 +53,11 @@ pub mod queue;
 pub mod report;
 pub mod server;
 pub mod stats;
+pub mod verifier;
 
 pub use backend::{AllocBackend, LocalBackend};
 pub use cache::ResultCache;
-pub use exec::{resolve_graph, run_allocation, run_request};
+pub use exec::{resolve_graph, run_allocation, run_request, with_replay_env};
 pub use json::{parse_json, Json, JsonError};
 pub use protocol::{
     cache_key, knobs_from_json, knobs_to_json, parse_command, AllocRequest, Command, ErrorKind,
@@ -59,3 +67,4 @@ pub use queue::{JobQueue, PushError};
 pub use report::{canonicalize_report, report_json};
 pub use server::{Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};
+pub use verifier::{result_fingerprint, trace_id_hex, VerdictCache, VerifyJob};

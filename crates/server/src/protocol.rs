@@ -7,6 +7,8 @@
 //! ```json
 //! {"cmd":"allocate","bench":"ewf","seed":1,"restarts":4,"timeout_ms":5000}
 //! {"cmd":"allocate","cdfg":"cdfg t\ninput x\n...","steps":6}
+//! {"cmd":"allocate","bench":"ewf","verify":"full"}
+//! {"cmd":"trace","id":"<certificate trace_id>"}
 //! {"cmd":"stats"}
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}
@@ -16,6 +18,7 @@
 //! `kind`, and `line`/`column` for CDFG parse errors), or `rejected`
 //! (backpressure, with a `retry_after_ms` hint).
 
+use salsa_audit::VerifyMode;
 use salsa_cdfg::{fnv1a_128, ParseError};
 
 use crate::json::Json;
@@ -30,6 +33,9 @@ pub const BENCH_ALIASES: &[(&str, &str)] =
 pub enum Command {
     /// Run (or replay from cache) an allocation.
     Allocate(AllocRequest),
+    /// Fetch a certified job's trace artifact by its certificate's
+    /// `trace_id`, for offline audit (`salsa audit`).
+    Trace(String),
     /// Report service counters.
     Stats,
     /// Liveness probe.
@@ -76,6 +82,11 @@ pub struct Knobs {
     /// so an A/B pair of requests is two observable jobs, not one cache
     /// hit.
     pub plan: bool,
+    /// How much verification the job asked for (`off`/`sample`/`full`).
+    /// At `Sample` or `Full` the response's report gains a `certificate`
+    /// section produced by the verifier lane. Part of the cache key:
+    /// certified and uncertified responses are different payloads.
+    pub verify: VerifyMode,
 }
 
 impl Default for Knobs {
@@ -91,6 +102,7 @@ impl Default for Knobs {
             pipelined: false,
             traditional: false,
             plan: true,
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -119,6 +131,9 @@ pub enum ErrorKind {
     Schedule,
     /// The allocation itself failed.
     Alloc,
+    /// The certification pipeline failed (broken trace, cost
+    /// disagreement, or a malformed report handed to the verifier).
+    Audit,
     /// The job's deadline expired before the search completed.
     Timeout,
     /// The server is draining and no longer admits jobs.
@@ -133,6 +148,7 @@ impl ErrorKind {
             ErrorKind::Parse => "parse",
             ErrorKind::Schedule => "schedule",
             ErrorKind::Alloc => "alloc",
+            ErrorKind::Audit => "audit",
             ErrorKind::Timeout => "timeout",
             ErrorKind::ShuttingDown => "shutting-down",
         }
@@ -254,9 +270,15 @@ pub fn parse_command(request: &Json) -> Result<Command, ServeError> {
         "ping" => Ok(Command::Ping),
         "shutdown" => Ok(Command::Shutdown),
         "allocate" => Ok(Command::Allocate(parse_alloc_request(request)?)),
+        "trace" => {
+            let id = request.get("id").and_then(Json::as_str).ok_or_else(|| {
+                ServeError::new(ErrorKind::BadRequest, "trace needs a string field 'id'")
+            })?;
+            Ok(Command::Trace(id.to_string()))
+        }
         other => Err(ServeError::new(
             ErrorKind::BadRequest,
-            format!("unknown cmd '{other}' (expected allocate, stats, ping or shutdown)"),
+            format!("unknown cmd '{other}' (expected allocate, trace, stats, ping or shutdown)"),
         )),
     }
 }
@@ -317,6 +339,12 @@ pub fn knobs_from_json(obj: &Json) -> Result<Knobs, ServeError> {
                 ServeError::new(ErrorKind::BadRequest, "'plan' must be a boolean")
             })?,
         },
+        verify: match obj.get("verify") {
+            None | Some(Json::Null) => VerifyMode::Off,
+            Some(v) => v.as_str().and_then(VerifyMode::parse).ok_or_else(|| {
+                ServeError::new(ErrorKind::BadRequest, "'verify' must be off, sample or full")
+            })?,
+        },
     })
 }
 
@@ -349,6 +377,9 @@ pub fn knobs_to_json(knobs: &Knobs) -> Json {
     if !knobs.plan {
         pairs.push(("plan", Json::Bool(false)));
     }
+    if knobs.verify != VerifyMode::Off {
+        pairs.push(("verify", Json::Str(knobs.verify.as_str().into())));
+    }
     Json::obj(pairs)
 }
 
@@ -361,7 +392,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
     keyed.push_str(canonical_text);
     keyed.push_str("\x00knobs\x00");
     keyed.push_str(&format!(
-        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={}",
+        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={};verify={}",
         knobs.steps,
         knobs.extra_regs,
         knobs.seed,
@@ -372,6 +403,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
         knobs.pipelined,
         knobs.traditional,
         knobs.plan,
+        knobs.verify.as_str(),
     ));
     fnv1a_128(keyed.as_bytes())
 }
@@ -386,7 +418,7 @@ mod tests {
         let req = parse_json(
             r#"{"cmd":"allocate","bench":"ewf","steps":17,"seed":7,"restarts":4,
                 "threads":2,"batch":8,"cutoff":1.5,"extra_regs":1,"pipelined":true,
-                "traditional":true,"timeout_ms":2000}"#,
+                "traditional":true,"verify":"full","timeout_ms":2000}"#,
         )
         .unwrap();
         let Command::Allocate(alloc) = parse_command(&req).unwrap() else {
@@ -402,6 +434,7 @@ mod tests {
         assert_eq!(alloc.knobs.extra_regs, 1);
         assert!(alloc.knobs.pipelined);
         assert!(alloc.knobs.traditional);
+        assert_eq!(alloc.knobs.verify, VerifyMode::Full);
         assert_eq!(alloc.timeout_ms, Some(2000));
     }
 
@@ -428,6 +461,8 @@ mod tests {
             (r#"{"cmd":"allocate","bench":"ewf","restarts":0}"#, "restarts"),
             (r#"{"cmd":"allocate","bench":"ewf","seed":-3}"#, "seed"),
             (r#"{"cmd":"allocate","bench":"ewf","pipelined":"yes"}"#, "boolean"),
+            (r#"{"cmd":"allocate","bench":"ewf","verify":"loud"}"#, "verify"),
+            (r#"{"cmd":"trace"}"#, "id"),
         ];
         for (raw, needle) in cases {
             let req = parse_json(raw).unwrap();
@@ -464,6 +499,8 @@ mod tests {
             Knobs { pipelined: true, ..base.clone() },
             Knobs { traditional: true, ..base.clone() },
             Knobs { plan: false, ..base.clone() },
+            Knobs { verify: VerifyMode::Sample, ..base.clone() },
+            Knobs { verify: VerifyMode::Full, ..base.clone() },
         ];
         let base_key = key(&base);
         for v in &variants {
@@ -488,6 +525,7 @@ mod tests {
             pipelined: true,
             traditional: true,
             plan: false,
+            verify: VerifyMode::Full,
         };
         for knobs in [Knobs::default(), full] {
             let rendered = knobs_to_json(&knobs);

@@ -34,6 +34,7 @@ pub struct JobQueue<T> {
     state: Mutex<State<T>>,
     capacity: usize,
     available: Condvar,
+    space: Condvar,
 }
 
 impl<T> JobQueue<T> {
@@ -43,6 +44,7 @@ impl<T> JobQueue<T> {
             state: Mutex::new(State { jobs: VecDeque::new(), closed: false }),
             capacity: capacity.max(1),
             available: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
@@ -71,6 +73,28 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
+    /// Blocks until the queue has room, then admits `job`. Returns the
+    /// job with [`PushError::Closed`] if the queue is (or becomes)
+    /// closed while waiting. The hand-off path between internal lanes
+    /// (allocation workers feeding the verifier pool) uses this: unlike
+    /// client admissions, internal producers prefer brief backpressure
+    /// over dropping certified work.
+    pub fn push_wait(&self, job: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(job));
+            }
+            if state.jobs.len() < self.capacity {
+                state.jobs.push_back(job);
+                drop(state);
+                self.available.notify_one();
+                return Ok(());
+            }
+            state = self.space.wait(state).expect("queue poisoned");
+        }
+    }
+
     /// Blocks until a job is available (returning it) or the queue is
     /// closed *and* drained (returning `None` — the worker's signal to
     /// exit).
@@ -78,6 +102,8 @@ impl<T> JobQueue<T> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(job) = state.jobs.pop_front() {
+                drop(state);
+                self.space.notify_one();
                 return Some(job);
             }
             if state.closed {
@@ -92,6 +118,7 @@ impl<T> JobQueue<T> {
     pub fn close(&self) {
         self.state.lock().expect("queue poisoned").closed = true;
         self.available.notify_all();
+        self.space.notify_all();
     }
 
     /// Whether [`close`](JobQueue::close) has been called.
@@ -128,6 +155,31 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space_or_close() {
+        let q = Arc::new(JobQueue::new(1));
+        q.try_push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(2))
+        };
+        // The producer is blocked on a full queue; popping frees a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap().is_ok());
+        assert_eq!(q.pop(), Some(2));
+
+        // A blocked push_wait is released by close, returning the job.
+        q.try_push(7).unwrap();
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(8))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().unwrap(), Err(PushError::Closed(8)));
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
 }
 
 /// Zeroes the wall-clock fields of a report — `search.elapsed_ms`,
-/// `search.moves_per_sec`, `portfolio.speedup` — in place.
+/// `search.moves_per_sec`, `portfolio.speedup`, and
+/// `certificate.verify_ms` — in place.
 ///
 /// Everything else in a report is deterministic in `(design, knobs)`;
 /// only these three measure the run that produced them. The byte-exact
@@ -96,6 +97,7 @@ pub fn canonicalize_report(json: &mut Json) {
                 "report" => canonicalize_report(value),
                 "search" => zero_fields(value, &["elapsed_ms", "moves_per_sec"]),
                 "portfolio" => zero_fields(value, &["speedup"]),
+                "certificate" => zero_fields(value, &["verify_ms"]),
                 _ => {}
             }
         }
@@ -183,5 +185,26 @@ mod tests {
         let mut wrapped = crate::protocol::ok_response(json.clone());
         canonicalize_report(&mut wrapped);
         assert_eq!(wrapped.get("report"), Some(&bare));
+    }
+
+    #[test]
+    fn canonicalization_zeroes_certificate_timing_but_keeps_its_substance() {
+        let mut report = Json::obj(vec![
+            ("cost", Json::Int(42)),
+            (
+                "certificate",
+                Json::obj(vec![
+                    ("verdict", Json::Str("certified".into())),
+                    ("verify_ms", Json::Float(3.25)),
+                    ("trace_id", Json::Str("abc123".into())),
+                ]),
+            ),
+        ]);
+        canonicalize_report(&mut report);
+        let cert = report.get("certificate").unwrap();
+        assert_eq!(cert.get("verify_ms"), Some(&Json::Float(0.0)));
+        assert_eq!(cert.get("verdict").and_then(Json::as_str), Some("certified"));
+        assert_eq!(cert.get("trace_id").and_then(Json::as_str), Some("abc123"));
+        assert_eq!(report.get("cost"), Some(&Json::Int(42)));
     }
 }

@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use salsa_alloc::CancelToken;
+use salsa_audit::VerifyMode;
 use salsa_cdfg::Cdfg;
 use salsa_wire::frame::Payload;
 use salsa_wire::net::{Handler, Incoming, NetConfig, NetMetrics, NetServer, ReplyHandle};
@@ -50,6 +51,10 @@ use crate::protocol::{
 };
 use crate::queue::{JobQueue, PushError};
 use crate::stats::ServerStats;
+use crate::verifier::{
+    certificate_json, certify_job, parse_trace_id, result_fingerprint, set_cache_provenance,
+    CertEntry, VerdictCache, VerifyJob,
+};
 
 /// Service tuning. All fields have serviceable defaults.
 #[derive(Debug, Clone)]
@@ -73,6 +78,11 @@ pub struct ServerConfig {
     /// Evict connections idle (no traffic, no pending work) for this
     /// long (`None` = never).
     pub idle_timeout_ms: Option<u64>,
+    /// Verifier-lane worker pool size (min 1). The lane only runs for
+    /// jobs submitted with `verify: sample|full`; keeping it small and
+    /// separate means symbolic replay never occupies an allocation
+    /// worker.
+    pub verify_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +95,7 @@ impl Default for ServerConfig {
             retry_after_ms: 200,
             max_in_flight: 64,
             idle_timeout_ms: Some(60_000),
+            verify_workers: 1,
         }
     }
 }
@@ -104,8 +115,11 @@ struct Job {
 
 struct Shared {
     queue: JobQueue<Job>,
+    verify_queue: JobQueue<VerifyJob>,
     cache: ResultCache,
+    verdicts: VerdictCache,
     stats: ServerStats,
+    vstats: ServerStats,
     shutdown: Arc<AtomicBool>,
     wire: Arc<NetMetrics>,
     config: ServerConfig,
@@ -115,6 +129,9 @@ struct Shared {
 impl Shared {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Only the admission queue closes here: jobs already through
+        // allocation must still reach the verifier lane, which drains
+        // after the allocation workers exit (see Server::join).
         self.queue.close();
     }
 
@@ -131,6 +148,7 @@ pub struct Server {
     shared: Arc<Shared>,
     net: Option<NetServer>,
     workers: Vec<JoinHandle<()>>,
+    verifiers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -152,8 +170,11 @@ impl Server {
         let wire = Arc::new(NetMetrics::default());
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
+            verify_queue: JobQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
+            verdicts: VerdictCache::new(config.cache_capacity),
             stats: ServerStats::new(),
+            vstats: ServerStats::new(),
             shutdown: Arc::clone(&shutdown),
             wire: Arc::clone(&wire),
             config: config.clone(),
@@ -167,6 +188,15 @@ impl Server {
                     .name(format!("salsa-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawn worker")
+            })
+            .collect();
+        let verifiers = (0..config.verify_workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("salsa-verify-worker-{i}"))
+                    .spawn(move || verifier_loop(&shared))
+                    .expect("spawn verifier")
             })
             .collect();
 
@@ -185,7 +215,7 @@ impl Server {
         let net = NetServer::bind(addr, net_config, handler)?;
         let local_addr = net.local_addr();
 
-        Ok(Server { local_addr, shared, net: Some(net), workers })
+        Ok(Server { local_addr, shared, net: Some(net), workers, verifiers })
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -214,6 +244,12 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Only after the allocation workers exit can no new verify jobs
+        // appear; close the lane and let it finish what is queued.
+        self.shared.verify_queue.close();
+        for verifier in self.verifiers.drain(..) {
+            let _ = verifier.join();
         }
     }
 
@@ -263,6 +299,23 @@ fn dispatch(shared: &Arc<Shared>, incoming: Incoming, handle: ReplyHandle) {
         }
         Command::Allocate(request) => {
             handle_allocate(shared, request.source, request.knobs, request.timeout_ms, handle)
+        }
+        Command::Trace(id) => {
+            // Answered inline from the verdict cache: artifacts are
+            // already built, so this is a lookup, not a job.
+            let response = match parse_trace_id(&id)
+                .and_then(|trace_id| shared.verdicts.get_by_trace(trace_id))
+            {
+                Some(entry) => Json::obj(vec![
+                    ("status", Json::Str("ok".into())),
+                    ("artifact", entry.artifact.clone()),
+                ]),
+                None => error_response(&ServeError::new(
+                    ErrorKind::BadRequest,
+                    format!("unknown trace id '{id}' (certificates are cached; re-run the job)"),
+                )),
+            };
+            handle.send(payload(response));
         }
     }
 }
@@ -314,6 +367,7 @@ fn handle_allocate(
 
 fn stats_response(shared: &Arc<Shared>) -> Json {
     let snap = shared.stats.snapshot();
+    let vsnap = shared.vstats.snapshot();
     let cache = &shared.cache;
     let wire = &shared.wire;
     let w = |counter: &std::sync::atomic::AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
@@ -365,6 +419,32 @@ fn stats_response(shared: &Arc<Shared>) -> Json {
                         ("samples", Json::Int(snap.samples as i64)),
                     ]),
                 ),
+                (
+                    "verifier",
+                    Json::obj(vec![
+                        ("workers", Json::Int(shared.config.verify_workers.max(1) as i64)),
+                        ("queue_depth", Json::Int(shared.verify_queue.depth() as i64)),
+                        ("verified", Json::Int(vsnap.completed as i64)),
+                        ("failed", Json::Int(vsnap.failed as i64)),
+                        (
+                            "cache",
+                            Json::obj(vec![
+                                ("hits", Json::Int(shared.verdicts.hits() as i64)),
+                                ("misses", Json::Int(shared.verdicts.misses() as i64)),
+                                ("entries", Json::Int(shared.verdicts.len() as i64)),
+                            ]),
+                        ),
+                        (
+                            "latency_ms",
+                            Json::obj(vec![
+                                ("p50", Json::Float(vsnap.p50_ms)),
+                                ("p95", Json::Float(vsnap.p95_ms)),
+                                ("p99", Json::Float(vsnap.p99_ms)),
+                                ("samples", Json::Int(vsnap.samples as i64)),
+                            ]),
+                        ),
+                    ]),
+                ),
                 ("workers", Json::Int(shared.config.workers as i64)),
                 ("backend", Json::Str(shared.backend.name().to_string())),
             ]),
@@ -384,9 +464,34 @@ fn process_job(shared: &Arc<Shared>, job: Job) {
     let latency = job.accepted_at.elapsed();
     let body = match outcome {
         Ok(report) => {
+            shared.stats.record_completed(latency);
+            if job.knobs.verify != VerifyMode::Off {
+                // Hand the completed report (and the reply) to the
+                // verifier lane; this worker goes straight back to
+                // allocation. The response is not cached yet — the
+                // cached payload for a verifying job must carry its
+                // certificate.
+                let handoff = VerifyJob {
+                    graph: job.graph,
+                    knobs: job.knobs,
+                    key: job.key,
+                    accepted_at: job.accepted_at,
+                    reply: job.reply,
+                    report,
+                };
+                match shared.verify_queue.push_wait(handoff) {
+                    Ok(()) => {}
+                    Err(PushError::Full(missed)) | Err(PushError::Closed(missed)) => {
+                        // Shutdown race: the lane is gone, so answer
+                        // uncertified rather than dropping the reply
+                        // (and leave the cache alone).
+                        missed.reply.send(payload(ok_response(missed.report)));
+                    }
+                }
+                return;
+            }
             let body = payload(ok_response(report));
             shared.cache.insert(job.key, Arc::clone(&body));
-            shared.stats.record_completed(latency);
             body
         }
         Err(err) => {
@@ -400,6 +505,62 @@ fn process_job(shared: &Arc<Shared>, job: Job) {
     };
     // The client may have disconnected while waiting; the handle is a
     // no-op then.
+    job.reply.send(body);
+}
+
+fn verifier_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.verify_queue.pop() {
+        process_verify(shared, job);
+    }
+}
+
+/// Certifies one completed allocation and completes its reply: verdict
+/// cache lookup by result fingerprint, the full record/replay/verify
+/// pipeline on a miss, then the certified response is cached under the
+/// job's result key and sent.
+fn process_verify(shared: &Arc<Shared>, job: VerifyJob) {
+    let started = Instant::now();
+    let mode = job.knobs.verify;
+    let mut canonical = job.report.clone();
+    crate::report::canonicalize_report(&mut canonical);
+    let fingerprint = result_fingerprint(
+        &job.graph.canonical_text(),
+        &canonical.to_string_compact(),
+        mode,
+    );
+
+    let (entry, provenance) = match shared.verdicts.get(fingerprint) {
+        Some(hit) => (hit, "hit"),
+        None => match certify_job(&job.graph, &job.knobs, &job.report) {
+            Ok((cert, artifact)) => {
+                let verify_ms = started.elapsed().as_secs_f64() * 1e3;
+                let entry = Arc::new(CertEntry {
+                    trace_id: cert.trace.fingerprint(),
+                    certificate: certificate_json(&cert, mode, verify_ms, "miss"),
+                    artifact: artifact.to_json(),
+                });
+                shared.verdicts.insert(fingerprint, Arc::clone(&entry));
+                (entry, "miss")
+            }
+            Err(err) => {
+                shared.vstats.record_failed(started.elapsed());
+                job.reply.send(payload(error_response(&err)));
+                return;
+            }
+        },
+    };
+
+    let mut certificate = entry.certificate.clone();
+    set_cache_provenance(&mut certificate, provenance);
+    let mut report = job.report;
+    if let Json::Obj(pairs) = &mut report {
+        pairs.push(("certificate".to_string(), certificate));
+    }
+    let body = payload(ok_response(report));
+    shared.cache.insert(job.key, Arc::clone(&body));
+    // The lane's reservoir tracks verification latency only; the job's
+    // end-to-end latency was recorded by the allocation worker.
+    shared.vstats.record_completed(started.elapsed());
     job.reply.send(body);
 }
 
@@ -444,6 +605,68 @@ mod tests {
         let bye = roundtrip(&mut stream, r#"{"cmd":"shutdown"}"#);
         assert_eq!(bye.get("shutting_down").and_then(Json::as_bool), Some(true));
         server.join();
+    }
+
+    #[test]
+    fn verify_full_certifies_and_serves_the_trace_artifact() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+
+        let response = roundtrip(
+            &mut stream,
+            r#"{"cmd":"allocate","bench":"paper_example","restarts":2,"verify":"full"}"#,
+        );
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+        let report = response.get("report").expect("report");
+        let cert = report.get("certificate").expect("certificate section");
+        assert_eq!(cert.get("verdict").and_then(Json::as_str), Some("certified"));
+        assert_eq!(cert.get("mode").and_then(Json::as_str), Some("full"));
+        assert_eq!(cert.get("cache").and_then(Json::as_str), Some("miss"));
+        assert!(cert.get("commits").and_then(Json::as_u64).unwrap() > 0);
+        assert!(cert.get("verify_ms").and_then(Json::as_f64).is_some());
+        let trace_id = cert.get("trace_id").and_then(Json::as_str).unwrap().to_string();
+
+        // The artifact behind the certificate is served by `trace`, and
+        // its embedded report is the canonical form of the live one.
+        let traced = roundtrip(&mut stream, &format!(r#"{{"cmd":"trace","id":"{trace_id}"}}"#));
+        assert_eq!(traced.get("status").and_then(Json::as_str), Some("ok"));
+        let artifact = traced.get("artifact").expect("artifact");
+        assert_eq!(
+            artifact.get("format").and_then(Json::as_str),
+            Some(salsa_audit::ARTIFACT_FORMAT)
+        );
+        let mut canonical = report.clone();
+        if let Json::Obj(pairs) = &mut canonical {
+            pairs.retain(|(k, _)| k != "certificate");
+        }
+        crate::report::canonicalize_report(&mut canonical);
+        assert_eq!(
+            artifact.get("report").and_then(Json::as_str),
+            Some(canonical.to_string_compact().as_str())
+        );
+
+        // A result-invariant knob change (plan off) is a fresh job but
+        // the same result: the verdict comes from the cache.
+        let replayed = roundtrip(
+            &mut stream,
+            r#"{"cmd":"allocate","bench":"paper_example","restarts":2,"verify":"full","plan":false}"#,
+        );
+        let cert2 = replayed.get("report").and_then(|r| r.get("certificate")).unwrap();
+        assert_eq!(cert2.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(cert2.get("trace_id").and_then(Json::as_str), Some(trace_id.as_str()));
+
+        // Unknown trace ids get a structured error; the stats response
+        // shows the verifier lane's counters.
+        let missing = roundtrip(&mut stream, r#"{"cmd":"trace","id":"00"}"#);
+        assert_eq!(missing.get("status").and_then(Json::as_str), Some("error"));
+        let stats = roundtrip(&mut stream, r#"{"cmd":"stats"}"#);
+        let verifier = stats.get("stats").and_then(|s| s.get("verifier")).expect("verifier");
+        assert_eq!(verifier.get("verified").and_then(Json::as_u64), Some(2));
+        let vcache = verifier.get("cache").unwrap();
+        assert_eq!(vcache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(vcache.get("entries").and_then(Json::as_u64), Some(1));
+
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! The verifier lane: certification of completed allocations on a
+//! dedicated worker pool, and the content-addressed verdict cache.
+//!
+//! Jobs submitted with `verify: sample|full` do not reply from the
+//! allocation worker. Instead the completed report is handed (with its
+//! reply handle) to this lane, which re-derives the winning chain with
+//! trace recording on, replays the trace move-by-move with cost
+//! cross-checks, runs the full symbolic verification, and only then
+//! replies — with a `certificate` section appended to the report. The
+//! lane has its own small worker pool so symbolic replay never blocks
+//! allocation throughput, and its own latency reservoir so operators can
+//! watch the two lanes separately.
+//!
+//! Verdicts are cached content-addressed by **result fingerprint** —
+//! FNV-1a 128 over `(canonical design text, canonical report, verify
+//! mode)` — beside the existing result cache. Two jobs whose knobs
+//! differ only in result-invariant ways (thread counts, the move-plan
+//! A/B toggle) produce the same canonical report and therefore share one
+//! verdict: the second certification is a cache hit, recorded in the
+//! certificate's `cache` field. Each cached entry also carries the
+//! portable [`TraceArtifact`] envelope, served by the wire `trace`
+//! command for offline audit (`salsa audit`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use salsa_audit::{certify, Certification, TraceArtifact, VerifyMode};
+use salsa_cdfg::{fnv1a_128, Cdfg};
+use salsa_wire::net::ReplyHandle;
+
+use crate::exec::with_replay_env;
+use crate::json::Json;
+use crate::protocol::{knobs_to_json, ErrorKind, Knobs, ServeError};
+use crate::report::canonicalize_report;
+
+/// A completed allocation awaiting certification. Carries everything the
+/// lane needs to re-derive the result — and the reply handle, because
+/// the response is not sent until the certificate exists.
+pub struct VerifyJob {
+    /// The resolved design.
+    pub graph: Cdfg,
+    /// The job's knobs (including the verify mode).
+    pub knobs: Knobs,
+    /// The job's result-cache key; the certified response is cached
+    /// under it.
+    pub key: u128,
+    /// When the request was admitted (end-to-end latency basis).
+    pub accepted_at: Instant,
+    /// Completes the originating request.
+    pub reply: ReplyHandle,
+    /// The allocation report the certificate is appended to.
+    pub report: Json,
+}
+
+/// The content address of a verdict: the canonical design text, the
+/// canonical (timing-zeroed) compact report, and the verify mode. Sound
+/// for the same reason the result cache is — both inputs are
+/// deterministic in `(design, knobs)` — but deliberately *coarser* than
+/// the result-cache key: knobs that never change the result (thread
+/// counts, the plan toggle) collapse onto one fingerprint.
+pub fn result_fingerprint(canonical_text: &str, canonical_report: &str, mode: VerifyMode) -> u128 {
+    let mut keyed =
+        String::with_capacity(canonical_text.len() + canonical_report.len() + 16);
+    keyed.push_str(canonical_text);
+    keyed.push('\x00');
+    keyed.push_str(canonical_report);
+    keyed.push('\x00');
+    keyed.push_str(mode.as_str());
+    fnv1a_128(keyed.as_bytes())
+}
+
+/// The wire spelling of a trace id: the trace fingerprint as 32 hex
+/// digits.
+pub fn trace_id_hex(fingerprint: u128) -> String {
+    format!("{fingerprint:032x}")
+}
+
+/// Parses the wire spelling back to a fingerprint.
+pub fn parse_trace_id(id: &str) -> Option<u128> {
+    (!id.is_empty() && id.len() <= 32).then(|| u128::from_str_radix(id, 16).ok())?
+}
+
+/// One cached certification: the certificate section (as first
+/// computed, provenance `miss`) and the trace artifact behind it.
+pub struct CertEntry {
+    /// The trace fingerprint, for the secondary `trace_id` index.
+    pub trace_id: u128,
+    /// The `certificate` JSON section (provenance field patched per
+    /// reply).
+    pub certificate: Json,
+    /// The portable [`TraceArtifact`] envelope, served by `trace`.
+    pub artifact: Json,
+}
+
+struct CacheInner {
+    by_result: HashMap<u128, Arc<CertEntry>>,
+    by_trace: HashMap<u128, Arc<CertEntry>>,
+    order: VecDeque<u128>,
+}
+
+/// Bounded, thread-safe verdict cache with FIFO eviction, keyed by
+/// [`result_fingerprint`] with a secondary index by trace id.
+pub struct VerdictCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// A cache holding at most `capacity` verdicts (min 1).
+    pub fn new(capacity: usize) -> Self {
+        VerdictCache {
+            inner: Mutex::new(CacheInner {
+                by_result: HashMap::new(),
+                by_trace: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a verdict by result fingerprint, counting hit/miss.
+    pub fn get(&self, fingerprint: u128) -> Option<Arc<CertEntry>> {
+        let inner = self.inner.lock().expect("verdict cache poisoned");
+        match inner.by_result.get(&fingerprint) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up a verdict by trace id (the `trace` command's path; not
+    /// counted as a hit or miss).
+    pub fn get_by_trace(&self, trace_id: u128) -> Option<Arc<CertEntry>> {
+        let inner = self.inner.lock().expect("verdict cache poisoned");
+        inner.by_trace.get(&trace_id).map(Arc::clone)
+    }
+
+    /// Stores `entry` under `fingerprint`, evicting FIFO at capacity.
+    pub fn insert(&self, fingerprint: u128, entry: Arc<CertEntry>) {
+        let mut inner = self.inner.lock().expect("verdict cache poisoned");
+        let trace_id = entry.trace_id;
+        if let Some(old) = inner.by_result.insert(fingerprint, Arc::clone(&entry)) {
+            inner.by_trace.remove(&old.trace_id);
+            inner.by_trace.insert(trace_id, entry);
+            return; // fingerprint already tracked in `order`
+        }
+        inner.by_trace.insert(trace_id, entry);
+        inner.order.push_back(fingerprint);
+        while inner.order.len() > self.capacity {
+            if let Some(old_key) = inner.order.pop_front() {
+                if let Some(old) = inner.by_result.remove(&old_key) {
+                    inner.by_trace.remove(&old.trace_id);
+                }
+            }
+        }
+    }
+
+    /// Verdicts currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("verdict cache poisoned").by_result.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Renders the `certificate` response section.
+pub fn certificate_json(
+    cert: &Certification,
+    mode: VerifyMode,
+    verify_ms: f64,
+    cache: &str,
+) -> Json {
+    Json::obj(vec![
+        ("verdict", Json::Str(cert.verdict.as_str().into())),
+        ("mode", Json::Str(mode.as_str().into())),
+        ("verify_ms", Json::Float(verify_ms)),
+        ("trace_id", Json::Str(trace_id_hex(cert.trace.fingerprint()))),
+        ("cache", Json::Str(cache.into())),
+        ("commits", Json::Int(cert.commits as i64)),
+    ])
+}
+
+/// Overwrites `certificate`'s `cache` provenance field in place.
+pub fn set_cache_provenance(certificate: &mut Json, provenance: &str) {
+    if let Json::Obj(pairs) = certificate {
+        for (key, value) in pairs.iter_mut() {
+            if key == "cache" {
+                *value = Json::Str(provenance.into());
+            }
+        }
+    }
+}
+
+/// Runs the certification pipeline for one completed job: rebuild the
+/// allocation environment, record the winning slot's trace, replay it at
+/// the requested depth, verify symbolically, and package the portable
+/// artifact. Pure in `(graph, knobs, report)`.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] of kind [`ErrorKind::Audit`] if the report
+/// is missing its cost or winner slot, or if any link of the audit chain
+/// (re-run, replay, bit-for-bit comparison) breaks. A *refuted* symbolic
+/// verdict is not an error — it is carried in the certificate.
+pub fn certify_job(
+    graph: &Cdfg,
+    knobs: &Knobs,
+    report: &Json,
+) -> Result<(Certification, TraceArtifact), ServeError> {
+    let cost = report
+        .get("cost")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::new(ErrorKind::Audit, "report has no 'cost' to certify"))?;
+    let slot = report
+        .get("portfolio")
+        .and_then(|p| p.get("winner_slot"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| {
+            ServeError::new(ErrorKind::Audit, "report has no 'portfolio.winner_slot' to replay")
+        })? as usize;
+
+    let cert = with_replay_env(graph, knobs, |ctx, config| {
+        certify(ctx, config, knobs.seed, slot, cost, knobs.verify)
+    })?
+    .map_err(|e| ServeError::new(ErrorKind::Audit, e.to_string()))?;
+
+    let mut canonical = report.clone();
+    canonicalize_report(&mut canonical);
+    let artifact = TraceArtifact {
+        design: graph.canonical_text(),
+        knobs: knobs_to_json(knobs),
+        slot,
+        trace: cert.trace.encode(),
+        cost,
+        report: canonical.to_string_compact(),
+    };
+    Ok((cert, artifact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{resolve_graph, run_allocation};
+    use crate::protocol::GraphSource;
+
+    #[test]
+    fn trace_ids_roundtrip_and_reject_junk() {
+        for fp in [0u128, 1, u128::MAX, 0xdead_beef] {
+            assert_eq!(parse_trace_id(&trace_id_hex(fp)), Some(fp));
+        }
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("zz"), None);
+        assert_eq!(parse_trace_id(&"f".repeat(33)), None);
+    }
+
+    #[test]
+    fn verdict_cache_serves_both_indexes_and_evicts_fifo() {
+        let cache = VerdictCache::new(2);
+        let entry = |trace_id: u128| {
+            Arc::new(CertEntry {
+                trace_id,
+                certificate: Json::obj(vec![("cache", Json::Str("miss".into()))]),
+                artifact: Json::Null,
+            })
+        };
+        assert!(cache.get(1).is_none());
+        cache.insert(1, entry(11));
+        cache.insert(2, entry(22));
+        assert_eq!(cache.get(1).unwrap().trace_id, 11);
+        assert_eq!(cache.get_by_trace(22).unwrap().trace_id, 22);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // Eviction drops the oldest entry from both indexes.
+        cache.insert(3, entry(33));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none());
+        assert!(cache.get_by_trace(11).is_none());
+        assert!(cache.get_by_trace(33).is_some());
+
+        // Provenance patching rewrites only the cache field.
+        let mut cert = Json::obj(vec![
+            ("verdict", Json::Str("certified".into())),
+            ("cache", Json::Str("miss".into())),
+        ]);
+        set_cache_provenance(&mut cert, "hit");
+        assert_eq!(cert.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(cert.get("verdict").and_then(Json::as_str), Some("certified"));
+    }
+
+    #[test]
+    fn certify_job_certifies_a_real_report_and_result_invariant_knobs_share_a_fingerprint() {
+        let graph = resolve_graph(&GraphSource::Bench("paper_example".into())).unwrap();
+        let knobs = Knobs { restarts: 2, verify: VerifyMode::Full, ..Knobs::default() };
+        let report = run_allocation(&graph, &knobs, None).unwrap();
+        let (cert, artifact) = certify_job(&graph, &knobs, &report).unwrap();
+        assert!(cert.verdict.is_certified(), "{}", cert.verdict);
+        assert!(cert.commits > 0);
+        assert_eq!(artifact.cost, report.get("cost").and_then(Json::as_u64).unwrap());
+        assert!(artifact.decode_trace().is_ok());
+
+        // The artifact's embedded report is the canonical form of the
+        // live one.
+        let mut canonical = report.clone();
+        canonicalize_report(&mut canonical);
+        assert_eq!(artifact.report, canonical.to_string_compact());
+
+        // A knob that never changes the result (the plan A/B toggle)
+        // lands on the same verdict fingerprint; the seed does not.
+        let canon = canonical.to_string_compact();
+        let text = graph.canonical_text();
+        let fp = result_fingerprint(&text, &canon, VerifyMode::Full);
+        let toggled = Knobs { plan: false, ..knobs.clone() };
+        let mut other = run_allocation(&graph, &toggled, None).unwrap();
+        canonicalize_report(&mut other);
+        assert_eq!(
+            result_fingerprint(&text, &other.to_string_compact(), VerifyMode::Full),
+            fp
+        );
+        assert_ne!(result_fingerprint(&text, &canon, VerifyMode::Sample), fp);
+
+        // A tampered report cost is refused.
+        let mut lied = report.clone();
+        if let Json::Obj(pairs) = &mut lied {
+            for (key, value) in pairs.iter_mut() {
+                if key == "cost" {
+                    *value = Json::Int(Json::as_i64(value).unwrap() + 1);
+                }
+            }
+        }
+        let err = certify_job(&graph, &knobs, &lied).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Audit);
+    }
+}

@@ -284,6 +284,27 @@ mod tests {
     }
 
     #[test]
+    fn audit_lane_documents_roundtrip_exactly() {
+        // The verification-as-a-service surface: a request carrying the
+        // per-job `verify` knob, a certified response (float `verify_ms`
+        // must survive bit-for-bit — the canonicalizer, not the codec,
+        // is what zeroes it), and the `trace` verb with its artifact.
+        // Offline audit byte-diffs reports fetched over either protocol,
+        // so the compact text must come back identical too.
+        for raw in [
+            r#"{"cmd":"allocate","bench":"ewf","seed":1,"restarts":2,"verify":"full"}"#,
+            r#"{"status":"ok","report":{"cost":2315,"certificate":{"verdict":"certified","mode":"full","verify_ms":96.593347,"trace_id":"4741f1f2b13990270848578bea51c16d","cache":"miss","commits":15922}}}"#,
+            r#"{"cmd":"trace","id":"4741f1f2b13990270848578bea51c16d"}"#,
+            r#"{"status":"ok","artifact":{"design":"cdfg ewf\n","cost":2315,"trace":"salsa-trace/1 base=2378 slot=1\n!\n"}}"#,
+        ] {
+            let doc = parse_json(raw).unwrap();
+            let back = decode(&encode(&doc)).unwrap();
+            assert_eq!(back, doc);
+            assert_eq!(back.to_string_compact(), doc.to_string_compact());
+        }
+    }
+
+    #[test]
     fn truncations_error_cleanly() {
         let doc = parse_json(r#"{"a":[1,2.5,"xyz"],"b":true}"#).unwrap();
         let bytes = encode(&doc);

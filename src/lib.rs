@@ -12,6 +12,8 @@
 //!   verification,
 //! * [`alloc`] — the SALSA extended binding model and allocator (the
 //!   paper's contribution),
+//! * [`audit`] — verification as a service: move-trace certificates,
+//!   record/replay re-derivation of results, portable trace artifacts,
 //! * [`baseline`] — traditional-binding-model comparators,
 //! * [`rtlgen`] — structural Verilog export of allocated datapaths,
 //! * [`serve`] — the TCP allocation service (bounded job queue,
@@ -41,6 +43,7 @@
 //! ```
 
 pub use salsa_alloc as alloc;
+pub use salsa_audit as audit;
 pub use salsa_baseline as baseline;
 pub use salsa_cdfg as cdfg;
 pub use salsa_cluster as cluster;

@@ -12,6 +12,8 @@
 //! salsa-hls serve    [--addr H:P] [--workers N] [--queue N] [--cache N]
 //!                    [--backend local|cluster] [--cluster-listen H:P]
 //! salsa-hls submit   [--addr H:P] [--protocol P] (--bench NAME | <file.cdfg>) [knobs...]
+//!                    [--verify off|sample|full] [--dump-trace PATH]
+//! salsa-hls audit    <artifact.json>                  offline replay of a dumped trace
 //! salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [knobs...]
 //!                    [--listen H:P] [--shard-chains N] [--lease-ms MS]
 //! salsa-hls cluster-worker [--addr H:P] [--name NAME] [--poll-ms MS]
@@ -56,6 +58,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => bench(args),
         "serve" => serve(args),
         "submit" => submit(args),
+        "audit" => audit(args),
         "cluster-alloc" => cluster_alloc(args),
         "cluster-worker" => cluster_worker(args),
         "help" | "--help" | "-h" => {
@@ -79,7 +82,8 @@ usage:
                      [--report] [--json] [--verilog PATH] [--testbench PATH]
                      [--dot PATH]
   salsa-hls bench    <name|--list>
-  salsa-hls serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+  salsa-hls serve    [--addr HOST:PORT] [--workers N] [--verify-workers N]
+                     [--queue N] [--cache N]
                      [--default-timeout-ms MS] [--max-in-flight N]
                      [--idle-timeout-ms MS] [--backend local|cluster]
                      [--cluster-listen HOST:PORT] [--shard-chains N]
@@ -87,9 +91,11 @@ usage:
   salsa-hls submit   [--addr HOST:PORT] (--bench NAME | <file.cdfg>)
                      [--steps N] [--extra-regs K] [--seed S] [--restarts R]
                      [--threads T] [--batch K] [--cutoff F] [--pipelined]
-                     [--traditional] [--timeout-ms MS] [--pretty] [--retry N]
-                     [--protocol json|binary|auto]
+                     [--traditional] [--verify off|sample|full]
+                     [--dump-trace PATH] [--timeout-ms MS] [--pretty]
+                     [--retry N] [--protocol json|binary|auto]
   salsa-hls submit   [--addr HOST:PORT] (--ping | --stats | --shutdown)
+  salsa-hls audit    <artifact.json>
   salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [--steps N]
                      [--extra-regs K] [--seed S] [--restarts R] [--batch K]
                      [--cutoff F] [--pipelined] [--traditional]
@@ -120,6 +126,19 @@ encodings carry the same documents, so reports are byte-identical
 either way. --retry N retries backpressure rejections and transient
 connection failures up to N times; any other error is final and is
 reported at once.
+
+submit --verify sample|full asks the server to certify the result on its
+verifier lane (own worker pool, --verify-workers): the winning chain's
+committed-move trace is recorded, replayed with cost cross-checks
+(sample checks every 16th commit, full checks all), compared bit-for-bit
+against the recorded binding and symbolically verified; the response's
+report gains a certificate section (verdict, mode, verify_ms, trace_id,
+cache provenance, commits). --dump-trace PATH then fetches the portable
+trace artifact behind the certificate (the wire trace command) and
+writes it to PATH. 'salsa-hls audit PATH' replays such an artifact
+offline — no server, no search — re-deriving the binding move-by-move,
+verifying it symbolically, re-running the full allocation and
+byte-diffing the reproduced canonical report against the artifact's.
 
 --backend cluster makes serve dispatch each job to a worker fleet: it
 also binds a coordinator on --cluster-listen (default 127.0.0.1:7742)
@@ -339,6 +358,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(workers) = flag_parse(args, "--workers")? {
         config.workers = workers;
     }
+    if let Some(workers) = flag_parse(args, "--verify-workers")? {
+        config.verify_workers = workers;
+    }
     if let Some(capacity) = flag_parse(args, "--queue")? {
         config.queue_capacity = capacity;
     }
@@ -424,7 +446,16 @@ fn knobs_from_args(args: &[String]) -> Result<Knobs, String> {
         pipelined: has_flag(args, "--pipelined"),
         traditional: has_flag(args, "--traditional"),
         plan: !has_flag(args, "--no-plan"),
+        verify: parse_verify(args)?,
     })
+}
+
+fn parse_verify(args: &[String]) -> Result<salsa_hls::audit::VerifyMode, String> {
+    match flag_value(args, "--verify")? {
+        None => Ok(salsa_hls::audit::VerifyMode::Off),
+        Some(raw) => salsa_hls::audit::VerifyMode::parse(&raw)
+            .ok_or_else(|| format!("--verify: '{raw}' is not valid (off, sample or full)")),
+    }
 }
 
 fn load_graph_or_bench(args: &[String]) -> Result<Cdfg, String> {
@@ -559,7 +590,13 @@ fn submit(args: &[String]) -> Result<(), String> {
             println!("{}", parsed.to_string_compact());
         }
         return match parsed.get("status").and_then(Json::as_str) {
-            Some("ok") => Ok(()),
+            Some("ok") => {
+                if let Some(path) = flag_value(args, "--dump-trace")? {
+                    let open = conn.as_mut().expect("an ok response came over a connection");
+                    dump_trace(open, &parsed, &path)?;
+                }
+                Ok(())
+            }
             Some("rejected") => {
                 let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
                 Err(format!("rejected with backpressure (retry after {hint} ms)"))
@@ -574,12 +611,93 @@ fn submit(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Fetches the trace artifact behind a certified response (the wire
+/// `trace` command, on the already-open connection) and writes it to
+/// `path` for `salsa-hls audit`.
+fn dump_trace(conn: &mut Connection, response: &Json, path: &str) -> Result<(), String> {
+    let trace_id = response
+        .get("report")
+        .and_then(|r| r.get("certificate"))
+        .and_then(|c| c.get("trace_id"))
+        .and_then(Json::as_str)
+        .ok_or("--dump-trace needs a certified response (add --verify sample|full)")?;
+    let request = Json::obj(vec![
+        ("cmd", Json::Str("trace".to_string())),
+        ("id", Json::Str(trace_id.to_string())),
+    ]);
+    let reply = conn.call(&request).map_err(|e| format!("fetching trace {trace_id}: {e}"))?;
+    let artifact = reply
+        .get("artifact")
+        .ok_or_else(|| format!("trace fetch failed: {}", reply.to_string_compact()))?;
+    let mut text = artifact.to_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("trace artifact {trace_id} written to {path}");
+    Ok(())
+}
+
+/// Offline audit of a dumped trace artifact: decode, replay the trace
+/// move-by-move against the embedded canonical design (full cost
+/// cross-checks), verify the re-derived binding symbolically, then
+/// re-run the whole allocation and byte-diff the reproduced canonical
+/// report against the one the artifact certifies.
+fn audit(args: &[String]) -> Result<(), String> {
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a trace artifact file (from 'salsa-hls submit --dump-trace')")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = salsa_hls::serve::parse_json(text.trim())
+        .map_err(|e| format!("{path}: invalid JSON: {e:?}"))?;
+    // Accept both the bare artifact and a saved `trace` response.
+    let doc = doc.get("artifact").cloned().unwrap_or(doc);
+    let artifact =
+        salsa_hls::audit::TraceArtifact::from_json(&doc).map_err(|e| format!("{path}: {e}"))?;
+
+    let graph = parse_cdfg(&artifact.design).map_err(|e| format!("artifact design: {e}"))?;
+    let knobs = salsa_hls::serve::knobs_from_json(&artifact.knobs)
+        .map_err(|e| format!("artifact knobs: {}", e.message))?;
+    let trace = artifact.decode_trace().map_err(|e| format!("artifact trace: {e}"))?;
+    let trace_id = salsa_hls::serve::trace_id_hex(trace.fingerprint());
+
+    let verdict = salsa_hls::serve::with_replay_env(&graph, &knobs, |ctx, config| {
+        salsa_hls::audit::replay_and_verify(ctx, config, &trace, artifact.cost)
+            .map(|(_, verdict)| verdict)
+    })
+    .map_err(|e| format!("[{}] {}", e.kind.as_str(), e.message))?
+    .map_err(|e| e.to_string())?;
+    println!(
+        "trace {trace_id}: replayed {} commits at cost {}; symbolic verdict: {verdict}",
+        trace.commits(),
+        artifact.cost
+    );
+    if !verdict.is_certified() {
+        return Err(format!("replayed binding was refuted: {verdict}"));
+    }
+
+    // Independent reproduction: the full search from the artifact's
+    // knobs must land on the byte-identical canonical report.
+    let mut report = salsa_hls::serve::run_allocation(&graph, &knobs, None)
+        .map_err(|e| format!("[{}] {}", e.kind.as_str(), e.message))?;
+    canonicalize_report(&mut report);
+    let reproduced = report.to_string_compact();
+    if reproduced == artifact.report {
+        println!("report: identical ({} bytes, canonical form)", reproduced.len());
+        Ok(())
+    } else {
+        eprintln!("reproduced: {reproduced}");
+        eprintln!("artifact:   {}", artifact.report);
+        Err("reproduced canonical report differs from the artifact's".to_string())
+    }
+}
+
 /// The first token after `submit` that is neither a flag nor the value
 /// of a value-taking flag — the `.cdfg` path operand.
 fn submit_positional(args: &[String]) -> Option<&String> {
     const VALUE_FLAGS: &[&str] = &[
         "--addr", "--bench", "--steps", "--extra-regs", "--seed", "--restarts", "--threads",
-        "--batch", "--cutoff", "--timeout-ms", "--retry", "--protocol",
+        "--batch", "--cutoff", "--timeout-ms", "--retry", "--protocol", "--verify",
+        "--dump-trace",
     ];
     let mut i = 1;
     while i < args.len() {
@@ -639,6 +757,11 @@ fn build_submit_request(args: &[String]) -> Result<Json, String> {
     }
     if has_flag(args, "--no-plan") {
         pairs.push(("plan".to_string(), Json::Bool(false)));
+    }
+    if let Some(verify) = flag_value(args, "--verify")? {
+        // Validated locally so a typo fails before the job is queued.
+        parse_verify(args)?;
+        pairs.push(("verify".to_string(), Json::Str(verify)));
     }
     Ok(Json::Obj(pairs))
 }
