@@ -194,7 +194,7 @@ fn cluster_run(
 fn record_json(r: &Record) -> String {
     let mut row = format!(
         "{{\"name\": \"{}\", \"mode\": \"{}\", \"steps\": {}, \"seed\": {}, \"threads\": {}, \
-         \"chains\": {}, \"chains_completed\": {}, \"chains_cutoff\": {}, \
+         \"host_cores\": {}, \"chains\": {}, \"chains_completed\": {}, \"chains_cutoff\": {}, \
          \"wall_time_sec\": {:.4}, \"final_cost\": {}, \"moves_attempted\": {}, \
          \"moves_per_sec\": {:.0}, \"verified\": {}",
         r.name,
@@ -202,6 +202,7 @@ fn record_json(r: &Record) -> String {
         r.steps,
         r.seed,
         r.threads,
+        salsa_bench::host_cores(),
         r.chains,
         r.completed,
         r.cutoff,

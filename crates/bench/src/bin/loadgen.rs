@@ -29,11 +29,19 @@
 //! plus the verifier-lane latency percentiles in a `loadgen-verify` row,
 //! quantifying what certificates cost the allocation path.
 //!
+//! `--warm-mix` measures the warm-start path instead: a base EWF job
+//! seeds the service's similarity index, a one-op variant is resubmitted
+//! through the `reallocate` verb (warm), and the same variant runs cold
+//! against a fresh server. Both jobs carry `verify: full`, so the warm
+//! result's certificate is checked, and the row records how many trials
+//! the warm search needed to reach its best against the cold job's whole
+//! trial budget — the ISSUE 9 acceptance ratio (< 0.25).
+//!
 //! Usage: `cargo run -p salsa-bench --bin loadgen --release --
 //! [--quick] [--clients N] [--requests N] [--pipeline N]
 //! [--protocol json|binary|auto] [--verify-mix F]
-//! [--verify-mode sample|full] [--repeats N] [--addr HOST:PORT]
-//! [--pr LABEL] [--no-write]`
+//! [--verify-mode sample|full] [--repeats N] [--warm-mix]
+//! [--addr HOST:PORT] [--pr LABEL] [--no-write]`
 
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -390,6 +398,17 @@ fn main() {
     };
     let pr = flag_value("--pr").unwrap_or_else(|| "PR3-loadgen".to_string());
 
+    if has_flag("--warm-mix") {
+        assert!(
+            flag_value("--addr").is_none(),
+            "--warm-mix compares against a cold fresh server and needs the \
+             in-process one; drop --addr"
+        );
+        let warm_pr = flag_value("--pr").unwrap_or_else(|| "PR9-warmstart".to_string());
+        run_warm_comparison(protocol, &warm_pr);
+        return;
+    }
+
     if verify_permille > 0 {
         assert!(
             flag_value("--addr").is_none(),
@@ -457,13 +476,14 @@ fn main() {
     }
     let row = format!(
         "{{\"name\": \"loadgen-mix1\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
-         \"pipeline\": {pipeline}, \"clients\": {clients}, \
+         \"pipeline\": {pipeline}, \"host_cores\": {cores}, \"clients\": {clients}, \
          \"requests\": {requests}, \"ok\": {ok}, \"backpressure_retries\": {retries}, \
          \"jobs_completed\": {completed}, \"cache_hits\": {cache_hits}, \
          \"cache_misses\": {cache_misses}, \"wall_time_sec\": {wall_secs:.4}, \
          \"throughput_rps\": {throughput:.2}, \"bytes_per_message\": {bytes_per_message:.1}, \
          \"messages_per_sec\": {messages_per_sec:.1}, \"p50_ms\": {p50:.1}, \
-         \"p95_ms\": {p95:.1}, \"p99_ms\": {p99:.1}}}"
+         \"p95_ms\": {p95:.1}, \"p99_ms\": {p99:.1}}}",
+        cores = salsa_bench::host_cores(),
     );
     write_row(&pr, "loadgen-mix1", mode, pipeline, row);
 }
@@ -568,7 +588,8 @@ fn run_verify_comparison(
     }
     let row = format!(
         "{{\"name\": \"loadgen-verify\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
-         \"pipeline\": {pipeline}, \"clients\": {clients}, \"requests\": {requests}, \
+         \"pipeline\": {pipeline}, \"host_cores\": {cores}, \"clients\": {clients}, \
+         \"requests\": {requests}, \
          \"repeats\": {repeats}, \"verify_fraction\": {verify_fraction:.3}, \"verify_mode\": \"{vmode}\", \
          \"ok\": {ok}, \
          \"baseline_throughput_rps\": {base_tp:.2}, \"throughput_rps\": {tp:.2}, \
@@ -579,6 +600,7 @@ fn run_verify_comparison(
          \"verdict_cache_hits\": {vcache_hits}, \"verdict_cache_misses\": {vcache_misses}, \
          \"p95_ms\": {p95:.1}, \"verify_p50_ms\": {v50:.1}, \"verify_p95_ms\": {v95:.1}, \
          \"verify_p99_ms\": {v99:.1}}}",
+        cores = salsa_bench::host_cores(),
         vmode = verify.mode,
         ok = pass.ok,
         base_tp = baseline.throughput,
@@ -588,6 +610,156 @@ fn run_verify_comparison(
         p95 = pass.p95,
     );
     write_row(pr, "loadgen-verify", mode, pipeline, row);
+}
+
+/// The `--warm-mix` comparison: the ISSUE 9 warm-start acceptance run.
+///
+/// One server allocates the EWF baseline (seeding its similarity index
+/// with the winner), then re-allocates a one-op variant through the
+/// `reallocate` verb; a second, fresh server runs the identical variant
+/// cold. All jobs share knobs and `verify: full`, so the warm report's
+/// provenance and certificate are both checked, and the recorded ratio —
+/// warm trials-to-best over the cold job's total trial budget — is the
+/// acceptance metric (must land under 0.25).
+fn run_warm_comparison(protocol: Protocol, pr: &str) {
+    let variant = {
+        let graph = salsa_cdfg::benchmarks::ewf();
+        graph.canonical_text().replacen("= add", "= sub", 1)
+    };
+    let knobs: &[(&str, Json)] = &[
+        ("seed", Json::Int(1)),
+        ("restarts", Json::Int(2)),
+        ("threads", Json::Int(1)),
+        ("verify", Json::Str("full".into())),
+        ("timeout_ms", Json::Int(120_000)),
+    ];
+    let request = |head: Vec<(&'static str, Json)>| {
+        let mut fields = head;
+        fields.extend(knobs.iter().map(|(k, v)| (*k, v.clone())));
+        Json::obj(fields)
+    };
+    let call_ok = |conn: &mut Connection, request: &Json| -> Json {
+        loop {
+            let reply = conn.call(request).expect("warm-mix request");
+            match reply.get("status").and_then(Json::as_str) {
+                Some("rejected") => std::thread::sleep(std::time::Duration::from_millis(
+                    reply.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(50),
+                )),
+                Some("ok") => return reply,
+                other => panic!("warm-mix: {other:?}: {}", reply.to_string_compact()),
+            }
+        }
+    };
+
+    // Warm side: base job banks its winner, reallocate rides on it.
+    let (server, addr) = in_process_server();
+    let mut conn = Connection::connect(&addr, protocol).expect("connect warm server");
+    let mode = conn.mode_name();
+    let base = call_ok(
+        &mut conn,
+        &request(vec![("cmd", Json::Str("allocate".into())), ("bench", Json::Str("ewf".into()))]),
+    );
+    let base_id = base.get("id").and_then(Json::as_str).expect("base job id").to_string();
+    let warm = call_ok(
+        &mut conn,
+        &request(vec![
+            ("cmd", Json::Str("reallocate".into())),
+            ("base", Json::Str(base_id.clone())),
+            ("cdfg", Json::Str(variant.clone())),
+        ]),
+    );
+    server.shutdown();
+
+    // Cold side: the identical variant and knobs against a fresh server
+    // whose seed index has never seen EWF.
+    let (server, addr) = in_process_server();
+    let mut conn = Connection::connect(&addr, protocol).expect("connect cold server");
+    let cold = call_ok(
+        &mut conn,
+        &request(vec![("cmd", Json::Str("allocate".into())), ("cdfg", Json::Str(variant))]),
+    );
+    server.shutdown();
+
+    let report = |reply: &Json, path: &[&str]| -> u64 {
+        let mut node = reply.get("report").unwrap_or(&Json::Null);
+        for key in path {
+            node = node.get(key).unwrap_or(&Json::Null);
+        }
+        node.as_u64().unwrap_or(0)
+    };
+    let base_cost = report(&base, &["cost"]);
+    let cold_cost = report(&cold, &["cost"]);
+    let warm_cost = report(&warm, &["cost"]);
+    let cold_trials = report(&cold, &["search", "trials"]);
+    let cold_ttb = report(&cold, &["search", "trials_to_best"]);
+    let warm_ttb = report(&warm, &["search", "trials_to_best"]);
+    let ratio = warm_ttb as f64 / (cold_trials as f64).max(1.0);
+    let warm_start = warm.get("report").and_then(|r| r.get("warm_start")).cloned();
+    let warm_mode = warm_start
+        .as_ref()
+        .and_then(|w| w.get("mode"))
+        .and_then(Json::as_str)
+        .unwrap_or("missing")
+        .to_string();
+    let distance = warm_start
+        .as_ref()
+        .and_then(|w| w.get("distance"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let verdict = |reply: &Json| {
+        reply
+            .get("report")
+            .and_then(|r| r.get("certificate"))
+            .and_then(|c| c.get("verdict"))
+            .and_then(Json::as_str)
+            .unwrap_or("missing")
+            .to_string()
+    };
+    let warm_verdict = verdict(&warm);
+    let cold_verdict = verdict(&cold);
+
+    assert_eq!(
+        warm_start.as_ref().and_then(|w| w.get("source")).and_then(Json::as_str),
+        Some(base_id.as_str()),
+        "warm job must credit the base job as its seed"
+    );
+    assert!(cold.get("report").and_then(|r| r.get("warm_start")).is_none(), "cold twin seeded");
+    assert_eq!(warm_verdict, "certified", "warm certificate must pass verify: full");
+    assert_eq!(cold_verdict, "certified", "cold certificate must pass verify: full");
+    assert!(warm_cost <= cold_cost, "warm ({warm_cost}) must not lose to cold ({cold_cost})");
+    assert!(
+        ratio < 0.25,
+        "warm trials-to-best {warm_ttb} is not under 25% of the cold budget {cold_trials}"
+    );
+
+    println!("loadgen warm-mix ({mode} wire): base ewf cost={base_cost} id={base_id}");
+    println!(
+        "         cold variant: cost={cold_cost} in {cold_trials} trials \
+         (best at trial {cold_ttb}), certificate {cold_verdict}"
+    );
+    println!(
+        "         warm variant: cost={warm_cost}, best at trial {warm_ttb} \
+         (mode {warm_mode}, sketch distance {distance}), certificate {warm_verdict}"
+    );
+    println!(
+        "         warm reached its best in {:.1}% of the cold trial budget (target < 25%)",
+        ratio * 100.0
+    );
+
+    if has_flag("--no-write") {
+        return;
+    }
+    let row = format!(
+        "{{\"name\": \"loadgen-warm\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
+         \"pipeline\": 1, \"host_cores\": {cores}, \"base_cost\": {base_cost}, \
+         \"cold_cost\": {cold_cost}, \"warm_cost\": {warm_cost}, \
+         \"cold_trials\": {cold_trials}, \"cold_trials_to_best\": {cold_ttb}, \
+         \"warm_trials_to_best\": {warm_ttb}, \"trial_ratio\": {ratio:.3}, \
+         \"warm_mode\": \"{warm_mode}\", \"sketch_distance\": {distance}, \
+         \"certificate\": \"{warm_verdict}\"}}",
+        cores = salsa_bench::host_cores(),
+    );
+    write_row(pr, "loadgen-warm", mode, 1, row);
 }
 
 /// Appends `row` to the `history` entry for `pr`, replacing a prior run

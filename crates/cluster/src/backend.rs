@@ -7,10 +7,9 @@
 
 use std::sync::Arc;
 
-use salsa_alloc::CancelToken;
-use salsa_cdfg::Cdfg;
+use salsa_alloc::{BindingParts, CancelToken};
 use salsa_serve::json::Json;
-use salsa_serve::{AllocBackend, Knobs, ServeError};
+use salsa_serve::{AdmissionArtifact, AllocBackend, Knobs, ServeError};
 
 use crate::coordinator::Coordinator;
 
@@ -39,10 +38,13 @@ impl AllocBackend for ClusterBackend {
 
     fn allocate(
         &self,
-        graph: &Cdfg,
+        artifact: &AdmissionArtifact,
         knobs: &Knobs,
         cancel: Option<CancelToken>,
-    ) -> Result<Json, ServeError> {
-        self.coordinator.allocate(graph, knobs, cancel)
+    ) -> Result<(Json, Option<BindingParts>), ServeError> {
+        // The winner's binding lives on a remote worker; the coordinator
+        // only reduces reports, so no seed image comes back — the seed
+        // index simply stays cold under this backend.
+        self.coordinator.allocate(&artifact.graph, knobs, cancel).map(|report| (report, None))
     }
 }

@@ -40,8 +40,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use salsa_alloc::{
-    replay_slot, Binding, CancelToken, ChainOutcome, ImproveStats, PortfolioOutcome,
-    PortfolioStats,
+    replay_slot, Binding, CancelToken, ChainOutcome, ImproveStats, InitialBinding,
+    PortfolioOutcome, PortfolioStats,
 };
 use salsa_cdfg::Cdfg;
 use salsa_serve::json::Json;
@@ -437,7 +437,13 @@ fn finalize<'a>(
         aggregate,
     };
     let cost = winner.cost.expect("winner completed");
-    let outcome = PortfolioOutcome { binding, stats: winner.improve, cost, portfolio };
+    let outcome = PortfolioOutcome {
+        binding,
+        stats: winner.improve,
+        cost,
+        portfolio,
+        initial: InitialBinding::Constructive,
+    };
     let result = allocator.complete(ctx, outcome).map_err(map_alloc_error)?;
     Ok(report_json(graph, &plan.schedule, plan.knobs.seed, &result))
 }

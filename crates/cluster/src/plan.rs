@@ -48,7 +48,8 @@ pub fn build_allocator<'a>(
 ) -> Allocator<'a> {
     let knobs = &plan.knobs;
     let move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
-    let config = ImproveConfig { move_set, cancel, ..ImproveConfig::default() };
+    let config =
+        ImproveConfig { move_set, cancel, warm: knobs.warm.clone(), ..ImproveConfig::default() };
     let mut allocator = Allocator::new(graph, &plan.schedule, &plan.library)
         .seed(knobs.seed)
         .extra_registers(knobs.extra_regs)

@@ -78,6 +78,7 @@ pub fn chain_to_json(chain: &ChainOutcome) -> Json {
         ("conflict_skipped", Json::Int(s.conflict_skipped as i64)),
         ("stale_skipped", Json::Int(s.stale_skipped as i64)),
         ("committed", Json::Int(s.committed as i64)),
+        ("trials_to_best", Json::Int(s.trials_to_best as i64)),
         ("elapsed_nanos", Json::Int(s.elapsed_nanos as i64)),
     ])
 }
@@ -98,6 +99,7 @@ pub fn chain_from_json(obj: &Json) -> Option<ChainOutcome> {
         conflict_skipped: usize_field(obj, "conflict_skipped")?,
         stale_skipped: usize_field(obj, "stale_skipped")?,
         committed: usize_field(obj, "committed")?,
+        trials_to_best: usize_field(obj, "trials_to_best").unwrap_or(0),
         elapsed_nanos: obj.get("elapsed_nanos")?.as_u64()?,
     };
     let completed = obj.get("completed")?.as_bool()?;
@@ -290,6 +292,7 @@ mod tests {
             conflict_skipped: 0,
             stale_skipped: 0,
             committed: 0,
+            trials_to_best: 7,
             elapsed_nanos: 123_456_789,
         };
         ChainOutcome {

@@ -2,6 +2,7 @@
 //! iterative improvement, lowering, verification, and mux merging.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use salsa_cdfg::Cdfg;
 use salsa_datapath::{
@@ -11,8 +12,9 @@ use salsa_datapath::{
 use salsa_sched::{FuClass, FuLibrary, Schedule};
 
 use crate::{
-    portfolio_search, AllocContext, AllocError, CancelToken, ImproveConfig, ImproveStats,
-    PortfolioConfig, PortfolioOutcome, PortfolioStats,
+    portfolio_search, AllocContext, AllocError, BindingParts, CancelToken, ImproveConfig,
+    ImproveStats, InitialBinding, MovePlan, PortfolioConfig, PortfolioOutcome, PortfolioStats,
+    WarmSpec,
 };
 
 /// Configurable allocation run. Build with [`Allocator::new`], adjust with
@@ -35,6 +37,7 @@ pub struct Allocator<'a> {
     seed: u64,
     restarts: usize,
     portfolio: PortfolioConfig,
+    compiled_plan: Option<Arc<MovePlan>>,
 }
 
 impl<'a> Allocator<'a> {
@@ -52,6 +55,7 @@ impl<'a> Allocator<'a> {
             seed: 0,
             restarts: 1,
             portfolio: PortfolioConfig::default(),
+            compiled_plan: None,
         }
     }
 
@@ -154,6 +158,28 @@ impl<'a> Allocator<'a> {
         self
     }
 
+    /// Attaches a warm-start seed: the search starts from (or guided by)
+    /// the seed's prior-winner allocation, with delta-local move bias
+    /// for its first trials. The seed becomes part of the search
+    /// identity — results, traces and replays are pure functions of
+    /// `(inputs, seed, warm)` — so a serving layer must key caches on it.
+    pub fn warm(mut self, spec: Arc<WarmSpec>) -> Self {
+        self.config.warm = Some(spec);
+        self
+    }
+
+    /// Reuses a previously compiled [`MovePlan`] instead of compiling one
+    /// during [`prepare`](Allocator::prepare). The plan must have been
+    /// compiled for this exact `(graph, schedule, library, pool)` — the
+    /// admission-cache fast path for repeat designs. Plans never affect
+    /// results, only wall-clock, so a stale-but-shape-compatible plan
+    /// would be a correctness bug upstream, not here; the context checks
+    /// dimensions defensively and recompiles on mismatch.
+    pub fn compiled_plan(mut self, plan: Arc<MovePlan>) -> Self {
+        self.compiled_plan = Some(plan);
+        self
+    }
+
     /// Attaches a cooperative [`CancelToken`]: the search polls it at
     /// trial boundaries (and every few hundred moves within a trial) and
     /// [`run`](Allocator::run) returns [`AllocError::Cancelled`] if it
@@ -184,7 +210,13 @@ impl<'a> Allocator<'a> {
             self.schedule.register_demand(self.graph, self.library) + self.extra_registers
         });
         let datapath = Datapath::new(&fu_counts, regs.max(1));
-        let ctx = AllocContext::new(self.graph, self.schedule, self.library, datapath)?;
+        let ctx = AllocContext::new_with_plan(
+            self.graph,
+            self.schedule,
+            self.library,
+            datapath,
+            self.compiled_plan.clone(),
+        )?;
 
         // With batching on, the thread budget not consumed by concurrent
         // chains grades move batches instead (never affecting the result,
@@ -214,6 +246,16 @@ impl<'a> Allocator<'a> {
     ) -> Result<AllocResult, AllocError> {
         let (cost, binding, stats) = (outcome.cost, outcome.binding, outcome.stats);
 
+        // The winner's context-free image: what a serving layer banks to
+        // seed future near-duplicate jobs.
+        let winner = binding.to_parts();
+        let warm = self.config.warm.as_deref().map(|spec| WarmStart {
+            mode: outcome.initial,
+            source: spec.source,
+            distance: spec.distance,
+            bias_trials: spec.bias_trials,
+        });
+
         let (rtl, claims, verdict) = crate::verify_lowered(&binding);
         if let Some(detail) = verdict.detail() {
             return Err(AllocError::VerificationFailed { detail: detail.to_string() });
@@ -230,6 +272,8 @@ impl<'a> Allocator<'a> {
             merged,
             stats,
             portfolio: outcome.portfolio,
+            winner,
+            warm,
             verified: true,
         })
     }
@@ -275,8 +319,29 @@ pub struct AllocResult {
     pub stats: ImproveStats,
     /// Per-chain portfolio statistics (one row per restart chain).
     pub portfolio: PortfolioStats,
+    /// The winning allocation's context-free image, for banking as a
+    /// future warm-start seed.
+    pub winner: BindingParts,
+    /// Warm-start provenance, present exactly when the run was
+    /// configured with a [`WarmSpec`].
+    pub warm: Option<WarmStart>,
     /// Always `true`: results are verified before being returned.
     pub verified: bool,
+}
+
+/// How a warm-started run actually started, plus the seed's provenance
+/// annotations (carried verbatim from the [`WarmSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStart {
+    /// The initial-binding path taken (seeded image, guided
+    /// construction, or the constructive fallback).
+    pub mode: InitialBinding,
+    /// The base job's result-cache key (0 when unset).
+    pub source: u128,
+    /// Similarity-sketch distance between base and allocated design.
+    pub distance: u64,
+    /// Trials the delta-local move bias was configured for.
+    pub bias_trials: u32,
 }
 
 impl AllocResult {

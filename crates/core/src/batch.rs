@@ -55,7 +55,7 @@ use salsa_datapath::{CostWeights, FuId, RegId, Sink, Source};
 use crate::binding::RedoOp;
 use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
 use crate::improve::{weighted_cost, ImproveConfig, ImproveStats, SearchExit, SearchWatch};
-use crate::moves::{apply_proposal, propose_move, MoveSet, Proposal};
+use crate::moves::{apply_proposal, propose_biased, MoveSet, Proposal};
 use crate::trace::TraceRecorder;
 use crate::{Binding, TransferKey};
 
@@ -544,6 +544,14 @@ fn batched_loop<'a>(
             return Some(SearchExit::Cancelled);
         }
         stats.trials += 1;
+        // Warm-start delta bias, counted in global trials exactly like
+        // the sequential loop — `batch(1) ≡ sequential` holds under warm
+        // starts because both engines route draws through the same
+        // biased helper in the same order.
+        let bias = config
+            .warm
+            .as_deref()
+            .filter(|w| w.has_focus() && stats.trials <= w.bias_trials as usize);
         let mut uphill_left = config.max_uphill;
         let best_before = best_cost;
         if trial > 0 && current_cost > best_cost {
@@ -576,8 +584,7 @@ fn batched_loop<'a>(
             // never changes net state, so every draw sees the same base.
             drawn.clear();
             for _ in 0..k {
-                let kind = set.pick(rng);
-                drawn.push(propose_move(binding, kind, rng));
+                drawn.push(propose_biased(binding, set, rng, bias));
             }
             stats.proposed += k;
 
@@ -689,6 +696,7 @@ fn batched_loop<'a>(
                 if current_cost < best_cost {
                     best_cost = current_cost;
                     best.clone_from(binding);
+                    stats.trials_to_best = stats.trials;
                 }
             }
         }
@@ -730,7 +738,7 @@ fn batched_loop<'a>(
 mod tests {
     use super::*;
     use crate::initial_allocation;
-    use crate::moves::MoveSet;
+    use crate::moves::{propose_move, MoveSet};
     use crate::AllocContext;
     use rand::Rng;
     use rand::SeedableRng;

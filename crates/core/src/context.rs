@@ -1,5 +1,7 @@
 //! The immutable context an allocation runs against.
 
+use std::sync::Arc;
+
 use salsa_cdfg::{Cdfg, OpId, ValueId, ValueSource};
 use salsa_datapath::Datapath;
 use salsa_sched::{lifetimes, FuClass, FuLibrary, Lifetimes, Schedule};
@@ -25,8 +27,11 @@ pub struct AllocContext<'a> {
     pub lifetimes: Lifetimes,
     /// Flat candidate tables compiled once at admission; the move
     /// proposers and the binding's owner enumeration draw from these
-    /// instead of re-deriving their search space per move.
-    pub plan: MovePlan,
+    /// instead of re-deriving their search space per move. Shared
+    /// (`Arc`) so a serving layer's admission cache can compile a
+    /// design's plan once and lend it to every job over that design —
+    /// the plan is per-`(CDFG, schedule, pool)` and knob-invariant.
+    pub plan: Arc<MovePlan>,
 }
 
 impl<'a> AllocContext<'a> {
@@ -43,6 +48,22 @@ impl<'a> AllocContext<'a> {
         library: &'a FuLibrary,
         datapath: Datapath,
     ) -> Result<Self, AllocError> {
+        Self::new_with_plan(graph, schedule, library, datapath, None)
+    }
+
+    /// [`AllocContext::new`], optionally reusing a [`MovePlan`] compiled
+    /// earlier for the same `(graph, schedule, library, pool)` — the
+    /// admission-cache fast path for repeat designs. A plan compiled for
+    /// a different shape is detected by its dimension stamp and silently
+    /// recompiled (plans never affect results, so a defensive recompile
+    /// is always sound).
+    pub fn new_with_plan(
+        graph: &'a Cdfg,
+        schedule: &'a Schedule,
+        library: &'a FuLibrary,
+        datapath: Datapath,
+        plan: Option<Arc<MovePlan>>,
+    ) -> Result<Self, AllocError> {
         let lts = lifetimes(graph, schedule, library);
         let need_regs = lts.max_live();
         if datapath.num_regs() < need_regs {
@@ -58,7 +79,11 @@ impl<'a> AllocContext<'a> {
                 return Err(AllocError::InsufficientUnits { class: *class, need: *need, have });
             }
         }
-        let plan = MovePlan::compile(graph, schedule, library, &datapath, &lts);
+        let plan = plan
+            .filter(|p| p.matches(graph, schedule, &datapath))
+            .unwrap_or_else(|| {
+                Arc::new(MovePlan::compile(graph, schedule, library, &datapath, &lts))
+            });
         Ok(AllocContext { graph, schedule, library, datapath, lifetimes: lts, plan })
     }
 

@@ -17,14 +17,17 @@
 //! composes the strengths of both and guarantees the extended model never
 //! loses to its own restriction.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use salsa_datapath::CostWeights;
 
 use crate::cancel::{CancelToken, CANCEL_POLL_PERIOD};
-use crate::moves::{apply_proposal, propose_move, MoveKind, MoveSet};
+use crate::moves::{apply_proposal, propose_biased, MoveKind, MoveSet};
 use crate::portfolio::SearchBound;
 use crate::trace::TraceRecorder;
+use crate::warm::WarmSpec;
 use crate::Binding;
 
 /// The weighted allocation cost — the one cost function every search stage
@@ -88,6 +91,14 @@ pub struct ImproveConfig {
     /// is bit-for-bit the same — only the wall-clock. `false` exists for
     /// A/B verification and ablation.
     pub plan: bool,
+    /// Warm-start seed: start the search from (or guided by) a prior
+    /// winner's allocation and bias the first
+    /// [`bias_trials`](crate::WarmSpec::bias_trials) trials' move draws
+    /// toward the CDFG delta's focus set. Part of the chain's identity —
+    /// the trace recorder and replayer derive the same initial binding
+    /// from it, so warm-started results certify and audit exactly like
+    /// cold ones. `None` (the default) is the cold path.
+    pub warm: Option<Arc<WarmSpec>>,
 }
 
 impl Default for ImproveConfig {
@@ -105,6 +116,7 @@ impl Default for ImproveConfig {
             batch: None,
             eval_threads: 1,
             plan: true,
+            warm: None,
         }
     }
 }
@@ -159,6 +171,11 @@ pub struct ImproveStats {
     pub stale_skipped: usize,
     /// Batch engine: proposals committed to the binding.
     pub committed: usize,
+    /// The trial (1-based, across phases) on which the returned best
+    /// allocation was last improved; 0 when the initial allocation was
+    /// never beaten. The warm-start convergence metric: a well-seeded
+    /// chain reaches its best in a fraction of a cold chain's trials.
+    pub trials_to_best: usize,
     /// Wall-clock time spent inside the search loops, in nanoseconds.
     pub elapsed_nanos: u64,
 }
@@ -184,7 +201,14 @@ impl ImproveStats {
         if self.trials == 0 && self.attempted == 0 {
             self.initial_cost = other.initial_cost;
             self.final_cost = other.final_cost;
+            self.trials_to_best = other.trials_to_best;
         } else {
+            if other.final_cost < self.final_cost {
+                // The merged run found the better allocation; its
+                // improvement trial, offset by the trials already folded
+                // in, becomes the aggregate's trials-to-best.
+                self.trials_to_best = self.trials + other.trials_to_best;
+            }
             self.initial_cost = self.initial_cost.max(other.initial_cost);
             self.final_cost = self.final_cost.min(other.final_cost);
         }
@@ -331,6 +355,15 @@ fn run_phase(
             return Some(SearchExit::Cancelled);
         }
         stats.trials += 1;
+        // Delta-local bias: for the first `bias_trials` trials of a
+        // warm-started search, a drawn move that misses the CDFG delta's
+        // focus set gets one focus-preferring re-draw. The window is
+        // counted in global trials, so the trajectory stays a pure
+        // function of `(config, seed)` across phases.
+        let bias = config
+            .warm
+            .as_deref()
+            .filter(|w| w.has_focus() && stats.trials <= w.bias_trials as usize);
         let mut uphill_left = config.max_uphill;
         let best_before = best_cost;
         if trial > 0 && current_cost > best_cost {
@@ -358,7 +391,6 @@ fn run_phase(
                 binding.clone_from(&best);
                 return Some(SearchExit::Cancelled);
             }
-            let kind = set.pick(rng);
             #[cfg(debug_assertions)]
             let cross_check =
                 stats.attempted.is_multiple_of(CROSS_CHECK_PERIOD).then(|| binding.clone());
@@ -366,8 +398,10 @@ fn run_phase(
             // `propose` + `apply` rather than the combined `try_move`:
             // identical RNG draws and identical semantics (a fresh
             // proposal always applies), but the resolved proposal stays
-            // in hand for the trace recorder.
-            let proposal = match propose_move(binding, kind, rng) {
+            // in hand for the trace recorder. With `bias` unset the
+            // biased draw is exactly `pick` + `propose_move`, so cold
+            // trajectories are untouched.
+            let proposal = match propose_biased(binding, set, rng, bias) {
                 Some(proposal) => proposal,
                 None => {
                     binding.rollback();
@@ -408,6 +442,7 @@ fn run_phase(
             if current_cost < best_cost {
                 best_cost = current_cost;
                 best.clone_from(binding);
+                stats.trials_to_best = stats.trials;
             }
         }
 

@@ -15,7 +15,57 @@ use std::collections::HashSet;
 use salsa_cdfg::{OpId, ValueId};
 use salsa_datapath::{FuId, Port, RegId, Sink, Source};
 
+use crate::warm::WarmSpec;
 use crate::{AllocContext, Binding};
+
+/// How the improvement search's starting binding was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialBinding {
+    /// The paper's constructive initial allocation (the cold path).
+    Constructive,
+    /// A prior winner's [`BindingParts`](crate::BindingParts) image,
+    /// validated structurally by [`Binding::from_parts`].
+    Seeded,
+    /// The constructive algorithm guided by a warm seed's remapped
+    /// unit/register preferences (the image didn't fit — e.g. the CDFG
+    /// delta changed the design's dimensions — so the preferences steer
+    /// construction instead).
+    Guided,
+}
+
+impl InitialBinding {
+    /// The report spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InitialBinding::Constructive => "constructive",
+            InitialBinding::Seeded => "seeded",
+            InitialBinding::Guided => "guided",
+        }
+    }
+}
+
+/// Builds the starting binding for a search configured with an optional
+/// warm seed. Tries the seed's full image first (exact dimensions +
+/// structural validation via [`Binding::from_parts`]), then the
+/// preference-guided constructive path, then the plain constructive
+/// allocation — every fallback is silent and deterministic, so a chain is
+/// always a pure function of `(ctx, warm, seed)`.
+pub fn initial_binding<'a>(
+    ctx: &'a AllocContext<'a>,
+    warm: Option<&WarmSpec>,
+) -> (Binding<'a>, InitialBinding) {
+    if let Some(w) = warm {
+        if let Some(parts) = &w.parts {
+            if let Ok(binding) = Binding::from_parts(ctx, parts) {
+                return (binding, InitialBinding::Seeded);
+            }
+        }
+        if w.guided() {
+            return (build(ctx, Some(w)), InitialBinding::Guided);
+        }
+    }
+    (initial_allocation(ctx), InitialBinding::Constructive)
+}
 
 /// Builds the starting binding. Infallible given a pool that passed
 /// [`AllocContext::new`]'s demand checks.
@@ -25,6 +75,15 @@ use crate::{AllocContext, Binding};
 /// Panics if the context's pool checks were bypassed and resources are in
 /// fact insufficient.
 pub fn initial_allocation<'a>(ctx: &'a AllocContext<'a>) -> Binding<'a> {
+    build(ctx, None)
+}
+
+/// The constructive allocator, optionally honouring a warm seed's
+/// preferences. Each preference is taken only when it is feasible at the
+/// point the constructive order reaches the entity; otherwise the normal
+/// rule (first-available unit, fewest-added-connections register)
+/// applies, so preferences can never make construction fail.
+fn build<'a>(ctx: &'a AllocContext<'a>, warm: Option<&WarmSpec>) -> Binding<'a> {
     let n = ctx.n_steps();
 
     // --- Step 1: operators onto first-available units. ------------------
@@ -34,12 +93,19 @@ pub fn initial_allocation<'a>(ctx: &'a AllocContext<'a>) -> Binding<'a> {
     ops.sort_by_key(|&o| (ctx.schedule.issue(o), o));
     for op in ops {
         let window: Vec<usize> = ctx.occupied_steps(op).collect();
-        let fu = ctx
-            .datapath
-            .fus_of_class(ctx.class_of(op))
-            .map(|f| f.id())
-            .find(|f| window.iter().all(|&s| !fu_busy[f.index()][s]))
-            .expect("pool demand check guarantees a free unit");
+        let free = |f: &FuId| window.iter().all(|&s| !fu_busy[f.index()][s]);
+        let preferred = warm
+            .and_then(|w| w.op_pref(op.index()))
+            .map(FuId::from_index)
+            .filter(|&p| ctx.datapath.fus_of_class(ctx.class_of(op)).any(|f| f.id() == p))
+            .filter(free);
+        let fu = preferred.unwrap_or_else(|| {
+            ctx.datapath
+                .fus_of_class(ctx.class_of(op))
+                .map(|f| f.id())
+                .find(free)
+                .expect("pool demand check guarantees a free unit")
+        });
         for &s in &window {
             fu_busy[fu.index()][s] = true;
         }
@@ -88,11 +154,17 @@ pub fn initial_allocation<'a>(ctx: &'a AllocContext<'a>) -> Binding<'a> {
             .reg_ids()
             .filter(|r| steps.iter().all(|&s| !reg_busy[r.index()][s]))
             .collect();
+        let preferred = warm
+            .and_then(|w| w.value_pref(v.index()))
+            .filter(|&p| p < ctx.datapath.num_regs())
+            .map(RegId::from_index);
         let assignment: Vec<RegId> = if contiguous.is_empty() {
             // Split across whatever registers fit, staying in the previous
-            // register when possible to minimize transfers.
+            // register when possible to minimize transfers. A warm
+            // preference seeds `prev`, so the split chain starts in the
+            // seed's register whenever it has room.
             let mut regs = Vec::with_capacity(steps.len());
-            let mut prev: Option<RegId> = None;
+            let mut prev: Option<RegId> = preferred;
             for &s in &steps {
                 let reg = prev
                     .filter(|r| !reg_busy[r.index()][s])
@@ -104,6 +176,12 @@ pub fn initial_allocation<'a>(ctx: &'a AllocContext<'a>) -> Binding<'a> {
                 prev = Some(reg);
             }
             regs
+        } else if let Some(p) = preferred.filter(|p| contiguous.contains(p)) {
+            // A feasible warm preference wins outright: reproducing the
+            // seed's placement matters more here than the local
+            // connection estimate — the moves the estimate would save
+            // are exactly what the seeded search re-optimizes.
+            vec![p; steps.len()]
         } else {
             // Contiguous: pick the candidate adding the fewest new
             // interconnections (paper step: "bound to registers in a way

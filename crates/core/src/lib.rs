@@ -62,8 +62,9 @@ pub mod portfolio;
 mod report;
 mod trace;
 mod transfer;
+mod warm;
 
-pub use allocator::{AllocResult, Allocator};
+pub use allocator::{AllocResult, Allocator, WarmStart};
 pub use anneal::{anneal, AnnealConfig, AnnealStats};
 pub use binding::{Binding, BindingParts, Chain, ChainSlotImage, PassMap};
 pub use cancel::{CancelToken, CANCEL_POLL_PERIOD};
@@ -72,7 +73,7 @@ pub use error::AllocError;
 pub use improve::{
     improve, improve_bounded, ImproveConfig, ImproveStats, SearchExit, SearchWatch,
 };
-pub use initial::initial_allocation;
+pub use initial::{initial_allocation, initial_binding, InitialBinding};
 pub use lower::{lower, verify_binding, verify_lowered};
 pub use plan::MovePlan;
 pub use polish::polish;
@@ -84,6 +85,7 @@ pub use report::{portfolio_table, register_chart, report, unit_schedule};
 pub use moves::{MoveKind, MoveSet, Proposal};
 pub use trace::{record_slot_trace, replay_trace, MoveTrace, ReplayCheck, TraceError, TraceStep};
 pub use transfer::TransferKey;
+pub use warm::WarmSpec;
 // Id types appearing in `BindingParts`, for consumers (e.g. the cluster
 // protocol) that do not depend on the datapath crate directly.
 pub use salsa_datapath::{FuId, RegId};

@@ -359,6 +359,38 @@ pub(crate) fn apply_proposal(binding: &mut Binding<'_>, proposal: Proposal) -> b
     }
 }
 
+/// Draws one move through the optional warm-start delta bias: with no
+/// bias this is exactly `set.pick` + [`propose_move`] (identical RNG
+/// draw sequence — the cold trajectory is untouched). Under a bias, a
+/// feasible draw that misses the focus set gets **one** re-draw, and the
+/// re-draw is kept only when it touches the focus set — doubling the
+/// selection weight of delta-local moves without ever forfeiting a
+/// feasible proposal. Proposing is net-zero on the binding, so the
+/// double draw is safe inside the caller's open transaction, and both
+/// the sequential and the batch engine route through this one helper
+/// (the `batch(1) ≡ sequential` contract must hold under warm starts
+/// too).
+pub(crate) fn propose_biased(
+    binding: &mut Binding<'_>,
+    set: &MoveSet,
+    rng: &mut StdRng,
+    bias: Option<&crate::WarmSpec>,
+) -> Option<Proposal> {
+    let kind = set.pick(rng);
+    let first = propose_move(binding, kind, rng);
+    let Some(w) = bias else { return first };
+    match first {
+        Some(p) if !w.touches(&p) => {
+            let kind2 = set.pick(rng);
+            match propose_move(binding, kind2, rng) {
+                Some(p2) if w.touches(&p2) => Some(p2),
+                _ => Some(p),
+            }
+        }
+        other => other,
+    }
+}
+
 /// Draws one move of the given kind and discards the resolved proposal,
 /// returning whether the draw was feasible. Benchmark hook: isolates the
 /// propose path (candidate enumeration, ranking, RNG draws) from apply,

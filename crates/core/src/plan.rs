@@ -81,6 +81,10 @@ pub struct MovePlan {
     pub(crate) value_fb_producer: Vec<Option<OpId>>,
     /// Per-value stored-lifetime length (0 = unstored or empty).
     pub(crate) value_lt_len: Vec<u32>,
+    /// Dimension stamp `(ops, values, steps, fus, regs)` of the inputs
+    /// the plan was compiled from — the defensive shape check a shared
+    /// (cached) plan is validated against before reuse.
+    stamp: (usize, usize, usize, usize, usize),
 }
 
 impl MovePlan {
@@ -217,7 +221,23 @@ impl MovePlan {
             value_producer,
             value_fb_producer,
             value_lt_len,
+            stamp: (num_ops, num_values, n_steps, datapath.num_fus(), datapath.num_regs()),
         }
+    }
+
+    /// Whether this plan was compiled for inputs of exactly this shape.
+    /// A dimension match is necessary but not sufficient for identity —
+    /// the admission cache only shares plans between jobs holding the
+    /// same canonical design text, where it *is* sufficient.
+    pub(crate) fn matches(&self, graph: &Cdfg, schedule: &Schedule, datapath: &Datapath) -> bool {
+        self.stamp
+            == (
+                graph.num_ops(),
+                graph.num_values(),
+                schedule.n_steps(),
+                datapath.num_fus(),
+                datapath.num_regs(),
+            )
     }
 
     /// O(1) lifetime position of `step` within `value`'s stored lifetime.

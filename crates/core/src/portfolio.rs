@@ -51,7 +51,8 @@ use rand::SeedableRng;
 
 use crate::improve::{improve_bounded, SearchExit, SearchWatch};
 use crate::{
-    initial_allocation, polish, AllocContext, AllocError, Binding, ImproveConfig, ImproveStats,
+    initial_binding, polish, AllocContext, AllocError, Binding, ImproveConfig, ImproveStats,
+    InitialBinding,
 };
 
 /// The shared lower envelope of the portfolio: the best cost any primary
@@ -215,6 +216,10 @@ pub struct PortfolioOutcome<'a> {
     pub stats: ImproveStats,
     /// The winning cost.
     pub cost: u64,
+    /// How the shared starting binding was produced (constructive, or
+    /// seeded/guided by a warm-start spec). Every chain starts from the
+    /// same initial, so this is a portfolio-wide fact.
+    pub initial: InitialBinding,
     /// Portfolio-wide statistics.
     pub portfolio: PortfolioStats,
 }
@@ -322,7 +327,7 @@ pub fn run_chain_slots_with_best<'a>(
     slots: std::ops::Range<usize>,
     watch: Option<&SearchWatch<'_>>,
 ) -> Result<(Vec<ChainOutcome>, ShardBest<'a>), AllocError> {
-    let initial = initial_allocation(ctx);
+    let (initial, _) = initial_binding(ctx, improve_config.warm.as_deref());
     let cancelled = || improve_config.cancel.as_ref().is_some_and(|t| t.is_cancelled());
     let mut outcomes = Vec::with_capacity(slots.len());
     let mut best: Option<(u64, usize, Binding<'a>)> = None;
@@ -370,7 +375,7 @@ pub fn replay_slot<'a>(
     base_seed: u64,
     slot: usize,
 ) -> Result<(ChainOutcome, Binding<'a>), AllocError> {
-    let initial = initial_allocation(ctx);
+    let (initial, _) = initial_binding(ctx, improve_config.warm.as_deref());
     let run = run_chain(
         &initial,
         improve_config,
@@ -423,7 +428,7 @@ pub fn portfolio_search<'a>(
     assert!(seeds > 0, "at least one chain is required");
     let start = Instant::now();
     let threads = config.effective_threads().min(seeds);
-    let initial = initial_allocation(ctx);
+    let (initial, initial_origin) = initial_binding(ctx, improve_config.warm.as_deref());
     let cancelled = || improve_config.cancel.as_ref().is_some_and(|t| t.is_cancelled());
 
     let mut runs: Vec<ChainRun<'a>> = if threads == 1 {
@@ -550,6 +555,7 @@ pub fn portfolio_search<'a>(
         binding,
         stats,
         cost,
+        initial: initial_origin,
         portfolio: PortfolioStats {
             threads,
             chains,

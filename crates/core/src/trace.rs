@@ -40,7 +40,7 @@ use salsa_datapath::{FuId, RegId};
 
 use crate::improve::{improve_traced, weighted_cost, SearchExit};
 use crate::moves::{apply_proposal, Proposal};
-use crate::{initial_allocation, polish, AllocContext, AllocError, Binding, ImproveConfig, TransferKey};
+use crate::{initial_binding, polish, AllocContext, AllocError, Binding, ImproveConfig, TransferKey};
 
 /// One recorded step of a search trajectory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,7 +203,7 @@ pub fn record_slot_trace<'a>(
     base_seed: u64,
     slot: usize,
 ) -> Result<(MoveTrace, Binding<'a>), AllocError> {
-    let mut binding = initial_allocation(ctx);
+    let mut binding = initial_binding(ctx, config.warm.as_deref()).0;
     let seed = base_seed.wrapping_add(slot as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rec = TraceRecorder::default();
@@ -288,7 +288,7 @@ pub fn replay_trace<'a>(
     check: ReplayCheck,
 ) -> Result<Binding<'a>, TraceError> {
     let weights = &config.weights;
-    let mut binding = initial_allocation(ctx);
+    let mut binding = initial_binding(ctx, config.warm.as_deref()).0;
     let initial = weighted_cost(weights, &binding);
     if initial != trace.initial_cost {
         return Err(TraceError::InitialCostMismatch {

@@ -1,0 +1,528 @@
+//! Warm-start seeds: a prior winner's allocation image plus the delta
+//! between its design and the one being allocated, packaged so the search
+//! can start from (or be guided by) the previous answer instead of the
+//! constructive initial allocation.
+//!
+//! A [`WarmSpec`] is **part of the job identity**: the serving layer
+//! carries it inside the request knobs, so the result-cache key, the
+//! recorded trace artifact and the offline audit replay all see the same
+//! seed. That keeps the determinism contract intact — a warm-started job
+//! is a pure function of `(design, knobs-including-seed)` and replays
+//! byte-for-byte, exactly like a cold one.
+//!
+//! Three ingredients, all optional and composable:
+//!
+//! 1. **Image** ([`WarmSpec::parts`]) — the full [`BindingParts`] of the
+//!    base winner. When the new design has identical dimensions and the
+//!    image passes [`Binding::from_parts`]'s structural validation, the
+//!    search starts exactly there ([`InitialBinding::Seeded`](crate::InitialBinding)).
+//! 2. **Preferences** ([`WarmSpec::op_fu`] / [`WarmSpec::value_reg`]) —
+//!    per-operation unit and per-value register choices remapped onto the
+//!    *new* design's numbering by the caller (the server matches ops and
+//!    values across the delta by label). The constructive allocator
+//!    honours each preference when it is feasible and falls back to its
+//!    normal first-available / fewest-connections rule when it is not.
+//! 3. **Focus** ([`WarmSpec::focus_ops`] / [`WarmSpec::focus_values`]) —
+//!    the ops/values touched by the CDFG delta. For the first
+//!    [`bias_trials`](WarmSpec::bias_trials) trials the move draw is
+//!    biased toward proposals touching the focus set (a non-focus draw
+//!    gets one re-draw), concentrating early search effort where the
+//!    design actually changed.
+
+use salsa_datapath::{FuId, RegId};
+
+use crate::moves::Proposal;
+use crate::{BindingParts, ChainSlotImage, TransferKey};
+
+/// The text-codec header (versioned like `salsa-trace/1`).
+const HEADER: &str = "salsa-seed/1";
+
+/// A warm-start seed: prior winner image, remapped preferences and the
+/// delta focus set. See the module docs for the three ingredients.
+///
+/// All indices refer to the **new** design's canonical numbering (the
+/// graph the seeded job allocates), except [`parts`](Self::parts), which
+/// is the base winner's image and is only usable when the dimensions
+/// still match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmSpec {
+    /// The base winner's full allocation image, if dimension-compatible
+    /// seeding should be attempted.
+    pub parts: Option<BindingParts>,
+    /// `(op index, preferred unit index)` pairs, sorted by op index.
+    pub op_fu: Vec<(u32, u32)>,
+    /// `(value index, preferred register index)` pairs, sorted by value
+    /// index.
+    pub value_reg: Vec<(u32, u32)>,
+    /// Ops touched by the CDFG delta, sorted.
+    pub focus_ops: Vec<u32>,
+    /// Values touched by the CDFG delta, sorted.
+    pub focus_values: Vec<u32>,
+    /// Trials over which the delta-local move bias is active.
+    pub bias_trials: u32,
+    /// Provenance: the base job's result-cache key (0 when unset).
+    pub source: u128,
+    /// Provenance: the similarity-sketch distance between base and new
+    /// design (0 for an exact-text base).
+    pub distance: u64,
+}
+
+impl WarmSpec {
+    /// An empty spec with the default bias window.
+    pub fn new() -> Self {
+        WarmSpec {
+            parts: None,
+            op_fu: Vec::new(),
+            value_reg: Vec::new(),
+            focus_ops: Vec::new(),
+            focus_values: Vec::new(),
+            bias_trials: 4,
+            source: 0,
+            distance: 0,
+        }
+    }
+
+    /// Whether the spec carries any guided-constructive preferences.
+    pub fn guided(&self) -> bool {
+        !self.op_fu.is_empty() || !self.value_reg.is_empty()
+    }
+
+    /// Whether the spec carries a delta focus set to bias toward.
+    pub fn has_focus(&self) -> bool {
+        !self.focus_ops.is_empty() || !self.focus_values.is_empty()
+    }
+
+    /// The preferred unit index for an op, if any.
+    pub(crate) fn op_pref(&self, op: usize) -> Option<usize> {
+        let op = u32::try_from(op).ok()?;
+        let i = self.op_fu.binary_search_by_key(&op, |&(o, _)| o).ok()?;
+        Some(self.op_fu[i].1 as usize)
+    }
+
+    /// The preferred register index for a value, if any.
+    pub(crate) fn value_pref(&self, value: usize) -> Option<usize> {
+        let value = u32::try_from(value).ok()?;
+        let i = self.value_reg.binary_search_by_key(&value, |&(v, _)| v).ok()?;
+        Some(self.value_reg[i].1 as usize)
+    }
+
+    fn focus_op(&self, op: usize) -> bool {
+        u32::try_from(op).is_ok_and(|o| self.focus_ops.binary_search(&o).is_ok())
+    }
+
+    fn focus_value(&self, value: usize) -> bool {
+        u32::try_from(value).is_ok_and(|v| self.focus_values.binary_search(&v).is_ok())
+    }
+
+    fn focus_key(&self, key: &TransferKey) -> bool {
+        match *key {
+            TransferKey::Intra { value, .. } | TransferKey::CopyFeed { value, .. } => {
+                self.focus_value(value.index())
+            }
+            TransferKey::Boundary { state } => self.focus_value(state.index()),
+        }
+    }
+
+    /// Whether a resolved proposal touches the delta focus set. Unit
+    /// exchanges (F1) carry no op identity and count as non-focus.
+    pub fn touches(&self, p: &Proposal) -> bool {
+        match *p {
+            Proposal::FuExchange { .. } => false,
+            Proposal::FuMove { op, .. } | Proposal::OperandReverse { op } => {
+                self.focus_op(op.index())
+            }
+            Proposal::PassBind { ref key, .. } | Proposal::PassUnbind { ref key } => {
+                self.focus_key(key)
+            }
+            Proposal::SegmentExchange { v1, v2, .. } | Proposal::ValueExchange { v1, v2, .. } => {
+                self.focus_value(v1.index()) || self.focus_value(v2.index())
+            }
+            Proposal::SegmentMove { value, .. }
+            | Proposal::ValueMove { value, .. }
+            | Proposal::ValueSplitExtend { value, .. }
+            | Proposal::ValueSplitNew { value, .. }
+            | Proposal::ValueMerge { value, .. } => self.focus_value(value.index()),
+        }
+    }
+
+    /// Serializes the spec to its single-line text form
+    /// (`salsa-seed/1 src=.. dist=.. bias=.. fo=.. fv=.. of=.. vr=.. parts=..`).
+    /// The encoding round-trips exactly through [`WarmSpec::decode`]; the
+    /// serving layer embeds it in the request knobs, so it joins the
+    /// result-cache key and the trace artifact verbatim.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            &mut out,
+            "{HEADER} src={:032x} dist={} bias={}",
+            self.source, self.distance, self.bias_trials
+        );
+        out.push_str(" fo=");
+        encode_list(&mut out, &self.focus_ops);
+        out.push_str(" fv=");
+        encode_list(&mut out, &self.focus_values);
+        out.push_str(" of=");
+        encode_pairs(&mut out, &self.op_fu);
+        out.push_str(" vr=");
+        encode_pairs(&mut out, &self.value_reg);
+        out.push_str(" parts=");
+        match &self.parts {
+            None => out.push('-'),
+            Some(parts) => encode_parts(&mut out, parts),
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`WarmSpec::encode`]. Input is
+    /// untrusted wire data: every failure is a structured message, never
+    /// a panic. (A decoded spec that names out-of-range entities is still
+    /// *safe* — seeding validates against the target context and falls
+    /// back to the constructive allocation.)
+    pub fn decode(text: &str) -> Result<WarmSpec, String> {
+        let mut tokens = text.split_ascii_whitespace();
+        if tokens.next() != Some(HEADER) {
+            return Err(format!("warm seed must start with `{HEADER}`"));
+        }
+        let mut spec = WarmSpec::new();
+        for tok in tokens {
+            let (key, val) = tok.split_once('=').ok_or_else(|| format!("bad token `{tok}`"))?;
+            match key {
+                "src" => {
+                    spec.source = u128::from_str_radix(val, 16)
+                        .map_err(|_| format!("bad source `{val}`"))?;
+                }
+                "dist" => {
+                    spec.distance = val.parse().map_err(|_| format!("bad distance `{val}`"))?;
+                }
+                "bias" => {
+                    spec.bias_trials = val.parse().map_err(|_| format!("bad bias `{val}`"))?;
+                }
+                "fo" => spec.focus_ops = decode_list(val)?,
+                "fv" => spec.focus_values = decode_list(val)?,
+                "of" => spec.op_fu = decode_pairs(val)?,
+                "vr" => spec.value_reg = decode_pairs(val)?,
+                "parts" => {
+                    spec.parts = if val == "-" { None } else { Some(decode_parts(val)?) };
+                }
+                other => return Err(format!("unknown field `{other}`")),
+            }
+        }
+        if !spec.focus_ops.is_sorted() || !spec.focus_values.is_sorted() {
+            return Err("focus sets must be sorted".into());
+        }
+        if !spec.op_fu.is_sorted_by_key(|&(o, _)| o) || !spec.value_reg.is_sorted_by_key(|&(v, _)| v)
+        {
+            return Err("preference tables must be sorted".into());
+        }
+        Ok(spec)
+    }
+}
+
+impl Default for WarmSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn encode_list(out: &mut String, list: &[u32]) {
+    use std::fmt::Write;
+    if list.is_empty() {
+        out.push('-');
+        return;
+    }
+    for (i, n) in list.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn decode_list(text: &str) -> Result<Vec<u32>, String> {
+    if text == "-" {
+        return Ok(Vec::new());
+    }
+    text.split('.')
+        .map(|p| p.parse().map_err(|_| format!("bad index `{p}`")))
+        .collect()
+}
+
+fn encode_pairs(out: &mut String, pairs: &[(u32, u32)]) {
+    use std::fmt::Write;
+    if pairs.is_empty() {
+        out.push('-');
+        return;
+    }
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{a}:{b}");
+    }
+}
+
+fn decode_pairs(text: &str) -> Result<Vec<(u32, u32)>, String> {
+    if text == "-" {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|p| {
+            let (a, b) = p.split_once(':').ok_or_else(|| format!("bad pair `{p}`"))?;
+            Ok((
+                a.parse().map_err(|_| format!("bad pair `{p}`"))?,
+                b.parse().map_err(|_| format!("bad pair `{p}`"))?,
+            ))
+        })
+        .collect()
+}
+
+// --- BindingParts codec ----------------------------------------------------
+//
+// No spaces (the spec's fields are whitespace-separated tokens). Sections
+// are `;`-joined: `u=` one `<fu>.<swap>.<uc0>.<uc1>` entry per op (`,`),
+// `c=` one chain list per value (`,`; slots `|`-joined, a dead slot is
+// `-`, a live slot `<lo>:r.r.r`), `p=` the pass map (`,`; `<key>:<fu>`
+// with the trace codec's key spelling `i./c./b.`).
+
+fn encode_parts(out: &mut String, parts: &BindingParts) {
+    use std::fmt::Write;
+    out.push_str("u=");
+    for i in 0..parts.op_fu.len() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}.{}.{}.{}",
+            parts.op_fu[i].index(),
+            u8::from(parts.op_swap[i]),
+            parts.use_chain[i][0],
+            parts.use_chain[i][1]
+        );
+    }
+    out.push_str(";c=");
+    for (vi, chains) in parts.chains.iter().enumerate() {
+        if vi > 0 {
+            out.push(',');
+        }
+        for (si, slot) in chains.iter().enumerate() {
+            if si > 0 {
+                out.push('|');
+            }
+            match slot {
+                None => out.push('-'),
+                Some((lo, regs)) => {
+                    let _ = write!(out, "{lo}:");
+                    for (ri, r) in regs.iter().enumerate() {
+                        if ri > 0 {
+                            out.push('.');
+                        }
+                        let _ = write!(out, "{}", r.index());
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(";p=");
+    for (pi, (key, fu)) in parts.passes.iter().enumerate() {
+        if pi > 0 {
+            out.push(',');
+        }
+        encode_transfer_key(out, key);
+        let _ = write!(out, ":{}", fu.index());
+    }
+}
+
+fn decode_parts(text: &str) -> Result<BindingParts, String> {
+    let mut parts = BindingParts {
+        op_fu: Vec::new(),
+        op_swap: Vec::new(),
+        chains: Vec::new(),
+        use_chain: Vec::new(),
+        passes: Vec::new(),
+    };
+    for section in text.split(';') {
+        let (tag, body) =
+            section.split_once('=').ok_or_else(|| format!("bad parts section `{section}`"))?;
+        match tag {
+            "u" => {
+                for entry in body.split(',').filter(|e| !e.is_empty()) {
+                    let nums: Vec<usize> = entry
+                        .split('.')
+                        .map(|p| p.parse().map_err(|_| format!("bad op entry `{entry}`")))
+                        .collect::<Result<_, _>>()?;
+                    let [fu, swap, uc0, uc1] = nums[..] else {
+                        return Err(format!("bad op entry `{entry}`"));
+                    };
+                    parts.op_fu.push(FuId::from_index(fu));
+                    parts.op_swap.push(swap != 0);
+                    parts.use_chain.push([uc0, uc1]);
+                }
+            }
+            "c" => {
+                if body.is_empty() {
+                    continue;
+                }
+                for value in body.split(',') {
+                    let chains: Vec<ChainSlotImage> = if value.is_empty() {
+                        Vec::new()
+                    } else {
+                        value
+                            .split('|')
+                            .map(decode_slot)
+                            .collect::<Result<_, _>>()?
+                    };
+                    parts.chains.push(chains);
+                }
+            }
+            "p" => {
+                for entry in body.split(',').filter(|e| !e.is_empty()) {
+                    let (key, fu) = entry
+                        .rsplit_once(':')
+                        .ok_or_else(|| format!("bad pass entry `{entry}`"))?;
+                    let fu: usize =
+                        fu.parse().map_err(|_| format!("bad pass entry `{entry}`"))?;
+                    parts.passes.push((decode_transfer_key(key)?, FuId::from_index(fu)));
+                }
+            }
+            other => return Err(format!("unknown parts section `{other}`")),
+        }
+    }
+    Ok(parts)
+}
+
+fn decode_slot(text: &str) -> Result<ChainSlotImage, String> {
+    if text == "-" {
+        return Ok(None);
+    }
+    let (lo, regs) = text.split_once(':').ok_or_else(|| format!("bad chain slot `{text}`"))?;
+    let lo: usize = lo.parse().map_err(|_| format!("bad chain slot `{text}`"))?;
+    let regs: Vec<RegId> = regs
+        .split('.')
+        .map(|r| {
+            r.parse::<usize>()
+                .map(RegId::from_index)
+                .map_err(|_| format!("bad chain slot `{text}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if regs.is_empty() {
+        return Err(format!("bad chain slot `{text}`"));
+    }
+    Ok(Some((lo, regs)))
+}
+
+fn encode_transfer_key(out: &mut String, key: &TransferKey) {
+    use std::fmt::Write;
+    match *key {
+        TransferKey::Intra { value, chain, idx } => {
+            let _ = write!(out, "i{}.{}.{}", value.index(), chain, idx);
+        }
+        TransferKey::CopyFeed { value, chain } => {
+            let _ = write!(out, "c{}.{}", value.index(), chain);
+        }
+        TransferKey::Boundary { state } => {
+            let _ = write!(out, "b{}", state.index());
+        }
+    }
+}
+
+fn decode_transfer_key(tok: &str) -> Result<TransferKey, String> {
+    use salsa_cdfg::ValueId;
+    let malformed = || format!("bad transfer key `{tok}`");
+    let (tag, rest) = tok.split_at(tok.len().min(1));
+    let nums: Vec<usize> =
+        rest.split('.').map(|p| p.parse().map_err(|_| malformed())).collect::<Result<_, _>>()?;
+    match (tag, nums.as_slice()) {
+        ("i", [v, chain, idx]) => Ok(TransferKey::Intra {
+            value: ValueId::from_index(*v),
+            chain: *chain,
+            idx: *idx,
+        }),
+        ("c", [v, chain]) => {
+            Ok(TransferKey::CopyFeed { value: ValueId::from_index(*v), chain: *chain })
+        }
+        ("b", [v]) => Ok(TransferKey::Boundary { state: ValueId::from_index(*v) }),
+        _ => Err(malformed()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{initial_allocation, AllocContext};
+    use salsa_cdfg::benchmarks::paper_example;
+    use salsa_datapath::Datapath;
+    use salsa_sched::{fds_schedule, FuLibrary};
+
+    fn spec_with_parts() -> WarmSpec {
+        let graph = paper_example();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 4).unwrap();
+        let datapath = Datapath::new(
+            &schedule.fu_demand(&graph, &library),
+            schedule.register_demand(&graph, &library),
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let binding = initial_allocation(&ctx);
+        WarmSpec {
+            parts: Some(binding.to_parts()),
+            op_fu: vec![(0, 2), (5, 1)],
+            value_reg: vec![(3, 4)],
+            focus_ops: vec![1, 5, 9],
+            focus_values: vec![2, 7],
+            bias_trials: 6,
+            source: 0xdead_beef_dead_beef_dead_beef_dead_beef,
+            distance: 17,
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let spec = spec_with_parts();
+        let text = spec.encode();
+        let back = WarmSpec::decode(&text).expect("decode");
+        assert_eq!(spec, back);
+        assert_eq!(back.encode(), text, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn empty_spec_round_trips() {
+        let spec = WarmSpec::new();
+        let back = WarmSpec::decode(&spec.encode()).expect("decode");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn corrupted_specs_are_rejected_not_panicked() {
+        let good = spec_with_parts().encode();
+        assert!(WarmSpec::decode("salsa-seed/2 src=0").is_err(), "wrong header");
+        assert!(WarmSpec::decode(&good.replace("dist=17", "dist=x")).is_err());
+        assert!(WarmSpec::decode(&good.replace("fo=1.5.9", "fo=9.5.1")).is_err(), "unsorted");
+        assert!(WarmSpec::decode(&good.replace("src=", "zzz=")).is_err());
+        for cut in [good.len() / 3, good.len() / 2, 2 * good.len() / 3] {
+            // Truncation must fail cleanly or parse to *some* valid spec —
+            // never panic.
+            let _ = WarmSpec::decode(&good[..cut]);
+        }
+    }
+
+    #[test]
+    fn touches_matches_focus_membership() {
+        use salsa_cdfg::{OpId, ValueId};
+        let spec = spec_with_parts();
+        assert!(spec.touches(&Proposal::OperandReverse { op: OpId::from_index(5) }));
+        assert!(!spec.touches(&Proposal::OperandReverse { op: OpId::from_index(4) }));
+        assert!(spec.touches(&Proposal::ValueMove {
+            value: ValueId::from_index(7),
+            target: RegId::from_index(0),
+        }));
+        assert!(!spec.touches(&Proposal::FuExchange {
+            a: FuId::from_index(0),
+            z: FuId::from_index(1),
+        }));
+        assert!(spec.touches(&Proposal::PassUnbind {
+            key: TransferKey::Boundary { state: ValueId::from_index(2) },
+        }));
+    }
+}

@@ -97,6 +97,8 @@ fn pass_through_becomes_an_alu_case_arm() {
         stats: Default::default(),
         portfolio: Default::default(),
         verified: true,
+        winner: binding.to_parts(),
+        warm: None,
         rtl,
         claims,
     };

@@ -8,15 +8,23 @@
 //! acyclic: `wire ← server ← cluster ← main`). Whatever the backend, the
 //! report contract is identical — the portfolio reduction is
 //! deterministic in `(cost, seed)`, so the cache stays sound.
+//!
+//! Backends receive the job's [`AdmissionArtifact`] rather than a bare
+//! graph: local runs reuse its cached schedule and compiled move plan,
+//! and backends that can cheaply extract the winner's binding image
+//! return it so the server can bank a warm-start seed. Returning `None`
+//! is always allowed — seeding is an optimization, never an obligation.
 
-use salsa_alloc::CancelToken;
-use salsa_cdfg::Cdfg;
+use salsa_alloc::{BindingParts, CancelToken};
 
-use crate::exec::run_allocation;
+use crate::admission::AdmissionArtifact;
+use crate::exec::run_artifact;
 use crate::json::Json;
 use crate::protocol::{Knobs, ServeError};
 
-/// Executes one resolved allocation job and returns its report object.
+/// Executes one resolved allocation job and returns its report object,
+/// plus (optionally) the winning binding's context-free image for the
+/// seed index.
 pub trait AllocBackend: Send + Sync {
     /// A short label for the `stats` response (`"local"`, `"cluster"`).
     fn name(&self) -> &str;
@@ -26,10 +34,10 @@ pub trait AllocBackend: Send + Sync {
     /// the cache replays responses across backends.
     fn allocate(
         &self,
-        graph: &Cdfg,
+        artifact: &AdmissionArtifact,
         knobs: &Knobs,
         cancel: Option<CancelToken>,
-    ) -> Result<Json, ServeError>;
+    ) -> Result<(Json, Option<BindingParts>), ServeError>;
 }
 
 /// The default backend: chains run on this process's portfolio engine.
@@ -43,10 +51,10 @@ impl AllocBackend for LocalBackend {
 
     fn allocate(
         &self,
-        graph: &Cdfg,
+        artifact: &AdmissionArtifact,
         knobs: &Knobs,
         cancel: Option<CancelToken>,
-    ) -> Result<Json, ServeError> {
-        run_allocation(graph, knobs, cancel)
+    ) -> Result<(Json, Option<BindingParts>), ServeError> {
+        run_artifact(artifact, knobs, cancel).map(|(report, winner)| (report, Some(winner)))
     }
 }

@@ -3,10 +3,13 @@
 //! report. Shared by the server's workers and usable in-process by the
 //! load generator (which drives the same path without a socket).
 
-use salsa_alloc::{AllocContext, AllocError, Allocator, CancelToken, ImproveConfig, MoveSet};
+use salsa_alloc::{
+    AllocContext, AllocError, Allocator, BindingParts, CancelToken, ImproveConfig, MoveSet,
+};
 use salsa_cdfg::{parse_cdfg, Cdfg};
 use salsa_sched::{asap, fds_schedule, FuLibrary};
 
+use crate::admission::AdmissionArtifact;
 use crate::json::Json;
 use crate::protocol::{
     canonical_bench_name, AllocRequest, ErrorKind, GraphSource, Knobs, ServeError,
@@ -58,7 +61,8 @@ pub fn run_allocation(
         .map_err(|e| ServeError::new(ErrorKind::Schedule, e.to_string()))?;
 
     let move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
-    let config = ImproveConfig { move_set, cancel, ..ImproveConfig::default() };
+    let config =
+        ImproveConfig { move_set, cancel, warm: knobs.warm.clone(), ..ImproveConfig::default() };
     let mut allocator = Allocator::new(graph, &schedule, &library)
         .seed(knobs.seed)
         .extra_registers(knobs.extra_regs)
@@ -74,14 +78,59 @@ pub fn run_allocation(
     if let Some(cutoff) = knobs.cutoff {
         allocator = allocator.cutoff_factor(cutoff);
     }
-    let result = allocator.run().map_err(|e| match e {
+    let result = allocator.run().map_err(map_alloc_err)?;
+    Ok(report_json(graph, &schedule, knobs.seed, &result))
+}
+
+fn map_alloc_err(e: AllocError) -> ServeError {
+    match e {
         AllocError::Cancelled => ServeError::new(
             ErrorKind::Timeout,
             "allocation cancelled before completion (deadline or shutdown)",
         ),
         other => ServeError::new(ErrorKind::Alloc, other.to_string()),
-    })?;
-    Ok(report_json(graph, &schedule, knobs.seed, &result))
+    }
+}
+
+/// Runs an allocation over an admission artifact: the schedule and the
+/// compiled move plan come from the artifact's derivation cache, so a
+/// repeat design pays neither force-directed scheduling nor plan
+/// compilation again. Returns the report *and* the winner's context-free
+/// binding image — the serving layer banks the latter in its seed index
+/// to warm-start future near-duplicate jobs.
+///
+/// Result-identical to [`run_allocation`]: the cached schedule is the
+/// same pure function of `(graph, knobs)`, and compiled plans never
+/// affect trajectories, only wall-clock.
+pub fn run_artifact(
+    artifact: &AdmissionArtifact,
+    knobs: &Knobs,
+    cancel: Option<CancelToken>,
+) -> Result<(Json, BindingParts), ServeError> {
+    let library = if knobs.pipelined { FuLibrary::pipelined() } else { FuLibrary::standard() };
+    let derived = artifact.derive(knobs)?;
+    let move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
+    let config =
+        ImproveConfig { move_set, cancel, warm: knobs.warm.clone(), ..ImproveConfig::default() };
+    let mut allocator = Allocator::new(&artifact.graph, &derived.schedule, &library)
+        .seed(knobs.seed)
+        .extra_registers(knobs.extra_regs)
+        .restarts(knobs.restarts)
+        .config(config)
+        .plan(knobs.plan)
+        .compiled_plan(derived.plan.clone());
+    if let Some(threads) = knobs.threads {
+        allocator = allocator.threads(threads);
+    }
+    if let Some(batch) = knobs.batch {
+        allocator = allocator.batch(batch);
+    }
+    if let Some(cutoff) = knobs.cutoff {
+        allocator = allocator.cutoff_factor(cutoff);
+    }
+    let result = allocator.run().map_err(map_alloc_err)?;
+    let report = report_json(&artifact.graph, &derived.schedule, knobs.seed, &result);
+    Ok((report, result.winner))
 }
 
 /// Rebuilds the allocation environment a serve job ran under — library,
@@ -109,6 +158,7 @@ pub fn with_replay_env<R>(
         move_set,
         batch: knobs.batch.map(|b| b.max(1)),
         plan: knobs.plan,
+        warm: knobs.warm.clone(),
         ..ImproveConfig::default()
     };
     let datapath = salsa_audit::build_datapath(graph, &schedule, &library, knobs.extra_regs);

@@ -44,9 +44,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod backend;
 pub mod cache;
 pub mod exec;
+pub mod similarity;
 pub use salsa_wire::json;
 pub mod protocol;
 pub mod queue;
@@ -55,14 +57,16 @@ pub mod server;
 pub mod stats;
 pub mod verifier;
 
+pub use admission::{AdmissionArtifact, AdmissionCache, Derived};
 pub use backend::{AllocBackend, LocalBackend};
 pub use cache::ResultCache;
-pub use exec::{resolve_graph, run_allocation, run_request, with_replay_env};
+pub use exec::{resolve_graph, run_allocation, run_artifact, run_request, with_replay_env};
 pub use json::{parse_json, Json, JsonError};
 pub use protocol::{
-    cache_key, knobs_from_json, knobs_to_json, parse_command, AllocRequest, Command, ErrorKind,
-    GraphSource, Knobs, ServeError,
+    cache_key, knobs_from_json, knobs_to_json, ok_response_keyed, parse_command, AllocRequest,
+    Command, ErrorKind, GraphSource, Knobs, ReallocRequest, ServeError,
 };
+pub use similarity::{build_warm_spec, SeedEntry, SeedIndex, Sketch};
 pub use queue::{JobQueue, PushError};
 pub use report::{canonicalize_report, report_json};
 pub use server::{Server, ServerConfig};

@@ -8,16 +8,26 @@
 //! {"cmd":"allocate","bench":"ewf","seed":1,"restarts":4,"timeout_ms":5000}
 //! {"cmd":"allocate","cdfg":"cdfg t\ninput x\n...","steps":6}
 //! {"cmd":"allocate","bench":"ewf","verify":"full"}
+//! {"cmd":"reallocate","base":"<job id>","cdfg":"cdfg t\n...edited...","seed":1}
 //! {"cmd":"trace","id":"<certificate trace_id>"}
 //! {"cmd":"stats"}
 //! {"cmd":"ping"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
+//! `reallocate` is `allocate` plus a `base`: the job id of a prior
+//! result (every ok response carries its `id`) whose winning allocation
+//! seeds the new search. The design is the *edited* CDFG; the server
+//! matches it against the base by label and warm-starts from the old
+//! winner.
+//!
 //! Responses carry a `status` of `ok`, `error` (with a machine-readable
 //! `kind`, and `line`/`column` for CDFG parse errors), or `rejected`
 //! (backpressure, with a `retry_after_ms` hint).
 
+use std::sync::Arc;
+
+use salsa_alloc::WarmSpec;
 use salsa_audit::VerifyMode;
 use salsa_cdfg::{fnv1a_128, ParseError};
 
@@ -33,6 +43,9 @@ pub const BENCH_ALIASES: &[(&str, &str)] =
 pub enum Command {
     /// Run (or replay from cache) an allocation.
     Allocate(AllocRequest),
+    /// Re-allocate an edited design warm-started from a prior job's
+    /// winner, named by its job id.
+    Reallocate(ReallocRequest),
     /// Fetch a certified job's trace artifact by its certificate's
     /// `trace_id`, for offline audit (`salsa audit`).
     Trace(String),
@@ -87,6 +100,13 @@ pub struct Knobs {
     /// section produced by the verifier lane. Part of the cache key:
     /// certified and uncertified responses are different payloads.
     pub verify: VerifyMode,
+    /// The warm-start seed the search begins from (`None` = cold,
+    /// constructive start). Part of the cache key — a warm and a cold
+    /// run of the same design are different jobs and must never alias —
+    /// and of the trace artifact, so offline audit replays the seeded
+    /// trajectory. Requests rarely spell this directly; the server
+    /// attaches it at admission (similarity seeding, `reallocate`).
+    pub warm: Option<Arc<WarmSpec>>,
 }
 
 impl Default for Knobs {
@@ -103,6 +123,7 @@ impl Default for Knobs {
             traditional: false,
             plan: true,
             verify: VerifyMode::Off,
+            warm: None,
         }
     }
 }
@@ -118,6 +139,18 @@ pub struct AllocRequest {
     /// Not part of the cache key — the result of a completed job does
     /// not depend on how long it was allowed to take.
     pub timeout_ms: Option<u64>,
+}
+
+/// A `reallocate` request: an ordinary allocation of the edited design,
+/// warm-started from the named base job's winner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReallocRequest {
+    /// The base job id (an ok response's `id`: the result-cache key in
+    /// hex) whose winning allocation seeds the search.
+    pub base: u128,
+    /// The edited design and its knobs, exactly as `allocate` takes
+    /// them.
+    pub request: AllocRequest,
 }
 
 /// Machine-readable error categories carried in the `kind` field.
@@ -214,6 +247,17 @@ pub fn ok_response(report: Json) -> Json {
     Json::obj(vec![("status", Json::Str("ok".into())), ("report", report)])
 }
 
+/// [`ok_response`] plus the job's `id` — the result-cache key in hex,
+/// which `reallocate` accepts as its `base`. Deterministic in
+/// `(canonical text, knobs)`, so cached response bytes stay replayable.
+pub fn ok_response_keyed(report: Json, key: u128) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("ok".into())),
+        ("id", Json::Str(format!("{key:032x}"))),
+        ("report", report),
+    ])
+}
+
 /// Resolves a benchmark alias (`hal` → `diffeq`, …) to its canonical
 /// workspace name.
 pub fn canonical_bench_name(name: &str) -> &str {
@@ -270,6 +314,21 @@ pub fn parse_command(request: &Json) -> Result<Command, ServeError> {
         "ping" => Ok(Command::Ping),
         "shutdown" => Ok(Command::Shutdown),
         "allocate" => Ok(Command::Allocate(parse_alloc_request(request)?)),
+        "reallocate" => {
+            let base = request.get("base").and_then(Json::as_str).ok_or_else(|| {
+                ServeError::new(
+                    ErrorKind::BadRequest,
+                    "reallocate needs a string field 'base' (a prior response's job id)",
+                )
+            })?;
+            let base = (!base.is_empty() && base.len() <= 32)
+                .then(|| u128::from_str_radix(base, 16).ok())
+                .flatten()
+                .ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadRequest, format!("bad job id '{base}'"))
+                })?;
+            Ok(Command::Reallocate(ReallocRequest { base, request: parse_alloc_request(request)? }))
+        }
         "trace" => {
             let id = request.get("id").and_then(Json::as_str).ok_or_else(|| {
                 ServeError::new(ErrorKind::BadRequest, "trace needs a string field 'id'")
@@ -278,7 +337,9 @@ pub fn parse_command(request: &Json) -> Result<Command, ServeError> {
         }
         other => Err(ServeError::new(
             ErrorKind::BadRequest,
-            format!("unknown cmd '{other}' (expected allocate, trace, stats, ping or shutdown)"),
+            format!(
+                "unknown cmd '{other}' (expected allocate, reallocate, trace, stats, ping or shutdown)"
+            ),
         )),
     }
 }
@@ -345,6 +406,17 @@ pub fn knobs_from_json(obj: &Json) -> Result<Knobs, ServeError> {
                 ServeError::new(ErrorKind::BadRequest, "'verify' must be off, sample or full")
             })?,
         },
+        warm: match obj.get("warm") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let text = v.as_str().ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadRequest, "'warm' must be a seed string")
+                })?;
+                Some(Arc::new(WarmSpec::decode(text).map_err(|e| {
+                    ServeError::new(ErrorKind::BadRequest, format!("bad 'warm' seed: {e}"))
+                })?))
+            }
+        },
     })
 }
 
@@ -380,6 +452,9 @@ pub fn knobs_to_json(knobs: &Knobs) -> Json {
     if knobs.verify != VerifyMode::Off {
         pairs.push(("verify", Json::Str(knobs.verify.as_str().into())));
     }
+    if let Some(warm) = &knobs.warm {
+        pairs.push(("warm", Json::Str(warm.encode())));
+    }
     Json::obj(pairs)
 }
 
@@ -392,7 +467,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
     keyed.push_str(canonical_text);
     keyed.push_str("\x00knobs\x00");
     keyed.push_str(&format!(
-        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={};verify={}",
+        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={};verify={};warm={}",
         knobs.steps,
         knobs.extra_regs,
         knobs.seed,
@@ -404,6 +479,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
         knobs.traditional,
         knobs.plan,
         knobs.verify.as_str(),
+        knobs.warm.as_ref().map_or_else(|| "-".to_string(), |w| w.encode()),
     ));
     fnv1a_128(keyed.as_bytes())
 }
@@ -462,6 +538,9 @@ mod tests {
             (r#"{"cmd":"allocate","bench":"ewf","seed":-3}"#, "seed"),
             (r#"{"cmd":"allocate","bench":"ewf","pipelined":"yes"}"#, "boolean"),
             (r#"{"cmd":"allocate","bench":"ewf","verify":"loud"}"#, "verify"),
+            (r#"{"cmd":"allocate","bench":"ewf","warm":"garbage"}"#, "warm"),
+            (r#"{"cmd":"reallocate","bench":"ewf"}"#, "base"),
+            (r#"{"cmd":"reallocate","base":"xyz","bench":"ewf"}"#, "job id"),
             (r#"{"cmd":"trace"}"#, "id"),
         ];
         for (raw, needle) in cases {
@@ -501,6 +580,11 @@ mod tests {
             Knobs { plan: false, ..base.clone() },
             Knobs { verify: VerifyMode::Sample, ..base.clone() },
             Knobs { verify: VerifyMode::Full, ..base.clone() },
+            Knobs { warm: Some(Arc::new(WarmSpec::new())), ..base.clone() },
+            Knobs {
+                warm: Some(Arc::new(WarmSpec { source: 7, ..WarmSpec::new() })),
+                ..base.clone()
+            },
         ];
         let base_key = key(&base);
         for v in &variants {
@@ -526,6 +610,13 @@ mod tests {
             traditional: true,
             plan: false,
             verify: VerifyMode::Full,
+            warm: Some(Arc::new(WarmSpec {
+                op_fu: vec![(0, 2), (3, 1)],
+                focus_ops: vec![4],
+                source: 0xabcd,
+                distance: 3,
+                ..WarmSpec::new()
+            })),
         };
         for knobs in [Knobs::default(), full] {
             let rendered = knobs_to_json(&knobs);

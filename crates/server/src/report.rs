@@ -20,7 +20,7 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
     let bus = bus_allocate(&traffic_from_rtl(&result.rtl));
     let stats = &result.stats;
     let portfolio = &result.portfolio;
-    Json::obj(vec![
+    let mut pairs = vec![
         ("design", Json::Str(graph.name().to_string())),
         ("steps", Json::Int(schedule.n_steps() as i64)),
         ("seed", Json::Int(seed as i64)),
@@ -61,6 +61,7 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
                 ("committed", Json::Int(stats.committed as i64)),
                 ("initial_cost", Json::Int(stats.initial_cost as i64)),
                 ("final_cost", Json::Int(stats.final_cost as i64)),
+                ("trials_to_best", Json::Int(stats.trials_to_best as i64)),
                 ("elapsed_ms", Json::Float(stats.elapsed_nanos as f64 / 1e6)),
                 ("moves_per_sec", Json::Float(stats.moves_per_sec())),
             ]),
@@ -77,7 +78,24 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
             ]),
         ),
         ("verified", Json::Bool(result.verified())),
-    ])
+    ];
+    // Warm-start provenance, present exactly when the job carried a
+    // seed: how the search actually started, where the seed came from,
+    // how far the base design was, and how fast the best was reached.
+    // Deterministic in `(inputs, knobs)` like the rest of the report, so
+    // it survives canonicalization and byte-replay untouched.
+    if let Some(warm) = &result.warm {
+        let section = Json::obj(vec![
+            ("mode", Json::Str(warm.mode.as_str().to_string())),
+            ("source", Json::Str(format!("{:032x}", warm.source))),
+            ("distance", Json::Int(warm.distance as i64)),
+            ("bias_trials", Json::Int(warm.bias_trials as i64)),
+            ("trials_to_best", Json::Int(stats.trials_to_best as i64)),
+        ]);
+        let at = pairs.iter().position(|(k, _)| *k == "verified").unwrap_or(pairs.len());
+        pairs.insert(at, ("warm_start", section));
+    }
+    Json::obj(pairs)
 }
 
 /// Zeroes the wall-clock fields of a report — `search.elapsed_ms`,

@@ -30,26 +30,26 @@
 
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use salsa_alloc::CancelToken;
 use salsa_audit::VerifyMode;
-use salsa_cdfg::Cdfg;
 use salsa_wire::frame::Payload;
 use salsa_wire::net::{Handler, Incoming, NetConfig, NetMetrics, NetServer, ReplyHandle};
 
+use crate::admission::AdmissionCache;
 use crate::backend::{AllocBackend, LocalBackend};
 use crate::cache::ResultCache;
-use crate::exec::resolve_graph;
 use crate::json::Json;
 use crate::protocol::{
-    cache_key, error_response, ok_response, parse_command, rejected_response, Command, ErrorKind,
-    Knobs, ServeError,
+    cache_key, error_response, ok_response_keyed, parse_command, rejected_response, Command,
+    ErrorKind, Knobs, ServeError,
 };
 use crate::queue::{JobQueue, PushError};
+use crate::similarity::{build_warm_spec, SeedEntry, SeedIndex};
 use crate::stats::ServerStats;
 use crate::verifier::{
     certificate_json, certify_job, parse_trace_id, result_fingerprint, set_cache_provenance,
@@ -100,12 +100,12 @@ impl Default for ServerConfig {
     }
 }
 
-/// One queued allocation job. The graph is resolved (and the cache
-/// consulted) at dispatch, so workers only ever see well-formed work.
-/// The reply handle completes the originating request on whichever
-/// protocol its connection negotiated.
+/// One queued allocation job. The design is admitted (artifact resolved,
+/// warm seed attached, cache consulted) at dispatch, so workers only
+/// ever see well-formed work. The reply handle completes the originating
+/// request on whichever protocol its connection negotiated.
 struct Job {
-    graph: Cdfg,
+    artifact: Arc<crate::admission::AdmissionArtifact>,
     knobs: Knobs,
     key: u128,
     deadline: Option<Instant>,
@@ -118,6 +118,10 @@ struct Shared {
     verify_queue: JobQueue<VerifyJob>,
     cache: ResultCache,
     verdicts: VerdictCache,
+    admission: AdmissionCache,
+    seeds: SeedIndex,
+    warm_seeded: AtomicU64,
+    reallocs: AtomicU64,
     stats: ServerStats,
     vstats: ServerStats,
     shutdown: Arc<AtomicBool>,
@@ -173,6 +177,10 @@ impl Server {
             verify_queue: JobQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
             verdicts: VerdictCache::new(config.cache_capacity),
+            admission: AdmissionCache::new(config.cache_capacity),
+            seeds: SeedIndex::new(config.cache_capacity),
+            warm_seeded: AtomicU64::new(0),
+            reallocs: AtomicU64::new(0),
             stats: ServerStats::new(),
             vstats: ServerStats::new(),
             shutdown: Arc::clone(&shutdown),
@@ -298,7 +306,18 @@ fn dispatch(shared: &Arc<Shared>, incoming: Incoming, handle: ReplyHandle) {
             ])));
         }
         Command::Allocate(request) => {
-            handle_allocate(shared, request.source, request.knobs, request.timeout_ms, handle)
+            handle_allocate(shared, request.source, request.knobs, request.timeout_ms, None, handle)
+        }
+        Command::Reallocate(realloc) => {
+            let request = realloc.request;
+            handle_allocate(
+                shared,
+                request.source,
+                request.knobs,
+                request.timeout_ms,
+                Some(realloc.base),
+                handle,
+            )
         }
         Command::Trace(id) => {
             // Answered inline from the verdict cache: artifacts are
@@ -323,8 +342,9 @@ fn dispatch(shared: &Arc<Shared>, incoming: Incoming, handle: ReplyHandle) {
 fn handle_allocate(
     shared: &Arc<Shared>,
     source: crate::protocol::GraphSource,
-    knobs: Knobs,
+    mut knobs: Knobs,
     timeout_ms: Option<u64>,
+    base: Option<u128>,
     handle: ReplyHandle,
 ) {
     if shared.shutting_down() {
@@ -332,14 +352,54 @@ fn handle_allocate(
         handle.send(payload(error_response(&err)));
         return;
     }
-    let graph = match resolve_graph(&source) {
-        Ok(graph) => graph,
+    let artifact = match shared.admission.resolve(&source) {
+        Ok(artifact) => artifact,
         Err(e) => {
             handle.send(payload(error_response(&e)));
             return;
         }
     };
-    let key = cache_key(&graph.canonical_text(), &knobs);
+
+    // Warm-start attachment happens *before* the cache key is computed:
+    // the seed is part of the job's search identity, so a warm job and
+    // its cold twin occupy distinct cache slots and can never alias.
+    if knobs.warm.is_none() {
+        if let Some(base_key) = base {
+            // The explicit `reallocate` verb: seed from a named prior
+            // winner, or fail loudly — silently running cold would hide
+            // an expired base id from an incremental flow.
+            match shared.seeds.get(base_key) {
+                Some(entry) => {
+                    let distance = artifact.sketch.distance(&entry.sketch);
+                    knobs.warm =
+                        Some(Arc::new(build_warm_spec(&entry, &artifact.graph, distance)));
+                    shared.reallocs.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    let err = ServeError::new(
+                        ErrorKind::BadRequest,
+                        format!(
+                            "unknown base job '{base_key:032x}' (the seed index keeps recent \
+                             winners only; resubmit as 'allocate')"
+                        ),
+                    );
+                    handle.send(payload(error_response(&err)));
+                    return;
+                }
+            }
+        } else if let Some((entry, distance)) = shared.seeds.nearest(&artifact.sketch) {
+            // Transparent similarity seeding — but never from the same
+            // design: an identical resubmission is either an exact cache
+            // hit (same knobs) or a deliberate knob change whose cold
+            // result must stay reproducible and verdict-cache-shareable.
+            if entry.graph != artifact.graph {
+                knobs.warm = Some(Arc::new(build_warm_spec(&entry, &artifact.graph, distance)));
+                shared.warm_seeded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let key = cache_key(&artifact.canonical_text, &knobs);
     if let Some(hit) = shared.cache.get(key) {
         // Exact hit: replay the stored payload — byte-verbatim on both
         // protocols, since the renderings live in the payload itself.
@@ -350,7 +410,7 @@ fn handle_allocate(
     let deadline = timeout_ms
         .or(shared.config.default_timeout_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let job = Job { graph, knobs, key, deadline, accepted_at: Instant::now(), reply: handle };
+    let job = Job { artifact, knobs, key, deadline, accepted_at: Instant::now(), reply: handle };
     match shared.queue.try_push(job) {
         Ok(()) => shared.stats.record_accepted(),
         Err(PushError::Full(job)) => {
@@ -445,6 +505,24 @@ fn stats_response(shared: &Arc<Shared>) -> Json {
                         ),
                     ]),
                 ),
+                (
+                    "warm",
+                    Json::obj(vec![
+                        ("seeds", Json::Int(shared.seeds.len() as i64)),
+                        ("seed_hits", Json::Int(shared.seeds.hits() as i64)),
+                        ("seed_misses", Json::Int(shared.seeds.misses() as i64)),
+                        ("seeded", w(&shared.warm_seeded)),
+                        ("reallocations", w(&shared.reallocs)),
+                        (
+                            "admission",
+                            Json::obj(vec![
+                                ("hits", Json::Int(shared.admission.hits() as i64)),
+                                ("misses", Json::Int(shared.admission.misses() as i64)),
+                                ("entries", Json::Int(shared.admission.len() as i64)),
+                            ]),
+                        ),
+                    ]),
+                ),
                 ("workers", Json::Int(shared.config.workers as i64)),
                 ("backend", Json::Str(shared.backend.name().to_string())),
             ]),
@@ -460,11 +538,25 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn process_job(shared: &Arc<Shared>, job: Job) {
     let cancel = job.deadline.map(CancelToken::with_deadline);
-    let outcome = shared.backend.allocate(&job.graph, &job.knobs, cancel);
+    let outcome = shared.backend.allocate(&job.artifact, &job.knobs, cancel);
     let latency = job.accepted_at.elapsed();
     let body = match outcome {
-        Ok(report) => {
+        Ok((report, winner)) => {
             shared.stats.record_completed(latency);
+            // Bank the winner (when the backend can hand one back) so
+            // future near-duplicate designs warm-start from it. The job
+            // key doubles as the `reallocate` base id the response
+            // carries.
+            if let Some(parts) = winner {
+                let cost = report.get("cost").and_then(Json::as_u64).unwrap_or(0);
+                shared.seeds.insert(SeedEntry {
+                    key: job.key,
+                    graph: job.artifact.graph.clone(),
+                    parts,
+                    cost,
+                    sketch: job.artifact.sketch.clone(),
+                });
+            }
             if job.knobs.verify != VerifyMode::Off {
                 // Hand the completed report (and the reply) to the
                 // verifier lane; this worker goes straight back to
@@ -472,7 +564,7 @@ fn process_job(shared: &Arc<Shared>, job: Job) {
                 // cached payload for a verifying job must carry its
                 // certificate.
                 let handoff = VerifyJob {
-                    graph: job.graph,
+                    artifact: job.artifact,
                     knobs: job.knobs,
                     key: job.key,
                     accepted_at: job.accepted_at,
@@ -485,12 +577,12 @@ fn process_job(shared: &Arc<Shared>, job: Job) {
                         // Shutdown race: the lane is gone, so answer
                         // uncertified rather than dropping the reply
                         // (and leave the cache alone).
-                        missed.reply.send(payload(ok_response(missed.report)));
+                        missed.reply.send(payload(ok_response_keyed(missed.report, missed.key)));
                     }
                 }
                 return;
             }
-            let body = payload(ok_response(report));
+            let body = payload(ok_response_keyed(report, job.key));
             shared.cache.insert(job.key, Arc::clone(&body));
             body
         }
@@ -523,15 +615,14 @@ fn process_verify(shared: &Arc<Shared>, job: VerifyJob) {
     let mode = job.knobs.verify;
     let mut canonical = job.report.clone();
     crate::report::canonicalize_report(&mut canonical);
-    let fingerprint = result_fingerprint(
-        &job.graph.canonical_text(),
-        &canonical.to_string_compact(),
-        mode,
-    );
+    // The artifact already holds the rendered canonical text — the lane
+    // neither re-parses nor re-renders what admission produced.
+    let fingerprint =
+        result_fingerprint(&job.artifact.canonical_text, &canonical.to_string_compact(), mode);
 
     let (entry, provenance) = match shared.verdicts.get(fingerprint) {
         Some(hit) => (hit, "hit"),
-        None => match certify_job(&job.graph, &job.knobs, &job.report) {
+        None => match certify_job(&job.artifact.graph, &job.knobs, &job.report) {
             Ok((cert, artifact)) => {
                 let verify_ms = started.elapsed().as_secs_f64() * 1e3;
                 let entry = Arc::new(CertEntry {
@@ -556,7 +647,7 @@ fn process_verify(shared: &Arc<Shared>, job: VerifyJob) {
     if let Json::Obj(pairs) = &mut report {
         pairs.push(("certificate".to_string(), certificate));
     }
-    let body = payload(ok_response(report));
+    let body = payload(ok_response_keyed(report, job.key));
     shared.cache.insert(job.key, Arc::clone(&body));
     // The lane's reservoir tracks verification latency only; the job's
     // end-to-end latency was recorded by the allocation worker.

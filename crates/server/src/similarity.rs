@@ -1,0 +1,386 @@
+//! Similarity-keyed warm-start seeding: a renumbering-invariant design
+//! sketch, the bounded seed index of prior winners, and the label-based
+//! delta matching that turns a near-hit into a [`WarmSpec`].
+//!
+//! The exact result cache only fires when canonical text and knobs agree
+//! byte-for-byte. Incremental design flows rarely repeat exactly — they
+//! resubmit a design with two operations swapped, one value renamed, a
+//! coefficient changed. The [`SeedIndex`] keeps the winning
+//! [`BindingParts`] of recent jobs keyed by a structural [`Sketch`];
+//! when a new design lands within [`SEED_DISTANCE_PERMILLE`] of a prior
+//! one, the server builds a [`WarmSpec`] from the prior winner (image +
+//! label-remapped preferences + delta focus set) and the search starts
+//! from the old answer instead of the constructive initial allocation.
+//!
+//! The sketch must be invariant under op/value *renumbering* — two
+//! spellings of the same structure must land at distance 0 — so it is
+//! built purely from multisets: the op-kind histogram and the
+//! (producer kind, consumer kind) histogram of every def-use edge.
+//! Neither consults an id or a label. `tests/warmstart.rs` pins the
+//! invariance property.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use salsa_alloc::{BindingParts, WarmSpec};
+use salsa_cdfg::{Cdfg, OpKind};
+
+/// Accept a similarity seed when `distance * 1000 <= weight *
+/// SEED_DISTANCE_PERMILLE` — i.e. the designs differ in at most 40% of
+/// their sketch mass. Beyond that the prior winner's structure says
+/// little about the new design and a cold start is the honest default.
+pub const SEED_DISTANCE_PERMILLE: u64 = 400;
+
+/// The four op kinds, in a fixed order for histogram indexing.
+const KINDS: [OpKind; 4] = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Lt];
+
+fn kind_index(kind: OpKind) -> usize {
+    KINDS.iter().position(|&k| k == kind).expect("kind in KINDS")
+}
+
+/// A renumbering-invariant structural summary of a design: the op-kind
+/// multiset and the (producer kind, consumer kind) multiset over every
+/// def-use edge. Producer slot 0 means "external" (an input, constant or
+/// state boundary feeds the read); slots 1..=4 are the producing op's
+/// kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    kinds: [u32; 4],
+    edges: [u32; 5 * 4],
+}
+
+impl Sketch {
+    /// Builds the sketch from graph structure alone (no ids, no labels).
+    pub fn of(graph: &Cdfg) -> Sketch {
+        let mut kinds = [0u32; 4];
+        let mut edges = [0u32; 5 * 4];
+        for op in graph.ops() {
+            let consumer = kind_index(op.kind());
+            kinds[consumer] += 1;
+            for operand in op.inputs() {
+                let producer = match graph.value(operand).source().op() {
+                    Some(p) => 1 + kind_index(graph.op(p).kind()),
+                    None => 0,
+                };
+                edges[producer * 4 + consumer] += 1;
+            }
+        }
+        Sketch { kinds, edges }
+    }
+
+    /// L1 distance between two sketches.
+    pub fn distance(&self, other: &Sketch) -> u64 {
+        let l1 = |a: &[u32], b: &[u32]| -> u64 {
+            a.iter().zip(b).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
+        };
+        l1(&self.kinds, &other.kinds) + l1(&self.edges, &other.edges)
+    }
+
+    /// Total sketch mass (ops + edges), the denominator of the
+    /// acceptance threshold.
+    pub fn weight(&self) -> u64 {
+        self.kinds.iter().map(|&c| u64::from(c)).sum::<u64>()
+            + self.edges.iter().map(|&c| u64::from(c)).sum::<u64>()
+    }
+
+    /// Whether `distance` is close enough to seed from, relative to this
+    /// (the new design's) sketch weight.
+    pub fn accepts(&self, distance: u64) -> bool {
+        distance * 1000 <= self.weight() * SEED_DISTANCE_PERMILLE
+    }
+}
+
+/// One remembered winner: the job's identity, its design, and the
+/// allocation that won.
+pub struct SeedEntry {
+    /// The base job's result-cache key (the `source` provenance of any
+    /// spec built from this entry, and the `reallocate` verb's handle).
+    pub key: u128,
+    /// The base design, canonicalized (label matching runs against it).
+    pub graph: Cdfg,
+    /// The winning allocation image.
+    pub parts: BindingParts,
+    /// The winning cost, for operator-facing logging.
+    pub cost: u64,
+    /// The base design's sketch.
+    pub sketch: Sketch,
+}
+
+struct IndexInner {
+    by_key: HashMap<u128, Arc<SeedEntry>>,
+    order: VecDeque<u128>,
+}
+
+/// A bounded FIFO index of recent winners, queried two ways: exactly by
+/// job key (the `reallocate` verb) and nearest-by-sketch (transparent
+/// similarity seeding). Nearest-neighbour scan is linear — the index
+/// holds at most a few dozen entries and a scan is nanoseconds next to
+/// one allocation job.
+pub struct SeedIndex {
+    inner: Mutex<IndexInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SeedIndex {
+    /// An index holding at most `capacity` winners (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SeedIndex {
+            inner: Mutex::new(IndexInner { by_key: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Remembers a winner, evicting the oldest entry at capacity.
+    /// Re-inserting a key refreshes its entry without growing the index.
+    pub fn insert(&self, entry: SeedEntry) {
+        let mut inner = self.inner.lock().expect("seed index poisoned");
+        let key = entry.key;
+        if inner.by_key.insert(key, Arc::new(entry)).is_some() {
+            return;
+        }
+        inner.order.push_back(key);
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.by_key.remove(&old);
+            }
+        }
+    }
+
+    /// Exact lookup by job key (the `reallocate` base).
+    pub fn get(&self, key: u128) -> Option<Arc<SeedEntry>> {
+        let inner = self.inner.lock().expect("seed index poisoned");
+        inner.by_key.get(&key).map(Arc::clone)
+    }
+
+    /// The entry nearest to `sketch` that passes the acceptance
+    /// threshold, with its distance. Deterministic: lowest distance
+    /// wins, ties break toward the *oldest* entry (insertion order), so
+    /// the same index contents always seed the same way.
+    pub fn nearest(&self, sketch: &Sketch) -> Option<(Arc<SeedEntry>, u64)> {
+        let inner = self.inner.lock().expect("seed index poisoned");
+        let mut best: Option<(Arc<SeedEntry>, u64)> = None;
+        for key in &inner.order {
+            let entry = &inner.by_key[key];
+            let d = sketch.distance(&entry.sketch);
+            if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
+                best = Some((Arc::clone(entry), d));
+            }
+        }
+        match best {
+            Some((entry, d)) if sketch.accepts(d) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry, d))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Entries currently remembered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("seed index poisoned").by_key.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of nearest() calls that produced a seed.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of nearest() calls that found nothing close.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Builds the [`WarmSpec`] seeding `new` from a prior winner: the base
+/// image (attached when dimensions even permit it — [`Binding::from_parts`]
+/// revalidates structurally at seed time), per-op/per-value preferences
+/// remapped across the delta by **label**, and the focus set of
+/// ops/values the delta actually touched.
+///
+/// Label matching is the bridge between the two numberings: canonical
+/// text preserves user-visible names, so an op that survived the edit
+/// keeps its label even when renumbered, while added/renamed entities
+/// match nothing and land in the focus set.
+///
+/// [`Binding::from_parts`]: salsa_alloc::Binding::from_parts
+pub fn build_warm_spec(base: &SeedEntry, new: &Cdfg, distance: u64) -> WarmSpec {
+    let mut spec = WarmSpec::new();
+    spec.source = base.key;
+    spec.distance = distance;
+
+    let base_ops: HashMap<&str, salsa_cdfg::OpId> =
+        base.graph.ops().map(|o| (o.label(), o.id())).collect();
+    let base_values: HashMap<&str, salsa_cdfg::ValueId> =
+        base.graph.values().map(|v| (v.label(), v.id())).collect();
+
+    for op in new.ops() {
+        let matched = base_ops.get(op.label()).copied().filter(|&b| {
+            let bop = base.graph.op(b);
+            bop.kind() == op.kind()
+                && bop.inputs().iter().map(|&v| base.graph.value(v).label()).collect::<Vec<_>>()
+                    == op.inputs().iter().map(|&v| new.value(v).label()).collect::<Vec<_>>()
+        });
+        match matched {
+            Some(b) => {
+                if let Some(&fu) = base.parts.op_fu.get(b.index()) {
+                    spec.op_fu.push((op.id().index() as u32, fu.index() as u32));
+                }
+            }
+            None => spec.focus_ops.push(op.id().index() as u32),
+        }
+    }
+    for value in new.values() {
+        let matched = base_values.get(value.label()).copied().filter(|&b| {
+            let source_label = |g: &Cdfg, v: &salsa_cdfg::Value| {
+                v.source().op().map(|p| g.op(p).label().to_string())
+            };
+            source_label(&base.graph, base.graph.value(b)) == source_label(new, value)
+        });
+        match matched {
+            Some(b) => {
+                // Prefer the register the base winner stored this value
+                // in first: the head of its first live chain slot.
+                let reg = base.parts.chains.get(b.index()).and_then(|chains| {
+                    chains.iter().flatten().next().and_then(|(_, regs)| regs.first())
+                });
+                if let Some(reg) = reg {
+                    spec.value_reg.push((value.id().index() as u32, reg.index() as u32));
+                }
+            }
+            None => spec.focus_values.push(value.id().index() as u32),
+        }
+    }
+
+    // The image is only meaningful when the dimensions survived the
+    // delta; `from_parts` still revalidates structurally at seed time.
+    if base.graph.num_ops() == new.num_ops() && base.graph.num_values() == new.num_values() {
+        spec.parts = Some(base.parts.clone());
+    }
+
+    // `new.ops()`/`new.values()` iterate in id order, so the tables the
+    // core binary-searches are already sorted.
+    debug_assert!(spec.focus_ops.is_sorted() && spec.focus_values.is_sorted());
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salsa_cdfg::parse_cdfg;
+
+    const BASE: &str = "cdfg t\ninput a\ninput b\nop x = add a b\nop y = mul x a\noutput y\n";
+
+    fn entry(key: u128, text: &str) -> SeedEntry {
+        let graph = parse_cdfg(text).unwrap();
+        let sketch = Sketch::of(&graph);
+        SeedEntry {
+            key,
+            graph,
+            parts: BindingParts {
+                op_fu: Vec::new(),
+                op_swap: Vec::new(),
+                chains: Vec::new(),
+                use_chain: Vec::new(),
+                passes: Vec::new(),
+            },
+            cost: 100,
+            sketch,
+        }
+    }
+
+    #[test]
+    fn identical_structure_lands_at_distance_zero() {
+        let a = parse_cdfg(BASE).unwrap();
+        // Same structure, every label different: renaming must not move
+        // the sketch at all.
+        let b = parse_cdfg(
+            "cdfg u\ninput p\ninput q\nop m = add p q\nop n = mul m p\noutput n\n",
+        )
+        .unwrap();
+        assert_eq!(Sketch::of(&a).distance(&Sketch::of(&b)), 0);
+    }
+
+    #[test]
+    fn a_small_edit_moves_the_sketch_a_little_a_big_one_a_lot() {
+        // The acceptance threshold is *relative* to sketch weight, so the
+        // base needs realistic size: on a 2-op design any edit is a large
+        // fraction of the mass and a cold start is correct.
+        let wide = "cdfg t\ninput a\ninput b\n\
+                    op x1 = add a b\nop x2 = add x1 a\nop x3 = add x2 b\n\
+                    op x4 = mul x3 x1\nop x5 = add x4 x2\nop x6 = add x5 x3\n\
+                    op x7 = add x6 x1\noutput x7\n";
+        let base = Sketch::of(&parse_cdfg(wide).unwrap());
+        // One op-kind flip on the tail op.
+        let tweaked = Sketch::of(&parse_cdfg(&wide.replace("x7 = add", "x7 = sub")).unwrap());
+        let rebuilt = Sketch::of(
+            &parse_cdfg("cdfg t\ninput a\nop x = lt a a\nop y = lt x x\nop z = lt y y\noutput z\n")
+                .unwrap(),
+        );
+        let small = base.distance(&tweaked);
+        let large = base.distance(&rebuilt);
+        assert!(small > 0 && small < large, "small={small} large={large}");
+        assert!(base.accepts(small));
+        assert!(!base.accepts(large));
+    }
+
+    #[test]
+    fn index_serves_nearest_with_deterministic_ties_and_fifo_eviction() {
+        let index = SeedIndex::new(2);
+        assert!(index.nearest(&Sketch::of(&parse_cdfg(BASE).unwrap())).is_none());
+        index.insert(entry(1, BASE));
+        // Same structure under different labels: distance 0, and the
+        // *older* of two equal entries wins.
+        index.insert(entry(
+            2,
+            "cdfg u\ninput p\ninput q\nop m = add p q\nop n = mul m p\noutput n\n",
+        ));
+        let probe = Sketch::of(&parse_cdfg(BASE).unwrap());
+        let (hit, d) = index.nearest(&probe).expect("seed");
+        assert_eq!((hit.key, d), (1, 0));
+        assert!(index.get(1).is_some());
+
+        // Capacity 2: a third insert evicts the oldest.
+        index.insert(entry(3, BASE));
+        assert_eq!(index.len(), 2);
+        assert!(index.get(1).is_none());
+        assert_eq!(index.nearest(&probe).unwrap().0.key, 2);
+        assert_eq!((index.hits(), index.misses()), (2, 1));
+    }
+
+    #[test]
+    fn warm_spec_matches_by_label_and_focuses_the_delta() {
+        use salsa_alloc::FuId;
+        let mut base = entry(9, BASE);
+        base.parts.op_fu = vec![FuId::from_index(1), FuId::from_index(0)];
+        // One op added, one untouched; `x` feeds the new op so its own
+        // entry survives but `z`/`w` are new.
+        let new = parse_cdfg(
+            "cdfg t\ninput a\ninput b\nop x = add a b\nop y = mul x a\nop w = add y x\noutput w\n",
+        )
+        .unwrap();
+        let spec = build_warm_spec(&base, &new, 5);
+        assert_eq!(spec.source, 9);
+        assert_eq!(spec.distance, 5);
+        assert!(spec.parts.is_none(), "dimensions changed; no image");
+        let x = new.ops().find(|o| o.label() == "x").unwrap().id().index() as u32;
+        let w = new.ops().find(|o| o.label() == "w").unwrap().id().index() as u32;
+        assert!(spec.op_fu.iter().any(|&(o, f)| o == x && f == 1), "{:?}", spec.op_fu);
+        assert!(spec.focus_ops.contains(&w));
+        assert!(!spec.focus_ops.contains(&x));
+        let wv = new.values().find(|v| v.label() == "w").unwrap().id().index() as u32;
+        assert!(spec.focus_values.contains(&wv));
+    }
+}

@@ -30,6 +30,7 @@ use salsa_audit::{certify, Certification, TraceArtifact, VerifyMode};
 use salsa_cdfg::{fnv1a_128, Cdfg};
 use salsa_wire::net::ReplyHandle;
 
+use crate::admission::AdmissionArtifact;
 use crate::exec::with_replay_env;
 use crate::json::Json;
 use crate::protocol::{knobs_to_json, ErrorKind, Knobs, ServeError};
@@ -39,8 +40,10 @@ use crate::report::canonicalize_report;
 /// lane needs to re-derive the result — and the reply handle, because
 /// the response is not sent until the certificate exists.
 pub struct VerifyJob {
-    /// The resolved design.
-    pub graph: Cdfg,
+    /// The job's admission artifact: the resolved design plus its
+    /// already-rendered canonical text, so the lane never re-parses or
+    /// re-renders what admission already has.
+    pub artifact: Arc<AdmissionArtifact>,
     /// The job's knobs (including the verify mode).
     pub knobs: Knobs,
     /// The job's result-cache key; the certified response is cached

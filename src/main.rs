@@ -58,6 +58,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => bench(args),
         "serve" => serve(args),
         "submit" => submit(args),
+        "reallocate" => submit(args),
         "audit" => audit(args),
         "cluster-alloc" => cluster_alloc(args),
         "cluster-worker" => cluster_worker(args),
@@ -95,6 +96,8 @@ usage:
                      [--dump-trace PATH] [--timeout-ms MS] [--pretty]
                      [--retry N] [--protocol json|binary|auto]
   salsa-hls submit   [--addr HOST:PORT] (--ping | --stats | --shutdown)
+  salsa-hls reallocate --base JOB_ID [--addr HOST:PORT]
+                     (--bench NAME | <file.cdfg>) [submit knobs...]
   salsa-hls audit    <artifact.json>
   salsa-hls cluster-alloc  (--bench NAME | <file.cdfg>) [--steps N]
                      [--extra-regs K] [--seed S] [--restarts R] [--batch K]
@@ -139,6 +142,15 @@ writes it to PATH. 'salsa-hls audit PATH' replays such an artifact
 offline — no server, no search — re-deriving the binding move-by-move,
 verifying it symbolically, re-running the full allocation and
 byte-diffing the reproduced canonical report against the artifact's.
+
+reallocate resubmits an *edited* design against a prior job: --base
+JOB_ID names the 'id' field of an earlier ok response, and the server
+warm-starts the search from that job's winning allocation (label-matched
+across the edit, with delta-local move bias). Plain submits also
+warm-start transparently when the server's seed index holds a
+structurally similar prior design; the report's warm_start section
+records the seed's provenance either way, and warm and cold runs never
+share a result-cache entry.
 
 --backend cluster makes serve dispatch each job to a worker fleet: it
 also binds a coordinator on --cluster-listen (default 127.0.0.1:7742)
@@ -447,6 +459,7 @@ fn knobs_from_args(args: &[String]) -> Result<Knobs, String> {
         traditional: has_flag(args, "--traditional"),
         plan: !has_flag(args, "--no-plan"),
         verify: parse_verify(args)?,
+        warm: None,
     })
 }
 
@@ -697,7 +710,7 @@ fn submit_positional(args: &[String]) -> Option<&String> {
     const VALUE_FLAGS: &[&str] = &[
         "--addr", "--bench", "--steps", "--extra-regs", "--seed", "--restarts", "--threads",
         "--batch", "--cutoff", "--timeout-ms", "--retry", "--protocol", "--verify",
-        "--dump-trace",
+        "--dump-trace", "--base",
     ];
     let mut i = 1;
     while i < args.len() {
@@ -717,7 +730,16 @@ fn build_submit_request(args: &[String]) -> Result<Json, String> {
             return Ok(Json::obj(vec![("cmd", Json::Str(cmd.to_string()))]));
         }
     }
-    let mut pairs = vec![("cmd".to_string(), Json::Str("allocate".to_string()))];
+    // `salsa-hls reallocate` shares submit's whole pipeline (connection,
+    // retries, knob flags); it only swaps the verb and adds the base id.
+    let realloc = args.first().is_some_and(|a| a == "reallocate");
+    let verb = if realloc { "reallocate" } else { "allocate" };
+    let mut pairs = vec![("cmd".to_string(), Json::Str(verb.to_string()))];
+    if realloc {
+        let base = flag_value(args, "--base")?
+            .ok_or("reallocate needs --base JOB_ID (the 'id' field of a prior ok response)")?;
+        pairs.push(("base".to_string(), Json::Str(base)));
+    }
     if let Some(bench) = flag_value(args, "--bench")? {
         pairs.push(("bench".to_string(), Json::Str(bench)));
     } else {
