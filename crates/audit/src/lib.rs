@@ -38,8 +38,8 @@ use salsa_alloc::{
     ImproveConfig, MoveTrace, ReplayCheck, TraceError,
 };
 use salsa_cdfg::Cdfg;
-use salsa_datapath::{Datapath, Verdict};
-use salsa_sched::{FuLibrary, Schedule};
+use salsa_datapath::{Datapath, MemConfig, Verdict};
+use salsa_sched::{FuClass, FuLibrary, Schedule};
 use salsa_wire::json::Json;
 
 /// Commits between cost cross-checks in `verify: sample` mode. Full mode
@@ -161,10 +161,19 @@ pub fn build_datapath(
     library: &FuLibrary,
     extra_regs: usize,
 ) -> Datapath {
-    Datapath::new(
-        &schedule.fu_demand(graph, library),
-        (schedule.register_demand(graph, library) + extra_regs).max(1),
-    )
+    let fu_counts = schedule.fu_demand(graph, library);
+    let regs = (schedule.register_demand(graph, library) + extra_regs).max(1);
+    if graph.has_memory() {
+        // The same default banked-memory pool the allocation driver
+        // derives: one bank per array, each wide enough for the whole
+        // schedule's port demand, so any re-banking is feasible and the
+        // cost terms decide what the design actually pays for.
+        let ports = fu_counts.get(&FuClass::Mem).copied().unwrap_or(1).max(1);
+        let mem = MemConfig::uniform(graph.num_arrays().max(1), ports);
+        Datapath::new_with_memory(&fu_counts, regs, &mem)
+    } else {
+        Datapath::new(&fu_counts, regs)
+    }
 }
 
 /// A completed certification: the recorded trace and what checking it

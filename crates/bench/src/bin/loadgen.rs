@@ -37,10 +37,17 @@
 //! the warm search needed to reach its best against the cold job's whole
 //! trial budget — the ISSUE 9 acceptance ratio (< 0.25).
 //!
+//! `--mem-mix` swaps the request mix for the memory benchmarks (fir8a,
+//! mm2) and records the ISSUE 10 acceptance row: the mixed pass's
+//! throughput/latency plus, for each memory benchmark, the certified
+//! (`verify: full`) cost with the M move family on against the
+//! `mem_moves: false` ablation (banks frozen at the initial round-robin
+//! binding) — M-on must be strictly cheaper on both.
+//!
 //! Usage: `cargo run -p salsa-bench --bin loadgen --release --
 //! [--quick] [--clients N] [--requests N] [--pipeline N]
 //! [--protocol json|binary|auto] [--verify-mix F]
-//! [--verify-mode sample|full] [--repeats N] [--warm-mix]
+//! [--verify-mode sample|full] [--repeats N] [--warm-mix] [--mem-mix]
 //! [--addr HOST:PORT] [--pr LABEL] [--no-write]`
 
 use std::collections::{HashMap, VecDeque};
@@ -54,17 +61,43 @@ use salsa_serve::stats::percentile_ms;
 use salsa_serve::{Json, Server, ServerConfig};
 use salsa_wire::{Backoff, Connection, Protocol, WireCounts};
 
-/// The fixed request mix, cycled across all requests: (bench, seed,
-/// restarts). Repeated tuples are cache hits after their first
-/// completion; `hal`/`fir` exercise the alias path.
-const MIX: &[(&str, u64, u64)] = &[
-    ("ewf", 1, 2),
-    ("dct", 1, 1),
-    ("hal", 2, 2),
-    ("ewf", 1, 2), // repeat → cache hit
-    ("fir", 3, 1),
-    ("dct", 1, 1), // repeat → cache hit
-];
+/// A request mix: the (bench, seed, restarts) tuples cycled across all
+/// requests, plus the unique-tuple id of each entry (repeats share an id
+/// so a verified tuple is verified *everywhere* it occurs, and become
+/// cache hits after their first completion).
+#[derive(Clone, Copy)]
+struct Mix {
+    entries: &'static [(&'static str, u64, u64)],
+    tuples: &'static [usize],
+}
+
+/// The default scalar mix; `hal`/`fir` exercise the alias path.
+const SCALAR_MIX: Mix = Mix {
+    entries: &[
+        ("ewf", 1, 2),
+        ("dct", 1, 1),
+        ("hal", 2, 2),
+        ("ewf", 1, 2), // repeat → cache hit
+        ("fir", 3, 1),
+        ("dct", 1, 1), // repeat → cache hit
+    ],
+    tuples: &[0, 1, 2, 0, 3, 1],
+};
+
+/// The `--mem-mix` mix: memory benchmarks dominate (with repeats for
+/// cache hits), one scalar job keeps the cache-key namespaces honest —
+/// a memory row must never alias a scalar one.
+const MEM_MIX: Mix = Mix {
+    entries: &[
+        ("fir8a", 7, 2),
+        ("mm2", 7, 1),
+        ("ewf", 1, 2),
+        ("fir8a", 7, 2), // repeat → cache hit
+        ("mm2", 7, 1),   // repeat → cache hit
+        ("fir8a", 11, 1),
+    ],
+    tuples: &[0, 1, 2, 0, 1, 3],
+};
 
 struct ClientOutcome {
     ok: usize,
@@ -88,11 +121,6 @@ fn flag_value(name: &str) -> Option<String> {
 fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
-
-/// The unique (bench, seed, restarts) tuple id of each `MIX` entry, in
-/// order of first appearance. Repeats share an id so a verified tuple is
-/// verified *everywhere* it occurs.
-const MIX_TUPLE: &[usize] = &[0, 1, 2, 0, 3, 1];
 
 /// Which requests of a pass carry a `verify` knob, and which mode.
 ///
@@ -126,14 +154,14 @@ impl VerifySpec {
     /// Whether request `i` of the sequence is verified: the Bresenham
     /// spread of `permille`/1000 over the mix's unique tuples, so the
     /// verified share is deterministic and exact to one tuple.
-    fn selected(&self, i: usize) -> bool {
-        let tuple = MIX_TUPLE[i % MIX_TUPLE.len()];
+    fn selected(&self, mix: Mix, i: usize) -> bool {
+        let tuple = mix.tuples[i % mix.tuples.len()];
         ((tuple + 1) * self.permille) / 1000 > (tuple * self.permille) / 1000
     }
 }
 
-fn request_json(mix_index: usize, verify: VerifySpec) -> Json {
-    let (bench, seed, restarts) = MIX[mix_index % MIX.len()];
+fn request_json(mix: Mix, mix_index: usize, verify: VerifySpec) -> Json {
+    let (bench, seed, restarts) = mix.entries[mix_index % mix.entries.len()];
     let mut fields = vec![
         ("cmd", Json::Str("allocate".into())),
         ("bench", Json::Str(bench.into())),
@@ -142,7 +170,7 @@ fn request_json(mix_index: usize, verify: VerifySpec) -> Json {
         ("threads", Json::Int(1)),
         ("timeout_ms", Json::Int(120_000)),
     ];
-    if verify.send && verify.selected(mix_index) {
+    if verify.send && verify.selected(mix, mix_index) {
         fields.push(("verify", Json::Str(verify.mode.into())));
     }
     Json::obj(fields)
@@ -159,6 +187,7 @@ fn client(
     client_id: usize,
     clients: usize,
     total: usize,
+    mix: Mix,
     verify: VerifySpec,
     epoch: Instant,
 ) -> ClientOutcome {
@@ -188,7 +217,7 @@ fn client(
         while in_flight.len() < pipeline.max(1) {
             let Some(request_no) = todo.pop_front() else { break };
             let started = Instant::now();
-            let id = conn.send(&request_json(request_no, verify)).expect("send");
+            let id = conn.send(&request_json(mix, request_no, verify)).expect("send");
             in_flight.insert(id, (request_no, started));
         }
         let (id, response) = conn.recv_any().expect("receive");
@@ -201,7 +230,7 @@ fn client(
                 // Sleeping stalls this client's whole window, which is
                 // the point: backpressure means the server is saturated.
                 std::thread::sleep(delay);
-                let id = conn.send(&request_json(request_no, verify)).expect("resend");
+                let id = conn.send(&request_json(mix, request_no, verify)).expect("resend");
                 in_flight.insert(id, (request_no, started));
             }
             Some("ok") => {
@@ -210,7 +239,7 @@ fn client(
                 outcome
                     .latencies_us
                     .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                if !verify.selected(request_no) {
+                if !verify.selected(mix, request_no) {
                     outcome
                         .unverified_finish_us
                         .push(epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
@@ -290,14 +319,15 @@ fn run_pass(
     clients: usize,
     requests: usize,
     pipeline: usize,
+    mix: Mix,
     verify: VerifySpec,
     warm: bool,
 ) -> Pass {
     if warm {
         let mut conn = Connection::connect(addr, protocol).expect("warmup connect");
-        for i in 0..MIX.len() {
+        for i in 0..mix.entries.len() {
             loop {
-                let reply = conn.call(&request_json(i, verify)).expect("warmup request");
+                let reply = conn.call(&request_json(mix, i, verify)).expect("warmup request");
                 match reply.get("status").and_then(Json::as_str) {
                     Some("rejected") => std::thread::sleep(std::time::Duration::from_millis(
                         reply.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(50),
@@ -312,7 +342,7 @@ fn run_pass(
         let handles: Vec<_> = (0..clients)
             .map(|id| {
                 scope.spawn(move || {
-                    client(addr, protocol, pipeline, id, clients, requests, verify, started)
+                    client(addr, protocol, pipeline, id, clients, requests, mix, verify, started)
                 })
             })
             .collect();
@@ -409,6 +439,17 @@ fn main() {
         return;
     }
 
+    if has_flag("--mem-mix") {
+        assert!(
+            flag_value("--addr").is_none(),
+            "--mem-mix certifies the M-move ablation against fresh in-process \
+             servers; drop --addr"
+        );
+        let mem_pr = flag_value("--pr").unwrap_or_else(|| "PR10-memory".to_string());
+        run_mem_comparison(clients, requests, pipeline, protocol, &mem_pr);
+        return;
+    }
+
     if verify_permille > 0 {
         assert!(
             flag_value("--addr").is_none(),
@@ -420,6 +461,7 @@ fn main() {
         return;
     }
 
+    let mix = SCALAR_MIX;
     // In-process server unless aimed at an external one. A small queue
     // relative to the client count keeps backpressure observable.
     let (server, addr) = match flag_value("--addr") {
@@ -430,7 +472,7 @@ fn main() {
         }
     };
 
-    let pass = run_pass(&addr, protocol, clients, requests, pipeline, VerifySpec::OFF, false);
+    let pass = run_pass(&addr, protocol, clients, requests, pipeline, mix, VerifySpec::OFF, false);
     if let Some(server) = server {
         server.shutdown();
     }
@@ -512,11 +554,19 @@ fn run_verify_comparison(
     let mut passes = Vec::new();
     for _ in 0..repeats {
         let (server, addr) = in_process_server();
-        baselines
-            .push(run_pass(&addr, protocol, clients, requests, pipeline, verify.baseline_of(), true));
+        baselines.push(run_pass(
+            &addr,
+            protocol,
+            clients,
+            requests,
+            pipeline,
+            SCALAR_MIX,
+            verify.baseline_of(),
+            true,
+        ));
         server.shutdown();
         let (server, addr) = in_process_server();
-        passes.push(run_pass(&addr, protocol, clients, requests, pipeline, verify, true));
+        passes.push(run_pass(&addr, protocol, clients, requests, pipeline, SCALAR_MIX, verify, true));
         server.shutdown();
     }
     for (label, p) in baselines
@@ -610,6 +660,142 @@ fn run_verify_comparison(
         p95 = pass.p95,
     );
     write_row(pr, "loadgen-verify", mode, pipeline, row);
+}
+
+/// The `--mem-mix` comparison: the ISSUE 10 memory-binding acceptance run.
+///
+/// A throughput pass drives the memory-heavy mix (fir8a + mm2, with
+/// repeats for cache hits) against an in-process server; then each
+/// memory benchmark is allocated twice over a fresh server — M moves on
+/// with `verify: full` (the certificate the row records) and the M-off
+/// ablation (`mem_moves: false`, banks frozen at the initial round-robin
+/// binding). The row proves the tentpole claim: the extended move family
+/// reaches a strictly lower certified cost on both benchmarks under the
+/// same budget.
+fn run_mem_comparison(
+    clients: usize,
+    requests: usize,
+    pipeline: usize,
+    protocol: Protocol,
+    pr: &str,
+) {
+    let (server, addr) = in_process_server();
+    let pass =
+        run_pass(&addr, protocol, clients, requests, pipeline, MEM_MIX, VerifySpec::OFF, false);
+    server.shutdown();
+    assert_eq!(pass.ok + pass.errors, requests, "every request must resolve");
+    assert_eq!(pass.errors, 0, "the memory mix contains no failing requests");
+
+    let call_ok = |conn: &mut Connection, request: &Json| -> Json {
+        loop {
+            let reply = conn.call(request).expect("mem-mix request");
+            match reply.get("status").and_then(Json::as_str) {
+                Some("rejected") => std::thread::sleep(std::time::Duration::from_millis(
+                    reply.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(50),
+                )),
+                Some("ok") => return reply,
+                other => panic!("mem-mix: {other:?}: {}", reply.to_string_compact()),
+            }
+        }
+    };
+    let report_u64 = |reply: &Json, path: &[&str]| -> u64 {
+        let mut node = reply.get("report").unwrap_or(&Json::Null);
+        for key in path {
+            node = node.get(key).unwrap_or(&Json::Null);
+        }
+        node.as_u64().unwrap_or(0)
+    };
+
+    // The certified ablation runs against one fresh server: the knobs
+    // differ so the cache keys differ (a memory job never aliases its
+    // own ablation), and a shared server keeps the pass self-contained.
+    let (server, addr) = in_process_server();
+    let mut conn = Connection::connect(&addr, protocol).expect("connect mem server");
+    let mode = conn.mode_name();
+    let mut rows = Vec::new();
+    for bench in ["fir8a", "mm2"] {
+        let base = vec![
+            ("cmd", Json::Str("allocate".into())),
+            ("bench", Json::Str(bench.into())),
+            ("seed", Json::Int(7)),
+            ("restarts", Json::Int(2)),
+            ("threads", Json::Int(1)),
+            ("timeout_ms", Json::Int(120_000)),
+        ];
+        let mut on_request = base.clone();
+        on_request.push(("verify", Json::Str("full".into())));
+        let on = call_ok(&mut conn, &Json::obj(on_request));
+        let mut off_request = base;
+        off_request.push(("mem_moves", Json::Bool(false)));
+        let off = call_ok(&mut conn, &Json::obj(off_request));
+
+        let cost_on = report_u64(&on, &["cost"]);
+        let cost_off = report_u64(&off, &["cost"]);
+        let banks_on = report_u64(&on, &["breakdown", "mem_banks"]);
+        let banks_off = report_u64(&off, &["breakdown", "mem_banks"]);
+        let verdict = on
+            .get("report")
+            .and_then(|r| r.get("certificate"))
+            .and_then(|c| c.get("verdict"))
+            .and_then(Json::as_str)
+            .unwrap_or("missing")
+            .to_string();
+        assert_eq!(verdict, "certified", "{bench}: the M-on result must pass verify: full");
+        assert!(
+            cost_on < cost_off,
+            "{bench}: M moves must strictly beat the frozen-bank ablation \
+             (on={cost_on} off={cost_off})"
+        );
+        rows.push((bench, cost_on, cost_off, banks_on, banks_off, verdict));
+    }
+    server.shutdown();
+
+    println!(
+        "loadgen mem-mix ({mode} wire): {requests} requests, {clients} clients, \
+         pipeline {pipeline} -> {ok} ok in {wall:.2}s ({tp:.1} req/s, p99 {p99:.1}ms)",
+        ok = pass.ok,
+        wall = pass.wall_secs,
+        tp = pass.throughput,
+        p99 = pass.p99,
+    );
+    for (bench, cost_on, cost_off, banks_on, banks_off, verdict) in &rows {
+        println!(
+            "         {bench}: M-on cost={cost_on} ({banks_on} banks, {verdict}) vs \
+             M-off cost={cost_off} ({banks_off} banks) -> {pct:.1}% kept",
+            pct = *cost_on as f64 / (*cost_off).max(1) as f64 * 100.0,
+        );
+    }
+
+    if has_flag("--no-write") {
+        return;
+    }
+    let per_bench: Vec<String> = rows
+        .iter()
+        .map(|(bench, cost_on, cost_off, banks_on, banks_off, verdict)| {
+            format!(
+                "\"{bench}_cost\": {cost_on}, \"{bench}_cost_frozen\": {cost_off}, \
+                 \"{bench}_banks\": {banks_on}, \"{bench}_banks_frozen\": {banks_off}, \
+                 \"{bench}_certificate\": \"{verdict}\""
+            )
+        })
+        .collect();
+    let row = format!(
+        "{{\"name\": \"loadgen-memory\", \"mode\": \"service\", \"protocol\": \"{mode}\", \
+         \"pipeline\": {pipeline}, \"host_cores\": {cores}, \"clients\": {clients}, \
+         \"requests\": {requests}, \"ok\": {ok}, \"backpressure_retries\": {retries}, \
+         \"wall_time_sec\": {wall:.4}, \"throughput_rps\": {tp:.2}, \"p50_ms\": {p50:.1}, \
+         \"p95_ms\": {p95:.1}, \"p99_ms\": {p99:.1}, {per_bench}}}",
+        cores = salsa_bench::host_cores(),
+        ok = pass.ok,
+        retries = pass.retries,
+        wall = pass.wall_secs,
+        tp = pass.throughput,
+        p50 = pass.p50,
+        p95 = pass.p95,
+        p99 = pass.p99,
+        per_bench = per_bench.join(", "),
+    );
+    write_row(pr, "loadgen-memory", mode, pipeline, row);
 }
 
 /// The `--warm-mix` comparison: the ISSUE 9 warm-start acceptance run.

@@ -56,7 +56,7 @@ impl Effort {
     /// them on interconnect ("additional registers allowed to trade off
     /// storage vs. interconnect", §5).
     pub fn config(self, move_set: MoveSet) -> ImproveConfig {
-        let weights = salsa_datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1 };
+        let weights = salsa_datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1, bank: 80, conflict: 100_000 };
         match self {
             Effort::Quick => ImproveConfig {
                 max_trials: 4,

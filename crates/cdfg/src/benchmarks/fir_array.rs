@@ -1,0 +1,105 @@
+//! 8-tap FIR filter with its coefficients in memory arrays.
+//!
+//! The classic `fir16` benchmark bakes every coefficient into a constant
+//! multiplier operand; this variant instead fetches the taps from
+//! read-only coefficient arrays (ROMs in hardware), so every product
+//! first requires a `load` — the memory-port pressure that exercises the
+//! banked-memory binding subsystem. The taps are stored as a polyphase
+//! decomposition — even-indexed taps in one array, odd-indexed taps in
+//! another, the standard layout of a polyphase FIR — which gives the
+//! bank allocator a real decision to make: the round-robin default
+//! scatters the two ROMs over two banks, and consolidating them into one
+//! (an `ArrayRebank` move) trades a whole bank of area against port
+//! sharing. The delay line stays in scalar loop-carried state values,
+//! keeping both arrays strictly read-only within an iteration.
+
+use crate::{Cdfg, CdfgBuilder};
+
+/// Symmetric 8-tap low-pass coefficients.
+const TAPS: [i64; 8] = [-3, 7, 19, 31, 31, 19, 7, -3];
+
+/// Builds the 8-tap array-coefficient FIR filter.
+///
+/// Two arrays (`taps_even` and `taps_odd`, 4 words each, read-only),
+/// 8 loads, 8 multiplies, a 7-add reduction tree, and a 7-stage scalar
+/// delay line.
+pub fn fir_array() -> Cdfg {
+    let mut b = CdfgBuilder::new("fir8a");
+    let x = b.input("x");
+    // Polyphase halves: taps_even holds taps 0,2,4,6; taps_odd 1,3,5,7.
+    let even: Vec<i64> = TAPS.iter().copied().step_by(2).collect();
+    let odd: Vec<i64> = TAPS.iter().copied().skip(1).step_by(2).collect();
+    let taps_even = b.array_init("taps_even", even.len(), even);
+    let taps_odd = b.array_init("taps_odd", odd.len(), odd);
+
+    // Delay line d1..d7 (d0 is the live input).
+    let mut delays = vec![x];
+    for i in 1..TAPS.len() {
+        delays.push(b.state(format!("d{i}")));
+    }
+
+    // Products: tap[i] * sample[i], each tap fetched from its phase's ROM.
+    let mut products = Vec::new();
+    for (i, &sample) in delays.iter().enumerate() {
+        let addr = b.constant((i / 2) as i64);
+        let rom = if i % 2 == 0 { taps_even } else { taps_odd };
+        let tap = b.load_labeled(rom, addr, format!("t{i}"));
+        products.push(b.op_labeled(crate::OpKind::Mul, tap, sample, format!("p{i}")));
+    }
+
+    // Balanced reduction tree.
+    let mut layer = products;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 { b.add(pair[0], pair[1]) } else { pair[0] });
+        }
+        layer = next;
+    }
+    let y = layer[0];
+
+    // Shift the delay line.
+    for i in (2..TAPS.len()).rev() {
+        b.feedback(delays[i], delays[i - 1]);
+    }
+    b.feedback(delays[1], x);
+    b.mark_output(y, "y");
+    b.finish().expect("fir_array benchmark is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn shape() {
+        let g = fir_array();
+        let st = g.stats();
+        assert_eq!(st.arrays, 2);
+        assert_eq!(st.count(OpKind::Load), 8);
+        assert_eq!(st.count(OpKind::Mul), 8);
+        assert_eq!(st.count(OpKind::Add), 7);
+        assert_eq!(st.count(OpKind::Store), 0);
+        assert_eq!(st.states, 7);
+        assert_eq!(st.outputs, 1);
+        assert!(g.arrays().all(|a| a.len() == 4));
+        g.validate().expect("valid");
+    }
+
+    #[test]
+    fn computes_a_convolution() {
+        use std::collections::BTreeMap;
+        let g = fir_array();
+        let x = g.values().find(|v| v.label() == "x").unwrap().id();
+        let y = g.output_values().next().unwrap();
+        // Impulse response replays the taps.
+        let inputs: Vec<BTreeMap<_, _>> =
+            (0..10).map(|k| BTreeMap::from([(x, i64::from(k == 0))])).collect();
+        let zeros: BTreeMap<_, _> = g.state_values().map(|s| (s, 0)).collect();
+        let r = crate::evaluate(&g, &inputs, &zeros);
+        let ys: Vec<i64> = r.outputs.iter().map(|o| o[&y]).collect();
+        assert_eq!(&ys[..8], &TAPS, "impulse response equals the tap array");
+        assert_eq!(&ys[8..], &[0, 0]);
+    }
+}

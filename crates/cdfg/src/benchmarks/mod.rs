@@ -22,6 +22,13 @@
 //!   (16 mul, 24 add/sub): a wide, shallow sharing stress.
 //! * [`pid`] — a discrete PID controller loop (3 mul, 5 add/sub,
 //!   2 states): small and deeply sequential.
+//! * [`fir_array`] — 8-tap FIR with its coefficients in two read-only
+//!   polyphase ROMs (8 loads over 2 arrays): the smaller memory-binding
+//!   workload, and the bank-consolidation case — the default pool gives
+//!   each ROM its own bank and the M moves must discover that both fit
+//!   in one.
+//! * [`matmul`] — 2x2 matrix multiply over three arrays (8 loads,
+//!   4 stores): the heavier memory-port stress, with write traffic.
 //! * [`paper_example`] — a small 6-operation, 10-value CDFG standing in for
 //!   the illustrative example of Figures 1-2.
 
@@ -31,6 +38,8 @@ mod diffeq;
 mod ewf;
 mod fft;
 mod fir;
+mod fir_array;
+mod matmul;
 mod paper_example;
 mod pid;
 
@@ -40,13 +49,26 @@ pub use diffeq::diffeq;
 pub use ewf::ewf;
 pub use fft::fft_stage;
 pub use fir::fir16;
+pub use fir_array::fir_array;
+pub use matmul::matmul;
 pub use paper_example::paper_example;
 pub use pid::pid;
 
 /// Returns all benchmark graphs with their canonical names, for sweep-style
 /// tests and benches.
 pub fn all() -> Vec<crate::Cdfg> {
-    vec![ewf(), dct(), diffeq(), fir16(), ar_lattice(), fft_stage(), pid(), paper_example()]
+    vec![
+        ewf(),
+        dct(),
+        diffeq(),
+        fir16(),
+        ar_lattice(),
+        fft_stage(),
+        pid(),
+        paper_example(),
+        fir_array(),
+        matmul(),
+    ]
 }
 
 #[cfg(test)]

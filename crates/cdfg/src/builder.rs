@@ -1,6 +1,8 @@
 //! Fluent construction of CDFGs.
 
-use crate::{Cdfg, CdfgError, OpId, OpKind, Operation, Value, ValueId, ValueSource};
+use crate::{
+    ArrayDecl, ArrayId, Cdfg, CdfgError, OpId, OpKind, Operation, Value, ValueId, ValueSource,
+};
 
 /// Incremental builder for a [`Cdfg`].
 ///
@@ -33,12 +35,18 @@ pub struct CdfgBuilder {
     name: String,
     ops: Vec<Operation>,
     values: Vec<Value>,
+    arrays: Vec<ArrayDecl>,
 }
 
 impl CdfgBuilder {
     /// Starts an empty graph with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        CdfgBuilder { name: name.into(), ops: Vec::new(), values: Vec::new() }
+        CdfgBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+            values: Vec::new(),
+            arrays: Vec::new(),
+        }
     }
 
     fn push_value(
@@ -80,6 +88,24 @@ impl CdfgBuilder {
         self.push_value(ValueSource::Const(c), format!("c{c}"), None)
     }
 
+    /// Declares a zero-initialized memory array of `len` words.
+    pub fn array(&mut self, label: impl Into<String>, len: usize) -> ArrayId {
+        self.array_init(label, len, Vec::new())
+    }
+
+    /// Declares a memory array with initial contents (shorter than `len`
+    /// is zero-padded; longer is rejected by [`finish`](Self::finish)).
+    pub fn array_init(
+        &mut self,
+        label: impl Into<String>,
+        len: usize,
+        init: Vec<i64>,
+    ) -> ArrayId {
+        let id = ArrayId::from_index(self.arrays.len());
+        self.arrays.push(ArrayDecl { id, label: label.into(), len, init });
+        id
+    }
+
     /// Declares that state `state` receives the current-iteration value
     /// `from` at the iteration boundary.
     ///
@@ -111,13 +137,24 @@ impl CdfgBuilder {
         right: ValueId,
         label: impl Into<String>,
     ) -> ValueId {
+        assert!(!kind.is_memory(), "memory operations need an array: use load/store");
+        self.push_op(kind, left, right, label.into(), None)
+    }
+
+    fn push_op(
+        &mut self,
+        kind: OpKind,
+        left: ValueId,
+        right: ValueId,
+        mut label: String,
+        array: Option<ArrayId>,
+    ) -> ValueId {
         let id = OpId::from_index(self.ops.len());
-        let mut label = label.into();
         if label.is_empty() {
             label = format!("t{}", id.index());
         }
         let output = self.push_value(ValueSource::Op(id), label.clone(), None);
-        self.ops.push(Operation { id, kind, inputs: [left, right], output, label });
+        self.ops.push(Operation { id, kind, inputs: [left, right], output, label, array });
         output
     }
 
@@ -141,6 +178,42 @@ impl CdfgBuilder {
         self.op(OpKind::Lt, left, right)
     }
 
+    /// Appends a memory read of `array[addr]` and returns the loaded
+    /// value. The unused right port is tied to a fresh placeholder
+    /// constant (free in the cost model).
+    pub fn load(&mut self, array: ArrayId, addr: ValueId) -> ValueId {
+        self.load_labeled(array, addr, String::new())
+    }
+
+    /// [`load`](Self::load) with an explicit result label.
+    pub fn load_labeled(
+        &mut self,
+        array: ArrayId,
+        addr: ValueId,
+        label: impl Into<String>,
+    ) -> ValueId {
+        let zero = self.constant(0);
+        self.push_op(OpKind::Load, addr, zero, label.into(), Some(array))
+    }
+
+    /// Appends a memory write of `data` into `array[addr]` and returns the
+    /// store's *token* output — a zero-storage placeholder that must not
+    /// be read, output, or fed back.
+    pub fn store(&mut self, array: ArrayId, addr: ValueId, data: ValueId) -> ValueId {
+        self.store_labeled(array, addr, data, String::new())
+    }
+
+    /// [`store`](Self::store) with an explicit token label.
+    pub fn store_labeled(
+        &mut self,
+        array: ArrayId,
+        addr: ValueId,
+        data: ValueId,
+        label: impl Into<String>,
+    ) -> ValueId {
+        self.push_op(OpKind::Store, addr, data, label.into(), Some(array))
+    }
+
     /// Marks `value` as a primary output and relabels it.
     pub fn mark_output(&mut self, value: ValueId, label: impl Into<String>) {
         let v = &mut self.values[value.index()];
@@ -161,13 +234,13 @@ impl CdfgBuilder {
     /// particular [`CdfgError::DanglingState`] when a state value never
     /// received a [`feedback`](Self::feedback) edge.
     pub fn finish(self) -> Result<Cdfg, CdfgError> {
-        let CdfgBuilder { name, ops, values } = self;
+        let CdfgBuilder { name, ops, values, arrays } = self;
         for value in &values {
             if value.feedback_from == Some(value.id) {
                 return Err(CdfgError::DanglingState { state: value.id });
             }
         }
-        let mut graph = Cdfg { name, ops, values };
+        let mut graph = Cdfg { name, ops, values, arrays };
         graph.rebuild_uses();
         graph.validate()?;
         Ok(graph)

@@ -45,6 +45,8 @@ impl Cdfg {
                 OpKind::Add => "white",
                 OpKind::Sub => "lightyellow",
                 OpKind::Lt => "lightgrey",
+                OpKind::Load => "lightgreen",
+                OpKind::Store => "lightpink",
             };
             let _ = writeln!(
                 out,

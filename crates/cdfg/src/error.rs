@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::{OpId, ValueId};
+use crate::{ArrayId, OpId, ValueId};
 
 /// Errors detected while building or validating a [`Cdfg`](crate::Cdfg).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +52,40 @@ pub enum CdfgError {
     },
     /// The graph has no operations.
     Empty,
+    /// A memory operation lacks an array, or a non-memory operation
+    /// carries one.
+    ArrayOpMismatch {
+        /// The inconsistent operation.
+        op: OpId,
+    },
+    /// A memory operation references an array id that does not exist.
+    UnknownArray {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// An array is both loaded and stored within one iteration, which the
+    /// read-XOR-write memory model forbids.
+    ArrayReadWrite {
+        /// The array accessed both ways.
+        array: ArrayId,
+    },
+    /// An array is never accessed: dead storage that would distort bank
+    /// counts.
+    DeadArray {
+        /// The unused array.
+        array: ArrayId,
+    },
+    /// An array has zero length or an initializer longer than the array.
+    BadArrayShape {
+        /// The malformed array.
+        array: ArrayId,
+    },
+    /// A store token (the placeholder output of a `store`) is read, marked
+    /// as an output, or fed back — tokens must stay unobservable.
+    StoreTokenUsed {
+        /// The misused token value.
+        value: ValueId,
+    },
 }
 
 impl fmt::Display for CdfgError {
@@ -82,6 +116,24 @@ impl fmt::Display for CdfgError {
                 write!(f, "producer of {value} disagrees with the operation table")
             }
             CdfgError::Empty => write!(f, "graph has no operations"),
+            CdfgError::ArrayOpMismatch { op } => {
+                write!(f, "operation {op} mixes up memory kind and array reference")
+            }
+            CdfgError::UnknownArray { op } => {
+                write!(f, "operation {op} references an unknown array")
+            }
+            CdfgError::ArrayReadWrite { array } => {
+                write!(f, "array {array} is both loaded and stored in one iteration")
+            }
+            CdfgError::DeadArray { array } => {
+                write!(f, "array {array} is never accessed")
+            }
+            CdfgError::BadArrayShape { array } => {
+                write!(f, "array {array} has zero length or an oversized initializer")
+            }
+            CdfgError::StoreTokenUsed { value } => {
+                write!(f, "store token {value} must not be read, output, or fed back")
+            }
         }
     }
 }

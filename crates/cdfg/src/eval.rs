@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{Cdfg, OpKind, ValueId, ValueSource};
+use crate::{ArrayId, Cdfg, OpKind, ValueId, ValueSource};
 
 impl OpKind {
     /// Applies the operation to two's-complement 64-bit operands
@@ -17,6 +17,10 @@ impl OpKind {
             OpKind::Sub => left.wrapping_sub(right),
             OpKind::Mul => left.wrapping_mul(right),
             OpKind::Lt => i64::from(left < right),
+            // Memory kinds are interpreted against array state by the
+            // evaluator/simulator; as pure functions of their register
+            // operands they contribute nothing.
+            OpKind::Load | OpKind::Store => 0,
         }
     }
 }
@@ -30,6 +34,8 @@ pub struct EvalResult {
     /// State values after the last iteration (what the next iteration
     /// would read).
     pub states: BTreeMap<ValueId, i64>,
+    /// Full contents of every memory array after the last iteration.
+    pub arrays: BTreeMap<ArrayId, Vec<i64>>,
 }
 
 /// Executes the graph for `inputs.len()` iterations.
@@ -77,6 +83,8 @@ pub fn evaluate(
         })
         .collect();
     let mut outputs = Vec::with_capacity(inputs.len());
+    let mut arrays: Vec<Vec<i64>> =
+        graph.arrays().map(|a| a.initial_words()).collect();
 
     for iteration in inputs {
         let mut env: Vec<Option<i64>> = vec![None; graph.num_values()];
@@ -96,10 +104,35 @@ pub fn evaluate(
                 ValueSource::Op(_) => {}
             }
         }
+        // Stores commit at the end of the iteration; the read-XOR-write
+        // invariant makes this indistinguishable from any in-iteration
+        // commit order.
+        let mut pending_stores: Vec<(ArrayId, i64, i64)> = Vec::new();
         for op in graph.ops() {
             let left = env[op.input(0).index()].expect("topological order");
             let right = env[op.input(1).index()].expect("topological order");
-            env[op.output().index()] = Some(op.kind().apply(left, right));
+            let result = match op.kind() {
+                OpKind::Load => {
+                    let array = op.array().expect("loads carry an array");
+                    let words = &arrays[array.index()];
+                    words[wrap_addr(left, words.len())]
+                }
+                OpKind::Store => {
+                    pending_stores.push((
+                        op.array().expect("stores carry an array"),
+                        left,
+                        right,
+                    ));
+                    0
+                }
+                kind => kind.apply(left, right),
+            };
+            env[op.output().index()] = Some(result);
+        }
+        for (array, addr, data) in pending_stores {
+            let words = &mut arrays[array.index()];
+            let idx = wrap_addr(addr, words.len());
+            words[idx] = data;
         }
         outputs.push(
             graph
@@ -115,7 +148,18 @@ pub fn evaluate(
             })
             .collect();
     }
-    EvalResult { outputs, states }
+    EvalResult {
+        outputs,
+        states,
+        arrays: graph.array_ids().zip(arrays).collect(),
+    }
+}
+
+/// Wraps a two's-complement address into `0..len` (addresses are taken
+/// modulo the array length, matching the RTL's address truncation).
+pub fn wrap_addr(addr: i64, len: usize) -> usize {
+    debug_assert!(len > 0, "validated arrays are non-empty");
+    addr.rem_euclid(len as i64) as usize
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::{CdfgError, OpId, OpKind, Operation, Use, Value, ValueId, ValueSource};
+use crate::{
+    ArrayDecl, ArrayId, CdfgError, OpId, OpKind, Operation, Use, Value, ValueId, ValueSource,
+};
 
 /// A validated, immutable control/data flow graph.
 ///
@@ -19,6 +21,7 @@ pub struct Cdfg {
     pub(crate) name: String,
     pub(crate) ops: Vec<Operation>,
     pub(crate) values: Vec<Value>,
+    pub(crate) arrays: Vec<ArrayDecl>,
 }
 
 impl Cdfg {
@@ -35,6 +38,49 @@ impl Cdfg {
     /// Number of values (including constants).
     pub fn num_values(&self) -> usize {
         self.values.len()
+    }
+
+    /// Number of declared memory arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Looks up an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// Iterates over all array declarations.
+    pub fn arrays(&self) -> impl ExactSizeIterator<Item = &ArrayDecl> + '_ {
+        self.arrays.iter()
+    }
+
+    /// Iterates over all array ids.
+    pub fn array_ids(&self) -> impl ExactSizeIterator<Item = ArrayId> {
+        (0..self.arrays.len()).map(ArrayId::from_index)
+    }
+
+    /// `true` when the graph declares at least one memory array.
+    pub fn has_memory(&self) -> bool {
+        !self.arrays.is_empty()
+    }
+
+    /// Iterates over the memory operations (loads and stores) in id order.
+    pub fn memory_ops(&self) -> impl Iterator<Item = &Operation> + '_ {
+        self.ops.iter().filter(|o| o.kind().is_memory())
+    }
+
+    /// `true` if `value` is the token output of a [`OpKind::Store`]:
+    /// a placeholder that is never stored, read, fed back, or observed.
+    pub fn is_store_token(&self, value: ValueId) -> bool {
+        self.values[value.index()]
+            .source
+            .op()
+            .is_some_and(|op| self.ops[op.index()].kind == OpKind::Store)
     }
 
     /// Looks up an operation.
@@ -124,6 +170,7 @@ impl Cdfg {
             states: self.values.iter().filter(|v| v.is_state()).count(),
             consts: self.values.iter().filter(|v| v.is_const()).count(),
             outputs: self.values.iter().filter(|v| v.is_output).count(),
+            arrays: self.arrays.len(),
         }
     }
 
@@ -176,12 +223,54 @@ impl Cdfg {
                 return Err(CdfgError::ConstOutput { value: value.id });
             }
             let fed_back = self.feeds_state(value.id);
-            if !value.is_const()
+            if self.is_store_token(value.id) {
+                // Store tokens are pure placeholders: they must stay
+                // unobservable (and are therefore exempt from the dead-value
+                // rule — an empty lifetime is their defining property).
+                if !value.uses.is_empty() || value.is_output || fed_back {
+                    return Err(CdfgError::StoreTokenUsed { value: value.id });
+                }
+            } else if !value.is_const()
                 && value.uses.is_empty()
                 && !value.is_output
                 && !fed_back
             {
                 return Err(CdfgError::DeadValue { value: value.id });
+            }
+        }
+        for array in &self.arrays {
+            if array.len == 0 || array.init.len() > array.len {
+                return Err(CdfgError::BadArrayShape { array: array.id });
+            }
+        }
+        let mut reads = vec![0usize; self.arrays.len()];
+        let mut writes = vec![0usize; self.arrays.len()];
+        for op in &self.ops {
+            match (op.kind.is_memory(), op.array) {
+                (true, Some(array)) => {
+                    if array.index() >= self.arrays.len() {
+                        return Err(CdfgError::UnknownArray { op: op.id });
+                    }
+                    if op.kind == OpKind::Load {
+                        reads[array.index()] += 1;
+                    } else {
+                        writes[array.index()] += 1;
+                    }
+                }
+                (false, None) => {}
+                _ => return Err(CdfgError::ArrayOpMismatch { op: op.id }),
+            }
+        }
+        for array in &self.arrays {
+            let (r, w) = (reads[array.id.index()], writes[array.id.index()]);
+            if r > 0 && w > 0 {
+                // Read-XOR-write per iteration keeps every access order
+                // semantically equivalent, so scheduling needs no
+                // memory-dependence edges.
+                return Err(CdfgError::ArrayReadWrite { array: array.id });
+            }
+            if r == 0 && w == 0 {
+                return Err(CdfgError::DeadArray { array: array.id });
             }
         }
         Ok(())
@@ -232,6 +321,8 @@ pub struct CdfgStats {
     pub consts: usize,
     /// Primary outputs.
     pub outputs: usize,
+    /// Declared memory arrays.
+    pub arrays: usize,
 }
 
 impl CdfgStats {
@@ -255,7 +346,17 @@ impl fmt::Display for CdfgStats {
             self.states,
             self.consts,
             self.outputs,
-        )
+        )?;
+        if self.arrays > 0 {
+            write!(
+                f,
+                ", {} array [{} ld, {} st]",
+                self.arrays,
+                self.count(OpKind::Load),
+                self.count(OpKind::Store),
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -50,6 +50,13 @@ id_type!(
     "v"
 );
 
+id_type!(
+    /// Identifier of an [`ArrayDecl`](crate::ArrayDecl) within a
+    /// [`Cdfg`](crate::Cdfg).
+    ArrayId,
+    "a"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +69,8 @@ mod tests {
         let v = ValueId::from_index(0);
         assert_eq!(v.to_string(), "v0");
         assert_eq!(usize::from(v), 0);
+        let a = ArrayId::from_index(2);
+        assert_eq!(a.to_string(), "a2");
     }
 
     #[test]

@@ -53,11 +53,11 @@ pub mod benchmarks;
 
 pub use builder::CdfgBuilder;
 pub use error::CdfgError;
-pub use eval::{evaluate, EvalResult};
+pub use eval::{evaluate, wrap_addr, EvalResult};
 pub use fingerprint::fnv1a_128;
 pub use graph::{Cdfg, CdfgStats};
-pub use ids::{OpId, ValueId};
+pub use ids::{ArrayId, OpId, ValueId};
 pub use op::{OpKind, Operation};
 pub use random::{random_cdfg, RandomCdfgConfig};
 pub use text::{cdfg_to_text, parse_cdfg, ParseError, ParseErrorKind};
-pub use value::{Use, Value, ValueSource};
+pub use value::{ArrayDecl, Use, Value, ValueSource};

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::{OpId, ValueId};
+use crate::{ArrayId, OpId, ValueId};
 
 /// The kind of a dataflow operation.
 ///
@@ -21,6 +21,13 @@ pub enum OpKind {
     Mul,
     /// Less-than comparison (left < right), used by the `diffeq` benchmark.
     Lt,
+    /// Memory read: left operand is the word address into the operation's
+    /// array; the right operand is an unused placeholder constant. The
+    /// result is the addressed word.
+    Load,
+    /// Memory write: left operand is the word address, right operand the
+    /// data. The output is a zero-storage *token* value that is never read.
+    Store,
 }
 
 impl OpKind {
@@ -31,8 +38,15 @@ impl OpKind {
     }
 
     /// All operation kinds, in declaration order.
-    pub fn all() -> [OpKind; 4] {
-        [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Lt]
+    pub fn all() -> [OpKind; 6] {
+        [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Lt, OpKind::Load, OpKind::Store]
+    }
+
+    /// `true` for the memory-access kinds ([`Load`](Self::Load) and
+    /// [`Store`](Self::Store)), which carry an [`ArrayId`] and execute on
+    /// memory ports instead of arithmetic units.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
     }
 
     /// Short mnemonic used in reports and DOT labels.
@@ -42,6 +56,8 @@ impl OpKind {
             OpKind::Sub => "-",
             OpKind::Mul => "*",
             OpKind::Lt => "<",
+            OpKind::Load => "ld",
+            OpKind::Store => "st",
         }
     }
 }
@@ -61,6 +77,8 @@ pub struct Operation {
     pub(crate) inputs: [ValueId; 2],
     pub(crate) output: ValueId,
     pub(crate) label: String,
+    /// The accessed array — `Some` exactly when `kind.is_memory()`.
+    pub(crate) array: Option<ArrayId>,
 }
 
 impl Operation {
@@ -97,15 +115,33 @@ impl Operation {
     pub fn label(&self) -> &str {
         &self.label
     }
+
+    /// The array accessed by a memory operation (`Some` exactly when
+    /// [`kind`](Self::kind)`().is_memory()`).
+    pub fn array(&self) -> Option<ArrayId> {
+        self.array
+    }
 }
 
 impl fmt::Display for Operation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: {} = {} {} {}",
-            self.id, self.output, self.inputs[0], self.kind, self.inputs[1]
-        )
+        match (self.kind, self.array) {
+            (OpKind::Load, Some(a)) => {
+                write!(f, "{}: {} = ld {}[{}]", self.id, self.output, a, self.inputs[0])
+            }
+            (OpKind::Store, Some(a)) => {
+                write!(
+                    f,
+                    "{}: {} = st {}[{}] <- {}",
+                    self.id, self.output, a, self.inputs[0], self.inputs[1]
+                )
+            }
+            _ => write!(
+                f,
+                "{}: {} = {} {} {}",
+                self.id, self.output, self.inputs[0], self.kind, self.inputs[1]
+            ),
+        }
     }
 }
 
@@ -119,6 +155,12 @@ mod tests {
         assert!(OpKind::Mul.is_commutative());
         assert!(!OpKind::Sub.is_commutative());
         assert!(!OpKind::Lt.is_commutative());
+        assert!(!OpKind::Load.is_commutative());
+        assert!(!OpKind::Store.is_commutative());
+        assert!(OpKind::Load.is_memory());
+        assert!(OpKind::Store.is_memory());
+        assert!(!OpKind::Add.is_memory());
+        assert_eq!(OpKind::all().len(), 6);
     }
 
     #[test]
@@ -131,6 +173,7 @@ mod tests {
             inputs: [ValueId::from_index(0), ValueId::from_index(1)],
             output: ValueId::from_index(5),
             label: "d".into(),
+            array: None,
         };
         assert_eq!(op.to_string(), "o2: v5 = v0 - v1");
         assert_eq!(op.input(0), ValueId::from_index(0));

@@ -5,7 +5,7 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Cdfg, CdfgBuilder, OpKind, ValueId};
+use crate::{ArrayId, Cdfg, CdfgBuilder, OpKind, ValueId};
 
 /// Parameters for [`random_cdfg`].
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +23,14 @@ pub struct RandomCdfgConfig {
     /// (as in the paper's benchmarks, where all multiplies are by
     /// coefficients).
     pub const_coeff_ratio: f64,
+    /// Number of memory arrays to declare (`0` generates a pure scalar
+    /// graph, bit-identical to the pre-memory generator). Each array is
+    /// randomly assigned a read-only or write-only role, and at least one
+    /// access per array is generated.
+    pub arrays: usize,
+    /// Probability that an operation is a memory access, once every array
+    /// has its forced first access. Ignored when `arrays == 0`.
+    pub mem_ratio: f64,
 }
 
 impl Default for RandomCdfgConfig {
@@ -33,6 +41,8 @@ impl Default for RandomCdfgConfig {
             states: 2,
             mul_ratio: 0.3,
             const_coeff_ratio: 0.8,
+            arrays: 0,
+            mem_ratio: 0.25,
         }
     }
 }
@@ -50,6 +60,10 @@ impl Default for RandomCdfgConfig {
 pub fn random_cdfg(config: &RandomCdfgConfig, seed: u64) -> Cdfg {
     assert!(config.ops > 0, "need at least one operation");
     assert!(config.inputs > 0, "need at least one input");
+    assert!(
+        config.ops > config.arrays,
+        "need more operations than forced array accesses"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = CdfgBuilder::new(format!("random_{seed}"));
 
@@ -73,9 +87,49 @@ pub fn random_cdfg(config: &RandomCdfgConfig, seed: u64) -> Cdfg {
         pool[idx.min(n - 1)]
     }
 
+    // Memory arrays: each gets a fixed read-only or write-only role and a
+    // forced first access (operations 0..arrays), so no array is dead.
+    let mut arrays: Vec<(ArrayId, usize, bool)> = Vec::new();
+    for i in 0..config.arrays {
+        let len = rng.gen_range(4..=16usize);
+        let writes = rng.gen_bool(0.5);
+        let init = if writes {
+            Vec::new()
+        } else {
+            (0..len).map(|_| rng.gen_range(-32..64)).collect()
+        };
+        let id = b.array_init(format!("arr{i}"), len, init);
+        arrays.push((id, len, writes));
+    }
+
     let mut consumed: HashSet<ValueId> = HashSet::new();
     let mut produced = Vec::new();
     for i in 0..config.ops {
+        if !arrays.is_empty() {
+            let forced = i < arrays.len();
+            if forced || rng.gen_bool(config.mem_ratio.clamp(0.0, 1.0)) {
+                let which = if forced { i } else { rng.gen_range(0..arrays.len()) };
+                let (array, len, writes) = arrays[which];
+                let addr = if rng.gen_bool(0.5) {
+                    b.constant(rng.gen_range(0..len as i64))
+                } else {
+                    pick(&mut rng, &pool)
+                };
+                consumed.insert(addr);
+                if writes {
+                    let data = pick(&mut rng, &pool);
+                    consumed.insert(data);
+                    // The token stays out of the operand pool: it must
+                    // never be read, fed back, or marked as an output.
+                    let _token = b.store_labeled(array, addr, data, format!("n{i}"));
+                } else {
+                    let out = b.load_labeled(array, addr, format!("n{i}"));
+                    pool.push(out);
+                    produced.push(out);
+                }
+                continue;
+            }
+        }
         let roll: f64 = rng.gen();
         let kind = if roll < config.mul_ratio {
             OpKind::Mul
@@ -98,6 +152,12 @@ pub fn random_cdfg(config: &RandomCdfgConfig, seed: u64) -> Cdfg {
     }
 
     // Close the feedback loops from distinct late-produced values.
+    if !states.is_empty() {
+        assert!(
+            !produced.is_empty(),
+            "state feedback needs at least one load or arithmetic result"
+        );
+    }
     for (i, &s) in states.iter().enumerate() {
         let src = produced[produced.len() - 1 - (i % produced.len())];
         b.feedback(s, src);

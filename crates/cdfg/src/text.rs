@@ -13,6 +13,11 @@
 //! output y
 //! ```
 //!
+//! Memory arrays are declared with `array <name> <len>` (optionally
+//! `array <name> <len> = w0 w1 ...` for initial contents) and accessed
+//! with `op <out> = load <array> <addr>` and
+//! `op <token> = store <array> <addr> <data>`.
+//!
 //! Names are the labels shown in reports; operations may reference any
 //! name declared earlier (the format is topologically ordered, like the
 //! builder API it maps onto).
@@ -21,7 +26,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::{Cdfg, CdfgBuilder, OpKind, ValueId, ValueSource};
+use crate::{ArrayId, Cdfg, CdfgBuilder, OpKind, ValueId, ValueSource};
 
 /// The category of a parse failure — structured enough for a serving
 /// front end to map hostile input onto a machine-readable error payload
@@ -33,8 +38,11 @@ pub enum ParseErrorKind {
     Syntax,
     /// The line starts with a directive the format does not define.
     UnknownDirective,
-    /// An `op` line names an operation kind outside `add|sub|mul|lt`.
+    /// An `op` line names an operation kind outside
+    /// `add|sub|mul|lt|load|store`.
     UnknownOpKind,
+    /// A reference to an array name that was never declared.
+    UnknownArray,
     /// A reference to a value name that was never declared (dangling
     /// operand, feedback or output reference).
     UnknownValue,
@@ -52,6 +60,7 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::UnknownDirective => "unknown-directive",
             ParseErrorKind::UnknownOpKind => "unknown-op-kind",
             ParseErrorKind::UnknownValue => "unknown-value",
+            ParseErrorKind::UnknownArray => "unknown-array",
             ParseErrorKind::DuplicateDefinition => "duplicate-definition",
             ParseErrorKind::InvalidGraph => "invalid-graph",
         })
@@ -144,6 +153,7 @@ pub fn parse_cdfg(source: &str) -> Result<Cdfg, ParseError> {
 
     let mut builder: Option<CdfgBuilder> = None;
     let mut names: HashMap<String, ValueId> = HashMap::new();
+    let mut arrays: HashMap<String, ArrayId> = HashMap::new();
     let mut states: HashMap<String, ValueId> = HashMap::new();
     let mut outputs: Vec<(usize, usize, String, String)> = Vec::new();
     let mut feedbacks: Vec<PendingFeedback> = Vec::new();
@@ -220,37 +230,116 @@ pub fn parse_cdfg(source: &str) -> Result<Cdfg, ParseError> {
                 b.relabel(id, tokens[1].1);
                 define(tokens[1], id, &mut names)?;
             }
-            "op" => {
-                // op <name> = <kind> <left> <right>
-                if tokens.len() != 6 || tokens[2].1 != "=" {
+            "array" => {
+                // array <name> <len> [= w0 w1 ...]
+                if tokens.len() < 3 || (tokens.len() > 3 && tokens[3].1 != "=") {
                     return Err(err(
                         line_no,
                         col0,
                         K::Syntax,
-                        "expected 'op <name> = <kind> <left> <right>'",
+                        "expected 'array <name> <len> [= <w0> <w1> ...]'",
                     ));
                 }
-                let kind = match tokens[3].1 {
-                    "add" => OpKind::Add,
-                    "sub" => OpKind::Sub,
-                    "mul" => OpKind::Mul,
-                    "lt" => OpKind::Lt,
-                    other => {
-                        return Err(err(
-                            line_no,
-                            tokens[3].0,
-                            K::UnknownOpKind,
-                            format!("unknown operation kind '{other}'"),
-                        ))
-                    }
-                };
+                let len: usize = tokens[2].1.parse().map_err(|_| {
+                    err(
+                        line_no,
+                        tokens[2].0,
+                        K::Syntax,
+                        format!("'{}' is not a length", tokens[2].1),
+                    )
+                })?;
+                let mut init = Vec::new();
+                for &(col, word) in tokens.iter().skip(4) {
+                    init.push(word.parse::<i64>().map_err(|_| {
+                        err(line_no, col, K::Syntax, format!("'{word}' is not an integer"))
+                    })?);
+                }
+                let id = b.array_init(tokens[1].1, len, init);
+                if arrays.insert(tokens[1].1.to_string(), id).is_some() {
+                    return Err(err(
+                        line_no,
+                        tokens[1].0,
+                        K::DuplicateDefinition,
+                        format!("array '{}' defined twice", tokens[1].1),
+                    ));
+                }
+            }
+            "op" => {
+                // op <name> = <kind> <left> <right>
+                // op <name> = load <array> <addr>
+                // op <name> = store <array> <addr> <data>
+                if tokens.len() < 4 || tokens[2].1 != "=" {
+                    return Err(err(
+                        line_no,
+                        col0,
+                        K::Syntax,
+                        "expected 'op <name> = <kind> <operands...>'",
+                    ));
+                }
                 let resolve = |(col, t): (usize, &str)| {
                     names.get(t).copied().ok_or_else(|| {
                         err(line_no, col, K::UnknownValue, format!("unknown value '{t}'"))
                     })
                 };
-                let (left, right) = (resolve(tokens[4])?, resolve(tokens[5])?);
-                let id = b.op_labeled(kind, left, right, tokens[1].1);
+                let resolve_array = |(col, t): (usize, &str)| {
+                    arrays.get(t).copied().ok_or_else(|| {
+                        err(line_no, col, K::UnknownArray, format!("unknown array '{t}'"))
+                    })
+                };
+                let id = match tokens[3].1 {
+                    "load" => {
+                        if tokens.len() != 6 {
+                            return Err(err(
+                                line_no,
+                                col0,
+                                K::Syntax,
+                                "expected 'op <name> = load <array> <addr>'",
+                            ));
+                        }
+                        let array = resolve_array(tokens[4])?;
+                        let addr = resolve(tokens[5])?;
+                        b.load_labeled(array, addr, tokens[1].1)
+                    }
+                    "store" => {
+                        if tokens.len() != 7 {
+                            return Err(err(
+                                line_no,
+                                col0,
+                                K::Syntax,
+                                "expected 'op <name> = store <array> <addr> <data>'",
+                            ));
+                        }
+                        let array = resolve_array(tokens[4])?;
+                        let (addr, data) = (resolve(tokens[5])?, resolve(tokens[6])?);
+                        b.store_labeled(array, addr, data, tokens[1].1)
+                    }
+                    kind_tok => {
+                        let kind = match kind_tok {
+                            "add" => OpKind::Add,
+                            "sub" => OpKind::Sub,
+                            "mul" => OpKind::Mul,
+                            "lt" => OpKind::Lt,
+                            other => {
+                                return Err(err(
+                                    line_no,
+                                    tokens[3].0,
+                                    K::UnknownOpKind,
+                                    format!("unknown operation kind '{other}'"),
+                                ))
+                            }
+                        };
+                        if tokens.len() != 6 {
+                            return Err(err(
+                                line_no,
+                                col0,
+                                K::Syntax,
+                                "expected 'op <name> = <kind> <left> <right>'",
+                            ));
+                        }
+                        let (left, right) = (resolve(tokens[4])?, resolve(tokens[5])?);
+                        b.op_labeled(kind, left, right, tokens[1].1)
+                    }
+                };
                 define(tokens[1], id, &mut names)?;
             }
             "feedback" => {
@@ -345,6 +434,37 @@ pub fn cdfg_to_text(graph: &Cdfg) -> String {
         names.insert(value.id(), n);
     }
     let name_of = |v: ValueId| -> String { names[&v].clone() };
+    // Array names live in their own namespace (references are positional).
+    let mut array_taken: HashSet<String> = HashSet::new();
+    let mut array_names: HashMap<ArrayId, String> = HashMap::new();
+    for array in graph.arrays() {
+        let mut n: String = array
+            .label()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        if n.is_empty() || n.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            n = format!("a{}", array.id().index());
+        }
+        if !array_taken.insert(n.clone()) {
+            n = format!("{n}_{}", array.id().index());
+            array_taken.insert(n.clone());
+        }
+        array_names.insert(array.id(), n);
+    }
+    // A load's unused right port is tied to a placeholder constant the
+    // parser regenerates; such constants are omitted from the listing.
+    let hidden: HashSet<ValueId> = graph
+        .values()
+        .filter(|v| {
+            v.is_const()
+                && !v.uses().is_empty()
+                && v.uses().iter().all(|u| {
+                    u.port == 1 && graph.op(u.op).kind() == OpKind::Load
+                })
+        })
+        .map(|v| v.id())
+        .collect();
     let _ = writeln!(out, "cdfg {}", graph.name());
     for value in graph.values() {
         match value.source() {
@@ -355,17 +475,54 @@ pub fn cdfg_to_text(graph: &Cdfg) -> String {
                 let _ = writeln!(out, "input {}", name_of(value.id()));
             }
             ValueSource::Const(c) => {
-                let _ = writeln!(out, "const {} = {}", name_of(value.id()), c);
+                if !hidden.contains(&value.id()) {
+                    let _ = writeln!(out, "const {} = {}", name_of(value.id()), c);
+                }
             }
             ValueSource::Op(_) => {}
         }
     }
+    for array in graph.arrays() {
+        let _ = write!(out, "array {} {}", array_names[&array.id()], array.len());
+        if !array.init().is_empty() {
+            let _ = write!(out, " =");
+            for w in array.init() {
+                let _ = write!(out, " {w}");
+            }
+        }
+        let _ = writeln!(out);
+    }
     for op in graph.ops() {
+        match op.kind() {
+            OpKind::Load => {
+                let _ = writeln!(
+                    out,
+                    "op {} = load {} {}",
+                    name_of(op.output()),
+                    array_names[&op.array().expect("loads carry an array")],
+                    name_of(op.input(0))
+                );
+                continue;
+            }
+            OpKind::Store => {
+                let _ = writeln!(
+                    out,
+                    "op {} = store {} {} {}",
+                    name_of(op.output()),
+                    array_names[&op.array().expect("stores carry an array")],
+                    name_of(op.input(0)),
+                    name_of(op.input(1))
+                );
+                continue;
+            }
+            _ => {}
+        }
         let kind = match op.kind() {
             OpKind::Add => "add",
             OpKind::Sub => "sub",
             OpKind::Mul => "mul",
             OpKind::Lt => "lt",
+            OpKind::Load | OpKind::Store => unreachable!("handled above"),
         };
         let _ = writeln!(
             out,

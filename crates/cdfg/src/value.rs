@@ -2,7 +2,65 @@
 
 use std::fmt;
 
-use crate::{OpId, ValueId};
+use crate::{ArrayId, OpId, ValueId};
+
+/// A declared memory array: an addressable block of words accessed through
+/// [`Load`](crate::OpKind::Load) / [`Store`](crate::OpKind::Store)
+/// operations and mapped onto a port-limited memory bank by the allocator.
+///
+/// Within one iteration an array is either *read-only* or *write-only*
+/// (enforced by [`Cdfg::validate`](crate::Cdfg::validate)), so no
+/// memory-dependence edges are needed: any schedule of the accesses is
+/// semantically equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    pub(crate) id: ArrayId,
+    pub(crate) label: String,
+    pub(crate) len: usize,
+    /// Initial contents (shorter than `len` is zero-padded).
+    pub(crate) init: Vec<i64>,
+}
+
+impl ArrayDecl {
+    /// This array's id.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of addressable words. Addresses wrap modulo this length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the array has no words (rejected by validation).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Declared initial contents (may be shorter than [`len`](Self::len);
+    /// the remaining words start at zero).
+    pub fn init(&self) -> &[i64] {
+        &self.init
+    }
+
+    /// The full initial contents, zero-padded to [`len`](Self::len).
+    pub fn initial_words(&self) -> Vec<i64> {
+        let mut words = self.init.clone();
+        words.resize(self.len, 0);
+        words
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}[{}])", self.id, self.label, self.len)
+    }
+}
 
 /// Where a value comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -65,9 +65,31 @@ fn fifty_seeded_random_dfgs_roundtrip_canonically() {
             states: (seed as usize) % 5,
             mul_ratio: (seed % 10) as f64 / 10.0,
             const_coeff_ratio: (seed % 4) as f64 / 4.0,
+            ..RandomCdfgConfig::default()
         };
         let g = random_cdfg(&cfg, seed);
         assert_roundtrip(&g, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn thirty_seeded_random_memory_dfgs_roundtrip_canonically() {
+    // The arrays-enabled generator mode: every graph carries 1-3 memory
+    // arrays plus a mix of loads/stores, so the sweep covers the hidden
+    // const-0 port-filler idiom and the `array` directive end to end.
+    for seed in 0..30u64 {
+        let cfg = RandomCdfgConfig {
+            ops: 6 + (seed as usize * 5) % 40,
+            inputs: 1 + (seed as usize) % 3,
+            states: (seed as usize) % 4,
+            mul_ratio: (seed % 8) as f64 / 10.0,
+            const_coeff_ratio: (seed % 4) as f64 / 4.0,
+            arrays: 1 + (seed as usize) % 3,
+            mem_ratio: 0.15 + (seed % 5) as f64 / 10.0,
+        };
+        let g = random_cdfg(&cfg, 1000 + seed);
+        assert!(g.has_memory(), "seed {seed}: generator must emit memory ops");
+        assert_roundtrip(&g, &format!("random memory seed {seed}"));
     }
 }
 

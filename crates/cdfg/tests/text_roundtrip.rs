@@ -37,4 +37,41 @@ proptest! {
         let text2 = cdfg_to_text(&parsed);
         prop_assert_eq!(text, text2);
     }
+
+    #[test]
+    fn memory_graphs_roundtrip(
+        seed in 0u64..2000,
+        ops in 6usize..40,
+        inputs in 1usize..5,
+        states in 0usize..4,
+        arrays in 1usize..4,
+        mem_ratio in 0.05f64..0.6,
+    ) {
+        let cfg = RandomCdfgConfig {
+            ops,
+            inputs,
+            states,
+            arrays,
+            mem_ratio,
+            ..RandomCdfgConfig::default()
+        };
+        let graph = random_cdfg(&cfg, seed);
+        prop_assert!(graph.has_memory());
+        let text = cdfg_to_text(&graph);
+        let parsed = parse_cdfg(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(parsed.num_ops(), graph.num_ops());
+        prop_assert_eq!(parsed.num_values(), graph.num_values());
+        prop_assert_eq!(parsed.num_arrays(), graph.num_arrays());
+        prop_assert_eq!(parsed.stats().ops_by_kind, graph.stats().ops_by_kind);
+        // Array declarations survive byte-for-byte: lengths and
+        // initializer words are part of the canonical form.
+        for (a, b) in graph.arrays().zip(parsed.arrays()) {
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(a.initial_words(), b.initial_words());
+        }
+        // Serializing the reparse is a fixpoint (canonical form).
+        let text2 = cdfg_to_text(&parsed);
+        prop_assert_eq!(text, text2);
+    }
 }

@@ -175,6 +175,10 @@ pub fn binding_to_json(slot: usize, parts: &BindingParts) -> Json {
             "passes",
             Json::Arr(parts.passes.iter().map(|&(key, fu)| pass_to_json(key, fu)).collect()),
         ),
+        (
+            "array_banks",
+            Json::Arr(parts.array_banks.iter().map(|&b| Json::Int(b as i64)).collect()),
+        ),
     ])
 }
 
@@ -255,7 +259,16 @@ pub fn binding_parts_from_json(obj: &Json) -> Option<BindingParts> {
         })
         .collect::<Option<Vec<_>>>()?;
     let passes = arr("passes")?.iter().map(pass_from_json).collect::<Option<Vec<_>>>()?;
-    Some(BindingParts { op_fu, op_swap, chains, use_chain, passes })
+    // Absent on images from peers predating the memory model: an empty
+    // table is valid for scalar graphs, and `from_parts` rejects it (→
+    // seed replay) when the graph declares arrays.
+    let array_banks = match obj.get("array_banks") {
+        Some(Json::Arr(items)) => {
+            items.iter().map(|v| v.as_u64().map(|b| b as u32)).collect::<Option<Vec<_>>>()?
+        }
+        _ => Vec::new(),
+    };
+    Some(BindingParts { op_fu, op_swap, chains, use_chain, passes, array_banks })
 }
 
 fn pass_from_json(obj: &Json) -> Option<(TransferKey, FuId)> {
@@ -364,6 +377,7 @@ mod tests {
                 ),
                 (TransferKey::Boundary { state: ValueId::from_index(1) }, FuId::from_index(0)),
             ],
+            array_banks: vec![1, 0],
         };
         let wire = binding_to_json(5, &parts).to_string_compact();
         let parsed = parse_json(&wire).unwrap();

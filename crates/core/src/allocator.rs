@@ -6,15 +6,15 @@ use std::sync::Arc;
 
 use salsa_cdfg::Cdfg;
 use salsa_datapath::{
-    merge_muxes, traffic_from_rtl, Claims, CostBreakdown, CostWeights, Datapath, MuxMergeResult,
-    Rtl,
+    merge_muxes, traffic_from_rtl, Claims, CostBreakdown, CostWeights, Datapath, MemConfig,
+    MuxMergeResult, Rtl,
 };
 use salsa_sched::{FuClass, FuLibrary, Schedule};
 
 use crate::{
     portfolio_search, AllocContext, AllocError, BindingParts, CancelToken, ImproveConfig,
-    ImproveStats, InitialBinding, MovePlan, PortfolioConfig, PortfolioOutcome, PortfolioStats,
-    WarmSpec,
+    ImproveStats, InitialBinding, MoveKind, MovePlan, PortfolioConfig, PortfolioOutcome,
+    PortfolioStats, WarmSpec,
 };
 
 /// Configurable allocation run. Build with [`Allocator::new`], adjust with
@@ -38,6 +38,8 @@ pub struct Allocator<'a> {
     restarts: usize,
     portfolio: PortfolioConfig,
     compiled_plan: Option<Arc<MovePlan>>,
+    memory: Option<MemConfig>,
+    mem_moves: bool,
 }
 
 impl<'a> Allocator<'a> {
@@ -56,6 +58,8 @@ impl<'a> Allocator<'a> {
             restarts: 1,
             portfolio: PortfolioConfig::default(),
             compiled_plan: None,
+            memory: None,
+            mem_moves: true,
         }
     }
 
@@ -74,6 +78,25 @@ impl<'a> Allocator<'a> {
     /// Adds functional units of a class beyond the schedule's minimum.
     pub fn extra_units(mut self, class: FuClass, extra: usize) -> Self {
         self.extra_units.insert(class, extra);
+        self
+    }
+
+    /// Replaces the default memory pool with an explicit bank layout.
+    /// The default (for graphs with arrays) is one bank per array, each
+    /// with as many ports as the schedule's `Mem` demand — every bank can
+    /// host every access, so re-banking is always feasible and the search
+    /// decides how many banks the design actually pays for.
+    pub fn memory(mut self, config: MemConfig) -> Self {
+        self.memory = Some(config);
+        self
+    }
+
+    /// Enables or disables the memory move family M1-M3 (on by default;
+    /// only meaningful for graphs with arrays). With memory moves off the
+    /// array→bank table and the access ports stay frozen at the initial
+    /// greedy placement — the M-off ablation baseline.
+    pub fn mem_moves(mut self, on: bool) -> Self {
+        self.mem_moves = on;
         self
     }
 
@@ -209,7 +232,15 @@ impl<'a> Allocator<'a> {
         let regs = self.registers_override.unwrap_or_else(|| {
             self.schedule.register_demand(self.graph, self.library) + self.extra_registers
         });
-        let datapath = Datapath::new(&fu_counts, regs.max(1));
+        let datapath = if self.graph.has_memory() {
+            let mem = self.memory.clone().unwrap_or_else(|| {
+                let ports = fu_counts.get(&FuClass::Mem).copied().unwrap_or(1).max(1);
+                MemConfig::uniform(self.graph.num_arrays().max(1), ports)
+            });
+            Datapath::new_with_memory(&fu_counts, regs.max(1), &mem)
+        } else {
+            Datapath::new(&fu_counts, regs.max(1))
+        };
         let ctx = AllocContext::new_with_plan(
             self.graph,
             self.schedule,
@@ -222,6 +253,17 @@ impl<'a> Allocator<'a> {
         // chains grades move batches instead (never affecting the result,
         // which is thread-count invariant).
         let mut config = self.config.clone();
+        // Memory graphs get the M family appended in `MoveKind::all()`
+        // order, so `full()`-configured runs land exactly on
+        // `MoveSet::with_memory()` — identical on every participant of a
+        // distributed run.
+        if self.mem_moves && self.graph.has_memory() {
+            for (kind, _) in MoveKind::all() {
+                if kind.is_memory() {
+                    config.move_set = config.move_set.clone().with(kind);
+                }
+            }
+        }
         if config.batch.is_some() && config.eval_threads <= 1 {
             let threads = self.portfolio.effective_threads();
             let chains = threads.min(self.restarts).max(1);

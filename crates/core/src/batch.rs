@@ -111,6 +111,12 @@ pub(crate) struct Footprint {
     values: BitSet,
     regs: BitSet,
     fus: BitSet,
+    /// Whether the move touched the array→bank table. The `mem_banks` cost
+    /// term is a global function of that table (distinct banks in use), so
+    /// two re-banking moves never compose additively — they all share this
+    /// single bit and serialize against each other. Accesses re-ported by a
+    /// re-bank are additionally covered by their op/fu bits.
+    mem: bool,
 }
 
 impl Footprint {
@@ -122,7 +128,12 @@ impl Footprint {
             values: BitSet::with_bits(ctx.graph.num_values()),
             regs: BitSet::with_bits(ctx.datapath.num_regs()),
             fus: BitSet::with_bits(ctx.datapath.num_fus()),
+            mem: false,
         }
+    }
+
+    pub(crate) fn mark_mem(&mut self) {
+        self.mem = true;
     }
 
     pub(crate) fn mark_op(&mut self, op: OpId) {
@@ -174,6 +185,7 @@ impl Footprint {
             || self.values.intersects(&other.values)
             || self.regs.intersects(&other.regs)
             || self.fus.intersects(&other.fus)
+            || (self.mem && other.mem)
     }
 
     /// `other ⊆ self` in every dimension.
@@ -183,6 +195,7 @@ impl Footprint {
             && self.values.covers(&other.values)
             && self.regs.covers(&other.regs)
             && self.fus.covers(&other.fus)
+            && (self.mem || !other.mem)
     }
 
     pub(crate) fn union_with(&mut self, other: &Footprint) {
@@ -190,6 +203,7 @@ impl Footprint {
         self.values.union_with(&other.values);
         self.regs.union_with(&other.regs);
         self.fus.union_with(&other.fus);
+        self.mem |= other.mem;
     }
 
     pub(crate) fn clear(&mut self) {
@@ -197,6 +211,7 @@ impl Footprint {
         self.values.clear();
         self.regs.clear();
         self.fus.clear();
+        self.mem = false;
     }
 }
 
@@ -885,6 +900,80 @@ mod tests {
                 let actual = weighted_cost(&weights, &binding) as i64 - base_cost as i64;
                 prop_assert_eq!(actual, eval.delta, "speculative delta is exact");
                 // Keep most moves so later proposals see varied states.
+                if rng.gen_bool(0.7) {
+                    binding.commit();
+                } else {
+                    binding.rollback();
+                }
+            }
+            binding.check_consistency();
+        }
+
+        // The same contract over memory graphs with the M family in the
+        // set: re-banking journals (ArrayBank entries) must land inside
+        // the declared footprint's `mem` bit, and the M deltas — which
+        // include the global bank/conflict terms — must be exact.
+        #[test]
+        fn speculative_footprints_are_sound_on_memory_graphs(
+            graph_seed in 0u64..1000,
+            move_seed in 0u64..1000,
+            ops in 8usize..20,
+            states in 0usize..3,
+            arrays in 1usize..4,
+            mem_ratio in 0.1f64..0.6,
+            slack in 0usize..3,
+            extra_regs in 0usize..3,
+        ) {
+            use salsa_datapath::MemConfig;
+            let cfg = RandomCdfgConfig {
+                ops,
+                states,
+                arrays,
+                mem_ratio,
+                ..RandomCdfgConfig::default()
+            };
+            let graph = random_cdfg(&cfg, graph_seed);
+            let library = FuLibrary::standard();
+            let cp = asap(&graph, &library).length;
+            let schedule =
+                fds_schedule(&graph, &library, cp + slack).expect("cp + slack is feasible");
+            let fu_counts = schedule.fu_demand(&graph, &library);
+            let ports =
+                fu_counts.get(&salsa_sched::FuClass::Mem).copied().unwrap_or(1).max(1);
+            let mem = MemConfig::uniform(graph.num_arrays().max(1), ports);
+            let datapath = Datapath::new_with_memory(
+                &fu_counts,
+                (schedule.register_demand(&graph, &library) + extra_regs).max(1),
+                &mem,
+            );
+            let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+            let mut binding = initial_allocation(&ctx);
+            let weights = CostWeights::default();
+            let set = MoveSet::with_memory();
+            let mut rng = StdRng::seed_from_u64(move_seed);
+
+            for _ in 0..30 {
+                let base_cost = weighted_cost(&weights, &binding);
+                let kind = set.pick(&mut rng);
+                let Some(proposal) = propose_move(&mut binding, kind, &mut rng) else {
+                    continue;
+                };
+                let snapshot = binding.clone();
+                let eval = evaluate_proposal(&mut binding, &weights, base_cost, proposal);
+                prop_assert!(binding == snapshot, "evaluation mutated the binding");
+                prop_assert!(eval.feasible, "fresh proposals always apply");
+
+                binding.begin();
+                prop_assert!(apply_proposal(&mut binding, proposal));
+                let mut replay = Footprint::for_binding(&binding);
+                binding.journal_footprint(&mut replay);
+                prop_assert!(
+                    eval.footprint.covers(&replay),
+                    "journal escaped the declared footprint for {:?}",
+                    proposal
+                );
+                let actual = weighted_cost(&weights, &binding) as i64 - base_cost as i64;
+                prop_assert_eq!(actual, eval.delta, "speculative delta is exact");
                 if rng.gen_bool(0.7) {
                     binding.commit();
                 } else {

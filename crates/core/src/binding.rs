@@ -28,6 +28,15 @@ use salsa_datapath::{ConnectionMatrix, CostBreakdown, FuId, Port, RegId, Sink, S
 
 use crate::{AllocContext, TransferKey};
 
+/// The default bank of each array: round-robin over the pool's banks
+/// (array `i` → bank `i % num_banks`). The constructive initial
+/// allocation places each array's accesses on ports of this bank, so a
+/// fresh binding starts bank-conflict-free.
+pub(crate) fn default_array_banks(ctx: &AllocContext<'_>) -> Vec<u32> {
+    let banks = ctx.datapath.num_banks().max(1);
+    (0..ctx.plan.num_arrays).map(|i| (i % banks) as u32).collect()
+}
+
 /// A run of consecutive lifetime segments of one value bound to registers.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Chain {
@@ -226,6 +235,7 @@ enum UndoOp {
     ChainSlotPushed { value: ValueId },
     ConnAdd { src: Source, sink: Sink },
     ConnRemove { src: Source, sink: Sink },
+    ArrayBank { array: usize, old: u32 },
 }
 
 /// One forward (redo) record of a committed transaction: the *final* value
@@ -257,6 +267,7 @@ pub(crate) enum RedoOp {
     ChainSlotPushed { value: ValueId },
     ConnAdd { src: Source, sink: Sink },
     ConnRemove { src: Source, sink: Sink },
+    ArrayBank { array: usize, new: u32 },
 }
 
 /// Reusable candidate/owner buffers for the move proposers. Scratch state
@@ -375,6 +386,9 @@ pub struct BindingParts {
     pub use_chain: Vec<[usize; 2]>,
     /// Pass-through units, keyed by transfer (sorted by key).
     pub passes: Vec<(TransferKey, FuId)>,
+    /// The memory bank of each array, in array order (empty for scalar
+    /// designs).
+    pub array_banks: Vec<u32>,
 }
 
 /// A complete allocation under the SALSA extended binding model.
@@ -394,6 +408,11 @@ pub struct Binding<'a> {
     pub(crate) conn: ConnectionMatrix,
     pub(crate) reg_seg_count: Vec<usize>,
     pub(crate) fu_item_count: Vec<usize>,
+    /// The memory bank holding each array (indexed by array id). The
+    /// memory cost terms are derived on demand from this table and the
+    /// access placements — memory designs are small enough that an O(1)
+    /// cache would cost more in journal traffic than the scan.
+    array_bank: Vec<u32>,
     // O(1) cost caches, maintained on 0<->1 transitions of the counters.
     used_regs: usize,
     fu_area: usize,
@@ -426,6 +445,7 @@ impl Clone for Binding<'_> {
             conn: self.conn.clone(),
             reg_seg_count: self.reg_seg_count.clone(),
             fu_item_count: self.fu_item_count.clone(),
+            array_bank: self.array_bank.clone(),
             used_regs: self.used_regs,
             fu_area: self.fu_area,
             journal: Vec::new(),
@@ -456,6 +476,7 @@ impl Clone for Binding<'_> {
         self.conn.clone_from(&source.conn);
         self.reg_seg_count.clone_from(&source.reg_seg_count);
         self.fu_item_count.clone_from(&source.fu_item_count);
+        self.array_bank.clone_from(&source.array_bank);
         self.used_regs = source.used_regs;
         self.fu_area = source.fu_area;
         self.journal.clear();
@@ -481,6 +502,7 @@ impl PartialEq for Binding<'_> {
             && self.conn == other.conn
             && self.reg_seg_count == other.reg_seg_count
             && self.fu_item_count == other.fu_item_count
+            && self.array_bank == other.array_bank
             && self.used_regs == other.used_regs
             && self.fu_area == other.fu_area
     }
@@ -523,6 +545,7 @@ impl<'a> Binding<'a> {
             conn: ConnectionMatrix::with_capacity(ctx.datapath.num_fus(), ctx.datapath.num_regs()),
             reg_seg_count: vec![0; ctx.datapath.num_regs()],
             fu_item_count: vec![0; ctx.datapath.num_fus()],
+            array_bank: default_array_banks(ctx),
             used_regs: 0,
             fu_area: 0,
             journal: Vec::new(),
@@ -572,6 +595,7 @@ impl<'a> Binding<'a> {
                 .collect(),
             use_chain: self.use_chain.clone(),
             passes: self.passes.iter().map(|(&key, &fu)| (key, fu)).collect(),
+            array_banks: self.array_bank.clone(),
         }
     }
 
@@ -598,8 +622,14 @@ impl<'a> Binding<'a> {
             || parts.op_swap.len() != num_ops
             || parts.use_chain.len() != num_ops
             || parts.chains.len() != num_values
+            || parts.array_banks.len() != ctx.plan.num_arrays
         {
             return Err("assignment tables do not match the design's dimensions".into());
+        }
+        if let Some(&bad) =
+            parts.array_banks.iter().find(|&&b| b as usize >= ctx.datapath.num_banks())
+        {
+            return Err(format!("array bound to nonexistent memory bank {bad}"));
         }
 
         let n = ctx.n_steps();
@@ -616,6 +646,7 @@ impl<'a> Binding<'a> {
             conn: ConnectionMatrix::with_capacity(num_fus, num_regs),
             reg_seg_count: vec![0; num_regs],
             fu_item_count: vec![0; num_fus],
+            array_bank: default_array_banks(ctx),
             used_regs: 0,
             fu_area: 0,
             journal: Vec::new(),
@@ -648,6 +679,7 @@ impl<'a> Binding<'a> {
             binding.occupy_op(op, fu);
         }
         binding.op_swap.clone_from(&parts.op_swap);
+        binding.array_bank.clone_from(&parts.array_banks);
 
         // Chains: range-validated against the lifetimes, then occupied
         // segment by segment with explicit conflict checks.
@@ -815,15 +847,21 @@ impl<'a> Binding<'a> {
         (self.pool.reused, self.pool.fresh)
     }
 
-    /// Measured resource usage. O(1): `used_regs` and `fu_area` are cached
+    /// Measured resource usage. `used_regs` and `fu_area` are cached
     /// incrementally on counter transitions, and the connection matrix
-    /// keeps its totals running.
+    /// keeps its totals running; the memory terms are rederived from the
+    /// (tiny) access set on each call — see
+    /// [`memory_terms`](Self::memory_terms).
     pub fn breakdown(&self) -> CostBreakdown {
+        let (mem_banks, addr_mux, bank_conflicts) = self.memory_terms();
         CostBreakdown {
             fu_area: self.fu_area,
             used_regs: self.used_regs,
             mux_equiv: self.conn.mux_equiv(),
             connections: self.conn.connections(),
+            mem_banks,
+            addr_mux,
+            bank_conflicts,
         }
     }
 
@@ -837,12 +875,78 @@ impl<'a> Binding<'a> {
             .filter(|fu| self.fu_item_count[fu.id().index()] > 0)
             .map(|fu| self.ctx.library.spec(fu.class()).area)
             .sum();
+        let (mem_banks, addr_mux, bank_conflicts) = self.memory_terms();
         CostBreakdown {
             fu_area,
             used_regs: self.reg_seg_count.iter().filter(|&&c| c > 0).count(),
             mux_equiv: self.conn.mux_equiv(),
             connections: self.conn.connections(),
+            mem_banks,
+            addr_mux,
+            bank_conflicts,
         }
+    }
+
+    /// The memory cost terms `(mem_banks, addr_mux, bank_conflicts)`:
+    /// distinct banks holding an array, equivalent 2-1 address muxes
+    /// (a port serving `k` distinct arrays needs `k - 1`), and accesses
+    /// issued on a port outside their array's bank. Derived on demand —
+    /// the scans are quadratic in the access/array counts, which are tiny
+    /// (an allocation-free pass over prebuilt plan tables), so this stays
+    /// off the allocator and cheaper than journaling a cache.
+    fn memory_terms(&self) -> (usize, usize, usize) {
+        let plan = &*self.ctx.plan;
+        if plan.mem_ops.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut mem_banks = 0;
+        for (i, &b) in self.array_bank.iter().enumerate() {
+            if !self.array_bank[..i].contains(&b) {
+                mem_banks += 1;
+            }
+        }
+        let mut port_array_pairs = 0;
+        let mut used_ports = 0;
+        let mut bank_conflicts = 0;
+        for (i, &op) in plan.mem_ops.iter().enumerate() {
+            let fu = self.op_fu[op.index()];
+            let array = plan.op_array[op.index()].expect("memory op names an array") as usize;
+            if self.ctx.datapath.bank_of_mem_fu(fu) != Some(self.array_bank[array] as usize) {
+                bank_conflicts += 1;
+            }
+            let mut new_port = true;
+            let mut new_pair = true;
+            for &prev in &plan.mem_ops[..i] {
+                if self.op_fu[prev.index()] == fu {
+                    new_port = false;
+                    if plan.op_array[prev.index()] == plan.op_array[op.index()] {
+                        new_pair = false;
+                        break;
+                    }
+                }
+            }
+            used_ports += usize::from(new_port);
+            port_array_pairs += usize::from(new_pair);
+        }
+        (mem_banks, port_array_pairs - used_ports, bank_conflicts)
+    }
+
+    /// The memory bank currently holding an array.
+    pub fn array_bank(&self, array: usize) -> u32 {
+        self.array_bank[array]
+    }
+
+    /// The bank of every array, in array order.
+    pub fn array_banks(&self) -> &[u32] {
+        &self.array_bank
+    }
+
+    /// Re-banks an array (journaled). Callers re-port the array's accesses
+    /// themselves — the table only records the assignment.
+    pub(crate) fn set_array_bank(&mut self, array: usize, bank: u32) {
+        debug_assert!((bank as usize) < self.ctx.datapath.num_banks());
+        self.j(UndoOp::ArrayBank { array, old: self.array_bank[array] });
+        self.array_bank[array] = bank;
     }
 
     /// Returns `true` if the register is unoccupied at the step.
@@ -1194,6 +1298,9 @@ impl<'a> Binding<'a> {
                 UndoOp::ChainSlotPushed { value } => RedoOp::ChainSlotPushed { value },
                 UndoOp::ConnAdd { src, sink } => RedoOp::ConnAdd { src, sink },
                 UndoOp::ConnRemove { src, sink } => RedoOp::ConnRemove { src, sink },
+                UndoOp::ArrayBank { array, .. } => {
+                    RedoOp::ArrayBank { array, new: self.array_bank[array] }
+                }
             });
         }
         for entry in self.journal.drain(..) {
@@ -1249,6 +1356,7 @@ impl<'a> Binding<'a> {
                 RedoOp::ChainSlotPushed { value } => self.chains[value.index()].push(None),
                 RedoOp::ConnAdd { src, sink } => self.conn.add(src, sink),
                 RedoOp::ConnRemove { src, sink } => self.conn.remove(src, sink),
+                RedoOp::ArrayBank { array, new } => self.array_bank[array] = new,
             }
         }
     }
@@ -1356,6 +1464,11 @@ impl<'a> Binding<'a> {
                     fp.mark_source(src);
                     fp.mark_sink(sink);
                 }
+                // `mem_banks` is a global function of the array→bank
+                // table, so any two re-banking moves must serialize; the
+                // re-ported accesses are covered by their own OpFu
+                // entries.
+                UndoOp::ArrayBank { .. } => fp.mark_mem(),
             }
         }
     }
@@ -1401,6 +1514,7 @@ impl<'a> Binding<'a> {
             }
             UndoOp::ConnAdd { src, sink } => self.conn.remove(src, sink),
             UndoOp::ConnRemove { src, sink } => self.conn.add(src, sink),
+            UndoOp::ArrayBank { array, old } => self.array_bank[array] = old,
         }
     }
 
@@ -1778,6 +1892,13 @@ impl<'a> Binding<'a> {
             self.breakdown(),
             self.recomputed_breakdown(),
             "incremental cost caches diverged from recomputation"
+        );
+
+        // Array→bank table shape.
+        assert_eq!(self.array_bank.len(), self.ctx.plan.num_arrays, "array table diverged");
+        assert!(
+            self.array_bank.iter().all(|&b| (b as usize) < self.ctx.datapath.num_banks()),
+            "array bound to a nonexistent bank"
         );
 
         // Use bindings reference live chains that cover the read step.

@@ -79,6 +79,9 @@ impl<'a> AllocContext<'a> {
                 return Err(AllocError::InsufficientUnits { class: *class, need: *need, have });
             }
         }
+        if graph.has_memory() && datapath.num_banks() == 0 {
+            return Err(AllocError::NoMemoryBanks);
+        }
         let plan = plan
             .filter(|p| p.matches(graph, schedule, &datapath))
             .unwrap_or_else(|| {

@@ -25,6 +25,10 @@ pub enum AllocError {
         /// Units provided.
         have: usize,
     },
+    /// The graph declares arrays but the resource pool has no memory
+    /// banks to bind them to (a pool built without a
+    /// [`MemConfig`](salsa_datapath::MemConfig) for a memory design).
+    NoMemoryBanks,
     /// The produced datapath failed post-allocation verification — an
     /// internal consistency bug, never expected in normal operation.
     VerificationFailed {
@@ -46,6 +50,9 @@ impl fmt::Display for AllocError {
             }
             AllocError::InsufficientUnits { class, need, have } => {
                 write!(f, "schedule needs {need} {class} units but only {have} provided")
+            }
+            AllocError::NoMemoryBanks => {
+                write!(f, "graph declares arrays but the datapath has no memory banks")
             }
             AllocError::VerificationFailed { detail } => {
                 write!(f, "allocated datapath failed verification: {detail}")

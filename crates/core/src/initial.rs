@@ -87,6 +87,7 @@ fn build<'a>(ctx: &'a AllocContext<'a>, warm: Option<&WarmSpec>) -> Binding<'a> 
     let n = ctx.n_steps();
 
     // --- Step 1: operators onto first-available units. ------------------
+    let default_banks = crate::binding::default_array_banks(ctx);
     let mut fu_busy = vec![vec![false; n]; ctx.datapath.num_fus()];
     let mut op_fu = vec![FuId::from_index(0); ctx.graph.num_ops()];
     let mut ops: Vec<OpId> = ctx.graph.op_ids().collect();
@@ -94,18 +95,45 @@ fn build<'a>(ctx: &'a AllocContext<'a>, warm: Option<&WarmSpec>) -> Binding<'a> 
     for op in ops {
         let window: Vec<usize> = ctx.occupied_steps(op).collect();
         let free = |f: &FuId| window.iter().all(|&s| !fu_busy[f.index()][s]);
-        let preferred = warm
-            .and_then(|w| w.op_pref(op.index()))
-            .map(FuId::from_index)
-            .filter(|&p| ctx.datapath.fus_of_class(ctx.class_of(op)).any(|f| f.id() == p))
-            .filter(free);
-        let fu = preferred.unwrap_or_else(|| {
-            ctx.datapath
-                .fus_of_class(ctx.class_of(op))
-                .map(|f| f.id())
-                .find(free)
-                .expect("pool demand check guarantees a free unit")
-        });
+        let fu = if let Some(array) = ctx.plan.op_array[op.index()] {
+            // Memory accesses start in their array's default bank (the
+            // same round-robin table a fresh binding derives its
+            // array→bank state from), so construction is conflict-free.
+            // A warm preference is honoured only inside that bank: an
+            // out-of-bank preference would start the search conflicted,
+            // which only the M moves could repair — an M-off run would
+            // be stuck with it. The any-free-unit fallback covers
+            // explicit bank layouts narrower than the schedule's demand.
+            let bank = default_banks[array as usize] as usize;
+            let preferred = warm
+                .and_then(|w| w.op_pref(op.index()))
+                .map(FuId::from_index)
+                .filter(|p| ctx.plan.bank_units[bank].contains(p))
+                .filter(free);
+            preferred.unwrap_or_else(|| {
+                ctx.plan.bank_units[bank]
+                    .iter()
+                    .copied()
+                    .find(free)
+                    .or_else(|| {
+                        ctx.datapath.fus_of_class(ctx.class_of(op)).map(|f| f.id()).find(free)
+                    })
+                    .expect("pool demand check guarantees a free unit")
+            })
+        } else {
+            let preferred = warm
+                .and_then(|w| w.op_pref(op.index()))
+                .map(FuId::from_index)
+                .filter(|&p| ctx.datapath.fus_of_class(ctx.class_of(op)).any(|f| f.id() == p))
+                .filter(free);
+            preferred.unwrap_or_else(|| {
+                ctx.datapath
+                    .fus_of_class(ctx.class_of(op))
+                    .map(|f| f.id())
+                    .find(free)
+                    .expect("pool demand check guarantees a free unit")
+            })
+        };
         for &s in &window {
             fu_busy[fu.index()][s] = true;
         }

@@ -40,6 +40,7 @@ pub fn lower(binding: &Binding<'_>) -> (Rtl, Claims) {
     let n = ctx.n_steps();
     let mut rtl = Rtl::new(n);
     let mut claims = Claims::default();
+    claims.array_banks = binding.array_banks().to_vec();
 
     // Operation issues and result loads.
     for op in ctx.graph.ops() {

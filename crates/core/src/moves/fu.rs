@@ -62,7 +62,7 @@ pub(crate) fn propose_fu_exchange(b: &mut Binding<'_>, rng: &mut StdRng) -> Opti
     } else {
         let classes: Vec<FuClass> = FuClass::all()
             .into_iter()
-            .filter(|&c| ctx.datapath.fus_of_class(c).count() >= 2)
+            .filter(|&c| c != FuClass::Mem && ctx.datapath.fus_of_class(c).count() >= 2)
             .collect();
         let &class = classes.choose(rng)?;
         let units: Vec<FuId> = ctx.datapath.fus_of_class(class).map(|f| f.id()).collect();
@@ -133,6 +133,14 @@ pub(crate) fn apply_fu_exchange(b: &mut Binding<'_>, a: FuId, z: FuId) -> bool {
 pub(crate) fn propose_fu_move(b: &mut Binding<'_>, rng: &mut StdRng) -> Option<Proposal> {
     let ctx = b.ctx;
     let op = OpId::from_index(rng.gen_range(0..ctx.graph.num_ops()));
+    if ctx.plan.is_memory_op(op) {
+        // Memory accesses belong to the M family (M3 re-ports them inside
+        // their array's bank); F2 migrating one across banks would create
+        // a bank conflict the F moves cannot repair. The infeasible
+        // outcome keeps the draw count — and the scalar trajectory —
+        // unchanged.
+        return None;
+    }
     let current = b.op_fu(op);
     if b.plan_enabled() {
         let mut candidates = std::mem::take(&mut b.scratch.fus);

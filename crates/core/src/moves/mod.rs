@@ -22,6 +22,7 @@
 //! without a per-move snapshot clone.
 
 mod fu;
+mod mem;
 mod reg;
 
 use rand::rngs::StdRng;
@@ -57,11 +58,18 @@ pub enum MoveKind {
     ValueSplit,
     /// R6 — merge: eliminate a copy of a value.
     ValueMerge,
+    /// M1 — re-home an array (and all its accesses) to another bank.
+    ArrayRebank,
+    /// M2 — exchange the banks of two arrays.
+    BankExchange,
+    /// M3 — reassign a memory access to another port of its array's bank.
+    AccessReport,
 }
 
 impl MoveKind {
-    /// All move kinds with the paper's table labels.
-    pub fn all() -> [(MoveKind, &'static str); 11] {
+    /// All move kinds with their table labels: the paper's Table 1
+    /// (F1-R6) plus this crate's memory extension (M1-M3).
+    pub fn all() -> [(MoveKind, &'static str); 14] {
         [
             (MoveKind::FuExchange, "F1"),
             (MoveKind::FuMove, "F2"),
@@ -74,7 +82,21 @@ impl MoveKind {
             (MoveKind::ValueMove, "R4"),
             (MoveKind::ValueSplit, "R5"),
             (MoveKind::ValueMerge, "R6"),
+            (MoveKind::ArrayRebank, "M1"),
+            (MoveKind::BankExchange, "M2"),
+            (MoveKind::AccessReport, "M3"),
         ]
+    }
+
+    /// Whether this is a memory-binding move (the M family). Memory moves
+    /// are opt-in: [`MoveSet::full`] excludes them so scalar searches and
+    /// historical trajectories are untouched; [`MoveSet::with_memory`]
+    /// adds them for graphs with arrays.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            MoveKind::ArrayRebank | MoveKind::BankExchange | MoveKind::AccessReport
+        )
     }
 
     /// The default selection weight: "the random selection process is
@@ -93,6 +115,9 @@ impl MoveKind {
             MoveKind::ValueMove => 3,
             MoveKind::ValueSplit => 4,
             MoveKind::ValueMerge => 3,
+            MoveKind::ArrayRebank => 6,
+            MoveKind::BankExchange => 2,
+            MoveKind::AccessReport => 6,
         }
     }
 }
@@ -106,8 +131,22 @@ pub struct MoveSet {
 }
 
 impl MoveSet {
-    /// The full SALSA move set with default weights.
+    /// The full SALSA move set (F1-R6) with default weights. Memory
+    /// moves are excluded — they only make sense on graphs with arrays;
+    /// see [`MoveSet::with_memory`].
     pub fn full() -> Self {
+        MoveSet {
+            kinds: MoveKind::all()
+                .into_iter()
+                .filter(|(k, _)| !k.is_memory())
+                .map(|(k, _)| (k, k.default_weight()))
+                .collect(),
+        }
+    }
+
+    /// The full move set plus the memory family (M1-M3), for graphs with
+    /// arrays and a banked memory pool.
+    pub fn with_memory() -> Self {
         MoveSet {
             kinds: MoveKind::all()
                 .into_iter()
@@ -137,6 +176,18 @@ impl MoveSet {
     /// Removes one move kind (for ablations).
     pub fn without(mut self, kind: MoveKind) -> Self {
         self.kinds.retain(|(k, _)| *k != kind);
+        self
+    }
+
+    /// Adds one move kind at its default weight (no-op when already
+    /// present). Appending in `MoveKind::all()` order reproduces
+    /// [`MoveSet::with_memory`] from [`MoveSet::full`] exactly — the
+    /// allocator's automatic memory upgrade relies on this so every
+    /// participant of a distributed run derives the identical set.
+    pub fn with(mut self, kind: MoveKind) -> Self {
+        if !self.contains(kind) {
+            self.kinds.push((kind, kind.default_weight()));
+        }
         self
     }
 
@@ -291,6 +342,28 @@ pub enum Proposal {
         /// Shrink from the front (`true`) or the back.
         front: bool,
     },
+    /// M1 — re-home `array` (and all its accesses) to `bank`.
+    ArrayRebank {
+        /// The array to re-bank.
+        array: usize,
+        /// The destination bank.
+        bank: u32,
+    },
+    /// M2 — exchange the banks of arrays `a1` and `a2`.
+    BankExchange {
+        /// First array.
+        a1: usize,
+        /// Second array (in a different bank).
+        a2: usize,
+    },
+    /// M3 — reassign memory access `op` to `target`, another port of its
+    /// array's bank.
+    AccessReport {
+        /// The load or store to move.
+        op: OpId,
+        /// The exec-free `Mem` unit in the same bank.
+        target: FuId,
+    },
 }
 
 /// Draws one move of the given kind, resolving every random decision
@@ -322,6 +395,9 @@ pub(crate) fn propose_move(
         MoveKind::ValueMove => reg::propose_value_move(binding, rng),
         MoveKind::ValueSplit => reg::propose_value_split(binding, rng),
         MoveKind::ValueMerge => reg::propose_value_merge(binding, rng),
+        MoveKind::ArrayRebank => mem::propose_array_rebank(binding, rng),
+        MoveKind::BankExchange => mem::propose_bank_exchange(binding, rng),
+        MoveKind::AccessReport => mem::propose_access_report(binding, rng),
     }
 }
 
@@ -356,6 +432,9 @@ pub(crate) fn apply_proposal(binding: &mut Binding<'_>, proposal: Proposal) -> b
         Proposal::ValueMerge { value, slot, front } => {
             reg::apply_value_merge(binding, value, slot, front)
         }
+        Proposal::ArrayRebank { array, bank } => mem::apply_array_rebank(binding, array, bank),
+        Proposal::BankExchange { a1, a2 } => mem::apply_bank_exchange(binding, a1, a2),
+        Proposal::AccessReport { op, target } => mem::apply_access_report(binding, op, target),
     }
 }
 
@@ -425,6 +504,13 @@ mod tests {
         let full = MoveSet::full();
         assert!(full.contains(MoveKind::ValueSplit));
         assert!(full.contains(MoveKind::PassBind));
+        assert!(!full.contains(MoveKind::ArrayRebank));
+        assert!(!full.contains(MoveKind::AccessReport));
+        let mem = MoveSet::with_memory();
+        assert!(mem.contains(MoveKind::ArrayRebank));
+        assert!(mem.contains(MoveKind::BankExchange));
+        assert!(mem.contains(MoveKind::AccessReport));
+        assert!(mem.contains(MoveKind::ValueSplit));
         let trad = MoveSet::traditional();
         assert!(!trad.contains(MoveKind::SegmentMove));
         assert!(!trad.contains(MoveKind::PassBind));
@@ -445,8 +531,11 @@ mod tests {
     }
 
     #[test]
-    fn labels_cover_f1_to_r6() {
+    fn labels_cover_f1_to_m3() {
         let labels: Vec<&str> = MoveKind::all().iter().map(|(_, l)| *l).collect();
-        assert_eq!(labels, ["F1", "F2", "F3", "F4", "F5", "R1", "R2", "R3", "R4", "R5", "R6"]);
+        assert_eq!(
+            labels,
+            ["F1", "F2", "F3", "F4", "F5", "R1", "R2", "R3", "R4", "R5", "R6", "M1", "M2", "M3"]
+        );
     }
 }

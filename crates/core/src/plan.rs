@@ -36,7 +36,8 @@ pub(crate) type OpRead = (u8, ValueId, u32);
 pub struct MovePlan {
     /// Indices into [`class_units`](Self::class_units) of classes with at
     /// least two units — the F1 exchange population, in `FuClass::all()`
-    /// order.
+    /// order. `Mem` is excluded: port assignment belongs to the M family
+    /// exclusively, so the F moves never touch memory units.
     pub(crate) exchange_classes: Vec<usize>,
     /// Per-class unit id lists in datapath order, indexed parallel to
     /// `FuClass::all()`.
@@ -81,10 +82,20 @@ pub struct MovePlan {
     pub(crate) value_fb_producer: Vec<Option<OpId>>,
     /// Per-value stored-lifetime length (0 = unstored or empty).
     pub(crate) value_lt_len: Vec<u32>,
-    /// Dimension stamp `(ops, values, steps, fus, regs)` of the inputs
-    /// the plan was compiled from — the defensive shape check a shared
-    /// (cached) plan is validated against before reuse.
-    stamp: (usize, usize, usize, usize, usize),
+    /// Memory accesses (loads and stores) in op-id order — the M3
+    /// population, and the scan set of the on-demand memory cost terms.
+    pub(crate) mem_ops: Vec<OpId>,
+    /// Per-op array index (`None` for scalar ops).
+    pub(crate) op_array: Vec<Option<u32>>,
+    /// Number of arrays of the graph (the M1/M2 population size).
+    pub(crate) num_arrays: usize,
+    /// Per-bank `Mem`-unit id lists in datapath order — the M1/M3
+    /// re-porting candidate tables.
+    pub(crate) bank_units: Vec<Vec<FuId>>,
+    /// Dimension stamp `(ops, values, steps, fus, regs, arrays, banks)`
+    /// of the inputs the plan was compiled from — the defensive shape
+    /// check a shared (cached) plan is validated against before reuse.
+    stamp: (usize, usize, usize, usize, usize, usize, usize),
 }
 
 impl MovePlan {
@@ -106,8 +117,9 @@ impl MovePlan {
             .iter()
             .map(|&c| datapath.fus_of_class(c).map(|f| f.id()).collect())
             .collect();
-        let exchange_classes: Vec<usize> =
-            (0..classes.len()).filter(|&i| class_units[i].len() >= 2).collect();
+        let exchange_classes: Vec<usize> = (0..classes.len())
+            .filter(|&i| classes[i] != FuClass::Mem && class_units[i].len() >= 2)
+            .collect();
         let class_of = |op: OpId| FuClass::for_op(graph.op(op).kind());
         let op_class: Vec<usize> = graph
             .op_ids()
@@ -166,6 +178,12 @@ impl MovePlan {
             op_out_states.push(if lt.is_empty() { lt.feeds().to_vec() } else { Vec::new() });
         }
 
+        let mem_ops: Vec<OpId> = graph.memory_ops().map(|o| o.id()).collect();
+        let op_array: Vec<Option<u32>> =
+            graph.ops().map(|o| o.array().map(|a| a.index() as u32)).collect();
+        let bank_units: Vec<Vec<FuId>> =
+            (0..datapath.num_banks()).map(|b| datapath.bank_fus(b).collect()).collect();
+
         let value_producer: Vec<Option<OpId>> =
             graph.value_ids().map(|v| graph.value(v).source().op()).collect();
         let mut value_fb_producer = vec![None; num_values];
@@ -221,7 +239,19 @@ impl MovePlan {
             value_producer,
             value_fb_producer,
             value_lt_len,
-            stamp: (num_ops, num_values, n_steps, datapath.num_fus(), datapath.num_regs()),
+            mem_ops,
+            op_array,
+            num_arrays: graph.num_arrays(),
+            bank_units,
+            stamp: (
+                num_ops,
+                num_values,
+                n_steps,
+                datapath.num_fus(),
+                datapath.num_regs(),
+                graph.num_arrays(),
+                datapath.num_banks(),
+            ),
         }
     }
 
@@ -237,6 +267,8 @@ impl MovePlan {
                 schedule.n_steps(),
                 datapath.num_fus(),
                 datapath.num_regs(),
+                graph.num_arrays(),
+                datapath.num_banks(),
             )
     }
 
@@ -256,6 +288,12 @@ impl MovePlan {
         &self.class_units[self.op_class[op.index()]]
     }
 
+    /// Whether the op is a memory access (names an array).
+    #[inline]
+    pub(crate) fn is_memory_op(&self, op: OpId) -> bool {
+        self.op_array[op.index()].is_some()
+    }
+
     /// Total number of compiled candidate-table entries — a size metric
     /// for reports and tests.
     pub fn table_entries(&self) -> usize {
@@ -266,5 +304,7 @@ impl MovePlan {
             + self.op_reads.iter().map(Vec::len).sum::<usize>()
             + self.value_op_owners.iter().map(Vec::len).sum::<usize>()
             + self.value_boundaries.iter().map(Vec::len).sum::<usize>()
+            + self.mem_ops.len()
+            + self.bank_units.iter().map(Vec::len).sum::<usize>()
     }
 }

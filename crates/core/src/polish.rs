@@ -11,6 +11,7 @@ use salsa_datapath::{CostWeights, FuId, RegId};
 
 use crate::binding::Owner;
 use crate::improve::weighted_cost;
+use crate::moves::{apply_proposal, Proposal};
 use crate::{Binding, MoveKind, MoveSet, TransferKey};
 
 /// Runs greedy descent to a fixpoint over the neighborhoods the move set
@@ -36,6 +37,12 @@ pub fn polish(binding: &mut Binding<'_>, weights: &CostWeights, move_set: &MoveS
         if move_set.contains(MoveKind::SegmentMove) {
             improved |= sweep_segment_moves(binding, weights, &mut best);
         }
+        if move_set.contains(MoveKind::AccessReport) {
+            improved |= sweep_access_reports(binding, weights, &mut best);
+        }
+        if move_set.contains(MoveKind::ArrayRebank) {
+            improved |= sweep_array_rebanks(binding, weights, &mut best);
+        }
         if !improved {
             return best;
         }
@@ -56,10 +63,15 @@ fn accept_or_rollback(binding: &mut Binding<'_>, weights: &CostWeights, best: &m
     }
 }
 
-/// F2 over the complete (operation, unit) grid.
+/// F2 over the complete (operation, unit) grid. Memory accesses are
+/// skipped — the M family owns port assignment (see `moves/mem.rs`), and
+/// the M3 sweep covers them when the move set permits.
 fn sweep_op_moves(binding: &mut Binding<'_>, weights: &CostWeights, best: &mut u64) -> bool {
     let mut improved = false;
     for op in binding.ctx().graph.op_ids() {
+        if binding.ctx().plan.is_memory_op(op) {
+            continue;
+        }
         let class = binding.ctx().class_of(op);
         let candidates: Vec<FuId> = binding
             .ctx()
@@ -248,6 +260,61 @@ fn sweep_segment_moves(
                     improved |= accept_or_rollback(binding, weights, best);
                 }
             }
+        }
+    }
+    improved
+}
+
+/// M3 over the complete (access, bank port) grid: each load/store against
+/// every other unit of its array's current bank.
+fn sweep_access_reports(
+    binding: &mut Binding<'_>,
+    weights: &CostWeights,
+    best: &mut u64,
+) -> bool {
+    let mut improved = false;
+    let ops: Vec<OpId> = binding.ctx().plan.mem_ops.clone();
+    for op in ops {
+        let array =
+            binding.ctx().plan.op_array[op.index()].expect("memory op names an array") as usize;
+        let bank = binding.array_bank(array) as usize;
+        let candidates: Vec<FuId> = binding.ctx().plan.bank_units[bank].clone();
+        for fu in candidates {
+            if fu == binding.op_fu(op) || !binding.fu_exec_free(fu, op) {
+                continue;
+            }
+            binding.begin();
+            binding.retract_owner(Owner::Op(op));
+            binding.vacate_op(op);
+            binding.occupy_op(op, fu);
+            binding.assert_owner(Owner::Op(op));
+            improved |= accept_or_rollback(binding, weights, best);
+        }
+    }
+    improved
+}
+
+/// M1 over the complete (array, bank) grid. A rebank that cannot re-home
+/// every access (ports exhausted) fails its apply and rolls back.
+fn sweep_array_rebanks(
+    binding: &mut Binding<'_>,
+    weights: &CostWeights,
+    best: &mut u64,
+) -> bool {
+    let mut improved = false;
+    let num_arrays = binding.ctx().plan.num_arrays;
+    let num_banks = binding.ctx().datapath.num_banks();
+    for array in 0..num_arrays {
+        for bank in 0..num_banks as u32 {
+            if binding.array_bank(array) == bank {
+                continue;
+            }
+            binding.begin();
+            if !apply_proposal(binding, Proposal::ArrayRebank { array, bank }) {
+                binding.rollback();
+                continue;
+            }
+            improved |= accept_or_rollback(binding, weights, best);
         }
     }
     improved

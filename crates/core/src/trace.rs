@@ -266,6 +266,15 @@ fn proposal_in_bounds(ctx: &AllocContext<'_>, p: &Proposal) -> bool {
             stored(value) && idx < lt_len(value) && reg(r)
         }
         Proposal::ValueMerge { value, .. } => stored(value),
+        Proposal::ArrayRebank { array, bank } => {
+            array < ctx.plan.num_arrays && (bank as usize) < ctx.datapath.num_banks()
+        }
+        Proposal::BankExchange { a1, a2 } => {
+            a1 < ctx.plan.num_arrays && a2 < ctx.plan.num_arrays
+        }
+        Proposal::AccessReport { op: o, target } => {
+            op(o) && ctx.plan.is_memory_op(o) && fu(target)
+        }
     }
 }
 
@@ -455,6 +464,15 @@ fn encode_proposal(p: Proposal, out: &mut String) {
                 if front { "f" } else { "b" }
             );
         }
+        Proposal::ArrayRebank { array, bank } => {
+            let _ = write!(out, "M1:{array},{bank}");
+        }
+        Proposal::BankExchange { a1, a2 } => {
+            let _ = write!(out, "M2:{a1},{a2}");
+        }
+        Proposal::AccessReport { op, target } => {
+            let _ = write!(out, "M3:{},{}", op.index(), target.index());
+        }
     }
 }
 
@@ -524,6 +542,15 @@ fn decode_proposal(tok: &str) -> Result<Proposal, TraceError> {
             value: ValueId::from_index(num(v)?),
             slot: num(slot)?,
             front: flag(fr)?,
+        }),
+        ("M1", [array, bank]) => Ok(Proposal::ArrayRebank {
+            array: num(array)?,
+            bank: num(bank)? as u32,
+        }),
+        ("M2", [a1, a2]) => Ok(Proposal::BankExchange { a1: num(a1)?, a2: num(a2)? }),
+        ("M3", [op, fu]) => Ok(Proposal::AccessReport {
+            op: OpId::from_index(num(op)?),
+            target: FuId::from_index(num(fu)?),
         }),
         _ => Err(malformed()),
     }
@@ -778,6 +805,104 @@ mod tests {
             assert!(
                 matches!(MoveTrace::decode(bad), Err(TraceError::Malformed { .. })),
                 "`{bad}` must be rejected as malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_traces_are_rejected_against_scalar_graphs() {
+        use salsa_datapath::FuId;
+        // A trace carrying M moves replayed against a scalar design (no
+        // arrays, no banks) is foreign input: every memory step must be
+        // a structured InfeasibleStep, never a panic.
+        let graph = paper_example();
+        let library = FuLibrary::standard();
+        let schedule = fds_schedule(&graph, &library, 4).unwrap();
+        let datapath = datapath_for(&graph, &schedule, &library);
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let config = small_config(None);
+        let (trace, _) = record_slot_trace(&ctx, &config, 42, 0).unwrap();
+
+        let memory_steps = [
+            Proposal::ArrayRebank { array: 0, bank: 1 },
+            Proposal::BankExchange { a1: 0, a2: 1 },
+            Proposal::AccessReport { op: salsa_cdfg::OpId::from_index(0), target: FuId::from_index(0) },
+        ];
+        for proposal in memory_steps {
+            let mut foreign = trace.clone();
+            foreign.steps.insert(
+                0,
+                TraceStep::Commit { proposal: proposal.clone(), cost_after: trace.initial_cost },
+            );
+            assert!(
+                matches!(
+                    replay_trace(&ctx, &config, &foreign, ReplayCheck::Full),
+                    Err(TraceError::InfeasibleStep { step: 0 })
+                ),
+                "memory step {proposal:?} must be rejected on a scalar graph"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_memory_traces_are_rejected_with_structured_errors() {
+        use salsa_datapath::{FuId, MemConfig};
+        // The memory half of the untrusted-input contract: a genuine
+        // memory-design trace with out-of-range arrays/banks, or an
+        // access reported onto a port outside the array's bank, fails
+        // with a structured error at exactly the corrupted step.
+        let graph = salsa_cdfg::benchmarks::fir_array();
+        let library = FuLibrary::standard();
+        let schedule = schedule_for(&graph, &library, 2);
+        let fu_counts = schedule.fu_demand(&graph, &library);
+        let ports = fu_counts.get(&salsa_sched::FuClass::Mem).copied().unwrap_or(1).max(1);
+        let mem = MemConfig::uniform(graph.num_arrays().max(1), ports);
+        let datapath = Datapath::new_with_memory(
+            &fu_counts,
+            schedule.register_demand(&graph, &library).max(1),
+            &mem,
+        );
+        let ctx = AllocContext::new(&graph, &schedule, &library, datapath).unwrap();
+        let config = ImproveConfig {
+            move_set: crate::MoveSet::with_memory(),
+            ..small_config(None)
+        };
+        let (trace, _) = record_slot_trace(&ctx, &config, 42, 0).unwrap();
+
+        // The genuine trace round-trips through its text encoding,
+        // M steps included.
+        let decoded = MoveTrace::decode(&trace.encode()).unwrap();
+        assert_eq!(decoded, trace);
+
+        let scalar_op = graph
+            .ops()
+            .find(|o| o.array().is_none())
+            .expect("fir8a mixes arithmetic with loads")
+            .id();
+        let corrupt = [
+            Proposal::ArrayRebank { array: 9999, bank: 0 },
+            Proposal::ArrayRebank { array: 0, bank: 9999 },
+            Proposal::BankExchange { a1: 0, a2: 9999 },
+            // An access report on an op that is not a memory access.
+            Proposal::AccessReport { op: scalar_op, target: FuId::from_index(0) },
+            // A target FU index beyond the pool.
+            Proposal::AccessReport {
+                op: ctx.plan.mem_ops[0],
+                target: FuId::from_index(9999),
+            },
+        ];
+        for proposal in corrupt {
+            let mut tampered = trace.clone();
+            tampered.steps.insert(
+                0,
+                TraceStep::Commit { proposal: proposal.clone(), cost_after: trace.initial_cost },
+            );
+            assert!(
+                matches!(
+                    replay_trace(&ctx, &config, &tampered, ReplayCheck::Full),
+                    Err(TraceError::InfeasibleStep { step: 0 })
+                ),
+                "corrupt memory step {proposal:?} must be rejected"
             );
         }
     }

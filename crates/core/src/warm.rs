@@ -142,6 +142,11 @@ impl WarmSpec {
             | Proposal::ValueSplitExtend { value, .. }
             | Proposal::ValueSplitNew { value, .. }
             | Proposal::ValueMerge { value, .. } => self.focus_value(value.index()),
+            // Re-banking moves have no single-op identity (they re-home a
+            // whole access set), so like F1 they never count as
+            // delta-local; M3 is an op-targeted move like F2.
+            Proposal::ArrayRebank { .. } | Proposal::BankExchange { .. } => false,
+            Proposal::AccessReport { op, .. } => self.focus_op(op.index()),
         }
     }
 
@@ -332,6 +337,17 @@ fn encode_parts(out: &mut String, parts: &BindingParts) {
         encode_transfer_key(out, key);
         let _ = write!(out, ":{}", fu.index());
     }
+    out.push_str(";b=");
+    if parts.array_banks.is_empty() {
+        out.push('-');
+    } else {
+        for (bi, bank) in parts.array_banks.iter().enumerate() {
+            if bi > 0 {
+                out.push('.');
+            }
+            let _ = write!(out, "{bank}");
+        }
+    }
 }
 
 fn decode_parts(text: &str) -> Result<BindingParts, String> {
@@ -341,6 +357,7 @@ fn decode_parts(text: &str) -> Result<BindingParts, String> {
         chains: Vec::new(),
         use_chain: Vec::new(),
         passes: Vec::new(),
+        array_banks: Vec::new(),
     };
     for section in text.split(';') {
         let (tag, body) =
@@ -384,6 +401,14 @@ fn decode_parts(text: &str) -> Result<BindingParts, String> {
                     let fu: usize =
                         fu.parse().map_err(|_| format!("bad pass entry `{entry}`"))?;
                     parts.passes.push((decode_transfer_key(key)?, FuId::from_index(fu)));
+                }
+            }
+            "b" => {
+                if body != "-" && !body.is_empty() {
+                    parts.array_banks = body
+                        .split('.')
+                        .map(|p| p.parse().map_err(|_| format!("bad array bank `{p}`")))
+                        .collect::<Result<_, _>>()?;
                 }
             }
             other => return Err(format!("unknown parts section `{other}`")),

@@ -17,6 +17,13 @@ pub struct CostWeights {
     pub mux: u64,
     /// Weight per distinct connection (wire).
     pub conn: u64,
+    /// Weight per memory bank actually holding an array (bank overhead:
+    /// decoder, sense amps). Zero-cost for scalar designs.
+    pub bank: u64,
+    /// Weight per bank-conflicting access — an access bound to a port of a
+    /// bank other than its array's. Set prohibitively high: a conflicted
+    /// binding is structurally wrong and must never win the search.
+    pub conflict: u64,
 }
 
 impl Default for CostWeights {
@@ -26,7 +33,7 @@ impl Default for CostWeights {
     /// expensive, multiplexers are the contested resource, and wires break
     /// ties.
     fn default() -> Self {
-        CostWeights { fu_area: 100, reg: 20, mux: 4, conn: 1 }
+        CostWeights { fu_area: 100, reg: 20, mux: 4, conn: 1, bank: 80, conflict: 100_000 }
     }
 }
 
@@ -37,6 +44,9 @@ impl CostWeights {
             + self.reg * breakdown.used_regs as u64
             + self.mux * breakdown.mux_equiv as u64
             + self.conn * breakdown.connections as u64
+            + self.bank * breakdown.mem_banks as u64
+            + self.mux * breakdown.addr_mux as u64
+            + self.conflict * breakdown.bank_conflicts as u64
     }
 }
 
@@ -51,6 +61,14 @@ pub struct CostBreakdown {
     pub mux_equiv: usize,
     /// Distinct connections (wires).
     pub connections: usize,
+    /// Memory banks holding at least one array.
+    pub mem_banks: usize,
+    /// Equivalent 2-1 address multiplexers: a port serving `k` distinct
+    /// arrays needs `k - 1` of them in front of its address decoder.
+    pub addr_mux: usize,
+    /// Accesses issued on a port of a bank other than their array's bank
+    /// (zero in any consistent binding).
+    pub bank_conflicts: usize,
 }
 
 impl fmt::Display for CostBreakdown {
@@ -59,7 +77,15 @@ impl fmt::Display for CostBreakdown {
             f,
             "fu_area={} regs={} mux={} conns={}",
             self.fu_area, self.used_regs, self.mux_equiv, self.connections
-        )
+        )?;
+        if self.mem_banks > 0 || self.bank_conflicts > 0 {
+            write!(
+                f,
+                " banks={} addr_mux={} conflicts={}",
+                self.mem_banks, self.addr_mux, self.bank_conflicts
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -69,10 +95,14 @@ mod tests {
 
     #[test]
     fn weighted_sum() {
-        let w = CostWeights { fu_area: 10, reg: 5, mux: 2, conn: 1 };
-        let b = CostBreakdown { fu_area: 3, used_regs: 4, mux_equiv: 6, connections: 7 };
+        let w = CostWeights { fu_area: 10, reg: 5, mux: 2, conn: 1, bank: 3, conflict: 1000 };
+        let b = CostBreakdown { fu_area: 3, used_regs: 4, mux_equiv: 6, connections: 7, ..CostBreakdown::default() };
         assert_eq!(w.evaluate(&b), 30 + 20 + 12 + 7);
         assert!(b.to_string().contains("mux=6"));
+        assert!(!b.to_string().contains("banks="), "scalar breakdown omits memory terms");
+        let b = CostBreakdown { mem_banks: 2, addr_mux: 1, bank_conflicts: 1, ..b };
+        assert_eq!(w.evaluate(&b), 30 + 20 + 12 + 7 + 2 * 3 + 2 + 1000);
+        assert!(b.to_string().contains("banks=2"));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fmt;
 
 use salsa_sched::{FuClass, FuLibrary};
 
-use crate::FuId;
+use crate::{FuId, MemConfig};
 
 /// One functional-unit instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,10 @@ impl Fu {
 pub struct Datapath {
     fus: Vec<Fu>,
     n_regs: usize,
+    /// Ports per memory bank; empty for scalar-only pools. The `Mem`
+    /// units occupy the tail of `fus` (class order), bank 0's ports
+    /// first.
+    banks: Vec<usize>,
 }
 
 impl Datapath {
@@ -45,15 +49,40 @@ impl Datapath {
     ///
     /// Panics if `n_regs == 0` or no functional units are requested.
     pub fn new(fu_counts: &BTreeMap<FuClass, usize>, n_regs: usize) -> Self {
+        // Any requested Mem units default to one shared bank.
+        let mem = fu_counts.get(&FuClass::Mem).copied().unwrap_or(0);
+        let config =
+            if mem > 0 { MemConfig::single(mem) } else { MemConfig { banks: Vec::new() } };
+        Self::new_with_memory(fu_counts, n_regs, &config)
+    }
+
+    /// Builds a pool whose memory ports are split across explicit banks.
+    /// The number of `Mem` units is `mem.total_ports()`; any `Mem` entry
+    /// of `fu_counts` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_regs == 0`, no functional units result, or a bank has
+    /// zero ports.
+    pub fn new_with_memory(
+        fu_counts: &BTreeMap<FuClass, usize>,
+        n_regs: usize,
+        mem: &MemConfig,
+    ) -> Self {
         assert!(n_regs > 0, "a datapath needs at least one register");
+        mem.validate();
         let mut fus = Vec::new();
         for class in FuClass::all() {
-            for _ in 0..fu_counts.get(&class).copied().unwrap_or(0) {
+            let count = match class {
+                FuClass::Mem => mem.total_ports(),
+                _ => fu_counts.get(&class).copied().unwrap_or(0),
+            };
+            for _ in 0..count {
                 fus.push(Fu { id: FuId::from_index(fus.len()), class });
             }
         }
         assert!(!fus.is_empty(), "a datapath needs at least one functional unit");
-        Datapath { fus, n_regs }
+        Datapath { fus, n_regs, banks: mem.banks.clone() }
     }
 
     /// Number of functional units.
@@ -103,6 +132,50 @@ impl Datapath {
     pub fn total_fu_area(&self, library: &FuLibrary) -> usize {
         self.fus.iter().map(|fu| library.spec(fu.class).area).sum()
     }
+
+    /// Number of memory banks (0 for scalar-only pools).
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Ports per bank.
+    pub fn bank_ports(&self) -> &[usize] {
+        &self.banks
+    }
+
+    /// Index of the first `Mem` unit (== `num_fus()` when there is none).
+    fn first_mem_fu(&self) -> usize {
+        self.fus.len() - self.banks.iter().sum::<usize>()
+    }
+
+    /// The bank a memory port belongs to, or `None` for non-`Mem` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fu` is out of range.
+    pub fn bank_of_mem_fu(&self, fu: FuId) -> Option<usize> {
+        if self.fus[fu.index()].class != FuClass::Mem {
+            return None;
+        }
+        let mut offset = fu.index() - self.first_mem_fu();
+        for (bank, &ports) in self.banks.iter().enumerate() {
+            if offset < ports {
+                return Some(bank);
+            }
+            offset -= ports;
+        }
+        unreachable!("mem unit beyond the configured banks")
+    }
+
+    /// The port units of one bank, in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_fus(&self, bank: usize) -> impl ExactSizeIterator<Item = FuId> {
+        let first = self.first_mem_fu() + self.banks[..bank].iter().sum::<usize>();
+        (first..first + self.banks[bank]).map(FuId::from_index)
+    }
 }
 
 impl fmt::Display for Datapath {
@@ -122,6 +195,42 @@ mod tests {
 
     fn pool() -> Datapath {
         Datapath::new(&BTreeMap::from([(FuClass::Alu, 3), (FuClass::Mul, 2)]), 10)
+    }
+
+    #[test]
+    fn banked_memory_pool() {
+        let dp = Datapath::new_with_memory(
+            &BTreeMap::from([(FuClass::Alu, 2), (FuClass::Mul, 1)]),
+            8,
+            &MemConfig { banks: vec![2, 1] },
+        );
+        assert_eq!(dp.num_fus(), 6);
+        assert_eq!(dp.num_banks(), 2);
+        assert_eq!(dp.bank_ports(), &[2, 1]);
+        assert_eq!(dp.fus_of_class(FuClass::Mem).count(), 3);
+        // Mem units occupy the tail: ids 3, 4 (bank 0) and 5 (bank 1).
+        assert_eq!(dp.bank_of_mem_fu(FuId::from_index(3)), Some(0));
+        assert_eq!(dp.bank_of_mem_fu(FuId::from_index(4)), Some(0));
+        assert_eq!(dp.bank_of_mem_fu(FuId::from_index(5)), Some(1));
+        assert_eq!(dp.bank_of_mem_fu(FuId::from_index(0)), None, "alu has no bank");
+        assert_eq!(dp.bank_fus(0).collect::<Vec<_>>(), vec![
+            FuId::from_index(3),
+            FuId::from_index(4)
+        ]);
+        assert_eq!(dp.bank_fus(1).collect::<Vec<_>>(), vec![FuId::from_index(5)]);
+        let lib = FuLibrary::standard();
+        assert_eq!(dp.total_fu_area(&lib), 2 + 8 + 3 * 2);
+    }
+
+    #[test]
+    fn plain_mem_count_defaults_to_single_bank() {
+        let dp = Datapath::new(
+            &BTreeMap::from([(FuClass::Alu, 1), (FuClass::Mem, 2)]),
+            4,
+        );
+        assert_eq!(dp.num_banks(), 1);
+        assert_eq!(dp.bank_of_mem_fu(FuId::from_index(1)), Some(0));
+        assert_eq!(dp.bank_of_mem_fu(FuId::from_index(2)), Some(0));
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub fn datapath_dot(datapath: &Datapath, connections: &ConnectionMatrix) -> Stri
         let shape = match fu.class() {
             FuClass::Alu => "trapezium",
             FuClass::Mul => "invtrapezium",
+            FuClass::Mem => "cylinder",
         };
         let _ = writeln!(
             out,

@@ -31,6 +31,7 @@ mod cost;
 mod datapath;
 mod dot;
 mod ids;
+mod memory;
 mod muxmerge;
 mod net;
 mod rtl;
@@ -43,6 +44,7 @@ pub use cost::{CostBreakdown, CostWeights};
 pub use datapath::{Datapath, Fu};
 pub use dot::datapath_dot;
 pub use ids::{FuId, Port, RegId};
+pub use memory::MemConfig;
 pub use muxmerge::{merge_muxes, traffic_from_rtl, MuxMergeResult, Traffic};
 pub use net::{ConnectionMatrix, Sink, Source};
 pub use rtl::{Claims, Exec, Load, LoadSrc, OperandSrc, Pass, Placement, Rtl, RtlStep};

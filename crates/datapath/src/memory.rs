@@ -1,0 +1,72 @@
+//! Banked-memory configuration for the datapath pool.
+//!
+//! Arrays of the CDFG are stored in *memory banks*; each bank exposes a
+//! fixed number of access *ports*, and every port is one `FuClass::Mem`
+//! functional unit of the pool. An access (load or store) issues on a port
+//! of the bank its array is bound to; two accesses may share a step only on
+//! distinct ports. Bank assignment is part of the binding (the allocator's
+//! M-move family re-banks arrays and re-ports accesses), so the pool itself
+//! only fixes the *shape*: how many banks exist and how many ports each
+//! has.
+
+/// The shape of the banked memory attached to a datapath: one entry per
+/// bank giving that bank's port count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// `banks[b]` = number of access ports of bank `b`. Every entry must
+    /// be positive.
+    pub banks: Vec<usize>,
+}
+
+impl MemConfig {
+    /// A single bank with `ports` access ports.
+    pub fn single(ports: usize) -> Self {
+        MemConfig { banks: vec![ports] }
+    }
+
+    /// `banks` identical banks of `ports` ports each.
+    pub fn uniform(banks: usize, ports: usize) -> Self {
+        MemConfig { banks: vec![ports; banks] }
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total ports across all banks — the number of `FuClass::Mem` units
+    /// the pool instantiates.
+    pub fn total_ports(&self) -> usize {
+        self.banks.iter().sum()
+    }
+
+    /// Panics if any bank has zero ports.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.banks.iter().all(|&p| p > 0),
+            "every memory bank needs at least one port"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let m = MemConfig::single(3);
+        assert_eq!(m.num_banks(), 1);
+        assert_eq!(m.total_ports(), 3);
+        let m = MemConfig::uniform(2, 2);
+        assert_eq!(m.num_banks(), 2);
+        assert_eq!(m.total_ports(), 4);
+        m.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_port_bank_rejected() {
+        MemConfig { banks: vec![2, 0] }.validate();
+    }
+}

@@ -153,6 +153,11 @@ pub struct Placement {
 pub struct Claims {
     /// All placements, in no particular order.
     pub placements: Vec<Placement>,
+    /// For graphs with memory: `array_banks[a]` is the bank that array
+    /// `a` is bound to. Must have exactly one entry per declared array
+    /// (empty for scalar graphs); every memory access must issue on a
+    /// port of its array's claimed bank.
+    pub array_banks: Vec<u32>,
 }
 
 impl Claims {

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use salsa_cdfg::{Cdfg, ValueId, ValueSource};
+use salsa_cdfg::{wrap_addr, ArrayId, Cdfg, OpKind, ValueId, ValueSource};
 use salsa_sched::{FuLibrary, Schedule};
 
 use crate::{Claims, LoadSrc, OperandSrc, RegId, Rtl};
@@ -69,6 +69,9 @@ pub struct SimResult {
     pub outputs: Vec<BTreeMap<ValueId, i64>>,
     /// Final register file contents (registers ever written).
     pub final_regs: BTreeMap<RegId, i64>,
+    /// Final memory-bank contents per array (stores of the last iteration
+    /// committed). Empty for scalar graphs.
+    pub final_arrays: BTreeMap<ArrayId, Vec<i64>>,
 }
 
 /// Executes the RTL program for `inputs.len()` loop iterations.
@@ -98,6 +101,10 @@ pub fn simulate(
 ) -> Result<SimResult, SimError> {
     let n = schedule.n_steps();
     let mut regs: BTreeMap<RegId, i64> = BTreeMap::new();
+    // Memory-bank contents per array. Stores are buffered within an
+    // iteration and committed at its end — the read-XOR-write validation
+    // rule makes this equivalent to any in-order commit.
+    let mut arrays: Vec<Vec<i64>> = graph.arrays().map(|a| a.initial_words()).collect();
 
     // Step-0 claims of environment-provided values.
     let env_claims: Vec<(ValueId, RegId, bool)> = claims
@@ -174,6 +181,7 @@ pub fn simulate(
 
         // Per-unit pending results: completion step -> concrete value.
         let mut completions: BTreeMap<(usize, usize), i64> = BTreeMap::new();
+        let mut pending_stores: Vec<(usize, usize, i64)> = Vec::new();
 
         for t in 0..n {
             // In-iteration output sampling at the start of the step.
@@ -199,7 +207,20 @@ pub fn simulate(
                     }
                 };
                 let op = graph.op(exec.op);
-                let result = op.kind().apply(fetch(&exec.left)?, fetch(&exec.right)?);
+                let result = match op.kind() {
+                    OpKind::Load => {
+                        let arr = op.array().expect("load carries an array").index();
+                        let addr = wrap_addr(fetch(&exec.left)?, arrays[arr].len());
+                        arrays[arr][addr]
+                    }
+                    OpKind::Store => {
+                        let arr = op.array().expect("store carries an array").index();
+                        let addr = wrap_addr(fetch(&exec.left)?, arrays[arr].len());
+                        pending_stores.push((arr, addr, fetch(&exec.right)?));
+                        0 // the token value
+                    }
+                    kind => kind.apply(fetch(&exec.left)?, fetch(&exec.right)?),
+                };
                 let done = t + library.delay(op.kind()) - 1;
                 completions.insert((exec.fu.index(), done), result);
             }
@@ -234,6 +255,10 @@ pub fn simulate(
             }
         }
 
+        for (arr, addr, data) in pending_stores {
+            arrays[arr][addr] = data;
+        }
+
         for &(value, _, reg, wrapped) in &samples {
             if wrapped {
                 pending_wrapped.push((value, reg, k));
@@ -246,5 +271,9 @@ pub fn simulate(
         outputs[owner].insert(value, sample);
     }
 
-    Ok(SimResult { outputs, final_regs: regs })
+    let final_arrays = graph
+        .arrays()
+        .map(|a| (a.id(), std::mem::take(&mut arrays[a.id().index()])))
+        .collect();
+    Ok(SimResult { outputs, final_regs: regs, final_arrays })
 }

@@ -146,6 +146,22 @@ pub enum VerifyError {
         /// Explanation.
         detail: String,
     },
+    /// The bank-assignment table has the wrong length or names a bank the
+    /// datapath does not have.
+    BadBankTable {
+        /// Explanation.
+        detail: String,
+    },
+    /// A memory access issues on a port of a bank other than its array's
+    /// claimed bank.
+    BankMismatch {
+        /// The access.
+        op: OpId,
+        /// The port it issued on.
+        fu: FuId,
+        /// The bank its array is bound to.
+        claimed_bank: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -191,6 +207,11 @@ impl fmt::Display for VerifyError {
                 "state {state} register {reg} holds {found:?} after the iteration"
             ),
             VerifyError::BadClaim { detail } => write!(f, "bad claim: {detail}"),
+            VerifyError::BadBankTable { detail } => write!(f, "bad bank table: {detail}"),
+            VerifyError::BankMismatch { op, fu, claimed_bank } => write!(
+                f,
+                "memory access {op} issued on {fu} outside its array's bank {claimed_bank}"
+            ),
         }
     }
 }
@@ -218,6 +239,7 @@ pub fn verify(
 
     check_issues(graph, schedule, library, datapath, rtl)?;
     check_fu_usage(graph, schedule, library, datapath, rtl)?;
+    check_memory_banks(graph, datapath, rtl, claims)?;
     let claim_map = index_claims(graph, datapath, claims, n)?;
     check_lifetime_coverage(graph, schedule, library, &claim_map)?;
     simulate(graph, schedule, library, rtl, claims, &claim_map)
@@ -329,6 +351,52 @@ fn check_issues(
                 op: op.id(),
                 detail: "never issued".to_string(),
             });
+        }
+    }
+    Ok(())
+}
+
+/// Memory-binding phase: the bank table covers every array with an
+/// in-range bank, and each access issues on a port of its array's bank.
+/// (Port *exclusivity* per step is covered by the generic `FuConflict`
+/// occupancy check — a port is just a `Mem`-class unit.)
+fn check_memory_banks(
+    graph: &Cdfg,
+    datapath: &Datapath,
+    rtl: &Rtl,
+    claims: &Claims,
+) -> Result<(), VerifyError> {
+    if claims.array_banks.len() != graph.num_arrays() {
+        return Err(VerifyError::BadBankTable {
+            detail: format!(
+                "{} entries for {} arrays",
+                claims.array_banks.len(),
+                graph.num_arrays()
+            ),
+        });
+    }
+    for (idx, &bank) in claims.array_banks.iter().enumerate() {
+        if (bank as usize) >= datapath.num_banks() {
+            return Err(VerifyError::BadBankTable {
+                detail: format!(
+                    "array a{idx} bound to bank {bank} of {}",
+                    datapath.num_banks()
+                ),
+            });
+        }
+    }
+    for step in &rtl.steps {
+        for exec in &step.execs {
+            let op = graph.op(exec.op);
+            let Some(array) = op.array() else { continue };
+            let claimed_bank = claims.array_banks[array.index()] as usize;
+            if datapath.bank_of_mem_fu(exec.fu) != Some(claimed_bank) {
+                return Err(VerifyError::BankMismatch {
+                    op: op.id(),
+                    fu: exec.fu,
+                    claimed_bank,
+                });
+            }
         }
     }
     Ok(())

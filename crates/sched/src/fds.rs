@@ -15,7 +15,7 @@ use crate::{asap, FuClass, FuLibrary, Schedule, SchedError};
 /// Per-class expected-concurrency histogram.
 struct DistributionGraphs {
     /// `dg[class][step]` — indexed via `FuClass::all()` position.
-    dg: [Vec<f64>; 2],
+    dg: [Vec<f64>; 3],
 }
 
 impl DistributionGraphs {
@@ -23,6 +23,7 @@ impl DistributionGraphs {
         match class {
             FuClass::Alu => 0,
             FuClass::Mul => 1,
+            FuClass::Mem => 2,
         }
     }
 
@@ -33,7 +34,7 @@ impl DistributionGraphs {
         early: &[usize],
         late: &[usize],
     ) -> Self {
-        let mut dg = [vec![0.0; n_steps], vec![0.0; n_steps]];
+        let mut dg = [vec![0.0; n_steps], vec![0.0; n_steps], vec![0.0; n_steps]];
         for op in graph.ops() {
             let idx = Self::class_index(FuClass::for_op(op.kind()));
             let occ = library.occupancy(op.kind());
@@ -136,17 +137,22 @@ pub fn fds_schedule_with(
     let range = |c: FuClass| 1..=demand[&c].max(1);
     for alu in range(FuClass::Alu) {
         for mul in range(FuClass::Mul) {
-            let mut limits = std::collections::BTreeMap::new();
-            if demand[&FuClass::Alu] > 0 {
-                limits.insert(FuClass::Alu, alu);
-            }
-            if demand[&FuClass::Mul] > 0 {
-                limits.insert(FuClass::Mul, mul);
-            }
-            let listed = crate::list_schedule(graph, library, &limits)
-                .expect("list scheduling of a valid graph succeeds");
-            if listed.n_steps() <= n_steps {
-                candidates.push(listed.issue_times().to_vec());
+            for mem in range(FuClass::Mem) {
+                let mut limits = std::collections::BTreeMap::new();
+                if demand[&FuClass::Alu] > 0 {
+                    limits.insert(FuClass::Alu, alu);
+                }
+                if demand[&FuClass::Mul] > 0 {
+                    limits.insert(FuClass::Mul, mul);
+                }
+                if demand[&FuClass::Mem] > 0 {
+                    limits.insert(FuClass::Mem, mem);
+                }
+                let listed = crate::list_schedule(graph, library, &limits)
+                    .expect("list scheduling of a valid graph succeeds");
+                if listed.n_steps() <= n_steps {
+                    candidates.push(listed.issue_times().to_vec());
+                }
             }
         }
     }
@@ -233,7 +239,7 @@ fn forced_demand(
     late: &[usize],
     n_steps: usize,
 ) -> usize {
-    let mut occ = [vec![0usize; n_steps], vec![0usize; n_steps]];
+    let mut occ = [vec![0usize; n_steps], vec![0usize; n_steps], vec![0usize; n_steps]];
     for op in graph.ops() {
         let idx = DistributionGraphs::class_index(FuClass::for_op(op.kind()));
         let (e, l) = (early[op.id().index()], late[op.id().index()]);
@@ -258,7 +264,7 @@ fn forced_demand(
 /// move cannot yet lower it — escaping the plateau where two chained
 /// operations must both leave a step.
 fn realized_demand(graph: &Cdfg, library: &FuLibrary, issue: &[usize], n_steps: usize) -> usize {
-    let mut occ = [vec![0usize; n_steps], vec![0usize; n_steps]];
+    let mut occ = [vec![0usize; n_steps], vec![0usize; n_steps], vec![0usize; n_steps]];
     for op in graph.ops() {
         let idx = DistributionGraphs::class_index(FuClass::for_op(op.kind()));
         let s = issue[op.id().index()];
@@ -479,6 +485,29 @@ mod tests {
                 total(&fds),
                 total(&asap_sched)
             );
+        }
+    }
+
+    #[test]
+    fn memory_benchmarks_schedule_with_port_limits() {
+        // The three-class sweep must produce valid schedules for the
+        // memory-bound kernels, and the Mem demand column must be live.
+        let lib = FuLibrary::standard();
+        for g in [salsa_cdfg::benchmarks::fir_array(), salsa_cdfg::benchmarks::matmul()] {
+            let cp = asap(&g, &lib).length;
+            for steps in [cp, cp + 2] {
+                let s = fds_schedule(&g, &lib, steps).unwrap();
+                s.validate(&g, &lib).unwrap();
+                let d = s.fu_demand(&g, &lib);
+                assert!(d[&FuClass::Mem] >= 1, "{}: memory demand missing", g.name());
+            }
+            // Squeezing memory ports via a list-schedule limit stretches the
+            // schedule but keeps per-step access counts within the limit.
+            let mut limits = std::collections::BTreeMap::new();
+            limits.insert(FuClass::Mem, 1);
+            let listed = crate::list_schedule(&g, &lib, &limits).unwrap();
+            listed.validate(&g, &lib).unwrap();
+            assert!(listed.fu_demand(&g, &lib)[&FuClass::Mem] <= 1);
         }
     }
 

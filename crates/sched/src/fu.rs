@@ -5,14 +5,17 @@ use std::fmt;
 use salsa_cdfg::OpKind;
 
 /// The resource class that executes an operation. The paper's hardware
-/// assumptions use two classes: ALUs (additions, subtractions, comparisons)
-/// and multipliers.
+/// assumptions use two classes — ALUs (additions, subtractions,
+/// comparisons) and multipliers — which the memory-binding extension
+/// joins with a third: memory ports executing loads and stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FuClass {
     /// Adder/subtractor/comparator.
     Alu,
     /// Multiplier (optionally pipelined).
     Mul,
+    /// Memory port (executes loads and stores against a bank).
+    Mem,
 }
 
 impl FuClass {
@@ -21,12 +24,13 @@ impl FuClass {
         match kind {
             OpKind::Add | OpKind::Sub | OpKind::Lt => FuClass::Alu,
             OpKind::Mul => FuClass::Mul,
+            OpKind::Load | OpKind::Store => FuClass::Mem,
         }
     }
 
-    /// Both classes, in declaration order.
-    pub fn all() -> [FuClass; 2] {
-        [FuClass::Alu, FuClass::Mul]
+    /// All classes, in declaration order.
+    pub fn all() -> [FuClass; 3] {
+        [FuClass::Alu, FuClass::Mul, FuClass::Mem]
     }
 }
 
@@ -35,6 +39,7 @@ impl fmt::Display for FuClass {
         match self {
             FuClass::Alu => f.write_str("alu"),
             FuClass::Mul => f.write_str("mul"),
+            FuClass::Mem => f.write_str("mem"),
         }
     }
 }
@@ -69,6 +74,7 @@ impl FuSpec {
 pub struct FuLibrary {
     alu: FuSpec,
     mul: FuSpec,
+    mem: FuSpec,
 }
 
 impl FuLibrary {
@@ -90,6 +96,20 @@ impl FuLibrary {
                 can_pass_through: false,
                 area: 8,
             },
+            mem: Self::standard_mem_spec(),
+        }
+    }
+
+    /// The default memory-port spec: single-step accesses, one access per
+    /// step per port, no pass-through. The area term is charged per *port*
+    /// (the bank itself is costed separately by the datapath model).
+    fn standard_mem_spec() -> FuSpec {
+        FuSpec {
+            class: FuClass::Mem,
+            delay: 1,
+            init_interval: 1,
+            can_pass_through: false,
+            area: 2,
         }
     }
 
@@ -102,7 +122,8 @@ impl FuLibrary {
         lib
     }
 
-    /// Builds a library from explicit specs.
+    /// Builds a library from explicit scalar specs; memory ports keep the
+    /// standard single-step spec.
     ///
     /// # Panics
     ///
@@ -119,7 +140,7 @@ impl FuLibrary {
                 "initiation interval must be in 1..=delay"
             );
         }
-        FuLibrary { alu, mul }
+        FuLibrary { alu, mul, mem: Self::standard_mem_spec() }
     }
 
     /// The spec of a class.
@@ -127,6 +148,7 @@ impl FuLibrary {
         match class {
             FuClass::Alu => &self.alu,
             FuClass::Mul => &self.mul,
+            FuClass::Mem => &self.mem,
         }
     }
 
@@ -161,7 +183,10 @@ mod tests {
         assert_eq!(FuClass::for_op(OpKind::Sub), FuClass::Alu);
         assert_eq!(FuClass::for_op(OpKind::Lt), FuClass::Alu);
         assert_eq!(FuClass::for_op(OpKind::Mul), FuClass::Mul);
+        assert_eq!(FuClass::for_op(OpKind::Load), FuClass::Mem);
+        assert_eq!(FuClass::for_op(OpKind::Store), FuClass::Mem);
         assert_eq!(FuClass::Alu.to_string(), "alu");
+        assert_eq!(FuClass::Mem.to_string(), "mem");
     }
 
     #[test]
@@ -173,6 +198,9 @@ mod tests {
         assert!(!lib.mul_pipelined());
         assert!(lib.spec(FuClass::Alu).can_pass_through);
         assert!(!lib.spec(FuClass::Mul).can_pass_through);
+        assert_eq!(lib.delay(OpKind::Load), 1);
+        assert_eq!(lib.occupancy(OpKind::Store), 1);
+        assert!(!lib.spec(FuClass::Mem).can_pass_through);
     }
 
     #[test]

@@ -148,7 +148,12 @@ pub fn lifetimes(graph: &Cdfg, schedule: &Schedule, library: &FuLibrary) -> Life
         let last_read = schedule.last_read(graph, value.id());
         let value_feeds = std::mem::take(&mut feeds[value.id().index()]);
 
-        let steps: Vec<usize> = if !value_feeds.is_empty() {
+        let steps: Vec<usize> = if graph.is_store_token(value.id()) {
+            // A store's placeholder token is never observable: the write
+            // happens inside the memory bank, so the token needs no
+            // register at any step.
+            Vec::new()
+        } else if !value_feeds.is_empty() {
             // Hold until the boundary transfer at the end of step n-1.
             if birth == n {
                 Vec::new()
@@ -272,6 +277,27 @@ mod tests {
         // y born at 1, read at 1... wait, z reads y at step 1; y feeds s,
         // so y is stored through step 3 (the final step).
         assert_eq!(lt.get(y_id).unwrap().steps(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn store_token_has_no_stored_steps() {
+        let mut b = CdfgBuilder::new("tok");
+        let x = b.input("x");
+        let a = b.array("buf", 4);
+        let addr = b.constant(0);
+        let y = b.add(x, x);
+        b.store(a, addr, y);
+        b.mark_output(y, "y");
+        let g = b.finish().unwrap();
+        let lib = FuLibrary::standard();
+        // add at 0 (y born 1), store at 1 -> token born 2, n = 2.
+        let sched = Schedule::from_issue_times(&g, &lib, vec![0, 1], 2).unwrap();
+        let lt = lifetimes(&g, &sched, &lib);
+        let token = g.ops().find(|o| o.kind() == salsa_cdfg::OpKind::Store).unwrap().output();
+        let tok_lt = lt.get(token).unwrap();
+        assert!(tok_lt.is_empty(), "store token must not occupy a register");
+        // y itself is stored from birth through its store-read at step 1.
+        assert_eq!(lt.get(y).unwrap().steps(), &[1]);
     }
 
     #[test]

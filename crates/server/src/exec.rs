@@ -39,7 +39,9 @@ pub fn resolve_graph(source: &GraphSource) -> Result<Cdfg, ServeError> {
                 .ok_or_else(|| {
                     ServeError::new(
                         ErrorKind::BadRequest,
-                        format!("unknown benchmark '{name}' (try ewf, dct, hal, fir or ar)"),
+                        format!(
+                            "unknown benchmark '{name}' (try ewf, dct, hal, fir, ar, fir8a or mm2)"
+                        ),
                     )
                 })?;
             parse_cdfg(&graph.canonical_text()).map_err(|e| ServeError::from_parse(&e))
@@ -68,7 +70,8 @@ pub fn run_allocation(
         .extra_registers(knobs.extra_regs)
         .restarts(knobs.restarts)
         .config(config)
-        .plan(knobs.plan);
+        .plan(knobs.plan)
+        .mem_moves(knobs.mem_moves);
     if let Some(threads) = knobs.threads {
         allocator = allocator.threads(threads);
     }
@@ -118,6 +121,7 @@ pub fn run_artifact(
         .restarts(knobs.restarts)
         .config(config)
         .plan(knobs.plan)
+        .mem_moves(knobs.mem_moves)
         .compiled_plan(derived.plan.clone());
     if let Some(threads) = knobs.threads {
         allocator = allocator.threads(threads);
@@ -150,7 +154,17 @@ pub fn with_replay_env<R>(
     let steps = knobs.steps.unwrap_or_else(|| asap(graph, &library).length);
     let schedule = fds_schedule(graph, &library, steps)
         .map_err(|e| ServeError::new(ErrorKind::Schedule, e.to_string()))?;
-    let move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
+    let mut move_set = if knobs.traditional { MoveSet::traditional() } else { MoveSet::full() };
+    // Mirror the allocation driver's memory upgrade bit-for-bit: on a
+    // memory design with mem_moves on, the M kinds join the set in
+    // `MoveKind::all()` order at their default weights.
+    if knobs.mem_moves && graph.has_memory() {
+        for (kind, _) in salsa_alloc::MoveKind::all() {
+            if kind.is_memory() {
+                move_set = move_set.with(kind);
+            }
+        }
+    }
     // `eval_threads` is left at its default: it never affects the
     // trajectory (the batch engine is thread-count invariant), only the
     // wall-clock, and the verifier lane replays single-threaded anyway.
@@ -197,10 +211,22 @@ mod tests {
         // `text` request carrying that benchmark's canonical form share a
         // key, so they must resolve to the *same graph*, IDs included —
         // and the trace artifact's offline replay reparses that text.
-        for name in ["ewf", "dct", "hal", "fir", "ar"] {
-            let by_name = resolve_graph(&GraphSource::Bench(name.into())).unwrap();
+        //
+        // Every registered benchmark is covered, not a hand-kept list: a
+        // newly added builder-constructed graph (whose op/value numbering
+        // can differ from the parse of its own canonical text — the
+        // memory benchmarks fir8a/mm2 are built that way) must land here
+        // automatically or its serve-layer identities silently fork.
+        for g in salsa_cdfg::benchmarks::all() {
+            let name = g.name().to_string();
+            let by_name = resolve_graph(&GraphSource::Bench(name.clone())).unwrap();
             let by_text = resolve_graph(&GraphSource::Text(by_name.canonical_text())).unwrap();
             assert_eq!(by_name, by_text, "{name}: bench and text resolution diverge");
+        }
+        // The memory workloads resolve through their aliases too.
+        for alias in ["fir-array", "matmul"] {
+            let g = resolve_graph(&GraphSource::Bench(alias.into())).unwrap();
+            assert!(g.has_memory(), "{alias} should resolve to a memory benchmark");
         }
     }
 

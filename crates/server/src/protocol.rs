@@ -35,8 +35,13 @@ use crate::json::Json;
 
 /// Benchmarks servable by name, with the paper's aliases mapped onto the
 /// workspace's canonical names.
-pub const BENCH_ALIASES: &[(&str, &str)] =
-    &[("hal", "diffeq"), ("fir", "fir16"), ("ar", "ar_lattice")];
+pub const BENCH_ALIASES: &[(&str, &str)] = &[
+    ("hal", "diffeq"),
+    ("fir", "fir16"),
+    ("ar", "ar_lattice"),
+    ("fir-array", "fir8a"),
+    ("matmul", "mm2"),
+];
 
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +100,11 @@ pub struct Knobs {
     /// so an A/B pair of requests is two observable jobs, not one cache
     /// hit.
     pub plan: bool,
+    /// Enable the M move family on memory graphs (the default). A
+    /// scalar design ignores it; on a memory design turning it off
+    /// freezes bank assignment at the initial greedy placement — the
+    /// M-off ablation. Part of the cache key.
+    pub mem_moves: bool,
     /// How much verification the job asked for (`off`/`sample`/`full`).
     /// At `Sample` or `Full` the response's report gains a `certificate`
     /// section produced by the verifier lane. Part of the cache key:
@@ -122,6 +132,7 @@ impl Default for Knobs {
             pipelined: false,
             traditional: false,
             plan: true,
+            mem_moves: true,
             verify: VerifyMode::Off,
             warm: None,
         }
@@ -400,6 +411,13 @@ pub fn knobs_from_json(obj: &Json) -> Result<Knobs, ServeError> {
                 ServeError::new(ErrorKind::BadRequest, "'plan' must be a boolean")
             })?,
         },
+        // Absent means *true*, like `plan`.
+        mem_moves: match obj.get("mem_moves") {
+            None | Some(Json::Null) => true,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ServeError::new(ErrorKind::BadRequest, "'mem_moves' must be a boolean")
+            })?,
+        },
         verify: match obj.get("verify") {
             None | Some(Json::Null) => VerifyMode::Off,
             Some(v) => v.as_str().and_then(VerifyMode::parse).ok_or_else(|| {
@@ -449,6 +467,9 @@ pub fn knobs_to_json(knobs: &Knobs) -> Json {
     if !knobs.plan {
         pairs.push(("plan", Json::Bool(false)));
     }
+    if !knobs.mem_moves {
+        pairs.push(("mem_moves", Json::Bool(false)));
+    }
     if knobs.verify != VerifyMode::Off {
         pairs.push(("verify", Json::Str(knobs.verify.as_str().into())));
     }
@@ -467,7 +488,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
     keyed.push_str(canonical_text);
     keyed.push_str("\x00knobs\x00");
     keyed.push_str(&format!(
-        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={};verify={};warm={}",
+        "steps={:?};extra_regs={};seed={};restarts={};threads={:?};batch={:?};cutoff={:?};pipelined={};traditional={};plan={};mem_moves={};verify={};warm={}",
         knobs.steps,
         knobs.extra_regs,
         knobs.seed,
@@ -478,6 +499,7 @@ pub fn cache_key(canonical_text: &str, knobs: &Knobs) -> u128 {
         knobs.pipelined,
         knobs.traditional,
         knobs.plan,
+        knobs.mem_moves,
         knobs.verify.as_str(),
         knobs.warm.as_ref().map_or_else(|| "-".to_string(), |w| w.encode()),
     ));
@@ -578,6 +600,7 @@ mod tests {
             Knobs { pipelined: true, ..base.clone() },
             Knobs { traditional: true, ..base.clone() },
             Knobs { plan: false, ..base.clone() },
+            Knobs { mem_moves: false, ..base.clone() },
             Knobs { verify: VerifyMode::Sample, ..base.clone() },
             Knobs { verify: VerifyMode::Full, ..base.clone() },
             Knobs { warm: Some(Arc::new(WarmSpec::new())), ..base.clone() },
@@ -609,6 +632,7 @@ mod tests {
             pipelined: true,
             traditional: true,
             plan: false,
+            mem_moves: false,
             verify: VerifyMode::Full,
             warm: Some(Arc::new(WarmSpec {
                 op_fu: vec![(0, 2), (3, 1)],

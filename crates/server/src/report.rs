@@ -20,20 +20,25 @@ pub fn report_json(graph: &Cdfg, schedule: &Schedule, seed: u64, result: &AllocR
     let bus = bus_allocate(&traffic_from_rtl(&result.rtl));
     let stats = &result.stats;
     let portfolio = &result.portfolio;
+    let mut breakdown = vec![
+        ("fu_area", Json::Int(result.breakdown.fu_area as i64)),
+        ("registers", Json::Int(result.breakdown.used_regs as i64)),
+        ("mux_equiv", Json::Int(result.breakdown.mux_equiv as i64)),
+        ("connections", Json::Int(result.breakdown.connections as i64)),
+    ];
+    if graph.has_memory() {
+        // Memory terms appear only for memory designs, keeping scalar
+        // reports byte-identical to their pre-memory form.
+        breakdown.push(("mem_banks", Json::Int(result.breakdown.mem_banks as i64)));
+        breakdown.push(("addr_mux", Json::Int(result.breakdown.addr_mux as i64)));
+        breakdown.push(("bank_conflicts", Json::Int(result.breakdown.bank_conflicts as i64)));
+    }
     let mut pairs = vec![
         ("design", Json::Str(graph.name().to_string())),
         ("steps", Json::Int(schedule.n_steps() as i64)),
         ("seed", Json::Int(seed as i64)),
         ("cost", Json::Int(result.cost as i64)),
-        (
-            "breakdown",
-            Json::obj(vec![
-                ("fu_area", Json::Int(result.breakdown.fu_area as i64)),
-                ("registers", Json::Int(result.breakdown.used_regs as i64)),
-                ("mux_equiv", Json::Int(result.breakdown.mux_equiv as i64)),
-                ("connections", Json::Int(result.breakdown.connections as i64)),
-            ]),
-        ),
+        ("breakdown", Json::obj(breakdown)),
         (
             "mux",
             Json::obj(vec![

@@ -32,29 +32,36 @@ use salsa_cdfg::{Cdfg, OpKind};
 /// little about the new design and a cold start is the honest default.
 pub const SEED_DISTANCE_PERMILLE: u64 = 400;
 
-/// The four op kinds, in a fixed order for histogram indexing.
-const KINDS: [OpKind; 4] = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Lt];
+/// The six op kinds, in a fixed order for histogram indexing.
+const KINDS: [OpKind; 6] =
+    [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Lt, OpKind::Load, OpKind::Store];
 
 fn kind_index(kind: OpKind) -> usize {
     KINDS.iter().position(|&k| k == kind).expect("kind in KINDS")
 }
 
 /// A renumbering-invariant structural summary of a design: the op-kind
-/// multiset and the (producer kind, consumer kind) multiset over every
-/// def-use edge. Producer slot 0 means "external" (an input, constant or
-/// state boundary feeds the read); slots 1..=4 are the producing op's
-/// kind.
+/// multiset, the (producer kind, consumer kind) multiset over every
+/// def-use edge, and the array count. Producer slot 0 means "external"
+/// (an input, constant or state boundary feeds the read); slots 1..=6
+/// are the producing op's kind.
+///
+/// Memory accesses participate through their own histogram slots and the
+/// array count, so a memory design never sketches close to a scalar one
+/// of the same arithmetic shape — their winners bind incompatible
+/// resources (bank tables, memory ports) and must not seed each other.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sketch {
-    kinds: [u32; 4],
-    edges: [u32; 5 * 4],
+    kinds: [u32; 6],
+    edges: [u32; 7 * 6],
+    arrays: u32,
 }
 
 impl Sketch {
     /// Builds the sketch from graph structure alone (no ids, no labels).
     pub fn of(graph: &Cdfg) -> Sketch {
-        let mut kinds = [0u32; 4];
-        let mut edges = [0u32; 5 * 4];
+        let mut kinds = [0u32; 6];
+        let mut edges = [0u32; 7 * 6];
         for op in graph.ops() {
             let consumer = kind_index(op.kind());
             kinds[consumer] += 1;
@@ -63,10 +70,10 @@ impl Sketch {
                     Some(p) => 1 + kind_index(graph.op(p).kind()),
                     None => 0,
                 };
-                edges[producer * 4 + consumer] += 1;
+                edges[producer * 6 + consumer] += 1;
             }
         }
-        Sketch { kinds, edges }
+        Sketch { kinds, edges, arrays: graph.num_arrays() as u32 }
     }
 
     /// L1 distance between two sketches.
@@ -74,14 +81,17 @@ impl Sketch {
         let l1 = |a: &[u32], b: &[u32]| -> u64 {
             a.iter().zip(b).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
         };
-        l1(&self.kinds, &other.kinds) + l1(&self.edges, &other.edges)
+        l1(&self.kinds, &other.kinds)
+            + l1(&self.edges, &other.edges)
+            + u64::from(self.arrays.abs_diff(other.arrays))
     }
 
-    /// Total sketch mass (ops + edges), the denominator of the
+    /// Total sketch mass (ops + edges + arrays), the denominator of the
     /// acceptance threshold.
     pub fn weight(&self) -> u64 {
         self.kinds.iter().map(|&c| u64::from(c)).sum::<u64>()
             + self.edges.iter().map(|&c| u64::from(c)).sum::<u64>()
+            + u64::from(self.arrays)
     }
 
     /// Whether `distance` is close enough to seed from, relative to this
@@ -295,6 +305,7 @@ mod tests {
                 chains: Vec::new(),
                 use_chain: Vec::new(),
                 passes: Vec::new(),
+                array_banks: Vec::new(),
             },
             cost: 100,
             sketch,

@@ -34,7 +34,7 @@ fn renumbered(text: &str) -> String {
                 ops.push((label, line.to_string()));
             }
             Some("output") => outputs.push(line.to_string()),
-            Some("input") | Some("state") | Some("const") => {
+            Some("input") | Some("state") | Some("const") | Some("array") => {
                 defined.push(tokens.next().expect("decl name").to_string());
                 header.push(line.to_string());
             }
@@ -100,7 +100,14 @@ proptest! {
         inputs in 1usize..4,
         mul_ratio in 0.0f64..0.8,
     ) {
-        let cfg = RandomCdfgConfig { ops, inputs, states: 0, mul_ratio, const_coeff_ratio: 0.0 };
+        let cfg = RandomCdfgConfig {
+            ops,
+            inputs,
+            states: 0,
+            mul_ratio,
+            const_coeff_ratio: 0.0,
+            ..RandomCdfgConfig::default()
+        };
         let graph = random_cdfg(&cfg, seed);
         let text = graph.canonical_text();
         let respelled = renumbered(&text);
@@ -109,6 +116,55 @@ proptest! {
         let (a, b) = (Sketch::of(&graph), Sketch::of(&reparsed));
         prop_assert_eq!(a.distance(&b), 0, "sketch moved under renumbering:\n{}\n{}", text, respelled);
     }
+
+    /// The same invariance over memory designs: arrays, loads and stores
+    /// are structural mass like any other, and a respelling that
+    /// renumbers every op must still land at distance exactly 0.
+    #[test]
+    fn sketch_invariance_holds_on_memory_graphs(
+        seed in 0u64..500,
+        ops in 6usize..30,
+        inputs in 1usize..4,
+        arrays in 1usize..4,
+        mem_ratio in 0.05f64..0.5,
+    ) {
+        let cfg = RandomCdfgConfig {
+            ops,
+            inputs,
+            states: 0,
+            const_coeff_ratio: 0.0,
+            arrays,
+            mem_ratio,
+            ..RandomCdfgConfig::default()
+        };
+        let graph = random_cdfg(&cfg, seed);
+        prop_assert!(graph.has_memory());
+        let text = graph.canonical_text();
+        let respelled = renumbered(&text);
+        let reparsed = parse_cdfg(&respelled)
+            .map_err(|e| TestCaseError::fail(format!("respelled text unparsable: {e}\n{respelled}")))?;
+        let (a, b) = (Sketch::of(&graph), Sketch::of(&reparsed));
+        prop_assert_eq!(a.distance(&b), 0, "sketch moved under renumbering:\n{}\n{}", text, respelled);
+    }
+}
+
+#[test]
+fn memory_and_scalar_designs_never_seed_each_other() {
+    // A memory design and its scalar look-alike (loads flattened to
+    // arithmetic) bind incompatible resources — bank tables, memory
+    // ports — so the sketch must hold them outside seeding distance even
+    // when the surrounding arithmetic is identical.
+    let mem = parse_cdfg(
+        "cdfg m\narray t 4 = 1 2 3 4\ninput a\nop l0 = load t a\nop y = add l0 a\noutput y\n",
+    )
+    .unwrap();
+    let scalar =
+        parse_cdfg("cdfg s\ninput a\nop l0 = add a a\nop y = add l0 a\noutput y\n").unwrap();
+    let (sm, ss) = (Sketch::of(&mem), Sketch::of(&scalar));
+    let d = sm.distance(&ss);
+    assert!(d > 0, "memory structure must register in the sketch");
+    assert!(!sm.accepts(d), "a scalar winner must not warm-start a memory job (d={d})");
+    assert!(!ss.accepts(d), "a memory winner must not warm-start a scalar job (d={d})");
 }
 
 /// One-add-flipped variant of a design's canonical text — the

@@ -79,7 +79,8 @@ usage:
   salsa-hls schedule <file.cdfg> [--steps N] [--pipelined]
   salsa-hls allocate <file.cdfg> [--steps N] [--extra-regs K] [--seed S]
                      [--restarts R] [--threads T] [--batch K] [--cutoff F]
-                     [--pipelined] [--traditional] [--no-plan] [--controller]
+                     [--pipelined] [--traditional] [--no-plan]
+                     [--no-mem-moves] [--controller]
                      [--report] [--json] [--verilog PATH] [--testbench PATH]
                      [--dot PATH]
   salsa-hls bench    <name|--list>
@@ -117,6 +118,9 @@ in parallel, committed in proposal order (results depend only on the seed
 and K, never on thread count; --batch 1 matches the sequential loop).
 --no-plan disables the compiled move-plan fast path in the proposers (for
 A/B verification; the trajectory and result are identical either way).
+--no-mem-moves disables the M move family on memory (array) designs,
+freezing bank assignment at the initial placement — the ablation
+baseline; scalar designs are unaffected.
 
 serve starts the allocation service (default 127.0.0.1:7741, port 0
 picks a free port) and runs until a shutdown command drains it. Both
@@ -283,7 +287,8 @@ fn allocate_graph(graph: &Cdfg, args: &[String]) -> Result<(), String> {
         .extra_registers(flag_parse(args, "--extra-regs")?.unwrap_or(0))
         .restarts(flag_parse(args, "--restarts")?.unwrap_or(1))
         .config(config)
-        .plan(!has_flag(args, "--no-plan"));
+        .plan(!has_flag(args, "--no-plan"))
+        .mem_moves(!has_flag(args, "--no-mem-moves"));
     if let Some(threads) = flag_parse(args, "--threads")? {
         allocator = allocator.threads(threads);
     }
@@ -458,6 +463,7 @@ fn knobs_from_args(args: &[String]) -> Result<Knobs, String> {
         pipelined: has_flag(args, "--pipelined"),
         traditional: has_flag(args, "--traditional"),
         plan: !has_flag(args, "--no-plan"),
+        mem_moves: !has_flag(args, "--no-mem-moves"),
         verify: parse_verify(args)?,
         warm: None,
     })
@@ -779,6 +785,9 @@ fn build_submit_request(args: &[String]) -> Result<Json, String> {
     }
     if has_flag(args, "--no-plan") {
         pairs.push(("plan".to_string(), Json::Bool(false)));
+    }
+    if has_flag(args, "--no-mem-moves") {
+        pairs.push(("mem_moves".to_string(), Json::Bool(false)));
     }
     if let Some(verify) = flag_value(args, "--verify")? {
         // Validated locally so a typo fails before the job is queued.

@@ -45,7 +45,7 @@ fn extra_registers_can_buy_interconnect_on_dct() {
     let library = FuLibrary::standard();
     let schedule = fds_schedule(&graph, &library, 9).unwrap();
     let mut config = quick();
-    config.weights = salsa_hls::datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1 };
+    config.weights = salsa_hls::datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1, bank: 80, conflict: 100_000 };
     let run = |extra: usize, seed: u64| {
         Allocator::new(&graph, &schedule, &library)
             .seed(seed)

@@ -9,7 +9,7 @@ fn effort() -> ImproveConfig {
     ImproveConfig {
         max_trials: 5,
         moves_per_trial: Some(1200),
-        weights: salsa_hls::datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1 },
+        weights: salsa_hls::datapath::CostWeights { fu_area: 100, reg: 2, mux: 4, conn: 1, bank: 80, conflict: 100_000 },
         ..ImproveConfig::default()
     }
 }
